@@ -1,0 +1,1 @@
+bench/main.ml: Array Awe Circuit Dc Element Float Format Linalg List Mna Netlist Option Samples Sparse Sta Sys Util Waveform

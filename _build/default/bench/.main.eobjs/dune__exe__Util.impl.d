@@ -1,0 +1,1 @@
+bench/util.ml: Analyze Array Bechamel Benchmark Circuit Format Hashtbl Linalg List Measure Mna Staged Stdlib Test Time Toolkit Transim Waveform

@@ -1,0 +1,661 @@
+(* Reproduction harness: one experiment per table and figure of the
+   paper's evaluation (Sections IV-V), plus the scaling and ablation
+   studies called out in DESIGN.md.
+
+     dune exec bench/main.exe            runs everything
+     dune exec bench/main.exe -- fig23   runs one experiment
+
+   Absolute element values differ from the (unpublished) originals; the
+   quantities compared are the paper's *claims*: who wins, error
+   orderings, pole patterns, delay shifts.  See EXPERIMENTS.md. *)
+
+open Circuit
+open Util
+
+let step5 = Element.Step { v0 = 0.; v1 = 5. }
+
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  section "Fig. 7 — first-order AWE vs exact, Fig. 4 RC tree, 5 V step";
+  let f = Samples.fig4 () in
+  let sys = Mna.build f.Samples.circuit in
+  let a1 = Awe.approximate sys ~node:f.Samples.n4 ~q:1 in
+  (match Awe.poles a1 with
+  | [ p ] ->
+    claim ~paper:"pole = -1/T_D (Elmore)" "%.2f vs -1/7e-4 = -1428.57"
+      p.Linalg.Cx.re
+  | _ -> ());
+  let wex = simulate sys f.Samples.n4 ~t_stop:5e-3 ~steps:4000 in
+  let w1 = Awe.waveform a1 ~t_stop:5e-3 ~samples:4001 in
+  claim ~paper:"visible single-exponential error"
+    "transient L2 error %.1f%%"
+    (100. *. transient_error wex w1);
+  claim ~paper:"error term 36% at first order" "error estimate %.1f%%"
+    (100. *. Awe.error_estimate sys ~node:f.Samples.n4 ~q:1);
+  plot ~label:"fig7: AWE q1 (*) vs simulation (+)" [ w1; wex ]
+
+let fig12 () =
+  section "Fig. 12 — grounded resistor (Fig. 9), first-order AWE";
+  let f = Samples.fig9 () in
+  let sys = Mna.build f.Samples.circuit in
+  let a1 = Awe.approximate sys ~node:f.Samples.n4 ~q:1 in
+  claim ~paper:"steady state scaled by the divider"
+    "v(inf) = %.4f V (divider: 5*4/7 = 2.8571)"
+    (Awe.steady_state a1);
+  claim ~paper:"first moment reflects both G^-1 and v_ss changes"
+    "scaled Elmore %.4g s (plain tree T_D was 7e-4)"
+    (Awe.Elmore.scaled_delay sys ~node:f.Samples.n4);
+  let wex = simulate sys f.Samples.n4 ~t_stop:4e-3 ~steps:4000 in
+  let w1 = Awe.waveform a1 ~t_stop:4e-3 ~samples:4001 in
+  claim ~paper:"good first-order prediction"
+    "transient L2 error %.1f%%"
+    (100. *. transient_error wex w1);
+  plot ~label:"fig12: AWE q1 (*) vs simulation (+)" [ w1; wex ]
+
+let fig14 () =
+  section "Fig. 14 — Fig. 4 tree driven by a 5 V, 1 ms-rise ramp";
+  let wave = Element.Ramp { v0 = 0.; v1 = 5.; t_delay = 0.; t_rise = 1e-3 } in
+  let f = Samples.fig4 ~wave () in
+  let sys = Mna.build f.Samples.circuit in
+  let a1 = Awe.approximate sys ~node:f.Samples.n4 ~q:1 in
+  (* the paper's eqs. 63-64: v_p = 5e3 t - r*tau, v_h = 3.5 e^(-t/tau) *)
+  (match a1.Awe.response with
+  | base :: ramp_neg :: _ ->
+    claim ~paper:"v_h residue r*tau = 3.5 V (eq. 64)"
+      "|residue| = %.4f V"
+      (match base.Awe.Approx.transient with
+      | [ t ] -> Float.abs t.Awe.Approx.coeffs.(0).Linalg.Cx.re
+      | _ -> nan);
+    claim ~paper:"negative ramp activates at 1 ms (eq. 66)"
+      "t_shift = %.4g s, scale %.3g"
+      ramp_neg.Awe.Approx.t_shift ramp_neg.Awe.Approx.scale
+  | _ -> ());
+  let wex = simulate sys f.Samples.n4 ~t_stop:6e-3 ~steps:6000 in
+  let w1 = Awe.waveform a1 ~t_stop:6e-3 ~samples:6001 in
+  claim ~paper:"good delay prediction; largest error near t = 0"
+    "transient L2 error %.1f%%"
+    (100. *. transient_error wex w1);
+  let dt = 1e-6 in
+  let slope0 = (Awe.eval a1 dt -. Awe.eval a1 0.) /. dt in
+  claim ~paper:"approximation starts with a (wrong) negative slope"
+    "initial slope %.1f V/s" slope0;
+  let a1m =
+    Awe.approximate
+      ~options:{ Awe.default_options with match_slope = true }
+      sys ~node:f.Samples.n4 ~q:1
+  in
+  let slope0m = (Awe.eval a1m dt -. Awe.eval a1m 0.) /. dt in
+  claim ~paper:"matching m_(-2) removes the glitch (Section 4.3)"
+    "initial slope with slope matching %.2f V/s" slope0m;
+  plot ~label:"fig14: AWE q1 ramp response (*) vs simulation (+)" [ w1; wex ]
+
+let fig15 () =
+  section "Fig. 15 — second-order step response, Fig. 4 tree";
+  let f = Samples.fig4 () in
+  let sys = Mna.build f.Samples.circuit in
+  let wex = simulate sys f.Samples.n4 ~t_stop:5e-3 ~steps:4000 in
+  let err q =
+    let a = Awe.approximate sys ~node:f.Samples.n4 ~q in
+    ( transient_error wex (Awe.waveform a ~t_stop:5e-3 ~samples:4001),
+      Awe.error_estimate sys ~node:f.Samples.n4 ~q )
+  in
+  let t1, e1 = err 1 in
+  let t2, e2 = err 2 in
+  claim ~paper:"error term falls 36% -> 1.6%"
+    "estimate %.1f%% -> %.2f%% (vs sim: %.1f%% -> %.2f%%)"
+    (100. *. e1) (100. *. e2) (100. *. t1) (100. *. t2);
+  let a2 = Awe.approximate sys ~node:f.Samples.n4 ~q:2 in
+  claim ~paper:"AWE and SPICE indistinguishable at plot resolution"
+    "max abs difference %.4f V"
+    (Waveform.max_abs_error wex (Awe.waveform a2 ~t_stop:5e-3 ~samples:4001));
+  plot ~label:"fig15: AWE q2 (*) vs simulation (+)"
+    [ Awe.waveform a2 ~t_stop:5e-3 ~samples:4001; wex ]
+
+let table1 () =
+  section "Table I — approximating vs actual poles, Fig. 16 tree";
+  let poles_for ~v_c6 q =
+    let f = Samples.fig16 ~v_c6 ~wave:step5 () in
+    let sys = Mna.build f.Samples.circuit in
+    match Awe.approximate sys ~node:f.Samples.output ~q with
+    | a -> Awe.poles a
+    | exception (Awe.Unstable_fit _ | Awe.Degenerate _) -> []
+  in
+  let f = Samples.fig16 ~wave:step5 () in
+  let sys = Mna.build f.Samples.circuit in
+  let actual = actual_poles sys in
+  print_pole_table ~title:"  (output at C7; 5 V step; rad/s)"
+    [ ("1st order", poles_for ~v_c6:0. 1);
+      ("2nd order", poles_for ~v_c6:0. 2);
+      ("1st (vC6=5)", poles_for ~v_c6:5. 1);
+      ("2nd (vC6=5)", poles_for ~v_c6:5. 2);
+      ("actual", actual) ];
+  note "paper: approximate poles 'creep up on' the actual poles as the";
+  note "order increases, and the initial condition shifts the fit.";
+  (* the zero mechanism of Section 5.2: the model's transfer zero
+     reweights the natural frequencies; the IC moves it *)
+  let zero_for ~v_c6 =
+    let f = Samples.fig16 ~v_c6 ~wave:step5 () in
+    let sys = Mna.build f.Samples.circuit in
+    match
+      Awe.Approx.zeros (Awe.approximate sys ~node:f.Samples.output ~q:2).Awe.base
+    with
+    | [ z ] -> z
+    | _ -> Linalg.Cx.re nan
+  in
+  claim
+    ~paper:"the IC introduces a zero that reweights the poles (S 5.2)"
+    "order-2 model zero: %.4e (no IC) vs %.4e (vC6 = 5)"
+    (zero_for ~v_c6:0.).Linalg.Cx.re
+    (zero_for ~v_c6:5.).Linalg.Cx.re;
+  let spread =
+    match (actual, List.rev actual) with
+    | p1 :: _, pn :: _ -> Linalg.Cx.abs pn /. Linalg.Cx.abs p1
+    | _ -> nan
+  in
+  claim ~paper:"time constants spread over ~4 decades"
+    "|p_max|/|p_min| = %.2e" spread
+
+let fig17_18 () =
+  section "Figs. 17-18 — Fig. 16 tree, 1 ns ramp: order 1 then order 2";
+  let f = Samples.fig16 () in
+  let sys = Mna.build f.Samples.circuit in
+  let wex = simulate sys f.Samples.output ~t_stop:6e-9 ~steps:6000 in
+  let run q =
+    let a = Awe.approximate sys ~node:f.Samples.output ~q in
+    ( a,
+      transient_error wex (Awe.waveform a ~t_stop:6e-9 ~samples:6001),
+      Awe.error_estimate sys ~node:f.Samples.output ~q )
+  in
+  let a1, t1, e1 = run 1 in
+  let a2, t2, e2 = run 2 in
+  claim ~paper:"first-order error term 4.4%"
+    "estimate %.2f%% (vs sim %.2f%%)" (100. *. e1) (100. *. t1);
+  claim ~paper:"second-order error term 0.15%"
+    "estimate %.3f%% (vs sim %.3f%%)" (100. *. e2) (100. *. t2);
+  claim ~paper:"stiff fast poles are never computed unless needed"
+    "q1 used 1 pole of a %d-state circuit" (Mna.size sys - 2);
+  plot ~label:"fig17: AWE q1 (*) vs simulation (+)"
+    [ Awe.waveform a1 ~t_stop:6e-9 ~samples:6001; wex ];
+  plot ~label:"fig18: AWE q2 (*) vs simulation (+)"
+    [ Awe.waveform a2 ~t_stop:6e-9 ~samples:6001; wex ]
+
+let fig19 () =
+  section "Fig. 19 — CPU time: first order vs incremental second order";
+  let f = Samples.fig16 () in
+  let sys = Mna.build f.Samples.circuit in
+  let node = f.Samples.output in
+  let out_var = Mna.node_var sys node in
+  let op0 = Dc.initial sys in
+  let op0p = Dc.at_zero_plus sys op0 in
+  let engine = Awe.Moments.make sys in
+  let prob = Awe.Moments.base_problem engine op0p in
+  let results =
+    measure_ns
+      [ ( "first-order total",
+          fun () ->
+            let e = Awe.Moments.make sys in
+            let p = Awe.Moments.base_problem e op0p in
+            let mu =
+              Awe.Moments.mu (Awe.Moments.vectors e p ~count:2) ~out_var
+            in
+            ignore (Awe.Moment_match.fit ~q:1 mu) );
+        ( "second-order total",
+          fun () ->
+            let e = Awe.Moments.make sys in
+            let p = Awe.Moments.base_problem e op0p in
+            let mu =
+              Awe.Moments.mu (Awe.Moments.vectors e p ~count:4) ~out_var
+            in
+            ignore (Awe.Moment_match.fit ~q:2 mu) );
+        ( "incremental moments only",
+          fun () ->
+            (* the marginal work: two more A^-1 applications *)
+            let w2 = Awe.Moments.advance engine prob.Awe.Moments.x_h0 in
+            let w3 = Awe.Moments.advance engine w2 in
+            ignore w3 ) ]
+  in
+  let find k = List.assoc k results in
+  let t1 = find "first-order total" in
+  let t2 = find "second-order total" in
+  let tm = find "incremental moments only" in
+  note "first-order approximation:  %8.0f ns/run" t1;
+  note "second-order approximation: %8.0f ns/run" t2;
+  note "incremental moment cost:    %8.0f ns/run" tm;
+  claim ~paper:"second order costs a small increment over first"
+    "increment = %.0f%% of the first-order cost"
+    (100. *. (t2 -. t1) /. t1)
+
+let fig20_21 () =
+  section "Figs. 20-21 — nonmonotone charge-sharing response (vC6 = 5 V)";
+  let f = Samples.fig16 ~v_c6:5.0 ~wave:(Element.Dc 0.) () in
+  let sys = Mna.build f.Samples.circuit in
+  let wex = simulate sys f.Samples.output ~t_stop:5e-9 ~steps:5000 in
+  claim ~paper:"response is nonmonotone" "monotone = %b"
+    (Waveform.is_monotone wex);
+  (match Awe.approximate sys ~node:f.Samples.output ~q:1 with
+  | a1 ->
+    let w1 = Awe.waveform a1 ~t_stop:5e-9 ~samples:5001 in
+    claim ~paper:"first-order error 150% (useless)"
+      "transient error %.0f%%"
+      (100. *. transient_error wex w1)
+  | exception Awe.Degenerate _ ->
+    claim ~paper:"first-order error 150% (useless)"
+      "no first-order fit exists at all (%s)"
+      "initial value 0, area nonzero");
+  let a2 = Awe.approximate sys ~node:f.Samples.output ~q:2 in
+  let w2 = Awe.waveform a2 ~t_stop:5e-9 ~samples:5001 in
+  claim ~paper:"second-order error 0.65%, indistinguishable"
+    "transient error %.2f%%, max abs error %.4f V"
+    (100. *. transient_error wex w2)
+    (Waveform.max_abs_error wex w2);
+  plot ~label:"fig21: charge-sharing glitch, AWE q2 (*) vs simulation (+)"
+    [ w2; wex ]
+
+let fig23 () =
+  section "Fig. 23 — floating coupling capacitors (Fig. 22), output at C7";
+  let base = Samples.fig16 () in
+  let cpl, _ = Samples.fig22 () in
+  let sys_b = Mna.build base.Samples.circuit in
+  let sys_c = Mna.build cpl.Samples.circuit in
+  let wex = simulate sys_c cpl.Samples.output ~t_stop:6e-9 ~steps:6000 in
+  let err q =
+    let a = Awe.approximate sys_c ~node:cpl.Samples.output ~q in
+    transient_error wex (Awe.waveform a ~t_stop:6e-9 ~samples:6001)
+  in
+  let delay sys node =
+    let a = Awe.approximate sys ~node ~q:3 in
+    Option.value ~default:nan (Awe.delay a ~threshold:4.0 ~t_max:10e-9)
+  in
+  claim ~paper:"delay moves 1.6 -> 1.7 ns at the 4.0 V threshold"
+    "%.2f ns -> %.2f ns"
+    (1e9 *. delay sys_b base.Samples.output)
+    (1e9 *. delay sys_c cpl.Samples.output);
+  let est_base =
+    Awe.error_estimate sys_b ~node:base.Samples.output ~q:2
+  in
+  let est_cpl = Awe.error_estimate sys_c ~node:cpl.Samples.output ~q:2 in
+  claim
+    ~paper:"order-2 error term grows with the coupling path (0.15% -> 15%)"
+    "order-2 estimate %.3f%% -> %.3f%% (sim error %.3f%%); the 100x jump \
+     depends on the unpublished element values — see EXPERIMENTS.md"
+    (100. *. est_base) (100. *. est_cpl)
+    (100. *. err 2);
+  claim ~paper:"a higher order restores accuracy (15% -> 0.14% at order 3)"
+    "order-3 error %.4f%%" (100. *. err 3);
+  let a3 = Awe.approximate sys_c ~node:cpl.Samples.output ~q:3 in
+  plot ~label:"fig23: aggressor, AWE q3 (*) vs simulation (+)"
+    [ Awe.waveform a3 ~t_stop:6e-9 ~samples:6001; wex ]
+
+let fig24 () =
+  section "Fig. 24 — charge dumped onto the victim through C11";
+  let cpl, victim = Samples.fig22 () in
+  let sys = Mna.build cpl.Samples.circuit in
+  let wex = simulate sys victim ~t_stop:10e-9 ~steps:8000 in
+  let a = Awe.approximate sys ~node:victim ~q:3 in
+  let wap = Awe.waveform a ~t_stop:10e-9 ~samples:8001 in
+  claim ~paper:"victim settles at the capacitive divider value"
+    "%.4f V (exact: 1.25 V)" (Awe.steady_state a);
+  (* m_0 matching makes the area under the transient exact: compare
+     integral of (v_inf - v) between simulation and AWE *)
+  let area w =
+    let vf = Waveform.final_value w in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i t ->
+        if i > 0 then begin
+          let dt = t -. w.Waveform.times.(i - 1) in
+          acc :=
+            !acc
+            +. (0.5 *. dt
+               *. ((vf -. w.Waveform.values.(i))
+                  +. (vf -. w.Waveform.values.(i - 1))))
+        end)
+      w.Waveform.times;
+    !acc
+  in
+  claim ~paper:"transferred charge (area) is always exact"
+    "area sim %.4e V.s vs AWE %.4e V.s (diff %.2f%%)" (area wex)
+    (area wap)
+    (100. *. Float.abs (area wex -. area wap) /. Float.abs (area wex));
+  plot ~label:"fig24: victim charge-up, AWE q3 (*) vs simulation (+)"
+    [ wap; wex ]
+
+let table2_fig26 () =
+  section "Table II + Fig. 26 — underdamped RLC (Fig. 25), 5 V step";
+  let f = Samples.fig25 () in
+  let sys = Mna.build f.Samples.circuit in
+  let poles_at q =
+    match Awe.approximate sys ~node:f.Samples.out ~q with
+    | a -> Awe.poles a
+    | exception _ -> []
+  in
+  print_pole_table ~title:"  (output at C3; rad/s)"
+    [ ("2nd order", poles_at 2);
+      ("4th order", poles_at 4);
+      ("actual", actual_poles sys) ];
+  let wex = simulate sys f.Samples.out ~t_stop:10e-9 ~steps:10000 in
+  let err q =
+    let a = Awe.approximate sys ~node:f.Samples.out ~q in
+    transient_error wex (Awe.waveform a ~t_stop:10e-9 ~samples:10001)
+  in
+  (match Awe.poles (Awe.approximate sys ~node:f.Samples.out ~q:1) with
+  | [ p ] ->
+    claim ~paper:"first order: one real pole (-2.833e9), error 74%"
+      "real pole %.3e, error %.0f%%" p.Linalg.Cx.re
+      (100. *. err 1)
+  | _ -> ());
+  claim ~paper:"second order detects the overshoot, error 22%"
+    "error %.0f%%, overshoot %.2f V (sim %.2f V)"
+    (100. *. err 2)
+    (Waveform.overshoot
+       (Awe.waveform
+          (Awe.approximate sys ~node:f.Samples.out ~q:2)
+          ~t_stop:10e-9 ~samples:10001))
+    (Waveform.overshoot wex);
+  claim ~paper:"fourth order: error < 1%, all detail matched"
+    "error %.1f%%" (100. *. err 4);
+  let a4 = Awe.approximate sys ~node:f.Samples.out ~q:4 in
+  plot ~label:"fig26: AWE q4 (*) vs simulation (+)"
+    [ Awe.waveform a4 ~t_stop:10e-9 ~samples:10001; wex ]
+
+let fig27 () =
+  section "Fig. 27 — Fig. 25 with a 1 ns input rise time, second order";
+  let wave = Element.Ramp { v0 = 0.; v1 = 5.; t_delay = 0.; t_rise = 1e-9 } in
+  let f = Samples.fig25 ~wave () in
+  let sys = Mna.build f.Samples.circuit in
+  let wex = simulate sys f.Samples.out ~t_stop:10e-9 ~steps:10000 in
+  let a2 = Awe.approximate sys ~node:f.Samples.out ~q:2 in
+  let w2 = Awe.waveform a2 ~t_stop:10e-9 ~samples:10001 in
+  claim ~paper:"rise time damps the higher pair; one pair dominates"
+    "q2 transient error %.1f%% (the step input needed q4)"
+    (100. *. transient_error wex w2);
+  let fstep = Samples.fig25 () in
+  let sys_s = Mna.build fstep.Samples.circuit in
+  let wex_s = simulate sys_s fstep.Samples.out ~t_stop:10e-9 ~steps:10000 in
+  claim ~paper:"step response has the larger error term"
+    "overshoot: step %.2f V vs ramp %.2f V"
+    (Waveform.overshoot wex_s) (Waveform.overshoot wex);
+  plot ~label:"fig27: AWE q2 with ramp input (*) vs simulation (+)"
+    [ w2; wex ]
+
+let eq56 () =
+  section "Section IV / eq. 56 — tree-link moments are the Elmore delays";
+  let f = Samples.fig4 () in
+  let tl = Awe.Tree_link.prepare f.Samples.circuit in
+  let w1 = Awe.Tree_link.moment_vector tl ~k:1 in
+  let tds = Awe.Elmore.delays f.Samples.circuit in
+  note "node   w1 (tree-link)   5 * T_D (tree walk)";
+  List.iter
+    (fun (name, node) ->
+      note "%-5s  %.6e    %.6e" name w1.(node) (5. *. tds.(node)))
+    [ ("n1", f.Samples.n1); ("n2", f.Samples.n2); ("n3", f.Samples.n3);
+      ("n4", f.Samples.n4) ];
+  (* grounded-resistor case: tree-link equals the general engine *)
+  let f9 = Samples.fig9 () in
+  let sys9 = Mna.build f9.Samples.circuit in
+  let tl9 = Awe.Tree_link.prepare f9.Samples.circuit in
+  let mu_tl = Awe.Tree_link.moments tl9 ~node:f9.Samples.n4 ~count:4 in
+  let e = Awe.Moments.make sys9 in
+  let op0 = Dc.initial sys9 in
+  let op0p = Dc.at_zero_plus sys9 op0 in
+  let prob = Awe.Moments.base_problem e op0p in
+  let mu_en =
+    Awe.Moments.mu
+      (Awe.Moments.vectors e prob ~count:4)
+      ~out_var:(Mna.node_var sys9 f9.Samples.n4)
+  in
+  let max_rel = ref 0. in
+  Array.iteri
+    (fun i v ->
+      max_rel := Float.max !max_rel (Float.abs ((v -. mu_en.(i)) /. mu_en.(i))))
+    mu_tl;
+  claim ~paper:"grounded resistor handled as a link, still O(n)"
+    "tree-link vs LU moments agree to %.1e relative" !max_rel
+
+let scaling () =
+  section "Scaling (Section 3.2) — moment computation cost vs circuit size";
+  note "random RC trees; kernel = factor the DC matrix + 2q solves; q = 3";
+  note "%6s %14s %14s %14s %8s" "n" "dense(ns)" "sparse(ns)" "treelink(ns)"
+    "fill";
+  List.iter
+    (fun n ->
+      let ckt, leaf = Samples.random_rc_tree ~seed:7 ~n () in
+      let sys = Mna.build ckt in
+      (* the homogeneous initial vector is computed once; the timed
+         kernel is the per-analysis work the paper discusses in
+         Section 3.2: one factorization plus repeated substitutions *)
+      let e0 = Awe.Moments.make sys in
+      let op0 = Dc.initial sys in
+      let op0p = Dc.at_zero_plus sys op0 in
+      let prob = Awe.Moments.base_problem e0 op0p in
+      let moments_with ~sparse () =
+        let e = Awe.Moments.make ~sparse sys in
+        ignore (Awe.Moments.vectors e prob ~count:6)
+      in
+      let tl = Awe.Tree_link.prepare ckt in
+      let tree_link () =
+        ignore (Awe.Tree_link.moments tl ~node:leaf ~count:6)
+      in
+      let results =
+        measure_ns
+          [ ("dense", moments_with ~sparse:false);
+            ("sparse", moments_with ~sparse:true);
+            ("treelink", tree_link) ]
+      in
+      let ga = Sparse.Csr.of_dense (Mna.g sys) in
+      let fill =
+        match Sparse.Slu.factor ga with
+        | fa -> Sparse.Slu.nnz_factors fa
+        | exception Sparse.Slu.Singular _ -> -1
+      in
+      note "%6d %14.0f %14.0f %14.0f %8d" n
+        (List.assoc "dense" results)
+        (List.assoc "sparse" results)
+        (List.assoc "treelink" results)
+        fill)
+    [ 10; 25; 50; 100; 200; 400 ];
+  note "claim: runtime is dominated by moment computation and stays";
+  note "near-linear with the sparse and tree-link solvers."
+
+let ablation () =
+  section "Ablation 1 — frequency scaling (Section 3.5)";
+  let f = Samples.fig16 ~wave:step5 () in
+  let sys = Mna.build f.Samples.circuit in
+  let out_var = Mna.node_var sys f.Samples.output in
+  let e = Awe.Moments.make sys in
+  let op0 = Dc.initial sys in
+  let op0p = Dc.at_zero_plus sys op0 in
+  let prob = Awe.Moments.base_problem e op0p in
+  let mu = Awe.Moments.mu (Awe.Moments.vectors e prob ~count:12) ~out_var in
+  note "%3s %16s %16s" "q" "rcond(scaled)" "rcond(raw)";
+  List.iter
+    (fun q ->
+      note "%3d %16.2e %16.2e" q
+        (Awe.Moment_match.condition_number ~scale:true ~q
+           (Array.sub mu 0 (2 * q)))
+        (Awe.Moment_match.condition_number ~scale:false ~q
+           (Array.sub mu 0 (2 * q))))
+    [ 1; 2; 3; 4 ];
+  let max_order scale =
+    let rec go q =
+      if q > 6 then 6
+      else begin
+        match
+          Awe.Moment_match.fit ~scale ~check_stability:false ~q
+            (Array.sub mu 0 (2 * q))
+        with
+        | _ -> go (q + 1)
+        | exception _ -> q - 1
+      end
+    in
+    go 1
+  in
+  claim ~paper:"higher orders unreachable without scaling"
+    "max solvable order: scaled %d vs raw %d" (max_order true)
+    (max_order false);
+
+  section "Ablation 2 — error estimator: exact L2 vs the Cauchy bound";
+  let f25 = Samples.fig25 () in
+  let sys25 = Mna.build f25.Samples.circuit in
+  List.iter
+    (fun q ->
+      match
+        ( Awe.approximate sys25 ~node:f25.Samples.out ~q,
+          Awe.approximate sys25 ~node:f25.Samples.out ~q:(q + 1) )
+      with
+      | aq, aq1 ->
+        let exact =
+          Awe.Error_est.relative_error ~exact:aq1.Awe.base aq.Awe.base
+        in
+        let bound =
+          Awe.Error_est.cauchy_bound ~exact:aq1.Awe.base aq.Awe.base
+        in
+        note "q=%d: exact %.3f, paper's Cauchy bound %.3f (ratio %.2f)" q
+          exact bound (bound /. exact)
+      | exception _ -> note "q=%d: fit unavailable" q)
+    [ 1; 2; 3 ];
+
+  section "Ablation 3 — order-escalation policy (Section 3.3)";
+  let glitch = Samples.fig16 ~v_c6:5.0 ~wave:(Element.Dc 0.) () in
+  let sys_g = Mna.build glitch.Samples.circuit in
+  List.iter
+    (fun q ->
+      match Awe.approximate sys_g ~node:glitch.Samples.output ~q with
+      | a ->
+        note "q=%d on the nonmonotone node: ok (%d poles)" q
+          (List.length (Awe.poles a))
+      | exception Awe.Unstable_fit _ ->
+        note "q=%d on the nonmonotone node: unstable -> escalate" q
+      | exception Awe.Degenerate _ ->
+        note "q=%d on the nonmonotone node: degenerate -> escalate" q)
+    [ 1; 2; 3; 4 ];
+  let _, err = Awe.auto sys_g ~node:glitch.Samples.output in
+  claim ~paper:"escalation reaches an acceptable order"
+    "auto converged with error estimate %.2f%%" (100. *. err);
+
+  section "Ablation 4 — residues: confluent vs plain Vandermonde";
+  (* two identical RC sections isolated by a unity-gain buffer: the
+     transfer to the output has an exactly repeated pole at -1/RC,
+     whose response is (1 - (1 + t/RC) e^(-t/RC)) — not representable
+     by distinct-pole residues *)
+  let b = Netlist.create () in
+  Netlist.add_v b "v1" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  Netlist.add_r b "r1" "in" "x" 1e3;
+  Netlist.add_c b "c1" "x" "0" 1e-6;
+  Netlist.add_vcvs b "e1" "y" "0" "x" "0" 1.;
+  Netlist.add_r b "r2" "y" "out" 1e3;
+  Netlist.add_c b "c2" "out" "0" 1e-6;
+  let out = Netlist.node b "out" in
+  let sys_d = Mna.build (Netlist.freeze b) in
+  (match Awe.approximate sys_d ~node:out ~q:2 with
+  | a ->
+    let repeated =
+      List.exists
+        (fun t -> Array.length t.Awe.Approx.coeffs > 1)
+        a.Awe.base
+    in
+    note "order-2 fit on the double-pole cascade: %s"
+      (if repeated then "confluent residue path taken"
+       else "poles separated numerically");
+    (* either way the waveform must match (1 - (1 + t/tau)e^(-t/tau)) *)
+    let tau = 1e-3 in
+    let exact t = 1. -. ((1. +. (t /. tau)) *. exp (-.t /. tau)) in
+    let max_err = ref 0. in
+    List.iter
+      (fun t -> max_err := Float.max !max_err (Float.abs (Awe.eval a t -. exact t)))
+      [ 0.5e-3; 1e-3; 2e-3; 5e-3 ];
+    claim ~paper:"repeated poles need the confluent residue system (eq. 29)"
+      "double-pole waveform reproduced to %.2e max error" !max_err
+  | exception Awe.Degenerate msg -> note "degenerate: %s" msg)
+
+let shifted () =
+  section
+    "Ablation 5 — expansion point: Maclaurin (paper) vs a shifted \
+     expansion (CFH direction)";
+  let f = Samples.fig25 () in
+  let sys = Mna.build f.Samples.circuit in
+  let wex = simulate sys f.Samples.out ~t_stop:10e-9 ~steps:10000 in
+  let actual = actual_poles sys in
+  let sigma2_actual =
+    (* damping of the second complex pair *)
+    match List.filteri (fun i _ -> i = 2) actual with
+    | [ p ] -> p.Linalg.Cx.re
+    | _ -> nan
+  in
+  note "actual second-pair damping: %.4e" sigma2_actual;
+  note "%12s %12s %16s" "shift" "q4 err" "2nd-pair sigma";
+  List.iter
+    (fun s0 ->
+      match
+        let opts = { Awe.default_options with Awe.expansion_shift = s0 } in
+        Awe.approximate ~options:opts sys ~node:f.Samples.out ~q:4
+      with
+      | a ->
+        let err =
+          transient_error wex (Awe.waveform a ~t_stop:10e-9 ~samples:10001)
+        in
+        let sigma2 =
+          match List.filteri (fun i _ -> i = 2) (Awe.poles a) with
+          | [ p ] -> p.Linalg.Cx.re
+          | _ -> nan
+        in
+        note "%12.2e %11.2f%% %16.4e" s0 (100. *. err) sigma2
+      | exception _ -> note "%12.2e %12s" s0 "failed")
+    [ 0.; -1e9; -3e9 ];
+  note "the s = 0 expansion minimizes the time-domain (integral) error;";
+  note "a shift near the band sharpens the second pair's damping estimate."
+
+let sta_bench () =
+  section "Application — STA: Elmore vs AWE net delays on a gate chain";
+  let inv =
+    Sta.cell ~name:"inv" ~drive_res:500. ~input_cap:20e-15 ~intrinsic:50e-12
+  in
+  let seg from_ to_ r c =
+    { Sta.seg_from = from_; seg_to = to_; res = r; cap = c }
+  in
+  let d = Sta.create ~vdd:5. ~threshold:0.5 () in
+  Sta.add_gate d ~inst:"u1" ~cell:inv ~inputs:[ "a" ] ~output:"y";
+  Sta.add_gate d ~inst:"u2" ~cell:inv ~inputs:[ "y" ] ~output:"z";
+  Sta.add_net d ~name:"a" ~segments:[ seg "drv" "u1" 100. 30e-15 ];
+  Sta.add_net d ~name:"y"
+    ~segments:[ seg "drv" "w" 300. 80e-15; seg "w" "u2" 200. 50e-15 ];
+  Sta.add_net d ~name:"z" ~segments:[ seg "drv" "o" 10. 2e-15 ];
+  Sta.add_primary_input d ~net:"a" ();
+  let r_aw = Sta.analyze ~model:Sta.Awe_auto d in
+  let r_el = Sta.analyze ~model:Sta.Elmore_model d in
+  claim ~paper:"RC-tree timing within 10% of SPICE at 1000x the speed"
+    "critical arrival AWE %.4g ns, Elmore %.4g ns"
+    (r_aw.Sta.critical_arrival *. 1e9)
+    (r_el.Sta.critical_arrival *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("fig7", fig7); ("fig12", fig12); ("fig14", fig14); ("fig15", fig15);
+    ("table1", table1); ("fig17", fig17_18); ("fig18", fig17_18);
+    ("fig19", fig19); ("fig20_21", fig20_21); ("fig23", fig23);
+    ("fig24", fig24); ("table2_fig26", table2_fig26); ("fig26", table2_fig26);
+    ("fig27", fig27); ("eq56", eq56); ("scaling", scaling);
+    ("ablation", ablation); ("shifted", shifted); ("sta", sta_bench) ]
+
+let all_in_order =
+  [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
+    fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] ->
+    Format.printf
+      "AWEsim reproduction harness — every table and figure of the paper@.";
+    List.iter (fun f -> f ()) all_in_order
+  | _ :: names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Format.printf "unknown experiment %S; available:@." name;
+          List.iter (fun (n, _) -> Format.printf "  %s@." n) experiments;
+          exit 2)
+      names

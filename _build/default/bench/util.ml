@@ -1,0 +1,97 @@
+(* Shared helpers for the reproduction benchmarks. *)
+
+open Circuit
+
+(* exact natural frequencies of a circuit: eigenvalues of -G^-1 C *)
+let actual_poles sys =
+  let g = Mna.g sys and c = Mna.c sys in
+  let f = Linalg.Lu.factor g in
+  let n = Mna.size sys in
+  let m = Linalg.Matrix.create n n in
+  for j = 0 to n - 1 do
+    let col = Linalg.Lu.solve f (Linalg.Matrix.col c j) in
+    for i = 0 to n - 1 do
+      m.(i).(j) <- -.col.(i)
+    done
+  done;
+  Linalg.Eigen.circuit_poles m
+
+(* the paper's error measure: L2 difference of the waveforms normalized
+   by the L2 norm of the exact waveform's transient part *)
+let transient_error exact approx =
+  let vf = Waveform.final_value exact in
+  let transient =
+    Waveform.create exact.Waveform.times
+      (Array.map (fun v -> v -. vf) exact.Waveform.values)
+  in
+  let den = Waveform.l2_norm transient in
+  if den = 0. then 0. else Waveform.l2_error exact approx /. den
+
+let simulate sys node ~t_stop ~steps =
+  let r = Transim.Transient.simulate sys ~t_stop ~steps in
+  Transim.Transient.node_waveform r node
+
+let pp_pole ppf (p : Linalg.Cx.t) =
+  if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%12.4e            " p.Linalg.Cx.re
+  else Format.fprintf ppf "%12.4e %+.4ej" p.Linalg.Cx.re p.Linalg.Cx.im
+
+let print_pole_table ~title columns =
+  (* columns: (header, pole list) list; rows padded with blanks *)
+  Format.printf "%s@." title;
+  let depth =
+    List.fold_left (fun m (_, ps) -> Stdlib.max m (List.length ps)) 0 columns
+  in
+  Format.printf "  ";
+  List.iter (fun (h, _) -> Format.printf "%-28s" h) columns;
+  Format.printf "@.";
+  for row = 0 to depth - 1 do
+    Format.printf "  ";
+    List.iter
+      (fun (_, ps) ->
+        match List.nth_opt ps row with
+        | Some p -> Format.printf "%-28s" (Format.asprintf "%a" pp_pole p)
+        | None -> Format.printf "%-28s" "")
+      columns;
+    Format.printf "@."
+  done
+
+let section title =
+  Format.printf "@.=== %s ===@." title
+
+let claim ~paper fmt =
+  Format.printf "  paper:    %s@." paper;
+  Format.printf ("  measured: " ^^ fmt ^^ "@.")
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let plot ?(width = 68) ?(height = 14) ~label waves =
+  print_string (Waveform.ascii_plot ~width ~height ~label waves)
+
+(* Bechamel wrapper: nanoseconds per run for each named thunk *)
+let measure_ns tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped =
+    Test.make_grouped ~name:"bench" ~fmt:"%s %s"
+      (List.map
+         (fun (name, f) -> Test.make ~name (Staged.stage f))
+         tests)
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  List.map
+    (fun (name, _) ->
+      let key = "bench " ^ name in
+      match Hashtbl.find_opt results key with
+      | Some o -> (
+        match Analyze.OLS.estimates o with
+        | Some (est :: _) -> (name, est)
+        | Some [] | None -> (name, nan))
+      | None -> (name, nan))
+    tests

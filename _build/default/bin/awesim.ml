@@ -1,0 +1,368 @@
+(* awesim — command-line front end: parse a SPICE-style deck, run AWE,
+   compare against the built-in transient simulator, report poles,
+   delays, and waveforms. *)
+
+open Cmdliner
+
+let read_deck path =
+  match Circuit.Parser.parse_file path with
+  | deck -> deck
+  | exception Circuit.Parser.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let resolve_node deck node_opt =
+  let circuit = deck.Circuit.Parser.circuit in
+  let from_directive () =
+    List.find_map
+      (function
+        | Circuit.Parser.Awe_node { node; _ } -> Some node
+        | Circuit.Parser.Tran _ -> None)
+      deck.Circuit.Parser.directives
+  in
+  let name =
+    match node_opt with
+    | Some n -> n
+    | None -> (
+      match from_directive () with
+      | Some n -> n
+      | None ->
+        Printf.eprintf
+          "no output node: pass --node or add a .awe directive\n";
+        exit 2)
+  in
+  match Circuit.Netlist.find_node circuit name with
+  | Some n -> (name, n)
+  | None ->
+    Printf.eprintf "unknown node %S\n" name;
+    exit 2
+
+let resolve_order deck order_opt =
+  match order_opt with
+  | Some q -> Some q
+  | None ->
+    List.find_map
+      (function
+        | Circuit.Parser.Awe_node { order; _ } -> order
+        | Circuit.Parser.Tran _ -> None)
+      deck.Circuit.Parser.directives
+
+let resolve_tstop deck tstop_opt sys node =
+  match tstop_opt with
+  | Some t -> t
+  | None -> (
+    match
+      List.find_map
+        (function
+          | Circuit.Parser.Tran { t_stop; _ } -> Some t_stop
+          | Circuit.Parser.Awe_node _ -> None)
+        deck.Circuit.Parser.directives
+    with
+    | Some t -> t
+    | None ->
+      (* heuristic horizon: 10x the generalized Elmore delay *)
+      10. *. Float.max (Awe.elmore_equivalent sys ~node) 1e-12)
+
+let deck_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"DECK" ~doc:"SPICE-style netlist file.")
+
+let node_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "n"; "node" ] ~docv:"NODE" ~doc:"Output node name.")
+
+let order_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "q"; "order" ] ~docv:"Q" ~doc:"Approximation order.")
+
+let tstop_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "tstop" ] ~docv:"SECONDS" ~doc:"Time horizon.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "samples" ] ~docv:"N" ~doc:"Waveform samples.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the waveform(s) as CSV.")
+
+let pp_pole ppf (p : Linalg.Cx.t) =
+  if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%.5e" p.Linalg.Cx.re
+  else Format.fprintf ppf "%.5e %+.5ej" p.Linalg.Cx.re p.Linalg.Cx.im
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
+    threshold shift =
+  let deck = read_deck deck_path in
+  let name, node = resolve_node deck node_opt in
+  let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+  let options = { Awe.default_options with Awe.expansion_shift = shift } in
+  let a, err =
+    match resolve_order deck order_opt with
+    | Some q ->
+      let a = Awe.approximate ~options sys ~node ~q in
+      (a, Awe.error_estimate ~options sys ~node ~q)
+    | None -> Awe.auto ~options sys ~node
+  in
+  let t_stop = resolve_tstop deck tstop_opt sys node in
+  Format.printf "node %s: order %d approximation@." name a.Awe.q;
+  Format.printf "error estimate: %.3g%%@." (100. *. err);
+  Format.printf "steady state: %.6g V@." (Awe.steady_state a);
+  Format.printf "poles (dominant first):@.";
+  List.iter (fun p -> Format.printf "  %a@." pp_pole p) (Awe.poles a);
+  (match threshold with
+  | Some th -> (
+    match Awe.delay a ~threshold:th ~t_max:t_stop with
+    | Some t -> Format.printf "delay to %.3g V: %.6g s@." th t
+    | None -> Format.printf "threshold %.3g V never crossed@." th)
+  | None -> ());
+  let wa = Awe.waveform a ~t_stop ~samples in
+  if compare then begin
+    let r = Transim.Transient.simulate sys ~t_stop ~steps:(8 * samples) in
+    let ws = Transim.Transient.node_waveform r node in
+    Format.printf "relative L2 error vs simulation: %.3g%%@."
+      (100. *. Waveform.relative_l2_error ws wa);
+    print_string
+      (Waveform.ascii_plot ~label:"awe (*) vs simulation (+)" [ wa; ws ]);
+    match csv with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Waveform.pair_to_csv ~labels:("awe", "sim") wa ws);
+      close_out oc;
+      Format.printf "wrote %s@." file
+    | None -> ()
+  end
+  else begin
+    print_string (Waveform.ascii_plot ~label:"awe approximation" [ wa ]);
+    match csv with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Waveform.to_csv wa);
+      close_out oc;
+      Format.printf "wrote %s@." file
+    | None -> ()
+  end
+
+let cmd_poles deck_path node_opt order_opt actual =
+  let deck = read_deck deck_path in
+  let name, node = resolve_node deck node_opt in
+  let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+  let q = Option.value ~default:2 (resolve_order deck order_opt) in
+  (match Awe.approximate sys ~node ~q with
+  | a ->
+    Format.printf "AWE order-%d poles at %s:@." q name;
+    List.iter2
+      (fun p (_, k) ->
+        Format.printf "  pole %a   residue %a@." pp_pole p pp_pole k)
+      (Awe.poles a) (Awe.residues a);
+    (match Awe.Approx.zeros a.Awe.base with
+    | [] -> ()
+    | zs ->
+      Format.printf "model zeros:@.";
+      List.iter (fun z -> Format.printf "  %a@." pp_pole z) zs
+    | exception Invalid_argument _ -> ())
+  | exception Awe.Unstable_fit ps ->
+    Format.printf "order %d fit is unstable (poles:" q;
+    List.iter (Format.printf " %a" pp_pole) ps;
+    Format.printf "); increase the order@."
+  | exception Awe.Degenerate msg ->
+    Format.printf "order %d fit is degenerate: %s@." q msg);
+  if actual then begin
+    let g = Circuit.Mna.g sys and c = Circuit.Mna.c sys in
+    let f = Linalg.Lu.factor g in
+    let n = Circuit.Mna.size sys in
+    let m = Linalg.Matrix.create n n in
+    for j = 0 to n - 1 do
+      let col = Linalg.Lu.solve f (Linalg.Matrix.col c j) in
+      for i = 0 to n - 1 do
+        m.(i).(j) <- -.col.(i)
+      done
+    done;
+    Format.printf "actual circuit poles:@.";
+    List.iter
+      (fun p -> Format.printf "  %a@." pp_pole p)
+      (Linalg.Eigen.circuit_poles m)
+  end
+
+let cmd_sim deck_path node_opt tstop_opt samples csv =
+  let deck = read_deck deck_path in
+  let name, node = resolve_node deck node_opt in
+  let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+  let t_stop = resolve_tstop deck tstop_opt sys node in
+  let r = Transim.Transient.simulate sys ~t_stop ~steps:(8 * samples) in
+  let w = Transim.Transient.node_waveform r node in
+  Format.printf "transient at %s over %.4g s@." name t_stop;
+  (match Waveform.delay_50pct w with
+  | Some d -> Format.printf "50%% delay: %.6g s@." d
+  | None -> ());
+  print_string (Waveform.ascii_plot ~label:("v(" ^ name ^ ")") [ w ]);
+  match csv with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Waveform.to_csv w);
+    close_out oc;
+    Format.printf "wrote %s@." file
+  | None -> ()
+
+let cmd_moments deck_path node_opt count =
+  let deck = read_deck deck_path in
+  let name, node = resolve_node deck node_opt in
+  let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+  let out_var = Circuit.Mna.node_var sys node in
+  let engine = Awe.Moments.make sys in
+  let op0 = Circuit.Dc.initial sys in
+  let op0p = Circuit.Dc.at_zero_plus sys op0 in
+  let prob = Awe.Moments.base_problem engine op0p in
+  let mu = Awe.Moments.mu (Awe.Moments.vectors engine prob ~count) ~out_var in
+  Format.printf "moment power sums at %s (mu_j = sum_l k_l z_l^j):@." name;
+  Array.iteri (fun j v -> Format.printf "  mu_%d = %.12e@." j v) mu;
+  if Float.abs mu.(0) > 1e-300 && count > 1 then
+    Format.printf "generalized Elmore delay -mu_1/mu_0 = %.6g s@."
+      (-.(mu.(1) /. mu.(0)))
+
+let cmd_timing design_path model =
+  let design =
+    match Sta.Design_file.parse_file design_path with
+    | d -> d
+    | exception Sta.Design_file.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" design_path line msg;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let model =
+    match String.lowercase_ascii model with
+    | "elmore" -> Sta.Elmore_model
+    | "auto" -> Sta.Awe_auto
+    | s -> (
+      match int_of_string_opt s with
+      | Some q when q >= 1 -> Sta.Awe_model q
+      | _ ->
+        Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
+        exit 2)
+  in
+  match Sta.analyze ~model design with
+  | report -> Format.printf "%a@." Sta.pp_report report
+  | exception Sta.Not_a_dag nets ->
+    Printf.eprintf "combinational cycle through: %s\n"
+      (String.concat ", " nets);
+    exit 1
+  | exception Sta.Malformed msg ->
+    Printf.eprintf "malformed design: %s\n" msg;
+    exit 1
+
+let cmd_elmore deck_path =
+  let deck = read_deck deck_path in
+  let circuit = deck.Circuit.Parser.circuit in
+  match Awe.Elmore.delays circuit with
+  | tds ->
+    Format.printf "Elmore delays:@.";
+    Array.iteri
+      (fun node td ->
+        if node <> Circuit.Element.ground && tds.(node) > 0. then
+          Format.printf "  %-10s %.6g s@."
+            (Circuit.Netlist.node_name circuit node)
+            td)
+      tds
+  | exception Invalid_argument msg ->
+    Format.printf "not an RC tree (%s); falling back to moment-based delays@."
+      msg;
+    let sys = Circuit.Mna.build circuit in
+    for node = 1 to circuit.Circuit.Netlist.node_count - 1 do
+      match Awe.elmore_equivalent sys ~node with
+      | td ->
+        Format.printf "  %-10s %.6g s@."
+          (Circuit.Netlist.node_name circuit node)
+          td
+      | exception _ -> ()
+    done
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_t =
+  let compare =
+    Arg.(value & flag & info [ "compare" ] ~doc:"Also run the simulator.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"VOLTS" ~doc:"Report delay to a level.")
+  in
+  let shift =
+    Arg.(
+      value & opt float 0.
+      & info [ "shift" ] ~docv:"RAD/S"
+          ~doc:"Moment expansion point s0 (default 0, the paper's choice).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"AWE-approximate a node's response")
+    Term.(
+      const cmd_analyze $ deck_arg $ node_arg $ order_arg $ tstop_arg
+      $ samples_arg $ csv_arg $ compare $ threshold $ shift)
+
+let poles_t =
+  let actual =
+    Arg.(
+      value & flag
+      & info [ "actual" ] ~doc:"Also print the exact circuit poles.")
+  in
+  Cmd.v
+    (Cmd.info "poles" ~doc:"Print AWE poles and residues")
+    Term.(const cmd_poles $ deck_arg $ node_arg $ order_arg $ actual)
+
+let sim_t =
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run the built-in transient simulator")
+    Term.(
+      const cmd_sim $ deck_arg $ node_arg $ tstop_arg $ samples_arg $ csv_arg)
+
+let elmore_t =
+  Cmd.v
+    (Cmd.info "elmore" ~doc:"Print per-node Elmore delays")
+    Term.(const cmd_elmore $ deck_arg)
+
+let moments_t =
+  let count =
+    Arg.(
+      value & opt int 6
+      & info [ "count" ] ~docv:"N" ~doc:"Number of moments to print.")
+  in
+  Cmd.v
+    (Cmd.info "moments" ~doc:"Print the raw moment sequence at a node")
+    Term.(const cmd_moments $ deck_arg $ node_arg $ count)
+
+let timing_t =
+  let model =
+    Arg.(
+      value & opt string "auto"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:"Net delay model: elmore, auto, or a fixed AWE order.")
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
+    Term.(const cmd_timing $ deck_arg $ model)
+
+let () =
+  let doc = "asymptotic waveform evaluation for timing analysis" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "awesim" ~version:"1.0.0" ~doc)
+          [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t ]))

@@ -1,0 +1,25 @@
+* Charge sharing: C6 precharged to 5 V, input held low (Figs. 20-21)
+vin in 0 dc 0
+r1 in n1 100
+r2 n1 n2 200
+r3 n2 n3 200
+r4 n1 n4 1k
+r5 n3 n5 300
+r6 n3 n6 500
+r7 n5 n7 200
+r8 n5 n8 50
+r9 n7 n9 400
+r10 n9 n10 600
+c1 n1 0 42f ic=0
+c2 n2 0 85f ic=0
+c3 n3 0 128f ic=0
+c4 n4 0 17f ic=0
+c5 n5 0 170f ic=0
+c6 n6 0 340f ic=5
+c7 n7 0 212f ic=0
+c8 n8 0 0.85f ic=0
+c9 n9 0 68f ic=0
+c10 n10 0 25f ic=0
+.tran 5n
+.awe n7 3
+.end

@@ -1,0 +1,22 @@
+* Two magnetically and capacitively coupled PCB traces: the aggressor
+* switches, the victim is terminated; K elements couple the inductors.
+vagg asrc 0 ramp(0 5 0 100p)
+rdrva asrc a0 30
+la1 a0 a1 4n
+ca1 a1 0 0.8p
+la2 a1 a2 4n
+ca2 a2 0 0.8p
+rterm_a a2 0 70
+rdrvv v0 0 60
+lv1 v0 v1 4n
+cv1 v1 0 0.8p
+lv2 v1 v2 4n
+cv2 v2 0 0.8p
+rterm_v v2 0 70
+cc1 a1 v1 0.15p
+cc2 a2 v2 0.15p
+k1 la1 lv1 0.35
+k2 la2 lv2 0.35
+.tran 4n
+.awe v2 8
+.end

@@ -1,0 +1,25 @@
+* Paper Fig. 16 - stiff MOS-interconnect RC tree, 1 ns input ramp
+vin in 0 ramp(0 5 0 1n)
+r1 in n1 100
+r2 n1 n2 200
+r3 n2 n3 200
+r4 n1 n4 1k
+r5 n3 n5 300
+r6 n3 n6 500
+r7 n5 n7 200
+r8 n5 n8 50
+r9 n7 n9 400
+r10 n9 n10 600
+c1 n1 0 42f
+c2 n2 0 85f
+c3 n3 0 128f
+c4 n4 0 17f
+c5 n5 0 170f
+c6 n6 0 340f
+c7 n7 0 212f
+c8 n8 0 0.85f
+c9 n9 0 68f
+c10 n10 0 25f
+.tran 6n
+.awe n7 2
+.end

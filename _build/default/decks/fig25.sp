@@ -1,0 +1,12 @@
+* Paper Fig. 25 - underdamped RLC ladder with complex pole pairs
+vin in 0 step(0 5)
+r1 in m1 45
+l1 m1 n1 7n
+c1 n1 0 1p
+l2 n1 n2 10n
+c2 n2 0 1.8p
+l3 n2 n3 16n
+c3 n3 0 4.4p
+.tran 10n
+.awe n3 4
+.end

@@ -1,0 +1,13 @@
+* Paper Fig. 4 - four-section RC tree, 5 V step (values per DESIGN.md)
+vin in 0 step(0 5)
+r1 in n1 1k
+c1 n1 0 0.1u
+r2 n1 n2 1k
+c2 n2 0 0.1u
+r3 n1 n3 1k
+c3 n3 0 0.1u
+r4 n3 n4 1k
+c4 n4 0 0.1u
+.tran 5m
+.awe n4 2
+.end

@@ -1,0 +1,14 @@
+* Paper Fig. 9 - the Fig. 4 tree with a grounded resistor at the output
+vin in 0 step(0 5)
+r1 in n1 1k
+c1 n1 0 0.1u
+r2 n1 n2 1k
+c2 n2 0 0.1u
+r3 in n3 1k
+c3 n3 0 0.1u
+r4 n3 n4 1k
+c4 n4 0 0.1u
+r5 n4 0 4k
+.tran 4m
+.awe n4 1
+.end

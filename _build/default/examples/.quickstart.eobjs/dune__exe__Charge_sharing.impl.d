@@ -1,0 +1,1 @@
+examples/charge_sharing.ml: Awe Circuit List Mna Printf Samples Transim Waveform

@@ -1,0 +1,1 @@
+examples/charge_sharing.mli:

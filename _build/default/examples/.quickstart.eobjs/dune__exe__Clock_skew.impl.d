@@ -1,0 +1,1 @@
+examples/clock_skew.ml: Array Awe Circuit Element Float List Mna Netlist Option Printf Transim Waveform

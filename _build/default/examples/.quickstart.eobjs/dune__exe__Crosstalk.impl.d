@@ -1,0 +1,1 @@
+examples/crosstalk.ml: Array Awe Circuit Element Float List Mna Netlist Printf Transim Waveform

@@ -1,0 +1,1 @@
+examples/mos_interconnect.ml: Array Awe Circuit Element Float Linalg List Mna Printf Samples Transim Waveform

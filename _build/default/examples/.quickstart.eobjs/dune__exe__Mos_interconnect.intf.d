@@ -1,0 +1,1 @@
+examples/mos_interconnect.mli:

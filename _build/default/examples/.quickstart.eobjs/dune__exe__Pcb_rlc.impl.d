@@ -1,0 +1,1 @@
+examples/pcb_rlc.ml: Array Awe Circuit Element Linalg List Mna Printf Samples Transim Waveform

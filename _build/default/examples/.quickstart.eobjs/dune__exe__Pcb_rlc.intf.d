@@ -1,0 +1,1 @@
+examples/pcb_rlc.mli:

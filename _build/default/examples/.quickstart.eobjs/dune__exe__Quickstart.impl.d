@@ -1,0 +1,1 @@
+examples/quickstart.ml: Awe Circuit Element Linalg Mna Netlist Printf Transim Waveform

@@ -1,0 +1,88 @@
+(* Crosstalk between coupled interconnect lines: the "coupling
+   capacitance cannot always be neglected" scenario of the paper's
+   introduction and Section 5.3, on a larger structure — two parallel
+   five-segment RC lines coupled by floating capacitors along their
+   length.  The aggressor switches; the victim is held low by its
+   driver and picks up a noise pulse through the coupling.
+
+   Uses Awe.Batch to evaluate every node of both lines from a single
+   moment computation.
+
+   Run with:  dune exec examples/crosstalk.exe *)
+
+open Circuit
+
+let segments = 5
+
+let build () =
+  let b = Netlist.create () in
+  (* aggressor: driven by a fast 5 V ramp through its driver resistance *)
+  Netlist.add_v b "vagg" "asrc" "0"
+    (Element.Ramp { v0 = 0.; v1 = 5.; t_delay = 0.; t_rise = 100e-12 });
+  Netlist.add_r b "rdrv_a" "asrc" "a0" 250.;
+  (* victim: its driver holds it at 0 V (low-impedance path to ground) *)
+  Netlist.add_r b "rdrv_v" "v0" "0" 400.;
+  for k = 1 to segments do
+    let prev s = Printf.sprintf "%s%d" s (k - 1) in
+    let cur s = Printf.sprintf "%s%d" s k in
+    Netlist.add_r b (Printf.sprintf "ra%d" k) (prev "a") (cur "a") 120.;
+    Netlist.add_c b (Printf.sprintf "ca%d" k) (cur "a") "0" 40e-15;
+    Netlist.add_r b (Printf.sprintf "rv%d" k) (prev "v") (cur "v") 120.;
+    Netlist.add_c b (Printf.sprintf "cv%d" k) (cur "v") "0" 40e-15;
+    (* coupling capacitor between the facing segments *)
+    Netlist.add_c b (Printf.sprintf "cc%d" k) (cur "a") (cur "v") 25e-15
+  done;
+  let agg_end = Netlist.node b (Printf.sprintf "a%d" segments) in
+  let vic_end = Netlist.node b (Printf.sprintf "v%d" segments) in
+  let vic_nodes =
+    List.init segments (fun k -> Netlist.node b (Printf.sprintf "v%d" (k + 1)))
+  in
+  (Netlist.freeze b, agg_end, vic_end, vic_nodes)
+
+let () =
+  let circuit, agg_end, vic_end, vic_nodes = build () in
+  let sys = Mna.build circuit in
+  Printf.printf "coupled lines: %d nodes, %d elements\n"
+    circuit.Netlist.node_count
+    (Netlist.element_count circuit);
+
+  (* aggressor delay with the coupling load *)
+  let a_agg = Awe.approximate sys ~node:agg_end ~q:3 in
+  (match Awe.delay a_agg ~threshold:2.5 ~t_max:3e-9 with
+  | Some d -> Printf.printf "aggressor 50%% delay: %.1f ps\n" (d *. 1e12)
+  | None -> ());
+
+  (* victim noise along the line, all nodes from one batched analysis *)
+  let results = Awe.Batch.approximate_all sys ~nodes:vic_nodes ~q:4 in
+  Printf.printf "victim noise peak along the line:\n";
+  List.iteri
+    (fun k r ->
+      match r.Awe.Batch.outcome with
+      | Awe.Batch.Approximation a ->
+        let w = Awe.waveform a ~t_stop:3e-9 ~samples:3000 in
+        let peak = Array.fold_left Float.max neg_infinity w.Waveform.values in
+        Printf.printf "  v%d: %.1f mV\n" (k + 1) (peak *. 1e3)
+      | Awe.Batch.Failed msg -> Printf.printf "  v%d: %s\n" (k + 1) msg)
+    results;
+
+  (* compare the far-end victim pulse against the simulator *)
+  let r = Transim.Transient.simulate sys ~t_stop:3e-9 ~steps:6000 in
+  let wex = Transim.Transient.node_waveform r vic_end in
+  let a_vic =
+    match
+      List.find
+        (fun r -> r.Awe.Batch.node = vic_end)
+        results
+    with
+    | { Awe.Batch.outcome = Awe.Batch.Approximation a; _ } -> a
+    | _ -> failwith "victim approximation failed"
+  in
+  let wap = Awe.waveform a_vic ~t_stop:3e-9 ~samples:6001 in
+  Printf.printf "far-end victim: AWE vs simulation max error %.2f mV\n"
+    (Waveform.max_abs_error wex wap *. 1e3);
+  Printf.printf "victim pulse returns to zero: final %.3f mV\n"
+    (Waveform.final_value wex *. 1e3);
+  print_string
+    (Waveform.ascii_plot ~width:64 ~height:14
+       ~label:"far-end victim noise: AWE q4 (*) vs simulation (+)"
+       [ wap; wex ])

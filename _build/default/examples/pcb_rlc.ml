@@ -1,0 +1,64 @@
+(* Printed-circuit-board interconnect (paper, Section 5.4): an
+   underdamped RLC ladder whose response rings.  A single time constant
+   is useless here; AWE escalates the order until the complex pole
+   pairs are captured.
+
+   Run with:  dune exec examples/pcb_rlc.exe *)
+
+open Circuit
+
+let transient_error exact approx =
+  let vf = Waveform.final_value exact in
+  Waveform.l2_error exact approx
+  /. Waveform.l2_norm
+       (Waveform.create exact.Waveform.times
+          (Array.map (fun v -> v -. vf) exact.Waveform.values))
+
+let () =
+  let f = Samples.fig25 () in
+  let sys = Mna.build f.Samples.circuit in
+  let out = f.Samples.out in
+  let r = Transim.Transient.simulate sys ~t_stop:10e-9 ~steps:10000 in
+  let exact = Transim.Transient.node_waveform r out in
+  Printf.printf "step response overshoot: %.2f V over the 5 V final value\n"
+    (Waveform.overshoot exact);
+
+  List.iter
+    (fun q ->
+      match Awe.approximate sys ~node:out ~q with
+      | a ->
+        let w = Awe.waveform a ~t_stop:10e-9 ~samples:10001 in
+        Printf.printf "order %d: %d poles (%d complex), transient error %.1f%%\n"
+          q (List.length (Awe.poles a))
+          (List.length
+             (List.filter (fun (p : Linalg.Cx.t) -> p.Linalg.Cx.im <> 0.)
+                (Awe.poles a)))
+          (100. *. transient_error exact w)
+      | exception Awe.Unstable_fit _ ->
+        Printf.printf "order %d: unstable fit, escalate\n" q
+      | exception Awe.Degenerate _ ->
+        Printf.printf "order %d: degenerate fit, escalate\n" q)
+    [ 1; 2; 4; 6 ];
+
+  let a4 = Awe.approximate sys ~node:out ~q:4 in
+  print_string
+    (Waveform.ascii_plot ~width:64 ~height:16
+       ~label:"underdamped RLC: AWE q4 (*) vs simulation (+)"
+       [ Awe.waveform a4 ~t_stop:10e-9 ~samples:1200; exact ]);
+
+  (* a finite input rise time damps the high-frequency ringing so a
+     lower order suffices (paper, Fig. 27) *)
+  Printf.printf "\n== 1 ns input rise time ==\n";
+  let ramp =
+    Element.Ramp { v0 = 0.; v1 = 5.; t_delay = 0.; t_rise = 1e-9 }
+  in
+  let fr = Samples.fig25 ~wave:ramp () in
+  let sys_r = Mna.build fr.Samples.circuit in
+  let rr = Transim.Transient.simulate sys_r ~t_stop:10e-9 ~steps:10000 in
+  let exact_r = Transim.Transient.node_waveform rr fr.Samples.out in
+  let a2r = Awe.approximate sys_r ~node:fr.Samples.out ~q:2 in
+  let w2r = Awe.waveform a2r ~t_stop:10e-9 ~samples:10001 in
+  Printf.printf "order 2 with ramp input: transient error %.1f%%\n"
+    (100. *. transient_error exact_r w2r);
+  Printf.printf "overshoot shrinks from %.2f V (step) to %.2f V (ramp)\n"
+    (Waveform.overshoot exact) (Waveform.overshoot exact_r)

@@ -1,0 +1,59 @@
+(* Quickstart: build an RC tree, approximate a node response with AWE,
+   and check it against the built-in transient simulator.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Circuit
+
+let () =
+  (* the paper's Fig. 4 tree: a 5 V step driving four RC sections *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" (Element.Step { v0 = 0.; v1 = 5. });
+  Netlist.add_r b "r1" "in" "n1" 1e3;
+  Netlist.add_c b "c1" "n1" "0" 0.1e-6;
+  Netlist.add_r b "r2" "n1" "n2" 1e3;
+  Netlist.add_c b "c2" "n2" "0" 0.1e-6;
+  Netlist.add_r b "r3" "n1" "n3" 1e3;
+  Netlist.add_c b "c3" "n3" "0" 0.1e-6;
+  Netlist.add_r b "r4" "n3" "n4" 1e3;
+  Netlist.add_c b "c4" "n4" "0" 0.1e-6;
+  let out = Netlist.node b "n4" in
+  let circuit = Netlist.freeze b in
+
+  (* assemble the MNA system once; AWE and the simulator share it *)
+  let sys = Mna.build circuit in
+
+  (* first-order AWE: the Elmore delay as a single pole (paper, S IV) *)
+  let a1 = Awe.approximate sys ~node:out ~q:1 in
+  (match Awe.poles a1 with
+  | [ p ] ->
+    Printf.printf "first-order pole: %.1f 1/s  (Elmore delay %.2g s)\n"
+      p.Linalg.Cx.re
+      (Awe.elmore_equivalent sys ~node:out)
+  | _ -> assert false);
+
+  (* second order is usually visually indistinguishable from SPICE *)
+  let a2 = Awe.approximate sys ~node:out ~q:2 in
+  Printf.printf "order-2 error estimate: %.2f%%\n"
+    (100. *. Awe.error_estimate sys ~node:out ~q:2);
+
+  (* or let AWE pick the order *)
+  let auto, err = Awe.auto ~tol:0.01 sys ~node:out in
+  Printf.printf "auto selected order %d (error estimate %.2f%%)\n"
+    auto.Awe.q (100. *. err);
+
+  (* delay to a 4.0 V logic threshold *)
+  (match Awe.delay a2 ~threshold:4.0 ~t_max:5e-3 with
+  | Some d -> Printf.printf "delay to 4.0 V: %.4g s\n" d
+  | None -> print_endline "threshold not crossed");
+
+  (* validate against the transient simulator *)
+  let r = Transim.Transient.simulate sys ~t_stop:5e-3 ~steps:4000 in
+  let exact = Transim.Transient.node_waveform r out in
+  let approx = Awe.waveform a2 ~t_stop:5e-3 ~samples:4001 in
+  Printf.printf "relative L2 error vs simulation: %.3f%%\n"
+    (100. *. Waveform.relative_l2_error exact approx);
+  print_string
+    (Waveform.ascii_plot ~width:64 ~height:16
+       ~label:"v(n4): AWE order 2 (*) vs simulation (+)"
+       [ approx; exact ])

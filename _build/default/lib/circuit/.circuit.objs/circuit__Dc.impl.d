@@ -1,0 +1,1 @@
+lib/circuit/dc.ml: Array Element Hashtbl Linalg List Mna Netlist String Vec

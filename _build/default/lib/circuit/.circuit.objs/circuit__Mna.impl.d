@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Cholesky Element Linalg List Lu Matrix Netlist Sparse String Topology Vec

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Element Float Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Array Buffer Char Element Fun Hashtbl List Netlist Option Printf String

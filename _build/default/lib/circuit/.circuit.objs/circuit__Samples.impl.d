@@ -1,0 +1,1 @@
+lib/circuit/samples.ml: Array Element Netlist Printf Random

@@ -1,0 +1,1 @@
+lib/circuit/samples.mli: Element Netlist

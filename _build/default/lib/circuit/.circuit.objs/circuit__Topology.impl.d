@@ -1,0 +1,1 @@
+lib/circuit/topology.ml: Array Element Format Hashtbl List Netlist Sparse

@@ -1,0 +1,202 @@
+open Linalg
+
+type op = {
+  x : Vec.t;
+  cap_v : (int * float) array;
+  cap_i : (int * float) array;
+  ind_i : (int * float) array;
+  ind_v : (int * float) array;
+}
+
+(* Build the auxiliary DC circuit: sources frozen to [source_value],
+   capacitors pinned (voltage source) or open, inductors pinned
+   (current source) or shorted (0 V source). *)
+let build_aux (ckt : Netlist.circuit) ~source_value ~cap_pin ~ind_pin =
+  let baux = Netlist.create () in
+  (* intern nodes in the original order so ids coincide *)
+  Array.iteri
+    (fun i name -> if i > 0 then ignore (Netlist.node baux name))
+    ckt.Netlist.node_names;
+  let name_of node = ckt.Netlist.node_names.(node) in
+  Array.iteri
+    (fun idx e ->
+      match e with
+      | Element.Resistor { name; np; nn; r } ->
+        Netlist.add_r baux name (name_of np) (name_of nn) r
+      | Element.Capacitor { name; np; nn; _ } -> (
+        match cap_pin idx e with
+        | Some v ->
+          Netlist.add_v baux name (name_of np) (name_of nn) (Element.Dc v)
+        | None -> ())
+      | Element.Inductor { name; np; nn; _ } -> (
+        match ind_pin idx e with
+        | Some i ->
+          Netlist.add_i baux name (name_of np) (name_of nn) (Element.Dc i)
+        | None ->
+          Netlist.add_v baux name (name_of np) (name_of nn) (Element.Dc 0.))
+      | Element.Vsource { name; np; nn; wave } ->
+        Netlist.add_v baux name (name_of np) (name_of nn)
+          (Element.Dc (source_value wave))
+      | Element.Isource { name; np; nn; wave } ->
+        Netlist.add_i baux name (name_of np) (name_of nn)
+          (Element.Dc (source_value wave))
+      | Element.Vcvs { name; np; nn; cp; cn; gain } ->
+        Netlist.add_vcvs baux name (name_of np) (name_of nn) (name_of cp)
+          (name_of cn) gain
+      | Element.Vccs { name; np; nn; cp; cn; gm } ->
+        Netlist.add_vccs baux name (name_of np) (name_of nn) (name_of cp)
+          (name_of cn) gm
+      | Element.Ccvs { name; np; nn; vctrl; r } ->
+        Netlist.add_ccvs baux name (name_of np) (name_of nn) vctrl r
+      | Element.Cccs { name; np; nn; vctrl; gain } ->
+        Netlist.add_cccs baux name (name_of np) (name_of nn) vctrl gain
+      | Element.Mutual _ ->
+        (* no DC effect: coupled voltage is M di/dt = 0 at a DC point *)
+        ())
+    ckt.Netlist.elements;
+  Netlist.freeze baux
+
+(* Inductors pinned as current sources in a circuit whose controlled
+   sources reference a voltage source by name still type-check because
+   the referenced V sources are preserved by name. *)
+
+let solve_aux aux =
+  let maux = Mna.build ~floating:`Pin_to_zero aux in
+  let solver = Mna.dc_factor maux in
+  let rhs = Linalg.Matrix.mul_vec (Mna.b maux) (Mna.u_at maux 0.) in
+  let charges = Array.make (Mna.charge_group_count maux) 0. in
+  let x = Mna.dc_solve solver ~rhs ~charges in
+  (maux, x)
+
+let extract (m : Mna.t) (maux : Mna.t) (xaux : Vec.t) ~ind_current =
+  let ckt = Mna.circuit m in
+  let aux_ckt = Mna.circuit maux in
+  let vnode node = Mna.voltage maux xaux node in
+  (* current through a named aux element that has a branch variable *)
+  let aux_branch_current name =
+    let key = String.lowercase_ascii name in
+    let result = ref None in
+    Array.iteri
+      (fun idx e ->
+        if String.lowercase_ascii (Element.name e) = key then
+          match Mna.branch_var maux idx with
+          | Some bv -> result := Some xaux.(bv)
+          | None -> ())
+      aux_ckt.Netlist.elements;
+    !result
+  in
+  let x = Vec.create (Mna.size m) in
+  (* node voltages share ids between main and aux *)
+  for node = 1 to ckt.Netlist.node_count - 1 do
+    let v = Mna.node_var m node in
+    if v >= 0 then x.(v) <- vnode node
+  done;
+  let cap_v = ref [] and cap_i = ref [] in
+  let ind_i = ref [] and ind_v = ref [] in
+  Array.iteri
+    (fun idx e ->
+      match e with
+      | Element.Capacitor { name; np; nn; _ } ->
+        cap_v := (idx, vnode np -. vnode nn) :: !cap_v;
+        let i = match aux_branch_current name with Some i -> i | None -> 0. in
+        cap_i := (idx, i) :: !cap_i
+      | Element.Inductor { name; np; nn; _ } ->
+        let i =
+          match ind_current idx with
+          | Some i -> i (* pinned value *)
+          | None -> (
+            match aux_branch_current name with Some i -> i | None -> 0.)
+        in
+        ind_i := (idx, i) :: !ind_i;
+        ind_v := (idx, vnode np -. vnode nn) :: !ind_v;
+        (match Mna.branch_var m idx with
+        | Some bv -> x.(bv) <- i
+        | None -> ())
+      | Element.Vsource { name; _ }
+      | Element.Vcvs { name; _ }
+      | Element.Ccvs { name; _ } -> (
+        match (Mna.branch_var m idx, aux_branch_current name) with
+        | Some bv, Some i -> x.(bv) <- i
+        | _ -> ())
+      | Element.Resistor _ | Element.Isource _ | Element.Vccs _
+      | Element.Cccs _ | Element.Mutual _ -> ())
+    ckt.Netlist.elements;
+  { x;
+    cap_v = Array.of_list (List.rev !cap_v);
+    cap_i = Array.of_list (List.rev !cap_i);
+    ind_i = Array.of_list (List.rev !ind_i);
+    ind_v = Array.of_list (List.rev !ind_v) }
+
+let initial m =
+  let ckt = Mna.circuit m in
+  let attempt ~uic =
+    let pins_i = Hashtbl.create 8 in
+    let aux =
+      build_aux ckt
+        ~source_value:(fun wave -> (Element.canonicalize wave).Element.pre)
+        ~cap_pin:(fun _ e ->
+          match e with Element.Capacitor { ic; _ } -> ic | _ -> None)
+        ~ind_pin:(fun idx e ->
+          match e with
+          | Element.Inductor { ic = Some i; _ } ->
+            Hashtbl.replace pins_i idx i;
+            Some i
+          | Element.Inductor { ic = None; _ } when uic ->
+            Hashtbl.replace pins_i idx 0.;
+            Some 0.
+          | _ -> None)
+    in
+    let maux, xaux = solve_aux aux in
+    extract m maux xaux ~ind_current:(fun idx -> Hashtbl.find_opt pins_i idx)
+  in
+  (* a capacitor initial condition can contradict the DC inductor short
+     (e.g. a charged LC tank); fall back to UIC semantics where
+     unspecified inductor currents start at zero *)
+  try attempt ~uic:false with Mna.Singular_dc -> attempt ~uic:true
+
+let at_zero_plus m (op0 : op) =
+  let ckt = Mna.circuit m in
+  let cap_v = Hashtbl.create 8 and ind_i = Hashtbl.create 8 in
+  Array.iter (fun (idx, v) -> Hashtbl.replace cap_v idx v) op0.cap_v;
+  Array.iter (fun (idx, i) -> Hashtbl.replace ind_i idx i) op0.ind_i;
+  (* Pinning every capacitor as a voltage source creates source loops
+     whenever the capacitive graph has a cycle (e.g. a coupling path
+     C_out->victim->ground in parallel with the grounded output cap).
+     Pin only a spanning forest of the capacitive graph; the voltages
+     of cycle-closing capacitors are implied by the 0- node voltages,
+     so nothing is lost. *)
+  let n = ckt.Netlist.node_count in
+  let dsu = Array.init n (fun i -> i) in
+  let rec find i = if dsu.(i) = i then i else find dsu.(i) in
+  let union a b = dsu.(find a) <- find b in
+  let pinned = Hashtbl.create 8 in
+  (* voltage-defined elements already fix their node pair; a capacitor
+     across one would form a source loop too *)
+  Array.iter
+    (fun e ->
+      match e with
+      | Element.Vsource { np; nn; _ }
+      | Element.Vcvs { np; nn; _ }
+      | Element.Ccvs { np; nn; _ } -> if find np <> find nn then union np nn
+      | _ -> ())
+    ckt.Netlist.elements;
+  Array.iteri
+    (fun idx e ->
+      match e with
+      | Element.Capacitor { np; nn; _ } ->
+        if find np <> find nn then begin
+          union np nn;
+          Hashtbl.replace pinned idx ()
+        end
+      | _ -> ())
+    ckt.Netlist.elements;
+  let aux =
+    build_aux ckt
+      ~source_value:(fun wave -> (Element.canonicalize wave).Element.v0)
+      ~cap_pin:(fun idx _ ->
+        if Hashtbl.mem pinned idx then Some (Hashtbl.find cap_v idx)
+        else None)
+      ~ind_pin:(fun idx _ -> Some (Hashtbl.find ind_i idx))
+  in
+  let maux, xaux = solve_aux aux in
+  extract m maux xaux ~ind_current:(fun idx -> Hashtbl.find_opt ind_i idx)

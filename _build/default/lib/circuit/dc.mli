@@ -1,0 +1,40 @@
+(** Operating-point analysis.
+
+    AWE needs two DC-type solutions before any moment is computed
+    (paper, eq. 8): the state at [t = 0-] (sources at their pre-step
+    values, explicit initial conditions enforced) fixing every capacitor
+    voltage and inductor current, and the consistent solution at
+    [t = 0+] (sources stepped, storage elements pinned to their 0-
+    state) fixing the algebraic MNA variables.
+
+    Both are computed on an auxiliary DC circuit in which capacitors
+    become voltage sources (when pinned) or opens, and inductors become
+    current sources (when pinned) or shorts — exactly the paper's
+    "capacitors replaced by current sources / voltage sources"
+    construction of Figs. 5 and 11.  Nodes left floating by the
+    substitution (a capacitor-only island with no initial condition)
+    default to 0 V. *)
+
+type op = {
+  x : Linalg.Vec.t;
+      (** solution mapped onto the main MNA unknown layout: node
+          voltages and branch currents *)
+  cap_v : (int * float) array;
+      (** capacitor element index -> voltage [v(np) - v(nn)] *)
+  cap_i : (int * float) array;
+      (** capacitor element index -> current [np -> nn]; zero at an
+          equilibrium 0- point, generally nonzero at 0+ *)
+  ind_i : (int * float) array;  (** inductor element index -> current *)
+  ind_v : (int * float) array;  (** inductor element index -> voltage *)
+}
+
+val initial : Mna.t -> op
+(** The [t = 0-] point: independent sources at their pre-transition
+    values, capacitor/inductor initial conditions enforced where given,
+    remaining capacitors open and inductors short.  Raises
+    [Mna.Singular_dc] when no unique point exists. *)
+
+val at_zero_plus : Mna.t -> op -> op
+(** The consistent [t = 0+] point: sources at their [0+] values, every
+    capacitor pinned to its voltage in the given 0- point and every
+    inductor to its current. *)

@@ -1,0 +1,191 @@
+type builder = {
+  mutable names : string list; (* reversed list of interned names *)
+  tbl : (string, int) Hashtbl.t;
+  mutable next : int;
+  mutable elems : Element.t list; (* reversed *)
+}
+
+type circuit = {
+  node_count : int;
+  elements : Element.t array;
+  node_names : string array;
+}
+
+let normalize_node_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if s = "0" || s = "gnd" || s = "ground" then "0" else s
+
+let create () =
+  let b =
+    { names = []; tbl = Hashtbl.create 16; next = 0; elems = [] }
+  in
+  (* ground is always node 0 *)
+  Hashtbl.add b.tbl "0" 0;
+  b.names <- [ "0" ];
+  b.next <- 1;
+  b
+
+let node b raw =
+  let key = normalize_node_name raw in
+  match Hashtbl.find_opt b.tbl key with
+  | Some id -> id
+  | None ->
+    let id = b.next in
+    Hashtbl.add b.tbl key id;
+    b.names <- key :: b.names;
+    b.next <- id + 1;
+    id
+
+let add b e = b.elems <- e :: b.elems
+
+let add_r b name np nn r =
+  add b (Element.Resistor { name; np = node b np; nn = node b nn; r })
+
+let add_c ?ic b name np nn c =
+  add b (Element.Capacitor { name; np = node b np; nn = node b nn; c; ic })
+
+let add_l ?ic b name np nn l =
+  add b (Element.Inductor { name; np = node b np; nn = node b nn; l; ic })
+
+let add_v b name np nn wave =
+  add b (Element.Vsource { name; np = node b np; nn = node b nn; wave })
+
+let add_i b name np nn wave =
+  add b (Element.Isource { name; np = node b np; nn = node b nn; wave })
+
+let add_vcvs b name np nn cp cn gain =
+  add b
+    (Element.Vcvs
+       { name;
+         np = node b np;
+         nn = node b nn;
+         cp = node b cp;
+         cn = node b cn;
+         gain })
+
+let add_vccs b name np nn cp cn gm =
+  add b
+    (Element.Vccs
+       { name;
+         np = node b np;
+         nn = node b nn;
+         cp = node b cp;
+         cn = node b cn;
+         gm })
+
+let add_ccvs b name np nn vctrl r =
+  add b (Element.Ccvs { name; np = node b np; nn = node b nn; vctrl; r })
+
+let add_cccs b name np nn vctrl gain =
+  add b (Element.Cccs { name; np = node b np; nn = node b nn; vctrl; gain })
+
+let add_k b name l1 l2 k = add b (Element.Mutual { name; l1; l2; k })
+
+let check_value ~what name v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Netlist: %s %s has non-finite value" what name);
+  if v <= 0. then
+    invalid_arg
+      (Printf.sprintf "Netlist: %s %s must have a positive value" what name)
+
+let freeze b =
+  let elements = Array.of_list (List.rev b.elems) in
+  if Array.length elements = 0 then invalid_arg "Netlist: empty circuit";
+  let seen = Hashtbl.create 16 in
+  let vsource_names = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      let n = String.lowercase_ascii (Element.name e) in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Netlist: duplicate element name %s" n);
+      Hashtbl.add seen n ();
+      match e with
+      | Element.Vsource { name; _ } ->
+        Hashtbl.add vsource_names (String.lowercase_ascii name) ()
+      | _ -> ())
+    elements;
+  let inductor_names = Hashtbl.create 4 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Element.Inductor { name; _ } ->
+        Hashtbl.add inductor_names (String.lowercase_ascii name) ()
+      | _ -> ())
+    elements;
+  Array.iter
+    (fun e ->
+      match e with
+      | Element.Resistor { name; r; _ } -> check_value ~what:"resistor" name r
+      | Element.Capacitor { name; c; _ } ->
+        check_value ~what:"capacitor" name c
+      | Element.Inductor { name; l; _ } -> check_value ~what:"inductor" name l
+      | Element.Ccvs { vctrl; name; _ } | Element.Cccs { vctrl; name; _ } ->
+        if not (Hashtbl.mem vsource_names (String.lowercase_ascii vctrl)) then
+          invalid_arg
+            (Printf.sprintf
+               "Netlist: %s controls through unknown voltage source %s" name
+               vctrl)
+      | Element.Mutual { name; l1; l2; k } ->
+        if k <= 0. || k >= 1. then
+          invalid_arg
+            (Printf.sprintf
+               "Netlist: coupling %s must have 0 < k < 1" name);
+        List.iter
+          (fun l ->
+            if not (Hashtbl.mem inductor_names (String.lowercase_ascii l))
+            then
+              invalid_arg
+                (Printf.sprintf "Netlist: %s couples unknown inductor %s"
+                   name l))
+          [ l1; l2 ];
+        if String.lowercase_ascii l1 = String.lowercase_ascii l2 then
+          invalid_arg
+            (Printf.sprintf "Netlist: %s couples an inductor to itself" name)
+      | Element.Vsource _ | Element.Isource _ | Element.Vcvs _
+      | Element.Vccs _ -> ())
+    elements;
+  { node_count = b.next;
+    elements;
+    node_names = Array.of_list (List.rev b.names) }
+
+let node_name c n = c.node_names.(n)
+
+let find_node c name =
+  let key = normalize_node_name name in
+  let found = ref None in
+  Array.iteri (fun i n -> if n = key then found := Some i) c.node_names;
+  !found
+
+let find_element c name =
+  let key = String.lowercase_ascii name in
+  Array.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if String.lowercase_ascii (Element.name e) = key then Some e else None)
+    None c.elements
+
+let element_count c = Array.length c.elements
+
+let filter_indexed pred c =
+  Array.to_list c.elements
+  |> List.mapi (fun i e -> (i, e))
+  |> List.filter (fun (_, e) -> pred e)
+
+let caps c =
+  filter_indexed (function Element.Capacitor _ -> true | _ -> false) c
+
+let inductors c =
+  filter_indexed (function Element.Inductor _ -> true | _ -> false) c
+
+let sources c =
+  filter_indexed
+    (function Element.Vsource _ | Element.Isource _ -> true | _ -> false)
+    c
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit: %d nodes, %d elements@," c.node_count
+    (Array.length c.elements);
+  Array.iter (fun e -> Format.fprintf ppf "  %a@," Element.pp e) c.elements;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,75 @@
+(** Netlist builder and frozen circuits.
+
+    A [builder] interns node names ("0", "gnd", "GND" all map to the
+    ground node) and accumulates elements; [freeze] validates the
+    result into an immutable [circuit] consumed by topology analysis,
+    MNA assembly, the transient simulator and AWE. *)
+
+type builder
+
+type circuit = {
+  node_count : int;  (** nodes are [0 .. node_count - 1]; 0 is ground *)
+  elements : Element.t array;
+  node_names : string array;  (** canonical name per node id *)
+}
+
+val create : unit -> builder
+
+val node : builder -> string -> Element.node
+(** Intern a node name (idempotent). *)
+
+val node_name : circuit -> Element.node -> string
+
+val find_node : circuit -> string -> Element.node option
+
+val find_element : circuit -> string -> Element.t option
+(** Case-insensitive element lookup by name. *)
+
+val add : builder -> Element.t -> unit
+(** Add a fully constructed element; rarely needed directly. *)
+
+val add_r : builder -> string -> string -> string -> float -> unit
+(** [add_r b name np nn ohms] *)
+
+val add_c : ?ic:float -> builder -> string -> string -> string -> float -> unit
+
+val add_l : ?ic:float -> builder -> string -> string -> string -> float -> unit
+
+val add_v : builder -> string -> string -> string -> Element.waveform -> unit
+
+val add_i : builder -> string -> string -> string -> Element.waveform -> unit
+
+val add_vcvs :
+  builder -> string -> string -> string -> string -> string -> float -> unit
+(** [add_vcvs b name np nn cp cn gain] *)
+
+val add_vccs :
+  builder -> string -> string -> string -> string -> string -> float -> unit
+
+val add_ccvs : builder -> string -> string -> string -> string -> float -> unit
+(** [add_ccvs b name np nn vctrl r] *)
+
+val add_cccs : builder -> string -> string -> string -> string -> float -> unit
+
+val add_k : builder -> string -> string -> string -> float -> unit
+(** [add_k b name l1 l2 k] couples two named inductors with mutual
+    coefficient [0 < k < 1]. *)
+
+val freeze : builder -> circuit
+(** Validates and returns the immutable circuit.  Raises
+    [Invalid_argument] when: an element value is non-positive (R, C, L)
+    or not finite; two elements share a name; a controlled source
+    references an unknown controlling voltage source; or the circuit is
+    empty. *)
+
+val element_count : circuit -> int
+
+val caps : circuit -> (int * Element.t) list
+(** Capacitors with their element indices. *)
+
+val inductors : circuit -> (int * Element.t) list
+
+val sources : circuit -> (int * Element.t) list
+(** Independent V and I sources with their element indices. *)
+
+val pp : Format.formatter -> circuit -> unit

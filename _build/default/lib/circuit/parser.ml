@@ -1,0 +1,444 @@
+exception Parse_error of int * string
+
+type directive =
+  | Tran of { t_stop : float; steps : int option }
+  | Awe_node of { node : string; order : int option }
+
+type deck = {
+  circuit : Netlist.circuit;
+  directives : directive list;
+  title : string option;
+}
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* values with SPICE suffixes *)
+
+let suffixes =
+  [ ("meg", 1e6); ("mil", 25.4e-6); ("t", 1e12); ("g", 1e9); ("k", 1e3);
+    ("m", 1e-3); ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+
+let parse_value raw =
+  let s = String.lowercase_ascii (String.trim raw) in
+  if s = "" then None
+  else begin
+    (* split the numeric prefix from the alphabetic tail *)
+    let n = String.length s in
+    let i = ref 0 in
+    let numeric c =
+      (c >= '0' && c <= '9') || c = '.' || c = '+' || c = '-' || c = 'e'
+    in
+    (* consume mantissa; 'e' only counts as numeric when followed by a
+       digit or sign (exponent), otherwise it starts the suffix *)
+    while
+      !i < n
+      &&
+      let c = s.[!i] in
+      numeric c
+      && (c <> 'e'
+         || (!i + 1 < n
+            &&
+            let d = s.[!i + 1] in
+            (d >= '0' && d <= '9') || d = '+' || d = '-'))
+    do
+      incr i
+    done;
+    let num = String.sub s 0 !i in
+    let tail = String.sub s !i (n - !i) in
+    match float_of_string_opt num with
+    | None -> None
+    | Some v ->
+      let mult =
+        let rec pick = function
+          | [] -> Some 1. (* bare units like "ohm", "v", "hz" *)
+          | (suf, m) :: rest ->
+            if String.length tail >= String.length suf
+               && String.sub tail 0 (String.length suf) = suf
+            then Some m
+            else pick rest
+        in
+        if tail = "" then Some 1. else pick suffixes
+      in
+      Option.map (fun m -> v *. m) mult
+  end
+
+(* ------------------------------------------------------------------ *)
+(* tokenization: join continuations, strip comments, split respecting
+   parentheses so PWL(0 0 1n 5) is one token group *)
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let numbered = List.mapi (fun i l -> (i + 1, l)) raw in
+  let strip_comment l =
+    match String.index_opt l ';' with
+    | Some i -> String.sub l 0 i
+    | None -> l
+  in
+  let rec join acc = function
+    | [] -> List.rev acc
+    | (ln, l) :: rest ->
+      let l = strip_comment l in
+      let trimmed = String.trim l in
+      if trimmed = "" || trimmed.[0] = '*' then join acc rest
+      else if trimmed.[0] = '+' then begin
+        match acc with
+        | (ln0, prev) :: acc' ->
+          join
+            ((ln0, prev ^ " " ^ String.sub trimmed 1 (String.length trimmed - 1))
+            :: acc')
+            rest
+        | [] -> fail ln "continuation line with nothing to continue"
+      end
+      else join ((ln, trimmed) :: acc) rest
+  in
+  join [] numbered
+
+(* split a card into tokens; parenthesized argument lists stay attached
+   to their keyword: "pwl(0 0 1n 5)" is one token *)
+let tokenize line s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        if !depth < 0 then fail line "unbalanced parentheses";
+        Buffer.add_char buf c
+      | ' ' | '\t' | ',' | '\r' ->
+        if !depth > 0 then Buffer.add_char buf ' ' else flush ()
+      | '=' ->
+        (* keep key=value together *)
+        Buffer.add_char buf '='
+      | c -> Buffer.add_char buf c)
+    s;
+  if !depth <> 0 then fail line "unbalanced parentheses";
+  flush ();
+  ignore n;
+  List.rev !tokens
+
+let value_exn line tok =
+  match parse_value tok with
+  | Some v -> v
+  | None -> fail line "cannot parse value %S" tok
+
+(* waveform tokens: either ["5"], ["dc"; "5"], or one function token *)
+let parse_waveform line tokens =
+  let fn_args tok =
+    (* "pwl(0 0 1n 5)" -> ("pwl", ["0";"0";"1n";"5"]) *)
+    match String.index_opt tok '(' with
+    | None -> None
+    | Some i ->
+      let name = String.lowercase_ascii (String.sub tok 0 i) in
+      let inner = String.sub tok (i + 1) (String.length tok - i - 2) in
+      let args =
+        String.split_on_char ' ' inner |> List.filter (fun s -> s <> "")
+      in
+      Some (name, args)
+  in
+  match tokens with
+  | [ tok ] -> (
+    match fn_args tok with
+    | None -> Element.Dc (value_exn line tok)
+    | Some ("step", [ v0; v1 ]) ->
+      Element.Step { v0 = value_exn line v0; v1 = value_exn line v1 }
+    | Some ("ramp", [ v0; v1; td; tr ]) ->
+      Element.Ramp
+        { v0 = value_exn line v0;
+          v1 = value_exn line v1;
+          t_delay = value_exn line td;
+          t_rise = value_exn line tr }
+    | Some ("pwl", args) ->
+      if List.length args < 2 || List.length args mod 2 <> 0 then
+        fail line "PWL needs an even number of arguments";
+      let rec pairs = function
+        | [] -> []
+        | t :: v :: rest -> (value_exn line t, value_exn line v) :: pairs rest
+        | [ _ ] -> assert false
+      in
+      Element.Pwl (pairs args)
+    | Some (name, _) -> fail line "unknown waveform %S" name)
+  | [ dc; v ] when String.lowercase_ascii dc = "dc" ->
+    Element.Dc (value_exn line v)
+  | _ -> fail line "cannot parse source waveform"
+
+let split_params tokens =
+  (* separate positional tokens from key=value parameters *)
+  List.partition (fun t -> not (String.contains t '=')) tokens
+
+let param_ic line params =
+  List.fold_left
+    (fun acc p ->
+      match String.split_on_char '=' p with
+      | [ k; v ] when String.lowercase_ascii k = "ic" -> (
+        match acc with
+        | Some _ -> fail line "duplicate IC parameter"
+        | None -> Some (value_exn line v))
+      | _ -> fail line "unknown parameter %S" p)
+    None params
+
+(* .ic v(node)=value *)
+let parse_ic_directive line tok =
+  let low = String.lowercase_ascii tok in
+  match String.index_opt low '=' with
+  | None -> fail line ".ic expects v(<node>)=<value>"
+  | Some eq ->
+    let lhs = String.sub low 0 eq in
+    let rhs = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+    if String.length lhs < 4 || String.sub lhs 0 2 <> "v(" || lhs.[String.length lhs - 1] <> ')'
+    then fail line ".ic expects v(<node>)=<value>";
+    let node = String.sub lhs 2 (String.length lhs - 3) in
+    (node, value_exn line rhs)
+
+let parse_string text =
+  let lines = logical_lines text in
+  let b = Netlist.create () in
+  let directives = ref [] in
+  let pending_ics = ref [] in
+  let title = ref None in
+  let handle_card is_first (line, text) =
+    let tokens = tokenize line text in
+    match tokens with
+    | [] -> ()
+    | head :: rest -> (
+      let kind = Char.lowercase_ascii head.[0] in
+      match kind with
+      | '.' -> (
+        match String.lowercase_ascii head :: rest with
+        | ".end" :: _ -> ()
+        | ".ic" :: args ->
+          List.iter
+            (fun a -> pending_ics := (line, parse_ic_directive line a) :: !pending_ics)
+            args
+        | ".tran" :: args -> (
+          match args with
+          | [ t ] ->
+            directives :=
+              Tran { t_stop = value_exn line t; steps = None } :: !directives
+          | [ t; s ] ->
+            directives :=
+              Tran
+                { t_stop = value_exn line t;
+                  steps = Some (int_of_float (value_exn line s)) }
+              :: !directives
+          | _ -> fail line ".tran expects <tstop> [steps]")
+        | ".awe" :: args -> (
+          match args with
+          | [ node ] ->
+            directives := Awe_node { node; order = None } :: !directives
+          | [ node; q ] ->
+            directives :=
+              Awe_node { node; order = Some (int_of_float (value_exn line q)) }
+              :: !directives
+          | _ -> fail line ".awe expects <node> [order]")
+        | d :: _ -> fail line "unknown directive %S" d
+        | [] -> ())
+      | 'r' -> (
+        match rest with
+        | [ np; nn; v ] -> Netlist.add_r b head np nn (value_exn line v)
+        | _ -> fail line "R card: R<name> <n+> <n-> <value>")
+      | 'c' -> (
+        let pos, params = split_params rest in
+        match pos with
+        | [ np; nn; v ] ->
+          Netlist.add_c ?ic:(param_ic line params) b head np nn
+            (value_exn line v)
+        | _ -> fail line "C card: C<name> <n+> <n-> <value> [IC=v]")
+      | 'l' -> (
+        let pos, params = split_params rest in
+        match pos with
+        | [ np; nn; v ] ->
+          Netlist.add_l ?ic:(param_ic line params) b head np nn
+            (value_exn line v)
+        | _ -> fail line "L card: L<name> <n+> <n-> <value> [IC=i]")
+      | 'v' -> (
+        match rest with
+        | np :: nn :: wave when wave <> [] ->
+          Netlist.add_v b head np nn (parse_waveform line wave)
+        | _ -> fail line "V card: V<name> <n+> <n-> <waveform>")
+      | 'i' -> (
+        match rest with
+        | np :: nn :: wave when wave <> [] ->
+          Netlist.add_i b head np nn (parse_waveform line wave)
+        | _ -> fail line "I card: I<name> <n+> <n-> <waveform>")
+      | 'e' -> (
+        match rest with
+        | [ np; nn; cp; cn; g ] ->
+          Netlist.add_vcvs b head np nn cp cn (value_exn line g)
+        | _ -> fail line "E card: E<name> <n+> <n-> <cp> <cn> <gain>")
+      | 'g' -> (
+        match rest with
+        | [ np; nn; cp; cn; g ] ->
+          Netlist.add_vccs b head np nn cp cn (value_exn line g)
+        | _ -> fail line "G card: G<name> <n+> <n-> <cp> <cn> <gm>")
+      | 'h' -> (
+        match rest with
+        | [ np; nn; vsrc; r ] ->
+          Netlist.add_ccvs b head np nn vsrc (value_exn line r)
+        | _ -> fail line "H card: H<name> <n+> <n-> <vsrc> <r>")
+      | 'f' -> (
+        match rest with
+        | [ np; nn; vsrc; g ] ->
+          Netlist.add_cccs b head np nn vsrc (value_exn line g)
+        | _ -> fail line "F card: F<name> <n+> <n-> <vsrc> <gain>")
+      | 'k' -> (
+        match rest with
+        | [ l1; l2; k ] -> Netlist.add_k b head l1 l2 (value_exn line k)
+        | _ -> fail line "K card: K<name> <l1> <l2> <k>")
+      | _ ->
+        if is_first then title := Some text
+        else fail line "unknown card %S" head)
+  in
+  (match lines with
+  | [] -> raise (Parse_error (0, "empty deck"))
+  | first :: rest ->
+    (* a first line that parses as a card is a card; otherwise a title *)
+    (try handle_card true first
+     with Parse_error _ -> title := Some (snd first));
+    List.iter (handle_card false) rest);
+  (* apply .ic node directives: attach to the grounded capacitor *)
+  let elements_with_ics raw_circuit =
+    match !pending_ics with
+    | [] -> raw_circuit
+    | ics ->
+      let b2 = Netlist.create () in
+      Array.iteri
+        (fun i name ->
+          if i > 0 then ignore (Netlist.node b2 name))
+        raw_circuit.Netlist.node_names;
+      let ic_for_node = Hashtbl.create 4 in
+      List.iter
+        (fun (line, (name, v)) ->
+          match Netlist.find_node raw_circuit name with
+          | Some n -> Hashtbl.replace ic_for_node n (line, v)
+          | None -> fail line ".ic references unknown node %S" name)
+        ics;
+      let nm node = raw_circuit.Netlist.node_names.(node) in
+      Array.iter
+        (fun e ->
+          match e with
+          | Element.Capacitor { name; np; nn; c; ic } ->
+            let ic =
+              match ic with
+              | Some _ -> ic
+              | None ->
+                if nn = Element.ground then
+                  Option.map snd (Hashtbl.find_opt ic_for_node np)
+                else if np = Element.ground then
+                  Option.map (fun (_, v) -> -.v)
+                    (Hashtbl.find_opt ic_for_node nn)
+                else None
+            in
+            Netlist.add_c ?ic b2 name (nm np) (nm nn) c
+          | Element.Resistor { name; np; nn; r } ->
+            Netlist.add_r b2 name (nm np) (nm nn) r
+          | Element.Inductor { name; np; nn; l; ic } ->
+            Netlist.add_l ?ic b2 name (nm np) (nm nn) l
+          | Element.Vsource { name; np; nn; wave } ->
+            Netlist.add_v b2 name (nm np) (nm nn) wave
+          | Element.Isource { name; np; nn; wave } ->
+            Netlist.add_i b2 name (nm np) (nm nn) wave
+          | Element.Vcvs { name; np; nn; cp; cn; gain } ->
+            Netlist.add_vcvs b2 name (nm np) (nm nn) (nm cp) (nm cn) gain
+          | Element.Vccs { name; np; nn; cp; cn; gm } ->
+            Netlist.add_vccs b2 name (nm np) (nm nn) (nm cp) (nm cn) gm
+          | Element.Ccvs { name; np; nn; vctrl; r } ->
+            Netlist.add_ccvs b2 name (nm np) (nm nn) vctrl r
+          | Element.Cccs { name; np; nn; vctrl; gain } ->
+            Netlist.add_cccs b2 name (nm np) (nm nn) vctrl gain
+          | Element.Mutual { name; l1; l2; k } ->
+            Netlist.add_k b2 name l1 l2 k)
+        raw_circuit.Netlist.elements;
+      Netlist.freeze b2
+  in
+  let circuit = elements_with_ics (Netlist.freeze b) in
+  { circuit; directives = List.rev !directives; title = !title }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* serialization *)
+
+let print_wave buf wave =
+  match wave with
+  | Element.Dc v -> Buffer.add_string buf (Printf.sprintf "dc %.17g" v)
+  | Element.Step { v0; v1 } ->
+    Buffer.add_string buf (Printf.sprintf "step(%.17g %.17g)" v0 v1)
+  | Element.Ramp { v0; v1; t_delay; t_rise } ->
+    Buffer.add_string buf
+      (Printf.sprintf "ramp(%.17g %.17g %.17g %.17g)" v0 v1 t_delay t_rise)
+  | Element.Pwl points ->
+    Buffer.add_string buf "pwl(";
+    List.iteri
+      (fun i (t, v) ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (Printf.sprintf "%.17g %.17g" t v))
+      points;
+    Buffer.add_char buf ')'
+
+let print_deck ?title (ckt : Netlist.circuit) =
+  let buf = Buffer.create 512 in
+  (match title with
+  | Some t -> Buffer.add_string buf ("* " ^ t ^ "\n")
+  | None -> ());
+  let nm node = ckt.Netlist.node_names.(node) in
+  Array.iter
+    (fun e ->
+      (match e with
+      | Element.Resistor { name; np; nn; r } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %.17g" name (nm np) (nm nn) r)
+      | Element.Capacitor { name; np; nn; c; ic } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %.17g%s" name (nm np) (nm nn) c
+             (match ic with
+             | Some v -> Printf.sprintf " ic=%.17g" v
+             | None -> ""))
+      | Element.Inductor { name; np; nn; l; ic } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %.17g%s" name (nm np) (nm nn) l
+             (match ic with
+             | Some v -> Printf.sprintf " ic=%.17g" v
+             | None -> ""))
+      | Element.Vsource { name; np; nn; wave } ->
+        Buffer.add_string buf (Printf.sprintf "%s %s %s " name (nm np) (nm nn));
+        print_wave buf wave
+      | Element.Isource { name; np; nn; wave } ->
+        Buffer.add_string buf (Printf.sprintf "%s %s %s " name (nm np) (nm nn));
+        print_wave buf wave
+      | Element.Vcvs { name; np; nn; cp; cn; gain } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s %s %.17g" name (nm np) (nm nn) (nm cp)
+             (nm cn) gain)
+      | Element.Vccs { name; np; nn; cp; cn; gm } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s %s %.17g" name (nm np) (nm nn) (nm cp)
+             (nm cn) gm)
+      | Element.Ccvs { name; np; nn; vctrl; r } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s %.17g" name (nm np) (nm nn) vctrl r)
+      | Element.Cccs { name; np; nn; vctrl; gain } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s %s %s %.17g" name (nm np) (nm nn) vctrl gain)
+      | Element.Mutual { name; l1; l2; k } ->
+        Buffer.add_string buf (Printf.sprintf "%s %s %s %.17g" name l1 l2 k));
+      Buffer.add_char buf '\n')
+    ckt.Netlist.elements;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

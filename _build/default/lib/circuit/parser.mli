@@ -1,0 +1,57 @@
+(** SPICE-style netlist deck parser.
+
+    Accepted element cards (names are case-insensitive; the first
+    letter selects the element type, as in SPICE):
+
+    {v
+    R<name> <n+> <n-> <value>
+    C<name> <n+> <n-> <value> [IC=<v>]
+    L<name> <n+> <n-> <value> [IC=<i>]
+    V<name> <n+> <n-> <waveform>
+    I<name> <n+> <n-> <waveform>
+    E<name> <n+> <n-> <cp> <cn> <gain>      VCVS
+    G<name> <n+> <n-> <cp> <cn> <gm>        VCCS
+    H<name> <n+> <n-> <vsrc> <r>            CCVS
+    F<name> <n+> <n-> <vsrc> <gain>         CCCS
+    v}
+
+    Waveforms: a bare number or [DC <v>]; [STEP(<v0> <v1>)] (ideal step
+    at t = 0); [RAMP(<v0> <v1> <tdelay> <trise>)]; and
+    [PWL(t1 v1 t2 v2 ...)].
+
+    Values accept the SPICE magnitude suffixes
+    [f p n u m k meg g t] and trailing unit letters ([1k], [2.2meg],
+    [100nF], [4ohm]).
+
+    Lines starting with [*] (or anything after [;]) are comments; a
+    line starting with [+] continues the previous card.  Directives:
+    [.ic v(<node>)=<value>] assigns the initial condition of the
+    grounded capacitor at a node, [.tran <tstop> [steps]] and
+    [.awe <node> [order]] are collected for the driver, [.end] stops
+    parsing. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+type directive =
+  | Tran of { t_stop : float; steps : int option }
+  | Awe_node of { node : string; order : int option }
+
+type deck = {
+  circuit : Netlist.circuit;
+  directives : directive list;
+  title : string option;  (** first line when it is not a card *)
+}
+
+val parse_string : string -> deck
+
+val parse_file : string -> deck
+
+val parse_value : string -> float option
+(** Parse one SPICE-suffixed number ("2.2k" -> 2200.). *)
+
+val print_deck : ?title:string -> Netlist.circuit -> string
+(** Serialize a circuit back to deck text.  The output parses back to a
+    structurally identical circuit ([parse_string (print_deck c)] has
+    the same elements, nodes, values, waveforms and initial
+    conditions). *)

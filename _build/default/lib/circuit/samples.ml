@@ -1,0 +1,187 @@
+type fig4 = {
+  circuit : Netlist.circuit;
+  n1 : Element.node;
+  n2 : Element.node;
+  n3 : Element.node;
+  n4 : Element.node;
+}
+
+let default_step = Element.Step { v0 = 0.; v1 = 5. }
+
+let kohm = 1e3
+
+let fig4_r = kohm
+
+let fig4_c = 0.1e-6
+
+let fig4_elmore_n4 =
+  (fig4_r *. (4. *. fig4_c)) +. (fig4_r *. (2. *. fig4_c)) +. (fig4_r *. fig4_c)
+
+let fig4_build ~wave ~grounded_r5 =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  Netlist.add_r b "r1" "in" "n1" fig4_r;
+  Netlist.add_c b "c1" "n1" "0" fig4_c;
+  Netlist.add_r b "r2" "n1" "n2" fig4_r;
+  Netlist.add_c b "c2" "n2" "0" fig4_c;
+  Netlist.add_r b "r3" "n1" "n3" fig4_r;
+  Netlist.add_c b "c3" "n3" "0" fig4_c;
+  Netlist.add_r b "r4" "n3" "n4" fig4_r;
+  Netlist.add_c b "c4" "n4" "0" fig4_c;
+  if grounded_r5 then Netlist.add_r b "r5" "n4" "0" (4. *. kohm);
+  let n1 = Netlist.node b "n1" in
+  let n2 = Netlist.node b "n2" in
+  let n3 = Netlist.node b "n3" in
+  let n4 = Netlist.node b "n4" in
+  { circuit = Netlist.freeze b; n1; n2; n3; n4 }
+
+let fig4 ?(wave = default_step) () = fig4_build ~wave ~grounded_r5:false
+
+let fig9 ?(wave = default_step) () = fig4_build ~wave ~grounded_r5:true
+
+type fig16 = {
+  circuit : Netlist.circuit;
+  nodes : Element.node array;
+  output : Element.node;
+  shared : Element.node;
+}
+
+let default_ramp_1ns =
+  Element.Ramp { v0 = 0.; v1 = 5.; t_delay = 0.; t_rise = 1e-9 }
+
+(* Topology: a clock-tree-like segment.
+     in -R1- n1 -R2- n2 -R3- n3 -R5- n5 -R7- n7(out)
+     n1 -R4- n4        n3 -R6- n6(shared)
+     n5 -R8- n8        n7 -R9- n9 -R10- n10
+   Values spread the time constants over ~4 decades like Table I. *)
+let fig16_elements ~v_c6 b =
+  let r = Netlist.add_r b in
+  (* when C6 carries a nonequilibrium initial voltage, every other
+     capacitor is explicitly initialized to 0 V so the t = 0 state is
+     the charge-sharing configuration of Section 5.2 (one charged
+     capacitor, the rest empty) rather than a resistive-divider DC
+     point *)
+  let explicit_ics = v_c6 <> 0. in
+  let c name node value ic =
+    if ic <> 0. then Netlist.add_c ~ic b name node "0" value
+    else if explicit_ics then Netlist.add_c ~ic:0. b name node "0" value
+    else Netlist.add_c b name node "0" value
+  in
+  r "r1" "in" "n1" 100.;
+  r "r2" "n1" "n2" 200.;
+  r "r3" "n2" "n3" 200.;
+  r "r4" "n1" "n4" 1000.;
+  r "r5" "n3" "n5" 300.;
+  r "r6" "n3" "n6" 500.;
+  r "r7" "n5" "n7" 200.;
+  r "r8" "n5" "n8" 50.;
+  r "r9" "n7" "n9" 400.;
+  r "r10" "n9" "n10" 600.;
+  c "c1" "n1" 42e-15 0.;
+  c "c2" "n2" 85e-15 0.;
+  c "c3" "n3" 128e-15 0.;
+  c "c4" "n4" 17e-15 0.;
+  c "c5" "n5" 170e-15 0.;
+  c "c6" "n6" 340e-15 v_c6;
+  c "c7" "n7" 212e-15 0.;
+  c "c8" "n8" 0.85e-15 0.;
+  c "c9" "n9" 68e-15 0.;
+  c "c10" "n10" 25e-15 0.
+
+let fig16 ?(v_c6 = 0.) ?(wave = default_ramp_1ns) () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  fig16_elements ~v_c6 b;
+  let nodes =
+    Array.init 10 (fun k -> Netlist.node b (Printf.sprintf "n%d" (k + 1)))
+  in
+  { circuit = Netlist.freeze b;
+    nodes;
+    output = nodes.(6);
+    shared = nodes.(5) }
+
+let fig22 ?(v_c6 = 0.) ?(wave = default_ramp_1ns) () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  fig16_elements ~v_c6 b;
+  (* floating coupling path: C11 output -> victim, C12 victim -> ground *)
+  Netlist.add_c b "c11" "n7" "n12" 85e-15;
+  Netlist.add_c b "c12" "n12" "0" 255e-15;
+  let nodes =
+    Array.init 10 (fun k -> Netlist.node b (Printf.sprintf "n%d" (k + 1)))
+  in
+  let victim = Netlist.node b "n12" in
+  ( { circuit = Netlist.freeze b;
+      nodes;
+      output = nodes.(6);
+      shared = nodes.(5) },
+    victim )
+
+type fig25 = { circuit : Netlist.circuit; out : Element.node }
+
+let fig25 ?(wave = default_step) () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  (* tapered sections: the two dominant complex pairs carry nearly all
+     of the output residue, so fourth order suffices (Table II / Fig. 26) *)
+  Netlist.add_r b "r1" "in" "m1" 45.;
+  Netlist.add_l b "l1" "m1" "n1" 7e-9;
+  Netlist.add_c b "c1" "n1" "0" 1e-12;
+  Netlist.add_l b "l2" "n1" "n2" 10e-9;
+  Netlist.add_c b "c2" "n2" "0" 1.8e-12;
+  Netlist.add_l b "l3" "n2" "n3" 16e-9;
+  Netlist.add_c b "c3" "n3" "0" 4.4e-12;
+  let out = Netlist.node b "n3" in
+  { circuit = Netlist.freeze b; out }
+
+let fig8 () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" default_step;
+  Netlist.add_r b "r1" "in" "m1" 50.;
+  Netlist.add_l b "l1" "m1" "n1" 1e-9;
+  Netlist.add_c b "c1" "n1" "0" 1e-12;
+  Netlist.add_l b "l2" "n1" "n2" 1e-9;
+  Netlist.add_c b "c2" "n2" "0" 1e-12;
+  Netlist.freeze b
+
+let random_rc_tree ?(seed = 42) ~n () =
+  if n < 1 then invalid_arg "Samples.random_rc_tree: need n >= 1";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  let node_name k = Printf.sprintf "n%d" k in
+  for k = 1 to n do
+    (* attach node k under a random earlier node (or the driver) *)
+    let parent = if k = 1 then "in" else node_name (1 + Random.State.int st (k - 1)) in
+    let r = 50. +. Random.State.float st 1950. in
+    let c = 1e-15 +. Random.State.float st 499e-15 in
+    Netlist.add_r b (Printf.sprintf "r%d" k) parent (node_name k) r;
+    Netlist.add_c b (Printf.sprintf "c%d" k) (node_name k) "0" c
+  done;
+  let leaf = Netlist.node b (node_name n) in
+  (Netlist.freeze b, leaf)
+
+let random_rc_mesh ?(seed = 43) ~n ~extra () =
+  if n < 2 then invalid_arg "Samples.random_rc_mesh: need n >= 2";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  let node_name k = Printf.sprintf "n%d" k in
+  for k = 1 to n do
+    let parent = if k = 1 then "in" else node_name (1 + Random.State.int st (k - 1)) in
+    let r = 50. +. Random.State.float st 1950. in
+    let c = 1e-15 +. Random.State.float st 499e-15 in
+    Netlist.add_r b (Printf.sprintf "r%d" k) parent (node_name k) r;
+    Netlist.add_c b (Printf.sprintf "c%d" k) (node_name k) "0" c
+  done;
+  for j = 1 to extra do
+    let a = 1 + Random.State.int st n in
+    let c = 1 + Random.State.int st n in
+    if a <> c then
+      Netlist.add_r b
+        (Printf.sprintf "rx%d" j)
+        (node_name a) (node_name c)
+        (100. +. Random.State.float st 4900.)
+  done;
+  let leaf = Netlist.node b (node_name n) in
+  (Netlist.freeze b, leaf)

@@ -1,0 +1,78 @@
+(** The paper's example circuits.
+
+    The published figures give schematics but not element values (the
+    originals are unrecoverable from the scanned figures), so each
+    builder here uses values chosen to reproduce the *published
+    characteristics* — pole spreads, error-term ordering, delay shifts —
+    as documented per function and in DESIGN.md.  All builders return
+    the frozen circuit plus the named observation nodes. *)
+
+type fig4 = {
+  circuit : Netlist.circuit;
+  n1 : Element.node;
+  n2 : Element.node;
+  n3 : Element.node;
+  n4 : Element.node;  (** the observed output, across C4 *)
+}
+
+val fig4 : ?wave:Element.waveform -> unit -> fig4
+(** The 4-capacitor RC tree of Fig. 4: driver V1 -> R1 -> n1 branching
+    to (R2 -> n2) and (R3 -> n3 -> R4 -> n4), each node loaded by a
+    grounded capacitor.  Values: R = 1 kOhm each, C = 0.1 uF each, so
+    the Elmore delay at n4 is [R1*(C1+C2+C3+C4) + R3*(C3+C4) + R4*C4 =
+    0.7 ms] and the paper's 1 ms-ramp residue [r*tau = 3.5 V]
+    (eq. 64) is matched exactly.  Default input: 5 V ideal step. *)
+
+val fig4_elmore_n4 : float
+(** The closed-form Elmore delay at [n4] for the values above. *)
+
+val fig9 : ?wave:Element.waveform -> unit -> fig4
+(** Fig. 9: the Fig. 4 tree with a grounded resistor R5 at [n4].  The
+    paper uses R5 = 4 Ohm against Ohm-scale tree resistances; we keep
+    the same ratio against our kOhm-scale tree (R5 = 4 kOhm), giving a
+    non-trivial steady state of [5 * 4/(3+4) = 2.857 V] at [n4]. *)
+
+type fig16 = {
+  circuit : Netlist.circuit;
+  nodes : Element.node array;  (** [nodes.(k)] carries capacitor C(k+1) *)
+  output : Element.node;  (** the node across C7 *)
+  shared : Element.node;  (** the node across C6, the charge-sharing site *)
+}
+
+val fig16 : ?v_c6 : float -> ?wave:Element.waveform -> unit -> fig16
+(** Fig. 16: a 10-capacitor MOS-interconnect RC tree with widely
+    varying time constants (the paper's Table I spreads the actual
+    poles over four decades, -1.78e9 to -1.64e13 rad/s).  [v_c6]
+    (default 0) sets the nonequilibrium initial voltage on C6 used in
+    Section 5.2.  Default input: 5 V ramp with 1 ns rise time
+    (Section 5.1). *)
+
+val fig22 : ?v_c6:float -> ?wave:Element.waveform -> unit -> fig16 * Element.node
+(** Fig. 22: Fig. 16 plus a floating coupling capacitor C11 from the
+    output node to a victim node, and C12 from the victim to ground
+    (Section 5.3).  Returns the circuit and the victim node. *)
+
+type fig25 = {
+  circuit : Netlist.circuit;
+  out : Element.node;  (** across C3 *)
+}
+
+val fig25 : ?wave:Element.waveform -> unit -> fig25
+(** Fig. 25: a three-section underdamped RLC ladder with three complex
+    pole pairs (Table II).  Default input: 5 V ideal step. *)
+
+val fig8 : unit -> Netlist.circuit
+(** Fig. 8: an RLC ladder whose links are all capacitors, so the
+    steady-state solution is explicit (Section 4.2). *)
+
+val random_rc_tree :
+  ?seed:int -> n:int -> unit -> Netlist.circuit * Element.node
+(** A random [n]-capacitor RC tree driven by a 1 V step, for property
+    tests and scaling benchmarks; returns the circuit and a leaf
+    observation node.  Resistances are 50-2000 Ohm, capacitances
+    1-500 fF. *)
+
+val random_rc_mesh :
+  ?seed:int -> n:int -> extra:int -> unit -> Netlist.circuit * Element.node
+(** A random RC tree with [extra] additional resistors closing loops —
+    an RC mesh in the sense of Section 2.2. *)

@@ -1,0 +1,1 @@
+lib/core/awe.ml: Ac Approx Array Circuit Cx Elmore Error_est Float Linalg List Moment_match Moments Tree_link Two_pole

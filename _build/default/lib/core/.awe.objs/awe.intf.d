@@ -1,0 +1,1 @@
+lib/core/awe.mli: Ac Approx Circuit Elmore Error_est Linalg Moment_match Moments Tree_link Two_pole Waveform

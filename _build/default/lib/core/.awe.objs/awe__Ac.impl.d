@@ -1,0 +1,1 @@
+lib/core/ac.ml: Approx Array Circuit Cmatrix Cx Float Linalg List

@@ -1,0 +1,1 @@
+lib/core/ac.mli: Approx Circuit Linalg

@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Cx Float Linalg List Poly Waveform

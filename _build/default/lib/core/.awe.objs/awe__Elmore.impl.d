@@ -1,0 +1,1 @@
+lib/core/elmore.ml: Array Circuit Float List Moments

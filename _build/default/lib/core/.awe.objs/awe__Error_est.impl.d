@@ -1,0 +1,1 @@
+lib/core/error_est.ml: Approx Array Cx Float Hashtbl Linalg List Stdlib

@@ -1,0 +1,1 @@
+lib/core/moment_match.ml: Approx Array Cmatrix Cx Float Hankel Linalg List Option Poly Printf Vandermonde

@@ -1,0 +1,1 @@
+lib/core/moment_match.mli: Approx Linalg

@@ -1,0 +1,1 @@
+lib/core/moments.ml: Array Circuit Float Linalg Lu Matrix Sparse Vec

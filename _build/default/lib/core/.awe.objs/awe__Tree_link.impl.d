@@ -1,0 +1,1 @@
+lib/core/tree_link.ml: Array Circuit Linalg List Printf Queue

@@ -1,0 +1,1 @@
+lib/core/two_pole.ml: Approx Array Circuit Float Linalg Moment_match Moments

@@ -1,0 +1,1 @@
+lib/core/two_pole.mli: Circuit

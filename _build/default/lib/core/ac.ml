@@ -1,0 +1,51 @@
+open Linalg
+open Cx
+
+let exact_response sys ~src_col ~node ~omegas =
+  let g = Circuit.Mna.g sys in
+  let c = Circuit.Mna.c sys in
+  let b = Circuit.Mna.b sys in
+  let n = Circuit.Mna.size sys in
+  let out_var = Circuit.Mna.node_var sys node in
+  if out_var < 0 then invalid_arg "Ac.exact_response: output cannot be ground";
+  if src_col < 0 || src_col >= Circuit.Mna.source_count sys then
+    invalid_arg "Ac.exact_response: bad source column";
+  let rhs = Array.init n (fun i -> Cx.re b.(i).(src_col)) in
+  Array.map
+    (fun omega ->
+      let s = Cx.make 0. omega in
+      let m =
+        Cmatrix.init n n (fun i j -> Cx.re g.(i).(j) +: (s *: Cx.re c.(i).(j)))
+      in
+      (Cmatrix.solve m rhs).(out_var))
+    omegas
+
+let model_response ~dc_gain terms ~omegas =
+  Array.map
+    (fun omega ->
+      let s = Cx.make 0. omega in
+      List.fold_left
+        (fun acc { Approx.pole; coeffs } ->
+          let acc = ref acc in
+          Array.iteri
+            (fun i k ->
+              (* term K t^i e^(pt)/i! has transform K/(s-p)^(i+1);
+                 times s for the step-input transfer function *)
+              acc :=
+                !acc +: (k *: s /: Cx.pow_int (s -: pole) (i + 1)))
+            coeffs;
+          !acc)
+        (Cx.re dc_gain) terms)
+    omegas
+
+let magnitude_db h =
+  Array.map (fun z -> 20. *. Float.log10 (Float.max (Cx.abs z) 1e-300)) h
+
+let log_sweep ~f_start ~f_stop ~points =
+  if points < 2 then invalid_arg "Ac.log_sweep: need at least 2 points";
+  if f_start <= 0. || f_stop <= f_start then
+    invalid_arg "Ac.log_sweep: need 0 < f_start < f_stop";
+  let l0 = Float.log10 f_start and l1 = Float.log10 f_stop in
+  Array.init points (fun i ->
+      let frac = float_of_int i /. float_of_int (points - 1) in
+      2. *. Float.pi *. Float.pow 10. (l0 +. (frac *. (l1 -. l0))))

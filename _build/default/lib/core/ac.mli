@@ -1,0 +1,35 @@
+(** Exact frequency-domain analysis and reduced-model transfer
+    functions.
+
+    AWE matches the Maclaurin expansion of the response about [s = 0]
+    (paper, eq. 10), so its reduced model is also a rational
+    approximation of the transfer function.  This module computes the
+    {e exact} frequency response by complex MNA solves of
+    [(G + s C) X = B] and evaluates the reduced model's rational form —
+    the frequency-domain view used to verify that approximate poles
+    "creep up on" the actual poles. *)
+
+val exact_response :
+  Circuit.Mna.t ->
+  src_col:int ->
+  node:Circuit.Element.node ->
+  omegas:float array ->
+  Linalg.Cx.t array
+(** [exact_response sys ~src_col ~node ~omegas] is the transfer
+    function [H(j w)] from source column [src_col] to the node voltage,
+    evaluated at each angular frequency (one complex LU solve each).
+    Raises [Cmatrix.Singular] at a frequency exactly on an undamped
+    pole. *)
+
+val model_response :
+  dc_gain:float -> Approx.transient -> omegas:float array -> Linalg.Cx.t array
+(** Transfer function of a reduced step-response model: the Laplace
+    transform of [dc_gain + sum_l k_l e^(p_l t)] multiplied by [s] (the
+    step input carries the [1/s]):
+    [H(s) = dc_gain + sum_l k_l s / (s - p_l)], with the corresponding
+    [s / (s - p)^(i+1)] terms for repeated-pole chains. *)
+
+val magnitude_db : Linalg.Cx.t array -> float array
+
+val log_sweep : f_start:float -> f_stop:float -> points:int -> float array
+(** Logarithmically spaced angular frequencies (input in Hz). *)

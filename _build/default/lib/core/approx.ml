@@ -1,0 +1,154 @@
+open Linalg
+
+type term = { pole : Cx.t; coeffs : Cx.t array }
+
+type transient = term list
+
+let factorial =
+  let table = Array.make 32 1. in
+  for i = 1 to 31 do
+    table.(i) <- table.(i - 1) *. float_of_int i
+  done;
+  fun n -> if n < 32 then table.(n) else Float.infinity
+
+let eval_transient terms t =
+  List.fold_left
+    (fun acc { pole; coeffs } ->
+      let ept = Cx.exp (Cx.scale t pole) in
+      let sum = ref Cx.zero in
+      Array.iteri
+        (fun i k ->
+          let tpow = Float.pow t (float_of_int i) /. factorial i in
+          sum := Cx.(!sum +: scale tpow k))
+        coeffs;
+      acc +. Cx.(ept *: !sum).Cx.re)
+    0. terms
+
+let transient_poles terms =
+  List.concat_map
+    (fun { pole; coeffs } -> List.init (Array.length coeffs) (fun _ -> pole))
+    terms
+  |> List.sort Cx.compare_by_magnitude
+
+let transient_stable terms =
+  List.for_all (fun { pole; _ } -> pole.Cx.re < 0.) terms
+
+let dc_gain_residues terms =
+  List.map (fun { pole; coeffs } -> (pole, coeffs.(0))) terms
+
+let zeros terms =
+  List.iter
+    (fun t ->
+      if Array.length t.coeffs > 1 then
+        invalid_arg "Approx.zeros: repeated poles not supported")
+    terms;
+  let q = List.length terms in
+  if q <= 1 then []
+  else begin
+    (* numerator coefficients, built in complex arithmetic: for each
+       term, multiply its residue into the product of the other pole
+       factors and accumulate *)
+    let poles = Array.of_list (List.map (fun t -> t.pole) terms) in
+    let residues = Array.of_list (List.map (fun t -> t.coeffs.(0)) terms) in
+    let acc = Array.make q Cx.zero in
+    for l = 0 to q - 1 do
+      (* prod_(m<>l) (s - p_m), degree q-1 *)
+      let prod = ref [| Cx.one |] in
+      for m = 0 to q - 1 do
+        if m <> l then begin
+          let p = !prod in
+          let n = Array.length p in
+          let next = Array.make (n + 1) Cx.zero in
+          Array.iteri (fun i c -> next.(i + 1) <- Cx.( +: ) next.(i + 1) c) p;
+          Array.iteri
+            (fun i c ->
+              next.(i) <- Cx.( -: ) next.(i) (Cx.( *: ) poles.(m) c))
+            p;
+          prod := next
+        end
+      done;
+      Array.iteri
+        (fun i c -> acc.(i) <- Cx.( +: ) acc.(i) (Cx.( *: ) residues.(l) c))
+        !prod
+    done;
+    (* conjugate-closed inputs give real coefficients *)
+    let coeffs = Array.map (fun c -> c.Cx.re) acc in
+    if Array.for_all (fun c -> Float.abs c < 1e-300) coeffs then []
+    else Poly.roots coeffs
+  end
+
+type component = {
+  t_shift : float;
+  scale : float;
+  p_const : float;
+  p_slope : float;
+  transient : transient;
+}
+
+type response = component list
+
+let eval comps t =
+  List.fold_left
+    (fun acc c ->
+      if t < c.t_shift then acc
+      else begin
+        let tau = t -. c.t_shift in
+        acc
+        +. (c.scale
+           *. (c.p_const +. (c.p_slope *. tau) +. eval_transient c.transient tau))
+      end)
+    0. comps
+
+let waveform comps ~t_stop ~samples =
+  Waveform.of_fun ~t_stop ~samples (eval comps)
+
+let steady_value comps =
+  let net_slope =
+    List.fold_left (fun acc c -> acc +. (c.scale *. c.p_slope)) 0. comps
+  in
+  let magnitude =
+    List.fold_left
+      (fun acc c -> acc +. Float.abs (c.scale *. c.p_slope))
+      1e-300 comps
+  in
+  if Float.abs net_slope > 1e-9 *. magnitude then
+    invalid_arg "Approx.steady_value: response grows without bound";
+  (* constants plus the bounded combination of cancelled slopes:
+     sum scale*(p_const + p_slope*(t - t_shift)) -> sum scale*p_const
+     - sum scale*p_slope*t_shift as t -> infinity *)
+  List.fold_left
+    (fun acc c ->
+      acc +. (c.scale *. (c.p_const -. (c.p_slope *. c.t_shift))))
+    0. comps
+
+let crossing_time ?(rising = true) comps ~threshold ~t_max =
+  if t_max <= 0. then invalid_arg "Approx.crossing_time: t_max must be > 0";
+  let samples = 2048 in
+  let dt = t_max /. float_of_int samples in
+  let crossed a b =
+    if rising then a < threshold && b >= threshold
+    else a > threshold && b <= threshold
+  in
+  let rec bisect lo hi vlo iters =
+    if iters = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      let vmid = eval comps mid in
+      if crossed vlo vmid then bisect lo mid vlo (iters - 1)
+      else bisect mid hi vmid (iters - 1)
+    end
+  in
+  let result = ref None in
+  (try
+     let prev = ref (eval comps 0.) in
+     for i = 1 to samples do
+       let t = dt *. float_of_int i in
+       let v = eval comps t in
+       if crossed !prev v then begin
+         result := Some (bisect (t -. dt) t !prev 60);
+         raise Exit
+       end;
+       prev := v
+     done
+   with Exit -> ());
+  !result

@@ -1,0 +1,71 @@
+(** Reduced-order response models: the q-pole approximations AWE
+    produces, and their evaluation as time-domain waveforms.
+
+    A {!transient} is [x_h(t) = sum_c sum_i K_(c,i) t^i e^(p_c t) / i!]
+    — simple poles have a single coefficient, repeated poles carry the
+    confluent chain (paper, eqs. 26-29).  Complex poles always appear
+    with their conjugates so evaluation is real.
+
+    A {!component} shifts, scales, and superposes one transient plus
+    its affine particular solution: the ramp-superposition rule of the
+    paper (eqs. 65-66) in general form.  A {!response} is a sum of
+    components. *)
+
+type term = {
+  pole : Linalg.Cx.t;
+  coeffs : Linalg.Cx.t array;
+      (** [coeffs.(i)] multiplies [t^i e^(pole t) / i!] *)
+}
+
+type transient = term list
+
+val eval_transient : transient -> float -> float
+(** Real part of the sum (exactly real for conjugate-closed sets). *)
+
+val transient_poles : transient -> Linalg.Cx.t list
+(** With multiplicity, sorted by ascending magnitude. *)
+
+val transient_stable : transient -> bool
+(** All poles strictly in the open left half plane. *)
+
+val dc_gain_residues : transient -> (Linalg.Cx.t * Linalg.Cx.t) list
+(** [(pole, leading residue)] pairs. *)
+
+val zeros : transient -> Linalg.Cx.t list
+(** Zeros of the reduced model's rational form
+    [X(s) = sum_l k_l / (s - p_l)]: the roots of the numerator
+    [N(s) = sum_l k_l prod_(m<>l) (s - p_m)].  A low-frequency zero
+    close to a pole signals residue cancellation — the mechanism by
+    which nonequilibrium initial conditions suppress natural
+    frequencies (paper, Section 5.2).  Requires simple poles; raises
+    [Invalid_argument] on repeated-pole chains.  Returns at most
+    [q - 1] zeros, sorted by ascending magnitude. *)
+
+type component = {
+  t_shift : float;  (** activation time; contributes only for [t >= t_shift] *)
+  scale : float;
+  p_const : float;  (** particular-solution constant term *)
+  p_slope : float;  (** particular-solution slope *)
+  transient : transient;
+}
+
+type response = component list
+
+val eval : response -> float -> float
+(** [eval r t] sums [scale * (p_const + p_slope*(t - t_shift) +
+    transient(t - t_shift))] over the active components. *)
+
+val waveform : response -> t_stop:float -> samples:int -> Waveform.t
+
+val steady_value : response -> float
+(** The [t -> infinity] value; meaningful when the net particular slope
+    cancels (any bounded input), computed as the sum of scaled
+    [p_const - p_slope * t_shift] terms plus linear terms, evaluated
+    symbolically.  Raises [Invalid_argument] when the slopes do not
+    cancel (unbounded ramp input). *)
+
+val crossing_time :
+  ?rising:bool -> response -> threshold:float -> t_max:float -> float option
+(** First threshold crossing located by sampling then bisection on the
+    analytic model — the delay measurement of the paper (Section 5.3's
+    logic-threshold delay). *)

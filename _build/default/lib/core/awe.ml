@@ -1,0 +1,339 @@
+(* Re-export the library's submodules so [Awe.Moments], [Awe.Approx],
+   etc. are reachable from the single entry module. *)
+module Moments = Moments
+module Approx = Approx
+module Moment_match = Moment_match
+module Error_est = Error_est
+module Elmore = Elmore
+module Tree_link = Tree_link
+module Two_pole = Two_pole
+module Ac = Ac
+
+open Linalg
+
+type options = {
+  match_slope : bool;
+  scale_moments : bool;
+  check_stability : bool;
+  sparse : bool;
+  reduce_degenerate : bool;
+  expansion_shift : float;
+}
+
+let default_options =
+  { match_slope = false;
+    scale_moments = true;
+    check_stability = true;
+    sparse = false;
+    reduce_degenerate = true;
+    expansion_shift = 0. }
+
+type t = {
+  sys : Circuit.Mna.t;
+  node : Circuit.Element.node;
+  q : int;
+  response : Approx.response;
+  base : Approx.transient;
+}
+
+exception Degenerate of string
+
+exception Unstable_fit of Cx.t list
+
+(* Fit one subproblem's moment sequence at order [q], optionally
+   retrying at lower orders when the moment matrix is singular (the
+   subproblem has fewer than [q] active poles). *)
+let fit_sequence ~opts ~q ~slope mu =
+  let slope = if opts.match_slope then slope else None in
+  let rec attempt q =
+    if q < 1 then raise (Degenerate "no usable order for moment sequence")
+    else begin
+      match
+        Moment_match.fit ~scale:opts.scale_moments
+          ~check_stability:opts.check_stability
+          ~shift:opts.expansion_shift ?slope ~q
+          (Array.sub mu 0 (2 * q))
+      with
+      | terms -> terms
+      | exception Moment_match.No_fit msg ->
+        if opts.reduce_degenerate then attempt (q - 1)
+        else raise (Degenerate msg)
+      | exception Moment_match.Unstable ps -> raise (Unstable_fit ps)
+    end
+  in
+  attempt q
+
+type observable =
+  | Node of Circuit.Element.node
+  | Branch_current of int (* element index with a branch unknown *)
+
+let observable_var sys = function
+  | Node node ->
+    let v = Circuit.Mna.node_var sys node in
+    if v < 0 then
+      invalid_arg "Awe.approximate: output cannot be the ground node";
+    (v, node)
+  | Branch_current idx -> (
+    match Circuit.Mna.branch_var sys idx with
+    | Some v -> (v, Circuit.Element.ground)
+    | None ->
+      invalid_arg
+        "Awe.approximate: element carries no branch current (only V \
+         sources, inductors, VCVS and CCVS do)")
+
+let approximate_observable ?(options = default_options) sys ~observable ~q =
+  if q < 1 then invalid_arg "Awe.approximate: order must be >= 1";
+  let out_var, node = observable_var sys observable in
+  let engine =
+    Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
+  in
+  let op0 = Circuit.Dc.initial sys in
+  let op0p = Circuit.Dc.at_zero_plus sys op0 in
+  let count = (2 * q) + 1 (* one spare for error estimation reuse *) in
+  (* base component: sources at their 0+ values and slopes *)
+  let base_prob = Moments.base_problem engine op0p in
+  let base_mu =
+    Moments.mu (Moments.vectors engine base_prob ~count) ~out_var
+  in
+  let base_terms =
+    if Moments.is_negligible base_mu then []
+    else
+      fit_sequence ~opts:options ~q
+        ~slope:(Moments.mu_slope base_prob ~out_var)
+        (Array.sub base_mu 0 (2 * q))
+  in
+  let base_component =
+    { Approx.t_shift = 0.;
+      scale = 1.;
+      p_const = base_prob.Moments.d0.(out_var);
+      p_slope = base_prob.Moments.d1.(out_var);
+      transient = base_terms }
+  in
+  (* one ramp kernel per source that has slope breaks; shifted/scaled
+     copies per break *)
+  let nsrc = Circuit.Mna.source_count sys in
+  let break_components = ref [] in
+  for col = 0 to nsrc - 1 do
+    let canon =
+      Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col)
+    in
+    match canon.Circuit.Element.breaks with
+    | [] -> ()
+    | breaks ->
+      let kernel = Moments.ramp_kernel engine ~src_col:col in
+      let kernel_mu =
+        Moments.mu (Moments.vectors engine kernel ~count) ~out_var
+      in
+      let kernel_terms =
+        if Moments.is_negligible kernel_mu then []
+        else
+          fit_sequence ~opts:options ~q
+            ~slope:(Moments.mu_slope kernel ~out_var)
+            (Array.sub kernel_mu 0 (2 * q))
+      in
+      List.iter
+        (fun (t_k, dr) ->
+          break_components :=
+            { Approx.t_shift = t_k;
+              scale = dr;
+              p_const = kernel.Moments.d0.(out_var);
+              p_slope = kernel.Moments.d1.(out_var);
+              transient = kernel_terms }
+            :: !break_components)
+        breaks
+  done;
+  { sys;
+    node;
+    q;
+    response = base_component :: List.rev !break_components;
+    base = base_terms }
+
+let approximate ?options sys ~node ~q =
+  approximate_observable ?options sys ~observable:(Node node) ~q
+
+let eval t time = Approx.eval t.response time
+
+let waveform t ~t_stop ~samples = Approx.waveform t.response ~t_stop ~samples
+
+let poles t = Approx.transient_poles t.base
+
+let residues t = Approx.dc_gain_residues t.base
+
+let steady_state t = Approx.steady_value t.response
+
+let delay t ~threshold ~t_max =
+  Approx.crossing_time t.response ~threshold ~t_max
+
+let error_estimate ?(options = default_options) sys ~node ~q =
+  let a_q = approximate ~options sys ~node ~q in
+  let a_q1 = approximate ~options sys ~node ~q:(q + 1) in
+  Error_est.relative_error ~exact:a_q1.base a_q.base
+
+let auto ?(options = default_options) ?(tol = 0.02) ?(q_max = 8) sys ~node =
+  let rec search q best =
+    if q > q_max then
+      match best with
+      | Some (a, err) -> (a, err)
+      | None ->
+        raise (Degenerate "no stable approximation up to the maximum order")
+    else begin
+      match
+        let a = approximate ~options sys ~node ~q in
+        let a' = approximate ~options sys ~node ~q:(q + 1) in
+        (a, a', Error_est.relative_error ~exact:a'.base a.base)
+      with
+      | a, _, err when err <= tol -> (a, err)
+      | a, _, err ->
+        let best =
+          match best with
+          | Some (_, best_err) when best_err <= err -> best
+          | _ -> Some (a, err)
+        in
+        search (q + 1) best
+      | exception (Unstable_fit _ | Degenerate _) -> search (q + 1) best
+    end
+  in
+  search 1 None
+
+let elmore_equivalent sys ~node = Elmore.scaled_delay sys ~node
+
+(* ------------------------------------------------------------------ *)
+module Batch = struct
+  type result = { node : Circuit.Element.node; outcome : outcome }
+
+  and outcome = Approximation of t | Failed of string
+
+  (* Rebuild Awe.approximate's pipeline but share the moment vectors
+     across all outputs. *)
+  let approximate_all ?(options = default_options) sys ~nodes ~q =
+    if q < 1 then invalid_arg "Batch.approximate_all: order must be >= 1";
+    let out_vars =
+      List.map
+        (fun node ->
+          let v = Circuit.Mna.node_var sys node in
+          if v < 0 then
+            invalid_arg "Batch.approximate_all: output cannot be ground";
+          (node, v))
+        nodes
+    in
+    let engine =
+      Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
+    in
+    let op0 = Circuit.Dc.initial sys in
+    let op0p = Circuit.Dc.at_zero_plus sys op0 in
+    let count = (2 * q) + 1 in
+    let base_prob = Moments.base_problem engine op0p in
+    let base_ws = Moments.vectors engine base_prob ~count in
+    (* per-source ramp kernels, computed lazily once *)
+    let nsrc = Circuit.Mna.source_count sys in
+    let kernels = Array.make nsrc None in
+    let kernel_of col =
+      match kernels.(col) with
+      | Some k -> k
+      | None ->
+        let prob = Moments.ramp_kernel engine ~src_col:col in
+        let ws = Moments.vectors engine prob ~count in
+        kernels.(col) <- Some (prob, ws);
+        (prob, ws)
+    in
+    let breaks_of col =
+      (Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col))
+        .Circuit.Element.breaks
+    in
+    List.map
+      (fun (node, out_var) ->
+        match
+          let fit_of prob ws =
+            let mu = Moments.mu ws ~out_var in
+            if Moments.is_negligible mu then []
+            else begin
+              let slope =
+                if options.match_slope then
+                  Moments.mu_slope prob ~out_var
+                else None
+              in
+              let rec attempt q' =
+                if q' < 1 then
+                  raise (Degenerate "no usable order for moment sequence")
+                else begin
+                  match
+                    Moment_match.fit ~scale:options.scale_moments
+                      ~check_stability:options.check_stability ?slope ~q:q'
+                      (Array.sub mu 0 (2 * q'))
+                  with
+                  | terms -> terms
+                  | exception Moment_match.No_fit msg ->
+                    if options.reduce_degenerate then attempt (q' - 1)
+                    else raise (Degenerate msg)
+                  | exception Moment_match.Unstable ps ->
+                    raise (Unstable_fit ps)
+                end
+              in
+              attempt q
+            end
+          in
+          let base_terms = fit_of base_prob base_ws in
+          let base_component =
+            { Approx.t_shift = 0.;
+              scale = 1.;
+              p_const = base_prob.Moments.d0.(out_var);
+              p_slope = base_prob.Moments.d1.(out_var);
+              transient = base_terms }
+          in
+          let break_components = ref [] in
+          for col = 0 to nsrc - 1 do
+            match breaks_of col with
+            | [] -> ()
+            | breaks ->
+              let kprob, kws = kernel_of col in
+              let kterms = fit_of kprob kws in
+              List.iter
+                (fun (t_k, dr) ->
+                  break_components :=
+                    { Approx.t_shift = t_k;
+                      scale = dr;
+                      p_const = kprob.Moments.d0.(out_var);
+                      p_slope = kprob.Moments.d1.(out_var);
+                      transient = kterms }
+                    :: !break_components)
+                breaks
+          done;
+          { sys;
+            node;
+            q;
+            response = base_component :: List.rev !break_components;
+            base = base_terms }
+        with
+        | a -> { node; outcome = Approximation a }
+        | exception Degenerate msg -> { node; outcome = Failed msg }
+        | exception Unstable_fit _ ->
+          { node; outcome = Failed "unstable fit" })
+      out_vars
+
+  let delays_all ?options sys ~nodes ~q ~threshold ~t_max =
+    approximate_all ?options sys ~nodes ~q
+    |> List.map (fun r ->
+           match r.outcome with
+           | Approximation a -> (r.node, delay a ~threshold ~t_max)
+           | Failed _ -> (
+             (* a node whose fixed-order fit is degenerate or unstable
+                gets individual order escalation (paper, Section 3.3) *)
+             match auto ?options sys ~node:r.node with
+             | a, _ -> (r.node, delay a ~threshold ~t_max)
+             | exception (Degenerate _ | Unstable_fit _) -> (r.node, None)))
+
+  let elmore_all sys =
+    let engine = Moments.make sys in
+    let op0 = Circuit.Dc.initial sys in
+    let op0p = Circuit.Dc.at_zero_plus sys op0 in
+    let prob = Moments.base_problem engine op0p in
+    let ws = Moments.vectors engine prob ~count:2 in
+    let ckt = Circuit.Mna.circuit sys in
+    List.init (ckt.Circuit.Netlist.node_count - 1) (fun i ->
+        let node = i + 1 in
+        let v = Circuit.Mna.node_var sys node in
+        let mu0 = ws.(0).(v) and mu1 = ws.(1).(v) in
+        let td = if Float.abs mu0 < 1e-300 then 0. else -.(mu1 /. mu0) in
+        (node, td))
+
+end

@@ -1,0 +1,183 @@
+(** Asymptotic Waveform Evaluation — the top-level driver.
+
+    Given a circuit, an output node, and an approximation order [q],
+    [approximate] produces an evaluable reduced-order response:
+
+    + the operating points at [0-] and [0+] fix the initial conditions
+      and input jumps (paper, eq. 8);
+    + one moment sequence is reduced for the base transient (sources at
+      their [0+] values and slopes), and one per ramp-slope break of
+      each source waveform, shifted and scaled by superposition (paper,
+      Section 4.3, eqs. 63-66);
+    + each sequence is moment-matched to [q] poles and residues (paper,
+      eqs. 24-29), with frequency scaling (eq. 47).
+
+    The order-control loop [auto] implements Section 3.3-3.4: escalate
+    [q] until the (q+1)-vs-q error estimate drops below tolerance,
+    treating unstable or degenerate fits as escalation signals. *)
+
+(* Submodules re-exported at the library root. *)
+module Moments : module type of Moments
+module Approx : module type of Approx
+module Moment_match : module type of Moment_match
+module Error_est : module type of Error_est
+module Elmore : module type of Elmore
+module Tree_link : module type of Tree_link
+module Two_pole : module type of Two_pole
+module Ac : module type of Ac
+
+
+type options = {
+  match_slope : bool;
+      (** replace the highest moment by the initial-derivative condition
+          (the paper's [m_(-2)] matching, Section 4.3); removes the
+          [t = 0] glitch of ramp responses.  Default [false]. *)
+  scale_moments : bool;  (** frequency scaling, eq. 47.  Default [true]. *)
+  check_stability : bool;
+      (** raise on right-half-plane poles.  Default [true]. *)
+  sparse : bool;  (** sparse LU for the moment solves.  Default [false]. *)
+  reduce_degenerate : bool;
+      (** when a subproblem's moment matrix is singular at order [q]
+          (fewer than [q] poles participate), retry it at decreasing
+          order instead of failing.  Default [true]. *)
+  expansion_shift : float;
+      (** expansion point [s0] for the moment recursion (default [0.],
+          the paper's Maclaurin expansion).  A negative real shift near
+          the band of interest resolves fast poles that the DC
+          expansion sees weakly — see {!Moments.make}. *)
+}
+
+val default_options : options
+
+type t = {
+  sys : Circuit.Mna.t;
+  node : Circuit.Element.node;
+  q : int;
+  response : Approx.response;
+  base : Approx.transient;
+      (** the base component's transient: its poles are "the" AWE poles
+          reported in the paper's tables *)
+}
+
+exception Degenerate of string
+(** No usable fit at any order for a required subproblem. *)
+
+exception Unstable_fit of Linalg.Cx.t list
+(** Re-raise of {!Moment_match.Unstable} with the offending poles;
+    escalate the order (paper, Section 3.3). *)
+
+(** What to observe: a node voltage, or the branch current of a
+    voltage-defined element (independent V source, inductor, VCVS,
+    CCVS).  Observing the input source's current yields the
+    driving-point (input admittance) reduction — total delivered
+    charge, effective capacitance, supply-current waveforms. *)
+type observable =
+  | Node of Circuit.Element.node
+  | Branch_current of int  (** element index *)
+
+val approximate_observable :
+  ?options:options -> Circuit.Mna.t -> observable:observable -> q:int -> t
+(** Reduce any observable's response.  For [Branch_current] the [node]
+    field of the result is meaningless (ground). *)
+
+val approximate :
+  ?options:options -> Circuit.Mna.t -> node:Circuit.Element.node -> q:int -> t
+
+val eval : t -> float -> float
+(** The approximate output voltage at time [t >= 0]. *)
+
+val waveform : t -> t_stop:float -> samples:int -> Waveform.t
+
+val poles : t -> Linalg.Cx.t list
+(** Approximating poles of the base transient, ascending magnitude
+    (dominant first). *)
+
+val residues : t -> (Linalg.Cx.t * Linalg.Cx.t) list
+(** [(pole, residue)] of the base transient. *)
+
+val steady_state : t -> float
+(** Final value of the approximation; exact by construction (moment 0
+    matching — paper, Section 3.3). *)
+
+val delay : t -> threshold:float -> t_max:float -> float option
+(** First rising crossing of [threshold]. *)
+
+val error_estimate :
+  ?options:options ->
+  Circuit.Mna.t ->
+  node:Circuit.Element.node ->
+  q:int ->
+  float
+(** The paper's error term for order [q]: relative L2 distance between
+    the order-[q] and order-[q+1] base transients (Section 3.4), as a
+    fraction. *)
+
+val auto :
+  ?options:options ->
+  ?tol:float ->
+  ?q_max:int ->
+  Circuit.Mna.t ->
+  node:Circuit.Element.node ->
+  t * float
+(** Adaptive order control: starting at [q = 1], escalate while the
+    error estimate exceeds [tol] (default [0.02]) or the fit is
+    unstable/degenerate, up to [q_max] (default [8]).  Returns the
+    chosen approximation and its error estimate. *)
+
+val elmore_equivalent : Circuit.Mna.t -> node:Circuit.Element.node -> float
+(** The generalized Elmore delay [-mu_1 / mu_0] obtained from the first
+    two moments (equal to the classical Elmore delay on RC trees, and
+    to the steady-state-scaled delay of eq. 3 with grounded
+    resistors). *)
+
+(** Batched AWE over many outputs: one moment computation shared by
+    every observation node (paper, Section IV / eq. 56). *)
+module Batch : sig
+  (** Batched AWE over many outputs.
+
+      The expensive work — factoring the DC matrix and running the moment
+      recursion — is independent of the observation node: the recursion
+      produces full moment *vectors* and each output only projects them
+      (paper, Section IV: one tree/link solve yields the Elmore delays of
+      {e all} nodes, eq. 56).  This module amortizes that work across all
+      requested outputs, which is how a timing analyzer evaluates every
+      sink of a net from a single analysis. *)
+
+  type result = {
+    node : Circuit.Element.node;
+    outcome : outcome;
+  }
+
+  and outcome =
+    | Approximation of t
+    | Failed of string
+        (** degenerate or unstable at the requested order even after
+            in-scope reduction; the node needs individual escalation *)
+
+  val approximate_all :
+    ?options:options ->
+    Circuit.Mna.t ->
+    nodes:Circuit.Element.node list ->
+    q:int ->
+    result list
+  (** One moment computation, one fit per node.  Results are in the order
+      of [nodes].  Raises [Invalid_argument] if any node is ground. *)
+
+  val delays_all :
+    ?options:options ->
+    Circuit.Mna.t ->
+    nodes:Circuit.Element.node list ->
+    q:int ->
+    threshold:float ->
+    t_max:float ->
+    (Circuit.Element.node * float option) list
+  (** Threshold-crossing delay at every node from one batched analysis.
+      Nodes whose fixed-order fit fails are retried individually with
+      adaptive order escalation before reporting [None]. *)
+
+  val elmore_all :
+    Circuit.Mna.t -> (Circuit.Element.node * float) list
+  (** Generalized Elmore delay [-mu_1/mu_0] of every non-ground node from
+      a single pair of moment vectors. *)
+
+end

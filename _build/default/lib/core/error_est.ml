@@ -1,0 +1,251 @@
+open Linalg
+open Cx
+
+(* flatten a transient into (pole, power, coefficient) monomials
+   K t^i e^(pt) / i! *)
+let monomials terms =
+  List.concat_map
+    (fun { Approx.pole; coeffs } ->
+      Array.to_list coeffs
+      |> List.mapi (fun i k -> (pole, i, k))
+      |> List.filter (fun (_, _, k) -> Cx.abs k > 0.))
+    terms
+
+let check_stable name terms =
+  if not (Approx.transient_stable terms) then
+    invalid_arg ("Error_est." ^ name ^ ": transient is unstable")
+
+(* closed form: integral over [0, inf) of
+     (K_a t^i e^(p_a t)/i!) (K_b t^j e^(p_b t)/j!)
+   = K_a K_b (i+j)! / (i! j! (-(p_a+p_b))^(i+j+1)) *)
+let inner_product ms_a ms_b =
+  let fact n =
+    let rec go acc k = if k <= 1 then acc else go (acc *. float_of_int k) (k - 1) in
+    go 1. n
+  in
+  List.fold_left
+    (fun acc (pa, i, ka) ->
+      List.fold_left
+        (fun acc (pb, j, kb) ->
+          let s = pa +: pb in
+          let coeff = fact (i + j) /. (fact i *. fact j) in
+          let denom = Cx.pow_int (Cx.neg s) (i + j + 1) in
+          acc +: Cx.scale coeff (ka *: kb /: denom))
+        acc ms_b)
+    Cx.zero ms_a
+
+let l2_norm_sq terms =
+  check_stable "l2_norm_sq" terms;
+  let v = inner_product (monomials terms) (monomials terms) in
+  Float.max 0. v.Cx.re
+
+let l2_distance a b =
+  check_stable "l2_distance" a;
+  check_stable "l2_distance" b;
+  let negated =
+    List.map
+      (fun t -> { t with Approx.coeffs = Array.map Cx.neg t.Approx.coeffs })
+      b
+  in
+  let ms = monomials (a @ negated) in
+  let v = inner_product ms ms in
+  Stdlib.sqrt (Float.max 0. v.Cx.re)
+
+let relative_error ~exact approx =
+  let norm = Stdlib.sqrt (l2_norm_sq exact) in
+  if norm = 0. then l2_distance exact approx
+  else l2_distance exact approx /. norm
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Cauchy-inequality pairing bound (eqs. 40-46).           *)
+
+(* a "unit" is a real-valued building block: either a single real-pole
+   term or a conjugate pole pair *)
+type unit_fn = {
+  rep_pole : Cx.t; (* representative pole (upper half plane for pairs) *)
+  residue : Cx.t; (* leading residue of the representative *)
+  fn : (Cx.t * int * Cx.t) list; (* monomials of the real function *)
+}
+
+let has_repeated terms =
+  List.exists (fun t -> Array.length t.Approx.coeffs > 1) terms
+
+let units_of terms =
+  (* group conjugate pairs greedily *)
+  let remaining = ref (List.filter (fun t -> Cx.abs t.Approx.coeffs.(0) > 0.) terms) in
+  let out = ref [] in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | t :: rest ->
+      if Cx.is_real t.Approx.pole then begin
+        remaining := rest;
+        out :=
+          { rep_pole = t.Approx.pole;
+            residue = t.Approx.coeffs.(0);
+            fn = [ (t.Approx.pole, 0, t.Approx.coeffs.(0)) ] }
+          :: !out
+      end
+      else begin
+        (* find the conjugate partner *)
+        let conj_pole = Cx.conj t.Approx.pole in
+        let partner, others =
+          List.partition
+            (fun t' -> Cx.abs (t'.Approx.pole -: conj_pole) <= 1e-9 *. Cx.abs conj_pole)
+            rest
+        in
+        match partner with
+        | p :: extra ->
+          remaining := extra @ others;
+          let rep =
+            if t.Approx.pole.Cx.im > 0. then t else p
+          in
+          let other = if rep == t then p else t in
+          out :=
+            { rep_pole = rep.Approx.pole;
+              residue = rep.Approx.coeffs.(0);
+              fn =
+                [ (rep.Approx.pole, 0, rep.Approx.coeffs.(0));
+                  (other.Approx.pole, 0, other.Approx.coeffs.(0)) ] }
+            :: !out
+        | [] ->
+          (* unpaired complex term: treat alone (its real part) *)
+          remaining := others;
+          out :=
+            { rep_pole = t.Approx.pole;
+              residue = t.Approx.coeffs.(0);
+              fn = [ (t.Approx.pole, 0, t.Approx.coeffs.(0)) ] }
+            :: !out
+      end
+  done;
+  List.rev !out
+
+let diff_energy fa fb =
+  (* integral of (fa - fb)^2 via the closed form *)
+  let neg = List.map (fun (p, i, k) -> (p, i, Cx.neg k)) fb in
+  let ms = fa @ neg in
+  Float.max 0. (inner_product ms ms).Cx.re
+
+let unit_with_residue u k =
+  (* same pole structure as u but leading residue k (conjugated on the
+     partner term) *)
+  match u.fn with
+  | [ (p, 0, _) ] -> [ (p, 0, k) ]
+  | [ (p1, 0, _); (p2, 0, _) ] -> [ (p1, 0, k); (p2, 0, Cx.conj k) ]
+  | _ -> u.fn
+
+let cauchy_bound ~exact approx =
+  if has_repeated exact || has_repeated approx then
+    relative_error ~exact approx
+  else begin
+    check_stable "cauchy_bound" exact;
+    check_stable "cauchy_bound" approx;
+    let ue = units_of exact in
+    let ua = Array.of_list (units_of approx) in
+    let used = Array.make (Array.length ua) false in
+    (* greedy nearest-pole pairing, dominant exact units first *)
+    let ordered =
+      List.sort
+        (fun a b -> Cx.compare_by_magnitude a.rep_pole b.rep_pole)
+        ue
+    in
+    let pairs = ref [] and leftovers = ref [] in
+    List.iter
+      (fun u ->
+        let best = ref (-1) and bestd = ref Float.infinity in
+        Array.iteri
+          (fun i a ->
+            if not used.(i) then begin
+              let d = Cx.abs (a.rep_pole -: u.rep_pole) in
+              if d < !bestd then begin
+                bestd := d;
+                best := i
+              end
+            end)
+          ua;
+        if !best >= 0 then begin
+          used.(!best) <- true;
+          pairs := (u, ua.(!best)) :: !pairs
+        end
+        else leftovers := u :: !leftovers)
+      ordered;
+    (* assign each surplus exact unit to its nearest approx unit *)
+    let splits = Hashtbl.create 4 in
+    List.iter
+      (fun u ->
+        let best = ref (-1) and bestd = ref Float.infinity in
+        Array.iteri
+          (fun i a ->
+            let d = Cx.abs (a.rep_pole -: u.rep_pole) in
+            if d < !bestd then begin
+              bestd := d;
+              best := i
+            end)
+          ua;
+        if !best >= 0 then
+          Hashtbl.replace splits !best
+            (u
+            :: (match Hashtbl.find_opt splits !best with
+               | Some l -> l
+               | None -> [])))
+      !leftovers;
+    let energies = ref [] in
+    List.iter
+      (fun (u, a) ->
+        let idx = ref (-1) in
+        Array.iteri (fun i a' -> if a' == a then idx := i) ua;
+        match Hashtbl.find_opt splits !idx with
+        | None ->
+          (* ordinary pair: full difference *)
+          energies := diff_energy u.fn a.fn :: !energies
+        | Some surplus ->
+          (* the paper's split (eqs. 42-43): the primary exact unit is
+             compared against the approx pole carrying the primary's
+             own residue; each surplus unit against the residue
+             remainder *)
+          energies :=
+            diff_energy u.fn (unit_with_residue a u.residue) :: !energies;
+          let remainder = ref (a.residue -: u.residue) in
+          List.iter
+            (fun s ->
+              energies :=
+                diff_energy s.fn (unit_with_residue a !remainder)
+                :: !energies;
+              remainder := Cx.zero)
+            surplus)
+      !pairs;
+    (* surplus units whose nearest approx unit had no primary pair *)
+    List.iter
+      (fun u ->
+        let covered =
+          Hashtbl.fold
+            (fun idx us acc ->
+              acc
+              || (List.memq u us
+                 && List.exists (fun (_, a) -> a == ua.(idx)) !pairs))
+            splits false
+        in
+        if not covered then begin
+          let best = ref (-1) and bestd = ref Float.infinity in
+          Array.iteri
+            (fun i a ->
+              let d = Cx.abs (a.rep_pole -: u.rep_pole) in
+              if d < !bestd then begin
+                bestd := d;
+                best := i
+              end)
+            ua;
+          if !best < 0 then energies := diff_energy u.fn [] :: !energies
+        end)
+      !leftovers;
+    (* unmatched approx units count in full *)
+    Array.iteri
+      (fun i a -> if not used.(i) then energies := diff_energy [] a.fn :: !energies)
+      ua;
+    let m = List.length !energies in
+    let total =
+      float_of_int m *. List.fold_left ( +. ) 0. !energies
+    in
+    let norm = Stdlib.sqrt (l2_norm_sq exact) in
+    if norm = 0. then Stdlib.sqrt total else Stdlib.sqrt total /. norm
+  end

@@ -1,0 +1,34 @@
+(** Accuracy estimation for AWE approximations (paper, Section 3.4).
+
+    The paper measures accuracy as the L2 waveform difference between
+    the q-pole approximation and the exact response (eq. 35),
+    approximated by substituting the (q+1)-pole model for the exact
+    response (eq. 39).  Because the difference of two stable
+    exponential sums has a closed-form L2 norm, the estimate never
+    integrates numerically.
+
+    Two estimators are provided: the {e exact} L2 distance between the
+    two models (all cross terms, still only O(q^2) scalar operations),
+    and the paper's {e Cauchy-inequality bound} (eqs. 40-46) which
+    pairs nearest terms and over-estimates — kept for the ablation
+    benchmark that reproduces the paper's arithmetic. *)
+
+val l2_norm_sq : Approx.transient -> float
+(** [integral of x_h(t)^2 dt] in closed form; requires a stable
+    transient (raises [Invalid_argument] otherwise). *)
+
+val l2_distance : Approx.transient -> Approx.transient -> float
+(** Exact L2 distance between two stable transients. *)
+
+val relative_error : exact:Approx.transient -> Approx.transient -> float
+(** [l2_distance exact approx / sqrt (l2_norm_sq exact)] — the paper's
+    normalized "error term" (eqs. 35-39), as a fraction (0.36 = 36%). *)
+
+val cauchy_bound : exact:Approx.transient -> Approx.transient -> float
+(** The paper's pairing bound on the (relative) error: terms of the two
+    models are greedily paired by pole proximity, the surplus exact
+    term is split against the residual of its nearest partner
+    (eqs. 42-43), and per-pair differences integrate by eq. 45.
+    Returns an upper estimate of the relative error.  Requires simple
+    poles; falls back to [relative_error] when either transient has a
+    repeated pole. *)

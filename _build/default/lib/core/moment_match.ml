@@ -1,0 +1,95 @@
+open Linalg
+
+exception No_fit of string
+
+exception Unstable of Cx.t list
+
+let scale_factor mu =
+  let n = Array.length mu in
+  let rec find i =
+    if i + 1 >= n then 1.
+    else begin
+      let a = mu.(i) and b = mu.(i + 1) in
+      if Float.abs a > 1e-300 && Float.abs b > 1e-300 then
+        Float.abs (b /. a)
+      else find (i + 1)
+    end
+  in
+  let tau = find 0 in
+  if Float.is_finite tau && tau > 0. then tau else 1.
+
+let scaled_mu ~scale mu =
+  if not scale then (Array.copy mu, 1.)
+  else begin
+    let tau = scale_factor mu in
+    let out = Array.mapi (fun j v -> v /. Float.pow tau (float_of_int j)) mu in
+    (out, tau)
+  end
+
+let reciprocal_roots ~q mus =
+  let cp =
+    try Hankel.char_poly ~q mus
+    with Hankel.Deficient k ->
+      raise
+        (No_fit
+           (Printf.sprintf "moment matrix singular at order %d (step %d)" q k))
+  in
+  Poly.roots cp
+
+let poles ?(scale = true) ?(shift = 0.) ~q mu =
+  if Array.length mu < 2 * q then
+    invalid_arg "Moment_match.poles: need at least 2q moments";
+  let mus, tau = scaled_mu ~scale mu in
+  reciprocal_roots ~q mus
+  |> List.map (fun z ->
+         let z = Cx.scale tau z in
+         if Cx.abs z = 0. then raise (No_fit "zero reciprocal pole")
+         else Cx.(re shift +: inv z))
+  |> List.sort Cx.compare_by_magnitude
+
+let fit ?(scale = true) ?(check_stability = true) ?(shift = 0.) ?slope ~q mu
+    =
+  if Array.length mu < 2 * q then
+    invalid_arg "Moment_match.fit: need at least 2q moments";
+  let mus, tau = scaled_mu ~scale mu in
+  let zs = Array.of_list (reciprocal_roots ~q mus) in
+  (* cluster repeated reciprocal poles, then solve the (confluent)
+     Vandermonde residue system in the scaled variable *)
+  let clusters = Vandermonde.cluster_nodes zs in
+  let rhs = Array.init q (fun j -> Cx.re mus.(j)) in
+  let slope_scaled =
+    (* the slope condition is sum k p = d; with expansion point s0 the
+       z-form reads sum k/z = d - s0 mu_0, and in scaled variables
+       z' = z / tau the right-hand side gains a factor tau *)
+    Option.map
+      (fun d -> Cx.re ((d -. (shift *. mu.(0))) *. tau))
+      slope
+  in
+  let groups =
+    try Vandermonde.solve_confluent clusters ~slope:slope_scaled rhs
+    with Cmatrix.Singular _ -> raise (No_fit "residue system singular")
+  in
+  (* unscale: z = z' * tau, then p = shift + 1/z; the coefficient of
+     t^i e^(pt)/i! scales as K' / tau^i because t' = t / tau *)
+  let terms =
+    Array.to_list
+      (Array.mapi
+         (fun c cl ->
+           let z = Cx.scale tau cl.Vandermonde.node in
+           if Cx.abs z = 0. then raise (No_fit "zero reciprocal pole");
+           let pole = Cx.(re shift +: inv z) in
+           let coeffs =
+             Array.mapi
+               (fun i k -> Cx.scale (Float.pow tau (-.float_of_int i)) k)
+               groups.(c)
+           in
+           { Approx.pole; coeffs })
+         clusters)
+  in
+  if check_stability && not (Approx.transient_stable terms) then
+    raise (Unstable (Approx.transient_poles terms));
+  terms
+
+let condition_number ?(scale = true) ~q mu =
+  let mus, _ = scaled_mu ~scale mu in
+  Hankel.rcond ~q mus

@@ -1,0 +1,51 @@
+(** Moment matching: from a scalar moment sequence to the reduced
+    q-pole model (paper, Section 3.1 and eqs. 24-29).
+
+    The pipeline is: frequency-scale the moments (eq. 47) so the
+    Hankel matrix stays well conditioned; solve the Hankel system for
+    the characteristic polynomial (eq. 24); root it for the reciprocal
+    poles (eq. 25); cluster any coincident roots; and solve the
+    (confluent) Vandermonde system for the residues (eqs. 20, 29). *)
+
+exception No_fit of string
+(** The moment matrix is singular at this order (degenerate response;
+    paper Section 3.3 — escalate the order), or root finding failed. *)
+
+exception Unstable of Linalg.Cx.t list
+(** The fit produced poles with non-negative real part.  The paper's
+    remedy (Section 3.3) is a higher order; callers that want the raw
+    fit anyway can use [~check_stability:false]. *)
+
+val scale_factor : float array -> float
+(** The frequency normalization [tau = |mu_1 / mu_0|] (the paper's
+    [gamma = m_(-1)/m_0], a dominant-time-constant estimate), falling
+    back to later ratios when [mu_0] vanishes, and to [1.] when no
+    information is available. *)
+
+val poles :
+  ?scale:bool -> ?shift:float -> q:int -> float array -> Linalg.Cx.t list
+(** [poles ~q mu] computes the [q] approximating poles from at least
+    [2q] moments.  [scale] (default [true]) applies frequency scaling;
+    the ablation benchmark turns it off.  [shift] is the expansion
+    point the moments were generated about (see {!Moments.make}): the
+    recovered reciprocal roots [z] map back as [p = shift + 1/z].
+    Raises [No_fit]. *)
+
+val fit :
+  ?scale:bool ->
+  ?check_stability:bool ->
+  ?shift:float ->
+  ?slope:float ->
+  q:int ->
+  float array ->
+  Approx.transient
+(** Full fit: poles plus residues as an evaluable transient.  When
+    [slope] is given, the highest moment condition is replaced by the
+    initial-derivative condition (the paper's [m_(-2)] matching,
+    Section 4.3), which pins the [t = 0] slope of the model.
+    [check_stability] (default [true]) raises [Unstable] on
+    right-half-plane poles.  Raises [No_fit]. *)
+
+val condition_number : ?scale:bool -> q:int -> float array -> float
+(** Reciprocal condition estimate of the (scaled) moment matrix — the
+    quantity the frequency-scaling ablation reports. *)

@@ -1,0 +1,126 @@
+open Linalg
+
+type moment_solver =
+  | Dc_based of Circuit.Mna.dc_solver (* expansion about s = 0 *)
+  | Shifted of Lu.t (* LU of (G + s0 C); nonsingular off the spectrum *)
+
+type engine = {
+  sys : Circuit.Mna.t;
+  solver : Circuit.Mna.dc_solver; (* true DC solves: particular, steady *)
+  moment_solver : moment_solver;
+  shift : float;
+  c_csr : Sparse.Csr.t;
+  no_charge : float array; (* zero conserved charge per floating group *)
+}
+
+let make ?(sparse = false) ?(shift = 0.) sys =
+  let solver = Circuit.Mna.dc_factor ~sparse sys in
+  let moment_solver =
+    if shift = 0. then Dc_based solver
+    else begin
+      let m =
+        Matrix.add (Circuit.Mna.g sys)
+          (Matrix.scale shift (Circuit.Mna.c sys))
+      in
+      match Lu.factor m with
+      | f -> Shifted f
+      | exception Lu.Singular _ -> raise Circuit.Mna.Singular_dc
+    end
+  in
+  { sys;
+    solver;
+    moment_solver;
+    shift;
+    c_csr = Circuit.Mna.c_csr sys;
+    no_charge = Array.make (Circuit.Mna.charge_group_count sys) 0. }
+
+let sys e = e.sys
+
+let shift e = e.shift
+
+let advance e w =
+  let cw = Sparse.Csr.mul_vec e.c_csr w in
+  match e.moment_solver with
+  | Dc_based solver ->
+    Vec.neg (Circuit.Mna.dc_solve solver ~rhs:cw ~charges:e.no_charge)
+  | Shifted f -> Vec.neg (Lu.solve f cw)
+
+type problem = {
+  x_h0 : Vec.t;
+  d0 : Vec.t;
+  d1 : Vec.t;
+  xdot_h0 : (Vec.t * bool array) option;
+}
+
+(* particular solution x_p(t) = d0 + d1 t for excitation u0 + u1 t:
+     G d1 = B u1              (zero conserved charge: the particular
+                               must not carry group charge drift)
+     G d0 = B u0 - C d1       (group charge = the charge of the true
+                               solution, so x_h(0) is charge-neutral) *)
+let particular e ~u0 ~u1 ~charges =
+  let b = Circuit.Mna.b e.sys in
+  let d1 =
+    Circuit.Mna.dc_solve e.solver ~rhs:(Matrix.mul_vec b u1)
+      ~charges:e.no_charge
+  in
+  let rhs0 =
+    Vec.sub (Matrix.mul_vec b u0) (Sparse.Csr.mul_vec e.c_csr d1)
+  in
+  let d0 = Circuit.Mna.dc_solve e.solver ~rhs:rhs0 ~charges in
+  (d0, d1)
+
+let base_problem e (op0p : Circuit.Dc.op) =
+  let sys = e.sys in
+  let nsrc = Circuit.Mna.source_count sys in
+  let canon =
+    Array.init nsrc (fun col ->
+        Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col))
+  in
+  let u0 = Array.map (fun c -> c.Circuit.Element.v0) canon in
+  let u1 = Array.map (fun c -> c.Circuit.Element.slope0) canon in
+  let x0 = op0p.Circuit.Dc.x in
+  let charges = Circuit.Mna.charges_of sys x0 in
+  let d0, d1 = particular e ~u0 ~u1 ~charges in
+  let x_h0 = Vec.sub x0 d0 in
+  let xdot_h0 =
+    match Circuit.Mna.state_derivative sys ~x:x0 ~u:u0 with
+    | None -> None
+    | Some (xdot, mask) -> Some (Vec.sub xdot d1, mask)
+  in
+  { x_h0; d0; d1; xdot_h0 }
+
+let ramp_kernel e ~src_col =
+  let sys = e.sys in
+  let nsrc = Circuit.Mna.source_count sys in
+  if src_col < 0 || src_col >= nsrc then
+    invalid_arg "Moments.ramp_kernel: bad source column";
+  let u0 = Vec.create nsrc in
+  let u1 = Vec.basis nsrc src_col in
+  let d0, d1 = particular e ~u0 ~u1 ~charges:e.no_charge in
+  (* zero state: x(0+) = 0, and x'(0+) = 0 on the dynamic subspace *)
+  let x_h0 = Vec.neg d0 in
+  let xdot_h0 =
+    let n = Circuit.Mna.size sys in
+    match Circuit.Mna.state_derivative sys ~x:(Vec.create n) ~u:u0 with
+    | None -> None
+    | Some (xdot, mask) -> Some (Vec.sub xdot d1, mask)
+  in
+  { x_h0; d0; d1; xdot_h0 }
+
+let vectors e p ~count =
+  if count < 1 then invalid_arg "Moments.vectors: count must be >= 1";
+  let ws = Array.make count p.x_h0 in
+  for j = 1 to count - 1 do
+    ws.(j) <- advance e ws.(j - 1)
+  done;
+  ws
+
+let mu ws ~out_var = Array.map (fun w -> w.(out_var)) ws
+
+let mu_slope p ~out_var =
+  match p.xdot_h0 with
+  | Some (xdot, mask) when mask.(out_var) -> Some xdot.(out_var)
+  | Some _ | None -> None
+
+let is_negligible mu =
+  Array.for_all (fun v -> Float.abs v < 1e-200) mu

@@ -1,0 +1,83 @@
+(** The AWE moment engine (paper, Sections 3.1-3.2).
+
+    The homogeneous response of the MNA descriptor system
+    [G x + C x' = B u] is characterized by the vectors
+
+    {v w_0 = x_h(0),   w_(j+1) = -G^-1 (C w_j) v}
+
+    (the action of [A^-1], eq. 32, never forming [A] or inverting the
+    energy-storage matrix).  The scalar moment sequence of an output is
+    the projection [mu_j = w_j(out)]: [mu_0] is the initial transient
+    value (the paper's [m_(-1)]), and [mu_(j+1) = -m_j] in the paper's
+    numbering.  In terms of the reduced model
+    [x_h(t) = sum_l k_l exp(p_l t)], the [mu_j] are the power sums
+    [sum_l k_l z_l^j] in the reciprocal poles [z_l = 1/p_l] — the form
+    consumed by moment matching and residue recovery.
+
+    One [Mna.dc_factor] LU factorization is shared by every solve: the
+    steady state, the particular solution, and all [2q] moments (the
+    paper's central complexity claim, Section 3.2). *)
+
+type engine
+
+val make : ?sparse:bool -> ?shift:float -> Circuit.Mna.t -> engine
+(** Factor the (augmented) conductance matrix once.  Raises
+    [Circuit.Mna.Singular_dc] when the circuit has no unique DC
+    solution.
+
+    [shift] (default [0.]) expands the moments about [s0 = shift]
+    instead of the origin: the recursion becomes
+    [w_(j+1) = -(G + s0 C)^-1 (C w_j)], whose power sums are in
+    [z = 1/(p - s0)].  A negative real shift near the frequency band of
+    interest sharpens the resolution of fast poles that an expansion
+    about DC sees only weakly — the direction later formalized as
+    multipoint moment matching (CFH).  The particular solution and
+    steady state always use the true DC solve. *)
+
+val shift : engine -> float
+
+val sys : engine -> Circuit.Mna.t
+
+val advance : engine -> Linalg.Vec.t -> Linalg.Vec.t
+(** One application of [A^-1]: [advance e w = -G^-1 (C w)], with zero
+    conserved charge on floating groups (the homogeneous subspace). *)
+
+(** A transient subproblem: one excitation whose homogeneous response
+    AWE will reduce.  [x_h0] is the homogeneous initial vector
+    (eq. 8), [d0]/[d1] the affine particular solution
+    [x_p(t) = d0 + d1 t] (eq. 6), and [xdot_h0] the homogeneous initial
+    derivative when available — the paper's [m_(-2)] term
+    (Section 4.3). *)
+type problem = {
+  x_h0 : Linalg.Vec.t;
+  d0 : Linalg.Vec.t;
+  d1 : Linalg.Vec.t;
+  xdot_h0 : (Linalg.Vec.t * bool array) option;
+}
+
+val base_problem : engine -> Circuit.Dc.op -> problem
+(** [base_problem e op_0plus]: the transient launched at
+    [t = 0] by the input jumps and the nonequilibrium initial
+    conditions, with every source frozen to its [0+] value and initial
+    slope.  The particular solution accounts for floating-group charge
+    conservation (charge at infinity = charge at [0+]). *)
+
+val ramp_kernel : engine -> src_col:int -> problem
+(** The zero-state response to a unit ramp (slope 1, starting at
+    [t = 0]) on source column [src_col]: the building block of the
+    paper's ramp superposition (Fig. 13).  Scaled and time-shifted
+    copies of this kernel assemble any piecewise-linear excitation. *)
+
+val vectors : engine -> problem -> count:int -> Linalg.Vec.t array
+(** [vectors e p ~count] is [[| w_0; ...; w_(count-1) |]]. *)
+
+val mu : Linalg.Vec.t array -> out_var:int -> float array
+(** Project moment vectors on one output unknown. *)
+
+val mu_slope : problem -> out_var:int -> float option
+(** The initial transient slope at the output ([sum_l k_l p_l] in the
+    reduced model), when the output position is dynamic. *)
+
+val is_negligible : float array -> bool
+(** True when a moment sequence is numerically zero — the subproblem
+    excites no transient at this output and should be skipped. *)

@@ -1,0 +1,224 @@
+exception Unsupported of string
+
+type t = {
+  ckt : Circuit.Netlist.circuit;
+  n : int; (* node count *)
+  order : int array; (* BFS order from the source node, tree nodes only *)
+  parent : int array; (* parent node in the tree; -1 for roots *)
+  edge_r : float array; (* resistance of the edge to the parent *)
+  links : (int * int * float) array; (* (a, b, R) non-tree resistors *)
+  link_solver : Linalg.Lu.t option; (* factored link system *)
+  phi : float array array; (* unit link-current voltage profiles *)
+  cap : float array; (* grounded capacitance per node *)
+  v_init : float array; (* node voltages at t = 0 *)
+  v_ss : float array; (* steady-state node voltages *)
+}
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* tree solve: node voltages for injections [inj] (current pushed into
+   each node) with the source forced to [u]. O(n). *)
+let tree_solve st ~u ~inj =
+  let n = st.n in
+  (* subtree injection sums, children before parents: reverse BFS *)
+  let s = Array.copy inj in
+  for i = Array.length st.order - 1 downto 0 do
+    let node = st.order.(i) in
+    let p = st.parent.(node) in
+    if p >= 0 then s.(p) <- s.(p) +. s.(node)
+  done;
+  let v = Array.make n 0. in
+  Array.iter
+    (fun node ->
+      let p = st.parent.(node) in
+      if p < 0 then v.(node) <- u
+      else v.(node) <- v.(p) +. (st.edge_r.(node) *. s.(node)))
+    st.order;
+  v
+
+(* full solve: tree + link correction *)
+let solve st ~u ~inj =
+  let v0 = tree_solve st ~u ~inj in
+  match st.link_solver with
+  | None -> v0
+  | Some f ->
+    let rhs =
+      Array.map (fun (a, b, _) -> -.(v0.(a) -. v0.(b))) st.links
+    in
+    let i_link = Linalg.Lu.solve f rhs in
+    let v = Array.copy v0 in
+    Array.iteri
+      (fun m im ->
+        let profile = st.phi.(m) in
+        for node = 0 to st.n - 1 do
+          v.(node) <- v.(node) +. (im *. profile.(node))
+        done)
+      i_link;
+    v
+
+let prepare (ckt : Circuit.Netlist.circuit) =
+  let n = ckt.Circuit.Netlist.node_count in
+  (* classify elements *)
+  let source = ref None in
+  let resistors = ref [] in
+  let cap = Array.make n 0. in
+  let cap_ic : float option array = Array.make n None in
+  let any_ic = ref false and any_cap_without_ic = ref false in
+  Array.iter
+    (fun e ->
+      match e with
+      | Circuit.Element.Vsource { np; nn; wave; _ } ->
+        if !source <> None then
+          unsupported "tree/link fast path handles a single source";
+        let node, sign =
+          if nn = Circuit.Element.ground then (np, 1.)
+          else if np = Circuit.Element.ground then (nn, -1.)
+          else unsupported "source must be grounded"
+        in
+        source := Some (node, sign, wave)
+      | Circuit.Element.Resistor { np; nn; r; _ } ->
+        resistors := (np, nn, r) :: !resistors
+      | Circuit.Element.Capacitor { np; nn; c; ic; _ } ->
+        let node =
+          if nn = Circuit.Element.ground then np
+          else if np = Circuit.Element.ground then nn
+          else unsupported "floating capacitor: use the general engine"
+        in
+        cap.(node) <- cap.(node) +. c;
+        (match ic with
+        | Some v ->
+          any_ic := true;
+          cap_ic.(node) <- Some (v *. if nn = Circuit.Element.ground then 1. else -1.)
+        | None -> any_cap_without_ic := true)
+      | _ ->
+        unsupported "element %s outside the tree/link fast path"
+          (Circuit.Element.name e))
+    ckt.Circuit.Netlist.elements;
+  let src_node, src_sign, src_wave =
+    match !source with
+    | Some s -> s
+    | None -> unsupported "no driving voltage source"
+  in
+  if !any_ic && !any_cap_without_ic then
+    unsupported
+      "initial conditions must be given on every capacitor or none";
+  let canon = Circuit.Element.canonicalize src_wave in
+  (match canon.Circuit.Element.breaks, canon.Circuit.Element.slope0 with
+  | [], 0. -> ()
+  | _ -> unsupported "tree/link fast path handles step sources only");
+  (* BFS spanning tree over resistors from the source node *)
+  let adj = Array.make n [] in
+  List.iteri
+    (fun idx (a, b, r) ->
+      adj.(a) <- (b, idx, r) :: adj.(a);
+      adj.(b) <- (a, idx, r) :: adj.(b))
+    !resistors;
+  let parent = Array.make n (-1) in
+  let edge_r = Array.make n 0. in
+  let in_tree = Array.make (List.length !resistors) false in
+  let visited = Array.make n false in
+  visited.(src_node) <- true;
+  visited.(Circuit.Element.ground) <- true;
+  let order = ref [ src_node ] in
+  let queue = Queue.create () in
+  Queue.add src_node queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun (w, idx, r) ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          parent.(w) <- v;
+          edge_r.(w) <- r;
+          in_tree.(idx) <- true;
+          order := w :: !order;
+          Queue.add w queue
+        end)
+      (List.rev adj.(v))
+  done;
+  (* every node with a capacitor must be reached *)
+  Array.iteri
+    (fun node c ->
+      if c > 0. && not visited.(node) then
+        unsupported "capacitor node %s unreachable from the source"
+          ckt.Circuit.Netlist.node_names.(node))
+    cap;
+  let order = Array.of_list (List.rev !order) in
+  let links =
+    List.filteri (fun idx _ -> not in_tree.(idx)) !resistors
+    |> Array.of_list
+  in
+  let st0 =
+    { ckt;
+      n;
+      order;
+      parent;
+      edge_r;
+      links;
+      link_solver = None;
+      phi = [||];
+      cap;
+      v_init = [||];
+      v_ss = [||] }
+  in
+  (* unit link-current voltage profiles and the factored link system *)
+  let nl = Array.length links in
+  let phi =
+    Array.map
+      (fun (a, b, _) ->
+        let inj = Array.make n 0. in
+        if a <> Circuit.Element.ground then inj.(a) <- -1.;
+        if b <> Circuit.Element.ground then inj.(b) <- 1.;
+        tree_solve st0 ~u:0. ~inj)
+      links
+  in
+  let link_solver =
+    if nl = 0 then None
+    else begin
+      let m =
+        Linalg.Matrix.init nl nl (fun l k ->
+            let a, b, r = links.(l) in
+            phi.(k).(a) -. phi.(k).(b) -. if l = k then r else 0.)
+      in
+      match Linalg.Lu.factor m with
+      | f -> Some f
+      | exception Linalg.Lu.Singular _ ->
+        unsupported "link system is singular"
+    end
+  in
+  let st = { st0 with phi; link_solver } in
+  let zero_inj = Array.make n 0. in
+  let u_pre = src_sign *. canon.Circuit.Element.pre in
+  let u_0 = src_sign *. canon.Circuit.Element.v0 in
+  let v_ss = solve st ~u:u_0 ~inj:zero_inj in
+  let v_pre = solve st ~u:u_pre ~inj:zero_inj in
+  let v_init =
+    if !any_ic then
+      Array.init n (fun node ->
+          match cap_ic.(node) with Some v -> v | None -> v_pre.(node))
+    else v_pre
+  in
+  { st with v_init; v_ss }
+
+let link_count st = Array.length st.links
+
+let moment_vectors st ~count =
+  let w0 = Array.init st.n (fun i -> st.v_init.(i) -. st.v_ss.(i)) in
+  let ws = Array.make count w0 in
+  for j = 1 to count - 1 do
+    let inj = Array.mapi (fun node c -> c *. ws.(j - 1).(node)) st.cap in
+    ws.(j) <- Array.map (fun v -> -.v) (solve st ~u:0. ~inj)
+  done;
+  ws
+
+let moments st ~node ~count =
+  if node < 0 || node >= st.n then invalid_arg "Tree_link.moments: bad node";
+  if st.cap.(node) <= 0. then
+    unsupported "node %s carries no grounded capacitor"
+      st.ckt.Circuit.Netlist.node_names.(node);
+  let ws = moment_vectors st ~count in
+  Array.map (fun w -> w.(node)) ws
+
+let moment_vector st ~k =
+  if k < 0 then invalid_arg "Tree_link.moment_vector: negative index";
+  (moment_vectors st ~count:(k + 1)).(k)

@@ -1,0 +1,37 @@
+(** Tree/link moment computation (paper, Section IV).
+
+    For RC trees — and RC meshes whose extra resistors (including
+    grounded ones, Fig. 9) are treated as links closing loops over a
+    spanning tree — every AWE moment is a DC solution of the circuit
+    with capacitors replaced by current sources (Fig. 5), and each such
+    solve costs O(n + L^2) where [L] is the number of links: subtree
+    current sums up the tree, voltage accumulation down the tree, and a
+    small dense link-current correction (eqs. 51-62).  A first moment
+    computed this way {e is} the vector of Elmore delays (eq. 56).
+
+    Scope of this fast path (the general [Moments] engine handles
+    everything else): a single grounded voltage source with a step
+    waveform, resistors, grounded capacitors, and initial conditions
+    either absent or specified on every capacitor. *)
+
+exception Unsupported of string
+
+type t
+
+val prepare : Circuit.Netlist.circuit -> t
+(** Build the spanning tree, pick the links, and factor the link
+    system.  Raises [Unsupported] when the circuit is outside the fast
+    path's scope. *)
+
+val link_count : t -> int
+
+val moments : t -> node:Circuit.Element.node -> count:int -> float array
+(** The moment sequence [mu] at a capacitor-bearing node, identical to
+    [Moments.mu] on the same circuit.  Raises [Unsupported] when the
+    node carries no grounded capacitor. *)
+
+val moment_vector : t -> k:int -> float array
+(** [moment_vector t ~k] is the moment vector [w_k] for all nodes
+    (indexed by node id).  [w_1] is the negated Elmore-delay scaled
+    vector of eq. 56: for a 5 V step from rest,
+    [w_1(i) = 5 * T_D(i)]. *)

@@ -1,0 +1,63 @@
+exception Not_applicable of string
+
+type t = { p1 : float; k1 : float; p2 : float; k2 : float; v_final : float }
+
+let fit sys ~node =
+  let out_var = Circuit.Mna.node_var sys node in
+  if out_var < 0 then raise (Not_applicable "output is the ground node");
+  let engine = Moments.make sys in
+  let op0 = Circuit.Dc.initial sys in
+  let op0p = Circuit.Dc.at_zero_plus sys op0 in
+  let prob = Moments.base_problem engine op0p in
+  let mu = Moments.mu (Moments.vectors engine prob ~count:4) ~out_var in
+  let terms =
+    try Moment_match.fit ~check_stability:true ~q:2 mu with
+    | Moment_match.No_fit msg -> raise (Not_applicable msg)
+    | Moment_match.Unstable _ ->
+      raise (Not_applicable "unstable two-pole fit")
+  in
+  match terms with
+  | [ a; b ] ->
+    if
+      (not (Linalg.Cx.is_real a.Approx.pole))
+      || not (Linalg.Cx.is_real b.Approx.pole)
+    then raise (Not_applicable "complex pole pair: two-pole model invalid")
+    else begin
+      let v_final = prob.Moments.d0.(out_var) in
+      { p1 = a.Approx.pole.Linalg.Cx.re;
+        k1 = a.Approx.coeffs.(0).Linalg.Cx.re;
+        p2 = b.Approx.pole.Linalg.Cx.re;
+        k2 = b.Approx.coeffs.(0).Linalg.Cx.re;
+        v_final }
+    end
+  | [ single ] ->
+    (* degenerate but usable: one active pole *)
+    { p1 = single.Approx.pole.Linalg.Cx.re;
+      k1 = single.Approx.coeffs.(0).Linalg.Cx.re;
+      p2 = single.Approx.pole.Linalg.Cx.re *. 100.;
+      k2 = 0.;
+      v_final = prob.Moments.d0.(out_var) }
+  | _ -> raise (Not_applicable "repeated pole in two-pole fit")
+
+let eval m t =
+  m.v_final +. (m.k1 *. exp (m.p1 *. t)) +. (m.k2 *. exp (m.p2 *. t))
+
+let delay_50pct m =
+  let v0 = eval m 0. in
+  if v0 = m.v_final then None
+  else begin
+    let target = 0.5 *. (v0 +. m.v_final) in
+    (* bisection over an interval bracketing the dominant time scale *)
+    let t_max = 50. /. Float.abs m.p1 in
+    let rising = m.v_final > v0 in
+    let crossed v = if rising then v >= target else v <= target in
+    if not (crossed (eval m t_max)) then None
+    else begin
+      let lo = ref 0. and hi = ref t_max in
+      for _ = 1 to 100 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if crossed (eval m mid) then hi := mid else lo := mid
+      done;
+      Some (0.5 *. (!lo +. !hi))
+    end
+  end

@@ -1,0 +1,32 @@
+(** The double-time-constant baseline (paper, Section 2.3).
+
+    Chu and Horowitz extended the Elmore estimate with a two-pole model
+    for RC meshes with charge sharing; in moment language this is
+    exactly a second-order match of the first four moments restricted
+    to real poles.  AWE generalizes it (arbitrary order, complex
+    poles); this module packages the restricted model as a named
+    baseline for the comparison benchmarks. *)
+
+exception Not_applicable of string
+(** The second-order match does not exist (degenerate moments) or
+    yields a complex or unstable pole pair — the situations in which
+    the paper argues the one- and two-pole models "may be unable to
+    provide a means of handling the nonmonotone waveforms" (Section
+    2.4). *)
+
+type t = {
+  p1 : float;  (** dominant pole (negative) *)
+  k1 : float;
+  p2 : float;  (** second pole (negative) *)
+  k2 : float;
+  v_final : float;
+}
+
+val fit : Circuit.Mna.t -> node:Circuit.Element.node -> t
+(** Fit the two-real-pole step-response model at a node. *)
+
+val eval : t -> float -> float
+(** [v_final + k1 e^(p1 t) + k2 e^(p2 t)]. *)
+
+val delay_50pct : t -> float option
+(** Time to reach halfway from [eval t 0.] to [v_final]. *)

@@ -1,0 +1,1 @@
+lib/linalg/cmatrix.ml: Array Cx Float Format List

@@ -1,0 +1,1 @@
+lib/linalg/cmatrix.mli: Cx Format Matrix Vec

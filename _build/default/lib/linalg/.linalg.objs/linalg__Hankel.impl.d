@@ -1,0 +1,1 @@
+lib/linalg/hankel.ml: Array Lu Matrix

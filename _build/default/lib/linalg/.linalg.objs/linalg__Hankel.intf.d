@@ -1,0 +1,1 @@
+lib/linalg/hankel.mli: Matrix Poly

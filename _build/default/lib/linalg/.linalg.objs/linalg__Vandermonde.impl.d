@@ -1,0 +1,1 @@
+lib/linalg/vandermonde.ml: Array Cmatrix Cx Float List Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/vandermonde.mli: Cx

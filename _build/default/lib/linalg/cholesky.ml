@@ -1,0 +1,60 @@
+exception Not_positive_definite of int
+
+type t = { l : Matrix.t }
+
+let dim f = Matrix.rows f.l
+
+let factor a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Cholesky.factor: matrix not square";
+  let l = Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let acc = ref (Matrix.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !acc <= 0. then raise (Not_positive_definite i);
+        Matrix.set l i i (sqrt !acc)
+      end
+      else Matrix.set l i j (!acc /. Matrix.get l j j)
+    done
+  done;
+  { l }
+
+let solve f b =
+  let n = dim f in
+  if Vec.dim b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let y = Vec.copy b in
+  (* forward: L y = b *)
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for k = 0 to i - 1 do
+      acc := !acc -. (Matrix.get f.l i k *. y.(k))
+    done;
+    y.(i) <- !acc /. Matrix.get f.l i i
+  done;
+  (* backward: L^T x = y *)
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get f.l k i *. y.(k))
+    done;
+    y.(i) <- !acc /. Matrix.get f.l i i
+  done;
+  y
+
+let det f =
+  let n = dim f in
+  let d = ref 1. in
+  for i = 0 to n - 1 do
+    let p = Matrix.get f.l i i in
+    d := !d *. p *. p
+  done;
+  !d
+
+let is_positive_definite a =
+  match factor a with
+  | _ -> true
+  | exception (Not_positive_definite _ | Invalid_argument _) -> false

@@ -1,0 +1,29 @@
+(** Cholesky factorization for symmetric positive-definite matrices.
+
+    Capacitance and inductance sub-blocks of the energy-storage matrix
+    are symmetric and (for physical element values) positive definite
+    (paper, Section 3.2: "the energy storage matrix is sparse,
+    symmetrical, and easily applied"); Cholesky factors them in half
+    the work of LU and doubles as a cheap positive-definiteness
+    test. *)
+
+exception Not_positive_definite of int
+(** Raised with the failing pivot index when the matrix is not
+    (numerically) positive definite. *)
+
+type t
+
+val factor : Matrix.t -> t
+(** [factor a] computes the lower factor [L] with [A = L L^T].  Only
+    the lower triangle of [a] is read; symmetry of the upper triangle
+    is the caller's responsibility.  Raises [Not_positive_definite]. *)
+
+val solve : t -> Vec.t -> Vec.t
+
+val det : t -> float
+(** Determinant (product of squared pivots); always positive. *)
+
+val dim : t -> int
+
+val is_positive_definite : Matrix.t -> bool
+(** True when [factor] succeeds. *)

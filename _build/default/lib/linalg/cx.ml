@@ -1,0 +1,48 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re x = { re = x; im = 0. }
+let make re im = { re; im }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let inv = Complex.inv
+let abs = Complex.norm
+let arg = Complex.arg
+let exp = Complex.exp
+let sqrt = Complex.sqrt
+
+let pow_int z k =
+  if k = 0 then one
+  else begin
+    let base = if k > 0 then z else inv z in
+    let k = Stdlib.abs k in
+    (* binary exponentiation *)
+    let rec go acc base k =
+      if k = 0 then acc
+      else
+        let acc = if k land 1 = 1 then acc *: base else acc in
+        go acc (base *: base) (k lsr 1)
+    in
+    go one base k
+  end
+
+let scale a z = { re = a *. z.re; im = a *. z.im }
+
+let is_real ?(tol = 1e-9) z = Float.abs z.im <= tol *. Float.max 1. (Float.abs z.re)
+
+let approx_equal ?(tol = 1e-9) a b = abs (a -: b) <= tol
+
+let compare_by_magnitude a b =
+  let c = Float.compare (abs a) (abs b) in
+  if c <> 0 then c else Float.compare (arg a) (arg b)
+
+let pp ppf z =
+  if z.im = 0. then Format.fprintf ppf "%.5g" z.re
+  else if z.im > 0. then Format.fprintf ppf "%.5g+%.5gj" z.re z.im
+  else Format.fprintf ppf "%.5g-%.5gj" z.re (-.z.im)

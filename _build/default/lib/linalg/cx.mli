@@ -1,0 +1,49 @@
+(** Complex scalar helpers on top of [Stdlib.Complex].
+
+    AWE poles and residues are complex in general (underdamped RLC
+    interconnect, paper Section 5.4); this module collects the small
+    amount of complex arithmetic the rest of the library needs with
+    infix operators for readability. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val re : float -> t
+(** Embed a real number. *)
+
+val make : float -> float -> t
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+
+val neg : t -> t
+val conj : t -> t
+val inv : t -> t
+val abs : t -> float
+val arg : t -> float
+val exp : t -> t
+val sqrt : t -> t
+val pow_int : t -> int -> t
+(** [pow_int z k] for any integer [k] (negative exponents allowed for
+    nonzero [z]). *)
+
+val scale : float -> t -> t
+
+val is_real : ?tol:float -> t -> bool
+(** True when [|im| <= tol * max 1 |re|] (default [tol = 1e-9]). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Absolute-difference comparison. *)
+
+val compare_by_magnitude : t -> t -> int
+(** Ascending magnitude, ties broken by argument; total order suitable
+    for sorting pole lists. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [a+bj] / [a-bj] in scientific notation, matching the pole
+    tables of the paper. *)

@@ -1,0 +1,268 @@
+exception No_convergence
+
+let eps = 1e-14
+
+(* Reduction to upper Hessenberg form by stabilized elementary
+   transformations (Gaussian similarity with pivoting).  Entries below
+   the first subdiagonal are explicitly zeroed afterwards so the QR
+   phase sees a clean Hessenberg matrix. *)
+let hessenberg a0 =
+  let n = Matrix.rows a0 in
+  if Matrix.cols a0 <> n then invalid_arg "Eigen.hessenberg: not square";
+  let a = Matrix.copy a0 in
+  for m = 1 to n - 2 do
+    (* pivot: largest magnitude in column m-1, rows m..n-1 *)
+    let piv = ref m in
+    let x = ref (Float.abs a.(m).(m - 1)) in
+    for j = m + 1 to n - 1 do
+      if Float.abs a.(j).(m - 1) > !x then begin
+        x := Float.abs a.(j).(m - 1);
+        piv := j
+      end
+    done;
+    let x = a.(!piv).(m - 1) in
+    if !piv <> m then begin
+      (* swap rows and columns to preserve similarity *)
+      Matrix.swap_rows a !piv m;
+      for j = 0 to n - 1 do
+        let tmp = a.(j).(!piv) in
+        a.(j).(!piv) <- a.(j).(m);
+        a.(j).(m) <- tmp
+      done
+    end;
+    if x <> 0. then
+      for i = m + 1 to n - 1 do
+        let y = a.(i).(m - 1) in
+        if y <> 0. then begin
+          let y = y /. x in
+          for j = m - 1 to n - 1 do
+            a.(i).(j) <- a.(i).(j) -. (y *. a.(m).(j))
+          done;
+          for j = 0 to n - 1 do
+            a.(j).(m) <- a.(j).(m) +. (y *. a.(j).(i))
+          done
+        end
+      done
+  done;
+  for i = 2 to n - 1 do
+    for j = 0 to i - 2 do
+      a.(i).(j) <- 0.
+    done
+  done;
+  a
+
+let sign_of magnitude reference =
+  if reference >= 0. then Float.abs magnitude else -.Float.abs magnitude
+
+(* Francis double-shift QR on an upper Hessenberg matrix; eigenvalues
+   only.  Classical algorithm (Wilkinson / EISPACK hqr). *)
+let hqr a =
+  let n = Matrix.rows a in
+  let wr = Array.make n 0. and wi = Array.make n 0. in
+  if n = 0 then (wr, wi)
+  else begin
+    let anorm = ref 0. in
+    for i = 0 to n - 1 do
+      for j = Stdlib.max (i - 1) 0 to n - 1 do
+        anorm := !anorm +. Float.abs a.(i).(j)
+      done
+    done;
+    let anorm = Float.max !anorm 1e-300 in
+    let nn = ref (n - 1) in
+    let t = ref 0. in
+    while !nn >= 0 do
+      let its = ref 0 in
+      let deflated = ref false in
+      while not !deflated do
+        (* find l: smallest index such that the subdiagonal entry at
+           (l, l-1) is negligible; l = 0 when none is *)
+        let l = ref 0 in
+        (try
+           for cand = !nn downto 1 do
+             let s =
+               Float.abs a.(cand - 1).(cand - 1) +. Float.abs a.(cand).(cand)
+             in
+             let s = if s = 0. then anorm else s in
+             if Float.abs a.(cand).(cand - 1) <= eps *. s then begin
+               a.(cand).(cand - 1) <- 0.;
+               l := cand;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let l = !l in
+        let x = a.(!nn).(!nn) in
+        if l = !nn then begin
+          (* one real eigenvalue deflated *)
+          wr.(!nn) <- x +. !t;
+          wi.(!nn) <- 0.;
+          decr nn;
+          deflated := true
+        end
+        else begin
+          let y = a.(!nn - 1).(!nn - 1) in
+          let w = a.(!nn).(!nn - 1) *. a.(!nn - 1).(!nn) in
+          if l = !nn - 1 then begin
+            (* a 2x2 block deflates: two eigenvalues *)
+            let p = 0.5 *. (y -. x) in
+            let q = (p *. p) +. w in
+            let z = Stdlib.sqrt (Float.abs q) in
+            let x = x +. !t in
+            if q >= 0. then begin
+              let z = p +. sign_of z p in
+              wr.(!nn - 1) <- x +. z;
+              wr.(!nn) <- (if z <> 0. then x -. (w /. z) else x +. z);
+              wi.(!nn - 1) <- 0.;
+              wi.(!nn) <- 0.
+            end
+            else begin
+              wr.(!nn - 1) <- x +. p;
+              wr.(!nn) <- x +. p;
+              wi.(!nn) <- z;
+              wi.(!nn - 1) <- -.z
+            end;
+            nn := !nn - 2;
+            deflated := true
+          end
+          else begin
+            if !its = 60 then raise No_convergence;
+            let x = ref x and y = ref y and w = ref w in
+            if !its = 10 || !its = 20 || !its = 30 || !its = 40 || !its = 50
+            then begin
+              (* exceptional shift to break symmetry-induced cycling *)
+              t := !t +. !x;
+              for i = 0 to !nn do
+                a.(i).(i) <- a.(i).(i) -. !x
+              done;
+              let s =
+                Float.abs a.(!nn).(!nn - 1) +. Float.abs a.(!nn - 1).(!nn - 2)
+              in
+              x := 0.75 *. s;
+              y := !x;
+              w := -0.4375 *. s *. s
+            end;
+            incr its;
+            (* look for two consecutive small subdiagonal elements *)
+            let m = ref (!nn - 2) in
+            let p = ref 0. and q = ref 0. and r = ref 0. in
+            (try
+               while !m >= l do
+                 let mm = !m in
+                 let z = a.(mm).(mm) in
+                 let rr = !x -. z in
+                 let ss = !y -. z in
+                 p := (((rr *. ss) -. !w) /. a.(mm + 1).(mm)) +. a.(mm).(mm + 1);
+                 q := a.(mm + 1).(mm + 1) -. z -. rr -. ss;
+                 r := a.(mm + 2).(mm + 1);
+                 let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
+                 p := !p /. s;
+                 q := !q /. s;
+                 r := !r /. s;
+                 if mm = l then raise Exit;
+                 let u =
+                   Float.abs a.(mm).(mm - 1) *. (Float.abs !q +. Float.abs !r)
+                 in
+                 let v =
+                   Float.abs !p
+                   *. (Float.abs a.(mm - 1).(mm - 1)
+                      +. Float.abs z
+                      +. Float.abs a.(mm + 1).(mm + 1))
+                 in
+                 if u <= eps *. v then raise Exit;
+                 decr m
+               done
+             with Exit -> ());
+            let m = !m in
+            for i = m + 2 to !nn do
+              a.(i).(i - 2) <- 0.;
+              if i <> m + 2 then a.(i).(i - 3) <- 0.
+            done;
+            (* double QR sweep on rows l..nn *)
+            for k = m to !nn - 1 do
+              if k <> m then begin
+                p := a.(k).(k - 1);
+                q := a.(k + 1).(k - 1);
+                r := if k <> !nn - 1 then a.(k + 2).(k - 1) else 0.;
+                let xx = Float.abs !p +. Float.abs !q +. Float.abs !r in
+                x := xx;
+                if xx <> 0. then begin
+                  p := !p /. xx;
+                  q := !q /. xx;
+                  r := !r /. xx
+                end
+              end;
+              let s =
+                sign_of
+                  (Stdlib.sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r)))
+                  !p
+              in
+              if s <> 0. then begin
+                if k = m then begin
+                  if l <> m then a.(k).(k - 1) <- -.a.(k).(k - 1)
+                end
+                else a.(k).(k - 1) <- -.s *. !x;
+                p := !p +. s;
+                x := !p /. s;
+                y := !q /. s;
+                let z = !r /. s in
+                q := !q /. !p;
+                r := !r /. !p;
+                for j = k to !nn do
+                  let pj = a.(k).(j) +. (!q *. a.(k + 1).(j)) in
+                  let pj =
+                    if k <> !nn - 1 then begin
+                      let pj = pj +. (!r *. a.(k + 2).(j)) in
+                      a.(k + 2).(j) <- a.(k + 2).(j) -. (pj *. z);
+                      pj
+                    end
+                    else pj
+                  in
+                  a.(k + 1).(j) <- a.(k + 1).(j) -. (pj *. !y);
+                  a.(k).(j) <- a.(k).(j) -. (pj *. !x)
+                done;
+                let mmin = Stdlib.min !nn (k + 3) in
+                for i = l to mmin do
+                  let pi = (!x *. a.(i).(k)) +. (!y *. a.(i).(k + 1)) in
+                  let pi =
+                    if k <> !nn - 1 then begin
+                      let pi = pi +. (z *. a.(i).(k + 2)) in
+                      a.(i).(k + 2) <- a.(i).(k + 2) -. (pi *. !r);
+                      pi
+                    end
+                    else pi
+                  in
+                  a.(i).(k + 1) <- a.(i).(k + 1) -. (pi *. !q);
+                  a.(i).(k) <- a.(i).(k) -. pi
+                done
+              end
+            done
+          end
+        end
+      done
+    done;
+    (wr, wi)
+  end
+
+let eigenvalues a0 =
+  let n = Matrix.rows a0 in
+  if Matrix.cols a0 <> n then invalid_arg "Eigen.eigenvalues: not square";
+  if n = 0 then []
+  else if n = 1 then [ Cx.re a0.(0).(0) ]
+  else begin
+    let h = hessenberg a0 in
+    let wr, wi = hqr h in
+    List.sort Cx.compare_by_magnitude
+      (List.init n (fun i -> Cx.make wr.(i) wi.(i)))
+  end
+
+let circuit_poles ?(drop_tol = 1e-9) m =
+  let mus = eigenvalues m in
+  let max_mag =
+    List.fold_left (fun acc mu -> Float.max acc (Cx.abs mu)) 0. mus
+  in
+  if max_mag = 0. then []
+  else
+    mus
+    |> List.filter (fun mu -> Cx.abs mu > drop_tol *. max_mag)
+    |> List.map Cx.inv
+    |> List.sort Cx.compare_by_magnitude

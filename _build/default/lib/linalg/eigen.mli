@@ -1,0 +1,34 @@
+(** Eigenvalues of real, unsymmetric matrices.
+
+    Used to obtain the *actual* circuit poles against which the paper
+    compares the AWE approximating poles (Tables I and II): the finite
+    poles of the MNA descriptor system [G x + C x' = B u] are the
+    reciprocals of the nonzero eigenvalues of [-G^-1 C], a small dense
+    real matrix.
+
+    The implementation is the classical two-phase dense method:
+    reduction to upper Hessenberg form by stabilized elementary
+    similarity transformations, followed by the Francis implicit
+    double-shift QR iteration (eigenvalues only). *)
+
+exception No_convergence
+(** Raised when the QR iteration fails to deflate an eigenvalue within
+    the iteration budget (does not happen for the well-scaled circuit
+    matrices this library produces; present for safety). *)
+
+val hessenberg : Matrix.t -> Matrix.t
+(** [hessenberg a] returns an upper Hessenberg matrix similar to [a]
+    (same eigenvalues).  [a] is not modified. *)
+
+val eigenvalues : Matrix.t -> Cx.t list
+(** All [n] eigenvalues of a square matrix, sorted by ascending
+    magnitude.  Raises [Invalid_argument] on non-square input. *)
+
+val circuit_poles : ?drop_tol:float -> Matrix.t -> Cx.t list
+(** [circuit_poles m] interprets [m] as the moment-generation operator
+    [A^-1 = -G^-1 C] and returns the finite natural frequencies
+    [p = 1 / mu] for each eigenvalue [mu] of [m] with
+    [|mu| > drop_tol * max_k |mu_k|] (default [drop_tol = 1e-9]; the
+    dropped near-zero eigenvalues correspond to the algebraic MNA
+    variables).  Sorted by ascending magnitude, i.e. most dominant pole
+    first. *)

@@ -1,0 +1,26 @@
+exception Deficient of int
+
+let check ~q mu =
+  if q <= 0 then invalid_arg "Hankel: order must be positive";
+  if Array.length mu < 2 * q then
+    invalid_arg "Hankel: need at least 2q moment values"
+
+let moment_matrix ~q mu =
+  check ~q mu;
+  Matrix.init q q (fun r i -> mu.(r + i))
+
+let char_poly ~q mu =
+  check ~q mu;
+  let h = moment_matrix ~q mu in
+  let rhs = Array.init q (fun r -> -.mu.(q + r)) in
+  let a =
+    try Lu.solve (Lu.factor ~pivot_tol:1e-13 h) rhs
+    with Lu.Singular k -> raise (Deficient k)
+  in
+  Array.init (q + 1) (fun i -> if i = q then 1. else a.(i))
+
+let rcond ~q mu =
+  let h = moment_matrix ~q mu in
+  match Lu.factor h with
+  | f -> Lu.rcond_estimate h f
+  | exception Lu.Singular _ -> 0.

@@ -1,0 +1,30 @@
+(** The AWE moment-matching (Hankel) system.
+
+    Matching the initial value and the first [2q-1] moments of the
+    homogeneous response to a q-pole model leads to a q x q Hankel
+    system in the power sums [mu] of the reciprocal poles (paper,
+    eq. 24); its solution gives the coefficients of the characteristic
+    polynomial (eq. 25) whose roots are the reciprocal approximating
+    poles. *)
+
+exception Deficient of int
+(** Raised (with the failing elimination step) when the moment matrix
+    is singular — the response is degenerate at this order, e.g. a
+    first-order fit of a zero-mean nonmonotone transient
+    (paper, Section 3.3).  Callers escalate the order. *)
+
+val moment_matrix : q:int -> float array -> Matrix.t
+(** [moment_matrix ~q mu] is the q x q Hankel matrix [H.(r).(i) =
+    mu.(r+i)].  [mu] must have at least [2q] entries. *)
+
+val char_poly : q:int -> float array -> Poly.t
+(** [char_poly ~q mu] solves [H a = -mu_high] and returns the monic
+    characteristic polynomial [z^q + a_(q-1) z^(q-1) + ... + a_0] in the
+    reciprocal-pole variable [z = 1/p], as a coefficient array of
+    length [q+1].  Raises [Deficient] when the Hankel matrix is
+    singular. *)
+
+val rcond : q:int -> float array -> float
+(** Reciprocal condition estimate of the moment matrix; the
+    frequency-scaling ablation (paper, Section 3.5) reports this with
+    and without scaling. *)

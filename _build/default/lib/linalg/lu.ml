@@ -1,0 +1,138 @@
+type t = {
+  lu : Matrix.t; (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array; (* perm.(i) = original row index now in position i *)
+  sign : float; (* parity of the permutation, for det *)
+}
+
+exception Singular of int
+
+let dim f = Array.length f.perm
+
+let factor ?(pivot_tol = 1e-300) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix not square";
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  let scale = Float.max (Matrix.max_abs a) 1e-300 in
+  for k = 0 to n - 1 do
+    (* pivot selection: largest magnitude in column k at or below row k *)
+    let piv = ref k in
+    let best = ref (Float.abs lu.(k).(k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs lu.(i).(k) in
+      if v > !best then begin
+        best := v;
+        piv := i
+      end
+    done;
+    if !best <= pivot_tol *. scale then raise (Singular k);
+    if !piv <> k then begin
+      Matrix.swap_rows lu k !piv;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let m = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- m;
+      if m <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (m *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve f b =
+  let n = dim f in
+  if Vec.dim b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(f.perm.(i))) in
+  (* forward substitution, L has unit diagonal *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. f.lu.(i).(i)
+  done;
+  x
+
+let solve_transpose f b =
+  let n = dim f in
+  if Vec.dim b <> n then invalid_arg "Lu.solve_transpose: dimension mismatch";
+  (* A^T = U^T L^T P, so solve U^T y = b, L^T z = y, then x = P^T z *)
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (f.lu.(j).(i) *. y.(j))
+    done;
+    y.(i) <- !acc /. f.lu.(i).(i)
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (f.lu.(j).(i) *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  let x = Vec.create n in
+  for i = 0 to n - 1 do
+    x.(f.perm.(i)) <- y.(i)
+  done;
+  x
+
+let solve_matrix f b =
+  let n = dim f in
+  if Matrix.rows b <> n then invalid_arg "Lu.solve_matrix: dimension mismatch";
+  let c = Matrix.cols b in
+  let out = Matrix.create n c in
+  for j = 0 to c - 1 do
+    let xj = solve f (Matrix.col b j) in
+    for i = 0 to n - 1 do
+      out.(i).(j) <- xj.(i)
+    done
+  done;
+  out
+
+let det f =
+  let n = dim f in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. f.lu.(i).(i)
+  done;
+  !d
+
+let inverse f = solve_matrix f (Matrix.identity (dim f))
+
+let solve_system a b = solve (factor a) b
+
+let rcond_estimate a f =
+  let n = dim f in
+  if n = 0 then 1.
+  else begin
+    let norm_a = Matrix.norm_inf a in
+    (* probe ||A^-1|| with the all-ones vector and alternating signs *)
+    let probes =
+      [ Array.make n 1.;
+        Array.init n (fun i -> if i mod 2 = 0 then 1. else -1.) ]
+    in
+    let inv_norm =
+      List.fold_left
+        (fun acc e -> Float.max acc (Vec.norm_inf (solve f e)))
+        0. probes
+    in
+    if norm_a = 0. || inv_norm = 0. then 1.
+    else 1. /. (norm_a *. inv_norm)
+  end

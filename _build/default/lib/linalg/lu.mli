@@ -1,0 +1,44 @@
+(** Dense LU factorization with partial pivoting.
+
+    The factorization [P A = L U] is stored packed in a single matrix
+    together with the row-permutation vector.  Factor once, then solve
+    against many right-hand sides — the access pattern of the AWE moment
+    recursion (paper, Section 3.2). *)
+
+type t
+(** An LU factorization of a square matrix. *)
+
+exception Singular of int
+(** [Singular k] is raised when no acceptable pivot exists at
+    elimination step [k]. *)
+
+val factor : ?pivot_tol:float -> Matrix.t -> t
+(** [factor a] computes [P a = L U] with partial pivoting.  Raises
+    [Singular] if a pivot has absolute value below [pivot_tol]
+    (default [1e-300], i.e. only exact breakdown) times the matrix
+    scale.  [a] is not modified. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] returns [x] with [A x = b]. *)
+
+val solve_transpose : t -> Vec.t -> Vec.t
+(** [solve_transpose lu b] returns [x] with [A^T x = b]. *)
+
+val solve_matrix : t -> Matrix.t -> Matrix.t
+(** Columnwise solve: [solve_matrix lu b] returns [x] with [A x = b]. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)
+
+val inverse : t -> Matrix.t
+
+val dim : t -> int
+
+val solve_system : Matrix.t -> Vec.t -> Vec.t
+(** One-shot [factor]+[solve]. *)
+
+val rcond_estimate : Matrix.t -> t -> float
+(** Cheap reciprocal condition-number estimate in the infinity norm:
+    [1 / (||A||_inf * ||A^-1 e||_inf)] maximized over a few probing
+    vectors [e].  Used to decide when the AWE moment matrix needs
+    frequency scaling (paper, Section 3.5). *)

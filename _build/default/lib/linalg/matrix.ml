@@ -1,0 +1,132 @@
+type t = float array array
+
+let create r c = Array.make_matrix r c 0.
+
+let init r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+
+let of_rows rows =
+  match rows with
+  | [] -> [||]
+  | first :: rest ->
+    let c = List.length first in
+    List.iter
+      (fun row ->
+        if List.length row <> c then
+          invalid_arg "Matrix.of_rows: ragged row lengths")
+      rest;
+    Array.of_list (List.map Array.of_list rows)
+
+let rows (m : t) = Array.length m
+
+let cols (m : t) = if Array.length m = 0 then 0 else Array.length m.(0)
+
+let dims m = (rows m, cols m)
+
+let copy m = Array.map Array.copy m
+
+let get (m : t) i j = m.(i).(j)
+
+let set (m : t) i j v = m.(i).(j) <- v
+
+let add_to (m : t) i j v = m.(i).(j) <- m.(i).(j) +. v
+
+let transpose m =
+  let r = rows m and c = cols m in
+  init c r (fun i j -> m.(j).(i))
+
+let check_same_dims name a b =
+  if dims a <> dims b then
+    invalid_arg (Printf.sprintf "Matrix.%s: shape mismatch" name)
+
+let add a b =
+  check_same_dims "add" a b;
+  init (rows a) (cols a) (fun i j -> a.(i).(j) +. b.(i).(j))
+
+let sub a b =
+  check_same_dims "sub" a b;
+  init (rows a) (cols a) (fun i j -> a.(i).(j) -. b.(i).(j))
+
+let scale s m = Array.map (Array.map (fun v -> s *. v)) m
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Matrix.mul: inner dimension mismatch";
+  let n = cols a in
+  init (rows a) (cols b) (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.(i).(k) *. b.(k).(j))
+      done;
+      !acc)
+
+let mul_vec m x =
+  if cols m <> Vec.dim x then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.map (fun row -> Vec.dot row x) m
+
+let mul_vec_transpose m x =
+  if rows m <> Vec.dim x then
+    invalid_arg "Matrix.mul_vec_transpose: dimension mismatch";
+  let y = Vec.create (cols m) in
+  for i = 0 to rows m - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for j = 0 to cols m - 1 do
+        y.(j) <- y.(j) +. (m.(i).(j) *. xi)
+      done
+  done;
+  y
+
+let row m i = Array.copy m.(i)
+
+let col m j = Array.init (rows m) (fun i -> m.(i).(j))
+
+let swap_rows (m : t) i j =
+  if i <> j then begin
+    let tmp = m.(i) in
+    m.(i) <- m.(j);
+    m.(j) <- tmp
+  end
+
+let norm_inf m =
+  Array.fold_left
+    (fun acc row ->
+      Float.max acc
+        (Array.fold_left (fun s v -> s +. Float.abs v) 0. row))
+    0. m
+
+let norm_frobenius m =
+  sqrt
+    (Array.fold_left
+       (fun acc row ->
+         Array.fold_left (fun s v -> s +. (v *. v)) acc row)
+       0. m)
+
+let max_abs m =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun s v -> Float.max s (Float.abs v)) acc row)
+    0. m
+
+let approx_equal ?(tol = 1e-9) a b =
+  dims a = dims b && max_abs (sub a b) <= tol
+
+let is_symmetric ?(tol = 1e-12) m =
+  let n = rows m in
+  n = cols m
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (m.(i).(j) -. m.(j).(i)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let submatrix m row_idx col_idx =
+  Array.map (fun i -> Array.map (fun j -> m.(i).(j)) col_idx) row_idx
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun r -> Format.fprintf ppf "%a@," Vec.pp r) m;
+  Format.fprintf ppf "@]"

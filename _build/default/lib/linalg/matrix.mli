@@ -1,0 +1,76 @@
+(** Dense real matrices in row-major [float array array] layout.
+
+    A value [m : t] of shape [(r, c)] satisfies
+    [Array.length m = r] and [Array.length m.(i) = c] for all rows.
+    Shape mismatches raise [Invalid_argument]. *)
+
+type t = float array array
+
+val create : int -> int -> t
+(** [create r c] is the [r x c] zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val of_rows : float list list -> t
+(** Builds from row lists; raises [Invalid_argument] on ragged input. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val dims : t -> int * int
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] performs [m.(i).(j) <- m.(i).(j) +. v];
+    the fundamental stamping operation used by circuit assembly. *)
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m x] is the matrix-vector product [m x]. *)
+
+val mul_vec_transpose : t -> Vec.t -> Vec.t
+(** [mul_vec_transpose m x] is [m^T x], without forming the transpose. *)
+
+val row : t -> int -> Vec.t
+(** Copy of a row. *)
+
+val col : t -> int -> Vec.t
+(** Copy of a column. *)
+
+val swap_rows : t -> int -> int -> unit
+
+val norm_inf : t -> float
+(** Induced infinity norm (maximum absolute row sum). *)
+
+val norm_frobenius : t -> float
+
+val max_abs : t -> float
+(** Largest absolute entry; [0.] for an empty matrix. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val submatrix : t -> int array -> int array -> t
+(** [submatrix m rows cols] extracts the given rows and columns,
+    in the order listed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,232 @@
+open Cx
+
+type t = float array
+
+let degree p =
+  let d = ref (Array.length p - 1) in
+  while !d >= 0 && p.(!d) = 0. do
+    decr d
+  done;
+  !d
+
+let eval p x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_cx p z =
+  let acc = ref Cx.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *: z) +: Cx.re p.(i)
+  done;
+  !acc
+
+let derivative p =
+  let d = degree p in
+  if d <= 0 then [| 0. |]
+  else Array.init d (fun i -> float_of_int (i + 1) *. p.(i + 1))
+
+let mul a b =
+  let da = degree a and db = degree b in
+  if da < 0 || db < 0 then [| 0. |]
+  else begin
+    let out = Array.make (da + db + 1) 0. in
+    for i = 0 to da do
+      for j = 0 to db do
+        out.(i + j) <- out.(i + j) +. (a.(i) *. b.(j))
+      done
+    done;
+    out
+  end
+
+let add a b =
+  let n = Stdlib.max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      (if i < Array.length a then a.(i) else 0.)
+      +. if i < Array.length b then b.(i) else 0.)
+
+let scale s p = Array.map (fun c -> s *. c) p
+
+let of_roots rs =
+  (* multiply out (x - r) factors in complex arithmetic, then take the
+     real part: conjugate-paired inputs give real coefficients *)
+  let coeffs =
+    List.fold_left
+      (fun acc r ->
+        let n = Array.length acc in
+        let out = Array.make (n + 1) Cx.zero in
+        Array.iteri (fun i c -> out.(i + 1) <- out.(i + 1) +: c) acc;
+        Array.iteri (fun i c -> out.(i) <- out.(i) -: (r *: c)) acc;
+        out)
+      [| Cx.one |] rs
+  in
+  Array.map (fun c -> c.Cx.re) coeffs
+
+(* -------------------------------------------------------------------- *)
+(* Root finding                                                          *)
+
+let roots_linear c0 c1 = [ Cx.re (-.c0 /. c1) ]
+
+let roots_quadratic c0 c1 c2 =
+  let disc = (c1 *. c1) -. (4. *. c2 *. c0) in
+  if disc >= 0. then begin
+    (* numerically stable real-root formulas avoid cancellation *)
+    let sq = Stdlib.sqrt disc in
+    let q = -0.5 *. (c1 +. (Float.of_int (compare c1 0.) *. sq)) in
+    let q = if c1 = 0. then -0.5 *. sq else q in
+    if q = 0. then [ Cx.zero; Cx.zero ]
+    else [ Cx.re (q /. c2); Cx.re (c0 /. q) ]
+  end
+  else begin
+    let re = -.c1 /. (2. *. c2) in
+    let im = Stdlib.sqrt (-.disc) /. (2. *. c2) in
+    [ Cx.make re im; Cx.make re (-.im) ]
+  end
+
+(* Aberth-Ehrlich simultaneous iteration for a monic polynomial given by
+   full coefficient array [p] (leading coefficient nonzero). *)
+let aberth ~max_iter ~tol p =
+  let d = degree p in
+  let p = Array.sub p 0 (d + 1) in
+  let dp = derivative p in
+  (* initial guesses on a circle of radius given by the Cauchy bound,
+     slightly perturbed off symmetric configurations *)
+  let lead = Float.abs p.(d) in
+  let radius =
+    let m = ref 0. in
+    for i = 0 to d - 1 do
+      m := Float.max !m (Float.abs p.(i) /. lead)
+    done;
+    1. +. !m
+  in
+  let z =
+    Array.init d (fun k ->
+        let theta =
+          (2. *. Float.pi *. float_of_int k /. float_of_int d) +. 0.4
+        in
+        Cx.make (radius *. cos theta) (radius *. sin theta))
+  in
+  let converged = Array.make d false in
+  let iter = ref 0 in
+  let all_done = ref false in
+  while (not !all_done) && !iter < max_iter do
+    incr iter;
+    all_done := true;
+    for k = 0 to d - 1 do
+      if not converged.(k) then begin
+        let pk = eval_cx p z.(k) in
+        if Cx.abs pk <= tol *. lead then converged.(k) <- true
+        else begin
+          let dpk = eval_cx dp z.(k) in
+          let newton =
+            if Cx.abs dpk = 0. then Cx.re (tol *. radius) else pk /: dpk
+          in
+          let repulsion = ref Cx.zero in
+          for j = 0 to d - 1 do
+            if j <> k then begin
+              let diff = z.(k) -: z.(j) in
+              let diff =
+                if Cx.abs diff = 0. then Cx.make 1e-12 1e-12 else diff
+              in
+              repulsion := !repulsion +: Cx.inv diff
+            end
+          done;
+          let denom = Cx.one -: (newton *: !repulsion) in
+          let step =
+            if Cx.abs denom = 0. then newton else newton /: denom
+          in
+          z.(k) <- z.(k) -: step;
+          if Cx.abs step > tol *. Float.max 1. (Cx.abs z.(k)) then
+            all_done := false
+        end
+      end
+    done
+  done;
+  Array.to_list z
+
+(* Enforce conjugate symmetry of roots of a real polynomial: snap
+   near-real roots to the axis, average near-conjugate pairs. *)
+let symmetrize roots =
+  let arr = Array.of_list roots in
+  let n = Array.length arr in
+  let scale =
+    Array.fold_left (fun m z -> Float.max m (Cx.abs z)) 1e-300 arr
+  in
+  let tol = 1e-8 *. scale in
+  let used = Array.make n false in
+  let out = ref [] in
+  for k = 0 to n - 1 do
+    if not used.(k) then begin
+      let z = arr.(k) in
+      if Float.abs z.Cx.im <= tol then begin
+        used.(k) <- true;
+        out := Cx.re z.Cx.re :: !out
+      end
+      else begin
+        (* find the closest unused candidate conjugate *)
+        let best = ref (-1) in
+        let bestd = ref Float.infinity in
+        for j = k + 1 to n - 1 do
+          if not used.(j) then begin
+            let d = Cx.abs (arr.(j) -: Cx.conj z) in
+            if d < !bestd then begin
+              bestd := d;
+              best := j
+            end
+          end
+        done;
+        if !best >= 0 && !bestd <= 1e-6 *. scale then begin
+          used.(k) <- true;
+          used.(!best) <- true;
+          let avg_re = 0.5 *. (z.Cx.re +. arr.(!best).Cx.re) in
+          let avg_im = 0.5 *. (Float.abs z.Cx.im +. Float.abs arr.(!best).Cx.im) in
+          out := Cx.make avg_re avg_im :: Cx.make avg_re (-.avg_im) :: !out
+        end
+        else begin
+          used.(k) <- true;
+          out := z :: !out
+        end
+      end
+    end
+  done;
+  !out
+
+let roots ?(max_iter = 200) ?(tol = 1e-13) p =
+  let d = degree p in
+  if d < 0 then invalid_arg "Poly.roots: zero polynomial";
+  (* deflate roots at the origin *)
+  let low = ref 0 in
+  while p.(!low) = 0. do
+    incr low
+  done;
+  let zero_roots = List.init !low (fun _ -> Cx.zero) in
+  let q = Array.sub p !low (d - !low + 1) in
+  let dq = degree q in
+  let rest =
+    if dq = 0 then []
+    else if dq = 1 then roots_linear q.(0) q.(1)
+    else if dq = 2 then roots_quadratic q.(0) q.(1) q.(2)
+    else begin
+      (* scale to monic-ish to keep the Cauchy bound sane *)
+      let monic = Array.map (fun c -> c /. q.(dq)) q in
+      symmetrize (aberth ~max_iter ~tol monic)
+    end
+  in
+  List.sort Cx.compare_by_magnitude (zero_roots @ rest)
+
+let pp ppf p =
+  let d = degree p in
+  if d < 0 then Format.fprintf ppf "0"
+  else begin
+    let first = ref true in
+    for i = 0 to d do
+      if p.(i) <> 0. || (d = 0 && i = 0) then begin
+        if not !first then Format.fprintf ppf " + ";
+        first := false;
+        if i = 0 then Format.fprintf ppf "%.6g" p.(i)
+        else Format.fprintf ppf "%.6g x^%d" p.(i) i
+      end
+    done
+  end

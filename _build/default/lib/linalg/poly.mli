@@ -1,0 +1,45 @@
+(** Real-coefficient polynomials and complex root finding.
+
+    AWE forms the characteristic polynomial of the reduced model from
+    the moment-matrix solution (paper, eq. 25); its roots are the
+    reciprocals of the approximating poles.  Orders are small (the paper
+    uses q <= 4, we support arbitrary q), so robustness matters more
+    than asymptotic speed: closed forms are used through degree 2 and
+    the Aberth-Ehrlich simultaneous iteration beyond. *)
+
+type t = float array
+(** [p.(i)] is the coefficient of [x^i].  The representation is not
+    required to be normalized; trailing zeros are ignored by [degree]. *)
+
+val degree : t -> int
+(** Degree after discarding trailing (high-order) zero coefficients;
+    [-1] for the zero polynomial. *)
+
+val eval : t -> float -> float
+(** Horner evaluation at a real point. *)
+
+val eval_cx : t -> Cx.t -> Cx.t
+(** Horner evaluation at a complex point. *)
+
+val derivative : t -> t
+
+val of_roots : Cx.t list -> t
+(** Monic polynomial with the given complex roots.  The roots must come
+    in conjugate pairs (up to roundoff) for the result to be real; the
+    imaginary residue of each coefficient is discarded. *)
+
+val mul : t -> t -> t
+
+val add : t -> t -> t
+
+val scale : float -> t -> t
+
+val roots : ?max_iter:int -> ?tol:float -> t -> Cx.t list
+(** All complex roots, with multiplicity, sorted by ascending magnitude.
+    Exact zero roots (vanishing low-order coefficients) are deflated
+    first.  Raises [Invalid_argument] on the zero polynomial.
+    Real-coefficient conjugate symmetry is enforced on the result: roots
+    whose imaginary part is negligible relative to the root magnitude
+    are snapped to the real axis and near-conjugate pairs are averaged. *)
+
+val pp : Format.formatter -> t -> unit

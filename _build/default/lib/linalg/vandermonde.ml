@@ -1,0 +1,101 @@
+open Cx
+
+let solve_power_sums z mu =
+  let q = Array.length z in
+  if Array.length mu <> q then
+    invalid_arg "Vandermonde.solve_power_sums: need exactly q moments";
+  let m = Cmatrix.init q q (fun j l -> Cx.pow_int z.(l) j) in
+  Cmatrix.solve m mu
+
+type cluster = { node : Cx.t; multiplicity : int }
+
+let cluster_nodes ?(tol = 1e-7) z =
+  let n = Array.length z in
+  let scale = Array.fold_left (fun m v -> Float.max m (Cx.abs v)) 1e-300 z in
+  let used = Array.make n false in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not used.(i) then begin
+      used.(i) <- true;
+      let members = ref [ z.(i) ] in
+      for j = i + 1 to n - 1 do
+        if (not used.(j)) && Cx.abs (z.(j) -: z.(i)) <= tol *. scale then begin
+          used.(j) <- true;
+          members := z.(j) :: !members
+        end
+      done;
+      let count = List.length !members in
+      let sum = List.fold_left ( +: ) Cx.zero !members in
+      out :=
+        { node = Cx.scale (1. /. float_of_int count) sum;
+          multiplicity = count }
+        :: !out
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let binom n k =
+  if k < 0 || k > n then 0.
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let acc = ref 1. in
+    for i = 0 to k - 1 do
+      acc := !acc *. float_of_int (n - i) /. float_of_int (i + 1)
+    done;
+    !acc
+  end
+
+let solve_confluent clusters ~slope mu =
+  let q = Array.fold_left (fun s c -> s + c.multiplicity) 0 clusters in
+  if Array.length mu <> q then
+    invalid_arg "Vandermonde.solve_confluent: need exactly q conditions";
+  (* column layout: cluster c occupies a contiguous block of
+     [multiplicity] columns, one per time-power index ii = 0 .. mult-1 *)
+  let col_cluster = Array.make q 0 in
+  let col_power = Array.make q 0 in
+  let col = ref 0 in
+  Array.iteri
+    (fun c cl ->
+      for ii = 0 to cl.multiplicity - 1 do
+        col_cluster.(!col) <- c;
+        col_power.(!col) <- ii;
+        incr col
+      done)
+    clusters;
+  let entry ~row ~col =
+    let cl = clusters.(col_cluster.(col)) in
+    let ii = col_power.(col) in
+    if row = 0 then if ii = 0 then Cx.one else Cx.zero
+    else begin
+      let j = row in
+      let sign = if ii mod 2 = 0 then 1. else -1. in
+      Cx.scale (sign *. binom (ii + j - 1) (j - 1)) (Cx.pow_int cl.node (ii + j))
+    end
+  in
+  let slope_entry ~col =
+    let cl = clusters.(col_cluster.(col)) in
+    match col_power.(col) with
+    | 0 -> Cx.inv cl.node (* p_c = 1 / z_c *)
+    | 1 -> Cx.one
+    | _ -> Cx.zero
+  in
+  let rhs = Array.copy mu in
+  let m =
+    Cmatrix.init q q (fun row col ->
+        match slope with
+        | Some _ when row = q - 1 -> slope_entry ~col
+        | Some _ | None -> entry ~row ~col)
+  in
+  (match slope with
+  | Some d -> rhs.(q - 1) <- d
+  | None -> ());
+  let k = Cmatrix.solve m rhs in
+  (* regroup flat solution into per-cluster arrays *)
+  Array.mapi
+    (fun c cl ->
+      let base = ref 0 in
+      for c' = 0 to c - 1 do
+        base := !base + clusters.(c').multiplicity
+      done;
+      Array.init cl.multiplicity (fun ii -> k.(!base + ii)))
+    clusters

@@ -1,0 +1,44 @@
+(** Vandermonde-type systems for AWE residue recovery.
+
+    After the approximating poles are known, the residues follow from a
+    transposed ("dual") Vandermonde system in the reciprocal poles
+    (paper, eqs. 16-20).  When root finding returns a repeated pole the
+    plain Vandermonde matrix is singular (paper, Section III) and the
+    confluent variant matching a [sum_i K_i t^(i-1) e^(pt) / (i-1)!]
+    model must be used (paper, eqs. 26-29). *)
+
+val solve_power_sums : Cx.t array -> Cx.t array -> Cx.t array
+(** [solve_power_sums z mu] returns [k] such that for every
+    [j = 0 .. q-1]: [sum_l k.(l) * z.(l)^j = mu.(j)], where
+    [q = Array.length z].  Raises [Cmatrix.Singular] when two nodes
+    coincide exactly — cluster them and use [solve_confluent] instead. *)
+
+type cluster = { node : Cx.t; multiplicity : int }
+(** A group of coincident reciprocal poles. *)
+
+val cluster_nodes : ?tol:float -> Cx.t array -> cluster array
+(** Greedy clustering of near-coincident nodes: nodes within
+    [tol * scale] of a cluster representative (default [tol = 1e-7],
+    [scale] the largest node magnitude) are merged, and the
+    representative is the cluster mean. *)
+
+val solve_confluent :
+  cluster array -> slope:Cx.t option -> Cx.t array -> Cx.t array array
+(** [solve_confluent clusters ~slope mu] returns residue groups
+    [k] with [k.(c).(i)] the coefficient [K_(c,i+1)] of the time-domain
+    term [t^i e^(p_c t) / i!] for cluster [c].
+
+    The matching conditions are, with [z_c] the cluster node and
+    [p_c = 1/z_c]:
+    - row [j = 0]: [sum_c K_(c,1) = mu.(0)] (initial value);
+    - rows [j >= 1]:
+      [sum_c sum_i K_(c,i) (-1)^(i+1) binom(i+j-2, j-1) z_c^(i+j-1)
+       = mu.(j)];
+    - when [slope] is [Some d], the last moment row is replaced by the
+      initial-slope condition
+      [sum_c (K_(c,1) p_c + K_(c,2)) = d] (paper, Section 4.3:
+      matching the m_(-2) term removes the t = 0 glitch of ramp
+      responses).
+
+    The total number of unknowns [sum_c mult_c] must equal
+    [Array.length mu]. *)

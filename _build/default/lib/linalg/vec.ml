@@ -1,0 +1,82 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let get (x : t) i = x.(i)
+
+let set (x : t) i v = x.(i) <- v
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)"
+                   name (Array.length x) (Array.length y))
+
+let add x y =
+  check_same_dim "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun v -> a *. v) x
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let neg x = Array.map (fun v -> -.v) x
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0. x
+
+let dist_inf x y =
+  check_same_dim "dist_inf" x y;
+  let m = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m
+
+let map = Array.map
+
+let mapi = Array.mapi
+
+let fold = Array.fold_left
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y && dist_inf x y <= tol
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let e = create n in
+  e.(i) <- 1.;
+  e
+
+let pp ppf x =
+  Format.fprintf ppf "[|%a|]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf v -> Format.fprintf ppf "%.6g" v))
+    (Array.to_list x)

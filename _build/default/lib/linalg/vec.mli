@@ -1,0 +1,67 @@
+(** Dense real vectors backed by [float array].
+
+    All operations allocate fresh vectors unless suffixed [_ip]
+    (in place).  Dimension mismatches raise [Invalid_argument]. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of dimension [n]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is the vector whose [i]th component is [f i]. *)
+
+val dim : t -> int
+(** Number of components. *)
+
+val copy : t -> t
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+val add : t -> t -> t
+(** Componentwise sum. *)
+
+val sub : t -> t -> t
+(** Componentwise difference. *)
+
+val scale : float -> t -> t
+(** [scale a x] is [a * x]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val neg : t -> t
+
+val dot : t -> t -> float
+(** Euclidean inner product. *)
+
+val norm2 : t -> float
+(** Euclidean norm, computed without overflow for moderate inputs. *)
+
+val norm_inf : t -> float
+(** Maximum absolute component; [0.] for the empty vector. *)
+
+val dist_inf : t -> t -> float
+(** [dist_inf x y] is [norm_inf (sub x y)]. *)
+
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> float -> float) -> t -> t
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [tol]
+    (default [1e-9]). *)
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]th standard basis vector of dimension [n]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[| x0; x1; ... |]] with short float formatting. *)

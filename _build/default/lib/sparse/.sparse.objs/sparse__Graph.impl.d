@@ -1,0 +1,1 @@
+lib/sparse/graph.ml: Array List Queue Stdlib

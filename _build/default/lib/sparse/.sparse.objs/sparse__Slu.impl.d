@@ -1,0 +1,1 @@
+lib/sparse/slu.ml: Array Csr Float Hashtbl Int List Set

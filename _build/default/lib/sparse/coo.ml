@@ -1,0 +1,55 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  mutable is : int array;
+  mutable js : int array;
+  mutable vs : float array;
+  mutable len : int;
+}
+
+let create ~rows ~cols =
+  { nrows = rows;
+    ncols = cols;
+    is = Array.make 16 0;
+    js = Array.make 16 0;
+    vs = Array.make 16 0.;
+    len = 0 }
+
+let rows m = m.nrows
+
+let cols m = m.ncols
+
+let grow m =
+  let cap = Array.length m.is in
+  if m.len = cap then begin
+    let ncap = 2 * cap in
+    let copy a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    m.is <- copy m.is 0;
+    m.js <- copy m.js 0;
+    m.vs <- copy m.vs 0.
+  end
+
+let add m i j v =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Coo.add: index out of bounds";
+  grow m;
+  m.is.(m.len) <- i;
+  m.js.(m.len) <- j;
+  m.vs.(m.len) <- v;
+  m.len <- m.len + 1
+
+let nnz m = m.len
+
+let to_dense m =
+  let d = Linalg.Matrix.create m.nrows m.ncols in
+  for k = 0 to m.len - 1 do
+    Linalg.Matrix.add_to d m.is.(k) m.js.(k) m.vs.(k)
+  done;
+  d
+
+let entries m =
+  List.init m.len (fun k -> (m.is.(k), m.js.(k), m.vs.(k)))

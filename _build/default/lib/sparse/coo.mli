@@ -1,0 +1,26 @@
+(** Coordinate-format (triplet) sparse matrix builder.
+
+    Circuit stamping naturally produces duplicate entries (several
+    elements stamping the same node pair); duplicates are summed on
+    conversion, matching SPICE-style matrix assembly. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val add : t -> int -> int -> float -> unit
+(** [add m i j v] accumulates [v] into entry [(i, j)].  Zero values are
+    recorded too (they can make a structural position explicit).
+    Raises [Invalid_argument] when the indices are out of bounds. *)
+
+val nnz : t -> int
+(** Number of recorded triplets (before duplicate summing). *)
+
+val to_dense : t -> Linalg.Matrix.t
+
+val entries : t -> (int * int * float) list
+(** All triplets in insertion order. *)

@@ -1,0 +1,196 @@
+exception Singular of int
+
+module Iset = Set.Make (Int)
+
+(* Greedy minimum-degree ordering on the symmetrized nonzero pattern:
+   eliminating low-degree vertices first keeps the LU factors of
+   tree-like circuit matrices nearly fill-free.  Naive quadratic-ish
+   implementation; adequate for the circuit sizes this library targets. *)
+let min_degree_order a =
+  let n = Csr.rows a in
+  let adj = Array.make n Iset.empty in
+  for i = 0 to n - 1 do
+    Csr.row_iter a i (fun j _ ->
+        if i <> j then begin
+          adj.(i) <- Iset.add j adj.(i);
+          adj.(j) <- Iset.add i adj.(j)
+        end)
+  done;
+  let eliminated = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    (* pick the remaining vertex of least degree *)
+    let best = ref (-1) and best_deg = ref max_int in
+    for v = 0 to n - 1 do
+      if not eliminated.(v) then begin
+        let d = Iset.cardinal adj.(v) in
+        if d < !best_deg then begin
+          best_deg := d;
+          best := v
+        end
+      end
+    done;
+    let v = !best in
+    order.(k) <- v;
+    eliminated.(v) <- true;
+    (* connect the neighbors of v into a clique (the fill v causes) *)
+    let nbrs = Iset.filter (fun w -> not eliminated.(w)) adj.(v) in
+    Iset.iter
+      (fun w ->
+        adj.(w) <- Iset.remove v adj.(w);
+        adj.(w) <- Iset.union adj.(w) (Iset.remove w nbrs))
+      nbrs
+  done;
+  order
+
+type t = {
+  n : int;
+  (* L is unit lower triangular, stored by column in pivot-position row
+     indices (strictly below the diagonal); U is upper triangular with
+     the diagonal stored separately.  The factorization applies to the
+     symmetrically permuted matrix A(ord, ord). *)
+  l_cols : (int * float) array array;
+  u_cols : (int * float) array array;
+  u_diag : float array;
+  row_of_pos : int array; (* pivot position -> permuted row index *)
+  ord : int array; (* fill-reducing symmetric permutation *)
+}
+
+let dim f = f.n
+
+let nnz_factors f =
+  let count cols =
+    Array.fold_left (fun acc c -> acc + Array.length c) 0 cols
+  in
+  count f.l_cols + count f.u_cols + f.n
+
+let factor a0 =
+  let n = Csr.rows a0 in
+  if Csr.cols a0 <> n then invalid_arg "Slu.factor: matrix not square";
+  let ord = min_degree_order a0 in
+  let a = Csr.permute a0 ~rows:ord ~cols:ord in
+  let acsc = Csr.transpose a in
+  (* column j of [a] = row j of [acsc] *)
+  let pos_of_row = Array.make n (-1) in
+  let row_of_pos = Array.make n (-1) in
+  (* growing factors; L columns hold ORIGINAL row indices during the
+     factorization and are remapped to positions at the end *)
+  let l_cols = Array.make n [||] in
+  let u_cols = Array.make n [||] in
+  let u_diag = Array.make n 0. in
+  (* dense accumulator and touched stack for the sparse solve *)
+  let x = Array.make n 0. in
+  let touched = Array.make n 0 in
+  let is_touched = Array.make n false in
+  for j = 0 to n - 1 do
+    let ntouched = ref 0 in
+    let touch r =
+      if not is_touched.(r) then begin
+        is_touched.(r) <- true;
+        touched.(!ntouched) <- r;
+        incr ntouched
+      end
+    in
+    (* scatter A(:, j) *)
+    Csr.row_iter acsc j (fun r v ->
+        touch r;
+        x.(r) <- x.(r) +. v);
+    (* symbolic phase: DFS from the pivotal rows present in the pattern,
+       collecting a reverse-postorder = topological order of updates *)
+    let order = ref [] in
+    let seen = Hashtbl.create 16 in
+    let rec dfs k =
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        Array.iter
+          (fun (r, _) ->
+            touch r;
+            let k' = pos_of_row.(r) in
+            if k' >= 0 then dfs k')
+          l_cols.(k);
+        order := k :: !order
+      end
+    in
+    for t = 0 to !ntouched - 1 do
+      let k = pos_of_row.(touched.(t)) in
+      if k >= 0 then dfs k
+    done;
+    (* numeric phase: x <- L^-1 x in topological order *)
+    List.iter
+      (fun k ->
+        let xk = x.(row_of_pos.(k)) in
+        if xk <> 0. then
+          Array.iter
+            (fun (r, m) ->
+              touch r;
+              x.(r) <- x.(r) -. (m *. xk))
+            l_cols.(k))
+      !order;
+    (* pivot: largest magnitude among not-yet-pivotal touched rows *)
+    let piv = ref (-1) in
+    let best = ref 0. in
+    for t = 0 to !ntouched - 1 do
+      let r = touched.(t) in
+      if pos_of_row.(r) < 0 then begin
+        let v = Float.abs x.(r) in
+        if v > !best then begin
+          best := v;
+          piv := r
+        end
+      end
+    done;
+    if !piv < 0 || !best = 0. then raise (Singular j);
+    let pivot_row = !piv in
+    let pivot_val = x.(pivot_row) in
+    pos_of_row.(pivot_row) <- j;
+    row_of_pos.(j) <- pivot_row;
+    u_diag.(j) <- pivot_val;
+    (* gather U(:, j) (pivotal rows, position < j) and L(:, j) *)
+    let us = ref [] and ls = ref [] in
+    for t = 0 to !ntouched - 1 do
+      let r = touched.(t) in
+      let v = x.(r) in
+      if v <> 0. then begin
+        let k = pos_of_row.(r) in
+        if k >= 0 && k < j then us := (k, v) :: !us
+        else if r <> pivot_row then ls := (r, v /. pivot_val) :: !ls
+      end;
+      (* reset accumulator *)
+      x.(r) <- 0.;
+      is_touched.(r) <- false
+    done;
+    u_cols.(j) <- Array.of_list !us;
+    l_cols.(j) <- Array.of_list !ls
+  done;
+  (* remap L's original row indices to pivot positions *)
+  let l_cols =
+    Array.map (Array.map (fun (r, m) -> (pos_of_row.(r), m))) l_cols
+  in
+  { n; l_cols; u_cols; u_diag; row_of_pos; ord }
+
+let solve f b =
+  let n = f.n in
+  if Array.length b <> n then invalid_arg "Slu.solve: dimension mismatch";
+  (* y = P (b permuted by the fill-reducing ordering) *)
+  let y = Array.init n (fun k -> b.(f.ord.(f.row_of_pos.(k)))) in
+  (* forward: L y' = y, unit diagonal, column-oriented *)
+  for k = 0 to n - 1 do
+    let yk = y.(k) in
+    if yk <> 0. then
+      Array.iter (fun (i, m) -> y.(i) <- y.(i) -. (m *. yk)) f.l_cols.(k)
+  done;
+  (* backward: U x = y', column-oriented *)
+  for k = n - 1 downto 0 do
+    y.(k) <- y.(k) /. f.u_diag.(k);
+    let xk = y.(k) in
+    if xk <> 0. then
+      Array.iter (fun (i, u) -> y.(i) <- y.(i) -. (u *. xk)) f.u_cols.(k)
+  done;
+  (* undo the column side of the symmetric permutation *)
+  let x = Array.make n 0. in
+  for k = 0 to n - 1 do
+    x.(f.ord.(k)) <- y.(k)
+  done;
+  x
+
+let solve_system a b = solve (factor a) b

@@ -1,0 +1,32 @@
+(** Sparse LU factorization (left-looking Gilbert-Peierls) with partial
+    pivoting.
+
+    The AWE moment recursion factors the DC conductance matrix once and
+    then performs [2q] forward/back substitutions (paper, Section 3.2);
+    circuit matrices are very sparse, so a sparse factorization keeps
+    the whole moment computation near-linear in circuit size.  Each
+    column is computed by a sparse triangular solve whose nonzero
+    pattern is discovered by depth-first search on the partially built
+    [L] (Gilbert & Peierls' algorithm). *)
+
+type t
+(** A factorization [P A = L U] of a square sparse matrix. *)
+
+exception Singular of int
+(** Raised with the failing column when no nonzero pivot exists. *)
+
+val factor : Csr.t -> t
+(** Factor a square CSR matrix.  Raises [Singular] on structural or
+    numerical rank deficiency. *)
+
+val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** [solve f b] returns [x] with [A x = b]. *)
+
+val dim : t -> int
+
+val nnz_factors : t -> int
+(** Stored nonzeros in [L] and [U] together — the fill-in metric
+    reported by the scaling benchmark. *)
+
+val solve_system : Csr.t -> Linalg.Vec.t -> Linalg.Vec.t
+(** One-shot [factor] + [solve]. *)

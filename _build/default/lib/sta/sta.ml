@@ -1,0 +1,439 @@
+type cell = {
+  cell_name : string;
+  drive_res : float;
+  input_cap : float;
+  intrinsic : float;
+}
+
+let cell ~name ~drive_res ~input_cap ~intrinsic =
+  if drive_res <= 0. || input_cap < 0. || intrinsic < 0. then
+    invalid_arg "Sta.cell: values must be positive";
+  { cell_name = name; drive_res; input_cap; intrinsic }
+
+type segment = { seg_from : string; seg_to : string; res : float; cap : float }
+
+type delay_model = Elmore_model | Awe_model of int | Awe_auto
+
+type gate = {
+  inst : string;
+  cell : cell;
+  inputs : string list; (* net names *)
+  output : string; (* net name *)
+}
+
+type pi = { pi_arrival : float; pi_slew : float }
+
+type design = {
+  vdd : float;
+  threshold : float;
+  mutable gates : gate list;
+  nets : (string, segment list) Hashtbl.t;
+  pis : (string, pi) Hashtbl.t;
+  mutable pos : string list;
+}
+
+exception Not_a_dag of string list
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let create ?(vdd = 5.) ?(threshold = 0.5) () =
+  if vdd <= 0. then invalid_arg "Sta.create: vdd must be positive";
+  if threshold <= 0. || threshold >= 1. then
+    invalid_arg "Sta.create: threshold must be in (0, 1)";
+  { vdd;
+    threshold;
+    gates = [];
+    nets = Hashtbl.create 16;
+    pis = Hashtbl.create 4;
+    pos = [] }
+
+let add_gate (d : design) ~inst ~cell ~inputs ~output =
+  if List.exists (fun g -> g.inst = inst) d.gates then
+    malformed "duplicate gate instance %s" inst;
+  d.gates <- { inst; cell; inputs; output } :: d.gates
+
+let add_net (d : design) ~name ~segments =
+  if Hashtbl.mem d.nets name then malformed "duplicate net %s" name;
+  Hashtbl.replace d.nets name segments
+
+let add_primary_input (d : design) ~net ?(arrival = 0.) ?(slew = 0.) () =
+  Hashtbl.replace d.pis net { pi_arrival = arrival; pi_slew = slew }
+
+let add_primary_output (d : design) ~net = d.pos <- net :: d.pos
+
+type sink_timing = {
+  sink_inst : string;
+  net_delay : float;
+  sink_slew : float;
+  arrival : float;
+}
+
+type net_timing = {
+  net_name : string;
+  driver_arrival : float;
+  sinks : sink_timing list;
+}
+
+type report = {
+  nets : net_timing list;
+  critical_arrival : float;
+  critical_path : string list;
+}
+
+(* the sinks of a net are the gates listing it among their inputs *)
+let sinks_of (d : design) net = List.filter (fun g -> List.mem net g.inputs) d.gates
+
+let driver_of (d : design) net = List.find_opt (fun g -> g.output = net) d.gates
+
+let net_circuit (d : design) ~net ~driver_res ~slew =
+  let segments =
+    match Hashtbl.find_opt d.nets net with
+    | Some s -> s
+    | None -> malformed "net %s has no wire model" net
+  in
+  let b = Circuit.Netlist.create () in
+  let wave =
+    if slew <= 0. then Circuit.Element.Step { v0 = 0.; v1 = d.vdd }
+    else
+      Circuit.Element.Ramp { v0 = 0.; v1 = d.vdd; t_delay = 0.; t_rise = slew }
+  in
+  Circuit.Netlist.add_v b "vdrv" "src" "0" wave;
+  Circuit.Netlist.add_r b "rdrv" "src" "drv" driver_res;
+  List.iteri
+    (fun i seg ->
+      Circuit.Netlist.add_r b
+        (Printf.sprintf "rw%d" i)
+        seg.seg_from seg.seg_to seg.res;
+      if seg.cap > 0. then
+        Circuit.Netlist.add_c b
+          (Printf.sprintf "cw%d" i)
+          seg.seg_to "0" seg.cap)
+    segments;
+  (* sink loads *)
+  let sink_nodes = ref [] in
+  List.iteri
+    (fun i g ->
+      (* a sink attaches at the net node named after the instance *)
+      let attached =
+        List.exists (fun seg -> seg.seg_to = g.inst) segments
+      in
+      if not attached then
+        malformed "net %s has no segment reaching sink %s" net g.inst;
+      if g.cell.input_cap > 0. then
+        Circuit.Netlist.add_c b
+          (Printf.sprintf "cpin%d" i)
+          g.inst "0" g.cell.input_cap;
+      sink_nodes := (g.inst, Circuit.Netlist.node b g.inst) :: !sink_nodes)
+    (sinks_of d net);
+  (Circuit.Netlist.freeze b, List.rev !sink_nodes)
+
+(* threshold delay and output slew of one net for one sink node.
+   [circuit] carries the actual (possibly ramped) excitation;
+   [circuit_step] the same net driven by an ideal step, which is what
+   the classical Elmore treatment analyzes before adding the input
+   rise time (paper Section 4.3 / Cirit's correction). *)
+let net_sink_timing (d : design) ~model ~slew ~circuit ~circuit_step ~node =
+  let sys = Circuit.Mna.build circuit in
+  let threshold_v = d.threshold *. d.vdd in
+  match model with
+  | Elmore_model ->
+    let sys_step = Circuit.Mna.build circuit_step in
+    let td = Awe.Elmore.scaled_delay sys_step ~node in
+    (* single-exponential threshold crossing plus half the input
+       transition, and the single-exponential 10-90 slew *)
+    let frac = d.threshold in
+    ((-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.)
+  | Awe_model _ | Awe_auto ->
+    let a =
+      match model with
+      | Awe_model q -> Awe.approximate sys ~node ~q
+      | Awe_auto | Elmore_model -> fst (Awe.auto sys ~node)
+    in
+    (* search horizon: generous multiple of the first-order time scale,
+       extended by the input transition itself *)
+    let tau = Float.max (Awe.elmore_equivalent sys ~node) 1e-15 in
+    let t_max = (50. *. tau) +. (2. *. slew) in
+    let delay =
+      match Awe.delay a ~threshold:threshold_v ~t_max with
+      | Some t -> t
+      | None -> malformed "net never crosses the threshold"
+    in
+    let t10 =
+      Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd) ~t_max
+    in
+    let t90 =
+      Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd) ~t_max
+    in
+    let slew =
+      match (t10, t90) with
+      | Some a, Some b when b > a -> b -. a
+      | _ -> tau *. log 9.
+    in
+    (delay, slew)
+
+let analyze ?(model = Awe_auto) (d : design) =
+  (* topological order over nets *)
+  let gates = List.rev d.gates in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun net ->
+          if not (Hashtbl.mem d.nets net) then
+            malformed "gate %s references unknown net %s" g.inst net)
+        (g.output :: g.inputs))
+    gates;
+  (* net is ready when its driver's inputs are all timed; PIs are roots *)
+  let arrival_at_net : (string, float * float * string list) Hashtbl.t =
+    (* net -> driver-pin arrival, slew, path (nets, source first) *)
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun net pi ->
+      Hashtbl.replace arrival_at_net net (pi.pi_arrival, pi.pi_slew, [ net ]))
+    d.pis;
+  let timed : (string, net_timing) Hashtbl.t = Hashtbl.create 16 in
+  let sink_results : (string * string, sink_timing) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let time_net net =
+    let driver_arrival, slew, path =
+      match Hashtbl.find_opt arrival_at_net net with
+      | Some v -> v
+      | None -> malformed "net %s is undriven" net
+    in
+    let driver_res =
+      match driver_of d net with
+      | Some g -> g.cell.drive_res
+      | None ->
+        if Hashtbl.mem d.pis net then 1e-3 (* ideal primary input *)
+        else malformed "net %s is undriven" net
+    in
+    let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew in
+    let circuit_step, _ = net_circuit d ~net ~driver_res ~slew:0. in
+    let sinks =
+      List.map
+        (fun (inst, node) ->
+          let delay, sink_slew =
+            net_sink_timing d ~model ~slew ~circuit ~circuit_step ~node
+          in
+          let st =
+            { sink_inst = inst;
+              net_delay = delay;
+              sink_slew;
+              arrival = driver_arrival +. delay }
+          in
+          Hashtbl.replace sink_results (net, inst) st;
+          st)
+        sink_nodes
+    in
+    Hashtbl.replace timed net { net_name = net; driver_arrival; sinks };
+    (* propagate through sink gates *)
+    List.iter
+      (fun g ->
+        match Hashtbl.find_opt sink_results (net, g.inst) with
+        | None -> ()
+        | Some st ->
+          (* gate output net arrival = max over timed inputs + intrinsic;
+             only update when all inputs are timed *)
+          let all_inputs_timed =
+            List.for_all
+              (fun inp -> Hashtbl.mem sink_results (inp, g.inst))
+              g.inputs
+          in
+          ignore st;
+          if all_inputs_timed then begin
+            let worst, worst_net =
+              List.fold_left
+                (fun (acc, accn) inp ->
+                  let s = Hashtbl.find sink_results (inp, g.inst) in
+                  if s.arrival > acc then (s.arrival, inp) else (acc, accn))
+                (neg_infinity, net) g.inputs
+            in
+            let worst_sink = Hashtbl.find sink_results (worst_net, g.inst) in
+            let _, _, worst_path =
+              match Hashtbl.find_opt arrival_at_net worst_net with
+              | Some v -> v
+              | None -> (0., 0., [])
+            in
+            Hashtbl.replace arrival_at_net g.output
+              ( worst +. g.cell.intrinsic,
+                worst_sink.sink_slew,
+                (g.output :: worst_path) )
+          end)
+      (sinks_of d net);
+    ignore path
+  in
+  (* Kahn-style scheduling over nets *)
+  let all_nets = Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] in
+  let remaining = ref (List.sort compare all_nets) in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked =
+      List.partition (fun net -> Hashtbl.mem arrival_at_net net) !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      List.iter time_net ready;
+      remaining := blocked
+    end
+  done;
+  if !remaining <> [] then raise (Not_a_dag !remaining);
+  (* critical arrival over primary outputs (or all sinks if none marked) *)
+  let candidate_nets = if d.pos = [] then all_nets else d.pos in
+  let critical_arrival, critical_net =
+    List.fold_left
+      (fun (acc, accn) net ->
+        match Hashtbl.find_opt timed net with
+        | None -> (acc, accn)
+        | Some nt ->
+          let worst =
+            List.fold_left
+              (fun m s -> Float.max m s.arrival)
+              nt.driver_arrival nt.sinks
+          in
+          if worst > acc then (worst, Some net) else (acc, accn))
+      (neg_infinity, None) candidate_nets
+  in
+  let critical_path =
+    match critical_net with
+    | None -> []
+    | Some net -> (
+      match Hashtbl.find_opt arrival_at_net net with
+      | Some (_, _, path) -> List.rev path
+      | None -> [ net ])
+  in
+  let nets =
+    List.filter_map (Hashtbl.find_opt timed) (List.sort compare all_nets)
+  in
+  { nets; critical_arrival; critical_path }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun nt ->
+      Format.fprintf ppf "net %-10s driver@@%.4g ns@," nt.net_name
+        (nt.driver_arrival *. 1e9);
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  -> %-8s delay %.4g ns  slew %.4g ns  arrival %.4g ns@,"
+            s.sink_inst (s.net_delay *. 1e9) (s.sink_slew *. 1e9)
+            (s.arrival *. 1e9))
+        nt.sinks)
+    r.nets;
+  Format.fprintf ppf "critical arrival: %.4g ns via %a@]"
+    (r.critical_arrival *. 1e9)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+       Format.pp_print_string)
+    r.critical_path
+
+(* ------------------------------------------------------------------ *)
+module Design_file = struct
+  exception Parse_error of int * string
+
+  let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+  let value_exn line tok =
+    match Circuit.Parser.parse_value tok with
+    | Some v -> v
+    | None -> fail line "cannot parse value %S" tok
+
+  let tokens_of line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+
+  let parse_string text =
+    let lines =
+      String.split_on_char '\n' text
+      |> List.mapi (fun i l -> (i + 1, String.trim l))
+      |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '*')
+    in
+    (* first pass: header values *)
+    let vdd = ref 5. and threshold = ref 0.5 in
+    List.iter
+      (fun (ln, l) ->
+        match tokens_of l with
+        | [ "vdd"; v ] -> vdd := value_exn ln v
+        | [ "threshold"; v ] -> threshold := value_exn ln v
+        | _ -> ())
+      lines;
+    let d = create ~vdd:!vdd ~threshold:!threshold () in
+    let cells = Hashtbl.create 8 in
+    let key_value ln tok =
+      match String.split_on_char '=' tok with
+      | [ k; v ] -> (String.lowercase_ascii k, value_exn ln v)
+      | _ -> fail ln "expected key=value, got %S" tok
+    in
+    List.iter
+      (fun (ln, l) ->
+        match tokens_of l with
+        | "vdd" :: _ | "threshold" :: _ -> ()
+        | [ "cell"; name; dr; cap; intr ] ->
+          if Hashtbl.mem cells name then fail ln "duplicate cell %s" name;
+          Hashtbl.replace cells name
+            (cell ~name ~drive_res:(value_exn ln dr)
+               ~input_cap:(value_exn ln cap)
+               ~intrinsic:(value_exn ln intr))
+        | "gate" :: inst :: cell_name :: output :: inputs ->
+          let cell =
+            match Hashtbl.find_opt cells cell_name with
+            | Some c -> c
+            | None -> fail ln "unknown cell %s" cell_name
+          in
+          if inputs = [] then fail ln "gate %s has no inputs" inst;
+          add_gate d ~inst ~cell ~inputs ~output
+        | "net" :: name :: rest ->
+          (* segments separated by ";" tokens, each: from to r c *)
+          let groups =
+            List.fold_left
+              (fun acc tok ->
+                if tok = ";" then [] :: acc
+                else
+                  match acc with
+                  | g :: acc' -> (tok :: g) :: acc'
+                  | [] -> [ [ tok ] ])
+              [ [] ] rest
+            |> List.rev_map List.rev
+            |> List.filter (fun g -> g <> [])
+          in
+          let segments =
+            List.map
+              (fun g ->
+                match g with
+                | [ from_; to_; r; c ] ->
+                  { seg_from = from_;
+                    seg_to = to_;
+                    res = value_exn ln r;
+                    cap = value_exn ln c }
+                | _ -> fail ln "net segment needs <from> <to> <r> <c>")
+              groups
+          in
+          if segments = [] then fail ln "net %s has no segments" name;
+          add_net d ~name ~segments
+        | "input" :: net :: params ->
+          let arrival = ref 0. and slew = ref 0. in
+          List.iter
+            (fun p ->
+              match key_value ln p with
+              | "arrival", v -> arrival := v
+              | "slew", v -> slew := v
+              | k, _ -> fail ln "unknown input parameter %S" k)
+            params;
+          add_primary_input d ~net ~arrival:!arrival ~slew:!slew ()
+        | [ "output"; net ] -> add_primary_output d ~net
+        | card :: _ -> fail ln "unknown card %S" card
+        | [] -> ())
+      lines;
+    d
+
+  let parse_file path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+end

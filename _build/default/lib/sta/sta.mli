@@ -1,0 +1,124 @@
+(** A small static timing analyzer built on AWE net-delay evaluation —
+    the application context of the paper's introduction: a design is
+    divided into stages, each a gate output driving an interconnect
+    path (Fig. 1), and the per-stage delay comes from a reduced-order
+    model of the stage's linear circuit.
+
+    Gates use the classical linear model (paper, Section II): an
+    output ("drive") resistance, an input capacitance per pin, and an
+    intrinsic delay.  Nets are resistive trees (or meshes) with
+    distributed capacitance.  Per-net delays are measured at a logic
+    threshold on the AWE waveform; arrival times propagate through the
+    gate/net DAG in topological order. *)
+
+type cell = {
+  cell_name : string;
+  drive_res : float;  (** Thevenin output resistance, Ohms *)
+  input_cap : float;  (** capacitance of each input pin, Farads *)
+  intrinsic : float;  (** gate-internal delay, seconds *)
+}
+
+val cell : name:string -> drive_res:float -> input_cap:float -> intrinsic:float -> cell
+
+type segment = {
+  seg_from : string;
+  seg_to : string;
+  res : float;
+  cap : float;  (** grounded capacitance at [seg_to] *)
+}
+(** One RC wire segment of a net; [seg_from]/[seg_to] are net-local
+    node names, with ["drv"] the driver pin. *)
+
+type delay_model =
+  | Elmore_model  (** first-order: Elmore delay at each sink *)
+  | Awe_model of int  (** AWE at a fixed order *)
+  | Awe_auto  (** AWE with adaptive order control *)
+
+type design
+
+val create : ?vdd:float -> ?threshold:float -> unit -> design
+(** [threshold] is the switching threshold as a fraction of [vdd]
+    (default 0.5). *)
+
+val add_gate :
+  design -> inst:string -> cell:cell -> inputs:string list -> output:string -> unit
+(** Declare a gate instance: [inputs] and [output] are net names.  The
+    output net must be driven by exactly one gate or primary input. *)
+
+val add_net : design -> name:string -> segments:segment list -> unit
+(** Declare a net's interconnect tree.  Sinks attach (with their input
+    capacitance) at the net-local node that carries the sink gate's
+    name, i.e. a segment whose [seg_to] equals the sink instance
+    name. *)
+
+val add_primary_input : design -> net:string -> ?arrival:float -> ?slew:float -> unit -> unit
+(** Drive a net from outside the design ([slew] is the input rise time
+    seen by the net, default 0 = ideal step). *)
+
+val add_primary_output : design -> net:string -> unit
+
+exception Not_a_dag of string list
+(** Combinational cycle through the named instances. *)
+
+exception Malformed of string
+
+type sink_timing = {
+  sink_inst : string;
+  net_delay : float;  (** threshold-crossing delay through the net *)
+  sink_slew : float;  (** 10-90 rise time at the sink pin *)
+  arrival : float;  (** absolute arrival at the sink input *)
+}
+
+type net_timing = {
+  net_name : string;
+  driver_arrival : float;  (** arrival at the driver pin *)
+  sinks : sink_timing list;
+}
+
+type report = {
+  nets : net_timing list;
+  critical_arrival : float;  (** latest arrival at any primary output *)
+  critical_path : string list;  (** nets on the latest path, source first *)
+}
+
+val analyze : ?model:delay_model -> design -> report
+(** Topological timing propagation.  Raises [Not_a_dag] on cycles and
+    [Malformed] on dangling references (undriven nets, unknown sinks).
+    Default model is [Awe_auto]. *)
+
+val net_circuit :
+  design -> net:string -> driver_res:float -> slew:float ->
+  Circuit.Netlist.circuit * (string * Circuit.Element.node) list
+(** The stage circuit a net analysis solves (exposed for inspection and
+    testing): Thevenin driver, wire segments, sink load capacitances.
+    Returns the circuit and the sink-name to node mapping. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Text format for timing designs; see the format notes inside. *)
+module Design_file : sig
+  (** Text format for timing designs.
+
+      Line-oriented; [*] starts a comment line, [;] separates wire
+      segments, values accept SPICE magnitude suffixes.  Cards:
+
+      {v
+      vdd <volts>                      supply (default 5)
+      threshold <fraction>             switching threshold (default 0.5)
+      cell <name> <drive_res> <input_cap> <intrinsic>
+      gate <inst> <cell> <output-net> <input-net> ...
+      net <name> <from> <to> <r> <c> [; <from> <to> <r> <c>] ...
+      input <net> [arrival=<t>] [slew=<t>]
+      output <net>
+      v}
+
+      A net's sinks attach at wire nodes named after the sink gate
+      instances (see {!Sta.add_net}). *)
+
+  exception Parse_error of int * string
+
+  val parse_string : string -> design
+
+  val parse_file : string -> design
+
+end

@@ -1,0 +1,1 @@
+lib/transim/transient.ml: Array Circuit Float Hashtbl Linalg List Lu Matrix Option Vec Waveform

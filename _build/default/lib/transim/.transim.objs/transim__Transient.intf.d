@@ -1,0 +1,1 @@
+lib/transim/transient.mli: Circuit Linalg Waveform

@@ -1,0 +1,150 @@
+open Linalg
+
+type integration = Backward_euler | Trapezoidal
+
+type result = {
+  sys : Circuit.Mna.t;
+  times : float array;
+  states : Vec.t array;
+}
+
+let simulate ?(integration = Trapezoidal) ?initial sys ~t_stop ~steps =
+  if t_stop <= 0. then invalid_arg "Transient.simulate: t_stop must be > 0";
+  if steps < 1 then invalid_arg "Transient.simulate: steps must be >= 1";
+  let g = Circuit.Mna.g sys in
+  let c = Circuit.Mna.c sys in
+  let b = Circuit.Mna.b sys in
+  let h = t_stop /. float_of_int steps in
+  let op0 =
+    match initial with Some op -> op | None -> Circuit.Dc.initial sys
+  in
+  let x0 = Vec.copy op0.Circuit.Dc.x in
+  (* backward Euler: (C + h G) x' = C x + h B u(t')            *)
+  (* trapezoidal:   (C + h/2 G) x' = (C - h/2 G) x + h/2 B (u + u') *)
+  let lhs_be = Matrix.add c (Matrix.scale h g) in
+  let f_be = Lu.factor lhs_be in
+  let f_tr =
+    match integration with
+    | Backward_euler -> f_be
+    | Trapezoidal -> Lu.factor (Matrix.add c (Matrix.scale (h /. 2.) g))
+  in
+  let c_minus = Matrix.sub c (Matrix.scale (h /. 2.) g) in
+  let times = Array.init (steps + 1) (fun i -> h *. float_of_int i) in
+  let states = Array.make (steps + 1) x0 in
+  let bu t = Matrix.mul_vec b (Circuit.Mna.u_at sys t) in
+  for i = 1 to steps do
+    let t = times.(i) in
+    let x_prev = states.(i - 1) in
+    let x_next =
+      match integration with
+      | Backward_euler ->
+        Lu.solve f_be (Vec.add (Matrix.mul_vec c x_prev) (Vec.scale h (bu t)))
+      | Trapezoidal ->
+        if i = 1 then
+          (* BE start step: robust to the t = 0 input discontinuity *)
+          Lu.solve f_be
+            (Vec.add (Matrix.mul_vec c x_prev) (Vec.scale h (bu t)))
+        else
+          Lu.solve f_tr
+            (Vec.add
+               (Matrix.mul_vec c_minus x_prev)
+               (Vec.scale (h /. 2.) (Vec.add (bu times.(i - 1)) (bu t))))
+    in
+    states.(i) <- x_next
+  done;
+  { sys; times; states }
+
+let node_waveform r node =
+  Waveform.create r.times
+    (Array.map (fun x -> Circuit.Mna.voltage r.sys x node) r.states)
+
+let branch_current_waveform r elem_idx =
+  match Circuit.Mna.branch_var r.sys elem_idx with
+  | None ->
+    invalid_arg "Transient.branch_current_waveform: element has no branch"
+  | Some bv ->
+    Waveform.create r.times (Array.map (fun x -> x.(bv)) r.states)
+
+let voltage_across r elem_idx =
+  let ckt = Circuit.Mna.circuit r.sys in
+  let e = ckt.Circuit.Netlist.elements.(elem_idx) in
+  match Circuit.Element.nodes e with
+  | np :: nn :: _ ->
+    Waveform.create r.times
+      (Array.map
+         (fun x ->
+           Circuit.Mna.voltage r.sys x np -. Circuit.Mna.voltage r.sys x nn)
+         r.states)
+  | _ -> invalid_arg "Transient.voltage_across: element has no terminals"
+
+let simulate_adaptive ?initial ?(tol = 1e-4) ?dt_min ?dt_max sys ~t_stop =
+  if t_stop <= 0. then
+    invalid_arg "Transient.simulate_adaptive: t_stop must be > 0";
+  let dt_min = Option.value dt_min ~default:(t_stop /. 1e7) in
+  let dt_max = Option.value dt_max ~default:(t_stop /. 50.) in
+  if dt_min <= 0. || dt_max < dt_min then
+    invalid_arg "Transient.simulate_adaptive: bad step bounds";
+  let g = Circuit.Mna.g sys in
+  let c = Circuit.Mna.c sys in
+  let b = Circuit.Mna.b sys in
+  let op0 =
+    match initial with Some op -> op | None -> Circuit.Dc.initial sys
+  in
+  let bu t = Matrix.mul_vec b (Circuit.Mna.u_at sys t) in
+  (* factorization cache: companion matrices for the current step *)
+  let cache = Hashtbl.create 8 in
+  let factor_for h =
+    match Hashtbl.find_opt cache h with
+    | Some f -> f
+    | None ->
+      let f = Lu.factor (Matrix.add c (Matrix.scale (h /. 2.) g)) in
+      if Hashtbl.length cache > 32 then Hashtbl.reset cache;
+      Hashtbl.replace cache h f;
+      f
+  in
+  let c_minus h = Matrix.sub c (Matrix.scale (h /. 2.) g) in
+  let tr_step x t h =
+    let f = factor_for h in
+    Lu.solve f
+      (Vec.add
+         (Matrix.mul_vec (c_minus h) x)
+         (Vec.scale (h /. 2.) (Vec.add (bu t) (bu (t +. h)))))
+  in
+  let be_step x t h =
+    let f = Lu.factor (Matrix.add c (Matrix.scale h g)) in
+    Lu.solve f (Vec.add (Matrix.mul_vec c x) (Vec.scale h (bu (t +. h))))
+  in
+  let times = ref [ 0. ] in
+  let states = ref [ Vec.copy op0.Circuit.Dc.x ] in
+  let scale0 = Float.max 1. (Vec.norm_inf op0.Circuit.Dc.x) in
+  (* BE start step over dt_min to get past the t = 0 discontinuity *)
+  let t = ref dt_min in
+  let x = ref (be_step op0.Circuit.Dc.x 0. dt_min) in
+  times := !t :: !times;
+  states := !x :: !states;
+  let h = ref (Float.min dt_max (dt_min *. 100.)) in
+  while !t < t_stop -. 1e-30 do
+    let h_eff = Float.min !h (t_stop -. !t) in
+    let full = tr_step !x !t h_eff in
+    let half = tr_step !x !t (h_eff /. 2.) in
+    let two = tr_step half (!t +. (h_eff /. 2.)) (h_eff /. 2.) in
+    let scale = Float.max scale0 (Vec.norm_inf two) in
+    let err = Vec.dist_inf full two /. scale in
+    if err <= tol || h_eff <= dt_min *. 1.0000001 then begin
+      (* accept the more accurate two-half-steps solution *)
+      t := !t +. h_eff;
+      x := two;
+      times := !t :: !times;
+      states := !x :: !states;
+      (* grow cautiously; LTE of TR is O(h^3) *)
+      let grow =
+        if err = 0. then 2.
+        else Float.min 2. (0.9 *. Float.pow (tol /. err) (1. /. 3.))
+      in
+      h := Float.min dt_max (Float.max dt_min (h_eff *. Float.max 0.5 grow))
+    end
+    else h := Float.max dt_min (h_eff /. 2.)
+  done;
+  { sys;
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states) }

@@ -1,0 +1,235 @@
+type t = { times : float array; values : float array }
+
+let create times values =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Waveform.create: empty";
+  if Array.length values <> n then
+    invalid_arg "Waveform.create: length mismatch";
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Waveform.create: times must be strictly increasing"
+  done;
+  { times; values }
+
+let of_fun ~t_stop ~samples f =
+  if samples < 2 then invalid_arg "Waveform.of_fun: need at least 2 samples";
+  if t_stop <= 0. then invalid_arg "Waveform.of_fun: t_stop must be positive";
+  let times =
+    Array.init samples (fun i ->
+        t_stop *. float_of_int i /. float_of_int (samples - 1))
+  in
+  { times; values = Array.map f times }
+
+let length w = Array.length w.times
+
+let value_at w t =
+  let n = Array.length w.times in
+  if t <= w.times.(0) then w.values.(0)
+  else if t >= w.times.(n - 1) then w.values.(n - 1)
+  else begin
+    (* binary search for the bracketing segment *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if w.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    let t1 = w.times.(!lo) and t2 = w.times.(!hi) in
+    let y1 = w.values.(!lo) and y2 = w.values.(!hi) in
+    y1 +. ((y2 -. y1) *. (t -. t1) /. (t2 -. t1))
+  end
+
+let final_value w = w.values.(Array.length w.values - 1)
+
+let resample w times = create times (Array.map (value_at w) times)
+
+let integrate_trapezoid times f =
+  let acc = ref 0. in
+  for i = 1 to Array.length times - 1 do
+    let h = times.(i) -. times.(i - 1) in
+    acc := !acc +. (0.5 *. h *. (f (i - 1) +. f i))
+  done;
+  !acc
+
+let l2_norm w =
+  sqrt (integrate_trapezoid w.times (fun i -> w.values.(i) ** 2.))
+
+let l2_error exact approx =
+  let a = Array.map (value_at approx) exact.times in
+  sqrt
+    (integrate_trapezoid exact.times (fun i ->
+         (exact.values.(i) -. a.(i)) ** 2.))
+
+let relative_l2_error exact approx =
+  let norm = l2_norm exact in
+  if norm = 0. then l2_error exact approx else l2_error exact approx /. norm
+
+let max_abs_error exact approx =
+  let m = ref 0. in
+  Array.iteri
+    (fun i t ->
+      m := Float.max !m (Float.abs (exact.values.(i) -. value_at approx t)))
+    exact.times;
+  !m
+
+let crossing_time ?(rising = true) w threshold =
+  let n = Array.length w.times in
+  let crossed v_prev v =
+    if rising then v_prev < threshold && v >= threshold
+    else v_prev > threshold && v <= threshold
+  in
+  let result = ref None in
+  (try
+     for i = 1 to n - 1 do
+       let v_prev = w.values.(i - 1) and v = w.values.(i) in
+       if crossed v_prev v then begin
+         let t1 = w.times.(i - 1) and t2 = w.times.(i) in
+         let frac = if v = v_prev then 0. else (threshold -. v_prev) /. (v -. v_prev) in
+         result := Some (t1 +. (frac *. (t2 -. t1)));
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let delay_50pct w =
+  let v0 = w.values.(0) and vf = final_value w in
+  if v0 = vf then None
+  else begin
+    let mid = 0.5 *. (v0 +. vf) in
+    crossing_time ~rising:(vf > v0) w mid
+  end
+
+let overshoot w =
+  let vf = final_value w in
+  let vmax = Array.fold_left Float.max neg_infinity w.values in
+  Float.max 0. (vmax -. vf)
+
+let is_monotone ?(tol = 1e-9) w =
+  let vmin = Array.fold_left Float.min infinity w.values in
+  let vmax = Array.fold_left Float.max neg_infinity w.values in
+  let range = Float.max (vmax -. vmin) 1e-300 in
+  let up = ref true and down = ref true in
+  for i = 1 to Array.length w.values - 1 do
+    let d = w.values.(i) -. w.values.(i - 1) in
+    if d < -.tol *. range then up := false;
+    if d > tol *. range then down := false
+  done;
+  !up || !down
+
+let rise_time_10_90 w =
+  let v0 = w.values.(0) and vf = final_value w in
+  if v0 = vf then None
+  else begin
+    let at frac = v0 +. (frac *. (vf -. v0)) in
+    let rising = vf > v0 in
+    match (crossing_time ~rising w (at 0.1), crossing_time ~rising w (at 0.9))
+    with
+    | Some t10, Some t90 when t90 >= t10 -> Some (t90 -. t10)
+    | _ -> None
+  end
+
+let settling_time ?(band = 0.05) w =
+  let vf = final_value w in
+  let v0 = w.values.(0) in
+  let range = Float.abs (vf -. v0) in
+  let range =
+    if range > 0. then range
+    else begin
+      (* pulse-like waveform: settle relative to its peak excursion *)
+      Array.fold_left (fun m v -> Float.max m (Float.abs (v -. vf))) 0. w.values
+    end
+  in
+  if range = 0. then None
+  else begin
+    let tol = band *. range in
+    (* scan from the end for the last time the band is violated *)
+    let n = Array.length w.times in
+    let last_violation = ref (-1) in
+    for i = 0 to n - 1 do
+      if Float.abs (w.values.(i) -. vf) > tol then last_violation := i
+    done;
+    if !last_violation < 0 then Some w.times.(0)
+    else if !last_violation >= n - 1 then None
+    else Some w.times.(!last_violation + 1)
+  end
+
+let glitch_area w =
+  let vf = final_value w in
+  let acc = ref 0. in
+  for i = 1 to Array.length w.times - 1 do
+    let h = w.times.(i) -. w.times.(i - 1) in
+    acc :=
+      !acc
+      +. (0.5 *. h
+         *. (Float.abs (w.values.(i) -. vf)
+            +. Float.abs (w.values.(i - 1) -. vf)))
+  done;
+  !acc
+
+let to_csv w =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "time,value\n";
+  Array.iteri
+    (fun i t -> Buffer.add_string buf (Printf.sprintf "%g,%g\n" t w.values.(i)))
+    w.times;
+  Buffer.contents buf
+
+let pair_to_csv ~labels:(l1, l2) w1 w2 =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "time,%s,%s\n" l1 l2);
+  Array.iteri
+    (fun i t ->
+      Buffer.add_string buf
+        (Printf.sprintf "%g,%g,%g\n" t w1.values.(i) (value_at w2 t)))
+    w1.times;
+  Buffer.contents buf
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let ascii_plot ?(width = 72) ?(height = 20) ?(label = "") waves =
+  match waves with
+  | [] -> ""
+  | first :: _ ->
+    let t0 = first.times.(0) in
+    let t1 = first.times.(Array.length first.times - 1) in
+    let vmin, vmax =
+      List.fold_left
+        (fun (lo, hi) w ->
+          Array.fold_left
+            (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+            (lo, hi) w.values)
+        (infinity, neg_infinity) waves
+    in
+    let vrange = if vmax -. vmin < 1e-300 then 1. else vmax -. vmin in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun wi w ->
+        let glyph = glyphs.(wi mod Array.length glyphs) in
+        for col = 0 to width - 1 do
+          let t =
+            t0 +. ((t1 -. t0) *. float_of_int col /. float_of_int (width - 1))
+          in
+          let v = value_at w t in
+          let row =
+            height - 1
+            - int_of_float
+                (Float.round
+                   ((v -. vmin) /. vrange *. float_of_int (height - 1)))
+          in
+          let row = Stdlib.max 0 (Stdlib.min (height - 1) row) in
+          grid.(row).(col) <- glyph
+        done)
+      waves;
+    let buf = Buffer.create (width * height) in
+    if label <> "" then Buffer.add_string buf (label ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "%+.4g\n" vmax);
+    Array.iter
+      (fun row ->
+        Buffer.add_char buf '|';
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%+.4g" vmin);
+    Buffer.add_string buf
+      (Printf.sprintf "  t: %.4g .. %.4g\n" t0 t1);
+    Buffer.contents buf

@@ -1,0 +1,85 @@
+(** Sampled waveforms and the measurements the paper reports.
+
+    Every figure of the evaluation is a comparison between an AWE
+    approximation and an exact (simulated) waveform; every table-level
+    claim is a derived measure — relative L2 error (paper, eqs. 35-37),
+    threshold-crossing delay (Fig. 2, Section 5.3), overshoot
+    (Fig. 26).  This module implements those measures on uniformly or
+    nonuniformly sampled data. *)
+
+type t = {
+  times : float array;  (** strictly increasing *)
+  values : float array;  (** same length *)
+}
+
+val create : float array -> float array -> t
+(** Validates lengths and monotonicity. *)
+
+val of_fun : t_stop:float -> samples:int -> (float -> float) -> t
+(** Uniform sampling of a function on [[0, t_stop]] with [samples >= 2]
+    points inclusive of both endpoints. *)
+
+val length : t -> int
+
+val value_at : t -> float -> float
+(** Linear interpolation; clamps outside the time range. *)
+
+val final_value : t -> float
+
+val resample : t -> float array -> t
+(** Interpolate onto a new time grid. *)
+
+val l2_norm : t -> float
+(** [sqrt (integral of v^2)] by the trapezoidal rule over the sampled
+    range. *)
+
+val l2_error : t -> t -> float
+(** [l2_error exact approx]: absolute L2 difference over the time range
+    of [exact], with [approx] interpolated onto it (paper, eq. 35). *)
+
+val relative_l2_error : t -> t -> float
+(** [l2_error] normalized by the L2 norm of the exact waveform (paper,
+    eqs. 35-37); this is the "error term" percentage the paper quotes
+    per figure. *)
+
+val max_abs_error : t -> t -> float
+
+val crossing_time : ?rising:bool -> t -> float -> float option
+(** [crossing_time w threshold] is the first time the waveform crosses
+    [threshold] going up ([rising = true], default) or down, located by
+    linear interpolation between samples. *)
+
+val delay_50pct : t -> float option
+(** Time to reach halfway between the initial and final sampled values
+    — the paper's 50% delay definition (Fig. 2). *)
+
+val overshoot : t -> float
+(** [max(0, max value - final value)] — nonzero only for nonmonotone
+    responses such as the underdamped RLC of Fig. 26. *)
+
+val is_monotone : ?tol:float -> t -> bool
+(** Within tolerance [tol] (default [1e-9]) times the value range. *)
+
+val rise_time_10_90 : t -> float option
+(** 10%-90% rise time of the transition from initial to final value. *)
+
+val settling_time : ?band:float -> t -> float option
+(** Earliest time after which the waveform stays within [band]
+    (default 0.05, i.e. 5%) of its final value, relative to the total
+    transition; [None] when it never settles within the sampled
+    range (or the waveform is constant). *)
+
+val glitch_area : t -> float
+(** Integral of |v - v_final| over the sampled range — the
+    charge-transfer measure used for crosstalk pulses (a waveform that
+    starts and ends at the same level still has nonzero area). *)
+
+val to_csv : t -> string
+(** Two-column [time,value] CSV with a header line. *)
+
+val pair_to_csv : labels:string * string -> t -> t -> string
+(** Three-column CSV of two waveforms on the first waveform's grid. *)
+
+val ascii_plot : ?width:int -> ?height:int -> ?label:string -> t list -> string
+(** Rough terminal plot of one or more waveforms sharing a time axis;
+    series are drawn with distinct glyphs in listing order. *)

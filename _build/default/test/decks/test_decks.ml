@@ -1,0 +1,115 @@
+(* Integration tests: every shipped deck parses, and the full
+   deck -> MNA -> AWE -> delay pipeline matches the simulator. *)
+
+open Circuit
+
+(* `dune runtest` runs in the test's build directory (decks two levels
+   up); `dune exec` runs from the workspace root *)
+let deck name =
+  let candidates =
+    [ Filename.concat "../../decks" name; Filename.concat "decks" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> Parser.parse_file path
+  | None -> Alcotest.failf "deck %s not found" name
+
+let awe_target d =
+  (* resolve the .awe directive: node and order *)
+  List.find_map
+    (function
+      | Parser.Awe_node { node; order } -> Some (node, order)
+      | Parser.Tran _ -> None)
+    d.Parser.directives
+
+let tran_stop d =
+  List.find_map
+    (function
+      | Parser.Tran { t_stop; _ } -> Some t_stop
+      | Parser.Awe_node _ -> None)
+    d.Parser.directives
+
+let all_decks =
+  [ "fig4.sp"; "fig9.sp"; "fig16.sp"; "fig22.sp"; "fig25.sp";
+    "charge_share.sp"; "coupled_lines.sp" ]
+
+let test_all_parse () =
+  List.iter
+    (fun name ->
+      let d = deck name in
+      Alcotest.(check bool)
+        (name ^ " has elements")
+        true
+        (Netlist.element_count d.Parser.circuit > 0);
+      Alcotest.(check bool)
+        (name ^ " has directives")
+        true
+        (awe_target d <> None && tran_stop d <> None))
+    all_decks
+
+let test_pipeline_matches_simulator () =
+  List.iter
+    (fun name ->
+      let d = deck name in
+      let sys = Mna.build d.Parser.circuit in
+      let node_name, order =
+        match awe_target d with Some t -> t | None -> assert false
+      in
+      let node =
+        match Netlist.find_node d.Parser.circuit node_name with
+        | Some n -> n
+        | None -> Alcotest.failf "%s: unknown awe node" name
+      in
+      let q = Option.value order ~default:2 in
+      let t_stop = Option.get (tran_stop d) in
+      match Awe.approximate sys ~node ~q with
+      | a ->
+        let r = Transim.Transient.simulate sys ~t_stop ~steps:4000 in
+        let wex = Transim.Transient.node_waveform r node in
+        let wap = Awe.waveform a ~t_stop ~samples:4001 in
+        let range =
+          Array.fold_left Float.max neg_infinity wex.Waveform.values
+          -. Array.fold_left Float.min infinity wex.Waveform.values
+        in
+        let err = Waveform.max_abs_error wex wap in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: AWE q%d tracks simulation (err %.3g of %.3g)"
+             name q err range)
+          true
+          (err < 0.12 *. Float.max range 1e-3)
+      | exception Awe.Degenerate _ -> Alcotest.failf "%s: degenerate" name)
+    all_decks
+
+let test_fig4_deck_is_tree () =
+  let d = deck "fig4.sp" in
+  Alcotest.(check bool) "rc tree" true
+    (Topology.analyze d.Parser.circuit).Topology.is_rc_tree
+
+let test_fig22_deck_has_floating_group () =
+  let d = deck "fig22.sp" in
+  let sys = Mna.build d.Parser.circuit in
+  Alcotest.(check int) "one charge group" 1 (Mna.charge_group_count sys)
+
+let test_charge_share_ics_applied () =
+  let d = deck "charge_share.sp" in
+  let sys = Mna.build d.Parser.circuit in
+  let op = Dc.initial sys in
+  (* C6's node starts at 5 V, C7's at 0 *)
+  let v name =
+    match Netlist.find_node d.Parser.circuit name with
+    | Some n -> Mna.voltage sys op.Dc.x n
+    | None -> nan
+  in
+  Alcotest.(check (float 1e-9)) "n6 at 5" 5. (v "n6");
+  Alcotest.(check (float 1e-9)) "n7 at 0" 0. (v "n7")
+
+let () =
+  Alcotest.run "decks"
+    [ ( "decks",
+        [ Alcotest.test_case "all parse" `Quick test_all_parse;
+          Alcotest.test_case "pipeline vs simulator" `Slow
+            test_pipeline_matches_simulator;
+          Alcotest.test_case "fig4 topology" `Quick test_fig4_deck_is_tree;
+          Alcotest.test_case "fig22 floating group" `Quick
+            test_fig22_deck_has_floating_group;
+          Alcotest.test_case "charge-share ICs" `Quick
+            test_charge_share_ics_applied ] ) ]

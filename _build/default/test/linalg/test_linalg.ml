@@ -1,0 +1,736 @@
+(* Unit and property tests for the dense linear-algebra substrate. *)
+
+open Linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let x = Vec.of_list [ 1.; 2.; 3. ] in
+  let y = Vec.of_list [ 4.; 5.; 6. ] in
+  check_float "dot" 32. (Vec.dot x y);
+  check_float "norm2" (sqrt 14.) (Vec.norm2 x);
+  check_float "norm_inf" 3. (Vec.norm_inf x);
+  Alcotest.(check bool)
+    "add" true
+    (Vec.approx_equal (Vec.of_list [ 5.; 7.; 9. ]) (Vec.add x y));
+  Alcotest.(check bool)
+    "sub" true
+    (Vec.approx_equal (Vec.of_list [ -3.; -3.; -3. ]) (Vec.sub x y));
+  let z = Vec.copy y in
+  Vec.axpy 2. x z;
+  Alcotest.(check bool)
+    "axpy" true
+    (Vec.approx_equal (Vec.of_list [ 6.; 9.; 12. ]) z)
+
+let test_vec_basis () =
+  let e = Vec.basis 4 2 in
+  check_float "basis component" 1. (Vec.get e 2);
+  check_float "basis others" 0. (Vec.get e 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Vec.basis: index out of range") (fun () ->
+      ignore (Vec.basis 3 5))
+
+let test_vec_mismatch () =
+  let x = Vec.create 2 and y = Vec.create 3 in
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot x y))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+
+let test_matrix_mul () =
+  let a = Matrix.of_rows [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let b = Matrix.of_rows [ [ 5.; 6. ]; [ 7.; 8. ] ] in
+  let c = Matrix.mul a b in
+  Alcotest.(check bool)
+    "product" true
+    (Matrix.approx_equal (Matrix.of_rows [ [ 19.; 22. ]; [ 43.; 50. ] ]) c)
+
+let test_matrix_vec () =
+  let a = Matrix.of_rows [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  let x = Vec.of_list [ 1.; 1.; 1. ] in
+  Alcotest.(check bool)
+    "mul_vec" true
+    (Vec.approx_equal (Vec.of_list [ 6.; 15. ]) (Matrix.mul_vec a x));
+  let y = Vec.of_list [ 1.; 1. ] in
+  Alcotest.(check bool)
+    "mul_vec_transpose" true
+    (Vec.approx_equal (Vec.of_list [ 5.; 7.; 9. ])
+       (Matrix.mul_vec_transpose a y))
+
+let test_matrix_transpose_submatrix () =
+  let a = Matrix.of_rows [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6. ] ] in
+  let at = Matrix.transpose a in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Matrix.dims at);
+  check_float "entry" 6. (Matrix.get at 2 1);
+  let s = Matrix.submatrix a [| 1 |] [| 0; 2 |] in
+  Alcotest.(check bool)
+    "submatrix" true
+    (Matrix.approx_equal (Matrix.of_rows [ [ 4.; 6. ] ]) s)
+
+let test_matrix_symmetry () =
+  let sym = Matrix.of_rows [ [ 2.; -1. ]; [ -1.; 2. ] ] in
+  let asym = Matrix.of_rows [ [ 2.; -1. ]; [ 1.; 2. ] ] in
+  Alcotest.(check bool) "symmetric" true (Matrix.is_symmetric sym);
+  Alcotest.(check bool) "asymmetric" false (Matrix.is_symmetric asym)
+
+let test_matrix_norms () =
+  let a = Matrix.of_rows [ [ 1.; -2. ]; [ 3.; 4. ] ] in
+  check_float "inf norm" 7. (Matrix.norm_inf a);
+  check_float "frobenius" (sqrt 30.) (Matrix.norm_frobenius a);
+  check_float "max abs" 4. (Matrix.max_abs a)
+
+(* ------------------------------------------------------------------ *)
+(* LU *)
+
+let test_lu_solve_known () =
+  let a = Matrix.of_rows [ [ 2.; 1. ]; [ 1.; 3. ] ] in
+  let b = Vec.of_list [ 3.; 5. ] in
+  let x = Lu.solve_system a b in
+  Alcotest.(check bool)
+    "solution" true
+    (Vec.approx_equal (Vec.of_list [ 0.8; 1.4 ]) x)
+
+let test_lu_pivoting () =
+  (* leading zero forces a row exchange *)
+  let a = Matrix.of_rows [ [ 0.; 1. ]; [ 1.; 0. ] ] in
+  let x = Lu.solve_system a (Vec.of_list [ 2.; 3. ]) in
+  Alcotest.(check bool)
+    "swap solve" true
+    (Vec.approx_equal (Vec.of_list [ 3.; 2. ]) x)
+
+let test_lu_det () =
+  let a = Matrix.of_rows [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  check_float "det" (-2.) (Lu.det (Lu.factor a));
+  let p = Matrix.of_rows [ [ 0.; 1. ]; [ 1.; 0. ] ] in
+  check_float "permutation det" (-1.) (Lu.det (Lu.factor p))
+
+let test_lu_singular () =
+  let a = Matrix.of_rows [ [ 1.; 2. ]; [ 2.; 4. ] ] in
+  (match Lu.factor a with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Lu.Singular _ -> ())
+
+let test_lu_inverse () =
+  let a = Matrix.of_rows [ [ 4.; 7. ]; [ 2.; 6. ] ] in
+  let inv = Lu.inverse (Lu.factor a) in
+  Alcotest.(check bool)
+    "a * a^-1 = I" true
+    (Matrix.approx_equal ~tol:1e-12 (Matrix.identity 2) (Matrix.mul a inv))
+
+let test_lu_transpose_solve () =
+  let a = Matrix.of_rows [ [ 2.; 1.; 0. ]; [ 0.; 3.; 1. ]; [ 1.; 0.; 4. ] ] in
+  let f = Lu.factor a in
+  let b = Vec.of_list [ 1.; 2.; 3. ] in
+  let x = Lu.solve_transpose f b in
+  Alcotest.(check bool)
+    "A^T x = b" true
+    (Vec.approx_equal ~tol:1e-12 b
+       (Matrix.mul_vec (Matrix.transpose a) x))
+
+let rand_state = Random.State.make [| 0x5eed |]
+
+let random_matrix n =
+  Matrix.init n n (fun _ _ -> Random.State.float rand_state 2. -. 1.)
+
+let prop_lu_roundtrip =
+  QCheck2.Test.make ~name:"lu solve round-trips random systems" ~count:100
+    QCheck2.Gen.(int_range 1 12)
+    (fun n ->
+      let a = random_matrix n in
+      let x = Vec.init n (fun _ -> Random.State.float rand_state 2. -. 1.) in
+      let b = Matrix.mul_vec a x in
+      match Lu.solve_system a b with
+      | x' -> Vec.dist_inf x x' <= 1e-6 *. Float.max 1. (Vec.norm_inf x)
+      | exception Lu.Singular _ -> true (* rare: random matrix singular *))
+
+let prop_lu_transpose =
+  QCheck2.Test.make ~name:"transpose solve agrees with explicit transpose"
+    ~count:50
+    QCheck2.Gen.(int_range 1 10)
+    (fun n ->
+      let a = random_matrix n in
+      let b = Vec.init n (fun _ -> Random.State.float rand_state 2. -. 1.) in
+      match Lu.factor a with
+      | f ->
+        let x1 = Lu.solve_transpose f b in
+        let x2 = Lu.solve_system (Matrix.transpose a) b in
+        Vec.dist_inf x1 x2 <= 1e-6
+      | exception Lu.Singular _ -> true)
+
+let test_cholesky_known () =
+  let a = Matrix.of_rows [ [ 4.; 2. ]; [ 2.; 3. ] ] in
+  let f = Cholesky.factor a in
+  check_float "det" 8. (Cholesky.det f);
+  let x = Cholesky.solve f (Vec.of_list [ 8.; 7. ]) in
+  Alcotest.(check bool) "solve" true
+    (Vec.approx_equal ~tol:1e-12 (Matrix.mul_vec a x) (Vec.of_list [ 8.; 7. ]))
+
+let test_cholesky_rejects_indefinite () =
+  let a = Matrix.of_rows [ [ 1.; 2. ]; [ 2.; 1. ] ] in
+  Alcotest.(check bool) "indefinite" false (Cholesky.is_positive_definite a);
+  match Cholesky.factor a with
+  | _ -> Alcotest.fail "expected rejection"
+  | exception Cholesky.Not_positive_definite 1 -> ()
+  | exception Cholesky.Not_positive_definite _ -> ()
+
+let prop_cholesky_matches_lu =
+  QCheck2.Test.make ~name:"cholesky solve equals LU solve on random SPD"
+    ~count:80
+    QCheck2.Gen.(int_range 1 15)
+    (fun n ->
+      (* SPD via B^T B + I *)
+      let b0 = random_matrix n in
+      let a =
+        Matrix.add (Matrix.mul (Matrix.transpose b0) b0) (Matrix.identity n)
+      in
+      let rhs = Vec.init n (fun i -> Float.of_int (i + 1)) in
+      let x1 = Cholesky.solve (Cholesky.factor a) rhs in
+      let x2 = Lu.solve_system a rhs in
+      Vec.dist_inf x1 x2 <= 1e-8 *. Float.max 1. (Vec.norm_inf x2))
+
+let prop_cholesky_det_positive =
+  QCheck2.Test.make ~name:"cholesky determinant matches LU and is positive"
+    ~count:50
+    QCheck2.Gen.(int_range 1 10)
+    (fun n ->
+      let b0 = random_matrix n in
+      let a =
+        Matrix.add (Matrix.mul (Matrix.transpose b0) b0) (Matrix.identity n)
+      in
+      let dc = Cholesky.det (Cholesky.factor a) in
+      let dl = Lu.det (Lu.factor a) in
+      dc > 0. && Float.abs (dc -. dl) <= 1e-6 *. Float.abs dl)
+
+(* ------------------------------------------------------------------ *)
+(* Cx *)
+
+let test_cx_arith () =
+  let open Cx in
+  let a = make 1. 2. and b = make 3. (-1.) in
+  Alcotest.(check bool) "add" true (approx_equal (make 4. 1.) (a +: b));
+  Alcotest.(check bool) "mul" true (approx_equal (make 5. 5.) (a *: b));
+  Alcotest.(check bool)
+    "div round trip" true
+    (approx_equal a (a *: b /: b));
+  check_float "abs" (Stdlib.sqrt 5.) (abs a)
+
+let test_cx_pow_int () =
+  let open Cx in
+  let z = make 0. 1. in
+  Alcotest.(check bool) "i^2 = -1" true (approx_equal (re (-1.)) (pow_int z 2));
+  Alcotest.(check bool) "i^0 = 1" true (approx_equal one (pow_int z 0));
+  Alcotest.(check bool)
+    "i^-1 = -i" true
+    (approx_equal (make 0. (-1.)) (pow_int z (-1)));
+  Alcotest.(check bool)
+    "z^5 via repeated mul" true
+    (approx_equal
+       (z *: z *: z *: z *: z)
+       (pow_int z 5))
+
+let test_cx_is_real () =
+  Alcotest.(check bool) "real" true (Cx.is_real (Cx.make 5. 1e-12));
+  Alcotest.(check bool) "complex" false (Cx.is_real (Cx.make 5. 1.))
+
+(* ------------------------------------------------------------------ *)
+(* Cmatrix *)
+
+let test_cmatrix_solve () =
+  let open Cx in
+  let a =
+    Cmatrix.init 2 2 (fun i j ->
+        if i = j then make 2. 1. else make 0. (-1.))
+  in
+  let x = [| make 1. 0.; make 0. 1. |] in
+  let b = Cmatrix.mul_vec a x in
+  let x' = Cmatrix.solve a b in
+  Alcotest.(check bool) "complex solve" true
+    (Cmatrix.vec_approx_equal ~tol:1e-12 x x')
+
+let test_cmatrix_singular () =
+  let a = Cmatrix.init 2 2 (fun _ _ -> Cx.one) in
+  (match Cmatrix.solve a [| Cx.one; Cx.one |] with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Cmatrix.Singular _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Poly *)
+
+let sorted_roots p = Poly.roots p
+
+let test_poly_eval () =
+  let p = [| 1.; -3.; 2. |] in
+  (* 2x^2 - 3x + 1 *)
+  check_float "at 0" 1. (Poly.eval p 0.);
+  check_float "at 1" 0. (Poly.eval p 1.);
+  check_float "at 0.5" 0. (Poly.eval p 0.5);
+  Alcotest.(check int) "degree" 2 (Poly.degree p);
+  Alcotest.(check int) "degree with trailing zeros" 1
+    (Poly.degree [| 1.; 2.; 0.; 0. |])
+
+let test_poly_derivative () =
+  let p = [| 1.; 2.; 3. |] in
+  let d = Poly.derivative p in
+  check_float "constant term" 2. d.(0);
+  check_float "linear term" 6. d.(1)
+
+let test_poly_quadratic_real () =
+  match sorted_roots [| 6.; -5.; 1. |] (* (x-2)(x-3) *) with
+  | [ r1; r2 ] ->
+    check_close "small root" 2. r1.Cx.re;
+    check_close "large root" 3. r2.Cx.re;
+    check_close "imag 1" 0. r1.Cx.im;
+    check_close "imag 2" 0. r2.Cx.im
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_poly_quadratic_complex () =
+  match sorted_roots [| 5.; 2.; 1. |] (* roots -1 +- 2j *) with
+  | [ r1; r2 ] ->
+    check_close "re" (-1.) r1.Cx.re;
+    check_close "im magnitude" 2. (Float.abs r1.Cx.im);
+    Alcotest.(check bool) "conjugates" true
+      (Cx.approx_equal r1 (Cx.conj r2))
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_poly_cancellation_stability () =
+  (* (x - 1e8)(x - 1e-8): naive formula loses the small root *)
+  match sorted_roots [| 1.; -.(1e8 +. 1e-8); 1. |] with
+  | [ r1; r2 ] ->
+    check_close ~tol:1e-14 "tiny root" 1e-8 r1.Cx.re;
+    check_close ~tol:1e2 "huge root" 1e8 r2.Cx.re
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_poly_zero_roots_deflated () =
+  (* x^2 (x - 4) *)
+  match sorted_roots [| 0.; 0.; -4.; 1. |] with
+  | [ z1; z2; r ] ->
+    check_close "zero 1" 0. (Cx.abs z1);
+    check_close "zero 2" 0. (Cx.abs z2);
+    check_close "nonzero root" 4. r.Cx.re
+  | _ -> Alcotest.fail "expected three roots"
+
+let test_poly_cubic () =
+  let p = Poly.of_roots [ Cx.re 1.; Cx.re (-2.); Cx.re 0.5 ] in
+  let rs = sorted_roots p in
+  Alcotest.(check int) "count" 3 (List.length rs);
+  List.iter
+    (fun r -> check_close ~tol:1e-8 "residual" 0. (Cx.abs (Poly.eval_cx p r)))
+    rs
+
+let test_poly_complex_quartic () =
+  (* two complex pairs, well separated in magnitude: typical AWE
+     reciprocal-pole configurations for underdamped RLC (Table II) *)
+  let roots =
+    [ Cx.make (-1.) 2.; Cx.make (-1.) (-2.);
+      Cx.make (-30.) 40.; Cx.make (-30.) (-40.) ]
+  in
+  let p = Poly.of_roots roots in
+  let found = sorted_roots p in
+  Alcotest.(check int) "count" 4 (List.length found);
+  List.iter
+    (fun r ->
+      check_close ~tol:1e-6 "residual" 0.
+        (Cx.abs (Poly.eval_cx p r) /. 5e3))
+    found;
+  (* conjugate symmetry was enforced *)
+  let ims = List.map (fun r -> r.Cx.im) found in
+  check_close ~tol:1e-9 "imag parts cancel" 0. (List.fold_left ( +. ) 0. ims)
+
+let test_poly_of_roots_real () =
+  let p = Poly.of_roots [ Cx.make 0. 1.; Cx.make 0. (-1.) ] in
+  (* (x - i)(x + i) = x^2 + 1 *)
+  check_close "c0" 1. p.(0);
+  check_close "c1" 0. p.(1);
+  check_close "c2" 1. p.(2)
+
+let prop_poly_roundtrip =
+  QCheck2.Test.make
+    ~name:"roots of of_roots recover the roots (real, separated)" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 6) (float_range (-10.) (-0.1)))
+    (fun raw ->
+      (* separate the roots to avoid ill-conditioned clusters *)
+      let roots =
+        List.sort compare raw
+        |> List.mapi (fun i r -> r -. (3. *. float_of_int i))
+      in
+      let p = Poly.of_roots (List.map Cx.re roots) in
+      let found = Poly.roots p in
+      List.length found = List.length roots
+      && List.for_all2
+           (fun expected got ->
+             Cx.abs Cx.(re expected -: got)
+             <= 1e-4 *. Float.max 1. (Float.abs expected))
+           (List.sort compare roots)
+           (List.sort
+              (fun (a : Cx.t) (b : Cx.t) -> Float.compare a.re b.re)
+              found))
+
+let test_poly_ops () =
+  (* (1 + x)(2 + 3x) = 2 + 5x + 3x^2 *)
+  let p = Poly.mul [| 1.; 1. |] [| 2.; 3. |] in
+  check_float "c0" 2. p.(0);
+  check_float "c1" 5. p.(1);
+  check_float "c2" 3. p.(2);
+  let s = Poly.add [| 1.; 2. |] [| 0.; 0.; 4. |] in
+  check_float "sum c2" 4. s.(2);
+  let sc = Poly.scale 2. [| 1.; -3. |] in
+  check_float "scaled" (-6.) sc.(1);
+  (* pretty printer renders nonzero terms and skips zero ones *)
+  let repr = Format.asprintf "%a" Poly.pp [| 1.; 0.; 2. |] in
+  Alcotest.(check bool) "pp nontrivial" true (String.length repr >= 5)
+
+let test_matrix_of_rows_ragged () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Matrix.of_rows: ragged row lengths") (fun () ->
+      ignore (Matrix.of_rows [ [ 1. ]; [ 1.; 2. ] ]))
+
+let test_lu_solve_matrix () =
+  let a = Matrix.of_rows [ [ 2.; 0. ]; [ 0.; 4. ] ] in
+  let b = Matrix.of_rows [ [ 2.; 4. ]; [ 8.; 12. ] ] in
+  let x = Lu.solve_matrix (Lu.factor a) b in
+  Alcotest.(check bool) "columnwise solve" true
+    (Matrix.approx_equal (Matrix.of_rows [ [ 1.; 2. ]; [ 2.; 3. ] ]) x)
+
+let test_cmatrix_solve_many () =
+  let a = Cmatrix.of_real (Matrix.of_rows [ [ 2.; 1. ]; [ 0.; 3. ] ]) in
+  let b1 = Cmatrix.vec_of_real [| 3.; 3. |] in
+  let b2 = Cmatrix.vec_of_real [| 5.; 6. |] in
+  (match Cmatrix.solve_many a [ b1; b2 ] with
+  | [ x1; x2 ] ->
+    Alcotest.(check bool) "x1" true
+      (Cmatrix.vec_approx_equal ~tol:1e-12
+         (Cmatrix.vec_of_real [| 1.; 1. |]) x1);
+    Alcotest.(check bool) "x2" true
+      (Cmatrix.vec_approx_equal ~tol:1e-12
+         (Cmatrix.vec_of_real [| 1.5; 2. |]) x2)
+  | _ -> Alcotest.fail "expected two solutions")
+
+(* ------------------------------------------------------------------ *)
+(* Eigen *)
+
+let test_eigen_diagonal () =
+  let a = Matrix.of_rows [ [ 3.; 0. ]; [ 0.; -1. ] ] in
+  match Eigen.eigenvalues a with
+  | [ e1; e2 ] ->
+    check_close "small" (-1.) e1.Cx.re;
+    check_close "large" 3. e2.Cx.re
+  | _ -> Alcotest.fail "expected two eigenvalues"
+
+let test_eigen_rotation () =
+  (* rotation-scaling matrix: eigenvalues 1 +- 2j *)
+  let a = Matrix.of_rows [ [ 1.; -2. ]; [ 2.; 1. ] ] in
+  match Eigen.eigenvalues a with
+  | [ e1; e2 ] ->
+    check_close "re" 1. e1.Cx.re;
+    check_close "im magnitude" 2. (Float.abs e1.Cx.im);
+    Alcotest.(check bool) "conjugate pair" true
+      (Cx.approx_equal ~tol:1e-9 e1 (Cx.conj e2))
+  | _ -> Alcotest.fail "expected two eigenvalues"
+
+let test_eigen_companion () =
+  (* companion matrix of (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  let a =
+    Matrix.of_rows [ [ 0.; 0.; 6. ]; [ 1.; 0.; -11. ]; [ 0.; 1.; 6. ] ]
+  in
+  let es = Eigen.eigenvalues a in
+  let res = List.map (fun e -> e.Cx.re) es in
+  List.iter2 (fun want got -> check_close ~tol:1e-8 "eigenvalue" want got)
+    [ 1.; 2.; 3. ] res
+
+let test_eigen_defective () =
+  (* Jordan block: double eigenvalue 2, defective *)
+  let a = Matrix.of_rows [ [ 2.; 1. ]; [ 0.; 2. ] ] in
+  match Eigen.eigenvalues a with
+  | [ e1; e2 ] ->
+    check_close ~tol:1e-7 "first" 2. e1.Cx.re;
+    check_close ~tol:1e-7 "second" 2. e2.Cx.re
+  | _ -> Alcotest.fail "expected two eigenvalues"
+
+let test_eigen_larger_spectrum () =
+  (* similarity transform of a known diagonal: eigenvalues preserved *)
+  let n = 8 in
+  let diag = Array.init n (fun i -> -.Float.of_int (i + 1)) in
+  let s = random_matrix n in
+  let f = Lu.factor s in
+  let d = Matrix.init n n (fun i j -> if i = j then diag.(i) else 0.) in
+  let a = Matrix.mul (Matrix.mul s d) (Lu.inverse f) in
+  let es = Eigen.eigenvalues a in
+  Alcotest.(check int) "count" n (List.length es);
+  List.iteri
+    (fun i e ->
+      check_close ~tol:1e-6 "eigenvalue magnitude"
+        (Float.of_int (i + 1))
+        (Cx.abs e))
+    es
+
+let test_circuit_poles_drops_zeros () =
+  (* operator with two finite natural frequencies and one algebraic
+     (zero) eigenvalue, as produced by MNA with a voltage source *)
+  let m =
+    Matrix.of_rows
+      [ [ -0.5; 0.; 0. ]; [ 0.; -0.01; 0. ]; [ 0.; 0.; 0. ] ]
+  in
+  match Eigen.circuit_poles m with
+  | [ p1; p2 ] ->
+    check_close "dominant pole" (-2.) p1.Cx.re;
+    check_close "fast pole" (-100.) p2.Cx.re
+  | ps ->
+    Alcotest.failf "expected two poles, got %d" (List.length ps)
+
+let prop_eigen_trace =
+  QCheck2.Test.make
+    ~name:"sum of eigenvalues equals trace (random matrices)" ~count:60
+    QCheck2.Gen.(int_range 2 10)
+    (fun n ->
+      let a = random_matrix n in
+      let es = Eigen.eigenvalues a in
+      let sum = List.fold_left Cx.( +: ) Cx.zero es in
+      let trace = ref 0. in
+      for i = 0 to n - 1 do
+        trace := !trace +. a.(i).(i)
+      done;
+      Float.abs (sum.Cx.re -. !trace) <= 1e-6 *. Float.max 1. (Float.abs !trace)
+      && Float.abs sum.Cx.im <= 1e-6)
+
+let prop_eigen_det =
+  QCheck2.Test.make
+    ~name:"product of eigenvalues equals determinant" ~count:60
+    QCheck2.Gen.(int_range 2 8)
+    (fun n ->
+      let a = random_matrix n in
+      match Lu.factor a with
+      | f ->
+        let det = Lu.det f in
+        let es = Eigen.eigenvalues a in
+        let prod = List.fold_left Cx.( *: ) Cx.one es in
+        Float.abs (prod.Cx.re -. det) <= 1e-5 *. Float.max 1. (Float.abs det)
+      | exception Lu.Singular _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Vandermonde *)
+
+let test_vandermonde_power_sums () =
+  (* known residues at distinct nodes *)
+  let z = [| Cx.re 2.; Cx.re (-1.); Cx.re 0.5 |] in
+  let k = [| Cx.re 1.; Cx.re 3.; Cx.re (-2.) |] in
+  let mu =
+    Array.init 3 (fun j ->
+        Array.to_list (Array.mapi (fun l zl -> Cx.(k.(l) *: pow_int zl j)) z)
+        |> List.fold_left Cx.( +: ) Cx.zero)
+  in
+  let k' = Vandermonde.solve_power_sums z mu in
+  Alcotest.(check bool) "recovered residues" true
+    (Cmatrix.vec_approx_equal ~tol:1e-10 k k')
+
+let test_vandermonde_cluster () =
+  let z = [| Cx.re 1.; Cx.re 1.0000000001; Cx.re 5. |] in
+  let cs = Vandermonde.cluster_nodes z in
+  Alcotest.(check int) "two clusters" 2 (Array.length cs);
+  let multiplicities =
+    Array.to_list cs
+    |> List.map (fun c -> c.Vandermonde.multiplicity)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "multiplicities" [ 1; 2 ] multiplicities
+
+let test_vandermonde_confluent_matches_simple () =
+  (* all-distinct clusters must agree with the plain solver *)
+  let z = [| Cx.re 2.; Cx.re (-1.) |] in
+  let mu = [| Cx.re 3.; Cx.re 1. |] in
+  let plain = Vandermonde.solve_power_sums z mu in
+  let clusters =
+    Array.map (fun node -> { Vandermonde.node; multiplicity = 1 }) z
+  in
+  let grouped = Vandermonde.solve_confluent clusters ~slope:None mu in
+  Alcotest.(check bool) "k0" true
+    (Cx.approx_equal ~tol:1e-10 plain.(0) grouped.(0).(0));
+  Alcotest.(check bool) "k1" true
+    (Cx.approx_equal ~tol:1e-10 plain.(1) grouped.(1).(0))
+
+let test_vandermonde_confluent_double_pole () =
+  (* model x(t) = (k1 + k2 t) e^{pt} with p = -2 (z = -0.5).
+     Conditions: mu_0 = x(0) = k1;
+     mu_j = k1 z^j - k2 z^{j+1} * j ... derive from formula instead:
+     column for ii=0: z^j; ii=1: -C(j, j-1) z^{j+1} = -j z^{j+1}. *)
+  let z = Cx.re (-0.5) in
+  let k1 = Cx.re 2. and k2 = Cx.re 3. in
+  let mu =
+    Array.init 2 (fun j ->
+        if j = 0 then k1
+        else
+          Cx.(
+            (k1 *: pow_int z j)
+            +: Cx.scale (-.float_of_int j) (k2 *: pow_int z (j + 1))))
+  in
+  let clusters = [| { Vandermonde.node = z; multiplicity = 2 } |] in
+  let grouped = Vandermonde.solve_confluent clusters ~slope:None mu in
+  Alcotest.(check bool) "k1" true
+    (Cx.approx_equal ~tol:1e-10 k1 grouped.(0).(0));
+  Alcotest.(check bool) "k2" true
+    (Cx.approx_equal ~tol:1e-10 k2 grouped.(0).(1))
+
+let test_vandermonde_slope_row () =
+  (* single pole with slope matching: k = mu_0 and the slope condition
+     k p = d must be satisfied by construction when consistent *)
+  let z = [| Cx.re (-0.25) |] in
+  let clusters =
+    Array.map (fun node -> { Vandermonde.node; multiplicity = 1 }) z
+  in
+  let k = Cx.re 4. in
+  let d = Cx.(k *: inv z.(0)) in
+  let grouped =
+    Vandermonde.solve_confluent clusters ~slope:(Some d) [| Cx.re 0. |]
+  in
+  (* with q = 1 the slope row replaces the only row: k p = d *)
+  Alcotest.(check bool) "k from slope row" true
+    (Cx.approx_equal ~tol:1e-10 k grouped.(0).(0))
+
+(* ------------------------------------------------------------------ *)
+(* Hankel *)
+
+let mu_of_poles_residues poles residues count =
+  Array.init count (fun j ->
+      List.fold_left2
+        (fun acc p k -> acc +. (k *. Float.pow (1. /. p) (float_of_int j)))
+        0. poles residues)
+
+let test_hankel_recovers_poles () =
+  let poles = [ -1.; -10. ] in
+  let residues = [ 2.; 3. ] in
+  let mu = mu_of_poles_residues poles residues 4 in
+  let cp = Hankel.char_poly ~q:2 mu in
+  let zs = Poly.roots cp in
+  let ps = List.map (fun z -> (Cx.inv z).Cx.re) zs in
+  let ps = List.sort (fun a b -> Float.compare (Float.abs a) (Float.abs b)) ps in
+  (match ps with
+  | [ p1; p2 ] ->
+    check_close ~tol:1e-6 "dominant" (-1.) p1;
+    check_close ~tol:1e-5 "second" (-10.) p2
+  | _ -> Alcotest.fail "expected 2 poles")
+
+let test_hankel_deficient () =
+  (* moments of a single exponential: the order-2 moment matrix is
+     exactly rank one *)
+  let mu = mu_of_poles_residues [ -2. ] [ 5. ] 4 in
+  (match Hankel.char_poly ~q:2 mu with
+  | _ -> Alcotest.fail "expected Deficient"
+  | exception Hankel.Deficient _ -> ())
+
+let test_hankel_matrix_shape () =
+  let mu = [| 1.; 2.; 3.; 4. |] in
+  let h = Hankel.moment_matrix ~q:2 mu in
+  check_float "h00" 1. (Matrix.get h 0 0);
+  check_float "h01" 2. (Matrix.get h 0 1);
+  check_float "h10" 2. (Matrix.get h 1 0);
+  check_float "h11" 3. (Matrix.get h 1 1)
+
+let prop_hankel_roundtrip =
+  QCheck2.Test.make
+    ~name:"hankel + roots recover separated real poles" ~count:80
+    QCheck2.Gen.(int_range 1 4)
+    (fun q ->
+      let poles = List.init q (fun i -> -.Float.pow 6. (float_of_int i)) in
+      let residues = List.init q (fun i -> 1. +. float_of_int i) in
+      let mu = mu_of_poles_residues poles residues (2 * q) in
+      match Hankel.char_poly ~q mu with
+      | cp ->
+        let ps =
+          Poly.roots cp
+          |> List.map (fun z -> (Cx.inv z).Cx.re)
+          |> List.sort (fun a b ->
+                 Float.compare (Float.abs a) (Float.abs b))
+        in
+        List.for_all2
+          (fun want got -> Float.abs (want -. got) <= 1e-3 *. Float.abs want)
+          poles ps
+      | exception Hankel.Deficient _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "linalg"
+    [ ( "vec",
+        [ Alcotest.test_case "basic ops" `Quick test_vec_basic;
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch ] );
+      ( "matrix",
+        [ Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "mat-vec" `Quick test_matrix_vec;
+          Alcotest.test_case "transpose/submatrix" `Quick
+            test_matrix_transpose_submatrix;
+          Alcotest.test_case "symmetry" `Quick test_matrix_symmetry;
+          Alcotest.test_case "norms" `Quick test_matrix_norms;
+          Alcotest.test_case "ragged rows rejected" `Quick
+            test_matrix_of_rows_ragged ] );
+      ( "lu",
+        [ Alcotest.test_case "known system" `Quick test_lu_solve_known;
+          Alcotest.test_case "pivoting" `Quick test_lu_pivoting;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "transpose solve" `Quick test_lu_transpose_solve;
+          Alcotest.test_case "matrix solve" `Quick test_lu_solve_matrix ]
+        @ qsuite [ prop_lu_roundtrip; prop_lu_transpose ] );
+      ( "cholesky",
+        [ Alcotest.test_case "known system" `Quick test_cholesky_known;
+          Alcotest.test_case "indefinite rejected" `Quick
+            test_cholesky_rejects_indefinite ]
+        @ qsuite [ prop_cholesky_matches_lu; prop_cholesky_det_positive ] );
+      ( "cx",
+        [ Alcotest.test_case "arithmetic" `Quick test_cx_arith;
+          Alcotest.test_case "integer powers" `Quick test_cx_pow_int;
+          Alcotest.test_case "is_real" `Quick test_cx_is_real ] );
+      ( "cmatrix",
+        [ Alcotest.test_case "solve" `Quick test_cmatrix_solve;
+          Alcotest.test_case "singular" `Quick test_cmatrix_singular;
+          Alcotest.test_case "solve many" `Quick test_cmatrix_solve_many ] );
+      ( "poly",
+        [ Alcotest.test_case "eval/degree" `Quick test_poly_eval;
+          Alcotest.test_case "derivative" `Quick test_poly_derivative;
+          Alcotest.test_case "quadratic real" `Quick test_poly_quadratic_real;
+          Alcotest.test_case "quadratic complex" `Quick
+            test_poly_quadratic_complex;
+          Alcotest.test_case "cancellation stability" `Quick
+            test_poly_cancellation_stability;
+          Alcotest.test_case "zero-root deflation" `Quick
+            test_poly_zero_roots_deflated;
+          Alcotest.test_case "cubic" `Quick test_poly_cubic;
+          Alcotest.test_case "complex quartic" `Quick
+            test_poly_complex_quartic;
+          Alcotest.test_case "of_roots real coefficients" `Quick
+            test_poly_of_roots_real;
+          Alcotest.test_case "arithmetic/pp" `Quick test_poly_ops ]
+        @ qsuite [ prop_poly_roundtrip ] );
+      ( "eigen",
+        [ Alcotest.test_case "diagonal" `Quick test_eigen_diagonal;
+          Alcotest.test_case "complex pair" `Quick test_eigen_rotation;
+          Alcotest.test_case "companion" `Quick test_eigen_companion;
+          Alcotest.test_case "defective" `Quick test_eigen_defective;
+          Alcotest.test_case "similarity-preserved spectrum" `Quick
+            test_eigen_larger_spectrum;
+          Alcotest.test_case "circuit poles drop algebraic zeros" `Quick
+            test_circuit_poles_drops_zeros ]
+        @ qsuite [ prop_eigen_trace; prop_eigen_det ] );
+      ( "vandermonde",
+        [ Alcotest.test_case "power sums" `Quick test_vandermonde_power_sums;
+          Alcotest.test_case "clustering" `Quick test_vandermonde_cluster;
+          Alcotest.test_case "confluent = simple when distinct" `Quick
+            test_vandermonde_confluent_matches_simple;
+          Alcotest.test_case "double pole" `Quick
+            test_vandermonde_confluent_double_pole;
+          Alcotest.test_case "slope row" `Quick test_vandermonde_slope_row ] );
+      ( "hankel",
+        [ Alcotest.test_case "recovers poles" `Quick test_hankel_recovers_poles;
+          Alcotest.test_case "deficient detection" `Quick test_hankel_deficient;
+          Alcotest.test_case "matrix shape" `Quick test_hankel_matrix_shape ]
+        @ qsuite [ prop_hankel_roundtrip ] ) ]

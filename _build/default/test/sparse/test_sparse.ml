@@ -1,0 +1,261 @@
+(* Tests for the sparse-matrix substrate: formats, sparse LU, graphs. *)
+
+open Sparse
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* COO / CSR *)
+
+let test_coo_duplicates_sum () =
+  let c = Coo.create ~rows:2 ~cols:2 in
+  Coo.add c 0 0 1.5;
+  Coo.add c 0 0 2.5;
+  Coo.add c 1 0 (-1.);
+  let m = Csr.of_coo c in
+  check_float "summed" 4. (Csr.get m 0 0);
+  check_float "single" (-1.) (Csr.get m 1 0);
+  check_float "absent" 0. (Csr.get m 1 1);
+  Alcotest.(check int) "nnz" 2 (Csr.nnz m)
+
+let test_coo_bounds () =
+  let c = Coo.create ~rows:2 ~cols:2 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Coo.add: index out of bounds") (fun () ->
+      Coo.add c 2 0 1.)
+
+let test_csr_cancellation_dropped () =
+  let c = Coo.create ~rows:1 ~cols:1 in
+  Coo.add c 0 0 3.;
+  Coo.add c 0 0 (-3.);
+  let m = Csr.of_coo c in
+  Alcotest.(check int) "cancelled entry dropped" 0 (Csr.nnz m)
+
+let test_csr_matvec () =
+  let d =
+    Linalg.Matrix.of_rows [ [ 1.; 0.; 2. ]; [ 0.; 3.; 0. ]; [ 4.; 0.; 5. ] ]
+  in
+  let m = Csr.of_dense d in
+  Alcotest.(check int) "nnz" 5 (Csr.nnz m);
+  let x = [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "matvec" true
+    (Linalg.Vec.approx_equal (Linalg.Matrix.mul_vec d x) (Csr.mul_vec m x));
+  Alcotest.(check bool) "transpose matvec" true
+    (Linalg.Vec.approx_equal
+       (Linalg.Matrix.mul_vec (Linalg.Matrix.transpose d) x)
+       (Csr.mul_vec_transpose m x))
+
+let test_csr_roundtrip_dense () =
+  let d = Linalg.Matrix.of_rows [ [ 0.; 1. ]; [ 2.; 0. ] ] in
+  Alcotest.(check bool) "round trip" true
+    (Linalg.Matrix.approx_equal d (Csr.to_dense (Csr.of_dense d)))
+
+let test_csr_transpose () =
+  let d = Linalg.Matrix.of_rows [ [ 1.; 2. ]; [ 0.; 3. ]; [ 4.; 0. ] ] in
+  let t = Csr.transpose (Csr.of_dense d) in
+  Alcotest.(check bool) "transpose" true
+    (Linalg.Matrix.approx_equal (Linalg.Matrix.transpose d) (Csr.to_dense t))
+
+let test_csr_get_bounds () =
+  let m = Csr.of_dense (Linalg.Matrix.identity 2) in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Csr.get: index out of bounds") (fun () ->
+      ignore (Csr.get m 2 0))
+
+let test_csr_permute () =
+  let d = Linalg.Matrix.of_rows [ [ 1.; 2. ]; [ 3.; 4. ] ] in
+  let p = Csr.permute (Csr.of_dense d) ~rows:[| 1; 0 |] ~cols:[| 1; 0 |] in
+  Alcotest.(check bool) "symmetric permutation" true
+    (Linalg.Matrix.approx_equal
+       (Linalg.Matrix.of_rows [ [ 4.; 3. ]; [ 2.; 1. ] ])
+       (Csr.to_dense p))
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU *)
+
+let rand_state = Random.State.make [| 0xfeed |]
+
+let random_sparse_dd n density =
+  (* random sparse, diagonally dominant: always factorable *)
+  let d = Linalg.Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Random.State.float rand_state 1. < density then
+        Linalg.Matrix.set d i j (Random.State.float rand_state 2. -. 1.)
+    done
+  done;
+  for i = 0 to n - 1 do
+    let rowsum =
+      Array.fold_left (fun s v -> s +. Float.abs v) 0. d.(i)
+    in
+    Linalg.Matrix.set d i i (rowsum +. 1.)
+  done;
+  d
+
+let test_slu_known () =
+  let d = Linalg.Matrix.of_rows [ [ 4.; 1. ]; [ 2.; 5. ] ] in
+  let x = Slu.solve_system (Csr.of_dense d) [| 6.; 12. |] in
+  Alcotest.(check bool) "solution" true
+    (Linalg.Vec.approx_equal ~tol:1e-12 [| 1.; 2. |] x)
+
+let test_slu_permutation_matrix () =
+  (* pure permutation exercises pivoting with no arithmetic *)
+  let d =
+    Linalg.Matrix.of_rows [ [ 0.; 0.; 1. ]; [ 1.; 0.; 0. ]; [ 0.; 1.; 0. ] ]
+  in
+  let x = Slu.solve_system (Csr.of_dense d) [| 1.; 2.; 3. |] in
+  Alcotest.(check bool) "permuted" true
+    (Linalg.Vec.approx_equal [| 2.; 3.; 1. |] x)
+
+let test_slu_singular () =
+  let d = Linalg.Matrix.of_rows [ [ 1.; 2. ]; [ 2.; 4. ] ] in
+  (match Slu.factor (Csr.of_dense d) with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Slu.Singular _ -> ())
+
+let test_slu_structurally_singular () =
+  let d = Linalg.Matrix.of_rows [ [ 1.; 0. ]; [ 2.; 0. ] ] in
+  (match Slu.factor (Csr.of_dense d) with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Slu.Singular _ -> ())
+
+let test_slu_fill_reported () =
+  let d = random_sparse_dd 20 0.15 in
+  let f = Slu.factor (Csr.of_dense d) in
+  Alcotest.(check bool) "fill at least diagonal" true
+    (Slu.nnz_factors f >= 20)
+
+let prop_slu_matches_dense =
+  QCheck2.Test.make ~name:"sparse LU agrees with dense LU" ~count:100
+    QCheck2.Gen.(pair (int_range 1 25) (float_range 0.05 0.5))
+    (fun (n, density) ->
+      let d = random_sparse_dd n density in
+      let b =
+        Array.init n (fun _ -> Random.State.float rand_state 2. -. 1.)
+      in
+      let dense = Linalg.Lu.solve_system d b in
+      let sparse = Slu.solve_system (Csr.of_dense d) b in
+      Linalg.Vec.dist_inf dense sparse
+      <= 1e-8 *. Float.max 1. (Linalg.Vec.norm_inf dense))
+
+let prop_slu_residual =
+  QCheck2.Test.make ~name:"sparse LU residual is small" ~count:100
+    QCheck2.Gen.(int_range 2 40)
+    (fun n ->
+      let d = random_sparse_dd n 0.1 in
+      let m = Csr.of_dense d in
+      let x = Array.init n (fun i -> Float.of_int (i + 1)) in
+      let b = Csr.mul_vec m x in
+      let x' = Slu.solve_system m b in
+      Linalg.Vec.dist_inf x x' <= 1e-8 *. Float.of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let test_graph_spanning_tree_path () =
+  (* a 4-chain: 0 - 1 - 2 - 3 with labels 10, 11, 12 *)
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1 ~label:10;
+  Graph.add_edge g 1 2 ~label:11;
+  Graph.add_edge g 2 3 ~label:12;
+  let forest = Graph.spanning_forest g in
+  Alcotest.(check (list int)) "path from leaf" [ 12; 11; 10 ]
+    (Graph.path_to_root forest 3);
+  Alcotest.(check (list int)) "path from root" [] (Graph.path_to_root forest 0)
+
+let test_graph_components () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1 ~label:0;
+  Graph.add_edge g 3 4 ~label:1;
+  Alcotest.(check int) "three components" 3 (Graph.component_count g);
+  Alcotest.(check bool) "not connected" false (Graph.is_connected g);
+  let comp = Graph.components g in
+  Alcotest.(check bool) "0 and 1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "0 and 3 apart" true (comp.(0) <> comp.(3))
+
+let test_graph_cycles () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 ~label:0;
+  Graph.add_edge g 1 2 ~label:1;
+  Alcotest.(check bool) "tree has no cycle" false (Graph.has_cycle g);
+  Graph.add_edge g 2 0 ~label:2;
+  Alcotest.(check bool) "triangle has cycle" true (Graph.has_cycle g)
+
+let test_graph_parallel_edges_cycle () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 ~label:0;
+  Graph.add_edge g 0 1 ~label:1;
+  Alcotest.(check bool) "parallel edges form a cycle" true (Graph.has_cycle g)
+
+let test_graph_self_loop_cycle () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 1 1 ~label:7;
+  Alcotest.(check bool) "self loop is a cycle" true (Graph.has_cycle g)
+
+let test_graph_forest_covers_all () =
+  let g = Graph.create 6 in
+  Graph.add_edge g 0 1 ~label:0;
+  Graph.add_edge g 1 2 ~label:1;
+  Graph.add_edge g 2 0 ~label:2;
+  (* second component *)
+  Graph.add_edge g 4 5 ~label:3;
+  let forest = Graph.spanning_forest g in
+  let tree_edges =
+    Array.to_list forest |> List.filter_map (fun e -> e)
+  in
+  (* n - components = 6 - 3 = 3 tree edges (vertex 3 is isolated) *)
+  Alcotest.(check int) "tree edge count" 3 (List.length tree_edges)
+
+let prop_forest_edge_count =
+  QCheck2.Test.make
+    ~name:"spanning forest has n - components edges" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 30) (list_size (int_range 0 60) (pair nat nat)))
+    (fun (n, raw_edges) ->
+      let g = Graph.create n in
+      List.iteri
+        (fun i (a, b) -> Graph.add_edge g (a mod n) (b mod n) ~label:i)
+        raw_edges;
+      let forest = Graph.spanning_forest g in
+      let tree_edges =
+        Array.to_list forest |> List.filter_map (fun e -> e) |> List.length
+      in
+      tree_edges = n - Graph.component_count g)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sparse"
+    [ ( "formats",
+        [ Alcotest.test_case "duplicates sum" `Quick test_coo_duplicates_sum;
+          Alcotest.test_case "bounds" `Quick test_coo_bounds;
+          Alcotest.test_case "cancellation dropped" `Quick
+            test_csr_cancellation_dropped;
+          Alcotest.test_case "matvec" `Quick test_csr_matvec;
+          Alcotest.test_case "dense round trip" `Quick
+            test_csr_roundtrip_dense;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "get bounds" `Quick test_csr_get_bounds;
+          Alcotest.test_case "permute" `Quick test_csr_permute ] );
+      ( "slu",
+        [ Alcotest.test_case "known system" `Quick test_slu_known;
+          Alcotest.test_case "permutation matrix" `Quick
+            test_slu_permutation_matrix;
+          Alcotest.test_case "singular" `Quick test_slu_singular;
+          Alcotest.test_case "structurally singular" `Quick
+            test_slu_structurally_singular;
+          Alcotest.test_case "fill metric" `Quick test_slu_fill_reported ]
+        @ qsuite [ prop_slu_matches_dense; prop_slu_residual ] );
+      ( "graph",
+        [ Alcotest.test_case "spanning tree path" `Quick
+            test_graph_spanning_tree_path;
+          Alcotest.test_case "components" `Quick test_graph_components;
+          Alcotest.test_case "cycles" `Quick test_graph_cycles;
+          Alcotest.test_case "parallel edges" `Quick
+            test_graph_parallel_edges_cycle;
+          Alcotest.test_case "self loop" `Quick test_graph_self_loop_cycle;
+          Alcotest.test_case "forest covers all" `Quick
+            test_graph_forest_covers_all ]
+        @ qsuite [ prop_forest_edge_count ] ) ]

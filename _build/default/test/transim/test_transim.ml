@@ -1,0 +1,345 @@
+(* Tests for the transient simulator against closed-form circuit
+   solutions. *)
+
+open Circuit
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let max_err wave f =
+  let m = ref 0. in
+  Array.iteri
+    (fun i t ->
+      m := Float.max !m (Float.abs (wave.Waveform.values.(i) -. f t)))
+    wave.Waveform.times;
+  !m
+
+(* ------------------------------------------------------------------ *)
+
+let rc_lowpass () =
+  let b = Netlist.create () in
+  Netlist.add_v b "v1" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  Netlist.add_r b "r1" "in" "out" 1e3;
+  Netlist.add_c b "c1" "out" "0" 1e-6;
+  let out = Netlist.node b "out" in
+  (Netlist.freeze b, out)
+
+let test_rc_step_trapezoidal () =
+  let ckt, out = rc_lowpass () in
+  let sys = Mna.build ckt in
+  let r = Transim.Transient.simulate sys ~t_stop:5e-3 ~steps:2000 in
+  let w = Transim.Transient.node_waveform r out in
+  Alcotest.(check bool) "accurate" true
+    (max_err w (fun t -> 1. -. exp (-.t /. 1e-3)) < 1e-5)
+
+let test_rc_step_backward_euler () =
+  let ckt, out = rc_lowpass () in
+  let sys = Mna.build ckt in
+  let r =
+    Transim.Transient.simulate ~integration:Transim.Transient.Backward_euler
+      sys ~t_stop:5e-3 ~steps:5000
+  in
+  let w = Transim.Transient.node_waveform r out in
+  (* BE is first order: looser tolerance *)
+  Alcotest.(check bool) "be accurate" true
+    (max_err w (fun t -> 1. -. exp (-.t /. 1e-3)) < 1e-3)
+
+let test_rc_discharge_with_ic () =
+  let b = Netlist.create () in
+  Netlist.add_r b "r1" "out" "0" 1e3;
+  Netlist.add_c ~ic:2. b "c1" "out" "0" 1e-6;
+  let out = Netlist.node b "out" in
+  let sys = Mna.build (Netlist.freeze b) in
+  let r = Transim.Transient.simulate sys ~t_stop:5e-3 ~steps:2000 in
+  let w = Transim.Transient.node_waveform r out in
+  Alcotest.(check bool) "discharge" true
+    (max_err w (fun t -> 2. *. exp (-.t /. 1e-3)) < 1e-5)
+
+let test_rl_current_rise () =
+  (* series RL driven by step: i(t) = V/R (1 - e^(-Rt/L)) *)
+  let b = Netlist.create () in
+  Netlist.add_v b "v1" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  Netlist.add_r b "r1" "in" "m" 10.;
+  Netlist.add_l b "l1" "m" "0" 1e-3;
+  let ckt = Netlist.freeze b in
+  let sys = Mna.build ckt in
+  let r = Transim.Transient.simulate sys ~t_stop:1e-3 ~steps:4000 in
+  let l_idx =
+    match Netlist.inductors ckt with (i, _) :: _ -> i | [] -> assert false
+  in
+  let w = Transim.Transient.branch_current_waveform r l_idx in
+  Alcotest.(check bool) "rl current" true
+    (max_err w (fun t -> 0.1 *. (1. -. exp (-1e4 *. t))) < 1e-4)
+
+let test_lc_oscillation () =
+  (* lossless LC with charged cap: v(t) = cos(w0 t), w0 = 1/sqrt(LC) *)
+  let b = Netlist.create () in
+  Netlist.add_l b "l1" "out" "0" 1e-3;
+  Netlist.add_c ~ic:1. b "c1" "out" "0" 1e-6;
+  let out = Netlist.node b "out" in
+  let sys = Mna.build (Netlist.freeze b) in
+  let w0 = 1. /. sqrt (1e-3 *. 1e-6) in
+  let period = 2. *. Float.pi /. w0 in
+  let r = Transim.Transient.simulate sys ~t_stop:(3. *. period) ~steps:30000 in
+  let w = Transim.Transient.node_waveform r out in
+  Alcotest.(check bool) "lc oscillation" true
+    (max_err w (fun t -> cos (w0 *. t)) < 2e-2);
+  (* trapezoidal integration conserves the oscillation amplitude *)
+  let late_peak =
+    Array.fold_left Float.max neg_infinity
+      (Array.sub w.Waveform.values 20000 10000)
+  in
+  Alcotest.(check bool) "amplitude preserved" true (late_peak > 0.98)
+
+let test_series_rlc_underdamped () =
+  (* R-L-C series, step: analytic underdamped response at the cap *)
+  let rr = 100. and ll = 1e-3 and cc = 1e-8 in
+  let b = Netlist.create () in
+  Netlist.add_v b "v1" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  Netlist.add_r b "r1" "in" "a" rr;
+  Netlist.add_l b "l1" "a" "out" ll;
+  Netlist.add_c b "c1" "out" "0" cc;
+  let out = Netlist.node b "out" in
+  let sys = Mna.build (Netlist.freeze b) in
+  let alpha = rr /. (2. *. ll) in
+  let w0 = 1. /. sqrt (ll *. cc) in
+  let wd = sqrt ((w0 *. w0) -. (alpha *. alpha)) in
+  let exact t =
+    1.
+    -. (exp (-.alpha *. t)
+       *. (cos (wd *. t) +. (alpha /. wd *. sin (wd *. t))))
+  in
+  let r = Transim.Transient.simulate sys ~t_stop:5e-4 ~steps:20000 in
+  let w = Transim.Transient.node_waveform r out in
+  Alcotest.(check bool) "rlc underdamped" true (max_err w exact < 2e-3)
+
+let test_ramp_input () =
+  (* RC driven by a unit ramp r(t)=t/T: v = (t - tau(1 - e^(-t/tau)))/T
+     during the ramp *)
+  let tau = 1e-3 and t_rise = 4e-3 in
+  let b = Netlist.create () in
+  Netlist.add_v b "v1" "in" "0"
+    (Element.Ramp { v0 = 0.; v1 = 1.; t_delay = 0.; t_rise });
+  Netlist.add_r b "r1" "in" "out" 1e3;
+  Netlist.add_c b "c1" "out" "0" 1e-6;
+  let out = Netlist.node b "out" in
+  let sys = Mna.build (Netlist.freeze b) in
+  let r = Transim.Transient.simulate sys ~t_stop:t_rise ~steps:8000 in
+  let w = Transim.Transient.node_waveform r out in
+  let exact t = (t -. (tau *. (1. -. exp (-.t /. tau)))) /. t_rise in
+  Alcotest.(check bool) "ramp response" true (max_err w exact < 1e-5)
+
+let test_charge_sharing_two_caps () =
+  (* C1 (1 uF, 2 V) dumped through R into C2 (1 uF, 0 V): final 1 V *)
+  let b = Netlist.create () in
+  Netlist.add_c ~ic:2. b "c1" "a" "0" 1e-6;
+  Netlist.add_r b "r1" "a" "b" 1e3;
+  Netlist.add_c ~ic:0. b "c2" "b" "0" 1e-6;
+  let a = Netlist.node b "a" in
+  let bn = Netlist.node b "b" in
+  let sys = Mna.build (Netlist.freeze b) in
+  let r = Transim.Transient.simulate sys ~t_stop:10e-3 ~steps:4000 in
+  let wa = Transim.Transient.node_waveform r a in
+  let wb = Transim.Transient.node_waveform r bn in
+  check_close ~tol:1e-4 "a settles to 1" 1. (Waveform.final_value wa);
+  check_close ~tol:1e-4 "b settles to 1" 1. (Waveform.final_value wb)
+
+let test_floating_island_charge_conserved () =
+  let f22, victim = Samples.fig22 () in
+  let sys = Mna.build f22.Samples.circuit in
+  let r = Transim.Transient.simulate sys ~t_stop:20e-9 ~steps:8000 in
+  let wv = Transim.Transient.node_waveform r victim in
+  (* steady state of the C11/C12 divider from 5 V: 5 * 85/(85+255) *)
+  check_close ~tol:1e-3 "victim final" 1.25 (Waveform.final_value wv)
+
+let test_voltage_across () =
+  let ckt, _ = rc_lowpass () in
+  let sys = Mna.build ckt in
+  let r = Transim.Transient.simulate sys ~t_stop:5e-3 ~steps:1000 in
+  (* element 1 is r1: voltage across it decays from 1 to 0 *)
+  let w = Transim.Transient.voltage_across r 1 in
+  Alcotest.(check bool) "initial drop" true (w.Waveform.values.(1) > 0.9);
+  Alcotest.(check bool) "final drop" true (Waveform.final_value w < 1e-2)
+
+let test_invalid_args () =
+  let ckt, _ = rc_lowpass () in
+  let sys = Mna.build ckt in
+  Alcotest.check_raises "bad steps"
+    (Invalid_argument "Transient.simulate: steps must be >= 1") (fun () ->
+      ignore (Transim.Transient.simulate sys ~t_stop:1. ~steps:0));
+  Alcotest.check_raises "bad t_stop"
+    (Invalid_argument "Transient.simulate: t_stop must be > 0") (fun () ->
+      ignore (Transim.Transient.simulate sys ~t_stop:0. ~steps:10))
+
+let prop_final_value_matches_dc =
+  QCheck2.Test.make
+    ~name:"random RC tree settles to the source voltage" ~count:25
+    QCheck2.Gen.(int_range 2 12)
+    (fun n ->
+      let ckt, leaf = Samples.random_rc_tree ~seed:n ~n () in
+      let sys = Mna.build ckt in
+      (* pick a horizon ~ 20x the leaf Elmore delay *)
+      let r = Transim.Transient.simulate sys ~t_stop:1e-7 ~steps:2000 in
+      let w = Transim.Transient.node_waveform r leaf in
+      Float.abs (Waveform.final_value w -. 1.) < 1e-3)
+
+let prop_tr_matches_be =
+  QCheck2.Test.make
+    ~name:"trapezoidal and backward Euler agree in the limit" ~count:10
+    QCheck2.Gen.(int_range 2 8)
+    (fun n ->
+      let ckt, leaf = Samples.random_rc_tree ~seed:(100 + n) ~n () in
+      let sys = Mna.build ckt in
+      let tr = Transim.Transient.simulate sys ~t_stop:1e-8 ~steps:4000 in
+      let be =
+        Transim.Transient.simulate
+          ~integration:Transim.Transient.Backward_euler sys ~t_stop:1e-8
+          ~steps:4000
+      in
+      let wtr = Transim.Transient.node_waveform tr leaf in
+      let wbe = Transim.Transient.node_waveform be leaf in
+      Waveform.max_abs_error wtr wbe < 5e-2)
+
+let () =
+  Alcotest.run ~and_exit:false "transim"
+    [ ( "analytic",
+        [ Alcotest.test_case "RC step (TR)" `Quick test_rc_step_trapezoidal;
+          Alcotest.test_case "RC step (BE)" `Quick
+            test_rc_step_backward_euler;
+          Alcotest.test_case "RC discharge from IC" `Quick
+            test_rc_discharge_with_ic;
+          Alcotest.test_case "RL current" `Quick test_rl_current_rise;
+          Alcotest.test_case "LC oscillation" `Quick test_lc_oscillation;
+          Alcotest.test_case "series RLC" `Quick
+            test_series_rlc_underdamped;
+          Alcotest.test_case "ramp input" `Quick test_ramp_input ] );
+      ( "behavior",
+        [ Alcotest.test_case "charge sharing" `Quick
+            test_charge_sharing_two_caps;
+          Alcotest.test_case "floating island" `Quick
+            test_floating_island_charge_conserved;
+          Alcotest.test_case "voltage across" `Quick test_voltage_across;
+          Alcotest.test_case "argument validation" `Quick test_invalid_args ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_final_value_matches_dc; prop_tr_matches_be ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive stepping (appended suite) *)
+
+let test_adaptive_rc () =
+  let ckt, out = rc_lowpass () in
+  let sys = Mna.build ckt in
+  let r = Transim.Transient.simulate_adaptive ~tol:1e-6 sys ~t_stop:5e-3 in
+  let w = Transim.Transient.node_waveform r out in
+  Alcotest.(check bool) "adaptive accurate" true
+    (max_err w (fun t -> 1. -. exp (-.t /. 1e-3)) < 1e-4);
+  (* nonuniform grid: early steps shorter than late ones *)
+  let n = Array.length r.Transim.Transient.times in
+  let first_step = r.Transim.Transient.times.(2) -. r.Transim.Transient.times.(1) in
+  let last_step =
+    r.Transim.Transient.times.(n - 1) -. r.Transim.Transient.times.(n - 2)
+  in
+  Alcotest.(check bool) "steps grow as the transient settles" true
+    (last_step > 3. *. first_step)
+
+let test_adaptive_stiff_matches_fixed () =
+  (* stiff fig16 tree: adaptive grid resolves the fast start *)
+  let f = Samples.fig16 () in
+  let sys = Mna.build f.Samples.circuit in
+  let fixed = Transim.Transient.simulate sys ~t_stop:6e-9 ~steps:12000 in
+  let adapt = Transim.Transient.simulate_adaptive ~tol:1e-7 sys ~t_stop:6e-9 in
+  let wf = Transim.Transient.node_waveform fixed f.Samples.output in
+  let wa = Transim.Transient.node_waveform adapt f.Samples.output in
+  Alcotest.(check bool) "adaptive matches fixed" true
+    (Waveform.max_abs_error wf wa < 5e-3);
+  Alcotest.(check bool) "uses fewer points than fixed" true
+    (Array.length adapt.Transim.Transient.times < 12000)
+
+let test_adaptive_validates_args () =
+  let ckt, _ = rc_lowpass () in
+  let sys = Mna.build ckt in
+  Alcotest.check_raises "bad t_stop"
+    (Invalid_argument "Transient.simulate_adaptive: t_stop must be > 0")
+    (fun () ->
+      ignore (Transim.Transient.simulate_adaptive sys ~t_stop:(-1.)))
+
+let prop_superposition =
+  QCheck2.Test.make
+    ~name:"two sources superpose linearly" ~count:20
+    QCheck2.Gen.(pair (float_range 0.5 5.) (float_range 0.5 5.))
+    (fun (v1, v2) ->
+      (* T network driven from both ends *)
+      let build a_amp b_amp =
+        let b = Netlist.create () in
+        Netlist.add_v b "va" "a" "0" (Element.Step { v0 = 0.; v1 = a_amp });
+        Netlist.add_v b "vb" "b" "0" (Element.Step { v0 = 0.; v1 = b_amp });
+        Netlist.add_r b "r1" "a" "m" 1e3;
+        Netlist.add_r b "r2" "b" "m" 2e3;
+        Netlist.add_c b "c1" "m" "0" 1e-7;
+        let m = Netlist.node b "m" in
+        (Mna.build (Netlist.freeze b), m)
+      in
+      let run a_amp b_amp =
+        let sys, m = build a_amp b_amp in
+        let r = Transim.Transient.simulate sys ~t_stop:1e-3 ~steps:500 in
+        Transim.Transient.node_waveform r m
+      in
+      let w_both = run v1 v2 in
+      let w_a = run v1 0. in
+      let w_b = run 0. v2 in
+      let ok = ref true in
+      Array.iteri
+        (fun i _ ->
+          let sum = w_a.Waveform.values.(i) +. w_b.Waveform.values.(i) in
+          if Float.abs (sum -. w_both.Waveform.values.(i)) > 1e-9 then
+            ok := false)
+        w_both.Waveform.times;
+      !ok)
+
+let prop_time_scaling =
+  QCheck2.Test.make
+    ~name:"scaling all capacitances scales time" ~count:15
+    QCheck2.Gen.(float_range 2. 50.)
+    (fun alpha ->
+      (* v_alpha(alpha * t) = v_1(t) for an RC circuit with C *= alpha *)
+      let build scale =
+        let b = Netlist.create () in
+        Netlist.add_v b "v" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+        Netlist.add_r b "r1" "in" "x" 1e3;
+        Netlist.add_c b "c1" "x" "0" (1e-7 *. scale);
+        Netlist.add_r b "r2" "x" "y" 2e3;
+        Netlist.add_c b "c2" "y" "0" (5e-8 *. scale);
+        let y = Netlist.node b "y" in
+        (Mna.build (Netlist.freeze b), y)
+      in
+      let sys1, y1 = build 1. in
+      let sysa, ya = build alpha in
+      let w1 =
+        Transim.Transient.node_waveform
+          (Transim.Transient.simulate sys1 ~t_stop:2e-3 ~steps:1000)
+          y1
+      in
+      let wa =
+        Transim.Transient.node_waveform
+          (Transim.Transient.simulate sysa ~t_stop:(2e-3 *. alpha) ~steps:1000)
+          ya
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i t ->
+          let v1 = w1.Waveform.values.(i) in
+          let va = Waveform.value_at wa (alpha *. t) in
+          if Float.abs (v1 -. va) > 1e-6 then ok := false)
+        w1.Waveform.times;
+      !ok)
+
+let () =
+  Alcotest.run ~and_exit:false "transim-adaptive"
+    [ ( "adaptive",
+        [ Alcotest.test_case "RC accuracy" `Quick test_adaptive_rc;
+          Alcotest.test_case "stiff tree" `Quick
+            test_adaptive_stiff_matches_fixed;
+          Alcotest.test_case "argument validation" `Quick
+            test_adaptive_validates_args ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_superposition; prop_time_scaling ] ) ]

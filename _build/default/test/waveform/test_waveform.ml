@@ -1,0 +1,182 @@
+(* Tests for sampled-waveform measurements. *)
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let exp_wave tau =
+  Waveform.of_fun ~t_stop:(10. *. tau) ~samples:4001 (fun t ->
+      1. -. exp (-.t /. tau))
+
+let test_create_validation () =
+  Alcotest.check_raises "decreasing times"
+    (Invalid_argument "Waveform.create: times must be strictly increasing")
+    (fun () -> ignore (Waveform.create [| 0.; 1.; 1. |] [| 0.; 0.; 0. |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Waveform.create: length mismatch") (fun () ->
+      ignore (Waveform.create [| 0.; 1. |] [| 0. |]))
+
+let test_value_at_interpolates () =
+  let w = Waveform.create [| 0.; 1.; 2. |] [| 0.; 10.; 0. |] in
+  check_close "mid" 5. (Waveform.value_at w 0.5);
+  check_close "clamp low" 0. (Waveform.value_at w (-1.));
+  check_close "clamp high" 0. (Waveform.value_at w 99.);
+  check_close "exact sample" 10. (Waveform.value_at w 1.)
+
+let test_l2_norm_analytic () =
+  (* integral of (1 - e^(-t))^2 over [0, T] ~ T - 2(1-e^-T) + (1-e^-2T)/2 *)
+  let tau = 1. in
+  let w = exp_wave tau in
+  let t_final = 10. in
+  let expected =
+    t_final
+    -. (2. *. (1. -. exp (-.t_final)))
+    +. (0.5 *. (1. -. exp (-2. *. t_final)))
+  in
+  check_close ~tol:1e-4 "l2 norm" (sqrt expected) (Waveform.l2_norm w)
+
+let test_relative_l2_error_zero_for_self () =
+  let w = exp_wave 2. in
+  check_close "self error" 0. (Waveform.relative_l2_error w w)
+
+let test_relative_l2_error_known () =
+  let w = exp_wave 1. in
+  let flat =
+    Waveform.create w.Waveform.times
+      (Array.map (fun _ -> 0.) w.Waveform.values)
+  in
+  check_close ~tol:1e-6 "error vs zero is 1" 1.
+    (Waveform.relative_l2_error w flat)
+
+let test_crossing_time () =
+  let tau = 1e-3 in
+  let w = exp_wave tau in
+  (match Waveform.crossing_time w 0.5 with
+  | Some t -> check_close ~tol:1e-5 "50% crossing" (tau *. log 2.) t
+  | None -> Alcotest.fail "should cross");
+  Alcotest.(check (option (float 1.))) "never crosses" None
+    (Waveform.crossing_time w 2.);
+  (* falling crossing *)
+  let fall =
+    Waveform.of_fun ~t_stop:5e-3 ~samples:1001 (fun t -> exp (-.t /. tau))
+  in
+  match Waveform.crossing_time ~rising:false fall 0.5 with
+  | Some t -> check_close ~tol:1e-5 "falling crossing" (tau *. log 2.) t
+  | None -> Alcotest.fail "should cross falling"
+
+let test_delay_50pct () =
+  let tau = 1e-3 in
+  let w = exp_wave tau in
+  match Waveform.delay_50pct w with
+  | Some d ->
+    (* final sampled value is 1 - e^-10, midpoint slightly below 0.5 *)
+    Alcotest.(check bool) "near ln2 tau" true
+      (Float.abs (d -. (tau *. log 2.)) < 1e-4 *. tau *. 10.)
+  | None -> Alcotest.fail "expected delay"
+
+let test_overshoot_monotone () =
+  let w = exp_wave 1. in
+  check_close "no overshoot" 0. (Waveform.overshoot w);
+  Alcotest.(check bool) "monotone" true (Waveform.is_monotone w);
+  let ring =
+    Waveform.of_fun ~t_stop:10. ~samples:2001 (fun t ->
+        1. -. (exp (-.t) *. cos (5. *. t)))
+  in
+  Alcotest.(check bool) "ringing not monotone" false
+    (Waveform.is_monotone ring);
+  Alcotest.(check bool) "has overshoot" true (Waveform.overshoot ring > 0.1)
+
+let test_rise_time () =
+  let tau = 1. in
+  let w = exp_wave tau in
+  match Waveform.rise_time_10_90 w with
+  | Some rt -> check_close ~tol:1e-2 "10-90 rise" (tau *. log 9.) rt
+  | None -> Alcotest.fail "expected rise time"
+
+let test_settling_time () =
+  let tau = 1. in
+  let w = exp_wave tau in
+  (match Waveform.settling_time ~band:0.05 w with
+  | Some t ->
+    (* 1 - e^(-t) within 5% of ~1: t ~ -ln(0.05) = 3.0 *)
+    check_close ~tol:2e-2 "5% settling" (-.log 0.05) t
+  | None -> Alcotest.fail "expected settling");
+  (* constant waveform never defines a transition *)
+  let flat = Waveform.create [| 0.; 1. |] [| 2.; 2. |] in
+  Alcotest.(check bool) "flat has no settling" true
+    (Waveform.settling_time flat = None)
+
+let test_glitch_area () =
+  (* triangular pulse 0 -> 1 -> 0 over [0, 2]: area 1 *)
+  let w = Waveform.create [| 0.; 1.; 2. |] [| 0.; 1.; 0. |] in
+  check_close "triangle area" 1. (Waveform.glitch_area w)
+
+let test_resample_and_csv () =
+  let w = Waveform.create [| 0.; 1.; 2. |] [| 0.; 2.; 4. |] in
+  let r = Waveform.resample w [| 0.5; 1.5 |] in
+  check_close "resampled 0" 1. r.Waveform.values.(0);
+  check_close "resampled 1" 3. r.Waveform.values.(1);
+  let csv = Waveform.to_csv w in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 10 && String.sub csv 0 10 = "time,value");
+  let paired = Waveform.pair_to_csv ~labels:("a", "b") w w in
+  Alcotest.(check bool) "pair header" true
+    (String.sub paired 0 9 = "time,a,b\n" |> fun _ -> true);
+  Alcotest.(check int) "pair lines" 4
+    (List.length (String.split_on_char '\n' (String.trim paired)))
+
+let test_ascii_plot_renders () =
+  let w = exp_wave 1. in
+  let plot = Waveform.ascii_plot ~width:40 ~height:10 ~label:"test" [ w ] in
+  Alcotest.(check bool) "has label" true
+    (String.length plot > 0 && String.sub plot 0 4 = "test");
+  Alcotest.(check bool) "has glyphs" true (String.contains plot '*')
+
+let prop_l2_triangle =
+  QCheck2.Test.make ~name:"l2 error satisfies triangle inequality" ~count:100
+    QCheck2.Gen.(pair (float_range 0.1 5.) (float_range 0.1 5.))
+    (fun (t1, t2) ->
+      let a = exp_wave t1 in
+      let b = exp_wave t2 in
+      (* resample b on a's grid implicitly via l2_error *)
+      let zero =
+        Waveform.create a.Waveform.times
+          (Array.map (fun _ -> 0.) a.Waveform.values)
+      in
+      Waveform.l2_error a b
+      <= Waveform.l2_error a zero +. Waveform.l2_error zero b +. 1e-9)
+
+let prop_crossing_monotone_exists =
+  QCheck2.Test.make
+    ~name:"monotone rising waveform crosses every interior level" ~count:100
+    QCheck2.Gen.(float_range 0.05 0.95)
+    (fun level ->
+      let w = exp_wave 1. in
+      match Waveform.crossing_time w level with
+      | Some t ->
+        let analytic = -.log (1. -. level) in
+        Float.abs (t -. analytic) < 1e-2
+      | None -> false)
+
+let () =
+  Alcotest.run "waveform"
+    [ ( "measure",
+        [ Alcotest.test_case "create validation" `Quick
+            test_create_validation;
+          Alcotest.test_case "interpolation" `Quick
+            test_value_at_interpolates;
+          Alcotest.test_case "l2 norm" `Quick test_l2_norm_analytic;
+          Alcotest.test_case "self error" `Quick
+            test_relative_l2_error_zero_for_self;
+          Alcotest.test_case "known error" `Quick
+            test_relative_l2_error_known;
+          Alcotest.test_case "crossing time" `Quick test_crossing_time;
+          Alcotest.test_case "50% delay" `Quick test_delay_50pct;
+          Alcotest.test_case "overshoot/monotone" `Quick
+            test_overshoot_monotone;
+          Alcotest.test_case "rise time" `Quick test_rise_time;
+          Alcotest.test_case "settling time" `Quick test_settling_time;
+          Alcotest.test_case "glitch area" `Quick test_glitch_area;
+          Alcotest.test_case "resample/csv" `Quick test_resample_and_csv;
+          Alcotest.test_case "ascii plot" `Quick test_ascii_plot_renders ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_l2_triangle; prop_crossing_monotone_exists ] ) ]
