@@ -101,6 +101,20 @@ let csv_arg =
     & opt (some string) None
     & info [ "csv" ] ~docv:"FILE" ~doc:"Write the waveform(s) as CSV.")
 
+let sparse_arg =
+  Arg.(
+    value & flag
+    & info [ "sparse" ]
+        ~doc:"Use the sparse LU for the moment solves (large circuits).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the Awe.Stats engine counters (factorizations, moment \
+           solves, fits, escalations).")
+
 let pp_pole ppf (p : Linalg.Cx.t) =
   if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%.5e" p.Linalg.Cx.re
   else Format.fprintf ppf "%.5e %+.5ej" p.Linalg.Cx.re p.Linalg.Cx.im
@@ -108,21 +122,29 @@ let pp_pole ppf (p : Linalg.Cx.t) =
 (* ------------------------------------------------------------------ *)
 
 let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
-    threshold shift =
+    threshold shift sparse stats =
   let deck = read_deck deck_path in
   let name, node = resolve_node deck node_opt in
+  let stats_before = Awe.Stats.snapshot () in
   let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
-  let options = { Awe.default_options with Awe.expansion_shift = shift } in
+  Awe.Stats.record_mna_build ();
+  let options =
+    { Awe.default_options with Awe.expansion_shift = shift; sparse }
+  in
+  let engine = Awe.Engine.create ~options sys in
   let a, err =
     match resolve_order deck order_opt with
     | Some q ->
-      let a = Awe.approximate ~options sys ~node ~q in
-      (a, Awe.error_estimate ~options sys ~node ~q)
-    | None -> Awe.auto ~options sys ~node
+      let a = Awe.Engine.approximate engine ~node ~q in
+      (a, Awe.Engine.error_estimate engine ~node ~q)
+    | None -> Awe.Engine.auto engine ~node
   in
   let t_stop = resolve_tstop deck tstop_opt sys node in
   Format.printf "node %s: order %d approximation@." name a.Awe.q;
   Format.printf "error estimate: %.3g%%@." (100. *. err);
+  if stats then
+    Format.printf "engine counters:@.%a@." Awe.Stats.pp
+      (Awe.Stats.diff (Awe.Stats.snapshot ()) stats_before);
   Format.printf "steady state: %.6g V@." (Awe.steady_state a);
   Format.printf "poles (dominant first):@.";
   List.iter (fun p -> Format.printf "  %a@." pp_pole p) (Awe.poles a);
@@ -236,7 +258,7 @@ let cmd_moments deck_path node_opt count =
     Format.printf "generalized Elmore delay -mu_1/mu_0 = %.6g s@."
       (-.(mu.(1) /. mu.(0)))
 
-let cmd_timing design_path model =
+let cmd_timing design_path model sparse stats =
   let design =
     match Sta.Design_file.parse_file design_path with
     | d -> d
@@ -258,8 +280,8 @@ let cmd_timing design_path model =
         Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
         exit 2)
   in
-  match Sta.analyze ~model design with
-  | report -> Format.printf "%a@." Sta.pp_report report
+  match Sta.analyze ~model ~sparse design with
+  | report -> Format.printf "%a@." (Sta.pp_report ~verbose:stats) report
   | exception Sta.Not_a_dag nets ->
     Printf.eprintf "combinational cycle through: %s\n"
       (String.concat ", " nets);
@@ -316,7 +338,8 @@ let analyze_t =
     (Cmd.info "analyze" ~doc:"AWE-approximate a node's response")
     Term.(
       const cmd_analyze $ deck_arg $ node_arg $ order_arg $ tstop_arg
-      $ samples_arg $ csv_arg $ compare $ threshold $ shift)
+      $ samples_arg $ csv_arg $ compare $ threshold $ shift $ sparse_arg
+      $ stats_arg)
 
 let poles_t =
   let actual =
@@ -358,7 +381,7 @@ let timing_t =
   in
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
-    Term.(const cmd_timing $ deck_arg $ model)
+    Term.(const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg)
 
 let () =
   let doc = "asymptotic waveform evaluation for timing analysis" in

@@ -50,7 +50,7 @@ let () =
   let d = build () in
   print_endline "== AWE-based timing (adaptive order) ==";
   let r = Sta.analyze ~model:Sta.Awe_auto d in
-  Format.printf "%a@." Sta.pp_report r;
+  Format.printf "%a@." (Sta.pp_report ~verbose:true) r;
 
   print_endline "\n== Elmore-based timing (first-order baseline) ==";
   let r_elmore = Sta.analyze ~model:Sta.Elmore_model d in

@@ -8,6 +8,7 @@ module Elmore = Elmore
 module Tree_link = Tree_link
 module Two_pole = Two_pole
 module Ac = Ac
+module Stats = Stats
 
 open Linalg
 
@@ -56,7 +57,10 @@ let fit_sequence ~opts ~q ~slope mu =
       with
       | terms -> terms
       | exception Moment_match.No_fit msg ->
-        if opts.reduce_degenerate then attempt (q - 1)
+        if opts.reduce_degenerate then begin
+          Stats.record_fit_retry ();
+          attempt (q - 1)
+        end
         else raise (Degenerate msg)
       | exception Moment_match.Unstable ps -> raise (Unstable_fit ps)
     end
@@ -81,72 +85,160 @@ let observable_var sys = function
         "Awe.approximate: element carries no branch current (only V \
          sources, inductors, VCVS and CCVS do)")
 
-let approximate_observable ?(options = default_options) sys ~observable ~q =
-  if q < 1 then invalid_arg "Awe.approximate: order must be >= 1";
-  let out_var, node = observable_var sys observable in
-  let engine =
-    Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
-  in
-  let op0 = Circuit.Dc.initial sys in
-  let op0p = Circuit.Dc.at_zero_plus sys op0 in
-  let count = (2 * q) + 1 (* one spare for error estimation reuse *) in
-  (* base component: sources at their 0+ values and slopes *)
-  let base_prob = Moments.base_problem engine op0p in
-  let base_mu =
-    Moments.mu (Moments.vectors engine base_prob ~count) ~out_var
-  in
-  let base_terms =
-    if Moments.is_negligible base_mu then []
-    else
-      fit_sequence ~opts:options ~q
-        ~slope:(Moments.mu_slope base_prob ~out_var)
-        (Array.sub base_mu 0 (2 * q))
-  in
-  let base_component =
-    { Approx.t_shift = 0.;
-      scale = 1.;
-      p_const = base_prob.Moments.d0.(out_var);
-      p_slope = base_prob.Moments.d1.(out_var);
-      transient = base_terms }
-  in
-  (* one ramp kernel per source that has slope breaks; shifted/scaled
-     copies per break *)
-  let nsrc = Circuit.Mna.source_count sys in
-  let break_components = ref [] in
-  for col = 0 to nsrc - 1 do
-    let canon =
-      Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col)
+(* ------------------------------------------------------------------ *)
+(* The shared engine: one MNA factorization, one operating-point pair,
+   and one lazily extended moment-vector sequence per subproblem,
+   shared by every output node and every approximation order asked of
+   this system (paper, Section 3.2: after the single LU, each moment
+   is one substitution). *)
+
+type source_kernel = { kprob : Moments.problem; kseq : Moments.seq }
+
+type engine = {
+  eng_sys : Circuit.Mna.t;
+  eng_options : options;
+  moments : Moments.engine;
+  base_prob : Moments.problem;
+  base_seq : Moments.seq;
+  source_breaks : (float * float) list array;
+      (* canonicalized slope breaks per source column *)
+  kernels : source_kernel option array; (* ramp kernels, created on demand *)
+}
+
+module Engine = struct
+  let create ?(options = default_options) sys =
+    let moments =
+      Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
     in
-    match canon.Circuit.Element.breaks with
-    | [] -> ()
-    | breaks ->
-      let kernel = Moments.ramp_kernel engine ~src_col:col in
-      let kernel_mu =
-        Moments.mu (Moments.vectors engine kernel ~count) ~out_var
-      in
-      let kernel_terms =
-        if Moments.is_negligible kernel_mu then []
-        else
-          fit_sequence ~opts:options ~q
-            ~slope:(Moments.mu_slope kernel ~out_var)
-            (Array.sub kernel_mu 0 (2 * q))
-      in
-      List.iter
-        (fun (t_k, dr) ->
-          break_components :=
-            { Approx.t_shift = t_k;
-              scale = dr;
-              p_const = kernel.Moments.d0.(out_var);
-              p_slope = kernel.Moments.d1.(out_var);
-              transient = kernel_terms }
-            :: !break_components)
-        breaks
-  done;
-  { sys;
-    node;
-    q;
-    response = base_component :: List.rev !break_components;
-    base = base_terms }
+    let op0 = Circuit.Dc.initial sys in
+    let op0p = Circuit.Dc.at_zero_plus sys op0 in
+    let base_prob = Moments.base_problem moments op0p in
+    let nsrc = Circuit.Mna.source_count sys in
+    let source_breaks =
+      Array.init nsrc (fun col ->
+          (Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col))
+            .Circuit.Element.breaks)
+    in
+    { eng_sys = sys;
+      eng_options = options;
+      moments;
+      base_prob;
+      base_seq = Moments.seq moments base_prob;
+      source_breaks;
+      kernels = Array.make nsrc None }
+
+  let sys e = e.eng_sys
+
+  let options e = e.eng_options
+
+  let kernel e col =
+    match e.kernels.(col) with
+    | Some k -> k
+    | None ->
+      let kprob = Moments.ramp_kernel e.moments ~src_col:col in
+      let k = { kprob; kseq = Moments.seq e.moments kprob } in
+      e.kernels.(col) <- Some k;
+      k
+
+  (* fit one subproblem at order [q] from a prefix of its shared
+     sequence; escalating later only extends the sequence *)
+  let fit_prefix e ~out_var ~q prob sq =
+    let mu = Moments.mu (Moments.prefix sq ~count:(2 * q)) ~out_var in
+    if Moments.is_negligible mu then []
+    else
+      fit_sequence ~opts:e.eng_options ~q
+        ~slope:(Moments.mu_slope prob ~out_var)
+        mu
+
+  let approximate_observable e ~observable ~q =
+    if q < 1 then invalid_arg "Awe.approximate: order must be >= 1";
+    let out_var, node = observable_var e.eng_sys observable in
+    let base_terms = fit_prefix e ~out_var ~q e.base_prob e.base_seq in
+    let base_component =
+      { Approx.t_shift = 0.;
+        scale = 1.;
+        p_const = e.base_prob.Moments.d0.(out_var);
+        p_slope = e.base_prob.Moments.d1.(out_var);
+        transient = base_terms }
+    in
+    let break_components = ref [] in
+    Array.iteri
+      (fun col breaks ->
+        match breaks with
+        | [] -> ()
+        | breaks ->
+          let k = kernel e col in
+          let kterms = fit_prefix e ~out_var ~q k.kprob k.kseq in
+          List.iter
+            (fun (t_k, dr) ->
+              break_components :=
+                { Approx.t_shift = t_k;
+                  scale = dr;
+                  p_const = k.kprob.Moments.d0.(out_var);
+                  p_slope = k.kprob.Moments.d1.(out_var);
+                  transient = kterms }
+                :: !break_components)
+            breaks)
+      e.source_breaks;
+    { sys = e.eng_sys;
+      node;
+      q;
+      response = base_component :: List.rev !break_components;
+      base = base_terms }
+
+  let approximate e ~node ~q =
+    approximate_observable e ~observable:(Node node) ~q
+
+  let elmore e ~node =
+    let out_var = Circuit.Mna.node_var e.eng_sys node in
+    if out_var < 0 then
+      invalid_arg "Awe.Engine.elmore: output cannot be ground";
+    let mu = Moments.mu (Moments.prefix e.base_seq ~count:2) ~out_var in
+    if Float.abs mu.(0) < 1e-300 then 0. else -.(mu.(1) /. mu.(0))
+
+  let error_estimate e ~node ~q =
+    let a_q = approximate e ~node ~q in
+    let a_q1 = approximate e ~node ~q:(q + 1) in
+    Error_est.relative_error ~exact:a_q1.base a_q.base
+
+  let auto ?(tol = 0.02) ?(q_max = 8) e ~node =
+    let rec search q best =
+      if q > q_max then
+        match best with
+        | Some (a, err) -> (a, err)
+        | None ->
+          raise (Degenerate "no stable approximation up to the maximum order")
+      else begin
+        match
+          let a = approximate e ~node ~q in
+          let a' = approximate e ~node ~q:(q + 1) in
+          (a, Error_est.relative_error ~exact:a'.base a.base)
+        with
+        | a, err when err <= tol -> (a, err)
+        | a, err ->
+          Stats.record_order_escalation ();
+          let best =
+            match best with
+            | Some (_, best_err) when best_err <= err -> best
+            | _ -> Some (a, err)
+          in
+          search (q + 1) best
+        | exception (Unstable_fit _ | Degenerate _) ->
+          Stats.record_order_escalation ();
+          search (q + 1) best
+      end
+    in
+    search 1 None
+
+end
+
+(* ------------------------------------------------------------------ *)
+(* One-shot entry points: build a throwaway engine.  Callers that
+   evaluate several nodes or orders of the same system should create
+   the engine once (see {!Engine} and {!Batch}). *)
+
+let approximate_observable ?options sys ~observable ~q =
+  Engine.approximate_observable (Engine.create ?options sys) ~observable ~q
 
 let approximate ?options sys ~node ~q =
   approximate_observable ?options sys ~observable:(Node node) ~q
@@ -164,36 +256,11 @@ let steady_state t = Approx.steady_value t.response
 let delay t ~threshold ~t_max =
   Approx.crossing_time t.response ~threshold ~t_max
 
-let error_estimate ?(options = default_options) sys ~node ~q =
-  let a_q = approximate ~options sys ~node ~q in
-  let a_q1 = approximate ~options sys ~node ~q:(q + 1) in
-  Error_est.relative_error ~exact:a_q1.base a_q.base
+let error_estimate ?options sys ~node ~q =
+  Engine.error_estimate (Engine.create ?options sys) ~node ~q
 
-let auto ?(options = default_options) ?(tol = 0.02) ?(q_max = 8) sys ~node =
-  let rec search q best =
-    if q > q_max then
-      match best with
-      | Some (a, err) -> (a, err)
-      | None ->
-        raise (Degenerate "no stable approximation up to the maximum order")
-    else begin
-      match
-        let a = approximate ~options sys ~node ~q in
-        let a' = approximate ~options sys ~node ~q:(q + 1) in
-        (a, a', Error_est.relative_error ~exact:a'.base a.base)
-      with
-      | a, _, err when err <= tol -> (a, err)
-      | a, _, err ->
-        let best =
-          match best with
-          | Some (_, best_err) when best_err <= err -> best
-          | _ -> Some (a, err)
-        in
-        search (q + 1) best
-      | exception (Unstable_fit _ | Degenerate _) -> search (q + 1) best
-    end
-  in
-  search 1 None
+let auto ?options ?tol ?q_max sys ~node =
+  Engine.auto ?tol ?q_max (Engine.create ?options sys) ~node
 
 let elmore_equivalent sys ~node = Elmore.scaled_delay sys ~node
 
@@ -203,131 +270,39 @@ module Batch = struct
 
   and outcome = Approximation of t | Failed of string
 
-  (* Rebuild Awe.approximate's pipeline but share the moment vectors
-     across all outputs. *)
-  let approximate_all ?(options = default_options) sys ~nodes ~q =
+  let engine_of ?options ?engine sys =
+    match engine with Some e -> e | None -> Engine.create ?options sys
+
+  let approximate_all ?options ?engine sys ~nodes ~q =
     if q < 1 then invalid_arg "Batch.approximate_all: order must be >= 1";
-    let out_vars =
-      List.map
-        (fun node ->
-          let v = Circuit.Mna.node_var sys node in
-          if v < 0 then
-            invalid_arg "Batch.approximate_all: output cannot be ground";
-          (node, v))
-        nodes
-    in
-    let engine =
-      Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
-    in
-    let op0 = Circuit.Dc.initial sys in
-    let op0p = Circuit.Dc.at_zero_plus sys op0 in
-    let count = (2 * q) + 1 in
-    let base_prob = Moments.base_problem engine op0p in
-    let base_ws = Moments.vectors engine base_prob ~count in
-    (* per-source ramp kernels, computed lazily once *)
-    let nsrc = Circuit.Mna.source_count sys in
-    let kernels = Array.make nsrc None in
-    let kernel_of col =
-      match kernels.(col) with
-      | Some k -> k
-      | None ->
-        let prob = Moments.ramp_kernel engine ~src_col:col in
-        let ws = Moments.vectors engine prob ~count in
-        kernels.(col) <- Some (prob, ws);
-        (prob, ws)
-    in
-    let breaks_of col =
-      (Circuit.Element.canonicalize (Circuit.Mna.source_waveform sys col))
-        .Circuit.Element.breaks
-    in
+    let e = engine_of ?options ?engine sys in
     List.map
-      (fun (node, out_var) ->
-        match
-          let fit_of prob ws =
-            let mu = Moments.mu ws ~out_var in
-            if Moments.is_negligible mu then []
-            else begin
-              let slope =
-                if options.match_slope then
-                  Moments.mu_slope prob ~out_var
-                else None
-              in
-              let rec attempt q' =
-                if q' < 1 then
-                  raise (Degenerate "no usable order for moment sequence")
-                else begin
-                  match
-                    Moment_match.fit ~scale:options.scale_moments
-                      ~check_stability:options.check_stability ?slope ~q:q'
-                      (Array.sub mu 0 (2 * q'))
-                  with
-                  | terms -> terms
-                  | exception Moment_match.No_fit msg ->
-                    if options.reduce_degenerate then attempt (q' - 1)
-                    else raise (Degenerate msg)
-                  | exception Moment_match.Unstable ps ->
-                    raise (Unstable_fit ps)
-                end
-              in
-              attempt q
-            end
-          in
-          let base_terms = fit_of base_prob base_ws in
-          let base_component =
-            { Approx.t_shift = 0.;
-              scale = 1.;
-              p_const = base_prob.Moments.d0.(out_var);
-              p_slope = base_prob.Moments.d1.(out_var);
-              transient = base_terms }
-          in
-          let break_components = ref [] in
-          for col = 0 to nsrc - 1 do
-            match breaks_of col with
-            | [] -> ()
-            | breaks ->
-              let kprob, kws = kernel_of col in
-              let kterms = fit_of kprob kws in
-              List.iter
-                (fun (t_k, dr) ->
-                  break_components :=
-                    { Approx.t_shift = t_k;
-                      scale = dr;
-                      p_const = kprob.Moments.d0.(out_var);
-                      p_slope = kprob.Moments.d1.(out_var);
-                      transient = kterms }
-                    :: !break_components)
-                breaks
-          done;
-          { sys;
-            node;
-            q;
-            response = base_component :: List.rev !break_components;
-            base = base_terms }
-        with
+      (fun node ->
+        match Engine.approximate e ~node ~q with
         | a -> { node; outcome = Approximation a }
         | exception Degenerate msg -> { node; outcome = Failed msg }
         | exception Unstable_fit _ ->
           { node; outcome = Failed "unstable fit" })
-      out_vars
+      nodes
 
-  let delays_all ?options sys ~nodes ~q ~threshold ~t_max =
-    approximate_all ?options sys ~nodes ~q
+  let delays_all ?options ?engine sys ~nodes ~q ~threshold ~t_max =
+    let e = engine_of ?options ?engine sys in
+    approximate_all ~engine:e sys ~nodes ~q
     |> List.map (fun r ->
            match r.outcome with
            | Approximation a -> (r.node, delay a ~threshold ~t_max)
            | Failed _ -> (
              (* a node whose fixed-order fit is degenerate or unstable
-                gets individual order escalation (paper, Section 3.3) *)
-             match auto ?options sys ~node:r.node with
+                gets individual order escalation (paper, Section 3.3)
+                on the same engine: the shared moments are reused *)
+             match Engine.auto e ~node:r.node with
              | a, _ -> (r.node, delay a ~threshold ~t_max)
              | exception (Degenerate _ | Unstable_fit _) -> (r.node, None)))
 
-  let elmore_all sys =
-    let engine = Moments.make sys in
-    let op0 = Circuit.Dc.initial sys in
-    let op0p = Circuit.Dc.at_zero_plus sys op0 in
-    let prob = Moments.base_problem engine op0p in
-    let ws = Moments.vectors engine prob ~count:2 in
+  let elmore_all ?options ?engine sys =
+    let e = engine_of ?options ?engine sys in
+    let sys = e.eng_sys in
+    let ws = Moments.prefix e.base_seq ~count:2 in
     let ckt = Circuit.Mna.circuit sys in
     List.init (ckt.Circuit.Netlist.node_count - 1) (fun i ->
         let node = i + 1 in

@@ -25,6 +25,7 @@ module Elmore : module type of Elmore
 module Tree_link : module type of Tree_link
 module Two_pole : module type of Two_pole
 module Ac : module type of Ac
+module Stats : module type of Stats
 
 
 type options = {
@@ -74,6 +75,53 @@ exception Unstable_fit of Linalg.Cx.t list
 type observable =
   | Node of Circuit.Element.node
   | Branch_current of int  (** element index *)
+
+type engine
+(** The shared analysis state of one system: the single factorization,
+    the 0-/0+ operating points, and one lazily extended moment-vector
+    sequence per transient subproblem (base plus one ramp kernel per
+    breaking source).  Every output node and every order requested of
+    the same engine reuses them: evaluating N sinks costs one
+    factorization, and escalating from order [q] to [q + 1] costs two
+    extra substitutions, not a recomputation (paper, Sections 3.2 and
+    3.4). *)
+
+(** Create an engine once per system; the one-shot entry points below
+    ([approximate], [auto], ...) are wrappers that build a throwaway
+    engine. *)
+module Engine : sig
+  val create : ?options:options -> Circuit.Mna.t -> engine
+  (** Factor once; raises [Circuit.Mna.Singular_dc] like
+      {!Moments.make}. *)
+
+  val sys : engine -> Circuit.Mna.t
+
+  val options : engine -> options
+
+  val approximate_observable : engine -> observable:observable -> q:int -> t
+
+  val approximate : engine -> node:Circuit.Element.node -> q:int -> t
+
+  val elmore : engine -> node:Circuit.Element.node -> float
+  (** Generalized Elmore delay [-mu_1/mu_0] from the first two shared
+      moment vectors (no extra factorization). *)
+
+  val error_estimate : engine -> node:Circuit.Element.node -> q:int -> float
+  (** The q-vs-(q+1) error term; the two fits share all but two
+      moments. *)
+
+  val auto :
+    ?tol:float ->
+    ?q_max:int ->
+    engine ->
+    node:Circuit.Element.node ->
+    t * float
+  (** Incremental order control: same policy as {!Awe.auto}, but each
+      escalation extends the shared moment sequence instead of
+      recomputing it, so reaching order [q] performs at most
+      [2q + 2] moment solves in total. *)
+
+end
 
 val approximate_observable :
   ?options:options -> Circuit.Mna.t -> observable:observable -> q:int -> t
@@ -156,15 +204,19 @@ module Batch : sig
 
   val approximate_all :
     ?options:options ->
+    ?engine:engine ->
     Circuit.Mna.t ->
     nodes:Circuit.Element.node list ->
     q:int ->
     result list
   (** One moment computation, one fit per node.  Results are in the order
-      of [nodes].  Raises [Invalid_argument] if any node is ground. *)
+      of [nodes].  Raises [Invalid_argument] if any node is ground.
+      When [engine] is given it is used as-is (it must belong to the
+      same system) and [options] is ignored. *)
 
   val delays_all :
     ?options:options ->
+    ?engine:engine ->
     Circuit.Mna.t ->
     nodes:Circuit.Element.node list ->
     q:int ->
@@ -172,12 +224,17 @@ module Batch : sig
     t_max:float ->
     (Circuit.Element.node * float option) list
   (** Threshold-crossing delay at every node from one batched analysis.
-      Nodes whose fixed-order fit fails are retried individually with
-      adaptive order escalation before reporting [None]. *)
+      Nodes whose fixed-order fit fails are retried with adaptive order
+      escalation on the same engine before reporting [None]. *)
 
   val elmore_all :
-    Circuit.Mna.t -> (Circuit.Element.node * float) list
+    ?options:options ->
+    ?engine:engine ->
+    Circuit.Mna.t ->
+    (Circuit.Element.node * float) list
   (** Generalized Elmore delay [-mu_1/mu_0] of every non-ground node from
-      a single pair of moment vectors. *)
+      a single pair of shared moment vectors.  [options] selects the
+      sparse solver and expansion shift like the other entry points
+      (with a nonzero shift the ratio is about [s0], not DC). *)
 
 end

@@ -51,6 +51,8 @@ let fit ?(scale = true) ?(check_stability = true) ?(shift = 0.) ?slope ~q mu
     =
   if Array.length mu < 2 * q then
     invalid_arg "Moment_match.fit: need at least 2q moments";
+  Stats.record_fit ();
+  Stats.time "fit" @@ fun () ->
   let mus, tau = scaled_mu ~scale mu in
   let zs = Array.of_list (reciprocal_roots ~q mus) in
   (* cluster repeated reciprocal poles, then solve the (confluent)

@@ -14,10 +14,13 @@ type engine = {
 }
 
 let make ?(sparse = false) ?(shift = 0.) sys =
+  Stats.time "factor" @@ fun () ->
+  Stats.record_factorization ();
   let solver = Circuit.Mna.dc_factor ~sparse sys in
   let moment_solver =
     if shift = 0. then Dc_based solver
     else begin
+      Stats.record_factorization ();
       let m =
         Matrix.add (Circuit.Mna.g sys)
           (Matrix.scale shift (Circuit.Mna.c sys))
@@ -39,6 +42,8 @@ let sys e = e.sys
 let shift e = e.shift
 
 let advance e w =
+  Stats.time "moments" @@ fun () ->
+  Stats.record_moment_solve ();
   let cw = Sparse.Csr.mul_vec e.c_csr w in
   match e.moment_solver with
   | Dc_based solver ->
@@ -114,6 +119,35 @@ let vectors e p ~count =
     ws.(j) <- advance e ws.(j - 1)
   done;
   ws
+
+(* A moment-vector sequence that grows on demand: each [prefix] call
+   reuses every vector already computed, so escalating from order [q]
+   to [q + 1] costs exactly the two extra substitutions (eq. 32-34),
+   never a recomputation. *)
+type seq = {
+  seq_engine : engine;
+  seq_problem : problem;
+  mutable ws : Vec.t array; (* backing store, valid up to [len] *)
+  mutable len : int;
+}
+
+let seq e p = { seq_engine = e; seq_problem = p; ws = [| p.x_h0 |]; len = 1 }
+
+let computed s = s.len
+
+let prefix s ~count =
+  if count < 1 then invalid_arg "Moments.prefix: count must be >= 1";
+  if count > Array.length s.ws then begin
+    let cap = Stdlib.max count (2 * Array.length s.ws) in
+    let ws' = Array.make cap s.seq_problem.x_h0 in
+    Array.blit s.ws 0 ws' 0 s.len;
+    s.ws <- ws'
+  end;
+  while s.len < count do
+    s.ws.(s.len) <- advance s.seq_engine s.ws.(s.len - 1);
+    s.len <- s.len + 1
+  done;
+  Array.sub s.ws 0 count
 
 let mu ws ~out_var = Array.map (fun w -> w.(out_var)) ws
 

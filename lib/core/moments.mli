@@ -71,6 +71,24 @@ val ramp_kernel : engine -> src_col:int -> problem
 val vectors : engine -> problem -> count:int -> Linalg.Vec.t array
 (** [vectors e p ~count] is [[| w_0; ...; w_(count-1) |]]. *)
 
+type seq
+(** A lazily extended moment-vector sequence for one subproblem.
+    Vectors are computed on first demand and cached, so requesting a
+    longer prefix later (order escalation: [2q -> 2q + 2] moments)
+    costs only the extra substitutions — the paper's incremental-order
+    economy (Section 3.4). *)
+
+val seq : engine -> problem -> seq
+(** Start a sequence at [w_0 = x_h(0)] (no solve). *)
+
+val prefix : seq -> count:int -> Linalg.Vec.t array
+(** [prefix s ~count] is [[| w_0; ...; w_(count-1) |]], extending the
+    sequence as needed.  Already-computed vectors are never
+    recomputed. *)
+
+val computed : seq -> int
+(** Number of vectors computed so far. *)
+
 val mu : Linalg.Vec.t array -> out_var:int -> float array
 (** Project moment vectors on one output unknown. *)
 

@@ -1,0 +1,101 @@
+(* Global instrumentation counters for the AWE pipeline.  The counters
+   are monotone; callers that want per-analysis numbers take a snapshot
+   before and after and subtract (see [diff]).  Single-threaded, like
+   the rest of the library. *)
+
+type snapshot = {
+  factorizations : int;
+  moment_solves : int;
+  fits : int;
+  fit_retries : int;
+  order_escalations : int;
+  mna_builds : int;
+  phase_seconds : (string * float) list;
+}
+
+let factorizations = ref 0
+
+let moment_solves = ref 0
+
+let fits = ref 0
+
+let fit_retries = ref 0
+
+let order_escalations = ref 0
+
+let mna_builds = ref 0
+
+(* phase name -> accumulated CPU seconds *)
+let phases : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  factorizations := 0;
+  moment_solves := 0;
+  fits := 0;
+  fit_retries := 0;
+  order_escalations := 0;
+  mna_builds := 0;
+  Hashtbl.reset phases
+
+let record_factorization () = incr factorizations
+
+let record_moment_solve () = incr moment_solves
+
+let record_fit () = incr fits
+
+let record_fit_retry () = incr fit_retries
+
+let record_order_escalation () = incr order_escalations
+
+let record_mna_build () = incr mna_builds
+
+let time phase f =
+  let t0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Sys.time () -. t0 in
+      let prev = Option.value ~default:0. (Hashtbl.find_opt phases phase) in
+      Hashtbl.replace phases phase (prev +. dt))
+    f
+
+let snapshot () =
+  { factorizations = !factorizations;
+    moment_solves = !moment_solves;
+    fits = !fits;
+    fit_retries = !fit_retries;
+    order_escalations = !order_escalations;
+    mna_builds = !mna_builds;
+    phase_seconds =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) phases []
+      |> List.sort compare }
+
+let diff a b =
+  let sub l l' =
+    (* phases present in [a] minus their value in [b] *)
+    List.map
+      (fun (k, v) ->
+        (k, v -. Option.value ~default:0. (List.assoc_opt k l')))
+      l
+  in
+  { factorizations = a.factorizations - b.factorizations;
+    moment_solves = a.moment_solves - b.moment_solves;
+    fits = a.fits - b.fits;
+    fit_retries = a.fit_retries - b.fit_retries;
+    order_escalations = a.order_escalations - b.order_escalations;
+    mna_builds = a.mna_builds - b.mna_builds;
+    phase_seconds = sub a.phase_seconds b.phase_seconds }
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "mna builds:        %d@," s.mna_builds;
+  Format.fprintf ppf "factorizations:    %d@," s.factorizations;
+  Format.fprintf ppf "moment solves:     %d@," s.moment_solves;
+  Format.fprintf ppf "fits:              %d@," s.fits;
+  Format.fprintf ppf "fit retries:       %d@," s.fit_retries;
+  Format.fprintf ppf "order escalations: %d" s.order_escalations;
+  List.iter
+    (fun (phase, secs) ->
+      if secs > 0. then
+        Format.fprintf ppf "@,%-8s time:     %.3g ms" phase (1e3 *. secs))
+    s.phase_seconds;
+  Format.fprintf ppf "@]"

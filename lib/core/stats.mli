@@ -1,0 +1,47 @@
+(** Observability counters for the AWE pipeline.
+
+    Every factorization ({!Moments.make}), moment substitution
+    ({!Moments.advance}), moment-matching fit ({!Moment_match.fit}),
+    in-fit order reduction, and order escalation ({!Awe.auto}) bumps a
+    global counter; phase CPU time accumulates under a phase name.
+    [Sta.analyze] additionally counts MNA assemblies.
+
+    The counters exist to make the paper's central economy checkable:
+    timing a net with N sinks must show exactly one factorization, and
+    escalating from order [q] to [q + 1] must add two moment solves,
+    not a recomputation (see the [test/sta] and [bench] assertions). *)
+
+type snapshot = {
+  factorizations : int;  (** LU/sparse-LU factorizations of the DC matrix *)
+  moment_solves : int;  (** forward/back substitutions [w -> A^-1 w] *)
+  fits : int;  (** moment-matching fit attempts *)
+  fit_retries : int;  (** in-fit order reductions on singular moment matrices *)
+  order_escalations : int;  (** [q -> q + 1] steps taken by [Awe.auto] *)
+  mna_builds : int;  (** MNA assemblies (counted by [Sta]) *)
+  phase_seconds : (string * float) list;  (** CPU seconds per phase *)
+}
+
+val reset : unit -> unit
+(** Zero all counters and phase timers. *)
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before] — per-analysis deltas. *)
+
+val record_factorization : unit -> unit
+
+val record_moment_solve : unit -> unit
+
+val record_fit : unit -> unit
+
+val record_fit_retry : unit -> unit
+
+val record_order_escalation : unit -> unit
+
+val record_mna_build : unit -> unit
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time phase f] runs [f], accumulating its CPU time under [phase]. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -7,7 +7,9 @@ type cell = {
 
 let cell ~name ~drive_res ~input_cap ~intrinsic =
   if drive_res <= 0. || input_cap < 0. || intrinsic < 0. then
-    invalid_arg "Sta.cell: values must be positive";
+    invalid_arg
+      "Sta.cell: drive_res must be positive, input_cap and intrinsic \
+       non-negative";
   { cell_name = name; drive_res; input_cap; intrinsic }
 
 type segment = { seg_from : string; seg_to : string; res : float; cap : float }
@@ -59,9 +61,15 @@ let add_net (d : design) ~name ~segments =
   Hashtbl.replace d.nets name segments
 
 let add_primary_input (d : design) ~net ?(arrival = 0.) ?(slew = 0.) () =
+  if Hashtbl.mem d.pis net then malformed "duplicate primary input %s" net;
+  if arrival < 0. then
+    malformed "primary input %s: arrival must be non-negative" net;
+  if slew < 0. then malformed "primary input %s: slew must be non-negative" net;
   Hashtbl.replace d.pis net { pi_arrival = arrival; pi_slew = slew }
 
-let add_primary_output (d : design) ~net = d.pos <- net :: d.pos
+let add_primary_output (d : design) ~net =
+  if List.mem net d.pos then malformed "duplicate primary output %s" net;
+  d.pos <- net :: d.pos
 
 type sink_timing = {
   sink_inst : string;
@@ -80,6 +88,7 @@ type report = {
   nets : net_timing list;
   critical_arrival : float;
   critical_path : string list;
+  stats : Awe.Stats.snapshot;
 }
 
 (* the sinks of a net are the gates listing it among their inputs *)
@@ -129,51 +138,89 @@ let net_circuit (d : design) ~net ~driver_res ~slew =
     (sinks_of d net);
   (Circuit.Netlist.freeze b, List.rev !sink_nodes)
 
-(* threshold delay and output slew of one net for one sink node.
-   [circuit] carries the actual (possibly ramped) excitation;
-   [circuit_step] the same net driven by an ideal step, which is what
-   the classical Elmore treatment analyzes before adding the input
-   rise time (paper Section 4.3 / Cirit's correction). *)
-let net_sink_timing (d : design) ~model ~slew ~circuit ~circuit_step ~node =
-  let sys = Circuit.Mna.build circuit in
+(* threshold delay and output slew of every sink of one net, from ONE
+   MNA build, one factorization, and one shared moment-vector sequence
+   (paper, Section 3.2 / eq. 56).  The AWE models analyze the net with
+   its actual (possibly ramped) excitation; the Elmore model analyzes
+   the net driven by an ideal step and adds half the input transition
+   (paper Section 4.3 / Cirit's correction), so the step variant of
+   the stage circuit is only built when that model asks for it.
+   Returns [(sink_inst, delay, slew)] per sink. *)
+let net_sink_timings (d : design) ~model ~options ~net ~driver_res ~slew =
   let threshold_v = d.threshold *. d.vdd in
-  match model with
-  | Elmore_model ->
-    let sys_step = Circuit.Mna.build circuit_step in
-    let td = Awe.Elmore.scaled_delay sys_step ~node in
-    (* single-exponential threshold crossing plus half the input
-       transition, and the single-exponential 10-90 slew *)
-    let frac = d.threshold in
-    ((-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.)
-  | Awe_model _ | Awe_auto ->
-    let a =
-      match model with
-      | Awe_model q -> Awe.approximate sys ~node ~q
-      | Awe_auto | Elmore_model -> fst (Awe.auto sys ~node)
-    in
-    (* search horizon: generous multiple of the first-order time scale,
-       extended by the input transition itself *)
-    let tau = Float.max (Awe.elmore_equivalent sys ~node) 1e-15 in
-    let t_max = (50. *. tau) +. (2. *. slew) in
-    let delay =
-      match Awe.delay a ~threshold:threshold_v ~t_max with
-      | Some t -> t
-      | None -> malformed "net never crosses the threshold"
-    in
-    let t10 =
-      Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd) ~t_max
-    in
-    let t90 =
-      Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd) ~t_max
-    in
-    let slew =
-      match (t10, t90) with
-      | Some a, Some b when b > a -> b -. a
-      | _ -> tau *. log 9.
-    in
-    (delay, slew)
+  (* the Elmore model analyzes the ideal-step drive; the AWE models the
+     actual (possibly ramped) excitation *)
+  let wire_slew =
+    match model with Elmore_model -> 0. | Awe_model _ | Awe_auto -> slew
+  in
+  let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
+  if sink_nodes = [] then []
+  else begin
+    Awe.Stats.record_mna_build ();
+    let sys = Circuit.Mna.build circuit in
+    let engine = Awe.Engine.create ~options sys in
+    match model with
+    | Elmore_model ->
+      let elmore = Awe.Batch.elmore_all ~engine sys in
+      (* single-exponential threshold crossing plus half the input
+         transition, and the single-exponential 10-90 slew *)
+      let frac = d.threshold in
+      List.map
+        (fun (inst, node) ->
+          let td = List.assoc node elmore in
+          (inst, (-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.))
+        sink_nodes
+    | Awe_model _ | Awe_auto ->
+      let fixed_order =
+        match model with
+        | Awe_model q ->
+          Awe.Batch.approximate_all ~engine sys
+            ~nodes:(List.map snd sink_nodes)
+            ~q
+        | Awe_auto | Elmore_model -> []
+      in
+      List.map
+        (fun (inst, node) ->
+          let a =
+            match
+              List.find_opt (fun r -> r.Awe.Batch.node = node) fixed_order
+            with
+            | Some { Awe.Batch.outcome = Awe.Batch.Approximation a; _ } -> a
+            | Some { Awe.Batch.outcome = Awe.Batch.Failed _; _ } | None ->
+              (* adaptive model, or a sink whose fixed-order fit is
+                 degenerate/unstable: escalate on the same engine — the
+                 shared moments are extended, never recomputed *)
+              fst (Awe.Engine.auto engine ~node)
+          in
+          (* search horizon: generous multiple of the first-order time
+             scale, extended by the input transition itself *)
+          let tau = Float.max (Awe.Engine.elmore engine ~node) 1e-15 in
+          let t_max = (50. *. tau) +. (2. *. slew) in
+          let delay =
+            match Awe.delay a ~threshold:threshold_v ~t_max with
+            | Some t -> t
+            | None -> malformed "net never crosses the threshold"
+          in
+          let t10 =
+            Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd)
+              ~t_max
+          in
+          let t90 =
+            Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd)
+              ~t_max
+          in
+          let slew =
+            match (t10, t90) with
+            | Some a, Some b when b > a -> b -. a
+            | _ -> tau *. log 9.
+          in
+          (inst, delay, slew))
+        sink_nodes
+  end
 
-let analyze ?(model = Awe_auto) (d : design) =
+let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
+  let stats_before = Awe.Stats.snapshot () in
+  let options = { Awe.default_options with Awe.sparse } in
   (* topological order over nets *)
   let gates = List.rev d.gates in
   List.iter
@@ -210,14 +257,9 @@ let analyze ?(model = Awe_auto) (d : design) =
         if Hashtbl.mem d.pis net then 1e-3 (* ideal primary input *)
         else malformed "net %s is undriven" net
     in
-    let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew in
-    let circuit_step, _ = net_circuit d ~net ~driver_res ~slew:0. in
     let sinks =
       List.map
-        (fun (inst, node) ->
-          let delay, sink_slew =
-            net_sink_timing d ~model ~slew ~circuit ~circuit_step ~node
-          in
+        (fun (inst, delay, sink_slew) ->
           let st =
             { sink_inst = inst;
               net_delay = delay;
@@ -226,7 +268,7 @@ let analyze ?(model = Awe_auto) (d : design) =
           in
           Hashtbl.replace sink_results (net, inst) st;
           st)
-        sink_nodes
+        (net_sink_timings d ~model ~options ~net ~driver_res ~slew)
     in
     Hashtbl.replace timed net { net_name = net; driver_arrival; sinks };
     (* propagate through sink gates *)
@@ -308,9 +350,12 @@ let analyze ?(model = Awe_auto) (d : design) =
   let nets =
     List.filter_map (Hashtbl.find_opt timed) (List.sort compare all_nets)
   in
-  { nets; critical_arrival; critical_path }
+  { nets;
+    critical_arrival;
+    critical_path;
+    stats = Awe.Stats.diff (Awe.Stats.snapshot ()) stats_before }
 
-let pp_report ppf r =
+let pp_report ?(verbose = false) ppf r =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun nt ->
@@ -323,12 +368,16 @@ let pp_report ppf r =
             (s.arrival *. 1e9))
         nt.sinks)
     r.nets;
-  Format.fprintf ppf "critical arrival: %.4g ns via %a@]"
+  Format.fprintf ppf "critical arrival: %.4g ns via %a"
     (r.critical_arrival *. 1e9)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
        Format.pp_print_string)
-    r.critical_path
+    r.critical_path;
+  if verbose then
+    Format.fprintf ppf "@,engine counters (%d nets):@,%a"
+      (List.length r.nets) Awe.Stats.pp r.stats;
+  Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
 module Design_file = struct
@@ -370,9 +419,13 @@ module Design_file = struct
     in
     List.iter
       (fun (ln, l) ->
-        match tokens_of l with
-        | "vdd" :: _ | "threshold" :: _ -> ()
-        | [ "cell"; name; dr; cap; intr ] ->
+        (* card handlers validate as they build; report their
+           complaints (duplicate declarations, bad values) with the
+           offending line *)
+        try
+          match tokens_of l with
+          | "vdd" :: _ | "threshold" :: _ -> ()
+          | [ "cell"; name; dr; cap; intr ] ->
           if Hashtbl.mem cells name then fail ln "duplicate cell %s" name;
           Hashtbl.replace cells name
             (cell ~name ~drive_res:(value_exn ln dr)
@@ -426,7 +479,9 @@ module Design_file = struct
           add_primary_input d ~net ~arrival:!arrival ~slew:!slew ()
         | [ "output"; net ] -> add_primary_output d ~net
         | card :: _ -> fail ln "unknown card %S" card
-        | [] -> ())
+        | [] -> ()
+        with
+        | Malformed msg | Invalid_argument msg -> fail ln "%s" msg)
       lines;
     d
 

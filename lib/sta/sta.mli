@@ -53,9 +53,12 @@ val add_net : design -> name:string -> segments:segment list -> unit
 
 val add_primary_input : design -> net:string -> ?arrival:float -> ?slew:float -> unit -> unit
 (** Drive a net from outside the design ([slew] is the input rise time
-    seen by the net, default 0 = ideal step). *)
+    seen by the net, default 0 = ideal step).  Raises [Malformed] on a
+    duplicate declaration for the same net, or on a negative [arrival]
+    or [slew]. *)
 
 val add_primary_output : design -> net:string -> unit
+(** Raises [Malformed] on a duplicate declaration for the same net. *)
 
 exception Not_a_dag of string list
 (** Combinational cycle through the named instances. *)
@@ -79,12 +82,22 @@ type report = {
   nets : net_timing list;
   critical_arrival : float;  (** latest arrival at any primary output *)
   critical_path : string list;  (** nets on the latest path, source first *)
+  stats : Awe.Stats.snapshot;
+      (** engine counters for this analysis: one MNA build and one
+          factorization per net, however many sinks it has *)
 }
 
-val analyze : ?model:delay_model -> design -> report
+val analyze : ?model:delay_model -> ?sparse:bool -> design -> report
 (** Topological timing propagation.  Raises [Not_a_dag] on cycles and
     [Malformed] on dangling references (undriven nets, unknown sinks).
-    Default model is [Awe_auto]. *)
+    Default model is [Awe_auto].
+
+    Each net is timed through one shared {!Awe.Engine}: one MNA build,
+    one factorization, and one moment-vector sequence evaluated at
+    every sink; adaptive order escalation extends the shared sequence
+    instead of recomputing it.  [sparse] (default [false]) routes the
+    per-net factorization through the sparse LU — worthwhile on large
+    nets. *)
 
 val net_circuit :
   design -> net:string -> driver_res:float -> slew:float ->
@@ -93,7 +106,9 @@ val net_circuit :
     testing): Thevenin driver, wire segments, sink load capacitances.
     Returns the circuit and the sink-name to node mapping. *)
 
-val pp_report : Format.formatter -> report -> unit
+val pp_report : ?verbose:bool -> Format.formatter -> report -> unit
+(** [verbose] (default [false]) appends the {!Awe.Stats} engine
+    counters of the analysis. *)
 
 (** Text format for timing designs; see the format notes inside. *)
 module Design_file : sig

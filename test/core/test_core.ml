@@ -1017,6 +1017,98 @@ let test_batch_rejects_ground () =
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Shared engine: incremental order escalation over one factorization *)
+
+let test_engine_incremental_auto_matches_scratch () =
+  (* adaptive escalation on a shared engine must return exactly what a
+     recompute-from-scratch loop (fresh factorization and fresh moments
+     at every order) returns *)
+  let f25 = Samples.fig25 () in
+  let sys = Mna.build f25.Samples.circuit in
+  let node = f25.Samples.out in
+  let tol = 0.02 and q_max = 8 in
+  let e = Awe.Engine.create sys in
+  let a_inc, err_inc = Awe.Engine.auto ~tol ~q_max e ~node in
+  (* scratch loop: the pre-refactor policy, one-shot API per order *)
+  let rec scratch q best =
+    if q > q_max then
+      match best with
+      | Some (a, err) -> (a, err)
+      | None -> Alcotest.fail "scratch loop found no fit"
+    else
+      match
+        let a = Awe.approximate sys ~node ~q in
+        (a, Awe.error_estimate sys ~node ~q)
+      with
+      | a, err when err <= tol -> (a, err)
+      | a, err ->
+        let best =
+          match best with
+          | Some (_, be) when be <= err -> best
+          | _ -> Some (a, err)
+        in
+        scratch (q + 1) best
+      | exception (Awe.Unstable_fit _ | Awe.Degenerate _) ->
+        scratch (q + 1) best
+  in
+  let a_scr, err_scr = scratch 1 None in
+  Alcotest.(check int) "same order" a_scr.Awe.q a_inc.Awe.q;
+  rel ~tol:1e-12 "same error estimate" err_scr err_inc;
+  List.iter2
+    (fun p p' ->
+      Alcotest.(check bool) "same poles" true
+        (Linalg.Cx.abs Linalg.Cx.(p -: p') <= 1e-12 *. Linalg.Cx.abs p))
+    (Awe.poles a_scr) (Awe.poles a_inc);
+  List.iter
+    (fun t ->
+      rel ~tol:1e-12
+        (Printf.sprintf "same waveform at %g" t)
+        (Awe.eval a_scr t) (Awe.eval a_inc t))
+    [ 0.; 1e-9; 3e-9; 8e-9 ]
+
+let test_engine_escalation_cost_two_solves () =
+  (* going q -> q+1 on a shared sequence costs exactly two extra
+     forward/back substitutions (the two new moments) *)
+  let f25 = Samples.fig25 () in
+  let sys = Mna.build f25.Samples.circuit in
+  let node = f25.Samples.out in
+  let e = Awe.Engine.create sys in
+  let s0 = Awe.Stats.snapshot () in
+  ignore (Awe.Engine.approximate e ~node ~q:2);
+  let s1 = Awe.Stats.snapshot () in
+  ignore (Awe.Engine.approximate e ~node ~q:3);
+  let s2 = Awe.Stats.snapshot () in
+  (* order 2 needs mu_0..mu_3 = w_0..w_3; w_0 is the free homogeneous
+     start, so three substitutions *)
+  Alcotest.(check int) "q=2 costs three solves" 3
+    (Awe.Stats.diff s1 s0).Awe.Stats.moment_solves;
+  Alcotest.(check int) "q=2->3 costs two more" 2
+    (Awe.Stats.diff s2 s1).Awe.Stats.moment_solves;
+  (* and re-fitting any order from the shared prefix is free *)
+  ignore (Awe.Engine.approximate e ~node ~q:2);
+  ignore (Awe.Engine.elmore e ~node);
+  let s3 = Awe.Stats.snapshot () in
+  Alcotest.(check int) "refit is free" 0
+    (Awe.Stats.diff s3 s2).Awe.Stats.moment_solves
+
+let test_engine_auto_solve_budget () =
+  (* acceptance bound: Awe.auto reaching order q spends one
+     factorization and at most 2q+2 moment solves *)
+  let f25 = Samples.fig25 () in
+  let sys = Mna.build f25.Samples.circuit in
+  let s0 = Awe.Stats.snapshot () in
+  let a, _ = Awe.auto ~tol:0.02 sys ~node:f25.Samples.out in
+  let d = Awe.Stats.diff (Awe.Stats.snapshot ()) s0 in
+  Alcotest.(check int) "one factorization" 1 d.Awe.Stats.factorizations;
+  Alcotest.(check bool)
+    (Printf.sprintf "solves %d <= 2q+2 = %d" d.Awe.Stats.moment_solves
+       ((2 * a.Awe.q) + 2))
+    true
+    (d.Awe.Stats.moment_solves <= (2 * a.Awe.q) + 2);
+  Alcotest.(check bool) "escalations recorded" true
+    (d.Awe.Stats.order_escalations >= a.Awe.q - 1)
+
+(* ------------------------------------------------------------------ *)
 (* AC analysis *)
 
 let test_ac_exact_rc_lowpass () =
@@ -1229,6 +1321,13 @@ let () =
             test_batch_delays_ordered_along_path;
           Alcotest.test_case "ground rejected" `Quick
             test_batch_rejects_ground ] );
+      ( "shared_engine",
+        [ Alcotest.test_case "incremental auto = scratch" `Quick
+            test_engine_incremental_auto_matches_scratch;
+          Alcotest.test_case "escalation costs two solves" `Quick
+            test_engine_escalation_cost_two_solves;
+          Alcotest.test_case "auto solve budget" `Quick
+            test_engine_auto_solve_budget ] );
       ( "ac",
         [ Alcotest.test_case "exact RC lowpass" `Quick
             test_ac_exact_rc_lowpass;

@@ -9,7 +9,7 @@ let seg ~from_ ~to_ ~r ~c =
 
 (* a two-stage chain: PI -> net_in -> u1(inv) -> net_mid -> u2(buf)
    -> net_out -> u3(inv, acts as load/PO) *)
-let chain () =
+let chain ?(in_slew = 0.) () =
   let d = Sta.create ~vdd:5. ~threshold:0.5 () in
   Sta.add_gate d ~inst:"u1" ~cell:inv ~inputs:[ "net_in" ] ~output:"net_mid";
   Sta.add_gate d ~inst:"u2" ~cell:buf ~inputs:[ "net_mid" ] ~output:"net_out";
@@ -21,7 +21,7 @@ let chain () =
         seg ~from_:"w1" ~to_:"u2" ~r:150. ~c:40e-15 ];
   Sta.add_net d ~name:"net_out" ~segments:[ seg ~from_:"drv" ~to_:"u3" ~r:300. ~c:60e-15 ];
   Sta.add_net d ~name:"net_po" ~segments:[ seg ~from_:"drv" ~to_:"end" ~r:10. ~c:1e-15 ];
-  Sta.add_primary_input d ~net:"net_in" ();
+  Sta.add_primary_input d ~net:"net_in" ~slew:in_slew ();
   Sta.add_primary_output d ~net:"net_out";
   d
 
@@ -116,9 +116,7 @@ let test_fanout_net () =
 let test_slew_propagates () =
   (* a slow primary-input slew increases downstream arrivals *)
   let fast = chain () in
-  let slow = chain () in
-  (* recreate the slow design with a 2 ns input slew *)
-  Sta.add_primary_input slow ~net:"net_in" ~slew:2e-9 ();
+  let slow = chain ~in_slew:2e-9 () in
   let rf = Sta.analyze fast in
   let rs = Sta.analyze slow in
   Alcotest.(check bool)
@@ -212,8 +210,182 @@ let test_design_file_input_params () =
 
 let test_cell_validation () =
   Alcotest.check_raises "bad cell"
-    (Invalid_argument "Sta.cell: values must be positive") (fun () ->
-      ignore (Sta.cell ~name:"bad" ~drive_res:0. ~input_cap:1. ~intrinsic:1.))
+    (Invalid_argument
+       "Sta.cell: drive_res must be positive, input_cap and intrinsic \
+        non-negative") (fun () ->
+      ignore (Sta.cell ~name:"bad" ~drive_res:0. ~input_cap:1. ~intrinsic:1.));
+  (* zero input_cap and intrinsic are legal (an ideal probe cell) *)
+  let c = Sta.cell ~name:"probe" ~drive_res:1. ~input_cap:0. ~intrinsic:0. in
+  Alcotest.(check string) "zero caps accepted" "probe" c.Sta.cell_name
+
+let test_duplicate_io_rejected () =
+  (match
+     let d = chain () in
+     Sta.add_primary_input d ~net:"net_in" ~slew:1e-9 ()
+   with
+  | () -> Alcotest.fail "duplicate primary input accepted"
+  | exception Sta.Malformed _ -> ());
+  (match
+     let d = chain () in
+     Sta.add_primary_output d ~net:"net_out"
+   with
+  | () -> Alcotest.fail "duplicate primary output accepted"
+  | exception Sta.Malformed _ -> ());
+  (match
+     Sta.add_primary_input (Sta.create ()) ~net:"x" ~arrival:(-1e-9) ()
+   with
+  | () -> Alcotest.fail "negative arrival accepted"
+  | exception Sta.Malformed _ -> ());
+  match Sta.add_primary_input (Sta.create ()) ~net:"x" ~slew:(-1e-12) () with
+  | () -> Alcotest.fail "negative slew accepted"
+  | exception Sta.Malformed _ -> ()
+
+let test_design_file_duplicate_cards () =
+  (match
+     Sta.Design_file.parse_string
+       "cell c 100 1f 1p\ngate u1 c y a\nnet a drv u1 10 1f\nnet y drv o 10 \
+        1f\ninput a\ninput a slew=1n\n"
+   with
+  | _ -> Alcotest.fail "duplicate input card accepted"
+  | exception Sta.Design_file.Parse_error _ -> ()
+  | exception Sta.Malformed _ -> ());
+  match
+    Sta.Design_file.parse_string
+      "cell c 100 1f 1p\ngate u1 c y a\nnet a drv u1 10 1f\nnet y drv o 10 \
+       1f\ninput a\noutput y\noutput y\n"
+  with
+  | _ -> Alcotest.fail "duplicate output card accepted"
+  | exception Sta.Design_file.Parse_error _ -> ()
+  | exception Sta.Malformed _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared-engine regression tests: the batched kernel must cost one
+   MNA build + one factorization per net regardless of fanout, and its
+   per-sink numbers must match the pre-refactor per-sink pipeline. *)
+
+(* `dune runtest` runs in the test's build directory (decks two levels
+   up); `dune exec` runs from the workspace root *)
+let adder_deck () =
+  let candidates = [ "../../decks/adder_stage.sta"; "decks/adder_stage.sta" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> Sta.Design_file.parse_file path
+  | None -> Alcotest.failf "decks/adder_stage.sta not found"
+
+let test_one_factorization_per_net () =
+  (* fanout fixture: net y has two sinks but must cost one engine *)
+  let d = Sta.create () in
+  Sta.add_gate d ~inst:"u1" ~cell:buf ~inputs:[ "a" ] ~output:"y";
+  Sta.add_gate d ~inst:"u2" ~cell:inv ~inputs:[ "y" ] ~output:"z1";
+  Sta.add_gate d ~inst:"u3" ~cell:inv ~inputs:[ "y" ] ~output:"z2";
+  Sta.add_net d ~name:"a" ~segments:[ seg ~from_:"drv" ~to_:"u1" ~r:50. ~c:10e-15 ];
+  Sta.add_net d ~name:"y"
+    ~segments:
+      [ seg ~from_:"drv" ~to_:"u2" ~r:100. ~c:20e-15;
+        seg ~from_:"drv" ~to_:"fork" ~r:400. ~c:80e-15;
+        seg ~from_:"fork" ~to_:"u3" ~r:400. ~c:80e-15 ];
+  Sta.add_net d ~name:"z1" ~segments:[ seg ~from_:"drv" ~to_:"o1" ~r:10. ~c:1e-15 ];
+  Sta.add_net d ~name:"z2" ~segments:[ seg ~from_:"drv" ~to_:"o2" ~r:10. ~c:1e-15 ];
+  Sta.add_primary_input d ~net:"a" ();
+  let r = Sta.analyze ~model:(Sta.Awe_model 2) d in
+  (* nets with at least one sink: a, y; z1/z2 feed no gate *)
+  Alcotest.(check int) "one MNA build per timed net" 2
+    r.Sta.stats.Awe.Stats.mna_builds;
+  Alcotest.(check int) "one factorization per timed net" 2
+    r.Sta.stats.Awe.Stats.factorizations;
+  (* and the multi-sink adder deck: 6 nets feed gate inputs *)
+  let r = Sta.analyze ~model:Sta.Awe_auto (adder_deck ()) in
+  Alcotest.(check int) "adder: one MNA build per timed net" 6
+    r.Sta.stats.Awe.Stats.mna_builds;
+  Alcotest.(check int) "adder: one factorization per timed net" 6
+    r.Sta.stats.Awe.Stats.factorizations
+
+(* the pre-refactor per-sink pipeline, reconstructed from the public
+   one-shot API: fresh MNA build + fresh factorization per sink *)
+let legacy_sink_timing ~vdd ~threshold ~slew ~circuit ~node ~q =
+  let sys = Circuit.Mna.build circuit in
+  let threshold_v = threshold *. vdd in
+  let a = Awe.approximate sys ~node ~q in
+  let tau = Float.max (Awe.elmore_equivalent sys ~node) 1e-15 in
+  let t_max = (50. *. tau) +. (2. *. slew) in
+  let delay =
+    match Awe.delay a ~threshold:threshold_v ~t_max with
+    | Some t -> t
+    | None -> Alcotest.fail "legacy path: no crossing"
+  in
+  let t10 =
+    Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. vdd) ~t_max
+  in
+  let t90 =
+    Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. vdd) ~t_max
+  in
+  let slew_out =
+    match (t10, t90) with
+    | Some a, Some b when b > a -> b -. a
+    | _ -> tau *. log 9.
+  in
+  (delay, slew_out)
+
+let test_batch_matches_per_sink_adder () =
+  let d = adder_deck () in
+  let q = 3 in
+  let r = Sta.analyze ~model:(Sta.Awe_model q) d in
+  let find_net net = List.find (fun nt -> nt.Sta.net_name = net) r.Sta.nets in
+  let sink_of net inst =
+    List.find (fun s -> s.Sta.sink_inst = inst) (find_net net).Sta.sinks
+  in
+  (* the deck's topology, restated: per net, the driver's output
+     resistance and the slew arriving at the driver pin *)
+  let slew_into net =
+    (* worst input sink of the driving gate, by arrival (analyze's
+       propagation rule); PIs carry the deck's input slews *)
+    match net with
+    | "a" -> 100e-12
+    | "b" -> 250e-12
+    | "n1" -> (sink_of "a" "u1").Sta.sink_slew
+    | "n2" -> (sink_of "b" "u2").Sta.sink_slew
+    | "n3" ->
+      let s1 = sink_of "n1" "u3" and s2 = sink_of "n2" "u3" in
+      if s2.Sta.arrival > s1.Sta.arrival then s2.Sta.sink_slew
+      else s1.Sta.sink_slew
+    | "out" -> (sink_of "n3" "u4").Sta.sink_slew
+    | "sink" -> (sink_of "out" "u5").Sta.sink_slew
+    | _ -> Alcotest.failf "unexpected net %s" net
+  in
+  let driver_res = function
+    | "a" | "b" -> 1e-3 (* ideal primary input *)
+    | "n1" | "n2" -> 600. (* inv *)
+    | "n3" -> 350. (* nand2 *)
+    | "out" -> 150. (* buf *)
+    | "sink" -> 600. (* inv *)
+    | net -> Alcotest.failf "unexpected net %s" net
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun nt ->
+      let net = nt.Sta.net_name in
+      let slew = slew_into net in
+      let circuit, sink_nodes =
+        Sta.net_circuit d ~net ~driver_res:(driver_res net) ~slew
+      in
+      List.iter
+        (fun s ->
+          let node = List.assoc s.Sta.sink_inst sink_nodes in
+          let delay, slew_out =
+            legacy_sink_timing ~vdd:5. ~threshold:0.5 ~slew ~circuit ~node ~q
+          in
+          let close name a b =
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s %s (batched %.6e legacy %.6e)" net
+                 s.Sta.sink_inst name a b)
+              true
+              (Float.abs (a -. b) <= 1e-9 *. Float.abs b)
+          in
+          close "delay" s.Sta.net_delay delay;
+          close "slew" s.Sta.sink_slew slew_out;
+          incr checked)
+        nt.Sta.sinks)
+    r.Sta.nets;
+  Alcotest.(check bool) "covered all sinks" true (!checked >= 6)
 
 let () =
   Alcotest.run "sta"
@@ -237,4 +409,13 @@ let () =
       ( "validation",
         [ Alcotest.test_case "cycle detection" `Quick test_cycle_detected;
           Alcotest.test_case "malformed" `Quick test_malformed_detected;
-          Alcotest.test_case "cell values" `Quick test_cell_validation ] ) ]
+          Alcotest.test_case "cell values" `Quick test_cell_validation;
+          Alcotest.test_case "duplicate primary I/O" `Quick
+            test_duplicate_io_rejected;
+          Alcotest.test_case "duplicate file cards" `Quick
+            test_design_file_duplicate_cards ] );
+      ( "shared_engine",
+        [ Alcotest.test_case "one factorization per net" `Quick
+            test_one_factorization_per_net;
+          Alcotest.test_case "batch matches per-sink (adder)" `Quick
+            test_batch_matches_per_sink_adder ] ) ]
