@@ -715,6 +715,64 @@ let sta_batch () =
 
 (* ------------------------------------------------------------------ *)
 
+let verify_bench () =
+  section "Verification harness — differential oracle throughput";
+  let seed = 42 and cases = 24 in
+  (* one untimed pass for the quality numbers: the oracle's adaptive
+     point counts and the worst model/simulator disagreement *)
+  let outcomes =
+    List.init cases (fun i ->
+        Verify.Oracle.check (Verify.Cases.random_case ~seed:(seed + i)))
+  in
+  let failures =
+    List.length (List.filter (fun o -> not (Verify.Oracle.passed o)) outcomes)
+  in
+  let worst =
+    List.fold_left
+      (fun acc (o : Verify.Oracle.outcome) ->
+        if Float.is_nan o.Verify.Oracle.measured then acc
+        else Float.max acc o.Verify.Oracle.measured)
+      0. outcomes
+  in
+  let points =
+    List.fold_left
+      (fun acc (o : Verify.Oracle.outcome) ->
+        acc + o.Verify.Oracle.oracle_points)
+      0 outcomes
+  in
+  (* timed: a full oracle check (AWE + adaptive reference simulation +
+     comparison) vs the AWE reduction alone, on the same case *)
+  let one_case () =
+    ignore (Verify.Oracle.check (Verify.Cases.random_case ~seed))
+  in
+  let awe_only () =
+    let c = Verify.Cases.random_case ~seed in
+    let sys = Mna.build c.Verify.Cases.circuit in
+    ignore (Awe.auto sys ~node:c.Verify.Cases.node)
+  in
+  let results =
+    measure_ns [ ("oracle check", one_case); ("awe reduction", awe_only) ]
+  in
+  List.iter (fun (name, ns) -> note "%-14s %12.0f ns/case" name ns) results;
+  let ns_of name = try List.assoc name results with Not_found -> nan in
+  let ns_oracle = ns_of "oracle check" and ns_awe = ns_of "awe reduction" in
+  let per_sec = if ns_oracle > 0. then 1e9 /. ns_oracle else nan in
+  note "oracle throughput: %.1f circuits/sec" per_sec;
+  note "%d cases, %d failures, worst rel L2 %.4g, %d reference points" cases
+    failures worst points;
+  let oc = open_out "BENCH_verify.json" in
+  Printf.fprintf oc
+    "{ \"scenario\": \"verify\", \"seed\": %d, \"cases\": %d, \"failures\": \
+     %d,\n\
+    \  \"worst_rel_l2\": %.6g, \"oracle_points\": %d,\n\
+    \  \"oracle_ns_per_case\": %.0f, \"awe_ns_per_case\": %.0f,\n\
+    \  \"circuits_per_sec\": %.2f }\n"
+    seed cases failures worst points ns_oracle ns_awe per_sec;
+  close_out oc;
+  note "wrote BENCH_verify.json"
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [ ("fig7", fig7); ("fig12", fig12); ("fig14", fig14); ("fig15", fig15);
     ("table1", table1); ("fig17", fig17_18); ("fig18", fig17_18);
@@ -722,12 +780,12 @@ let experiments =
     ("fig24", fig24); ("table2_fig26", table2_fig26); ("fig26", table2_fig26);
     ("fig27", fig27); ("eq56", eq56); ("scaling", scaling);
     ("ablation", ablation); ("shifted", shifted); ("sta", sta_bench);
-    ("sta_batch", sta_batch) ]
+    ("sta_batch", sta_batch); ("verify", verify_bench) ]
 
 let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
-    sta_batch ]
+    sta_batch; verify_bench ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -290,6 +290,22 @@ let cmd_timing design_path model sparse stats =
     Printf.eprintf "malformed design: %s\n" msg;
     exit 1
 
+let cmd_verify seed count prop_count fuzz_count rel_l2 repro_dir quiet =
+  let config =
+    { Verify.seed;
+      count;
+      prop_count;
+      fuzz_count;
+      tol = { Verify.Oracle.default_tol with Verify.Oracle.rel_l2 };
+      repro_dir }
+  in
+  let progress =
+    if quiet then None else Some (fun msg -> Printf.eprintf "%s\n%!" msg)
+  in
+  let report = Verify.run ?progress config in
+  Format.printf "%a@." Verify.pp_report report;
+  if not (Verify.passed report) then exit 1
+
 let cmd_elmore deck_path =
   let deck = read_deck deck_path in
   let circuit = deck.Circuit.Parser.circuit in
@@ -383,9 +399,59 @@ let timing_t =
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg)
 
+let verify_t =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Base seed; the sweep is deterministic in it.")
+  in
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"K"
+          ~doc:"Random circuits checked against the transient oracle.")
+  in
+  let prop_count =
+    Arg.(
+      value & opt int 60
+      & info [ "prop-count" ] ~docv:"K"
+          ~doc:"Seeds tried per metamorphic property.")
+  in
+  let fuzz_count =
+    Arg.(
+      value & opt int 1000
+      & info [ "fuzz-count" ] ~docv:"K" ~doc:"Fuzz inputs per parser.")
+  in
+  let rel_l2 =
+    Arg.(
+      value
+      & opt float Verify.Oracle.default_tol.Verify.Oracle.rel_l2
+      & info [ "rel-l2" ] ~docv:"FRAC"
+          ~doc:"Oracle waveform tolerance (transient-normalized L2).")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) (Some "decks")
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk fuzz failures are written as repro decks.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the differential verification sweep: random circuits against \
+          the transient oracle, metamorphic properties, and parser fuzzing")
+    Term.(
+      const cmd_verify $ seed $ count $ prop_count $ fuzz_count $ rel_l2
+      $ repro_dir $ quiet)
+
 let () =
   let doc = "asymptotic waveform evaluation for timing analysis" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "awesim" ~version:"1.0.0" ~doc)
-          [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t ]))
+          [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t;
+            verify_t ]))

@@ -88,6 +88,14 @@ let check_value ~what name v =
     invalid_arg
       (Printf.sprintf "Netlist: %s %s must have a positive value" what name)
 
+let check_ic ~what name ic =
+  match ic with
+  | Some v when not (Float.is_finite v) ->
+    invalid_arg
+      (Printf.sprintf "Netlist: %s %s has a non-finite initial condition"
+         what name)
+  | _ -> ()
+
 let freeze b =
   let elements = Array.of_list (List.rev b.elems) in
   if Array.length elements = 0 then invalid_arg "Netlist: empty circuit";
@@ -116,9 +124,12 @@ let freeze b =
     (fun e ->
       match e with
       | Element.Resistor { name; r; _ } -> check_value ~what:"resistor" name r
-      | Element.Capacitor { name; c; _ } ->
-        check_value ~what:"capacitor" name c
-      | Element.Inductor { name; l; _ } -> check_value ~what:"inductor" name l
+      | Element.Capacitor { name; c; ic; _ } ->
+        check_value ~what:"capacitor" name c;
+        check_ic ~what:"capacitor" name ic
+      | Element.Inductor { name; l; ic; _ } ->
+        check_value ~what:"inductor" name l;
+        check_ic ~what:"inductor" name ic
       | Element.Ccvs { vctrl; name; _ } | Element.Cccs { vctrl; name; _ } ->
         if not (Hashtbl.mem vsource_names (String.lowercase_ascii vctrl)) then
           invalid_arg
@@ -126,7 +137,7 @@ let freeze b =
                "Netlist: %s controls through unknown voltage source %s" name
                vctrl)
       | Element.Mutual { name; l1; l2; k } ->
-        if k <= 0. || k >= 1. then
+        if not (k > 0. && k < 1.) then
           invalid_arg
             (Printf.sprintf
                "Netlist: coupling %s must have 0 < k < 1" name);

@@ -134,6 +134,30 @@ let value_exn line tok =
   | Some v -> v
   | None -> fail line "cannot parse value %S" tok
 
+(* a value that must be a usable element/waveform number: finite (the
+   suffix grammar accepts "nan" and "1e999" as floats; neither makes a
+   simulatable circuit) *)
+let finite_exn line ~what tok =
+  let v = value_exn line tok in
+  if not (Float.is_finite v) then
+    fail line "%s value %S is not finite" what tok;
+  v
+
+(* element values (R, C, L) must additionally be positive *)
+let positive_exn line ~what tok =
+  let v = finite_exn line ~what tok in
+  if v <= 0. then fail line "%s value %S must be positive" what tok;
+  v
+
+(* integer card arguments (.tran steps, .awe order) arrive as SPICE
+   numbers; reject NaN/huge floats before the int conversion truncates
+   them into nonsense *)
+let int_exn line ~what ~min ~max tok =
+  let v = value_exn line tok in
+  if not (Float.is_finite v) || v < float_of_int min || v > float_of_int max
+  then fail line "%s must be an integer in [%d, %d], got %S" what min max tok;
+  int_of_float v
+
 (* waveform tokens: either ["5"], ["dc"; "5"], or one function token *)
 let parse_waveform line tokens =
   let fn_args tok =
@@ -148,31 +172,58 @@ let parse_waveform line tokens =
       in
       Some (name, args)
   in
-  match tokens with
-  | [ tok ] -> (
-    match fn_args tok with
-    | None -> Element.Dc (value_exn line tok)
-    | Some ("step", [ v0; v1 ]) ->
-      Element.Step { v0 = value_exn line v0; v1 = value_exn line v1 }
-    | Some ("ramp", [ v0; v1; td; tr ]) ->
-      Element.Ramp
-        { v0 = value_exn line v0;
-          v1 = value_exn line v1;
-          t_delay = value_exn line td;
-          t_rise = value_exn line tr }
-    | Some ("pwl", args) ->
-      if List.length args < 2 || List.length args mod 2 <> 0 then
-        fail line "PWL needs an even number of arguments";
-      let rec pairs = function
-        | [] -> []
-        | t :: v :: rest -> (value_exn line t, value_exn line v) :: pairs rest
-        | [ _ ] -> assert false
-      in
-      Element.Pwl (pairs args)
-    | Some (name, _) -> fail line "unknown waveform %S" name)
-  | [ dc; v ] when String.lowercase_ascii dc = "dc" ->
-    Element.Dc (value_exn line v)
-  | _ -> fail line "cannot parse source waveform"
+  let wave =
+    match tokens with
+    | [ tok ] -> (
+      match fn_args tok with
+      | None -> Element.Dc (finite_exn line ~what:"DC" tok)
+      | Some ("step", [ v0; v1 ]) ->
+        Element.Step
+          { v0 = finite_exn line ~what:"STEP" v0;
+            v1 = finite_exn line ~what:"STEP" v1 }
+      | Some ("ramp", [ v0; v1; td; tr ]) ->
+        let t_delay = finite_exn line ~what:"RAMP delay" td in
+        let t_rise = finite_exn line ~what:"RAMP rise" tr in
+        if t_delay < 0. then fail line "RAMP delay must be non-negative";
+        if t_rise <= 0. then fail line "RAMP rise time must be positive";
+        Element.Ramp
+          { v0 = finite_exn line ~what:"RAMP" v0;
+            v1 = finite_exn line ~what:"RAMP" v1;
+            t_delay;
+            t_rise }
+      | Some ("pwl", args) ->
+        if List.length args < 2 || List.length args mod 2 <> 0 then
+          fail line "PWL needs an even number of arguments";
+        let rec pairs = function
+          | [] -> []
+          | t :: v :: rest ->
+            ( finite_exn line ~what:"PWL time" t,
+              finite_exn line ~what:"PWL" v )
+            :: pairs rest
+          | [ _ ] -> assert false
+        in
+        let points = pairs args in
+        let rec increasing = function
+          | (t0, _) :: ((t1, _) :: _ as rest) ->
+            if t1 <= t0 then
+              fail line "PWL times must be strictly increasing";
+            increasing rest
+          | _ -> ()
+        in
+        increasing points;
+        Element.Pwl points
+      | Some (name, _) -> fail line "unknown waveform %S" name)
+    | [ dc; v ] when String.lowercase_ascii dc = "dc" ->
+      Element.Dc (finite_exn line ~what:"DC" v)
+    | _ -> fail line "cannot parse source waveform"
+  in
+  (* the canonical decomposition is what MNA assembly consumes; probe
+     it here so a malformed waveform is a deck error, not a crash in a
+     later analysis stage *)
+  (match Element.canonicalize wave with
+  | _ -> ()
+  | exception Invalid_argument msg -> fail line "%s" msg);
+  wave
 
 let split_params tokens =
   (* separate positional tokens from key=value parameters *)
@@ -185,7 +236,7 @@ let param_ic line params =
       | [ k; v ] when String.lowercase_ascii k = "ic" -> (
         match acc with
         | Some _ -> fail line "duplicate IC parameter"
-        | None -> Some (value_exn line v))
+        | None -> Some (finite_exn line ~what:"IC" v))
       | _ -> fail line "unknown parameter %S" p)
     None params
 
@@ -200,7 +251,8 @@ let parse_ic_directive line tok =
     if String.length lhs < 4 || String.sub lhs 0 2 <> "v(" || lhs.[String.length lhs - 1] <> ')'
     then fail line ".ic expects v(<node>)=<value>";
     let node = String.sub lhs 2 (String.length lhs - 3) in
-    (node, value_exn line rhs)
+    if node = "" then fail line ".ic expects v(<node>)=<value>";
+    (node, finite_exn line ~what:".ic" rhs)
 
 let parse_string text =
   let lines = logical_lines text in
@@ -208,6 +260,20 @@ let parse_string text =
   let directives = ref [] in
   let pending_ics = ref [] in
   let title = ref None in
+  (* lowercased element name -> defining line, so duplicates and
+     dangling cross-references (H/F control sources, K couplings) get
+     the offending card's line instead of a bare exception at freeze *)
+  let element_lines = Hashtbl.create 16 in
+  let vsource_names = Hashtbl.create 4 in
+  let inductor_names = Hashtbl.create 4 in
+  let cross_checks = ref [] in
+  let declare line head =
+    let key = String.lowercase_ascii head in
+    (match Hashtbl.find_opt element_lines key with
+    | Some first -> fail line "duplicate element name %S (line %d)" head first
+    | None -> Hashtbl.replace element_lines key line);
+    key
+  in
   let handle_card is_first (line, text) =
     let tokens = tokenize line text in
     match tokens with
@@ -219,6 +285,7 @@ let parse_string text =
         match String.lowercase_ascii head :: rest with
         | ".end" :: _ -> ()
         | ".ic" :: args ->
+          if args = [] then fail line ".ic expects v(<node>)=<value>";
           List.iter
             (fun a -> pending_ics := (line, parse_ic_directive line a) :: !pending_ics)
             args
@@ -226,12 +293,17 @@ let parse_string text =
           match args with
           | [ t ] ->
             directives :=
-              Tran { t_stop = value_exn line t; steps = None } :: !directives
+              Tran { t_stop = positive_exn line ~what:".tran tstop" t;
+                     steps = None }
+              :: !directives
           | [ t; s ] ->
             directives :=
               Tran
-                { t_stop = value_exn line t;
-                  steps = Some (int_of_float (value_exn line s)) }
+                { t_stop = positive_exn line ~what:".tran tstop" t;
+                  steps =
+                    Some
+                      (int_exn line ~what:".tran steps" ~min:1
+                         ~max:100_000_000 s) }
               :: !directives
           | _ -> fail line ".tran expects <tstop> [steps]")
         | ".awe" :: args -> (
@@ -240,62 +312,89 @@ let parse_string text =
             directives := Awe_node { node; order = None } :: !directives
           | [ node; q ] ->
             directives :=
-              Awe_node { node; order = Some (int_of_float (value_exn line q)) }
+              Awe_node
+                { node;
+                  order = Some (int_exn line ~what:".awe order" ~min:1 ~max:64 q) }
               :: !directives
           | _ -> fail line ".awe expects <node> [order]")
         | d :: _ -> fail line "unknown directive %S" d
         | [] -> ())
       | 'r' -> (
         match rest with
-        | [ np; nn; v ] -> Netlist.add_r b head np nn (value_exn line v)
+        | [ np; nn; v ] ->
+          ignore (declare line head);
+          Netlist.add_r b head np nn (positive_exn line ~what:"resistor" v)
         | _ -> fail line "R card: R<name> <n+> <n-> <value>")
       | 'c' -> (
         let pos, params = split_params rest in
         match pos with
         | [ np; nn; v ] ->
-          Netlist.add_c ?ic:(param_ic line params) b head np nn
-            (value_exn line v)
+          let ic = param_ic line params in
+          ignore (declare line head);
+          Netlist.add_c ?ic b head np nn
+            (positive_exn line ~what:"capacitor" v)
         | _ -> fail line "C card: C<name> <n+> <n-> <value> [IC=v]")
       | 'l' -> (
         let pos, params = split_params rest in
         match pos with
         | [ np; nn; v ] ->
-          Netlist.add_l ?ic:(param_ic line params) b head np nn
-            (value_exn line v)
+          let ic = param_ic line params in
+          Hashtbl.replace inductor_names (declare line head) ();
+          Netlist.add_l ?ic b head np nn
+            (positive_exn line ~what:"inductor" v)
         | _ -> fail line "L card: L<name> <n+> <n-> <value> [IC=i]")
       | 'v' -> (
         match rest with
         | np :: nn :: wave when wave <> [] ->
-          Netlist.add_v b head np nn (parse_waveform line wave)
+          let wave = parse_waveform line wave in
+          Hashtbl.replace vsource_names (declare line head) ();
+          Netlist.add_v b head np nn wave
         | _ -> fail line "V card: V<name> <n+> <n-> <waveform>")
       | 'i' -> (
         match rest with
         | np :: nn :: wave when wave <> [] ->
-          Netlist.add_i b head np nn (parse_waveform line wave)
+          let wave = parse_waveform line wave in
+          ignore (declare line head);
+          Netlist.add_i b head np nn wave
         | _ -> fail line "I card: I<name> <n+> <n-> <waveform>")
       | 'e' -> (
         match rest with
         | [ np; nn; cp; cn; g ] ->
-          Netlist.add_vcvs b head np nn cp cn (value_exn line g)
+          ignore (declare line head);
+          Netlist.add_vcvs b head np nn cp cn (finite_exn line ~what:"gain" g)
         | _ -> fail line "E card: E<name> <n+> <n-> <cp> <cn> <gain>")
       | 'g' -> (
         match rest with
         | [ np; nn; cp; cn; g ] ->
-          Netlist.add_vccs b head np nn cp cn (value_exn line g)
+          ignore (declare line head);
+          Netlist.add_vccs b head np nn cp cn (finite_exn line ~what:"gm" g)
         | _ -> fail line "G card: G<name> <n+> <n-> <cp> <cn> <gm>")
       | 'h' -> (
         match rest with
         | [ np; nn; vsrc; r ] ->
-          Netlist.add_ccvs b head np nn vsrc (value_exn line r)
+          ignore (declare line head);
+          cross_checks := (line, `Vsource vsrc) :: !cross_checks;
+          Netlist.add_ccvs b head np nn vsrc (finite_exn line ~what:"r" r)
         | _ -> fail line "H card: H<name> <n+> <n-> <vsrc> <r>")
       | 'f' -> (
         match rest with
         | [ np; nn; vsrc; g ] ->
-          Netlist.add_cccs b head np nn vsrc (value_exn line g)
+          ignore (declare line head);
+          cross_checks := (line, `Vsource vsrc) :: !cross_checks;
+          Netlist.add_cccs b head np nn vsrc (finite_exn line ~what:"gain" g)
         | _ -> fail line "F card: F<name> <n+> <n-> <vsrc> <gain>")
       | 'k' -> (
         match rest with
-        | [ l1; l2; k ] -> Netlist.add_k b head l1 l2 (value_exn line k)
+        | [ l1; l2; k ] ->
+          let kv = finite_exn line ~what:"coupling" k in
+          if not (kv > 0. && kv < 1.) then
+            fail line "coupling %S must satisfy 0 < k < 1" head;
+          if String.lowercase_ascii l1 = String.lowercase_ascii l2 then
+            fail line "coupling %S couples inductor %S to itself" head l1;
+          ignore (declare line head);
+          cross_checks :=
+            (line, `Inductor l1) :: (line, `Inductor l2) :: !cross_checks;
+          Netlist.add_k b head l1 l2 kv
         | _ -> fail line "K card: K<name> <l1> <l2> <k>")
       | _ ->
         if is_first then title := Some text
@@ -304,10 +403,42 @@ let parse_string text =
   (match lines with
   | [] -> raise (Parse_error (0, "empty deck"))
   | first :: rest ->
-    (* a first line that parses as a card is a card; otherwise a title *)
+    (* a first line that parses as a card is a card; otherwise a title.
+       A failed first card may have left partial state behind (a half-
+       processed .ic list, an interned element name); reset it so the
+       rejected line is a title and nothing more *)
+    let saved_directives = !directives and saved_ics = !pending_ics in
     (try handle_card true first
-     with Parse_error _ -> title := Some (snd first));
+     with Parse_error _ ->
+       directives := saved_directives;
+       pending_ics := saved_ics;
+       Hashtbl.reset element_lines;
+       Hashtbl.reset vsource_names;
+       Hashtbl.reset inductor_names;
+       cross_checks := [];
+       title := Some (snd first));
     List.iter (handle_card false) rest);
+  (* dangling cross-references, with the referencing card's line *)
+  List.iter
+    (fun (line, check) ->
+      match check with
+      | `Vsource name ->
+        if not (Hashtbl.mem vsource_names (String.lowercase_ascii name)) then
+          fail line "controlling voltage source %S is not defined" name
+      | `Inductor name ->
+        if not (Hashtbl.mem inductor_names (String.lowercase_ascii name)) then
+          fail line "coupled inductor %S is not defined" name)
+    (List.rev !cross_checks);
+  if Hashtbl.length element_lines = 0 then
+    raise (Parse_error (0, "deck contains no elements"));
+  (* the card-level checks above mirror everything [Netlist.freeze]
+     validates, so this is a safety net: any residual builder complaint
+     still surfaces as a deck error, never an escaping exception *)
+  let freeze_exn builder =
+    match Netlist.freeze builder with
+    | circuit -> circuit
+    | exception Invalid_argument msg -> raise (Parse_error (0, msg))
+  in
   (* apply .ic node directives: attach to the grounded capacitor *)
   let elements_with_ics raw_circuit =
     match !pending_ics with
@@ -361,9 +492,9 @@ let parse_string text =
           | Element.Mutual { name; l1; l2; k } ->
             Netlist.add_k b2 name l1 l2 k)
         raw_circuit.Netlist.elements;
-      Netlist.freeze b2
+      freeze_exn b2
   in
-  let circuit = elements_with_ics (Netlist.freeze b) in
+  let circuit = elements_with_ics (freeze_exn b) in
   { circuit; directives = List.rev !directives; title = !title }
 
 let parse_file path =

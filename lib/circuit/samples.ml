@@ -144,11 +144,12 @@ let fig8 () =
   Netlist.add_c b "c2" "n2" "0" 1e-12;
   Netlist.freeze b
 
-let random_rc_tree ?(seed = 42) ~n () =
+let random_rc_tree ?(seed = 42) ?(wave = Element.Step { v0 = 0.; v1 = 1. })
+    ?(ic_frac = 0.) ~n () =
   if n < 1 then invalid_arg "Samples.random_rc_tree: need n >= 1";
   let st = Random.State.make [| seed |] in
   let b = Netlist.create () in
-  Netlist.add_v b "vin" "in" "0" (Element.Step { v0 = 0.; v1 = 1. });
+  Netlist.add_v b "vin" "in" "0" wave;
   let node_name k = Printf.sprintf "n%d" k in
   for k = 1 to n do
     (* attach node k under a random earlier node (or the driver) *)
@@ -156,10 +157,94 @@ let random_rc_tree ?(seed = 42) ~n () =
     let r = 50. +. Random.State.float st 1950. in
     let c = 1e-15 +. Random.State.float st 499e-15 in
     Netlist.add_r b (Printf.sprintf "r%d" k) parent (node_name k) r;
-    Netlist.add_c b (Printf.sprintf "c%d" k) (node_name k) "0" c
+    (* extra draws happen only when ICs are requested, so the default
+       stream — and every circuit existing tests pin by seed — is
+       unchanged *)
+    if ic_frac > 0. && Random.State.float st 1. < ic_frac then
+      Netlist.add_c ~ic:(Random.State.float st 5. -. 2.5) b
+        (Printf.sprintf "c%d" k) (node_name k) "0" c
+    else Netlist.add_c b (Printf.sprintf "c%d" k) (node_name k) "0" c
   done;
   let leaf = Netlist.node b (node_name n) in
   (Netlist.freeze b, leaf)
+
+let random_coupled_tree ?(seed = 44) ?(wave = Element.Step { v0 = 0.; v1 = 1. })
+    ~n ~couplings () =
+  if n < 1 then invalid_arg "Samples.random_coupled_tree: need n >= 1";
+  if couplings < 1 then
+    invalid_arg "Samples.random_coupled_tree: need couplings >= 1";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  let node_name k = Printf.sprintf "n%d" k in
+  for k = 1 to n do
+    let parent = if k = 1 then "in" else node_name (1 + Random.State.int st (k - 1)) in
+    let r = 50. +. Random.State.float st 1950. in
+    let c = 1e-15 +. Random.State.float st 499e-15 in
+    Netlist.add_r b (Printf.sprintf "r%d" k) parent (node_name k) r;
+    Netlist.add_c b (Printf.sprintf "c%d" k) (node_name k) "0" c
+  done;
+  (* the Fig. 22 pattern: a floating cap from an aggressor tree node
+     into either another tree node (coupling between two driven nets)
+     or a fresh capacitively-loaded victim node with no resistive path
+     to ground — the DC-floating group of Section 3.1 *)
+  let victim = ref 0 in
+  for j = 1 to couplings do
+    let aggressor = node_name (1 + Random.State.int st n) in
+    let cc = 10e-15 +. Random.State.float st 150e-15 in
+    if Random.State.bool st then begin
+      let vname = Printf.sprintf "v%d" j in
+      Netlist.add_c b (Printf.sprintf "cc%d" j) aggressor vname cc;
+      Netlist.add_c b
+        (Printf.sprintf "cv%d" j)
+        vname "0"
+        (20e-15 +. Random.State.float st 400e-15);
+      victim := Netlist.node b vname
+    end
+    else begin
+      let other = node_name (1 + Random.State.int st n) in
+      if other <> aggressor then
+        Netlist.add_c b (Printf.sprintf "cc%d" j) aggressor other cc
+      else
+        Netlist.add_c b
+          (Printf.sprintf "cc%d" j)
+          aggressor
+          (Printf.sprintf "w%d" j)
+          cc;
+      if other = aggressor then
+        Netlist.add_c b
+          (Printf.sprintf "cw%d" j)
+          (Printf.sprintf "w%d" j)
+          "0"
+          (20e-15 +. Random.State.float st 400e-15)
+    end
+  done;
+  let leaf = Netlist.node b (node_name n) in
+  let observe = if !victim <> 0 && Random.State.bool st then !victim else leaf in
+  (Netlist.freeze b, observe)
+
+let random_rlc_ladder ?(seed = 45) ?(wave = Element.Step { v0 = 0.; v1 = 1. })
+    ~sections () =
+  if sections < 1 then
+    invalid_arg "Samples.random_rlc_ladder: need sections >= 1";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  (* one series R per section keeps every complex pair strictly damped
+     (values in the fig25 regime: tens of ohms, nH, pF) *)
+  let prev = ref "in" in
+  for k = 1 to sections do
+    let mid = Printf.sprintf "m%d" k and out = Printf.sprintf "n%d" k in
+    Netlist.add_r b (Printf.sprintf "r%d" k) !prev mid
+      (20. +. Random.State.float st 120.);
+    Netlist.add_l b (Printf.sprintf "l%d" k) mid out
+      (2e-9 +. Random.State.float st 18e-9);
+    Netlist.add_c b (Printf.sprintf "c%d" k) out "0"
+      (0.5e-12 +. Random.State.float st 4.5e-12);
+    prev := out
+  done;
+  let out = Netlist.node b !prev in
+  (Netlist.freeze b, out)
 
 let random_rc_mesh ?(seed = 43) ~n ~extra () =
   if n < 2 then invalid_arg "Samples.random_rc_mesh: need n >= 2";

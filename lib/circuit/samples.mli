@@ -66,11 +66,46 @@ val fig8 : unit -> Netlist.circuit
     steady-state solution is explicit (Section 4.2). *)
 
 val random_rc_tree :
-  ?seed:int -> n:int -> unit -> Netlist.circuit * Element.node
+  ?seed:int ->
+  ?wave:Element.waveform ->
+  ?ic_frac:float ->
+  n:int ->
+  unit ->
+  Netlist.circuit * Element.node
 (** A random [n]-capacitor RC tree driven by a 1 V step, for property
     tests and scaling benchmarks; returns the circuit and a leaf
     observation node.  Resistances are 50-2000 Ohm, capacitances
-    1-500 fF. *)
+    1-500 fF.  [wave] replaces the driving waveform; [ic_frac]
+    (default 0) gives each capacitor that probability of carrying a
+    random nonequilibrium initial voltage in [-2.5, 2.5] V (the
+    Section 5.2 charge-sharing configuration).  With the defaults the
+    random stream is unchanged, so a given [seed] builds the same
+    circuit it always has. *)
+
+val random_coupled_tree :
+  ?seed:int ->
+  ?wave:Element.waveform ->
+  n:int ->
+  couplings:int ->
+  unit ->
+  Netlist.circuit * Element.node
+(** A random RC tree plus [couplings] floating coupling capacitors in
+    the Fig. 22 pattern: each either bridges two driven tree nodes or
+    hangs a capacitively loaded victim node off an aggressor — a
+    DC-floating group resolved by charge conservation (Section 3.1).
+    The observation node is a victim when one exists (chosen by the
+    seeded stream), otherwise the tree leaf. *)
+
+val random_rlc_ladder :
+  ?seed:int ->
+  ?wave:Element.waveform ->
+  sections:int ->
+  unit ->
+  Netlist.circuit * Element.node
+(** A random series-R/series-L/shunt-C ladder in the Fig. 25 value
+    regime (tens of ohms, nanohenries, picofarads): underdamped complex
+    pole pairs, strictly stable.  Returns the circuit and the final
+    section's output node. *)
 
 val random_rc_mesh :
   ?seed:int -> n:int -> extra:int -> unit -> Netlist.circuit * Element.node

@@ -156,9 +156,17 @@ val error_estimate :
   node:Circuit.Element.node ->
   q:int ->
   float
-(** The paper's error term for order [q]: relative L2 distance between
-    the order-[q] and order-[q+1] base transients (Section 3.4), as a
-    fraction. *)
+(** The paper's error term for order [q] (Section 3.4), as a
+    fraction.  For break-free (step/DC) excitations this is the exact
+    closed-form relative L2 distance between the order-[q] and
+    order-[q+1] base transients — the paper's arithmetic.  When the
+    excitation has slope breaks (ramp/PWL), the two assembled
+    response {e models} are compared on a time grid instead, because
+    (a) the base transient can be identically zero there, making its
+    self-distance blind to kernel error, and (b) the superposition of
+    large-slope shifted kernel copies amplifies per-kernel error
+    through cancellation.  The grid comparison is still pure
+    reduced-model evaluation — no circuit integration. *)
 
 val auto :
   ?options:options ->

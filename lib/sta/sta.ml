@@ -6,7 +6,13 @@ type cell = {
 }
 
 let cell ~name ~drive_res ~input_cap ~intrinsic =
-  if drive_res <= 0. || input_cap < 0. || intrinsic < 0. then
+  (* negated comparisons so NaN values are rejected too *)
+  if
+    not
+      (Float.is_finite drive_res && drive_res > 0.
+      && Float.is_finite input_cap && input_cap >= 0.
+      && Float.is_finite intrinsic && intrinsic >= 0.)
+  then
     invalid_arg
       "Sta.cell: drive_res must be positive, input_cap and intrinsic \
        non-negative";
@@ -41,8 +47,9 @@ exception Malformed of string
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
 let create ?(vdd = 5.) ?(threshold = 0.5) () =
-  if vdd <= 0. then invalid_arg "Sta.create: vdd must be positive";
-  if threshold <= 0. || threshold >= 1. then
+  if not (Float.is_finite vdd && vdd > 0.) then
+    invalid_arg "Sta.create: vdd must be positive";
+  if not (threshold > 0. && threshold < 1.) then
     invalid_arg "Sta.create: threshold must be in (0, 1)";
   { vdd;
     threshold;
@@ -62,9 +69,10 @@ let add_net (d : design) ~name ~segments =
 
 let add_primary_input (d : design) ~net ?(arrival = 0.) ?(slew = 0.) () =
   if Hashtbl.mem d.pis net then malformed "duplicate primary input %s" net;
-  if arrival < 0. then
+  if not (Float.is_finite arrival && arrival >= 0.) then
     malformed "primary input %s: arrival must be non-negative" net;
-  if slew < 0. then malformed "primary input %s: slew must be non-negative" net;
+  if not (Float.is_finite slew && slew >= 0.) then
+    malformed "primary input %s: slew must be non-negative" net;
   Hashtbl.replace d.pis net { pi_arrival = arrival; pi_slew = slew }
 
 let add_primary_output (d : design) ~net =
@@ -401,13 +409,24 @@ module Design_file = struct
       |> List.mapi (fun i l -> (i + 1, String.trim l))
       |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '*')
     in
-    (* first pass: header values *)
+    (* first pass: header values, validated where they appear so a bad
+       vdd/threshold reports its own line instead of [create] raising
+       after the pass *)
     let vdd = ref 5. and threshold = ref 0.5 in
     List.iter
       (fun (ln, l) ->
         match tokens_of l with
-        | [ "vdd"; v ] -> vdd := value_exn ln v
-        | [ "threshold"; v ] -> threshold := value_exn ln v
+        | [ "vdd"; v ] ->
+          let x = value_exn ln v in
+          if not (Float.is_finite x && x > 0.) then
+            fail ln "vdd must be positive";
+          vdd := x
+        | [ "threshold"; v ] ->
+          let x = value_exn ln v in
+          if not (x > 0. && x < 1.) then fail ln "threshold must be in (0, 1)";
+          threshold := x
+        | "vdd" :: _ -> fail ln "vdd expects one value"
+        | "threshold" :: _ -> fail ln "threshold expects one value"
         | _ -> ())
       lines;
     let d = create ~vdd:!vdd ~threshold:!threshold () in
@@ -458,10 +477,12 @@ module Design_file = struct
               (fun g ->
                 match g with
                 | [ from_; to_; r; c ] ->
-                  { seg_from = from_;
-                    seg_to = to_;
-                    res = value_exn ln r;
-                    cap = value_exn ln c }
+                  let res = value_exn ln r and cap = value_exn ln c in
+                  if not (Float.is_finite res && res > 0.) then
+                    fail ln "segment resistance must be positive";
+                  if not (Float.is_finite cap && cap >= 0.) then
+                    fail ln "segment capacitance must be non-negative";
+                  { seg_from = from_; seg_to = to_; res; cap }
                 | _ -> fail ln "net segment needs <from> <to> <r> <c>")
               groups
           in

@@ -1,0 +1,104 @@
+(* Seeded random verification cases.
+
+   Each case is one circuit drawn from the generator families of
+   Circuit.Samples — RC trees, meshes, coupled/floating-cap circuits,
+   underdamped RLC ladders — combined with a random excitation (ideal
+   step, finite-rise ramp, piecewise-linear staircase, nonzero 0-
+   level) and, for one family, nonequilibrium initial conditions on a
+   random subset of capacitors (the paper's Section 5.2
+   configuration).  Everything derives deterministically from [seed]:
+   the same seed always builds the same circuit, waveform, and
+   observation node, so a failure report is a complete reproduction
+   recipe. *)
+
+type case = {
+  seed : int;
+  label : string;  (** generator family and sizes, for reports *)
+  circuit : Circuit.Netlist.circuit;
+  node : Circuit.Element.node;  (** the observed output *)
+}
+
+(* Excitation time scales sit in the generators' natural regime:
+   50-2000 Ohm against 1-500 fF gives sub-ns Elmore delays, and the
+   RLC ladders ring at ~sqrt(LC) ~ 0.1-0.2 ns, so transitions of
+   20 ps - 2 ns exercise both the ideal-step limit and rise times
+   comparable to the circuit's own response. *)
+let random_wave st =
+  let amp () =
+    let sign = if Random.State.bool st then 1. else -1. in
+    sign *. (0.5 +. Random.State.float st 4.5)
+  in
+  match Random.State.int st 5 with
+  | 0 -> Circuit.Element.Step { v0 = 0.; v1 = amp () }
+  | 1 ->
+    (* nonzero pre level: the 0- operating point differs from rest *)
+    Circuit.Element.Step { v0 = amp (); v1 = amp () }
+  | 2 ->
+    Circuit.Element.Ramp
+      { v0 = 0.;
+        v1 = amp ();
+        t_delay = Random.State.float st 0.5e-9;
+        t_rise = 20e-12 +. Random.State.float st 2e-9 }
+  | 3 ->
+    Circuit.Element.Ramp
+      { v0 = amp ();
+        v1 = amp ();
+        t_delay = 0.;
+        t_rise = 50e-12 +. Random.State.float st 1e-9 }
+  | _ ->
+    (* a staircase: constant 0 before the first point, then a few
+       random levels joined by linear pieces *)
+    let t = ref 0. and pts = ref [ (0., 0.) ] in
+    let k = 2 + Random.State.int st 3 in
+    for _ = 1 to k do
+      t := !t +. (50e-12 +. Random.State.float st 1e-9);
+      pts := (!t, amp ()) :: !pts
+    done;
+    Circuit.Element.Pwl (List.rev !pts)
+
+let random_case ~seed =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let wave = random_wave st in
+  (* sub-seed for the structural generator, decorrelated from [seed]
+     steps of 1 so neighbouring seeds differ structurally too *)
+  let sub = (seed * 7) + 13 in
+  match Random.State.int st 5 with
+  | 0 ->
+    let n = 2 + Random.State.int st 10 in
+    let circuit, node = Circuit.Samples.random_rc_tree ~seed:sub ~wave ~n () in
+    { seed; label = Printf.sprintf "rc_tree[n=%d]" n; circuit; node }
+  | 1 ->
+    let n = 2 + Random.State.int st 8 in
+    let ic_frac = 0.3 +. Random.State.float st 0.6 in
+    let circuit, node =
+      Circuit.Samples.random_rc_tree ~seed:sub ~wave ~ic_frac ~n ()
+    in
+    { seed;
+      label = Printf.sprintf "rc_tree_ic[n=%d,f=%.2f]" n ic_frac;
+      circuit;
+      node }
+  | 2 ->
+    let n = 3 + Random.State.int st 8 in
+    let extra = 1 + Random.State.int st 3 in
+    let circuit, node = Circuit.Samples.random_rc_mesh ~seed:sub ~n ~extra () in
+    { seed; label = Printf.sprintf "rc_mesh[n=%d,x=%d]" n extra; circuit; node }
+  | 3 ->
+    let n = 3 + Random.State.int st 7 in
+    let couplings = 1 + Random.State.int st 3 in
+    let circuit, node =
+      Circuit.Samples.random_coupled_tree ~seed:sub ~wave ~n ~couplings ()
+    in
+    { seed;
+      label = Printf.sprintf "coupled[n=%d,k=%d]" n couplings;
+      circuit;
+      node }
+  | _ ->
+    let sections = 1 + Random.State.int st 3 in
+    let circuit, node =
+      Circuit.Samples.random_rlc_ladder ~seed:sub ~wave ~sections ()
+    in
+    { seed; label = Printf.sprintf "rlc[s=%d]" sections; circuit; node }
+
+let pp ppf c =
+  Format.fprintf ppf "case %d: %s, observing %s" c.seed c.label
+    (Circuit.Netlist.node_name c.circuit c.node)

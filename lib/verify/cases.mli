@@ -1,0 +1,24 @@
+(** Seeded random verification cases: one circuit + excitation +
+    observation node per seed, drawn from the generator families of
+    {!Circuit.Samples} (RC trees with and without nonequilibrium
+    initial conditions, RC meshes, floating-coupling-cap circuits,
+    underdamped RLC ladders) with random step/ramp/PWL excitations.
+    Fully deterministic in [seed]. *)
+
+type case = {
+  seed : int;
+  label : string;  (** generator family and sizes, for reports *)
+  circuit : Circuit.Netlist.circuit;
+  node : Circuit.Element.node;  (** the observed output *)
+}
+
+val random_wave : Random.State.t -> Circuit.Element.waveform
+(** A random excitation: ideal step (possibly from a nonzero 0-
+    level), finite-rise ramp, or piecewise-linear staircase, with
+    transition times in the generators' natural sub-ns regime. *)
+
+val random_case : seed:int -> case
+(** The case for [seed]; the same seed always reproduces the same
+    circuit, waveform, and observation node. *)
+
+val pp : Format.formatter -> case -> unit

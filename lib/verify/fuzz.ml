@@ -1,0 +1,230 @@
+(* Parser fuzzing: the [.sp] deck parser and the [.sta] design-file
+   parser must either parse their input or raise their own
+   [Parse_error] with a line attribution — no other exception may
+   escape, whatever the input.
+
+   Inputs mix three strategies: token-soup lines built from a
+   vocabulary of plausible names, nodes, malformed values (nan, inf,
+   overflow exponents, suffix typos) and waveform fragments; raw
+   printable garbage; and single-character mutations of a known-valid
+   deck (which exercises the deep, almost-correct paths a pure random
+   generator never reaches).  qcheck shrinking reduces any escaping
+   input to a minimal reproduction, which the driver writes out as a
+   [decks/repro_*.sp] regression deck. *)
+
+open QCheck2
+
+(* --- classification ------------------------------------------------ *)
+
+let sp_escapes src =
+  match Circuit.Parser.parse_string src with
+  | _ -> None
+  | exception Circuit.Parser.Parse_error _ -> None
+  | exception e -> Some e
+
+let sta_escapes src =
+  match Sta.Design_file.parse_string src with
+  | _ -> None
+  | exception Sta.Design_file.Parse_error _ -> None
+  | exception e -> Some e
+
+(* --- generators ---------------------------------------------------- *)
+
+let g_name =
+  Gen.oneofl
+    [ "r1"; "R1"; "c1"; "cc"; "l1"; "v1"; "VIN"; "i1"; "e1"; "g1"; "h1";
+      "f1"; "k1"; "kx"; "q1"; "x7"; "zz"; "r"; "v" ]
+
+let g_node =
+  Gen.oneofl [ "0"; "1"; "2"; "n1"; "n2"; "n99"; "in"; "out"; "gnd"; "a"; "" ]
+
+let g_value =
+  Gen.oneofl
+    [ "1k"; "100"; "0.5"; "1e-12"; "2.2meg"; "4u"; "100nF"; "-5"; "0";
+      "nan"; "NaN"; "inf"; "-inf"; "1e999"; "-1e999"; "1e-999"; "abc";
+      "1..2"; "-"; "+"; "1k5"; "3p"; "9e18"; "0x10"; "1_000"; "ic=nan";
+      "ic=2" ]
+
+let g_wave =
+  Gen.oneofl
+    [ "5"; "dc 5"; "dc nan"; "step(0 5)"; "step(0"; "step()"; "STEP(0 inf)";
+      "ramp(0 5 0 1n)"; "ramp(0 5 -1n 1n)"; "ramp(0 5 0 0)";
+      "ramp(0 5 0 nan)"; "pwl(0 0 1n 5)"; "pwl(0 0 0 5 1n 3)"; "pwl(1)";
+      "pwl()"; "pwl(0 0 1n nan)"; "foo(1 2)"; "step 0 5" ]
+
+let g_directive =
+  Gen.oneofl
+    [ ".tran 1u 100"; ".tran"; ".tran nan 10"; ".tran 1u 1e99";
+      ".tran 0 10"; ".tran 1u 0"; ".awe out"; ".awe out 4"; ".awe out 99";
+      ".awe"; ".awe out nan"; ".ic v(n1)=2"; ".ic v()=1"; ".ic v(n1)=nan";
+      ".ic v(n1)="; ".ic"; ".ic x=2"; ".end"; ".op"; ".print tran v(1)" ]
+
+(* a token-soup line: 1-7 tokens drawn from every vocabulary *)
+let g_soup_line =
+  let g_tok = Gen.oneof [ g_name; g_node; g_value; g_wave; g_directive ] in
+  Gen.(map (String.concat " ") (list_size (1 -- 7) g_tok))
+
+(* an element-shaped line: name, two nodes, then value-ish tail *)
+let g_element_line =
+  Gen.(
+    map
+      (fun (n, (a, b), v) -> Printf.sprintf "%s %s %s %s" n a b v)
+      (triple g_name (pair g_node g_node) (oneof [ g_value; g_wave ])))
+
+let g_garbage_line =
+  Gen.(
+    string_size ~gen:
+      (oneofl
+         [ 'a'; 'r'; 'v'; '('; ')'; '='; '.'; '*'; '+'; ';'; '\t'; ' ';
+           '0'; '1'; '-'; 'e'; 'n'; 'k'; ','; '"' ])
+      (0 -- 40))
+
+let base_sp_deck =
+  "* fig4-style deck\n\
+   v1 in 0 step(0 5)\n\
+   r1 in n1 1k\n\
+   c1 n1 0 0.1u ic=1.5\n\
+   r2 n1 n2 1k\n\
+   c2 n2 0 0.1u\n\
+   l1 n2 n3 1m\n\
+   c3 n3 0 0.1u\n\
+   .ic v(n2)=0.5\n\
+   .tran 5m 200\n\
+   .awe n3 3\n\
+   .end\n"
+
+(* single-character mutations of a valid deck: replace, insert, or
+   delete at a random position *)
+let g_mutated base =
+  let len = String.length base in
+  Gen.(
+    let* pos = 0 -- (len - 1) in
+    let* op = 0 -- 2 in
+    let* c =
+      oneofl [ 'x'; '0'; '('; ')'; '='; '.'; '\n'; ' '; '-'; 'n'; 'k' ]
+    in
+    pure
+      (match op with
+      | 0 -> String.mapi (fun i old -> if i = pos then c else old) base
+      | 1 ->
+        String.sub base 0 pos ^ String.make 1 c
+        ^ String.sub base pos (len - pos)
+      | _ -> String.sub base 0 pos ^ String.sub base (pos + 1) (len - pos - 1)))
+
+let sp_gen =
+  let g_lines =
+    Gen.(
+      map (String.concat "\n")
+        (list_size (0 -- 12)
+           (frequency
+              [ (3, g_element_line); (3, g_soup_line); (2, g_directive);
+                (1, g_garbage_line); (1, pure "+ 1k 2k");
+                (1, pure "* comment") ])))
+  in
+  Gen.(
+    frequency
+      [ (3, g_lines); (2, g_mutated base_sp_deck); (1, g_garbage_line) ])
+
+(* --- .sta design files --------------------------------------------- *)
+
+let g_sta_card =
+  Gen.oneofl
+    [ "vdd 5"; "vdd nan"; "vdd -1"; "vdd"; "vdd 5 5"; "threshold 0.5";
+      "threshold 1.5"; "threshold nan"; "threshold"; "cell inv 1k 10f 50p";
+      "cell inv nan 10f 50p"; "cell inv 1k"; "cell"; "gate u1 inv y a";
+      "gate u1 nosuch y a"; "gate u1 inv y"; "gate"; "net y drv u1 1k 100f";
+      "net y drv u1 1k 100f ; u1 w2 2k 50f"; "net y drv u1 nan 100f";
+      "net y drv u1 1k"; "net y ;"; "net"; "input a"; "input a arrival=1n";
+      "input a arrival=nan"; "input a slew=-1"; "input a bogus=1"; "input";
+      "output y"; "output"; "* comment" ]
+
+let base_sta_deck =
+  "* two-stage chain\n\
+   vdd 5\n\
+   threshold 0.5\n\
+   cell inv 500 20f 50p\n\
+   cell buf 200 40f 80p\n\
+   gate u1 inv net_mid net_in\n\
+   gate u2 buf net_out net_mid\n\
+   net net_in drv u1 100 30f\n\
+   net net_mid drv w1 200 50f ; w1 u2 150 40f\n\
+   net net_out drv end 300 60f\n\
+   input net_in\n\
+   output net_out\n"
+
+let sta_gen =
+  let g_soup =
+    let g_tok =
+      Gen.oneof [ g_sta_card; g_name; g_node; g_value ]
+    in
+    Gen.(map (String.concat " ") (list_size (1 -- 6) g_tok))
+  in
+  let g_lines =
+    Gen.(
+      map (String.concat "\n")
+        (list_size (0 -- 12)
+           (frequency [ (4, g_sta_card); (2, g_soup); (1, g_garbage_line) ])))
+  in
+  Gen.(
+    frequency
+      [ (3, g_lines); (2, g_mutated base_sta_deck); (1, g_garbage_line) ])
+
+(* --- qcheck tests -------------------------------------------------- *)
+
+let escape_message = function
+  | None -> true
+  | Some e ->
+    (* the counterexample printer shows the input; the message names
+       the escaping exception *)
+    ignore (Printexc.to_string e);
+    false
+
+let sp_test ~count =
+  Test.make ~name:"fuzz .sp parser: parse or Parse_error" ~count
+    ~print:(fun s -> s)
+    sp_gen
+    (fun src -> escape_message (sp_escapes src))
+
+let sta_test ~count =
+  Test.make ~name:"fuzz .sta parser: parse or Parse_error" ~count
+    ~print:(fun s -> s)
+    sta_gen
+    (fun src -> escape_message (sta_escapes src))
+
+(* --- driver entry -------------------------------------------------- *)
+
+type failure = {
+  parser : string;  (** ".sp" or ".sta" *)
+  input : string;  (** the shrunk escaping input *)
+  exn_text : string;  (** the escaping exception *)
+}
+
+let shrunk_failure ~parser escapes (cell_input : string) =
+  let exn_text =
+    match escapes cell_input with
+    | Some e -> Printexc.to_string e
+    | None -> "(not reproduced on the shrunk input)"
+  in
+  { parser; input = cell_input; exn_text }
+
+(* QCheck2's [Test_fail] carries the printed (shrunk) counterexamples;
+   with [~print:Fun.id] those are the deck texts themselves. *)
+let run_test ~rand ~parser ~escapes test =
+  match Test.check_exn ~rand test with
+  | () -> []
+  | exception Test.Test_fail (_, args) ->
+    List.map (shrunk_failure ~parser escapes) args
+  | exception Test.Test_error (_, arg, e, _) ->
+    [ { parser; input = arg; exn_text = Printexc.to_string e } ]
+
+let run ~seed ~count =
+  let failures = ref [] in
+  let check ~parser ~escapes test =
+    (* a fresh generator per parser keeps the two sweeps independent
+       of each other's draw counts *)
+    let rand = Random.State.make [| seed; Hashtbl.hash parser |] in
+    failures := !failures @ run_test ~rand ~parser ~escapes test
+  in
+  check ~parser:".sp" ~escapes:sp_escapes (sp_test ~count);
+  check ~parser:".sta" ~escapes:sta_escapes (sta_test ~count);
+  !failures

@@ -1,0 +1,33 @@
+(** Parser fuzzing: whatever the input, {!Circuit.Parser} and
+    {!Sta.Design_file} must either parse it or raise their own
+    [Parse_error] — no other exception may escape.  Inputs mix
+    token-soup lines from a vocabulary of plausible and malformed
+    fragments, raw garbage, and single-character mutations of valid
+    decks; qcheck shrinking reduces escaping inputs to minimal
+    reproductions. *)
+
+val sp_escapes : string -> exn option
+(** [None] when the [.sp] parser parses or raises [Parse_error];
+    [Some e] when any other exception [e] escapes. *)
+
+val sta_escapes : string -> exn option
+(** Same contract for the [.sta] design-file parser. *)
+
+val sp_gen : string QCheck2.Gen.t
+
+val sta_gen : string QCheck2.Gen.t
+
+val sp_test : count:int -> QCheck2.Test.t
+
+val sta_test : count:int -> QCheck2.Test.t
+
+type failure = {
+  parser : string;  (** ".sp" or ".sta" *)
+  input : string;  (** the shrunk escaping input *)
+  exn_text : string;  (** the escaping exception *)
+}
+
+val run : seed:int -> count:int -> failure list
+(** Run both fuzzers for [count] inputs each with a deterministic
+    generator seeded by [seed]; returns the shrunk failures (empty
+    when the parse-or-clean-error invariant held throughout). *)

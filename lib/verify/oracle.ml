@@ -1,0 +1,185 @@
+(* The differential oracle: AWE against the in-repo transient
+   simulator.
+
+   For each case the adaptive-order AWE response ([Awe.auto], the
+   paper's Section 3.3-3.4 policy) is compared against a
+   variable-step trapezoidal integration of the same MNA system
+   ([Transient.simulate_adaptive]) over a horizon of the excitation's
+   last slope break plus several dominant time constants.  Three
+   checks per case:
+
+   - waveform agreement, as L2 error normalized by the transient part
+     of the reference (the paper's eq. 35 error term; normalizing by
+     the full waveform would let a large DC level mask transient
+     disagreement);
+   - final-value agreement: [Awe.steady_state] is exact by moment-0
+     matching, so it must land on the simulator's settled value;
+   - error-estimate sanity: the q-vs-(q+1) estimate returned by
+     [auto] must bound the measured error up to a documented slack
+     factor.  The estimate is a self-consistency measure, not a
+     guaranteed bound (THEORY.md, verification section), hence
+     [est_slack] and the [est_floor] absolute floor. *)
+
+type tol = {
+  rel_l2 : float;  (** max transient-normalized L2 error *)
+  final_frac : float;  (** max final-value error / response scale *)
+  est_slack : float;  (** measured <= est_slack * max(est, est_floor) *)
+  est_floor : float;
+  sim_tol : float;  (** oracle LTE tolerance per step *)
+}
+
+(* [rel_l2 = 0.15]: the q-vs-(q+1) estimate that drives [Awe.auto] is
+   self-referential — when a fast mode is weakly observable in the DC
+   moments, the q and (q+1) fits miss it the same way and their
+   distance stays under the 0.02 escalation tolerance while the true
+   error does not.  Over large seed sweeps the worst such excess
+   measured ~0.12 (the pinned regression deck
+   decks/regress_est_blindspot.sp reproduces one); 0.15 passes the
+   honest cases and still fails anything structurally wrong, whose
+   errors measure well above 0.3.  Rationale in THEORY.md
+   (verification methodology). *)
+let default_tol =
+  { rel_l2 = 0.15;
+    final_frac = 0.02;
+    est_slack = 10.;
+    est_floor = 0.02;
+    sim_tol = 1e-5 }
+
+type outcome = {
+  case : Cases.case;
+  q : int;  (** chosen approximation order (0 when AWE failed) *)
+  est : float;  (** AWE's own q-vs-(q+1) error estimate *)
+  measured : float;  (** transient-normalized L2 error vs the oracle *)
+  max_abs : float;  (** max pointwise error, volts *)
+  final_awe : float;
+  final_sim : float;
+  t_stop : float;
+  oracle_points : int;  (** accepted adaptive-simulation points *)
+  failures : string list;  (** empty means the case passed *)
+}
+
+let passed o = o.failures = []
+
+(* every pole of the response, across all components: the base
+   transient is empty for ramp/PWL excitations of a circuit at rest,
+   so [Awe.poles] (base only) would miss the dynamics entirely *)
+let response_poles (a : Awe.t) =
+  List.concat_map
+    (fun (c : Awe.Approx.component) ->
+      Awe.Approx.transient_poles c.Awe.Approx.transient)
+    a.Awe.response
+
+(* the horizon: the excitation's last slope break plus a settle
+   allowance of dominant time constants *)
+let horizon circuit poles =
+  let wave_end =
+    Array.fold_left
+      (fun acc e ->
+        match e with
+        | Circuit.Element.Vsource { wave; _ } | Circuit.Element.Isource { wave; _ }
+          ->
+          let c = Circuit.Element.canonicalize wave in
+          List.fold_left (fun acc (t, _) -> Float.max acc t) acc c.breaks
+        | _ -> acc)
+      0. circuit.Circuit.Netlist.elements
+  in
+  let tau =
+    List.fold_left
+      (fun acc p -> Float.max acc (1. /. Float.max (Float.abs p.Linalg.Cx.re) 1e-30))
+      0. poles
+  in
+  wave_end +. (8. *. Float.max tau 1e-12)
+
+let shift_by off (w : Waveform.t) =
+  Waveform.create w.Waveform.times
+    (Array.map (fun v -> v -. off) w.Waveform.values)
+
+let failed case msg =
+  { case;
+    q = 0;
+    est = Float.nan;
+    measured = Float.nan;
+    max_abs = Float.nan;
+    final_awe = Float.nan;
+    final_sim = Float.nan;
+    t_stop = 0.;
+    oracle_points = 0;
+    failures = [ msg ] }
+
+let check ?(tol = default_tol) (case : Cases.case) =
+  let sys = Circuit.Mna.build case.circuit in
+  match Awe.auto sys ~node:case.node with
+  | exception Awe.Degenerate msg ->
+    failed case (Printf.sprintf "awe degenerate: %s" msg)
+  | exception Awe.Unstable_fit _ ->
+    failed case "awe unstable at every order up to q_max"
+  | exception Circuit.Mna.Singular_dc -> failed case "singular dc system"
+  | a, est ->
+    let t_stop = horizon case.circuit (response_poles a) in
+    let sim =
+      Transim.Transient.simulate_adaptive ~tol:tol.sim_tol sys ~t_stop
+    in
+    let sim_w = Transim.Transient.node_waveform sim case.node in
+    let awe_w =
+      Waveform.create sim_w.Waveform.times
+        (Array.map (Awe.eval a) sim_w.Waveform.times)
+    in
+    let final_sim = Waveform.final_value sim_w in
+    let final_awe =
+      match Awe.steady_state a with
+      | v -> v
+      | exception Invalid_argument _ -> Awe.eval a t_stop
+    in
+    let scale =
+      Array.fold_left
+        (fun acc v -> Float.max acc (Float.abs v))
+        1e-9 sim_w.Waveform.values
+    in
+    let vrange =
+      let lo, hi =
+        Array.fold_left
+          (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+          (infinity, neg_infinity) sim_w.Waveform.values
+      in
+      hi -. lo
+    in
+    let max_abs = Waveform.max_abs_error sim_w awe_w in
+    let transient_norm = Waveform.l2_norm (shift_by final_sim sim_w) in
+    let measured =
+      if transient_norm > 1e-6 *. scale *. sqrt t_stop then
+        Waveform.l2_error sim_w awe_w /. transient_norm
+      else
+        (* an (almost) flat response: fall back to pointwise error
+           against the level *)
+        max_abs /. scale
+    in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    if not (measured <= tol.rel_l2) then
+      fail "waveform disagrees: rel L2 %.4g > %.4g" measured tol.rel_l2;
+    let final_err = Float.abs (final_awe -. final_sim) in
+    if not (final_err <= tol.final_frac *. Float.max vrange scale) then
+      fail "final value disagrees: awe %.6g vs sim %.6g" final_awe final_sim;
+    if not (measured <= tol.est_slack *. Float.max est tol.est_floor) then
+      fail "error estimate %.4g does not cover measured %.4g (slack %.1f)" est
+        measured tol.est_slack;
+    { case;
+      q = a.Awe.q;
+      est;
+      measured;
+      max_abs;
+      final_awe;
+      final_sim;
+      t_stop;
+      oracle_points = Array.length sim.Transim.Transient.times;
+      failures = List.rev !failures }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v2>%a: %s@," Cases.pp o.case
+    (if passed o then "ok" else "FAIL");
+  Format.fprintf ppf "q=%d est=%.4g measured=%.4g max|e|=%.4g@," o.q o.est
+    o.measured o.max_abs;
+  Format.fprintf ppf "final awe=%.6g sim=%.6g t_stop=%.3g pts=%d" o.final_awe
+    o.final_sim o.t_stop o.oracle_points;
+  List.iter (fun m -> Format.fprintf ppf "@,%s" m) o.failures;
+  Format.fprintf ppf "@]"

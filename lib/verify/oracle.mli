@@ -1,0 +1,43 @@
+(** The differential oracle: the adaptive-order AWE response of a
+    random case checked against a variable-step trapezoidal
+    integration of the same MNA system.
+
+    Three checks per case: waveform agreement (L2 error normalized by
+    the {e transient part} of the reference — the paper's eq. 35 error
+    term), final-value agreement ({!Awe.steady_state} is exact by
+    moment-0 matching), and error-estimate sanity (the q-vs-(q+1)
+    estimate must cover the measured error up to a documented slack,
+    since it is a self-consistency measure rather than a guaranteed
+    bound — see THEORY.md). *)
+
+type tol = {
+  rel_l2 : float;  (** max transient-normalized L2 error *)
+  final_frac : float;  (** max final-value error / response scale *)
+  est_slack : float;  (** measured <= est_slack * max(est, est_floor) *)
+  est_floor : float;
+  sim_tol : float;  (** oracle LTE tolerance per step *)
+}
+
+val default_tol : tol
+
+type outcome = {
+  case : Cases.case;
+  q : int;  (** chosen approximation order (0 when AWE failed) *)
+  est : float;  (** AWE's own q-vs-(q+1) error estimate *)
+  measured : float;  (** transient-normalized L2 error vs the oracle *)
+  max_abs : float;  (** max pointwise error, volts *)
+  final_awe : float;
+  final_sim : float;
+  t_stop : float;
+  oracle_points : int;  (** accepted adaptive-simulation points *)
+  failures : string list;  (** empty means the case passed *)
+}
+
+val passed : outcome -> bool
+
+val check : ?tol:tol -> Cases.case -> outcome
+(** Run the oracle on one case.  AWE failures (degenerate at every
+    order, unstable at every order, singular DC) are reported as
+    outcome failures, never raised. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

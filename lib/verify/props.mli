@@ -1,0 +1,43 @@
+(** Metamorphic properties of the AWE pipeline: invariances a correct
+    implementation must satisfy without knowing the exact answer.
+    Each property is a deterministic [seed -> unit] check raising
+    [Failure] with a diagnostic on violation. *)
+
+val linearity : seed:int -> unit
+(** Scaling the input amplitude scales the response and leaves the
+    poles untouched. *)
+
+val superposition : seed:int -> unit
+(** The response to two simultaneous sources equals the sum of the
+    single-source responses: exactly (to rounding) on the trapezoidal
+    simulator, loosely on the reduced models (each carries its own
+    truncation error). *)
+
+val moment_scaling : seed:int -> unit
+(** The eq. 47 frequency scaling of the moments is a conditioning
+    transform only: fits with and without it agree at orders where
+    both are stable. *)
+
+val time_scaling : seed:int -> unit
+(** Multiplying every capacitance by [beta] divides every pole by
+    [beta] and stretches the response in time by [beta]. *)
+
+val batch_parity : seed:int -> unit
+(** {!Awe.Batch.approximate_all} over all nodes equals per-node
+    {!Awe.approximate}, including which nodes fail. *)
+
+val sta_parity : seed:int -> unit
+(** The STA net timer's batched sink delays and slews on a random
+    fanout net equal a per-sink rebuild of the same stage circuit. *)
+
+val cauchy_dominates : seed:int -> unit
+(** {!Awe.Error_est.cauchy_bound} dominates
+    {!Awe.Error_est.relative_error} against the same (q+1)-pole
+    reference. *)
+
+val all : (string * (seed:int -> unit)) list
+(** Every property with its report name. *)
+
+val tests : count:int -> QCheck2.Test.t list
+(** The properties as qcheck tests over random seeds ([count] trials
+    each), for the alcotest suite. *)

@@ -1,0 +1,165 @@
+(* Differential verification harness — the library root.
+
+   [run] drives the three layers against a seeded configuration:
+
+   1. oracle: random circuits (Cases) checked AWE-vs-simulator
+      (Oracle.check), one case per seed in [seed .. seed+count-1];
+   2. properties: every metamorphic property in Props.all over
+      [prop_count] derived seeds;
+   3. fuzzing: both parser fuzzers for [fuzz_count] inputs.
+
+   Failures never raise out of [run]; they accumulate into the report
+   so a sweep always completes and reports everything at once.  Fuzz
+   failures are additionally written as [repro_*.sp] / [repro_*.sta]
+   decks under [repro_dir] when one is configured. *)
+
+module Cases = Cases
+module Oracle = Oracle
+module Props = Props
+module Fuzz = Fuzz
+
+type config = {
+  seed : int;
+  count : int;  (** oracle cases *)
+  prop_count : int;  (** seeds per metamorphic property *)
+  fuzz_count : int;  (** fuzz inputs per parser *)
+  tol : Oracle.tol;
+  repro_dir : string option;  (** where to write shrunk fuzz decks *)
+}
+
+let default_config =
+  { seed = 42;
+    count = 200;
+    prop_count = 60;
+    fuzz_count = 1000;
+    tol = Oracle.default_tol;
+    repro_dir = None }
+
+type prop_failure = {
+  prop : string;
+  prop_seed : int;
+  message : string;
+}
+
+type report = {
+  config : config;
+  oracle_run : int;
+  oracle_failures : Oracle.outcome list;
+  worst_measured : float;  (** largest oracle rel-L2 error observed *)
+  worst_case : Cases.case option;
+  prop_run : int;
+  prop_failures : prop_failure list;
+  fuzz_run : int;
+  fuzz_failures : Fuzz.failure list;
+  repro_files : string list;  (** decks written for fuzz failures *)
+}
+
+let passed r =
+  r.oracle_failures = [] && r.prop_failures = [] && r.fuzz_failures = []
+
+let write_repros ~dir failures =
+  if failures = [] then []
+  else begin
+    (match Sys.is_directory dir with
+    | true -> ()
+    | false -> failwith (dir ^ " is not a directory")
+    | exception Sys_error _ -> Sys.mkdir dir 0o755);
+    List.mapi
+      (fun i (f : Fuzz.failure) ->
+        let ext = if f.Fuzz.parser = ".sta" then "sta" else "sp" in
+        let path = Filename.concat dir (Printf.sprintf "repro_%d.%s" i ext) in
+        let oc = open_out path in
+        Printf.fprintf oc "* escaping exception: %s\n%s\n" f.Fuzz.exn_text
+          f.Fuzz.input;
+        close_out oc;
+        path)
+      failures
+  end
+
+let run ?(progress = fun _ -> ()) config =
+  (* layer 1: the differential oracle over random circuits *)
+  let oracle_failures = ref [] in
+  let worst = ref (neg_infinity, None) in
+  for i = 0 to config.count - 1 do
+    let case = Cases.random_case ~seed:(config.seed + i) in
+    let o = Oracle.check ~tol:config.tol case in
+    if Float.is_finite o.Oracle.measured && o.Oracle.measured > fst !worst then
+      worst := (o.Oracle.measured, Some case);
+    if not (Oracle.passed o) then oracle_failures := o :: !oracle_failures;
+    if (i + 1) mod 50 = 0 then
+      progress
+        (Printf.sprintf "oracle: %d/%d cases, %d failures" (i + 1)
+           config.count
+           (List.length !oracle_failures))
+  done;
+  (* layer 2: metamorphic properties *)
+  let prop_failures = ref [] in
+  let prop_run = ref 0 in
+  List.iter
+    (fun (name, prop) ->
+      for j = 0 to config.prop_count - 1 do
+        incr prop_run;
+        let prop_seed = config.seed + j in
+        match prop ~seed:prop_seed with
+        | () -> ()
+        | exception e ->
+          prop_failures :=
+            { prop = name; prop_seed; message = Printexc.to_string e }
+            :: !prop_failures
+      done;
+      progress (Printf.sprintf "prop %s: %d seeds" name config.prop_count))
+    Props.all;
+  (* layer 3: parser fuzzing *)
+  let fuzz_failures = Fuzz.run ~seed:config.seed ~count:config.fuzz_count in
+  progress
+    (Printf.sprintf "fuzz: %d inputs per parser, %d escapes"
+       config.fuzz_count
+       (List.length fuzz_failures));
+  let repro_files =
+    match config.repro_dir with
+    | Some dir -> write_repros ~dir fuzz_failures
+    | None -> []
+  in
+  let worst_measured, worst_case = !worst in
+  { config;
+    oracle_run = config.count;
+    oracle_failures = List.rev !oracle_failures;
+    worst_measured =
+      (if Float.is_finite worst_measured then worst_measured else 0.);
+    worst_case;
+    prop_run = !prop_run;
+    prop_failures = List.rev !prop_failures;
+    fuzz_run = 2 * config.fuzz_count;
+    fuzz_failures;
+    repro_files }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>verification sweep (seed %d)@," r.config.seed;
+  Format.fprintf ppf "oracle:     %d cases, %d failures" r.oracle_run
+    (List.length r.oracle_failures);
+  (match r.worst_case with
+  | Some c when r.oracle_failures = [] ->
+    Format.fprintf ppf " (worst rel L2 %.4g on %s)" r.worst_measured c.Cases.label
+  | _ -> ());
+  Format.fprintf ppf "@,properties: %d runs, %d failures" r.prop_run
+    (List.length r.prop_failures);
+  Format.fprintf ppf "@,fuzzing:    %d inputs, %d escapes" r.fuzz_run
+    (List.length r.fuzz_failures);
+  List.iter
+    (fun o -> Format.fprintf ppf "@,@,%a" Oracle.pp_outcome o)
+    r.oracle_failures;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,@,property %s failed at seed %d:@,  %s" f.prop
+        f.prop_seed f.message)
+    r.prop_failures;
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Format.fprintf ppf "@,@,%s parser escape: %s@,input:@,%s" f.Fuzz.parser
+        f.Fuzz.exn_text f.Fuzz.input)
+    r.fuzz_failures;
+  List.iter
+    (fun p -> Format.fprintf ppf "@,repro deck written: %s" p)
+    r.repro_files;
+  Format.fprintf ppf "@,%s@]"
+    (if passed r then "VERIFY PASS" else "VERIFY FAIL")

@@ -1,0 +1,62 @@
+(** Differential verification harness: random-circuit oracles,
+    metamorphic properties, and parser fuzzing.
+
+    Three layers, all deterministic in one seed:
+
+    + {!Oracle}: random circuits from {!Cases} checked against the
+      in-repo transient simulator — waveform agreement, final-value
+      agreement, error-estimate sanity;
+    + {!Props}: metamorphic invariances (linearity, superposition,
+      scaling rules, batch/STA parity, the Cauchy bound);
+    + {!Fuzz}: the [.sp] and [.sta] parsers must parse or raise their
+      own [Parse_error], never anything else.
+
+    [run] drives all three and accumulates failures into a {!report}
+    instead of raising, so one sweep reports everything at once. *)
+
+module Cases = Cases
+module Oracle = Oracle
+module Props = Props
+module Fuzz = Fuzz
+
+type config = {
+  seed : int;
+  count : int;  (** oracle cases *)
+  prop_count : int;  (** seeds per metamorphic property *)
+  fuzz_count : int;  (** fuzz inputs per parser *)
+  tol : Oracle.tol;
+  repro_dir : string option;  (** where to write shrunk fuzz decks *)
+}
+
+val default_config : config
+(** seed 42, 200 oracle cases, 60 seeds per property, 1000 fuzz
+    inputs per parser, {!Oracle.default_tol}, no repro directory. *)
+
+type prop_failure = {
+  prop : string;
+  prop_seed : int;
+  message : string;
+}
+
+type report = {
+  config : config;
+  oracle_run : int;
+  oracle_failures : Oracle.outcome list;
+  worst_measured : float;  (** largest oracle rel-L2 error observed *)
+  worst_case : Cases.case option;
+  prop_run : int;
+  prop_failures : prop_failure list;
+  fuzz_run : int;
+  fuzz_failures : Fuzz.failure list;
+  repro_files : string list;  (** decks written for fuzz failures *)
+}
+
+val passed : report -> bool
+
+val run : ?progress:(string -> unit) -> config -> report
+(** Run the full sweep.  [progress] receives one-line status messages
+    as layers advance (default: silent).  Failures accumulate in the
+    report; [run] itself only raises on I/O errors writing repro
+    decks. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -368,6 +368,24 @@ let test_cauchy_bound_dominates_exact () =
     (Printf.sprintf "bound %g >= exact %g" bound exact_err)
     true (bound >= exact_err -. 1e-12)
 
+let test_cauchy_repeated_pole_fallback () =
+  (* a confluent (repeated-pole) chain has no simple-pole pairing, so
+     the bound must fall back to the exact relative error — on either
+     side of the comparison — instead of mispairing or failing *)
+  let confluent =
+    [ { Awe.Approx.pole = Linalg.Cx.re (-1.);
+        coeffs = [| Linalg.Cx.re 5.; Linalg.Cx.re 2. |] };
+      term (-10.) 1. ]
+  in
+  let simple = [ term (-1.2) 5.4; term (-9.) 1.1 ] in
+  check_close ~tol:1e-15 "fallback (repeated exact)"
+    (Awe.Error_est.relative_error ~exact:confluent simple)
+    (Awe.Error_est.cauchy_bound ~exact:confluent simple);
+  let exact = [ term (-1.) 5.; term (-10.) 1. ] in
+  check_close ~tol:1e-15 "fallback (repeated approx)"
+    (Awe.Error_est.relative_error ~exact confluent)
+    (Awe.Error_est.cauchy_bound ~exact confluent)
+
 let test_error_est_rejects_unstable () =
   match Awe.Error_est.l2_norm_sq [ term 1. 1. ] with
   | _ -> Alcotest.fail "expected rejection"
@@ -717,6 +735,66 @@ let prop_moments_match_tree_link =
         (fun a b ->
           Float.abs (a -. b) <= 1e-7 *. Float.max 1e-30 (Float.abs a))
         mu_e mu_t)
+
+let prop_tree_link_eq56_on_random_trees =
+  QCheck2.Test.make
+    ~name:"tree/link w_1 is the Elmore vector on random trees (eq. 56)"
+    ~count:25
+    QCheck2.Gen.(int_range 2 25)
+    (fun n ->
+      let ckt, _ = Samples.random_rc_tree ~seed:(53 * n) ~n () in
+      let tl = Awe.Tree_link.prepare ckt in
+      let w1 = Awe.Tree_link.moment_vector tl ~k:1 in
+      let tds = Awe.Elmore.delays ckt in
+      (* the sample trees drive a unit step, so w_1(i) = 1 * T_D(i) *)
+      Array.for_all2
+        (fun td w ->
+          td <= 0. || Float.abs (w -. td) <= 1e-9 *. Float.max 1e-30 td)
+        tds w1)
+
+let prop_two_pole_tracks_sim_on_random_trees =
+  QCheck2.Test.make
+    ~name:"two-pole baseline tracks simulation on random RC trees"
+    ~count:20
+    QCheck2.Gen.(int_range 2 10)
+    (fun n ->
+      let ckt, leaf = Samples.random_rc_tree ~seed:(101 * n) ~n () in
+      let sys = Mna.build ckt in
+      match Awe.Two_pole.fit sys ~node:leaf with
+      | exception Awe.Two_pole.Not_applicable _ ->
+        (* outside the Chu/Horowitz model's scope — the situation the
+           paper motivates AWE with; not a fit failure *)
+        true
+      | tp ->
+        tp.Awe.Two_pole.p1 < 0.
+        && tp.Awe.Two_pole.p2 < 0.
+        && Float.abs (tp.Awe.Two_pole.v_final -. 1.) <= 1e-6
+        &&
+        let t_stop = 10. *. Awe.Elmore.delay ckt leaf in
+        let wex = simulate_node sys leaf ~t_stop ~steps:4000 in
+        (match (Awe.Two_pole.delay_50pct tp, Waveform.delay_50pct wex) with
+        | Some d1, Some d2 -> Float.abs (d1 -. d2) <= 0.1 *. d2
+        | _ -> false))
+
+let prop_cauchy_bound_dominates_on_random_trees =
+  QCheck2.Test.make
+    ~name:"Cauchy pairing bound dominates the exact error on random trees"
+    ~count:25
+    QCheck2.Gen.(int_range 3 15)
+    (fun n ->
+      let ckt, leaf = Samples.random_rc_tree ~seed:(211 * n) ~n () in
+      let sys = Mna.build ckt in
+      let engine = Awe.Engine.create sys in
+      let a, _ = Awe.Engine.auto engine ~node:leaf in
+      match Awe.Engine.approximate engine ~node:leaf ~q:(a.Awe.q + 1) with
+      | exception (Awe.Degenerate _ | Awe.Unstable_fit _) -> true
+      | a1 ->
+        let exact = a1.Awe.base in
+        let err = Awe.Error_est.relative_error ~exact a.Awe.base in
+        let bound = Awe.Error_est.cauchy_bound ~exact a.Awe.base in
+        (* below rounding noise both quantities compare two numerically
+           identical models *)
+        err <= 1e-6 || bound >= err *. (1. -. 1e-6))
 
 let prop_sparse_moments_match_dense =
   QCheck2.Test.make ~name:"sparse moment path equals dense path" ~count:20
@@ -1247,6 +1325,8 @@ let () =
             test_l2_distance_analytic;
           Alcotest.test_case "complex pair norm" `Quick
             test_l2_complex_pair_norm;
+          Alcotest.test_case "cauchy repeated-pole fallback" `Quick
+            test_cauchy_repeated_pole_fallback;
           Alcotest.test_case "ordering" `Quick
             test_relative_error_orders_correctly;
           Alcotest.test_case "cauchy dominates" `Quick
@@ -1344,5 +1424,8 @@ let () =
             prop_delay_monotone_in_load;
             prop_final_value_exact;
             prop_moments_match_tree_link;
+            prop_tree_link_eq56_on_random_trees;
+            prop_two_pole_tracks_sim_on_random_trees;
+            prop_cauchy_bound_dominates_on_random_trees;
             prop_sparse_moments_match_dense;
             prop_waveform_matches_sim ] ) ]
