@@ -14,6 +14,28 @@ let read_deck path =
     Printf.eprintf "%s\n" msg;
     exit 2
 
+let read_design path =
+  match Sta.Design_file.parse_file path with
+  | d -> d
+  | exception Sta.Design_file.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+(* refuse to run a solve that static analysis proves (or strongly
+   predicts) will fail: print the offending diagnostics and stop
+   before any factorization *)
+let lint_gate path diags =
+  match Lint.gate ~strict:false diags with
+  | Ok () -> ()
+  | Error offending ->
+    Format.eprintf "%s: lint found blocking problems:@.%a@." path
+      Lint.Diagnostic.pp_list offending;
+    Format.eprintf "(run `awesim lint %s` for the full report)@." path;
+    exit 1
+
 let resolve_node deck node_opt =
   let circuit = deck.Circuit.Parser.circuit in
   let from_directive () =
@@ -121,9 +143,71 @@ let pp_pole ppf (p : Linalg.Cx.t) =
 
 (* ------------------------------------------------------------------ *)
 
+(* which checker a file gets: .sta designs get the design checks,
+   anything else parses as a SPICE-style deck *)
+let is_design path = Filename.check_suffix (String.lowercase_ascii path) ".sta"
+
+let lint_file path =
+  if is_design path then Lint.check_design (read_design path)
+  else
+    match Circuit.Parser.parse_file path with
+    | deck -> Lint.check_circuit deck.Circuit.Parser.circuit
+    | exception Circuit.Parser.Parse_error (line, msg) -> (
+      (* value complaints are lint findings, not syntax errors *)
+      match Lint.diagnostic_of_parse_error ~line msg with
+      | Some d -> [ d ]
+      | None ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 2)
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let cmd_lint paths strict json quiet =
+  let failed = ref false in
+  let results =
+    List.map
+      (fun path ->
+        let diags = lint_file path in
+        (match Lint.gate ~strict diags with
+        | Ok () -> ()
+        | Error _ -> failed := true);
+        (path, diags))
+      paths
+  in
+  if json then begin
+    let objects =
+      List.map
+        (fun (path, diags) ->
+          Lint.Diagnostic.list_to_json ~file:path diags)
+        results
+    in
+    match objects with
+    | [ one ] -> print_endline one
+    | many -> Printf.printf "[%s]\n" (String.concat ", " many)
+  end
+  else
+    List.iter
+      (fun (path, diags) ->
+        let shown =
+          if quiet then
+            List.filter
+              (fun d ->
+                Lint.Diagnostic.effective_severity ~strict d
+                = Lint.Diagnostic.Error)
+              diags
+          else diags
+        in
+        match shown with
+        | [] -> Format.printf "%s: clean@." path
+        | ds -> Format.printf "%s:@.%a@." path Lint.Diagnostic.pp_list ds)
+      results;
+  if !failed then exit 1
+
 let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
     threshold shift sparse stats =
   let deck = read_deck deck_path in
+  lint_gate deck_path (Lint.check_circuit deck.Circuit.Parser.circuit);
   let name, node = resolve_node deck node_opt in
   let stats_before = Awe.Stats.snapshot () in
   let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
@@ -259,16 +343,8 @@ let cmd_moments deck_path node_opt count =
       (-.(mu.(1) /. mu.(0)))
 
 let cmd_timing design_path model sparse stats =
-  let design =
-    match Sta.Design_file.parse_file design_path with
-    | d -> d
-    | exception Sta.Design_file.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" design_path line msg;
-      exit 2
-    | exception Sys_error msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 2
-  in
+  let design = read_design design_path in
+  lint_gate design_path (Lint.check_design design);
   let model =
     match String.lowercase_ascii model with
     | "elmore" -> Sta.Elmore_model
@@ -399,6 +475,36 @@ let timing_t =
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg)
 
+let lint_t =
+  let paths =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"SPICE-style decks, or timing designs (.sta).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Treat warnings as errors (the CI gate mode).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable diagnostics on stdout.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Only print blocking diagnostics.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically predict singular solves and degenerate AWE models \
+          from the parsed deck, before any factorization")
+    Term.(const cmd_lint $ paths $ strict $ json $ quiet)
+
 let verify_t =
   let seed =
     Arg.(
@@ -450,8 +556,15 @@ let verify_t =
 
 let () =
   let doc = "asymptotic waveform evaluation for timing analysis" in
+  let group =
+    Cmd.group (Cmd.info "awesim" ~version:"1.0.0" ~doc)
+      [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t; lint_t;
+        verify_t ]
+  in
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "awesim" ~version:"1.0.0" ~doc)
-          [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t;
-            verify_t ]))
+    (try Cmd.eval group with
+    (* lint-clean decks can still be numerically singular for one
+       specific value assignment; keep the typed message, not a trace *)
+    | Circuit.Mna.Singular_dc msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1)

@@ -1,0 +1,8 @@
+* AWE-W002: node 3 is a dead-end resistor terminal — no current flows,
+* the node voltage merely copies node 2
+v1 1 0 dc 1
+r1 1 2 1k
+c1 2 0 1p
+r2 2 3 1k
+.awe v(2)
+.end

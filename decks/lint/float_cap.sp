@@ -1,0 +1,10 @@
+* AWE-I001 control deck: nodes 2-3 float at DC but a capacitor bridges
+* the group, so charge conservation resolves the steady state — this
+* deck must lint clean (info only), even under --strict
+v1 1 0 dc 1
+r1 1 0 1k
+r2 2 3 1k
+c2 2 0 1p
+c3 3 0 1p
+.awe v(2)
+.end

@@ -1,0 +1,8 @@
+* AWE-E003 (and AWE-E007): nodes 2-3 have no DC path to ground and no
+* bridging capacitance, so the charge-conservation row is empty
+v1 1 0 dc 1
+r1 1 0 1k
+r2 2 3 1k
+c3 2 3 1p
+.awe v(1)
+.end

@@ -1,0 +1,9 @@
+* AWE-E005: two parallel inductors close an inductor loop — the DC
+* circulating current is undetermined (repeated pole at s = 0)
+v1 1 0 dc 1
+r1 1 2 1k
+l1 2 0 1u
+l2 2 0 1u
+c1 2 0 1p
+.awe v(2)
+.end

@@ -1,0 +1,9 @@
+* AWE-E004: a current source drives the DC-floating group {2, 3} — the
+* injected charge has no return path
+v1 1 0 dc 1
+r1 1 0 1k
+i1 0 2 dc 1m
+r2 2 3 1k
+c2 2 0 1p
+.awe v(2)
+.end

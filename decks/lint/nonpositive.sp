@@ -1,0 +1,7 @@
+* AWE-E001: zero-valued resistor (caught at deck validation, reported
+* by lint under its registry code)
+v1 1 0 dc 1
+r1 1 2 0
+c1 2 0 1p
+.awe v(2)
+.end

@@ -1,0 +1,9 @@
+* AWE-W003: node time constants 11 decades apart — moment ratios
+* overflow double precision despite eq. 47 frequency scaling
+v1 1 0 dc 1
+r1 1 2 1k
+c2 2 0 100u
+r3 2 3 1k
+c3 3 0 1f
+.awe v(3)
+.end

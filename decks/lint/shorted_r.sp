@@ -1,0 +1,7 @@
+* AWE-W001: resistor with both terminals on one node stamps nothing
+v1 1 0 dc 1
+r1 1 2 1k
+r2 2 2 1k
+c1 2 0 1p
+.awe v(2)
+.end

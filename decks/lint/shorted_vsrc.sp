@@ -1,0 +1,8 @@
+* AWE-E002 (and AWE-E007): voltage source shorted onto one node — its
+* branch equation is structurally empty, LU must fail
+v1 1 0 dc 1
+r1 1 2 1k
+c1 2 0 1p
+v2 2 2 dc 0
+.awe v(2)
+.end

@@ -1,0 +1,8 @@
+* AWE-E006: two voltage sources in parallel form a zero-resistance
+* loop — their branch rows are linearly dependent for every value
+v1 1 0 dc 1
+v2 1 0 dc 2
+r1 1 2 1k
+c1 2 0 1p
+.awe v(2)
+.end

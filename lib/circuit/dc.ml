@@ -152,7 +152,7 @@ let initial m =
   (* a capacitor initial condition can contradict the DC inductor short
      (e.g. a charged LC tank); fall back to UIC semantics where
      unspecified inductor currents start at zero *)
-  try attempt ~uic:false with Mna.Singular_dc -> attempt ~uic:true
+  try attempt ~uic:false with Mna.Singular_dc _ -> attempt ~uic:true
 
 let at_zero_plus m (op0 : op) =
   let ckt = Mna.circuit m in

@@ -230,9 +230,13 @@ let build ?(floating = `Charge_rows) (ckt : Netlist.circuit) =
                   (match
                      ckt.Netlist.elements.(src_elems.(col))
                    with
-                  | Element.Isource _ when Matrix.get bm v col <> 0. ->
+                  | Element.Isource { name; _ }
+                    when Matrix.get bm v col <> 0. ->
                     invalid_arg
-                      "Mna: current source drives a floating node group"
+                      (Printf.sprintf
+                         "Mna: current source %s drives the floating node \
+                          group at %s"
+                         name ckt.Netlist.node_names.(node))
                   | _ -> ())
                 done)
             group;
@@ -272,7 +276,31 @@ let build ?(floating = `Charge_rows) (ckt : Netlist.circuit) =
 (* ------------------------------------------------------------------ *)
 (* DC solves with floating-row replacement *)
 
-exception Singular_dc
+exception Singular_dc of string
+
+(* human-readable name of unknown [v]: the node voltages come first,
+   then one branch current per voltage-defined element *)
+let describe_var m v =
+  if v < 0 || v >= m.n then Printf.sprintf "unknown #%d" v
+  else begin
+    let found = ref None in
+    Array.iteri
+      (fun node var -> if var = v && !found = None then found := Some node)
+      m.node_var;
+    match !found with
+    | Some node ->
+      Printf.sprintf "node %s" m.circuit.Netlist.node_names.(node)
+    | None ->
+      let elem = ref None in
+      Array.iteri
+        (fun idx var -> if var = v && !elem = None then elem := Some idx)
+        m.branch_var;
+      (match !elem with
+      | Some idx ->
+        Printf.sprintf "branch current of %s"
+          (Element.name m.circuit.Netlist.elements.(idx))
+      | None -> Printf.sprintf "unknown #%d" v)
+  end
 
 type dc_solver = {
   sys : t;
@@ -290,14 +318,21 @@ let augmented_g m =
     m.charge_rows;
   ga
 
+let singular_dc m v =
+  raise
+    (Singular_dc
+       (Printf.sprintf
+          "DC conductance matrix is singular at %s (no unique DC solution)"
+          (describe_var m v)))
+
 let dc_factor ?(sparse = false) m =
   let ga = augmented_g m in
   let solver =
     if sparse then
       try `Sparse (Sparse.Slu.factor (Sparse.Csr.of_dense ga))
-      with Sparse.Slu.Singular _ -> raise Singular_dc
+      with Sparse.Slu.Singular v -> singular_dc m v
     else
-      try `Dense (Lu.factor ga) with Lu.Singular _ -> raise Singular_dc
+      try `Dense (Lu.factor ga) with Lu.Singular v -> singular_dc m v
   in
   { sys = m; solver }
 

@@ -81,16 +81,29 @@ val charge_coeffs : t -> int -> Linalg.Vec.t
 val charges_of : t -> Linalg.Vec.t -> float array
 (** Conserved charge of each group evaluated on a state vector. *)
 
+val describe_var : t -> int -> string
+(** Human-readable name of unknown index [v] — ["node n3"] for a node
+    voltage, ["branch current of L2"] for a voltage-defined element's
+    current — used to map sparse-layer pivot failures back to the
+    circuit. *)
+
+val augmented_g : t -> Linalg.Matrix.t
+(** The matrix [dc_factor] actually factors: [G] with each floating
+    group's designated KCL row replaced by its charge (or pin) row.
+    Exposed so the lint layer can run a structural-rank check on the
+    very pattern whose factorization it is predicting. *)
+
 type dc_solver
 (** A reusable factorization of [G] with the floating-group rows
     replaced (charge rows in [`Charge_rows] mode, pin rows in
     [`Pin_to_zero] mode) — the single LU factorization that the moment
     recursion reuses for every moment (paper, Section 3.2). *)
 
-exception Singular_dc
+exception Singular_dc of string
 (** The (augmented) conductance matrix is singular: the circuit has no
     unique DC solution even after floating-group treatment (e.g. a
-    cutset of current sources). *)
+    cutset of current sources).  The message names the offending
+    unknown via {!describe_var}. *)
 
 val dc_factor : ?sparse:bool -> t -> dc_solver
 (** Factor the augmented [G].  [sparse] (default [false]) selects the

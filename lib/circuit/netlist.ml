@@ -2,13 +2,14 @@ type builder = {
   mutable names : string list; (* reversed list of interned names *)
   tbl : (string, int) Hashtbl.t;
   mutable next : int;
-  mutable elems : Element.t list; (* reversed *)
+  mutable elems : (Element.t * int) list; (* reversed, with source lines *)
 }
 
 type circuit = {
   node_count : int;
   elements : Element.t array;
   node_names : string array;
+  element_lines : int array;
 }
 
 let normalize_node_name s =
@@ -36,25 +37,30 @@ let node b raw =
     b.next <- id + 1;
     id
 
-let add b e = b.elems <- e :: b.elems
+(* [line] is the defining source line in the deck the element came
+   from, when there is one; 0 means "no location" (programmatic
+   construction) *)
+let add ?(line = 0) b e = b.elems <- (e, line) :: b.elems
 
-let add_r b name np nn r =
-  add b (Element.Resistor { name; np = node b np; nn = node b nn; r })
+let add_r ?line b name np nn r =
+  add ?line b (Element.Resistor { name; np = node b np; nn = node b nn; r })
 
-let add_c ?ic b name np nn c =
-  add b (Element.Capacitor { name; np = node b np; nn = node b nn; c; ic })
+let add_c ?ic ?line b name np nn c =
+  add ?line b
+    (Element.Capacitor { name; np = node b np; nn = node b nn; c; ic })
 
-let add_l ?ic b name np nn l =
-  add b (Element.Inductor { name; np = node b np; nn = node b nn; l; ic })
+let add_l ?ic ?line b name np nn l =
+  add ?line b
+    (Element.Inductor { name; np = node b np; nn = node b nn; l; ic })
 
-let add_v b name np nn wave =
-  add b (Element.Vsource { name; np = node b np; nn = node b nn; wave })
+let add_v ?line b name np nn wave =
+  add ?line b (Element.Vsource { name; np = node b np; nn = node b nn; wave })
 
-let add_i b name np nn wave =
-  add b (Element.Isource { name; np = node b np; nn = node b nn; wave })
+let add_i ?line b name np nn wave =
+  add ?line b (Element.Isource { name; np = node b np; nn = node b nn; wave })
 
-let add_vcvs b name np nn cp cn gain =
-  add b
+let add_vcvs ?line b name np nn cp cn gain =
+  add ?line b
     (Element.Vcvs
        { name;
          np = node b np;
@@ -63,8 +69,8 @@ let add_vcvs b name np nn cp cn gain =
          cn = node b cn;
          gain })
 
-let add_vccs b name np nn cp cn gm =
-  add b
+let add_vccs ?line b name np nn cp cn gm =
+  add ?line b
     (Element.Vccs
        { name;
          np = node b np;
@@ -73,13 +79,14 @@ let add_vccs b name np nn cp cn gm =
          cn = node b cn;
          gm })
 
-let add_ccvs b name np nn vctrl r =
-  add b (Element.Ccvs { name; np = node b np; nn = node b nn; vctrl; r })
+let add_ccvs ?line b name np nn vctrl r =
+  add ?line b (Element.Ccvs { name; np = node b np; nn = node b nn; vctrl; r })
 
-let add_cccs b name np nn vctrl gain =
-  add b (Element.Cccs { name; np = node b np; nn = node b nn; vctrl; gain })
+let add_cccs ?line b name np nn vctrl gain =
+  add ?line b
+    (Element.Cccs { name; np = node b np; nn = node b nn; vctrl; gain })
 
-let add_k b name l1 l2 k = add b (Element.Mutual { name; l1; l2; k })
+let add_k ?line b name l1 l2 k = add ?line b (Element.Mutual { name; l1; l2; k })
 
 let check_value ~what name v =
   if not (Float.is_finite v) then
@@ -97,7 +104,9 @@ let check_ic ~what name ic =
   | _ -> ()
 
 let freeze b =
-  let elements = Array.of_list (List.rev b.elems) in
+  let tagged = Array.of_list (List.rev b.elems) in
+  let elements = Array.map fst tagged in
+  let element_lines = Array.map snd tagged in
   if Array.length elements = 0 then invalid_arg "Netlist: empty circuit";
   let seen = Hashtbl.create 16 in
   let vsource_names = Hashtbl.create 8 in
@@ -157,9 +166,16 @@ let freeze b =
     elements;
   { node_count = b.next;
     elements;
-    node_names = Array.of_list (List.rev b.names) }
+    node_names = Array.of_list (List.rev b.names);
+    element_lines }
 
 let node_name c n = c.node_names.(n)
+
+let element_line c idx =
+  if idx < 0 || idx >= Array.length c.element_lines then None
+  else
+    let ln = c.element_lines.(idx) in
+    if ln > 0 then Some ln else None
 
 let find_node c name =
   let key = normalize_node_name name in

@@ -11,6 +11,10 @@ type circuit = {
   node_count : int;  (** nodes are [0 .. node_count - 1]; 0 is ground *)
   elements : Element.t array;
   node_names : string array;  (** canonical name per node id *)
+  element_lines : int array;
+      (** per-element defining source line in the originating deck
+          ([0] when the element was built programmatically); use
+          {!element_line} for option-typed access *)
 }
 
 val create : unit -> builder
@@ -20,38 +24,54 @@ val node : builder -> string -> Element.node
 
 val node_name : circuit -> Element.node -> string
 
+val element_line : circuit -> int -> int option
+(** Deck line of element [idx], when it came from a parsed deck. *)
+
 val find_node : circuit -> string -> Element.node option
 
 val find_element : circuit -> string -> Element.t option
 (** Case-insensitive element lookup by name. *)
 
-val add : builder -> Element.t -> unit
-(** Add a fully constructed element; rarely needed directly. *)
+val add : ?line:int -> builder -> Element.t -> unit
+(** Add a fully constructed element; rarely needed directly.  [line]
+    records the defining deck line for diagnostics. *)
 
-val add_r : builder -> string -> string -> string -> float -> unit
+val add_r : ?line:int -> builder -> string -> string -> string -> float -> unit
 (** [add_r b name np nn ohms] *)
 
-val add_c : ?ic:float -> builder -> string -> string -> string -> float -> unit
+val add_c :
+  ?ic:float -> ?line:int -> builder -> string -> string -> string -> float ->
+  unit
 
-val add_l : ?ic:float -> builder -> string -> string -> string -> float -> unit
+val add_l :
+  ?ic:float -> ?line:int -> builder -> string -> string -> string -> float ->
+  unit
 
-val add_v : builder -> string -> string -> string -> Element.waveform -> unit
+val add_v :
+  ?line:int -> builder -> string -> string -> string -> Element.waveform ->
+  unit
 
-val add_i : builder -> string -> string -> string -> Element.waveform -> unit
+val add_i :
+  ?line:int -> builder -> string -> string -> string -> Element.waveform ->
+  unit
 
 val add_vcvs :
+  ?line:int ->
   builder -> string -> string -> string -> string -> string -> float -> unit
 (** [add_vcvs b name np nn cp cn gain] *)
 
 val add_vccs :
+  ?line:int ->
   builder -> string -> string -> string -> string -> string -> float -> unit
 
-val add_ccvs : builder -> string -> string -> string -> string -> float -> unit
+val add_ccvs :
+  ?line:int -> builder -> string -> string -> string -> string -> float -> unit
 (** [add_ccvs b name np nn vctrl r] *)
 
-val add_cccs : builder -> string -> string -> string -> string -> float -> unit
+val add_cccs :
+  ?line:int -> builder -> string -> string -> string -> string -> float -> unit
 
-val add_k : builder -> string -> string -> string -> float -> unit
+val add_k : ?line:int -> builder -> string -> string -> string -> float -> unit
 (** [add_k b name l1 l2 k] couples two named inductors with mutual
     coefficient [0 < k < 1]. *)
 

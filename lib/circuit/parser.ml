@@ -323,7 +323,7 @@ let parse_string text =
         match rest with
         | [ np; nn; v ] ->
           ignore (declare line head);
-          Netlist.add_r b head np nn (positive_exn line ~what:"resistor" v)
+          Netlist.add_r ~line b head np nn (positive_exn line ~what:"resistor" v)
         | _ -> fail line "R card: R<name> <n+> <n-> <value>")
       | 'c' -> (
         let pos, params = split_params rest in
@@ -331,7 +331,7 @@ let parse_string text =
         | [ np; nn; v ] ->
           let ic = param_ic line params in
           ignore (declare line head);
-          Netlist.add_c ?ic b head np nn
+          Netlist.add_c ?ic ~line b head np nn
             (positive_exn line ~what:"capacitor" v)
         | _ -> fail line "C card: C<name> <n+> <n-> <value> [IC=v]")
       | 'l' -> (
@@ -340,7 +340,7 @@ let parse_string text =
         | [ np; nn; v ] ->
           let ic = param_ic line params in
           Hashtbl.replace inductor_names (declare line head) ();
-          Netlist.add_l ?ic b head np nn
+          Netlist.add_l ?ic ~line b head np nn
             (positive_exn line ~what:"inductor" v)
         | _ -> fail line "L card: L<name> <n+> <n-> <value> [IC=i]")
       | 'v' -> (
@@ -348,40 +348,40 @@ let parse_string text =
         | np :: nn :: wave when wave <> [] ->
           let wave = parse_waveform line wave in
           Hashtbl.replace vsource_names (declare line head) ();
-          Netlist.add_v b head np nn wave
+          Netlist.add_v ~line b head np nn wave
         | _ -> fail line "V card: V<name> <n+> <n-> <waveform>")
       | 'i' -> (
         match rest with
         | np :: nn :: wave when wave <> [] ->
           let wave = parse_waveform line wave in
           ignore (declare line head);
-          Netlist.add_i b head np nn wave
+          Netlist.add_i ~line b head np nn wave
         | _ -> fail line "I card: I<name> <n+> <n-> <waveform>")
       | 'e' -> (
         match rest with
         | [ np; nn; cp; cn; g ] ->
           ignore (declare line head);
-          Netlist.add_vcvs b head np nn cp cn (finite_exn line ~what:"gain" g)
+          Netlist.add_vcvs ~line b head np nn cp cn (finite_exn line ~what:"gain" g)
         | _ -> fail line "E card: E<name> <n+> <n-> <cp> <cn> <gain>")
       | 'g' -> (
         match rest with
         | [ np; nn; cp; cn; g ] ->
           ignore (declare line head);
-          Netlist.add_vccs b head np nn cp cn (finite_exn line ~what:"gm" g)
+          Netlist.add_vccs ~line b head np nn cp cn (finite_exn line ~what:"gm" g)
         | _ -> fail line "G card: G<name> <n+> <n-> <cp> <cn> <gm>")
       | 'h' -> (
         match rest with
         | [ np; nn; vsrc; r ] ->
           ignore (declare line head);
           cross_checks := (line, `Vsource vsrc) :: !cross_checks;
-          Netlist.add_ccvs b head np nn vsrc (finite_exn line ~what:"r" r)
+          Netlist.add_ccvs ~line b head np nn vsrc (finite_exn line ~what:"r" r)
         | _ -> fail line "H card: H<name> <n+> <n-> <vsrc> <r>")
       | 'f' -> (
         match rest with
         | [ np; nn; vsrc; g ] ->
           ignore (declare line head);
           cross_checks := (line, `Vsource vsrc) :: !cross_checks;
-          Netlist.add_cccs b head np nn vsrc (finite_exn line ~what:"gain" g)
+          Netlist.add_cccs ~line b head np nn vsrc (finite_exn line ~what:"gain" g)
         | _ -> fail line "F card: F<name> <n+> <n-> <vsrc> <gain>")
       | 'k' -> (
         match rest with
@@ -394,7 +394,7 @@ let parse_string text =
           ignore (declare line head);
           cross_checks :=
             (line, `Inductor l1) :: (line, `Inductor l2) :: !cross_checks;
-          Netlist.add_k b head l1 l2 kv
+          Netlist.add_k ~line b head l1 l2 kv
         | _ -> fail line "K card: K<name> <l1> <l2> <k>")
       | _ ->
         if is_first then title := Some text
@@ -457,8 +457,9 @@ let parse_string text =
           | None -> fail line ".ic references unknown node %S" name)
         ics;
       let nm node = raw_circuit.Netlist.node_names.(node) in
-      Array.iter
-        (fun e ->
+      Array.iteri
+        (fun idx e ->
+          let line = raw_circuit.Netlist.element_lines.(idx) in
           match e with
           | Element.Capacitor { name; np; nn; c; ic } ->
             let ic =
@@ -472,25 +473,25 @@ let parse_string text =
                     (Hashtbl.find_opt ic_for_node nn)
                 else None
             in
-            Netlist.add_c ?ic b2 name (nm np) (nm nn) c
+            Netlist.add_c ?ic ~line b2 name (nm np) (nm nn) c
           | Element.Resistor { name; np; nn; r } ->
-            Netlist.add_r b2 name (nm np) (nm nn) r
+            Netlist.add_r ~line b2 name (nm np) (nm nn) r
           | Element.Inductor { name; np; nn; l; ic } ->
-            Netlist.add_l ?ic b2 name (nm np) (nm nn) l
+            Netlist.add_l ?ic ~line b2 name (nm np) (nm nn) l
           | Element.Vsource { name; np; nn; wave } ->
-            Netlist.add_v b2 name (nm np) (nm nn) wave
+            Netlist.add_v ~line b2 name (nm np) (nm nn) wave
           | Element.Isource { name; np; nn; wave } ->
-            Netlist.add_i b2 name (nm np) (nm nn) wave
+            Netlist.add_i ~line b2 name (nm np) (nm nn) wave
           | Element.Vcvs { name; np; nn; cp; cn; gain } ->
-            Netlist.add_vcvs b2 name (nm np) (nm nn) (nm cp) (nm cn) gain
+            Netlist.add_vcvs ~line b2 name (nm np) (nm nn) (nm cp) (nm cn) gain
           | Element.Vccs { name; np; nn; cp; cn; gm } ->
-            Netlist.add_vccs b2 name (nm np) (nm nn) (nm cp) (nm cn) gm
+            Netlist.add_vccs ~line b2 name (nm np) (nm nn) (nm cp) (nm cn) gm
           | Element.Ccvs { name; np; nn; vctrl; r } ->
-            Netlist.add_ccvs b2 name (nm np) (nm nn) vctrl r
+            Netlist.add_ccvs ~line b2 name (nm np) (nm nn) vctrl r
           | Element.Cccs { name; np; nn; vctrl; gain } ->
-            Netlist.add_cccs b2 name (nm np) (nm nn) vctrl gain
+            Netlist.add_cccs ~line b2 name (nm np) (nm nn) vctrl gain
           | Element.Mutual { name; l1; l2; k } ->
-            Netlist.add_k b2 name l1 l2 k)
+            Netlist.add_k ~line b2 name l1 l2 k)
         raw_circuit.Netlist.elements;
       freeze_exn b2
   in

@@ -27,7 +27,13 @@ let make ?(sparse = false) ?(shift = 0.) sys =
       in
       match Lu.factor m with
       | f -> Shifted f
-      | exception Lu.Singular _ -> raise Circuit.Mna.Singular_dc
+      | exception Lu.Singular v ->
+        raise
+          (Circuit.Mna.Singular_dc
+             (Printf.sprintf
+                "shifted matrix G + s0 C is singular at %s (s0 on the \
+                 spectrum?)"
+                (Circuit.Mna.describe_var sys v)))
     end
   in
   { sys;

@@ -1,0 +1,54 @@
+(** Static circuit lint.
+
+    Predicts, from the parsed deck alone, the failures a solve would
+    hit only at factorization time (or never report cleanly at all):
+    singular DC systems, degenerate AWE models with poles at s = 0,
+    and numerically hopeless moment scalings.  No check here runs a
+    factorization or a solve.
+
+    The singularity prediction is two-tiered, because singularity is:
+
+    - {b structural} when the MNA sparsity pattern itself admits no
+      perfect row/column matching (a shorted V source, a floating
+      group with no bridging capacitance, a control-only node) — the
+      structural-rank check ({!Diagnostic.Structural_rank}) proves LU
+      failure for {e every} choice of element values; or
+    - {b numerical} when the pattern is full structural rank but the
+      rows are linearly dependent for every value choice (a loop of
+      voltage sources, a loop of inductors) — only the topological
+      checks can see these.
+
+    The union of both tiers is what the lint gate relies on: a deck
+    with no lint errors must not raise [Sparse.Slu.Singular] or
+    [Circuit.Mna.Singular_dc] when analyzed. *)
+
+module Diagnostic = Diagnostic
+(** Re-exported so clients of the library's main module can write
+    [Lint.Diagnostic.pp_list]. *)
+
+val check_circuit : Circuit.Netlist.circuit -> Diagnostic.t list
+(** All circuit-level checks, in deterministic order: element values,
+    self-loops, DC-floating groups (with the paper's Section 3.1
+    charge-conservation classification), inductor and V-source loops,
+    dangling nodes, structural rank of the augmented MNA pattern, and
+    the eq. 47 time-constant-spread heuristic.  Never raises on a
+    frozen circuit. *)
+
+val check_design : Sta.design -> Diagnostic.t list
+(** All design-level checks for [.sta] timing designs: unknown nets,
+    undriven nets, sinks with no attachment segment, sinks not
+    connected to the driver pin, and combinational cycles. *)
+
+val diagnostic_of_parse_error : line:int -> string -> Diagnostic.t option
+(** Classify a [Circuit.Parser.Parse_error] message: element-value
+    complaints (zero/negative/non-finite R, C, L, out-of-range
+    coupling) become a {!Diagnostic.Nonpositive_value} diagnostic;
+    anything else ([None]) is a genuine syntax error the caller should
+    report as such. *)
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+
+val gate : strict:bool -> Diagnostic.t list -> (unit, Diagnostic.t list) result
+(** The go/no-go decision: [Error ds] lists the diagnostics whose
+    {!Diagnostic.effective_severity} is [Error] ([strict] promotes
+    warnings). *)

@@ -1,0 +1,65 @@
+(* Maximum bipartite matching on the nonzero pattern of a sparse
+   matrix (rows on one side, columns on the other, an edge per stored
+   entry), by Kuhn's augmenting-path algorithm.  O(rows * nnz) worst
+   case — plenty for circuit-sized systems, and the DFS tends to
+   terminate immediately on the nearly triangular patterns MNA
+   produces.
+
+   The size of the maximum matching is the structural (generic) rank:
+   the largest rank the matrix can attain for any choice of its
+   nonzero values.  A deficiency is therefore a proof that LU
+   factorization fails *whatever the element values are* — the
+   predictor the lint layer runs before ever calling [Slu.factor]. *)
+
+type result = {
+  size : int;
+  row_of_col : int array; (* column -> matched row, or -1 *)
+  col_of_row : int array; (* row -> matched column, or -1 *)
+}
+
+let max_matching a =
+  let m = Csr.rows a and n = Csr.cols a in
+  let row_of_col = Array.make n (-1) in
+  let col_of_row = Array.make m (-1) in
+  let visited = Array.make n false in
+  (* find an augmenting path from row [i] *)
+  let rec try_row i =
+    let found = ref false in
+    Csr.row_iter a i (fun j _ ->
+        if (not !found) && not visited.(j) then begin
+          visited.(j) <- true;
+          if row_of_col.(j) < 0 || try_row row_of_col.(j) then begin
+            row_of_col.(j) <- i;
+            col_of_row.(i) <- j;
+            found := true
+          end
+        end);
+    !found
+  in
+  let size = ref 0 in
+  for i = 0 to m - 1 do
+    Array.fill visited 0 n false;
+    if try_row i then incr size
+  done;
+  { size = !size; row_of_col; col_of_row }
+
+let structural_rank a = (max_matching a).size
+
+let unmatched_rows a =
+  let r = max_matching a in
+  let acc = ref [] in
+  for i = Array.length r.col_of_row - 1 downto 0 do
+    if r.col_of_row.(i) < 0 then acc := i :: !acc
+  done;
+  !acc
+
+let unmatched_cols a =
+  let r = max_matching a in
+  let acc = ref [] in
+  for j = Array.length r.row_of_col - 1 downto 0 do
+    if r.row_of_col.(j) < 0 then acc := j :: !acc
+  done;
+  !acc
+
+let structurally_singular a =
+  Csr.rows a <> Csr.cols a || structural_rank a < Csr.rows a

@@ -1,0 +1,33 @@
+(** Maximum bipartite matching on a sparse nonzero pattern.
+
+    A perfect matching between the rows and columns of a square
+    pattern is a transversal: a way to place every pivot on a stored
+    entry.  Its maximum size is the {e structural rank} — an upper
+    bound on the numerical rank that depends only on the sparsity
+    structure.  When it falls short of the dimension, {!Slu.factor}
+    is guaranteed to hit an empty pivot column no matter what the
+    entry values are, so rank deficiency found here {e predicts} a
+    [Slu.Singular] outcome without performing any arithmetic. *)
+
+type result = {
+  size : int;  (** cardinality of the maximum matching *)
+  row_of_col : int array;  (** column -> matched row, or [-1] *)
+  col_of_row : int array;  (** row -> matched column, or [-1] *)
+}
+
+val max_matching : Csr.t -> result
+(** Kuhn's augmenting-path algorithm over the stored-entry bipartite
+    graph; [O(rows * nnz)] worst case. *)
+
+val structural_rank : Csr.t -> int
+
+val unmatched_rows : Csr.t -> int list
+(** Rows left unmatched by one maximum matching (a certificate of the
+    deficiency; which rows are reported may depend on row order). *)
+
+val unmatched_cols : Csr.t -> int list
+
+val structurally_singular : Csr.t -> bool
+(** [true] when the pattern admits no perfect matching (non-square or
+    structural rank below the dimension): every LU factorization of a
+    matrix with this pattern fails. *)

@@ -139,7 +139,10 @@ let factor a0 =
         end
       end
     done;
-    if !piv < 0 || !best = 0. then raise (Singular j);
+    (* report the failing unknown in ORIGINAL numbering: permuted
+       column [j] is original column [ord.(j)], which callers can map
+       back to a node or branch variable *)
+    if !piv < 0 || !best = 0. then raise (Singular ord.(j));
     let pivot_row = !piv in
     let pivot_val = x.(pivot_row) in
     pos_of_row.(pivot_row) <- j;

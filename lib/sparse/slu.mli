@@ -13,11 +13,16 @@ type t
 (** A factorization [P A = L U] of a square sparse matrix. *)
 
 exception Singular of int
-(** Raised with the failing column when no nonzero pivot exists. *)
+(** Raised when no nonzero pivot exists, carrying the failing column
+    in the {e original} (unpermuted) numbering — i.e. the index of the
+    unknown whose equation set is rank deficient, which MNA callers
+    map back to a node name or branch element. *)
 
 val factor : Csr.t -> t
 (** Factor a square CSR matrix.  Raises [Singular] on structural or
-    numerical rank deficiency. *)
+    numerical rank deficiency.  {!Matching.structurally_singular} on
+    the same pattern predicts the structural subset of these failures
+    without any arithmetic. *)
 
 val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [solve f b] returns [x] with [A x = b]. *)

@@ -99,6 +99,33 @@ type report = {
   stats : Awe.Stats.snapshot;
 }
 
+(* read-only structural views, for the lint layer *)
+type gate_view = {
+  gv_inst : string;
+  gv_cell : string;
+  gv_inputs : string list;
+  gv_output : string;
+}
+
+let gate_views (d : design) =
+  List.rev_map
+    (fun g ->
+      { gv_inst = g.inst;
+        gv_cell = g.cell.cell_name;
+        gv_inputs = g.inputs;
+        gv_output = g.output })
+    d.gates
+
+let net_names (d : design) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] |> List.sort compare
+
+let net_segments (d : design) net = Hashtbl.find_opt d.nets net
+
+let primary_input_nets (d : design) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) d.pis [] |> List.sort compare
+
+let primary_output_nets (d : design) = List.rev d.pos
+
 (* the sinks of a net are the gates listing it among their inputs *)
 let sinks_of (d : design) net = List.filter (fun g -> List.mem net g.inputs) d.gates
 
@@ -164,10 +191,11 @@ let net_sink_timings (d : design) ~model ~options ~net ~driver_res ~slew =
   let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
   if sink_nodes = [] then []
   else begin
-    Awe.Stats.record_mna_build ();
-    let sys = Circuit.Mna.build circuit in
-    let engine = Awe.Engine.create ~options sys in
-    match model with
+    try
+      Awe.Stats.record_mna_build ();
+      let sys = Circuit.Mna.build circuit in
+      let engine = Awe.Engine.create ~options sys in
+      match model with
     | Elmore_model ->
       let elmore = Awe.Batch.elmore_all ~engine sys in
       (* single-exponential threshold crossing plus half the input
@@ -224,6 +252,12 @@ let net_sink_timings (d : design) ~model ~options ~net ~driver_res ~slew =
           in
           (inst, delay, slew))
         sink_nodes
+    with
+    (* funnel sparse-layer singularities into the STA's own error
+       vocabulary: the stage circuit's node names are net-local, so the
+       message already points at the offending pin *)
+    | Circuit.Mna.Singular_dc msg -> malformed "net %s: %s" net msg
+    | Invalid_argument msg -> malformed "net %s: %s" net msg
   end
 
 let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =

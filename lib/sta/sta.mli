@@ -60,6 +60,33 @@ val add_primary_input : design -> net:string -> ?arrival:float -> ?slew:float ->
 val add_primary_output : design -> net:string -> unit
 (** Raises [Malformed] on a duplicate declaration for the same net. *)
 
+(** {2 Structural views}
+
+    Read-only projections of a design's connectivity, for static
+    analysis (the lint layer) without running any timing. *)
+
+type gate_view = {
+  gv_inst : string;
+  gv_cell : string;
+  gv_inputs : string list;  (** net names *)
+  gv_output : string;  (** net name *)
+}
+
+val gate_views : design -> gate_view list
+(** All gate instances, in declaration order. *)
+
+val net_names : design -> string list
+(** Names of all nets with a declared wire model, sorted. *)
+
+val net_segments : design -> string -> segment list option
+(** The wire segments of a net, if it has a declared wire model. *)
+
+val primary_input_nets : design -> string list
+(** Nets driven from outside the design, sorted. *)
+
+val primary_output_nets : design -> string list
+(** Declared primary outputs, in declaration order. *)
+
 exception Not_a_dag of string list
 (** Combinational cycle through the named instances. *)
 

@@ -16,15 +16,23 @@ open QCheck2
 
 (* --- classification ------------------------------------------------ *)
 
+(* anything the parser accepts, the lint layer must analyze without an
+   escaping exception either — garbage decks are lint's daily diet *)
 let sp_escapes src =
   match Circuit.Parser.parse_string src with
-  | _ -> None
+  | deck -> (
+    match Lint.check_circuit deck.Circuit.Parser.circuit with
+    | _ -> None
+    | exception e -> Some e)
   | exception Circuit.Parser.Parse_error _ -> None
   | exception e -> Some e
 
 let sta_escapes src =
   match Sta.Design_file.parse_string src with
-  | _ -> None
+  | design -> (
+    match Lint.check_design design with
+    | _ -> None
+    | exception e -> Some e)
   | exception Sta.Design_file.Parse_error _ -> None
   | exception e -> Some e
 

@@ -113,7 +113,8 @@ let check ?(tol = default_tol) (case : Cases.case) =
     failed case (Printf.sprintf "awe degenerate: %s" msg)
   | exception Awe.Unstable_fit _ ->
     failed case "awe unstable at every order up to q_max"
-  | exception Circuit.Mna.Singular_dc -> failed case "singular dc system"
+  | exception Circuit.Mna.Singular_dc msg ->
+    failed case ("singular dc system: " ^ msg)
   | a, est ->
     let t_stop = horizon case.circuit (response_poles a) in
     let sim =

@@ -398,6 +398,50 @@ let cauchy_dominates ~seed =
       failf "cauchy_dominates: bound %.6g < exact relative error %.6g" bound
         rel
 
+(* --- lint soundness: a lint-clean circuit factors ------------------ *)
+
+(* the static checks promise that a circuit with no lint error never
+   hits a singular factorization: no [Sparse.Slu.Singular], no
+   [Linalg.Lu.Singular], no [Circuit.Mna.Singular_dc] — across every
+   random topology family, including the meshes and coupled trees whose
+   floating groups exercise the charge-row machinery *)
+let lint_soundness ~seed =
+  let st = Random.State.make [| seed; 0x117 |] in
+  let sub = (seed * 7) + 3 in
+  let circuit, _ =
+    match Random.State.int st 4 with
+    | 0 ->
+      Circuit.Samples.random_rc_tree ~seed:sub ~n:(2 + Random.State.int st 10) ()
+    | 1 ->
+      Circuit.Samples.random_coupled_tree ~seed:sub
+        ~n:(3 + Random.State.int st 8)
+        ~couplings:(1 + Random.State.int st 3)
+        ()
+    | 2 ->
+      Circuit.Samples.random_rlc_ladder ~seed:sub
+        ~sections:(1 + Random.State.int st 4)
+        ()
+    | _ ->
+      Circuit.Samples.random_rc_mesh ~seed:sub
+        ~n:(3 + Random.State.int st 8)
+        ~extra:(1 + Random.State.int st 3)
+        ()
+  in
+  let diags = Lint.check_circuit circuit in
+  match Lint.errors diags with
+  | _ :: _ -> () (* lint objects: no factorization promise to check *)
+  | [] -> (
+    match
+      let sys = Circuit.Mna.build circuit in
+      ignore (Circuit.Mna.dc_factor sys);
+      ignore (Circuit.Mna.dc_factor ~sparse:true sys)
+    with
+    | () -> ()
+    | exception Circuit.Mna.Singular_dc msg ->
+      failf "lint_soundness: lint-clean circuit is singular (%s)" msg
+    | exception Invalid_argument msg ->
+      failf "lint_soundness: lint-clean circuit rejected by Mna (%s)" msg)
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -407,7 +451,8 @@ let all =
     ("time_scaling", time_scaling);
     ("batch_parity", batch_parity);
     ("sta_parity", sta_parity);
-    ("cauchy_dominates", cauchy_dominates) ]
+    ("cauchy_dominates", cauchy_dominates);
+    ("lint_soundness", lint_soundness) ]
 
 let tests ~count =
   List.map

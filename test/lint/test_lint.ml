@@ -1,0 +1,283 @@
+(* The lint layer's output contract: every crafted bad deck under
+   decks/lint/ is flagged with its registry code, the structural-rank
+   check predicts the sparse LU's singular verdict with zero false
+   negatives, shipped good decks stay clean, and lint-clean random
+   circuits never hit a singular factorization. *)
+
+module D = Lint.Diagnostic
+
+(* `dune runtest` runs in the test's build directory (decks two levels
+   up); `dune exec` runs from the workspace root *)
+let deck_path name =
+  let candidates =
+    [ Filename.concat "../../decks" name; Filename.concat "decks" name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> Alcotest.failf "deck %s not found" name
+
+let lint_sp name =
+  let path = deck_path name in
+  match Circuit.Parser.parse_file path with
+  | deck -> Lint.check_circuit deck.Circuit.Parser.circuit
+  | exception Circuit.Parser.Parse_error (line, msg) -> (
+    match Lint.diagnostic_of_parse_error ~line msg with
+    | Some d -> [ d ]
+    | None -> Alcotest.failf "%s: unexpected parse error: %s" name msg)
+
+let lint_sta name =
+  Lint.check_design (Sta.Design_file.parse_file (deck_path name))
+
+let ids diags = List.map (fun d -> D.id d.D.code) diags
+
+let check_codes name diags expected =
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reports %s" name code)
+        true
+        (List.mem code (ids diags)))
+    expected
+
+(* --- every crafted deck flags its registry code -------------------- *)
+
+(* (deck, expected codes, gate fails plainly, gate fails under strict) *)
+let sp_cases =
+  [ ("lint/nonpositive.sp", [ "AWE-E001" ], true, true);
+    ("lint/shorted_vsrc.sp", [ "AWE-E002"; "AWE-E007" ], true, true);
+    ("lint/float_nocap.sp", [ "AWE-E003"; "AWE-E007" ], true, true);
+    ("lint/float_cap.sp", [ "AWE-I001" ], false, false);
+    ("lint/isrc_cutset.sp", [ "AWE-E004" ], true, true);
+    ("lint/ind_loop.sp", [ "AWE-E005"; "AWE-E007" ], true, true);
+    ("lint/vsrc_loop.sp", [ "AWE-E006"; "AWE-E007" ], true, true);
+    ("lint/shorted_r.sp", [ "AWE-W001" ], false, true);
+    ("lint/dangling.sp", [ "AWE-W002" ], false, true);
+    ("lint/scale_spread.sp", [ "AWE-W003" ], false, true) ]
+
+let sta_cases =
+  [ ("lint/unknown_net.sta", [ "AWE-E101" ]);
+    ("lint/undriven.sta", [ "AWE-E102" ]);
+    ("lint/sink_unattached.sta", [ "AWE-E103" ]);
+    ("lint/sink_unreachable.sta", [ "AWE-E104" ]);
+    ("lint/cycle.sta", [ "AWE-E105" ]) ]
+
+let test_crafted_sp () =
+  List.iter
+    (fun (name, codes, fails, fails_strict) ->
+      let diags = lint_sp name in
+      check_codes name diags codes;
+      Alcotest.(check bool)
+        (name ^ " gate")
+        fails
+        (Lint.gate ~strict:false diags = Ok () |> not);
+      Alcotest.(check bool)
+        (name ^ " gate --strict")
+        fails_strict
+        (Lint.gate ~strict:true diags = Ok () |> not))
+    sp_cases
+
+let test_crafted_sta () =
+  List.iter
+    (fun (name, codes) ->
+      let diags = lint_sta name in
+      check_codes name diags codes;
+      Alcotest.(check bool)
+        (name ^ " gate")
+        true
+        (Lint.gate ~strict:false diags = Ok () |> not))
+    sta_cases
+
+(* --- the structural-rank check predicts Slu.factor ----------------- *)
+
+(* decks whose singularity is visible in the sparsity pattern itself:
+   the matching check must claim them (no false negatives), the
+   augmented pattern must have deficient structural rank, and the
+   sparse LU must actually fail on it *)
+let structural_decks =
+  [ "lint/shorted_vsrc.sp"; "lint/float_nocap.sp"; "lint/ind_loop.sp";
+    "lint/vsrc_loop.sp" ]
+
+let test_structural_rank_predicts () =
+  List.iter
+    (fun name ->
+      let deck = Circuit.Parser.parse_file (deck_path name) in
+      let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+      let pat = Sparse.Csr.of_dense (Circuit.Mna.augmented_g sys) in
+      Alcotest.(check bool)
+        (name ^ " structurally singular")
+        true
+        (Sparse.Matching.structurally_singular pat);
+      (* the prediction comes true: both LU paths refuse the system *)
+      (match Circuit.Mna.dc_factor sys with
+      | _ -> Alcotest.failf "%s: dense dc_factor succeeded" name
+      | exception Circuit.Mna.Singular_dc _ -> ());
+      (match Circuit.Mna.dc_factor ~sparse:true sys with
+      | _ -> Alcotest.failf "%s: sparse dc_factor succeeded" name
+      | exception Circuit.Mna.Singular_dc _ -> ());
+      (* and lint reported it under the registry code *)
+      check_codes name (lint_sp name) [ "AWE-E007" ])
+    structural_decks
+
+(* every crafted deck that fails to factor (or build) must carry at
+   least one lint error: the gate has zero false negatives over the
+   whole bad-deck corpus, not just the structural subset *)
+let test_no_false_negatives () =
+  List.iter
+    (fun (name, _, _, _) ->
+      match Circuit.Parser.parse_file (deck_path name) with
+      | exception Circuit.Parser.Parse_error _ -> ()
+      | deck ->
+        let circuit = deck.Circuit.Parser.circuit in
+        let solve_fails =
+          match Circuit.Mna.build circuit with
+          | exception Invalid_argument _ -> true
+          | sys -> (
+            match Circuit.Mna.dc_factor sys with
+            | _ -> false
+            | exception Circuit.Mna.Singular_dc _ -> true)
+        in
+        if solve_fails then
+          Alcotest.(check bool)
+            (name ^ " failing solve is lint-visible")
+            true
+            (Lint.errors (lint_sp name) <> []))
+    sp_cases
+
+(* --- shipped good decks stay clean --------------------------------- *)
+
+let good_sp =
+  [ "fig4.sp"; "fig9.sp"; "fig16.sp"; "fig22.sp"; "fig25.sp";
+    "charge_share.sp"; "coupled_lines.sp"; "regress_est_blindspot.sp" ]
+
+let test_good_decks_clean () =
+  List.iter
+    (fun name ->
+      Alcotest.(check (list string))
+        (name ^ " has no lint errors")
+        []
+        (ids (Lint.errors (lint_sp name))))
+    good_sp;
+  Alcotest.(check (list string))
+    "adder_stage.sta has no lint errors" []
+    (ids (Lint.errors (lint_sta "adder_stage.sta")))
+
+(* --- line attribution ---------------------------------------------- *)
+
+let test_line_numbers () =
+  let deck =
+    Circuit.Parser.parse_string
+      "v1 1 0 dc 1\nr1 1 2 1k\nc1 2 0 1p\n\nr2 2 3 1k\n.awe v(2)\n.end\n"
+  in
+  let c = deck.Circuit.Parser.circuit in
+  Alcotest.(check (option int)) "v1 on line 1" (Some 1)
+    (Circuit.Netlist.element_line c 0);
+  Alcotest.(check (option int)) "r2 on line 5" (Some 5)
+    (Circuit.Netlist.element_line c 3);
+  Alcotest.(check (option int)) "out of range" None
+    (Circuit.Netlist.element_line c 99);
+  (* the dangling-node diagnostic points at r2's defining line *)
+  let diags = Lint.check_circuit c in
+  match
+    List.find_opt (fun d -> d.D.code = D.Dangling_node) diags
+  with
+  | Some d -> Alcotest.(check (option int)) "W002 line" (Some 5) d.D.line
+  | None -> Alcotest.fail "expected a dangling-node diagnostic"
+
+(* --- registry sanity ----------------------------------------------- *)
+
+let test_registry () =
+  let all_ids = List.map D.id D.all_codes in
+  Alcotest.(check int)
+    "ids unique"
+    (List.length all_ids)
+    (List.length (List.sort_uniq compare all_ids));
+  List.iter
+    (fun code ->
+      let id = D.id code in
+      let expected_sev =
+        match id.[4] with
+        | 'E' -> D.Error
+        | 'W' -> D.Warning
+        | _ -> D.Info
+      in
+      Alcotest.(check bool)
+        (id ^ " severity matches prefix")
+        true
+        (D.default_severity code = expected_sev))
+    D.all_codes;
+  let d =
+    D.make ~element:"r1" ~nodes:[ "a"; "b" ] ~line:3 ~hint:"fix \"it\""
+      D.Nonpositive_value "value is \"bad\""
+  in
+  let json = D.to_json d in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i =
+      i + nl <= jl && (String.sub json i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json has %s" frag)
+        true (contains frag))
+    [ "\"AWE-E001\""; "\\\"bad\\\""; "\"line\": 3" ];
+  Alcotest.(check bool)
+    "strict promotes warnings" true
+    (D.effective_severity ~strict:true
+       (D.make D.Shorted_element "x")
+    = D.Error);
+  Alcotest.(check bool)
+    "strict leaves info alone" true
+    (D.effective_severity ~strict:true (D.make D.Float_group "x") = D.Info)
+
+(* --- lint-clean random circuits never hit a singular solve --------- *)
+
+let qcheck_lint_clean_factors =
+  QCheck2.Test.make
+    ~name:"lint-clean random circuits factor (dense and sparse)" ~count:120
+    ~print:string_of_int
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let circuit, _ =
+        match seed mod 3 with
+        | 0 -> Circuit.Samples.random_rc_tree ~seed ~n:(2 + (seed mod 9)) ()
+        | 1 ->
+          Circuit.Samples.random_coupled_tree ~seed
+            ~n:(3 + (seed mod 7))
+            ~couplings:(1 + (seed mod 3))
+            ()
+        | _ ->
+          Circuit.Samples.random_rc_mesh ~seed
+            ~n:(3 + (seed mod 7))
+            ~extra:(1 + (seed mod 3))
+            ()
+      in
+      match Lint.errors (Lint.check_circuit circuit) with
+      | _ :: _ -> true (* lint objects: no promise to keep *)
+      | [] ->
+        let sys = Circuit.Mna.build circuit in
+        ignore (Circuit.Mna.dc_factor sys);
+        ignore (Circuit.Mna.dc_factor ~sparse:true sys);
+        true)
+
+let () =
+  Alcotest.run "lint"
+    [ ( "crafted decks",
+        [ Alcotest.test_case "sp codes and gates" `Quick test_crafted_sp;
+          Alcotest.test_case "sta codes and gates" `Quick test_crafted_sta ] );
+      ( "singularity prediction",
+        [ Alcotest.test_case "structural rank predicts Slu" `Quick
+            test_structural_rank_predicts;
+          Alcotest.test_case "no false negatives" `Quick
+            test_no_false_negatives ] );
+      ( "good decks",
+        [ Alcotest.test_case "shipped decks stay clean" `Quick
+            test_good_decks_clean ] );
+      ( "provenance",
+        [ Alcotest.test_case "line attribution" `Quick test_line_numbers;
+          Alcotest.test_case "registry" `Quick test_registry ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_lint_clean_factors ] )
+    ]

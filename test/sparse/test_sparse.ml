@@ -223,6 +223,115 @@ let prop_forest_edge_count =
       tree_edges = n - Graph.component_count g)
 
 (* ------------------------------------------------------------------ *)
+(* structural rank via maximum bipartite matching *)
+
+let test_matching_full_rank () =
+  let m = Csr.of_dense (Linalg.Matrix.identity 4) in
+  Alcotest.(check int) "identity rank" 4 (Matching.structural_rank m);
+  Alcotest.(check bool) "identity regular" false
+    (Matching.structurally_singular m);
+  (* an antidiagonal pattern is a permutation: still full rank *)
+  let anti =
+    Linalg.Matrix.init 4 4 (fun i j -> if i + j = 3 then 1. else 0.)
+  in
+  Alcotest.(check int) "antidiagonal rank" 4
+    (Matching.structural_rank (Csr.of_dense anti))
+
+let test_matching_deficient () =
+  (* two rows sharing their only column: rank 2, not 3 *)
+  let d =
+    Linalg.Matrix.of_rows
+      [ [ 1.; 1.; 0. ]; [ 5.; 0.; 0. ]; [ 7.; 0.; 0. ] ]
+  in
+  let m = Csr.of_dense d in
+  Alcotest.(check int) "collision rank" 2 (Matching.structural_rank m);
+  Alcotest.(check bool) "collision singular" true
+    (Matching.structurally_singular m);
+  let r = Matching.max_matching m in
+  Alcotest.(check int) "one unmatched row" 1
+    (Array.fold_left (fun n c -> if c < 0 then n + 1 else n) 0 r.Matching.col_of_row);
+  Alcotest.(check (list int)) "column 2 unmatched" [ 2 ]
+    (Matching.unmatched_cols m)
+
+let test_matching_zero_row () =
+  let d = Linalg.Matrix.of_rows [ [ 1.; 0. ]; [ 0.; 0. ] ] in
+  let m = Csr.of_dense d in
+  Alcotest.(check int) "zero row rank" 1 (Matching.structural_rank m);
+  Alcotest.(check (list int)) "row 1 unmatched" [ 1 ]
+    (Matching.unmatched_rows m)
+
+let test_matching_rectangular () =
+  (* a non-square pattern is singular by definition even when the
+     matching saturates the short side *)
+  let d = Linalg.Matrix.of_rows [ [ 1.; 0.; 1. ]; [ 0.; 1.; 0. ] ] in
+  let m = Csr.of_dense d in
+  Alcotest.(check int) "wide rank" 2 (Matching.structural_rank m);
+  Alcotest.(check bool) "wide singular" true
+    (Matching.structurally_singular m)
+
+(* note: a structurally singular matrix with random values need not
+   make [Slu.factor] raise — the generically-zero pivot can surface as
+   rounding noise instead of an exact zero (which is precisely why the
+   lint layer runs this check instead of trusting the numeric verdict).
+   So the property checked here is agreement with an independent
+   reference implementation, plus validity of the matching itself. *)
+let prop_matching_agrees_with_reference =
+  QCheck2.Test.make
+    ~name:"matching is valid and agrees with reference Kuhn" ~count:200
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 99))
+    (fun (n, salt) ->
+      let st = Random.State.make [| n; salt |] in
+      let d =
+        Linalg.Matrix.init n n (fun _ _ ->
+            if Random.State.int st 100 < 30 then
+              Random.State.float st 2. -. 1.
+            else 0.)
+      in
+      let m = Csr.of_dense d in
+      let r = Matching.max_matching m in
+      (* reference: textbook Kuhn on adjacency lists *)
+      let adj =
+        Array.init n (fun i ->
+            let acc = ref [] in
+            Csr.row_iter m i (fun j _ -> acc := j :: !acc);
+            List.rev !acc)
+      in
+      let roc = Array.make n (-1) in
+      let rec aug i vis =
+        List.exists
+          (fun j ->
+            if vis.(j) then false
+            else begin
+              vis.(j) <- true;
+              if roc.(j) < 0 || aug roc.(j) vis then begin
+                roc.(j) <- i;
+                true
+              end
+              else false
+            end)
+          adj.(i)
+      in
+      let ref_size = ref 0 in
+      for i = 0 to n - 1 do
+        if aug i (Array.make n false) then incr ref_size
+      done;
+      (* sizes agree, and the matching is mutual and edge-supported *)
+      r.Matching.size = !ref_size
+      && Array.for_all
+           (fun j -> j < 0 || r.Matching.row_of_col.(j) >= 0)
+           r.Matching.col_of_row
+      && (let ok = ref true and matched = ref 0 in
+          Array.iteri
+            (fun i j ->
+              if j >= 0 then begin
+                incr matched;
+                if r.Matching.row_of_col.(j) <> i then ok := false;
+                if Csr.get m i j = 0. then ok := false
+              end)
+            r.Matching.col_of_row;
+          !ok && !matched = r.Matching.size))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -258,4 +367,10 @@ let () =
           Alcotest.test_case "self loop" `Quick test_graph_self_loop_cycle;
           Alcotest.test_case "forest covers all" `Quick
             test_graph_forest_covers_all ]
-        @ qsuite [ prop_forest_edge_count ] ) ]
+        @ qsuite [ prop_forest_edge_count ] );
+      ( "matching",
+        [ Alcotest.test_case "full rank" `Quick test_matching_full_rank;
+          Alcotest.test_case "deficient" `Quick test_matching_deficient;
+          Alcotest.test_case "zero row" `Quick test_matching_zero_row;
+          Alcotest.test_case "rectangular" `Quick test_matching_rectangular ]
+        @ qsuite [ prop_matching_agrees_with_reference ] ) ]
