@@ -715,6 +715,143 @@ let sta_batch () =
 
 (* ------------------------------------------------------------------ *)
 
+(* [chains] independent inverter chains of [depth] stages, each stage
+   output routed over a [rungs]-segment RC ladder to the next gate.
+   Chains never touch, so every topological wave holds [chains] ready
+   nets — the shape that exercises the per-wave parallel fan-out. *)
+let parallel_design ~chains ~depth ~rungs =
+  let inv =
+    Sta.cell ~name:"inv" ~drive_res:500. ~input_cap:20e-15 ~intrinsic:50e-12
+  in
+  let seg from_ to_ r c =
+    { Sta.seg_from = from_; seg_to = to_; res = r; cap = c }
+  in
+  let ladder sink =
+    List.init rungs (fun i ->
+        let from_ = if i = 0 then "drv" else Printf.sprintf "w%d" i in
+        let to_ = if i = rungs - 1 then sink else Printf.sprintf "w%d" (i + 1) in
+        seg from_ to_ (150. +. (10. *. float_of_int i)) 40e-15)
+  in
+  let d = Sta.create ~vdd:5. ~threshold:0.5 () in
+  for c = 0 to chains - 1 do
+    let stage_net s = Printf.sprintf "c%dn%d" c s in
+    let inst s = Printf.sprintf "u%d_%d" c s in
+    let in_net = Printf.sprintf "c%din" c in
+    for s = 0 to depth - 1 do
+      Sta.add_gate d ~inst:(inst s) ~cell:inv
+        ~inputs:[ (if s = 0 then in_net else stage_net (s - 1)) ]
+        ~output:(stage_net s)
+    done;
+    Sta.add_net d ~name:in_net ~segments:(ladder (inst 0));
+    for s = 0 to depth - 2 do
+      Sta.add_net d ~name:(stage_net s) ~segments:(ladder (inst (s + 1)))
+    done;
+    (* the last output drives off-design: a stub wire, no sinks *)
+    Sta.add_net d ~name:(stage_net (depth - 1))
+      ~segments:[ seg "drv" "end" 10. 2e-15 ];
+    Sta.add_primary_input d ~net:in_net ();
+    Sta.add_primary_output d ~net:(stage_net (depth - 1))
+  done;
+  d
+
+(* structural report equality, excluding the phase timers (measured
+   CPU time; the determinism contract covers results and the integer
+   counters, not wall/CPU measurements) *)
+let sta_reports_identical (a : Sta.report) (b : Sta.report) =
+  a.Sta.nets = b.Sta.nets
+  && a.Sta.critical_arrival = b.Sta.critical_arrival
+  && a.Sta.critical_path = b.Sta.critical_path
+  && a.Sta.failures = b.Sta.failures
+
+let sta_stats_identical (a : Sta.report) (b : Sta.report) =
+  let s1 = a.Sta.stats and s2 = b.Sta.stats in
+  s1.Awe.Stats.factorizations = s2.Awe.Stats.factorizations
+  && s1.Awe.Stats.moment_solves = s2.Awe.Stats.moment_solves
+  && s1.Awe.Stats.fits = s2.Awe.Stats.fits
+  && s1.Awe.Stats.fit_retries = s2.Awe.Stats.fit_retries
+  && s1.Awe.Stats.order_escalations = s2.Awe.Stats.order_escalations
+  && s1.Awe.Stats.mna_builds = s2.Awe.Stats.mna_builds
+
+let sta_parallel ?(smoke = false) () =
+  section
+    (if smoke then "STA parallel fan-out — smoke (overhead gate)"
+     else "STA parallel fan-out — wall-clock speedup vs jobs");
+  let chains, depth, rungs, reps =
+    if smoke then (4, 4, 4, 5) else (16, 16, 8, 5)
+  in
+  let d = parallel_design ~chains ~depth ~rungs in
+  let nets = List.length (Sta.net_names d) in
+  let cores = Parallel.default_jobs () in
+  note "design: %d chains x %d stages = %d nets; %d recommended domains"
+    chains depth nets cores;
+  let analyze jobs = Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs d in
+  ignore (analyze 1) (* warmup: page in code and allocate arenas *);
+  let timed jobs =
+    (* best-of-[reps] wall clock; the report of the last run rides
+       along for the determinism check *)
+    let best = ref infinity and report = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = analyze jobs in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      report := Some r
+    done;
+    (!best, Option.get !report)
+  in
+  let jobs_sweep = [ 1; 2; 4; 8 ] in
+  let results = List.map (fun j -> (j, timed j)) jobs_sweep in
+  let t1 = fst (List.assoc 1 results) in
+  let r1 = snd (List.assoc 1 results) in
+  let r4 = snd (List.assoc 4 results) in
+  List.iter
+    (fun (j, (t, _)) ->
+      note "jobs=%d  %8.2f ms   speedup %.2fx" j (1e3 *. t) (t1 /. t))
+    results;
+  let identical = sta_reports_identical r1 r4 in
+  let stats_identical = sta_stats_identical r1 r4 in
+  claim ~paper:"parallel evaluation is an execution detail, not a model"
+    "jobs=1 vs jobs=4: reports identical %b, merged counters identical %b"
+    identical stats_identical;
+  if not (identical && stats_identical) then begin
+    note "DETERMINISM VIOLATION — failing";
+    exit 1
+  end;
+  let json_path = "BENCH_sta_parallel.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"sta_parallel\", \"smoke\": %b, \"cores\": %d,\n\
+    \  \"chains\": %d, \"depth\": %d, \"rungs\": %d, \"nets\": %d,\n\
+    \  \"ms_per_jobs\": { %s },\n\
+    \  \"speedup_vs_jobs1\": { %s },\n\
+    \  \"reports_identical\": %b, \"stats_identical\": %b }\n"
+    smoke cores chains depth rungs nets
+    (String.concat ", "
+       (List.map
+          (fun (j, (t, _)) -> Printf.sprintf "\"%d\": %.3f" j (1e3 *. t))
+          results))
+    (String.concat ", "
+       (List.map
+          (fun (j, (t, _)) -> Printf.sprintf "\"%d\": %.3f" j (t1 /. t))
+          results))
+    identical stats_identical;
+  close_out oc;
+  note "wrote %s" json_path;
+  if smoke then begin
+    (* overhead gate: jobs=4 must not lose more than 10% to jobs=1
+       (plus 5 ms absolute slack so sub-ms noise can't flake the CI
+       job on small designs) *)
+    let t4 = fst (List.assoc 4 results) in
+    if t4 > (1.1 *. t1) +. 5e-3 then begin
+      note "SMOKE FAIL: jobs=4 %.2f ms vs jobs=1 %.2f ms (>10%% slower)"
+        (1e3 *. t4) (1e3 *. t1);
+      exit 1
+    end
+    else
+      note "smoke ok: jobs=4 %.2f ms vs jobs=1 %.2f ms" (1e3 *. t4)
+        (1e3 *. t1)
+  end
+
 let verify_bench () =
   section "Verification harness — differential oracle throughput";
   let seed = 42 and cases = 24 in
@@ -780,25 +917,33 @@ let experiments =
     ("fig24", fig24); ("table2_fig26", table2_fig26); ("fig26", table2_fig26);
     ("fig27", fig27); ("eq56", eq56); ("scaling", scaling);
     ("ablation", ablation); ("shifted", shifted); ("sta", sta_bench);
-    ("sta_batch", sta_batch); ("verify", verify_bench) ]
+    ("sta_batch", sta_batch); ("sta_parallel", fun () -> sta_parallel ());
+    ("verify", verify_bench) ]
 
 let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
-    sta_batch; verify_bench ]
+    sta_batch; (fun () -> sta_parallel ()); verify_bench ]
 
 let () =
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let names = List.filter (fun a -> a <> "--smoke") args in
+  match names with
+  | [] when smoke ->
+    (* --smoke alone runs the CI overhead gate *)
+    sta_parallel ~smoke ()
+  | [] ->
     Format.printf
       "AWEsim reproduction harness — every table and figure of the paper@.";
     List.iter (fun f -> f ()) all_in_order
-  | _ :: names ->
+  | names ->
     List.iter
       (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> f ()
-        | None ->
+        match (name, List.assoc_opt name experiments) with
+        | "sta_parallel", _ -> sta_parallel ~smoke ()
+        | _, Some f -> f ()
+        | _, None ->
           Format.printf "unknown experiment %S; available:@." name;
           List.iter (fun (n, _) -> Format.printf "  %s@." n) experiments;
           exit 2)

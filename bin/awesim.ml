@@ -137,6 +137,17 @@ let stats_arg =
           "Print the Awe.Stats engine counters (factorizations, moment \
            solves, fits, escalations).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel fan-out (results are identical \
+           for any value).  0 = one per recommended core.")
+
+(* 0 (the CLI default) means "ask the runtime" *)
+let resolve_jobs j = if j <= 0 then Parallel.default_jobs () else j
+
 let pp_pole ppf (p : Linalg.Cx.t) =
   if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%.5e" p.Linalg.Cx.re
   else Format.fprintf ppf "%.5e %+.5ej" p.Linalg.Cx.re p.Linalg.Cx.im
@@ -205,7 +216,8 @@ let cmd_lint paths strict json quiet =
   if !failed then exit 1
 
 let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
-    threshold shift sparse stats =
+    threshold shift sparse stats jobs =
+  let jobs = resolve_jobs jobs in
   let deck = read_deck deck_path in
   lint_gate deck_path (Lint.check_circuit deck.Circuit.Parser.circuit);
   let name, node = resolve_node deck node_opt in
@@ -238,10 +250,26 @@ let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
     | Some t -> Format.printf "delay to %.3g V: %.6g s@." th t
     | None -> Format.printf "threshold %.3g V never crossed@." th)
   | None -> ());
-  let wa = Awe.waveform a ~t_stop ~samples in
   if compare then begin
-    let r = Transim.Transient.simulate sys ~t_stop ~steps:(8 * samples) in
-    let ws = Transim.Transient.node_waveform r node in
+    (* the reference simulation is independent of the AWE waveform
+       sampling — overlap the two on the pool *)
+    let wa, ws =
+      Parallel.with_pool ~jobs (fun pool ->
+          match
+            Parallel.map pool
+              (function
+                | `Awe -> `Wa (Awe.waveform a ~t_stop ~samples)
+                | `Sim ->
+                  let r =
+                    Transim.Transient.simulate sys ~t_stop
+                      ~steps:(8 * samples)
+                  in
+                  `Ws (Transim.Transient.node_waveform r node))
+              [| `Awe; `Sim |]
+          with
+          | [| `Wa wa; `Ws ws |] -> (wa, ws)
+          | _ -> assert false)
+    in
     Format.printf "relative L2 error vs simulation: %.3g%%@."
       (100. *. Waveform.relative_l2_error ws wa);
     print_string
@@ -255,6 +283,7 @@ let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
     | None -> ()
   end
   else begin
+    let wa = Awe.waveform a ~t_stop ~samples in
     print_string (Waveform.ascii_plot ~label:"awe approximation" [ wa ]);
     match csv with
     | Some file ->
@@ -342,7 +371,7 @@ let cmd_moments deck_path node_opt count =
     Format.printf "generalized Elmore delay -mu_1/mu_0 = %.6g s@."
       (-.(mu.(1) /. mu.(0)))
 
-let cmd_timing design_path model sparse stats =
+let cmd_timing design_path model sparse stats jobs strict =
   let design = read_design design_path in
   lint_gate design_path (Lint.check_design design);
   let model =
@@ -356,8 +385,12 @@ let cmd_timing design_path model sparse stats =
         Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
         exit 2)
   in
-  match Sta.analyze ~model ~sparse design with
-  | report -> Format.printf "%a@." (Sta.pp_report ~verbose:stats) report
+  match Sta.analyze ~model ~sparse ~jobs:(resolve_jobs jobs) ~strict design with
+  | report ->
+    Format.printf "%a@." (Sta.pp_report ~verbose:stats) report;
+    (* tolerant mode still fails the run — it just times what it can
+       and reports every diagnostic first *)
+    if report.Sta.failures <> [] then exit 1
   | exception Sta.Not_a_dag nets ->
     Printf.eprintf "combinational cycle through: %s\n"
       (String.concat ", " nets);
@@ -366,14 +399,15 @@ let cmd_timing design_path model sparse stats =
     Printf.eprintf "malformed design: %s\n" msg;
     exit 1
 
-let cmd_verify seed count prop_count fuzz_count rel_l2 repro_dir quiet =
+let cmd_verify seed count prop_count fuzz_count rel_l2 repro_dir quiet jobs =
   let config =
     { Verify.seed;
       count;
       prop_count;
       fuzz_count;
       tol = { Verify.Oracle.default_tol with Verify.Oracle.rel_l2 };
-      repro_dir }
+      repro_dir;
+      jobs = resolve_jobs jobs }
   in
   let progress =
     if quiet then None else Some (fun msg -> Printf.eprintf "%s\n%!" msg)
@@ -431,7 +465,7 @@ let analyze_t =
     Term.(
       const cmd_analyze $ deck_arg $ node_arg $ order_arg $ tstop_arg
       $ samples_arg $ csv_arg $ compare $ threshold $ shift $ sparse_arg
-      $ stats_arg)
+      $ stats_arg $ jobs_arg)
 
 let poles_t =
   let actual =
@@ -471,9 +505,20 @@ let timing_t =
       & info [ "model" ] ~docv:"MODEL"
           ~doc:"Net delay model: elmore, auto, or a fixed AWE order.")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Abort on the first net that fails to time.  The default keeps \
+             timing sibling nets and reports every per-net diagnostic \
+             (still exiting nonzero).")
+  in
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
-    Term.(const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg)
+    Term.(
+      const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg $ jobs_arg
+      $ strict)
 
 let lint_t =
   let paths =
@@ -552,7 +597,7 @@ let verify_t =
           the transient oracle, metamorphic properties, and parser fuzzing")
     Term.(
       const cmd_verify $ seed $ count $ prop_count $ fuzz_count $ rel_l2
-      $ repro_dir $ quiet)
+      $ repro_dir $ quiet $ jobs_arg)
 
 let () =
   let doc = "asymptotic waveform evaluation for timing analysis" in

@@ -1,7 +1,11 @@
-(* Global instrumentation counters for the AWE pipeline.  The counters
-   are monotone; callers that want per-analysis numbers take a snapshot
-   before and after and subtract (see [diff]).  Single-threaded, like
-   the rest of the library. *)
+(* Instrumentation counters for the AWE pipeline.
+
+   Counters are DOMAIN-LOCAL: each domain increments its own counter
+   record (no atomics, no contention, no torn reads), and parallel
+   drivers combine per-task [scoped] windows with the commutative
+   [merge] — so reported totals are identical whatever the execution
+   schedule.  Within one domain the counters are monotone, and the
+   classic snapshot/diff idiom keeps working unchanged. *)
 
 type snapshot = {
   factorizations : int;
@@ -13,61 +17,95 @@ type snapshot = {
   phase_seconds : (string * float) list;
 }
 
-let factorizations = ref 0
+type counters = {
+  mutable factorizations_c : int;
+  mutable moment_solves_c : int;
+  mutable fits_c : int;
+  mutable fit_retries_c : int;
+  mutable order_escalations_c : int;
+  mutable mna_builds_c : int;
+  phases : (string, float) Hashtbl.t; (* phase name -> CPU seconds *)
+}
 
-let moment_solves = ref 0
+let fresh () =
+  { factorizations_c = 0;
+    moment_solves_c = 0;
+    fits_c = 0;
+    fit_retries_c = 0;
+    order_escalations_c = 0;
+    mna_builds_c = 0;
+    phases = Hashtbl.create 8 }
 
-let fits = ref 0
+(* one counter record per domain, created on first use *)
+let key = Domain.DLS.new_key fresh
 
-let fit_retries = ref 0
-
-let order_escalations = ref 0
-
-let mna_builds = ref 0
-
-(* phase name -> accumulated CPU seconds *)
-let phases : (string, float) Hashtbl.t = Hashtbl.create 8
+let current () = Domain.DLS.get key
 
 let reset () =
-  factorizations := 0;
-  moment_solves := 0;
-  fits := 0;
-  fit_retries := 0;
-  order_escalations := 0;
-  mna_builds := 0;
-  Hashtbl.reset phases
+  let c = current () in
+  c.factorizations_c <- 0;
+  c.moment_solves_c <- 0;
+  c.fits_c <- 0;
+  c.fit_retries_c <- 0;
+  c.order_escalations_c <- 0;
+  c.mna_builds_c <- 0;
+  Hashtbl.reset c.phases
 
-let record_factorization () = incr factorizations
+let record_factorization () =
+  let c = current () in
+  c.factorizations_c <- c.factorizations_c + 1
 
-let record_moment_solve () = incr moment_solves
+let record_moment_solve () =
+  let c = current () in
+  c.moment_solves_c <- c.moment_solves_c + 1
 
-let record_fit () = incr fits
+let record_fit () =
+  let c = current () in
+  c.fits_c <- c.fits_c + 1
 
-let record_fit_retry () = incr fit_retries
+let record_fit_retry () =
+  let c = current () in
+  c.fit_retries_c <- c.fit_retries_c + 1
 
-let record_order_escalation () = incr order_escalations
+let record_order_escalation () =
+  let c = current () in
+  c.order_escalations_c <- c.order_escalations_c + 1
 
-let record_mna_build () = incr mna_builds
+let record_mna_build () =
+  let c = current () in
+  c.mna_builds_c <- c.mna_builds_c + 1
+
+let add_phase phases phase dt =
+  let prev = Option.value ~default:0. (Hashtbl.find_opt phases phase) in
+  Hashtbl.replace phases phase (prev +. dt)
 
 let time phase f =
   let t0 = Sys.time () in
   Fun.protect
-    ~finally:(fun () ->
-      let dt = Sys.time () -. t0 in
-      let prev = Option.value ~default:0. (Hashtbl.find_opt phases phase) in
-      Hashtbl.replace phases phase (prev +. dt))
+    ~finally:(fun () -> add_phase (current ()).phases phase (Sys.time () -. t0))
     f
 
-let snapshot () =
-  { factorizations = !factorizations;
-    moment_solves = !moment_solves;
-    fits = !fits;
-    fit_retries = !fit_retries;
-    order_escalations = !order_escalations;
-    mna_builds = !mna_builds;
+let snapshot_of c =
+  { factorizations = c.factorizations_c;
+    moment_solves = c.moment_solves_c;
+    fits = c.fits_c;
+    fit_retries = c.fit_retries_c;
+    order_escalations = c.order_escalations_c;
+    mna_builds = c.mna_builds_c;
     phase_seconds =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) phases []
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.phases []
       |> List.sort compare }
+
+let snapshot () = snapshot_of (current ())
+
+let zero =
+  { factorizations = 0;
+    moment_solves = 0;
+    fits = 0;
+    fit_retries = 0;
+    order_escalations = 0;
+    mna_builds = 0;
+    phase_seconds = [] }
 
 let diff a b =
   let sub l l' =
@@ -84,6 +122,49 @@ let diff a b =
     order_escalations = a.order_escalations - b.order_escalations;
     mna_builds = a.mna_builds - b.mna_builds;
     phase_seconds = sub a.phase_seconds b.phase_seconds }
+
+let merge a b =
+  let phases =
+    (* union by phase name; keys of both lists, each counted once *)
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun (k, v) -> add_phase tbl k v) a.phase_seconds;
+    List.iter (fun (k, v) -> add_phase tbl k v) b.phase_seconds;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  { factorizations = a.factorizations + b.factorizations;
+    moment_solves = a.moment_solves + b.moment_solves;
+    fits = a.fits + b.fits;
+    fit_retries = a.fit_retries + b.fit_retries;
+    order_escalations = a.order_escalations + b.order_escalations;
+    mna_builds = a.mna_builds + b.mna_builds;
+    phase_seconds = phases }
+
+let scoped f =
+  let outer = current () in
+  let inner = fresh () in
+  Domain.DLS.set key inner;
+  let restore () =
+    Domain.DLS.set key outer;
+    (* fold the window back in so the domain's counters stay monotone
+       and an enclosing snapshot/diff still sees this work *)
+    outer.factorizations_c <- outer.factorizations_c + inner.factorizations_c;
+    outer.moment_solves_c <- outer.moment_solves_c + inner.moment_solves_c;
+    outer.fits_c <- outer.fits_c + inner.fits_c;
+    outer.fit_retries_c <- outer.fit_retries_c + inner.fit_retries_c;
+    outer.order_escalations_c <-
+      outer.order_escalations_c + inner.order_escalations_c;
+    outer.mna_builds_c <- outer.mna_builds_c + inner.mna_builds_c;
+    Hashtbl.iter (fun k v -> add_phase outer.phases k v) inner.phases
+  in
+  match f () with
+  | v ->
+    let s = snapshot_of inner in
+    restore ();
+    (v, s)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    restore ();
+    Printexc.raise_with_backtrace e bt
 
 let pp ppf s =
   Format.fprintf ppf "@[<v>";

@@ -3,8 +3,21 @@
     Every factorization ({!Moments.make}), moment substitution
     ({!Moments.advance}), moment-matching fit ({!Moment_match.fit}),
     in-fit order reduction, and order escalation ({!Awe.auto}) bumps a
-    global counter; phase CPU time accumulates under a phase name.
+    counter; phase CPU time accumulates under a phase name.
     [Sta.analyze] additionally counts MNA assemblies.
+
+    The counters are {e domain-local}: each domain owns an independent
+    counter record, so concurrent solves in a {!Parallel} pool never
+    contend or interleave.  Within one domain the counters are
+    monotone and the classic before/after [snapshot] + [diff] idiom
+    measures a region of code.  Parallel drivers instead wrap each
+    task in [scoped] — which observes exactly that task's counts,
+    wherever it ran — and combine the per-task windows with the
+    commutative, associative [merge], so reported totals are identical
+    for any execution schedule and any job count.  ([phase_seconds] is
+    per-domain CPU time and is summed by [merge]; unlike the integer
+    counters it is measurement, not arithmetic, and may vary run to
+    run.)
 
     The counters exist to make the paper's central economy checkable:
     timing a net with N sinks must show exactly one factorization, and
@@ -22,12 +35,29 @@ type snapshot = {
 }
 
 val reset : unit -> unit
-(** Zero all counters and phase timers. *)
+(** Zero the calling domain's counters and phase timers. *)
 
 val snapshot : unit -> snapshot
+(** The calling domain's counters. *)
+
+val zero : snapshot
+(** The all-zero snapshot — the identity of {!merge}. *)
 
 val diff : snapshot -> snapshot -> snapshot
-(** [diff after before] — per-analysis deltas. *)
+(** [diff after before] — per-region deltas within one domain. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; phase lists are unioned by name.  Commutative and
+    associative on the integer counters, so folding per-task [scoped]
+    windows in any order yields the same totals. *)
+
+val scoped : (unit -> 'a) -> 'a * snapshot
+(** [scoped f] runs [f] against a fresh counter window and returns its
+    result together with exactly the counts [f] produced, independent
+    of which domain ran it or what ran before.  The window is folded
+    back into the enclosing record afterwards, so an outer
+    [snapshot]/[diff] still sees the work.  Exception-safe (the window
+    is folded back, the exception re-raised). *)
 
 val record_factorization : unit -> unit
 
@@ -42,6 +72,7 @@ val record_order_escalation : unit -> unit
 val record_mna_build : unit -> unit
 
 val time : string -> (unit -> 'a) -> 'a
-(** [time phase f] runs [f], accumulating its CPU time under [phase]. *)
+(** [time phase f] runs [f], accumulating its CPU time under [phase]
+    in the calling domain's record. *)
 
 val pp : Format.formatter -> snapshot -> unit

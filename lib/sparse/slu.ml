@@ -4,8 +4,18 @@ module Iset = Set.Make (Int)
 
 (* Greedy minimum-degree ordering on the symmetrized nonzero pattern:
    eliminating low-degree vertices first keeps the LU factors of
-   tree-like circuit matrices nearly fill-free.  Naive quadratic-ish
-   implementation; adequate for the circuit sizes this library targets. *)
+   tree-like circuit matrices nearly fill-free.
+
+   The pivot pick uses degree buckets — doubly-linked vertex lists
+   threaded through [bnext]/[bprev], one list per degree, with a
+   monotone-up minimum-degree cursor — so selecting each pivot is
+   O(1) amortized instead of the former O(n) scan over all remaining
+   vertices (which made the ordering itself quadratic on large meshes
+   and dominated the factorization it was meant to cheapen).  The
+   elimination-graph update keeps the invariant that [adj.(v)] holds
+   only live (uneliminated) vertices, so a vertex's degree is exactly
+   [Iset.cardinal adj.(v)] and bucket moves happen only for the
+   pivot's neighbors — the vertices whose degree can change. *)
 let min_degree_order a =
   let n = Csr.rows a in
   let adj = Array.make n Iset.empty in
@@ -16,29 +26,52 @@ let min_degree_order a =
           adj.(j) <- Iset.add i adj.(j)
         end)
   done;
-  let eliminated = Array.make n false in
+  (* degree buckets: head.(d) is the first vertex of degree d, the
+     rest chained through bnext/bprev (-1 terminates) *)
+  let head = Array.make (Stdlib.max n 1) (-1) in
+  let bnext = Array.make n (-1) in
+  let bprev = Array.make n (-1) in
+  let deg = Array.make n 0 in
+  let bucket_insert v d =
+    deg.(v) <- d;
+    bnext.(v) <- head.(d);
+    bprev.(v) <- -1;
+    if head.(d) >= 0 then bprev.(head.(d)) <- v;
+    head.(d) <- v
+  in
+  let bucket_remove v =
+    let d = deg.(v) in
+    if bprev.(v) >= 0 then bnext.(bprev.(v)) <- bnext.(v)
+    else head.(d) <- bnext.(v);
+    if bnext.(v) >= 0 then bprev.(bnext.(v)) <- bprev.(v)
+  in
+  for v = 0 to n - 1 do
+    bucket_insert v (Iset.cardinal adj.(v))
+  done;
   let order = Array.make n 0 in
+  let mind = ref 0 in
   for k = 0 to n - 1 do
-    (* pick the remaining vertex of least degree *)
-    let best = ref (-1) and best_deg = ref max_int in
-    for v = 0 to n - 1 do
-      if not eliminated.(v) then begin
-        let d = Iset.cardinal adj.(v) in
-        if d < !best_deg then begin
-          best_deg := d;
-          best := v
-        end
-      end
+    (* the cursor only moves up here; eliminations that lower a
+       neighbor's degree pull it back down at the bucket move *)
+    while head.(!mind) < 0 do
+      incr mind
     done;
-    let v = !best in
+    let v = head.(!mind) in
+    bucket_remove v;
     order.(k) <- v;
-    eliminated.(v) <- true;
+    let nbrs = adj.(v) in
+    adj.(v) <- Iset.empty;
     (* connect the neighbors of v into a clique (the fill v causes) *)
-    let nbrs = Iset.filter (fun w -> not eliminated.(w)) adj.(v) in
     Iset.iter
       (fun w ->
-        adj.(w) <- Iset.remove v adj.(w);
-        adj.(w) <- Iset.union adj.(w) (Iset.remove w nbrs))
+        let adj_w = Iset.union (Iset.remove v adj.(w)) (Iset.remove w nbrs) in
+        adj.(w) <- adj_w;
+        let d = Iset.cardinal adj_w in
+        if d <> deg.(w) then begin
+          bucket_remove w;
+          bucket_insert w d;
+          if d < !mind then mind := d
+        end)
       nbrs
   done;
   order
@@ -64,10 +97,17 @@ let nnz_factors f =
   in
   count f.l_cols + count f.u_cols + f.n
 
-let factor a0 =
+let factor ?order a0 =
   let n = Csr.rows a0 in
   if Csr.cols a0 <> n then invalid_arg "Slu.factor: matrix not square";
-  let ord = min_degree_order a0 in
+  let ord =
+    match order with
+    | None -> min_degree_order a0
+    | Some o ->
+      if Array.length o <> n then
+        invalid_arg "Slu.factor: order is not a permutation of the columns";
+      o
+  in
   let a = Csr.permute a0 ~rows:ord ~cols:ord in
   let acsc = Csr.transpose a in
   (* column j of [a] = row j of [acsc] *)
@@ -82,6 +122,11 @@ let factor a0 =
   let x = Array.make n 0. in
   let touched = Array.make n 0 in
   let is_touched = Array.make n false in
+  (* symbolic-DFS visit marks, reused across columns: [seen.(k) = j]
+     means pivot position [k] was reached while processing column [j].
+     A stamp compare replaces the per-column scratch Hashtbl the DFS
+     used to allocate (and rehash) inside the factorization loop. *)
+  let seen = Array.make n (-1) in
   for j = 0 to n - 1 do
     let ntouched = ref 0 in
     let touch r =
@@ -98,10 +143,9 @@ let factor a0 =
     (* symbolic phase: DFS from the pivotal rows present in the pattern,
        collecting a reverse-postorder = topological order of updates *)
     let order = ref [] in
-    let seen = Hashtbl.create 16 in
     let rec dfs k =
-      if not (Hashtbl.mem seen k) then begin
-        Hashtbl.add seen k ();
+      if seen.(k) <> j then begin
+        seen.(k) <- j;
         Array.iter
           (fun (r, _) ->
             touch r;

@@ -18,11 +18,22 @@ exception Singular of int
     unknown whose equation set is rank deficient, which MNA callers
     map back to a node name or branch element. *)
 
-val factor : Csr.t -> t
+val min_degree_order : Csr.t -> int array
+(** Greedy minimum-degree ordering of the symmetrized nonzero
+    pattern, the fill-reducing permutation [factor] applies by
+    default.  Pivot selection uses degree buckets (a doubly-linked
+    vertex list per degree), so picking each pivot is O(1) amortized
+    rather than a scan over all remaining vertices. *)
+
+val factor : ?order:int array -> Csr.t -> t
 (** Factor a square CSR matrix.  Raises [Singular] on structural or
     numerical rank deficiency.  {!Matching.structurally_singular} on
     the same pattern predicts the structural subset of these failures
-    without any arithmetic. *)
+    without any arithmetic.
+
+    [order] overrides the fill-reducing symmetric permutation (default
+    {!min_degree_order}); it must be a permutation of [0 .. n-1].
+    Exposed so orderings can be compared by the fill they produce. *)
 
 val solve : t -> Linalg.Vec.t -> Linalg.Vec.t
 (** [solve f b] returns [x] with [A x = b]. *)

@@ -92,10 +92,13 @@ type net_timing = {
   sinks : sink_timing list;
 }
 
+type net_failure = { failed_net : string; reason : string }
+
 type report = {
   nets : net_timing list;
   critical_arrival : float;
   critical_path : string list;
+  failures : net_failure list;
   stats : Awe.Stats.snapshot;
 }
 
@@ -260,8 +263,8 @@ let net_sink_timings (d : design) ~model ~options ~net ~driver_res ~slew =
     | Invalid_argument msg -> malformed "net %s: %s" net msg
   end
 
-let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
-  let stats_before = Awe.Stats.snapshot () in
+let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
+    (d : design) =
   let options = { Awe.default_options with Awe.sparse } in
   (* topological order over nets *)
   let gates = List.rev d.gates in
@@ -286,19 +289,12 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
   let sink_results : (string * string, sink_timing) Hashtbl.t =
     Hashtbl.create 16
   in
-  let time_net net =
-    let driver_arrival, slew, path =
-      match Hashtbl.find_opt arrival_at_net net with
-      | Some v -> v
-      | None -> malformed "net %s is undriven" net
-    in
-    let driver_res =
-      match driver_of d net with
-      | Some g -> g.cell.drive_res
-      | None ->
-        if Hashtbl.mem d.pis net then 1e-3 (* ideal primary input *)
-        else malformed "net %s is undriven" net
-    in
+  let merged_stats = ref Awe.Stats.zero in
+  let failures = ref [] in
+  (* bookkeeping half of timing one net: publish sink timings and
+     propagate arrivals through the sink gates.  Runs sequentially, in
+     sorted net order, on the calling domain. *)
+  let record_net net driver_arrival timings =
     let sinks =
       List.map
         (fun (inst, delay, sink_slew) ->
@@ -310,7 +306,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
           in
           Hashtbl.replace sink_results (net, inst) st;
           st)
-        (net_sink_timings d ~model ~options ~net ~driver_res ~slew)
+        timings
     in
     Hashtbl.replace timed net { net_name = net; driver_arrival; sinks };
     (* propagate through sink gates *)
@@ -318,7 +314,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
       (fun g ->
         match Hashtbl.find_opt sink_results (net, g.inst) with
         | None -> ()
-        | Some st ->
+        | Some _ ->
           (* gate output net arrival = max over timed inputs + intrinsic;
              only update when all inputs are timed *)
           let all_inputs_timed =
@@ -326,7 +322,6 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
               (fun inp -> Hashtbl.mem sink_results (inp, g.inst))
               g.inputs
           in
-          ignore st;
           if all_inputs_timed then begin
             let worst, worst_net =
               List.fold_left
@@ -346,25 +341,87 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
                 worst_sink.sink_slew,
                 (g.output :: worst_path) )
           end)
-      (sinks_of d net);
-    ignore path
+      (sinks_of d net)
   in
-  (* Kahn-style scheduling over nets *)
+  (* Kahn-style scheduling over nets, one wave at a time.  All nets of
+     a wave are ready simultaneously — their driver arrivals and slews
+     were frozen by earlier waves — so the expensive per-net solve
+     (MNA build, factorization, moment fits) is a pure function of the
+     wave-start state and fans out across the pool.  Results are
+     recorded sequentially in sorted net order, so reports and merged
+     counters are bit-identical to a sequential run for any [jobs]. *)
   let all_nets = Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] in
   let remaining = ref (List.sort compare all_nets) in
-  let progress = ref true in
-  while !remaining <> [] && !progress do
-    progress := false;
-    let ready, blocked =
-      List.partition (fun net -> Hashtbl.mem arrival_at_net net) !remaining
-    in
-    if ready <> [] then begin
-      progress := true;
-      List.iter time_net ready;
-      remaining := blocked
-    end
-  done;
-  if !remaining <> [] then raise (Not_a_dag !remaining);
+  Parallel.with_pool ~jobs (fun pool ->
+      let progress = ref true in
+      while !remaining <> [] && !progress do
+        progress := false;
+        let ready, blocked =
+          List.partition (fun net -> Hashtbl.mem arrival_at_net net) !remaining
+        in
+        if ready <> [] then begin
+          progress := true;
+          let prep =
+            Array.of_list
+              (List.map
+                 (fun net ->
+                   let driver_arrival, slew, _path =
+                     Hashtbl.find arrival_at_net net
+                   in
+                   let driver_res =
+                     match driver_of d net with
+                     | Some g -> g.cell.drive_res
+                     | None ->
+                       if Hashtbl.mem d.pis net then 1e-3
+                         (* ideal primary input *)
+                       else malformed "net %s is undriven" net
+                   in
+                   (net, driver_arrival, slew, driver_res))
+                 ready)
+          in
+          let results =
+            Parallel.map
+              ~label:(fun i ->
+                let net, _, _, _ = prep.(i) in
+                "net " ^ net)
+              pool
+              (fun (net, _, slew, driver_res) ->
+                Awe.Stats.scoped (fun () ->
+                    match
+                      net_sink_timings d ~model ~options ~net ~driver_res ~slew
+                    with
+                    | timings -> Ok timings
+                    | exception Malformed msg -> Error msg))
+              prep
+          in
+          Array.iteri
+            (fun i (outcome, window) ->
+              (* counter merge in input order: integer sums commute, so
+                 the total is schedule-independent *)
+              merged_stats := Awe.Stats.merge !merged_stats window;
+              let net, driver_arrival, _, _ = prep.(i) in
+              match outcome with
+              | Ok timings -> record_net net driver_arrival timings
+              | Error msg ->
+                (* a failed net reports its diagnostic; siblings keep
+                   their (already computed) results either way *)
+                if strict then raise (Malformed msg)
+                else failures := { failed_net = net; reason = msg } :: !failures)
+            results;
+          remaining := blocked
+        end
+      done);
+  if !remaining <> [] then begin
+    if !failures = [] then raise (Not_a_dag !remaining)
+    else
+      (* downstream of a failed net: nothing to time, but say why *)
+      List.iter
+        (fun net ->
+          failures :=
+            { failed_net = net; reason = "not timed: an upstream net failed" }
+            :: !failures)
+        !remaining
+  end;
   (* critical arrival over primary outputs (or all sinks if none marked) *)
   let candidate_nets = if d.pos = [] then all_nets else d.pos in
   let critical_arrival, critical_net =
@@ -395,7 +452,8 @@ let analyze ?(model = Awe_auto) ?(sparse = false) (d : design) =
   { nets;
     critical_arrival;
     critical_path;
-    stats = Awe.Stats.diff (Awe.Stats.snapshot ()) stats_before }
+    failures = List.rev !failures;
+    stats = !merged_stats }
 
 let pp_report ?(verbose = false) ppf r =
   Format.fprintf ppf "@[<v>";
@@ -410,6 +468,10 @@ let pp_report ?(verbose = false) ppf r =
             (s.arrival *. 1e9))
         nt.sinks)
     r.nets;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "net %-10s FAILED: %s@," f.failed_net f.reason)
+    r.failures;
   Format.fprintf ppf "critical arrival: %.4g ns via %a"
     (r.critical_arrival *. 1e9)
     (Format.pp_print_list

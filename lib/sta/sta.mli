@@ -105,16 +105,27 @@ type net_timing = {
   sinks : sink_timing list;
 }
 
+type net_failure = {
+  failed_net : string;
+  reason : string;  (** the net's own diagnostic, or a propagation note *)
+}
+(** A net that could not be timed (non-strict mode only). *)
+
 type report = {
   nets : net_timing list;
   critical_arrival : float;  (** latest arrival at any primary output *)
   critical_path : string list;  (** nets on the latest path, source first *)
+  failures : net_failure list;
+      (** nets skipped in non-strict mode, with their diagnostics;
+          always empty when [strict] (the default) *)
   stats : Awe.Stats.snapshot;
       (** engine counters for this analysis: one MNA build and one
           factorization per net, however many sinks it has *)
 }
 
-val analyze : ?model:delay_model -> ?sparse:bool -> design -> report
+val analyze :
+  ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
+  design -> report
 (** Topological timing propagation.  Raises [Not_a_dag] on cycles and
     [Malformed] on dangling references (undriven nets, unknown sinks).
     Default model is [Awe_auto].
@@ -124,7 +135,19 @@ val analyze : ?model:delay_model -> ?sparse:bool -> design -> report
     every sink; adaptive order escalation extends the shared sequence
     instead of recomputing it.  [sparse] (default [false]) routes the
     per-net factorization through the sparse LU — worthwhile on large
-    nets. *)
+    nets.
+
+    [jobs] (default 1) fans the per-net solves of each topological
+    wave across a {!Parallel} pool.  Nets of one wave are independent
+    — their driver arrivals and slews were fixed by earlier waves — and
+    results are recorded in sorted net order, so the report (and its
+    merged [stats]) is bit-identical for every [jobs] value.
+
+    [strict] (default [true]) governs per-net failures: strict raises
+    [Malformed] for the first (lowest-sorted) failing net, matching a
+    sequential sweep; non-strict records the diagnostic in [failures],
+    keeps timing the sibling nets, and lists everything downstream of
+    a failed net as "not timed". *)
 
 val net_circuit :
   design -> net:string -> driver_res:float -> slew:float ->

@@ -225,14 +225,15 @@ let run_test ~rand ~parser ~escapes test =
   | exception Test.Test_error (_, arg, e, _) ->
     [ { parser; input = arg; exn_text = Printexc.to_string e } ]
 
+let run_parser ~parser ~seed ~count =
+  (* a fresh generator per parser keeps the two sweeps independent of
+     each other's draw counts (and lets them run concurrently) *)
+  let rand = Random.State.make [| seed; Hashtbl.hash parser |] in
+  match parser with
+  | ".sp" -> run_test ~rand ~parser ~escapes:sp_escapes (sp_test ~count)
+  | ".sta" -> run_test ~rand ~parser ~escapes:sta_escapes (sta_test ~count)
+  | _ -> invalid_arg "Fuzz.run_parser: parser must be \".sp\" or \".sta\""
+
 let run ~seed ~count =
-  let failures = ref [] in
-  let check ~parser ~escapes test =
-    (* a fresh generator per parser keeps the two sweeps independent
-       of each other's draw counts *)
-    let rand = Random.State.make [| seed; Hashtbl.hash parser |] in
-    failures := !failures @ run_test ~rand ~parser ~escapes test
-  in
-  check ~parser:".sp" ~escapes:sp_escapes (sp_test ~count);
-  check ~parser:".sta" ~escapes:sta_escapes (sta_test ~count);
-  !failures
+  run_parser ~parser:".sp" ~seed ~count
+  @ run_parser ~parser:".sta" ~seed ~count

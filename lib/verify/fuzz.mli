@@ -27,6 +27,12 @@ type failure = {
   exn_text : string;  (** the escaping exception *)
 }
 
+val run_parser : parser:string -> seed:int -> count:int -> failure list
+(** Run one parser's fuzzer ([".sp"] or [".sta"]) for [count] inputs
+    with a deterministic generator derived from [seed] and the parser
+    name — so the two sweeps are independent and may run
+    concurrently. *)
+
 val run : seed:int -> count:int -> failure list
 (** Run both fuzzers for [count] inputs each with a deterministic
     generator seeded by [seed]; returns the shrunk failures (empty

@@ -25,6 +25,7 @@ type config = {
   fuzz_count : int;  (** fuzz inputs per parser *)
   tol : Oracle.tol;
   repro_dir : string option;  (** where to write shrunk fuzz decks *)
+  jobs : int;  (** parallel fan-out across cases/props/fuzzers *)
 }
 
 let default_config =
@@ -33,7 +34,8 @@ let default_config =
     prop_count = 60;
     fuzz_count = 1000;
     tol = Oracle.default_tol;
-    repro_dir = None }
+    repro_dir = None;
+    jobs = 1 }
 
 type prop_failure = {
   prop : string;
@@ -77,40 +79,86 @@ let write_repros ~dir failures =
   end
 
 let run ?(progress = fun _ -> ()) config =
-  (* layer 1: the differential oracle over random circuits *)
+  Parallel.with_pool ~jobs:config.jobs @@ fun pool ->
+  (* Every task is a pure function of (config, index) — each oracle
+     case, property run, and fuzzer derives its own RNG from its seed
+     — and results fold sequentially in index order, so the report is
+     bit-identical for any [jobs]. *)
+  (* layer 1: the differential oracle over random circuits, in chunks
+     of 50 so the progress cadence survives the fan-out *)
   let oracle_failures = ref [] in
   let worst = ref (neg_infinity, None) in
-  for i = 0 to config.count - 1 do
-    let case = Cases.random_case ~seed:(config.seed + i) in
-    let o = Oracle.check ~tol:config.tol case in
-    if Float.is_finite o.Oracle.measured && o.Oracle.measured > fst !worst then
-      worst := (o.Oracle.measured, Some case);
-    if not (Oracle.passed o) then oracle_failures := o :: !oracle_failures;
-    if (i + 1) mod 50 = 0 then
+  let chunk = 50 in
+  let i = ref 0 in
+  while !i < config.count do
+    let base = !i in
+    let len = Stdlib.min chunk (config.count - base) in
+    let outcomes =
+      Parallel.map
+        ~label:(fun k -> Printf.sprintf "case %d" (config.seed + base + k))
+        pool
+        (fun seed ->
+          let case = Cases.random_case ~seed in
+          (case, Oracle.check ~tol:config.tol case))
+        (Array.init len (fun k -> config.seed + base + k))
+    in
+    Array.iter
+      (fun (case, o) ->
+        if
+          Float.is_finite o.Oracle.measured && o.Oracle.measured > fst !worst
+        then worst := (o.Oracle.measured, Some case);
+        if not (Oracle.passed o) then oracle_failures := o :: !oracle_failures)
+      outcomes;
+    i := base + len;
+    if !i mod chunk = 0 then
       progress
-        (Printf.sprintf "oracle: %d/%d cases, %d failures" (i + 1)
-           config.count
+        (Printf.sprintf "oracle: %d/%d cases, %d failures" !i config.count
            (List.length !oracle_failures))
   done;
-  (* layer 2: metamorphic properties *)
-  let prop_failures = ref [] in
-  let prop_run = ref 0 in
-  List.iter
-    (fun (name, prop) ->
-      for j = 0 to config.prop_count - 1 do
-        incr prop_run;
-        let prop_seed = config.seed + j in
+  (* layer 2: metamorphic properties, one task per (property, seed) *)
+  let prop_tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (name, prop) ->
+           List.init config.prop_count (fun j ->
+               (name, prop, config.seed + j)))
+         Props.all)
+  in
+  let prop_outcomes =
+    Parallel.map
+      ~label:(fun k ->
+        let name, _, seed = prop_tasks.(k) in
+        Printf.sprintf "%s seed %d" name seed)
+      pool
+      (fun (name, prop, prop_seed) ->
         match prop ~seed:prop_seed with
-        | () -> ()
+        | () -> None
         | exception e ->
-          prop_failures :=
-            { prop = name; prop_seed; message = Printexc.to_string e }
-            :: !prop_failures
-      done;
+          Some { prop = name; prop_seed; message = Printexc.to_string e })
+      prop_tasks
+  in
+  let prop_failures = ref [] in
+  Array.iter
+    (function
+      | Some f -> prop_failures := f :: !prop_failures
+      | None -> ())
+    prop_outcomes;
+  let prop_run = ref (Array.length prop_tasks) in
+  List.iter
+    (fun (name, _) ->
       progress (Printf.sprintf "prop %s: %d seeds" name config.prop_count))
     Props.all;
-  (* layer 3: parser fuzzing *)
-  let fuzz_failures = Fuzz.run ~seed:config.seed ~count:config.fuzz_count in
+  (* layer 3: parser fuzzing — the two parsers' sweeps use independent
+     generators, so they are two tasks *)
+  let fuzz_failures =
+    Parallel.map
+      ~label:(fun k -> if k = 0 then "fuzz .sp" else "fuzz .sta")
+      pool
+      (fun parser ->
+        Fuzz.run_parser ~parser ~seed:config.seed ~count:config.fuzz_count)
+      [| ".sp"; ".sta" |]
+    |> Array.to_list |> List.concat
+  in
   progress
     (Printf.sprintf "fuzz: %d inputs per parser, %d escapes"
        config.fuzz_count

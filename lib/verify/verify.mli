@@ -26,11 +26,13 @@ type config = {
   fuzz_count : int;  (** fuzz inputs per parser *)
   tol : Oracle.tol;
   repro_dir : string option;  (** where to write shrunk fuzz decks *)
+  jobs : int;  (** parallel fan-out across cases/props/fuzzers *)
 }
 
 val default_config : config
 (** seed 42, 200 oracle cases, 60 seeds per property, 1000 fuzz
-    inputs per parser, {!Oracle.default_tol}, no repro directory. *)
+    inputs per parser, {!Oracle.default_tol}, no repro directory,
+    jobs 1. *)
 
 type prop_failure = {
   prop : string;
@@ -57,6 +59,11 @@ val run : ?progress:(string -> unit) -> config -> report
 (** Run the full sweep.  [progress] receives one-line status messages
     as layers advance (default: silent).  Failures accumulate in the
     report; [run] itself only raises on I/O errors writing repro
-    decks. *)
+    decks.
+
+    [config.jobs] > 1 fans the individual oracle cases, property
+    runs, and the two parser fuzzers across a {!Parallel} pool.  Each
+    task derives its RNG from its own seed and results fold in index
+    order, so the report is bit-identical for any job count. *)
 
 val pp_report : Format.formatter -> report -> unit

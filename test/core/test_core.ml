@@ -1187,6 +1187,82 @@ let test_engine_auto_solve_budget () =
     (d.Awe.Stats.order_escalations >= a.Awe.q - 1)
 
 (* ------------------------------------------------------------------ *)
+(* Stats: the merge algebra and scoped windows that make parallel
+   counter totals schedule-independent *)
+
+let snap ?(phases = []) f m fi r e b =
+  { Awe.Stats.factorizations = f;
+    moment_solves = m;
+    fits = fi;
+    fit_retries = r;
+    order_escalations = e;
+    mna_builds = b;
+    phase_seconds = phases }
+
+let stat_ints (s : Awe.Stats.snapshot) =
+  Awe.Stats.
+    ( s.factorizations,
+      s.moment_solves,
+      s.fits,
+      s.fit_retries,
+      s.order_escalations,
+      s.mna_builds )
+
+let test_stats_merge_algebra () =
+  let phases (s : Awe.Stats.snapshot) =
+    List.sort compare s.Awe.Stats.phase_seconds
+  in
+  let a = snap ~phases:[ ("lu", 0.25) ] 1 2 3 4 5 6
+  and b = snap ~phases:[ ("lu", 0.5); ("fit", 1.) ] 10 20 30 40 50 60
+  and c = snap 100 0 1 0 2 7 in
+  let m1 = Awe.Stats.merge a b and m2 = Awe.Stats.merge b a in
+  Alcotest.(check bool) "commutative counters" true
+    (stat_ints m1 = stat_ints m2);
+  Alcotest.(check bool) "commutative phases" true (phases m1 = phases m2);
+  check_close "shared phase sums" 0.75
+    (List.assoc "lu" m1.Awe.Stats.phase_seconds);
+  check_close "disjoint phase kept" 1.
+    (List.assoc "fit" m1.Awe.Stats.phase_seconds);
+  let l = Awe.Stats.merge (Awe.Stats.merge a b) c
+  and r = Awe.Stats.merge a (Awe.Stats.merge b c) in
+  Alcotest.(check bool) "associative" true
+    (stat_ints l = stat_ints r && phases l = phases r);
+  Alcotest.(check bool) "zero is the identity" true
+    (stat_ints (Awe.Stats.merge a Awe.Stats.zero) = stat_ints a
+    && stat_ints (Awe.Stats.merge Awe.Stats.zero a) = stat_ints a)
+
+let test_stats_scoped_window () =
+  (* pre-existing counts must not leak into the window, and the window
+     must fold back so an enclosing snapshot/diff still sees the work *)
+  Awe.Stats.record_fit ();
+  let s0 = Awe.Stats.snapshot () in
+  let f25 = Samples.fig25 () in
+  let sys = Mna.build f25.Samples.circuit in
+  let _, w =
+    Awe.Stats.scoped (fun () -> Awe.auto ~tol:0.02 sys ~node:f25.Samples.out)
+  in
+  Alcotest.(check int) "window: exactly one factorization" 1
+    w.Awe.Stats.factorizations;
+  Alcotest.(check bool) "window: no leaked prior counts" true
+    (w.Awe.Stats.moment_solves >= 2);
+  let d = Awe.Stats.diff (Awe.Stats.snapshot ()) s0 in
+  Alcotest.(check bool) "outer diff sees the scoped work" true
+    (stat_ints d = stat_ints w)
+
+let test_stats_scoped_exception_safe () =
+  let s0 = Awe.Stats.snapshot () in
+  (match
+     Awe.Stats.scoped (fun () ->
+         Awe.Stats.record_mna_build ();
+         failwith "boom")
+   with
+  | _ -> Alcotest.fail "expected the exception to re-raise"
+  | exception Failure _ -> ());
+  let d = Awe.Stats.diff (Awe.Stats.snapshot ()) s0 in
+  Alcotest.(check int) "window folded back on exception" 1
+    d.Awe.Stats.mna_builds
+
+(* ------------------------------------------------------------------ *)
 (* AC analysis *)
 
 let test_ac_exact_rc_lowpass () =
@@ -1408,6 +1484,11 @@ let () =
             test_engine_escalation_cost_two_solves;
           Alcotest.test_case "auto solve budget" `Quick
             test_engine_auto_solve_budget ] );
+      ( "stats",
+        [ Alcotest.test_case "merge algebra" `Quick test_stats_merge_algebra;
+          Alcotest.test_case "scoped window" `Quick test_stats_scoped_window;
+          Alcotest.test_case "scoped exception safety" `Quick
+            test_stats_scoped_exception_safe ] );
       ( "ac",
         [ Alcotest.test_case "exact RC lowpass" `Quick
             test_ac_exact_rc_lowpass;

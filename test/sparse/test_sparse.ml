@@ -332,6 +332,148 @@ let prop_matching_agrees_with_reference =
           !ok && !matched = r.Matching.size))
 
 (* ------------------------------------------------------------------ *)
+(* minimum-degree ordering: the degree-bucket pivot pick against the
+   naive linear-scan reference it replaced *)
+
+module Iset = Set.Make (Int)
+
+(* the former implementation, kept verbatim as the fill reference:
+   scan all remaining vertices, lowest degree (lowest index on ties) *)
+let naive_min_degree_order a =
+  let n = Csr.rows a in
+  let adj = Array.make n Iset.empty in
+  for i = 0 to n - 1 do
+    Csr.row_iter a i (fun j _ ->
+        if i <> j then begin
+          adj.(i) <- Iset.add j adj.(i);
+          adj.(j) <- Iset.add i adj.(j)
+        end)
+  done;
+  let eliminated = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let best = ref (-1) and best_deg = ref max_int in
+    for v = 0 to n - 1 do
+      if not eliminated.(v) then begin
+        let d = Iset.cardinal adj.(v) in
+        if d < !best_deg then begin
+          best_deg := d;
+          best := v
+        end
+      end
+    done;
+    let v = !best in
+    order.(k) <- v;
+    eliminated.(v) <- true;
+    let nbrs = Iset.filter (fun w -> not eliminated.(w)) adj.(v) in
+    Iset.iter
+      (fun w ->
+        adj.(w) <- Iset.remove v adj.(w);
+        adj.(w) <- Iset.union adj.(w) (Iset.remove w nbrs))
+      nbrs
+  done;
+  order
+
+(* diagonally dominant test matrices over classic graph shapes *)
+let path_matrix n =
+  let c = Coo.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    Coo.add c i i 4.;
+    if i + 1 < n then begin
+      Coo.add c i (i + 1) (-1.);
+      Coo.add c (i + 1) i (-1.)
+    end
+  done;
+  Csr.of_coo c
+
+let star_matrix n =
+  let c = Coo.create ~rows:n ~cols:n in
+  Coo.add c 0 0 (float_of_int n);
+  for i = 1 to n - 1 do
+    Coo.add c i i 4.;
+    Coo.add c 0 i (-1.);
+    Coo.add c i 0 (-1.)
+  done;
+  Csr.of_coo c
+
+let grid_matrix k =
+  (* k x k five-point stencil *)
+  let n = k * k in
+  let c = Coo.create ~rows:n ~cols:n in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      let v = (i * k) + j in
+      Coo.add c v v 8.;
+      let link w =
+        Coo.add c v w (-1.);
+        Coo.add c w v (-1.)
+      in
+      if j + 1 < k then link (v + 1);
+      if i + 1 < k then link (v + k)
+    done
+  done;
+  Csr.of_coo c
+
+let is_permutation o =
+  let n = Array.length o in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true))
+    o
+
+let test_min_degree_vs_naive () =
+  List.iter
+    (fun (name, a) ->
+      let bucket = Slu.min_degree_order a in
+      Alcotest.(check bool)
+        (name ^ ": bucket order is a permutation")
+        true (is_permutation bucket);
+      let nnz_bucket = Slu.nnz_factors (Slu.factor ~order:bucket a) in
+      let nnz_naive =
+        Slu.nnz_factors (Slu.factor ~order:(naive_min_degree_order a) a)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: bucket fill %d <= naive fill %d" name nnz_bucket
+           nnz_naive)
+        true
+        (nnz_bucket <= nnz_naive))
+    [ ("path", path_matrix 30);
+      ("star", star_matrix 30);
+      ("grid", grid_matrix 7) ]
+
+let test_factor_order_validation () =
+  let a = path_matrix 4 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Slu.factor: order is not a permutation of the columns")
+    (fun () -> ignore (Slu.factor ~order:[| 0; 1 |] a))
+
+let test_factor_explicit_order_solves () =
+  (* any permutation must still solve the system exactly *)
+  let n = 20 in
+  let a = grid_matrix 4 in
+  let x = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  let b = Csr.mul_vec a x in
+  List.iter
+    (fun (name, order) ->
+      let x' = Slu.solve (Slu.factor ~order a) b in
+      Alcotest.(check bool) (name ^ " order solves") true
+        (Linalg.Vec.dist_inf x x' <= 1e-9))
+    [ ("natural", Array.init 16 Fun.id);
+      ("reversed", Array.init 16 (fun i -> 15 - i));
+      ("min-degree", Slu.min_degree_order a) ];
+  ignore n
+
+let test_factor_repeatable () =
+  (* the reused visit-stamp array must leave no state between calls:
+     factoring the same matrix twice gives identical factors *)
+  let a = grid_matrix 6 in
+  let f1 = Slu.factor a and f2 = Slu.factor a in
+  Alcotest.(check int) "same fill" (Slu.nnz_factors f1) (Slu.nnz_factors f2);
+  let b = Array.init (Csr.rows a) (fun i -> Float.of_int (i - 7)) in
+  Alcotest.(check bool) "bit-identical solves" true
+    (Slu.solve f1 b = Slu.solve f2 b)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -355,7 +497,15 @@ let () =
           Alcotest.test_case "singular" `Quick test_slu_singular;
           Alcotest.test_case "structurally singular" `Quick
             test_slu_structurally_singular;
-          Alcotest.test_case "fill metric" `Quick test_slu_fill_reported ]
+          Alcotest.test_case "fill metric" `Quick test_slu_fill_reported;
+          Alcotest.test_case "min-degree vs naive fill" `Quick
+            test_min_degree_vs_naive;
+          Alcotest.test_case "order validation" `Quick
+            test_factor_order_validation;
+          Alcotest.test_case "explicit orders solve" `Quick
+            test_factor_explicit_order_solves;
+          Alcotest.test_case "factor repeatable" `Quick
+            test_factor_repeatable ]
         @ qsuite [ prop_slu_matches_dense; prop_slu_residual ] );
       ( "graph",
         [ Alcotest.test_case "spanning tree path" `Quick

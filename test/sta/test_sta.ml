@@ -387,6 +387,165 @@ let test_batch_matches_per_sink_adder () =
     r.Sta.nets;
   Alcotest.(check bool) "covered all sinks" true (!checked >= 6)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel determinism and failure isolation.  Reports, critical
+   paths, and merged engine counters must be bit-identical for any
+   [jobs]; a failing net in non-strict mode must not abort its
+   siblings.  Worker domains are forced so the cross-domain paths run
+   even on single-core machines (see [Parallel.create]). *)
+
+let () = Unix.putenv "AWESIM_FORCE_DOMAINS" "1"
+
+(* the parallel side of every jobs-1-vs-N comparison; CI runs the
+   suite twice, once with AWESIM_TEST_JOBS=4 and once with =1, so the
+   same assertions also pin the pure-sequential path *)
+let test_jobs =
+  match Sys.getenv_opt "AWESIM_TEST_JOBS" with
+  | Some s -> ( try Stdlib.max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let counters (s : Awe.Stats.snapshot) =
+  Awe.Stats.
+    ( s.factorizations,
+      s.moment_solves,
+      s.fits,
+      s.fit_retries,
+      s.order_escalations,
+      s.mna_builds )
+
+let check_reports_equal name (r1 : Sta.report) (rn : Sta.report) =
+  Alcotest.(check bool) (name ^ ": nets bit-identical") true
+    (r1.Sta.nets = rn.Sta.nets);
+  Alcotest.(check bool) (name ^ ": critical arrival bit-identical") true
+    (r1.Sta.critical_arrival = rn.Sta.critical_arrival);
+  Alcotest.(check (list string)) (name ^ ": critical path")
+    r1.Sta.critical_path rn.Sta.critical_path;
+  Alcotest.(check bool) (name ^ ": failures identical") true
+    (r1.Sta.failures = rn.Sta.failures);
+  (* the integer engine counters; phase_seconds is wall-clock
+     measurement and legitimately varies *)
+  Alcotest.(check bool) (name ^ ": merged stats identical") true
+    (counters r1.Sta.stats = counters rn.Sta.stats)
+
+let test_jobs_deterministic_adder () =
+  let d = adder_deck () in
+  let run jobs = Sta.analyze ~model:Sta.Awe_auto ~jobs d in
+  check_reports_equal "adder dense" (run 1) (run test_jobs);
+  let run jobs = Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs d in
+  check_reports_equal "adder sparse" (run 1) (run test_jobs)
+
+(* a random layered DAG: net [n0] is the primary input; every later
+   net is driven by a gate with one or two random earlier nets as
+   inputs.  Wires are a short random trunk plus one branch per sink. *)
+let random_design st ~nets =
+  let d = Sta.create () in
+  let name i = Printf.sprintf "n%d" i in
+  let cells = [| inv; buf |] in
+  let sinks = Array.make nets [] in
+  for i = 1 to nets - 1 do
+    let a = Random.State.int st i in
+    let ins =
+      if i > 1 && Random.State.bool st then
+        let b = Random.State.int st i in
+        if b = a then [ a ] else [ a; b ]
+      else [ a ]
+    in
+    let inst = Printf.sprintf "g%d" i in
+    Sta.add_gate d ~inst
+      ~cell:cells.(Random.State.int st 2)
+      ~inputs:(List.map name ins) ~output:(name i);
+    List.iter (fun j -> sinks.(j) <- inst :: sinks.(j)) ins
+  done;
+  for i = 0 to nets - 1 do
+    let r () = 50. +. Random.State.float st 450. in
+    let c () = 5e-15 +. Random.State.float st 45e-15 in
+    let trunk = 1 + Random.State.int st 2 in
+    let segs = ref [] and last = ref "drv" in
+    for k = 1 to trunk do
+      let node = Printf.sprintf "w%d" k in
+      segs := seg ~from_:!last ~to_:node ~r:(r ()) ~c:(c ()) :: !segs;
+      last := node
+    done;
+    List.iter
+      (fun s -> segs := seg ~from_:!last ~to_:s ~r:(r ()) ~c:(c ()) :: !segs)
+      sinks.(i);
+    if sinks.(i) = [] then
+      segs := seg ~from_:!last ~to_:"end" ~r:10. ~c:1e-15 :: !segs;
+    Sta.add_net d ~name:(name i) ~segments:(List.rev !segs)
+  done;
+  Sta.add_primary_input d ~net:(name 0) ~slew:(Random.State.float st 1e-9) ();
+  d
+
+let test_jobs_deterministic_random () =
+  for seed = 0 to 7 do
+    let st = Random.State.make [| 0x57A; seed |] in
+    let d = random_design st ~nets:12 in
+    let sparse = seed mod 2 = 1 in
+    let run jobs = Sta.analyze ~model:Sta.Awe_auto ~sparse ~jobs d in
+    check_reports_equal (Printf.sprintf "seed %d" seed) (run 1) (run test_jobs)
+  done
+
+(* two independent chains; chain B's first net never reaches its sink
+   pin, so timing it raises Malformed inside the pool task *)
+let broken_sibling_design () =
+  let d = Sta.create () in
+  Sta.add_gate d ~inst:"ua1" ~cell:inv ~inputs:[ "a1" ] ~output:"a2";
+  Sta.add_gate d ~inst:"ua2" ~cell:buf ~inputs:[ "a2" ] ~output:"a3";
+  Sta.add_net d ~name:"a1" ~segments:[ seg ~from_:"drv" ~to_:"ua1" ~r:100. ~c:20e-15 ];
+  Sta.add_net d ~name:"a2" ~segments:[ seg ~from_:"drv" ~to_:"ua2" ~r:150. ~c:30e-15 ];
+  Sta.add_net d ~name:"a3" ~segments:[ seg ~from_:"drv" ~to_:"end" ~r:10. ~c:1e-15 ];
+  Sta.add_gate d ~inst:"ub1" ~cell:inv ~inputs:[ "b1" ] ~output:"b2";
+  Sta.add_gate d ~inst:"ub2" ~cell:inv ~inputs:[ "b2" ] ~output:"b3";
+  Sta.add_net d ~name:"b1" ~segments:[ seg ~from_:"drv" ~to_:"oops" ~r:100. ~c:20e-15 ];
+  Sta.add_net d ~name:"b2" ~segments:[ seg ~from_:"drv" ~to_:"ub2" ~r:100. ~c:20e-15 ];
+  Sta.add_net d ~name:"b3" ~segments:[ seg ~from_:"drv" ~to_:"end" ~r:10. ~c:1e-15 ];
+  Sta.add_primary_input d ~net:"a1" ();
+  Sta.add_primary_input d ~net:"b1" ();
+  Sta.add_primary_output d ~net:"a3";
+  d
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_strict_raises () =
+  let d = broken_sibling_design () in
+  match Sta.analyze ~jobs:test_jobs d with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Sta.Malformed msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "diagnostic names the broken net (%s)" msg)
+      true (contains msg "b1")
+
+let test_non_strict_isolates () =
+  let d = broken_sibling_design () in
+  let r = Sta.analyze ~jobs:test_jobs ~strict:false d in
+  let timed = List.map (fun nt -> nt.Sta.net_name) r.Sta.nets in
+  Alcotest.(check bool) "healthy chain fully timed" true
+    (List.mem "a1" timed && List.mem "a2" timed);
+  Alcotest.(check bool) "critical arrival comes from the healthy chain"
+    true
+    (r.Sta.critical_arrival > 0.);
+  let reason net =
+    match List.find_opt (fun f -> f.Sta.failed_net = net) r.Sta.failures with
+    | Some f -> f.Sta.reason
+    | None -> Alcotest.failf "net %s missing from failures" net
+  in
+  Alcotest.(check bool) "broken net keeps its own diagnostic" true
+    (contains (reason "b1") "no segment reaching sink");
+  Alcotest.(check string) "downstream net marked untimed"
+    "not timed: an upstream net failed" (reason "b2");
+  Alcotest.(check string) "transitively downstream net marked untimed"
+    "not timed: an upstream net failed" (reason "b3");
+  Alcotest.(check bool) "broken chain absent from timed nets" true
+    (not (List.mem "b1" timed) && not (List.mem "b2" timed));
+  (* and the verdicts themselves are jobs-independent *)
+  let r1 = Sta.analyze ~jobs:1 ~strict:false d in
+  check_reports_equal "broken siblings" r1 r
+
 let () =
   Alcotest.run "sta"
     [ ( "timing",
@@ -418,4 +577,13 @@ let () =
         [ Alcotest.test_case "one factorization per net" `Quick
             test_one_factorization_per_net;
           Alcotest.test_case "batch matches per-sink (adder)" `Quick
-            test_batch_matches_per_sink_adder ] ) ]
+            test_batch_matches_per_sink_adder ] );
+      ( "parallel",
+        [ Alcotest.test_case "jobs-deterministic (adder deck)" `Quick
+            test_jobs_deterministic_adder;
+          Alcotest.test_case "jobs-deterministic (random designs)" `Quick
+            test_jobs_deterministic_random;
+          Alcotest.test_case "strict aborts on a broken net" `Quick
+            test_strict_raises;
+          Alcotest.test_case "non-strict isolates the broken net" `Quick
+            test_non_strict_isolates ] ) ]

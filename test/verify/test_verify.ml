@@ -111,7 +111,8 @@ let test_run_small_sweep () =
       prop_count = 3;
       fuzz_count = 100;
       tol = Verify.Oracle.default_tol;
-      repro_dir = None }
+      repro_dir = None;
+      jobs = 1 }
   in
   let r = Verify.run config in
   Alcotest.(check int) "oracle cases" 8 r.Verify.oracle_run;
@@ -121,6 +122,40 @@ let test_run_small_sweep () =
   Alcotest.(check int) "fuzz inputs" 200 r.Verify.fuzz_run;
   if not (Verify.passed r) then
     Alcotest.failf "%s" (Format.asprintf "%a" Verify.pp_report r)
+
+let test_run_jobs_equivalence () =
+  (* the parallel fan-out must not change a single verdict: every
+     report field folds in index order, so jobs=1 and jobs=2 agree
+     bit-for-bit.  Worker domains are forced so the cross-domain path
+     runs even on single-core machines (see [Parallel.create]). *)
+  Unix.putenv "AWESIM_FORCE_DOMAINS" "1";
+  let config jobs =
+    { Verify.seed = 11;
+      count = 6;
+      prop_count = 2;
+      fuzz_count = 60;
+      tol = Verify.Oracle.default_tol;
+      repro_dir = None;
+      jobs }
+  in
+  let r1 = Verify.run (config 1) and r2 = Verify.run (config 2) in
+  Alcotest.(check int) "oracle cases" r1.Verify.oracle_run r2.Verify.oracle_run;
+  Alcotest.(check bool) "oracle failures identical" true
+    (r1.Verify.oracle_failures = r2.Verify.oracle_failures);
+  Alcotest.(check bool) "worst error bit-identical" true
+    (r1.Verify.worst_measured = r2.Verify.worst_measured);
+  let label = function
+    | Some c -> c.Verify.Cases.label
+    | None -> "<none>"
+  in
+  Alcotest.(check string) "same worst case" (label r1.Verify.worst_case)
+    (label r2.Verify.worst_case);
+  Alcotest.(check int) "prop runs" r1.Verify.prop_run r2.Verify.prop_run;
+  Alcotest.(check bool) "prop failures identical" true
+    (r1.Verify.prop_failures = r2.Verify.prop_failures);
+  Alcotest.(check int) "fuzz inputs" r1.Verify.fuzz_run r2.Verify.fuzz_run;
+  Alcotest.(check bool) "fuzz failures identical" true
+    (r1.Verify.fuzz_failures = r2.Verify.fuzz_failures)
 
 (* ------------------------------------------------------------------ *)
 
@@ -142,5 +177,7 @@ let () =
       ( "fuzz",
         [ Alcotest.test_case "no parser escapes" `Quick test_fuzz_no_escapes ] );
       ( "driver",
-        [ Alcotest.test_case "small sweep passes" `Quick test_run_small_sweep ] )
+        [ Alcotest.test_case "small sweep passes" `Quick test_run_small_sweep;
+          Alcotest.test_case "jobs-deterministic sweep" `Quick
+            test_run_jobs_equivalence ] )
     ]
