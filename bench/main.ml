@@ -785,28 +785,18 @@ let sta_parallel ?(smoke = false) () =
   note "design: %d chains x %d stages = %d nets; %d recommended domains"
     chains depth nets cores;
   let analyze jobs = Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs d in
-  ignore (analyze 1) (* warmup: page in code and allocate arenas *);
-  let timed jobs =
-    (* best-of-[reps] wall clock; the report of the last run rides
-       along for the determinism check *)
-    let best = ref infinity and report = ref None in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      let r = analyze jobs in
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt;
-      report := Some r
-    done;
-    (!best, Option.get !report)
-  in
+  (* per-jobs warm-up + median-of-[reps]; medians are the headline
+     numbers, the min/max spread rides along in the JSON *)
+  let timed jobs = timed_runs ~reps (fun () -> analyze jobs) in
   let jobs_sweep = [ 1; 2; 4; 8 ] in
   let results = List.map (fun j -> (j, timed j)) jobs_sweep in
-  let t1 = fst (List.assoc 1 results) in
+  let t1 = (fst (List.assoc 1 results)).t_med in
   let r1 = snd (List.assoc 1 results) in
   let r4 = snd (List.assoc 4 results) in
   List.iter
     (fun (j, (t, _)) ->
-      note "jobs=%d  %8.2f ms   speedup %.2fx" j (1e3 *. t) (t1 /. t))
+      note "jobs=%d  median %8.2f ms  [%.2f .. %.2f]   speedup %.2fx" j
+        (1e3 *. t.t_med) (1e3 *. t.t_min) (1e3 *. t.t_max) (t1 /. t.t_med))
     results;
   let identical = sta_reports_identical r1 r4 in
   let stats_identical = sta_stats_identical r1 r4 in
@@ -819,29 +809,34 @@ let sta_parallel ?(smoke = false) () =
   end;
   let json_path = "BENCH_sta_parallel.json" in
   let oc = open_out json_path in
+  let per_jobs field =
+    String.concat ", "
+      (List.map
+         (fun (j, (t, _)) -> Printf.sprintf "\"%d\": %.3f" j (field t))
+         results)
+  in
   Printf.fprintf oc
     "{ \"scenario\": \"sta_parallel\", \"smoke\": %b, \"cores\": %d,\n\
     \  \"chains\": %d, \"depth\": %d, \"rungs\": %d, \"nets\": %d,\n\
-    \  \"ms_per_jobs\": { %s },\n\
+    \  \"reps\": %d,\n\
+    \  \"ms_median_per_jobs\": { %s },\n\
+    \  \"ms_min_per_jobs\": { %s },\n\
+    \  \"ms_max_per_jobs\": { %s },\n\
     \  \"speedup_vs_jobs1\": { %s },\n\
     \  \"reports_identical\": %b, \"stats_identical\": %b }\n"
-    smoke cores chains depth rungs nets
-    (String.concat ", "
-       (List.map
-          (fun (j, (t, _)) -> Printf.sprintf "\"%d\": %.3f" j (1e3 *. t))
-          results))
-    (String.concat ", "
-       (List.map
-          (fun (j, (t, _)) -> Printf.sprintf "\"%d\": %.3f" j (t1 /. t))
-          results))
+    smoke cores chains depth rungs nets reps
+    (per_jobs (fun t -> 1e3 *. t.t_med))
+    (per_jobs (fun t -> 1e3 *. t.t_min))
+    (per_jobs (fun t -> 1e3 *. t.t_max))
+    (per_jobs (fun t -> t1 /. t.t_med))
     identical stats_identical;
   close_out oc;
   note "wrote %s" json_path;
   if smoke then begin
     (* overhead gate: jobs=4 must not lose more than 10% to jobs=1
        (plus 5 ms absolute slack so sub-ms noise can't flake the CI
-       job on small designs) *)
-    let t4 = fst (List.assoc 4 results) in
+       job on small designs); medians, not single shots *)
+    let t4 = (fst (List.assoc 4 results)).t_med in
     if t4 > (1.1 *. t1) +. 5e-3 then begin
       note "SMOKE FAIL: jobs=4 %.2f ms vs jobs=1 %.2f ms (>10%% slower)"
         (1e3 *. t4) (1e3 *. t1);
@@ -850,6 +845,156 @@ let sta_parallel ?(smoke = false) () =
     else
       note "smoke ok: jobs=4 %.2f ms vs jobs=1 %.2f ms" (1e3 *. t4)
         (1e3 *. t1)
+  end
+
+(* the cache's own counters, for cross-jobs determinism of cached runs
+   (bytes excluded: the footprint is measured, not counted) *)
+let sta_cache_counters_identical (a : Sta.report) (b : Sta.report) =
+  let s1 = a.Sta.stats and s2 = b.Sta.stats in
+  s1.Awe.Stats.cache_exact_hits = s2.Awe.Stats.cache_exact_hits
+  && s1.Awe.Stats.cache_pattern_hits = s2.Awe.Stats.cache_pattern_hits
+  && s1.Awe.Stats.cache_misses = s2.Awe.Stats.cache_misses
+
+let sta_cache_bench ?(smoke = false) () =
+  section
+    (if smoke then "STA structure cache — smoke (hit rate + identity gates)"
+     else "STA structure cache — cold vs warm wall-clock");
+  let chains, depth, rungs, reps =
+    if smoke then (4, 4, 4, 3) else (16, 16, 8, 5)
+  in
+  let d = parallel_design ~chains ~depth ~rungs in
+  let nets = List.length (Sta.net_names d) in
+  note "design: %d chains x %d stages = %d nets" chains depth nets;
+  let analyze ?cache jobs =
+    Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ?cache d
+  in
+  let jobs_list = [ 1; 4 ] in
+  let per_jobs =
+    List.map
+      (fun jobs ->
+        (* cold: every run sees an empty cache (first analysis of the
+           design; within-run template hits still fire) *)
+        let cold_t, cold_r =
+          timed_runs ~reps (fun () ->
+              analyze ~cache:(Sta.create_cache ()) jobs)
+        in
+        (* warm: one shared cache populated by a prior analysis — the
+           steady state of incremental re-timing *)
+        let cache = Sta.create_cache () in
+        ignore (analyze ~cache jobs);
+        let warm_t, warm_r = timed_runs ~reps (fun () -> analyze ~cache jobs) in
+        let off_r = analyze jobs in
+        (jobs, (cold_t, cold_r, warm_t, warm_r, off_r)))
+      jobs_list
+  in
+  let ok = ref true in
+  let check what b =
+    if not b then begin
+      note "IDENTITY VIOLATION: %s" what;
+      ok := false
+    end;
+    b
+  in
+  let rows =
+    List.map
+      (fun (jobs, (cold_t, cold_r, warm_t, warm_r, off_r)) ->
+        let s = warm_r.Sta.stats in
+        let hits = s.Awe.Stats.cache_exact_hits in
+        let lookups = hits + s.Awe.Stats.cache_misses in
+        let hit_rate =
+          if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups
+        in
+        note
+          "jobs=%d  cold median %8.2f ms  warm median %8.2f ms  speedup \
+           %.2fx  warm exact-hit rate %.0f%%"
+          jobs (1e3 *. cold_t.t_med) (1e3 *. warm_t.t_med)
+          (cold_t.t_med /. warm_t.t_med)
+          (100. *. hit_rate);
+        let reports_id =
+          check
+            (Printf.sprintf "jobs=%d cache-on reports vs cache-off" jobs)
+            (sta_reports_identical off_r cold_r
+            && sta_reports_identical off_r warm_r)
+        in
+        let counters_id =
+          check
+            (Printf.sprintf "jobs=%d cache-on solve counters vs cache-off"
+               jobs)
+            (sta_stats_identical off_r cold_r
+            && sta_stats_identical off_r warm_r)
+        in
+        (jobs, cold_t, warm_t, cold_r, warm_r, hit_rate, reports_id,
+         counters_id))
+      per_jobs
+  in
+  (* cross-jobs determinism of the cached runs themselves *)
+  let _, _, _, cr1, wr1, _, _, _ = List.nth rows 0 in
+  let _, _, _, cr4, wr4, _, _, _ = List.nth rows 1 in
+  let cross =
+    check "cached reports jobs=1 vs jobs=4"
+      (sta_reports_identical cr1 cr4 && sta_reports_identical wr1 wr4)
+    && check "cache counters jobs=1 vs jobs=4"
+         (sta_cache_counters_identical cr1 cr4
+         && sta_cache_counters_identical wr1 wr4)
+  in
+  claim
+    ~paper:"don't pay for the same structure twice (eq. 32 amortized)"
+    "cache-on/off identical %b, cross-jobs identical %b"
+    (List.for_all (fun (_, _, _, _, _, _, r, c) -> r && c) rows)
+    cross;
+  let json_path = "BENCH_sta_cache.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"sta_cache\", \"smoke\": %b,\n\
+    \  \"chains\": %d, \"depth\": %d, \"rungs\": %d, \"nets\": %d, \"reps\": \
+     %d,\n\
+    \  \"jobs\": {\n%s\n  },\n\
+    \  \"cross_jobs_identical\": %b }\n"
+    smoke chains depth rungs nets reps
+    (String.concat ",\n"
+       (List.map
+          (fun (jobs, cold_t, warm_t, cold_r, warm_r, hit_rate, rid, cid) ->
+            let s = warm_r.Sta.stats and c = cold_r.Sta.stats in
+            Printf.sprintf
+              "    \"%d\": { \"cold_ms\": [%.3f, %.3f, %.3f], \"warm_ms\": \
+               [%.3f, %.3f, %.3f],\n\
+              \      \"speedup_warm_vs_cold\": %.2f,\n\
+              \      \"cold_exact_hits\": %d, \"cold_pattern_hits\": %d, \
+               \"cold_misses\": %d,\n\
+              \      \"warm_exact_hits\": %d, \"warm_misses\": %d, \
+               \"warm_hit_rate\": %.3f,\n\
+              \      \"cache_bytes\": %d,\n\
+              \      \"reports_identical\": %b, \"counters_identical\": %b }"
+              jobs (1e3 *. cold_t.t_min) (1e3 *. cold_t.t_med)
+              (1e3 *. cold_t.t_max) (1e3 *. warm_t.t_min)
+              (1e3 *. warm_t.t_med) (1e3 *. warm_t.t_max)
+              (cold_t.t_med /. warm_t.t_med)
+              c.Awe.Stats.cache_exact_hits c.Awe.Stats.cache_pattern_hits
+              c.Awe.Stats.cache_misses s.Awe.Stats.cache_exact_hits
+              s.Awe.Stats.cache_misses hit_rate s.Awe.Stats.cache_bytes rid
+              cid)
+          rows))
+    cross;
+  close_out oc;
+  note "wrote %s" json_path;
+  if not !ok then begin
+    note "IDENTITY VIOLATION — failing";
+    exit 1
+  end;
+  if smoke then begin
+    (* CI gate: the chain design must produce exact-tier hits — warm
+       runs should hit on (essentially) every looked-up net *)
+    let warm_hits (_, _, _, _, wr, _, _, _) =
+      wr.Sta.stats.Awe.Stats.cache_exact_hits
+    in
+    if List.exists (fun row -> warm_hits row = 0) rows then begin
+      note "SMOKE FAIL: warm run produced no exact-tier hits";
+      exit 1
+    end
+    else
+      note "smoke ok: warm exact hits %s"
+        (String.concat "/"
+           (List.map (fun row -> string_of_int (warm_hits row)) rows))
   end
 
 let verify_bench () =
@@ -918,12 +1063,13 @@ let experiments =
     ("fig27", fig27); ("eq56", eq56); ("scaling", scaling);
     ("ablation", ablation); ("shifted", shifted); ("sta", sta_bench);
     ("sta_batch", sta_batch); ("sta_parallel", fun () -> sta_parallel ());
-    ("verify", verify_bench) ]
+    ("sta_cache", fun () -> sta_cache_bench ()); ("verify", verify_bench) ]
 
 let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
-    sta_batch; (fun () -> sta_parallel ()); verify_bench ]
+    sta_batch; (fun () -> sta_parallel ()); (fun () -> sta_cache_bench ());
+    verify_bench ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -931,8 +1077,9 @@ let () =
   let names = List.filter (fun a -> a <> "--smoke") args in
   match names with
   | [] when smoke ->
-    (* --smoke alone runs the CI overhead gate *)
-    sta_parallel ~smoke ()
+    (* --smoke alone runs the CI gates *)
+    sta_parallel ~smoke ();
+    sta_cache_bench ~smoke ()
   | [] ->
     Format.printf
       "AWEsim reproduction harness — every table and figure of the paper@.";
@@ -942,6 +1089,7 @@ let () =
       (fun name ->
         match (name, List.assoc_opt name experiments) with
         | "sta_parallel", _ -> sta_parallel ~smoke ()
+        | "sta_cache", _ -> sta_cache_bench ~smoke ()
         | _, Some f -> f ()
         | _, None ->
           Format.printf "unknown experiment %S; available:@." name;

@@ -67,6 +67,33 @@ let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
 let plot ?(width = 68) ?(height = 14) ~label waves =
   print_string (Waveform.ascii_plot ~width ~height ~label waves)
 
+(* Warm-up + median-of-[reps] wall-clock timing.  One untimed warm-up
+   run pages in code and fills allocator arenas, then [reps] timed
+   runs; single-shot (and best-of-N) numbers on a shared CI container
+   are noise, so the summary keeps the whole spread.  Returns the
+   summary and the result of the last timed run (for determinism
+   checks on the value the timings belong to). *)
+type run_time = {
+  t_min : float;
+  t_med : float;  (* the headline number *)
+  t_max : float;
+}
+
+let timed_runs ?(reps = 5) f =
+  let last = ref (f ()) (* warm-up *) in
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        last := r;
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  ( { t_min = samples.(0);
+      t_med = samples.(reps / 2);
+      t_max = samples.(reps - 1) },
+    !last )
+
 (* Bechamel wrapper: nanoseconds per run for each named thunk *)
 let measure_ns tests =
   let open Bechamel in

@@ -371,7 +371,7 @@ let cmd_moments deck_path node_opt count =
     Format.printf "generalized Elmore delay -mu_1/mu_0 = %.6g s@."
       (-.(mu.(1) /. mu.(0)))
 
-let cmd_timing design_path model sparse stats jobs strict =
+let cmd_timing design_path model sparse stats jobs strict use_cache =
   let design = read_design design_path in
   lint_gate design_path (Lint.check_design design);
   let model =
@@ -385,7 +385,10 @@ let cmd_timing design_path model sparse stats jobs strict =
         Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
         exit 2)
   in
-  match Sta.analyze ~model ~sparse ~jobs:(resolve_jobs jobs) ~strict design with
+  let cache = if use_cache then Some (Sta.create_cache ()) else None in
+  match
+    Sta.analyze ~model ~sparse ~jobs:(resolve_jobs jobs) ~strict ?cache design
+  with
   | report ->
     Format.printf "%a@." (Sta.pp_report ~verbose:stats) report;
     (* tolerant mode still fails the run — it just times what it can
@@ -514,11 +517,27 @@ let timing_t =
              timing sibling nets and reports every per-net diagnostic \
              (still exiting nonzero).")
   in
+  let use_cache =
+    Arg.(
+      value
+      & vflag true
+          [ ( true,
+              info [ "cache" ]
+                ~doc:
+                  "Enable the structure-sharing cache (the default): \
+                   identical nets reuse one engine, structurally identical \
+                   nets reuse one symbolic factorization.  Results are \
+                   bit-identical with or without it; --stats shows the \
+                   hit/miss counters." );
+            ( false,
+              info [ "no-cache" ]
+                ~doc:"Disable the structure-sharing cache." ) ])
+  in
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(
       const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg $ jobs_arg
-      $ strict)
+      $ strict $ use_cache)
 
 let lint_t =
   let paths =

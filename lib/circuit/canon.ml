@@ -1,0 +1,233 @@
+(* Relabeling-invariant circuit hashing (see canon.mli).  The two
+   hashes are Weisfeiler-Leman color refinement runs differing only in
+   whether element values are folded into the per-element signatures;
+   the exact signature is a separate, order-preserving serialization
+   used as the collision guard. *)
+
+let add_float buf x =
+  (* IEEE-754 bit pattern: distinguishes values that print alike and
+     keeps -0.0 /= 0.0 and NaN payloads stable *)
+  Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float x))
+
+let add_wave buf (w : Element.waveform) =
+  match w with
+  | Dc v ->
+    Buffer.add_char buf 'D';
+    add_float buf v
+  | Step { v0; v1 } ->
+    Buffer.add_char buf 'S';
+    add_float buf v0;
+    add_float buf v1
+  | Ramp { v0; v1; t_delay; t_rise } ->
+    Buffer.add_char buf 'M';
+    add_float buf v0;
+    add_float buf v1;
+    add_float buf t_delay;
+    add_float buf t_rise
+  | Pwl pts ->
+    Buffer.add_char buf 'P';
+    List.iter
+      (fun (t, v) ->
+        add_float buf t;
+        add_float buf v)
+      pts;
+    Buffer.add_char buf '.'
+
+let add_ic buf = function
+  | None -> Buffer.add_char buf 'n'
+  | Some v ->
+    Buffer.add_char buf 's';
+    add_float buf v
+
+(* Kind tag plus, when [with_values], the element's numeric payload.
+   Names and node ids are deliberately absent. *)
+let add_static ~with_values buf (e : Element.t) =
+  match e with
+  | Resistor { r; _ } ->
+    Buffer.add_char buf 'R';
+    if with_values then add_float buf r
+  | Capacitor { c; ic; _ } ->
+    Buffer.add_char buf 'C';
+    if with_values then begin
+      add_float buf c;
+      add_ic buf ic
+    end
+  | Inductor { l; ic; _ } ->
+    Buffer.add_char buf 'L';
+    if with_values then begin
+      add_float buf l;
+      add_ic buf ic
+    end
+  | Vsource { wave; _ } ->
+    Buffer.add_char buf 'V';
+    if with_values then add_wave buf wave
+  | Isource { wave; _ } ->
+    Buffer.add_char buf 'I';
+    if with_values then add_wave buf wave
+  | Vcvs { gain; _ } ->
+    Buffer.add_char buf 'E';
+    if with_values then add_float buf gain
+  | Vccs { gm; _ } ->
+    Buffer.add_char buf 'G';
+    if with_values then add_float buf gm
+  | Ccvs { r; _ } ->
+    Buffer.add_char buf 'H';
+    if with_values then add_float buf r
+  | Cccs { gain; _ } ->
+    Buffer.add_char buf 'F';
+    if with_values then add_float buf gain
+  | Mutual { k; _ } ->
+    Buffer.add_char buf 'K';
+    if with_values then add_float buf k
+
+(* Connection ports in the element's defining order.  Ordered on
+   purpose: treating [np]/[nn] as interchangeable for symmetric
+   elements would need sign-aware canonicalization for the rest; the
+   ordered treatment is sound for a cache (misses, never wrong hits). *)
+let ports (e : Element.t) =
+  match e with
+  | Resistor { np; nn; _ }
+  | Capacitor { np; nn; _ }
+  | Inductor { np; nn; _ }
+  | Vsource { np; nn; _ }
+  | Isource { np; nn; _ }
+  | Ccvs { np; nn; _ }
+  | Cccs { np; nn; _ } ->
+    [| np; nn |]
+  | Vcvs { np; nn; cp; cn; _ } | Vccs { np; nn; cp; cn; _ } ->
+    [| np; nn; cp; cn |]
+  | Mutual _ -> [||]
+
+(* Elements referenced by name rather than by node. *)
+let refs (e : Element.t) =
+  match e with
+  | Ccvs { vctrl; _ } | Cccs { vctrl; _ } -> [ vctrl ]
+  | Mutual { l1; l2; _ } -> [ l1; l2 ]
+  | _ -> []
+
+let name_index (c : Netlist.circuit) =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i e -> Hashtbl.replace tbl (String.lowercase_ascii (Element.name e)) i)
+    c.elements;
+  tbl
+
+(* One element's contribution under the current node coloring: static
+   signature, port colors in port order, and for each named reference
+   the referenced element's static signature and port colors. *)
+let elem_context ~esig ~by_name ~color (c : Netlist.circuit) i =
+  let b = Buffer.create 64 in
+  let add_elem j =
+    Buffer.add_string b esig.(j);
+    Array.iter
+      (fun v ->
+        Buffer.add_string b color.(v);
+        Buffer.add_char b ',')
+      (ports c.elements.(j))
+  in
+  add_elem i;
+  List.iter
+    (fun r ->
+      Buffer.add_char b '>';
+      match Hashtbl.find_opt by_name (String.lowercase_ascii r) with
+      | Some j -> add_elem j
+      | None -> Buffer.add_char b '?')
+    (refs c.elements.(i));
+  Buffer.contents b
+
+let distinct_count colors =
+  List.length (List.sort_uniq String.compare (Array.to_list colors))
+
+let wl_hash ~with_values (c : Netlist.circuit) =
+  let n = c.node_count in
+  let elems = c.elements in
+  let by_name = name_index c in
+  let esig =
+    Array.map
+      (fun e ->
+        let b = Buffer.create 16 in
+        add_static ~with_values b e;
+        Buffer.contents b)
+      elems
+  in
+  (* per-node incidence: (element index, port role) *)
+  let inc = Array.make n [] in
+  Array.iteri
+    (fun i e ->
+      Array.iteri (fun role v -> inc.(v) <- (i, role) :: inc.(v)) (ports e))
+    elems;
+  let color =
+    Array.init n (fun v -> if v = Element.ground then "g" else "n")
+  in
+  (* Refine until the partition stops splitting.  The count sequence is
+     isomorphism-invariant, so relabeled copies run the same number of
+     rounds and end with identical color multisets. *)
+  let rec refine rounds prev =
+    if rounds > 0 then begin
+      let ctx = Array.mapi (fun i _ -> elem_context ~esig ~by_name ~color c i) elems in
+      let next =
+        Array.mapi
+          (fun v old ->
+            let contribs =
+              List.sort String.compare
+                (List.map
+                   (fun (i, role) -> string_of_int role ^ "@" ^ ctx.(i))
+                   inc.(v))
+            in
+            Digest.to_hex
+              (Digest.string (old ^ "|" ^ String.concat ";" contribs)))
+          color
+      in
+      Array.blit next 0 color 0 n;
+      let cnt = distinct_count color in
+      if cnt > prev then refine (rounds - 1) cnt
+    end
+  in
+  refine n (distinct_count color);
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b '#';
+  List.iter
+    (fun col ->
+      Buffer.add_string b col;
+      Buffer.add_char b ' ')
+    (List.sort String.compare (Array.to_list color));
+  Buffer.add_char b '#';
+  let ctx =
+    Array.to_list
+      (Array.mapi (fun i _ -> elem_context ~esig ~by_name ~color c i) elems)
+  in
+  List.iter
+    (fun s ->
+      Buffer.add_string b s;
+      Buffer.add_char b '\n')
+    (List.sort String.compare ctx);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let pattern_hash c = wl_hash ~with_values:false c
+
+let exact_hash c = wl_hash ~with_values:true c
+
+let exact_signature (c : Netlist.circuit) =
+  let by_name = name_index c in
+  let b = Buffer.create 512 in
+  Buffer.add_string b (string_of_int c.node_count);
+  Buffer.add_char b '#';
+  Array.iter
+    (fun e ->
+      add_static ~with_values:true b e;
+      Array.iter
+        (fun v ->
+          Buffer.add_string b (string_of_int v);
+          Buffer.add_char b '.')
+        (ports e);
+      List.iter
+        (fun r ->
+          Buffer.add_char b '>';
+          match Hashtbl.find_opt by_name (String.lowercase_ascii r) with
+          | Some j -> Buffer.add_string b (string_of_int j)
+          | None -> Buffer.add_char b '?')
+        (refs e);
+      Buffer.add_char b '\n')
+    c.elements;
+  Buffer.contents b

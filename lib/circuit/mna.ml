@@ -305,6 +305,9 @@ let describe_var m v =
 type dc_solver = {
   sys : t;
   solver : [ `Dense of Lu.t | `Sparse of Sparse.Slu.t ];
+  dc_symbolic : Sparse.Slu.symbolic option;
+      (* the analysis the sparse path factored through, for reuse by
+         structurally identical systems *)
 }
 
 let augmented_g m =
@@ -325,16 +328,32 @@ let singular_dc m v =
           "DC conductance matrix is singular at %s (no unique DC solution)"
           (describe_var m v)))
 
-let dc_factor ?(sparse = false) m =
+let dc_factor ?(sparse = false) ?symbolic m =
   let ga = augmented_g m in
-  let solver =
-    if sparse then
-      try `Sparse (Sparse.Slu.factor (Sparse.Csr.of_dense ga))
+  if sparse then begin
+    let a = Sparse.Csr.of_dense ga in
+    (* reuse a caller-supplied analysis only when this matrix has
+       exactly the pattern it was derived from; otherwise analyze
+       fresh.  Either way the numeric phase is the same [refactor],
+       so a reused symbolic changes nothing numerically. *)
+    let sym =
+      match symbolic with
+      | Some s when Sparse.Slu.pattern_matches s a -> s
+      | _ -> (
+        try Sparse.Slu.symbolic a
+        with Sparse.Slu.Singular v -> singular_dc m v)
+    in
+    let f =
+      try Sparse.Slu.refactor sym a
       with Sparse.Slu.Singular v -> singular_dc m v
-    else
-      try `Dense (Lu.factor ga) with Lu.Singular v -> singular_dc m v
-  in
-  { sys = m; solver }
+    in
+    { sys = m; solver = `Sparse f; dc_symbolic = Some sym }
+  end
+  else
+    let f = try Lu.factor ga with Lu.Singular v -> singular_dc m v in
+    { sys = m; solver = `Dense f; dc_symbolic = None }
+
+let dc_symbolic s = s.dc_symbolic
 
 let dc_solve s ~rhs ~charges =
   let m = s.sys in

@@ -105,9 +105,20 @@ exception Singular_dc of string
     cutset of current sources).  The message names the offending
     unknown via {!describe_var}. *)
 
-val dc_factor : ?sparse:bool -> t -> dc_solver
+val dc_factor : ?sparse:bool -> ?symbolic:Sparse.Slu.symbolic -> t -> dc_solver
 (** Factor the augmented [G].  [sparse] (default [false]) selects the
-    sparse Gilbert-Peierls path used by the scaling benchmark. *)
+    sparse Gilbert-Peierls path used by the scaling benchmark.
+    [symbolic] offers a previously computed analysis to the sparse
+    path; it is used only when this matrix's stored pattern is
+    identical to the one it analyzed (checked with
+    {!Sparse.Slu.pattern_matches}), so supplying it never changes the
+    numbers — both paths run the same [symbolic]-then-[refactor]
+    pipeline, and identical patterns yield identical analyses. *)
+
+val dc_symbolic : dc_solver -> Sparse.Slu.symbolic option
+(** The analysis the sparse path factored through ([None] on the dense
+    path) — physically equal to a [symbolic] argument that was
+    accepted, so callers can detect reuse and publish new analyses. *)
 
 val dc_solve : dc_solver -> rhs:Linalg.Vec.t -> charges:float array -> Linalg.Vec.t
 (** Solve [G' x = rhs'] where the floating-group rows of [rhs] are

@@ -9,6 +9,7 @@ module Tree_link = Tree_link
 module Two_pole = Two_pole
 module Ac = Ac
 module Stats = Stats
+module Cache = Cache
 
 open Linalg
 
@@ -106,9 +107,10 @@ type engine = {
 }
 
 module Engine = struct
-  let create ?(options = default_options) sys =
+  let create ?(options = default_options) ?symbolic sys =
     let moments =
-      Moments.make ~sparse:options.sparse ~shift:options.expansion_shift sys
+      Moments.make ~sparse:options.sparse ?symbolic
+        ~shift:options.expansion_shift sys
     in
     let op0 = Circuit.Dc.initial sys in
     let op0p = Circuit.Dc.at_zero_plus sys op0 in
@@ -130,6 +132,8 @@ module Engine = struct
   let sys e = e.eng_sys
 
   let options e = e.eng_options
+
+  let symbolic e = Moments.symbolic e.moments
 
   let kernel e col =
     match e.kernels.(col) with

@@ -26,6 +26,7 @@ module Tree_link : module type of Tree_link
 module Two_pole : module type of Two_pole
 module Ac : module type of Ac
 module Stats : module type of Stats
+module Cache : module type of Cache
 
 
 type options = {
@@ -90,13 +91,21 @@ type engine
     ([approximate], [auto], ...) are wrappers that build a throwaway
     engine. *)
 module Engine : sig
-  val create : ?options:options -> Circuit.Mna.t -> engine
+  val create :
+    ?options:options -> ?symbolic:Sparse.Slu.symbolic -> Circuit.Mna.t -> engine
   (** Factor once; raises [Circuit.Mna.Singular_dc] like
-      {!Moments.make}. *)
+      {!Moments.make}.  [symbolic] offers a cached pattern analysis to
+      the sparse path; it is used only when the system's matrix has
+      exactly the analyzed pattern, and never changes the factors. *)
 
   val sys : engine -> Circuit.Mna.t
 
   val options : engine -> options
+
+  val symbolic : engine -> Sparse.Slu.symbolic option
+  (** The pattern analysis the sparse factorization ran through
+      ([None] on the dense path); physically equal to an accepted
+      [symbolic] argument, so callers can detect reuse. *)
 
   val approximate_observable : engine -> observable:observable -> q:int -> t
 

@@ -1,0 +1,57 @@
+(* Two-tier structure cache (see cache.mli).  Both tiers are
+   persistent maps so [view] is a pointer copy: tasks running in other
+   domains read the frozen snapshot while the coordinator keeps
+   publishing into the mutable roots. *)
+
+module Smap = Map.Make (String)
+
+type 'a exact_entry = { e_sig : string; e_payload : 'a }
+
+type 'a t = {
+  mutable exact : 'a exact_entry list Smap.t; (* exact hash -> entries *)
+  mutable symbolics : Sparse.Slu.symbolic list Smap.t;
+      (* pattern hash -> analyses *)
+}
+
+type 'a view = {
+  v_exact : 'a exact_entry list Smap.t;
+  v_symbolics : Sparse.Slu.symbolic list Smap.t;
+}
+
+let create () = { exact = Smap.empty; symbolics = Smap.empty }
+
+let view t = { v_exact = t.exact; v_symbolics = t.symbolics }
+
+let find_exact v ~hash ~signature =
+  match Smap.find_opt hash v.v_exact with
+  | None -> None
+  | Some entries ->
+    List.find_map
+      (fun e ->
+        if String.equal e.e_sig signature then Some e.e_payload else None)
+      entries
+
+let find_symbolic v ~hash =
+  Option.value ~default:[] (Smap.find_opt hash v.v_symbolics)
+
+let publish_exact t ~hash ~signature payload =
+  let entries = Option.value ~default:[] (Smap.find_opt hash t.exact) in
+  if List.exists (fun e -> String.equal e.e_sig signature) entries then false
+  else begin
+    t.exact <-
+      Smap.add hash ({ e_sig = signature; e_payload = payload } :: entries)
+        t.exact;
+    true
+  end
+
+let publish_symbolic t ~hash s =
+  let entries = Option.value ~default:[] (Smap.find_opt hash t.symbolics) in
+  if List.exists (fun s' -> Sparse.Slu.same_analysis s' s) entries then false
+  else begin
+    t.symbolics <- Smap.add hash (s :: entries) t.symbolics;
+    true
+  end
+
+let bytes t =
+  Obj.reachable_words (Obj.repr (t.exact, t.symbolics))
+  * (Sys.word_size / 8)

@@ -1,0 +1,73 @@
+(** The structure-sharing cache (two tiers, frozen views).
+
+    Timing designs are template-heavy: the same few interconnect
+    shapes are stamped out thousands of times.  The cache lets an
+    analysis done once serve every later instance, at two strengths:
+
+    - {e pattern} tier — keyed on a topology-only hash
+      ({!Circuit.Canon.pattern_hash}), it stores symbolic sparse
+      factorizations ({!Sparse.Slu.symbolic}).  A hit skips the
+      ordering + static pivoting + fill analysis; the numeric
+      refactorization still runs, so the resulting factors are
+      bit-identical to an uncached run.
+    - {e exact} tier — keyed on a value-exact hash plus a bit-exact
+      guard signature ({!Circuit.Canon.exact_signature}), it stores an
+      arbitrary payload (the STA layer caches a whole fitted engine
+      with its per-sink results).  A hit skips everything.
+
+    {b Determinism.}  Lookups go through a {!view}: an immutable
+    snapshot of the cache contents at the moment {!view} was taken.
+    Parallel tasks all read one view frozen before they were spawned,
+    so what each task sees — and therefore every hit/miss counter and
+    every numeric result — depends only on the snapshot, never on how
+    concurrently running tasks interleave.  Publication is the
+    coordinator's job, done sequentially between waves in a fixed
+    order (first publication wins, duplicates are dropped), so the
+    cache contents after each wave are a pure function of the input.
+
+    The cache itself is not thread-safe: publish from one domain.
+    Views are immutable and safe to share with any number of
+    domains. *)
+
+type 'a t
+(** A cache whose exact tier carries payloads of type ['a]. *)
+
+val create : unit -> 'a t
+
+type 'a view
+(** An immutable snapshot of a cache's contents. *)
+
+val view : 'a t -> 'a view
+(** Snapshot the current contents.  Later publications do not appear
+    in previously taken views. *)
+
+val find_exact : 'a view -> hash:string -> signature:string -> 'a option
+(** Exact-tier lookup: the payload published under this hash whose
+    guard signature is byte-identical to [signature], if any.  The
+    signature comparison is what makes a hit sound — two circuits with
+    equal signatures assemble identical systems, so a hash collision
+    (or a WL-equivalent but differently-labeled instance, whose matrix
+    is a permutation with different rounding) can never return wrong
+    results: it simply misses. *)
+
+val find_symbolic : 'a view -> hash:string -> Sparse.Slu.symbolic list
+(** Pattern-tier lookup: all symbolic analyses published under this
+    pattern hash (usually zero or one).  Callers must probe each
+    candidate with {!Sparse.Slu.pattern_matches} before use — the hash
+    is a heuristic index, the pattern check is the guarantee. *)
+
+val publish_exact : 'a t -> hash:string -> signature:string -> 'a -> bool
+(** Publish a payload under (hash, signature).  First publication
+    wins: returns [false] (and keeps the existing entry) when the pair
+    is already present. *)
+
+val publish_symbolic : 'a t -> hash:string -> Sparse.Slu.symbolic -> bool
+(** Publish a symbolic analysis under a pattern hash.  Returns [false]
+    when an analysis of the identical pattern is already stored under
+    the hash ({!Sparse.Slu.same_analysis}), so concurrent misses on
+    one template publish a single copy. *)
+
+val bytes : 'a t -> int
+(** Approximate heap footprint of everything the cache retains, in
+    bytes (transitively reachable words).  Linear in the cache size —
+    call once per analysis, not per lookup. *)

@@ -13,10 +13,10 @@ type engine = {
   no_charge : float array; (* zero conserved charge per floating group *)
 }
 
-let make ?(sparse = false) ?(shift = 0.) sys =
+let make ?(sparse = false) ?symbolic ?(shift = 0.) sys =
   Stats.time "factor" @@ fun () ->
   Stats.record_factorization ();
-  let solver = Circuit.Mna.dc_factor ~sparse sys in
+  let solver = Circuit.Mna.dc_factor ~sparse ?symbolic sys in
   let moment_solver =
     if shift = 0. then Dc_based solver
     else begin
@@ -46,6 +46,8 @@ let make ?(sparse = false) ?(shift = 0.) sys =
 let sys e = e.sys
 
 let shift e = e.shift
+
+let symbolic e = Circuit.Mna.dc_symbolic e.solver
 
 let advance e w =
   Stats.time "moments" @@ fun () ->

@@ -20,10 +20,19 @@
 
 type engine
 
-val make : ?sparse:bool -> ?shift:float -> Circuit.Mna.t -> engine
+val make :
+  ?sparse:bool ->
+  ?symbolic:Sparse.Slu.symbolic ->
+  ?shift:float ->
+  Circuit.Mna.t ->
+  engine
 (** Factor the (augmented) conductance matrix once.  Raises
     [Circuit.Mna.Singular_dc] when the circuit has no unique DC
     solution.
+
+    [symbolic] offers a cached pattern analysis to the sparse path
+    (see {!Circuit.Mna.dc_factor}); it is ignored unless [sparse] and
+    the pattern matches, and never changes the computed factors.
 
     [shift] (default [0.]) expands the moments about [s0 = shift]
     instead of the origin: the recursion becomes
@@ -37,6 +46,11 @@ val make : ?sparse:bool -> ?shift:float -> Circuit.Mna.t -> engine
 val shift : engine -> float
 
 val sys : engine -> Circuit.Mna.t
+
+val symbolic : engine -> Sparse.Slu.symbolic option
+(** The pattern analysis the sparse factorization ran through ([None]
+    on the dense path).  Physically equal to an accepted [symbolic]
+    argument, so callers can distinguish reuse from a fresh analysis. *)
 
 val advance : engine -> Linalg.Vec.t -> Linalg.Vec.t
 (** One application of [A^-1]: [advance e w = -G^-1 (C w)], with zero

@@ -14,6 +14,10 @@ type snapshot = {
   fit_retries : int;
   order_escalations : int;
   mna_builds : int;
+  cache_exact_hits : int;
+  cache_pattern_hits : int;
+  cache_misses : int;
+  cache_bytes : int;
   phase_seconds : (string * float) list;
 }
 
@@ -24,6 +28,10 @@ type counters = {
   mutable fit_retries_c : int;
   mutable order_escalations_c : int;
   mutable mna_builds_c : int;
+  mutable cache_exact_hits_c : int;
+  mutable cache_pattern_hits_c : int;
+  mutable cache_misses_c : int;
+  mutable cache_bytes_c : int;
   phases : (string, float) Hashtbl.t; (* phase name -> CPU seconds *)
 }
 
@@ -34,6 +42,10 @@ let fresh () =
     fit_retries_c = 0;
     order_escalations_c = 0;
     mna_builds_c = 0;
+    cache_exact_hits_c = 0;
+    cache_pattern_hits_c = 0;
+    cache_misses_c = 0;
+    cache_bytes_c = 0;
     phases = Hashtbl.create 8 }
 
 (* one counter record per domain, created on first use *)
@@ -49,6 +61,10 @@ let reset () =
   c.fit_retries_c <- 0;
   c.order_escalations_c <- 0;
   c.mna_builds_c <- 0;
+  c.cache_exact_hits_c <- 0;
+  c.cache_pattern_hits_c <- 0;
+  c.cache_misses_c <- 0;
+  c.cache_bytes_c <- 0;
   Hashtbl.reset c.phases
 
 let record_factorization () =
@@ -75,6 +91,31 @@ let record_mna_build () =
   let c = current () in
   c.mna_builds_c <- c.mna_builds_c + 1
 
+let record_cache_exact_hit () =
+  let c = current () in
+  c.cache_exact_hits_c <- c.cache_exact_hits_c + 1
+
+let record_cache_pattern_hit () =
+  let c = current () in
+  c.cache_pattern_hits_c <- c.cache_pattern_hits_c + 1
+
+let record_cache_miss () =
+  let c = current () in
+  c.cache_misses_c <- c.cache_misses_c + 1
+
+let record_cache_bytes n =
+  let c = current () in
+  c.cache_bytes_c <- c.cache_bytes_c + n
+
+let replay s =
+  let c = current () in
+  c.factorizations_c <- c.factorizations_c + s.factorizations;
+  c.moment_solves_c <- c.moment_solves_c + s.moment_solves;
+  c.fits_c <- c.fits_c + s.fits;
+  c.fit_retries_c <- c.fit_retries_c + s.fit_retries;
+  c.order_escalations_c <- c.order_escalations_c + s.order_escalations;
+  c.mna_builds_c <- c.mna_builds_c + s.mna_builds
+
 let add_phase phases phase dt =
   let prev = Option.value ~default:0. (Hashtbl.find_opt phases phase) in
   Hashtbl.replace phases phase (prev +. dt)
@@ -92,6 +133,10 @@ let snapshot_of c =
     fit_retries = c.fit_retries_c;
     order_escalations = c.order_escalations_c;
     mna_builds = c.mna_builds_c;
+    cache_exact_hits = c.cache_exact_hits_c;
+    cache_pattern_hits = c.cache_pattern_hits_c;
+    cache_misses = c.cache_misses_c;
+    cache_bytes = c.cache_bytes_c;
     phase_seconds =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.phases []
       |> List.sort compare }
@@ -105,6 +150,10 @@ let zero =
     fit_retries = 0;
     order_escalations = 0;
     mna_builds = 0;
+    cache_exact_hits = 0;
+    cache_pattern_hits = 0;
+    cache_misses = 0;
+    cache_bytes = 0;
     phase_seconds = [] }
 
 let diff a b =
@@ -121,6 +170,10 @@ let diff a b =
     fit_retries = a.fit_retries - b.fit_retries;
     order_escalations = a.order_escalations - b.order_escalations;
     mna_builds = a.mna_builds - b.mna_builds;
+    cache_exact_hits = a.cache_exact_hits - b.cache_exact_hits;
+    cache_pattern_hits = a.cache_pattern_hits - b.cache_pattern_hits;
+    cache_misses = a.cache_misses - b.cache_misses;
+    cache_bytes = a.cache_bytes - b.cache_bytes;
     phase_seconds = sub a.phase_seconds b.phase_seconds }
 
 let merge a b =
@@ -137,6 +190,10 @@ let merge a b =
     fit_retries = a.fit_retries + b.fit_retries;
     order_escalations = a.order_escalations + b.order_escalations;
     mna_builds = a.mna_builds + b.mna_builds;
+    cache_exact_hits = a.cache_exact_hits + b.cache_exact_hits;
+    cache_pattern_hits = a.cache_pattern_hits + b.cache_pattern_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    cache_bytes = a.cache_bytes + b.cache_bytes;
     phase_seconds = phases }
 
 let scoped f =
@@ -154,6 +211,12 @@ let scoped f =
     outer.order_escalations_c <-
       outer.order_escalations_c + inner.order_escalations_c;
     outer.mna_builds_c <- outer.mna_builds_c + inner.mna_builds_c;
+    outer.cache_exact_hits_c <-
+      outer.cache_exact_hits_c + inner.cache_exact_hits_c;
+    outer.cache_pattern_hits_c <-
+      outer.cache_pattern_hits_c + inner.cache_pattern_hits_c;
+    outer.cache_misses_c <- outer.cache_misses_c + inner.cache_misses_c;
+    outer.cache_bytes_c <- outer.cache_bytes_c + inner.cache_bytes_c;
     Hashtbl.iter (fun k v -> add_phase outer.phases k v) inner.phases
   in
   match f () with
@@ -174,6 +237,12 @@ let pp ppf s =
   Format.fprintf ppf "fits:              %d@," s.fits;
   Format.fprintf ppf "fit retries:       %d@," s.fit_retries;
   Format.fprintf ppf "order escalations: %d" s.order_escalations;
+  if s.cache_exact_hits + s.cache_pattern_hits + s.cache_misses > 0 then begin
+    Format.fprintf ppf "@,cache exact hits:  %d" s.cache_exact_hits;
+    Format.fprintf ppf "@,cache pattern hits:%d" s.cache_pattern_hits;
+    Format.fprintf ppf "@,cache misses:      %d" s.cache_misses;
+    Format.fprintf ppf "@,cache bytes:       %d" s.cache_bytes
+  end;
   List.iter
     (fun (phase, secs) ->
       if secs > 0. then

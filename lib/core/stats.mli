@@ -31,6 +31,14 @@ type snapshot = {
   fit_retries : int;  (** in-fit order reductions on singular moment matrices *)
   order_escalations : int;  (** [q -> q + 1] steps taken by [Awe.auto] *)
   mna_builds : int;  (** MNA assemblies (counted by [Sta]) *)
+  cache_exact_hits : int;
+      (** structure-cache hits that reused a whole engine *)
+  cache_pattern_hits : int;
+      (** structure-cache hits that reused a symbolic factorization *)
+  cache_misses : int;  (** structure-cache lookups that found nothing *)
+  cache_bytes : int;
+      (** approximate heap footprint of the structure cache, recorded
+          once per analysis by the coordinator *)
   phase_seconds : (string * float) list;  (** CPU seconds per phase *)
 }
 
@@ -70,6 +78,27 @@ val record_fit_retry : unit -> unit
 val record_order_escalation : unit -> unit
 
 val record_mna_build : unit -> unit
+
+val record_cache_exact_hit : unit -> unit
+
+val record_cache_pattern_hit : unit -> unit
+
+val record_cache_miss : unit -> unit
+
+val replay : snapshot -> unit
+(** Re-record the engine counters of a snapshot — the six work
+    counters only, not the cache fields or phase timers — into the
+    calling domain's record.  Used by the structure cache: serving a
+    net from the exact tier replays the counters of the computation
+    that produced the entry, so a cached analysis reports the same
+    solve counts as an uncached one (the hit {e stands for} that
+    work), and the cache's effect shows up in wall-clock and in its
+    own hit counters rather than as silently vanishing solves. *)
+
+val record_cache_bytes : int -> unit
+(** Accumulate a cache-footprint measurement (bytes).  Recorded once
+    per analysis from a single window, so merged totals report the
+    final footprint rather than a sum of samples. *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time phase f] runs [f], accumulating its CPU time under [phase]

@@ -46,25 +46,34 @@ let factor ?(pivot_tol = 1e-300) a =
   done;
   { lu; perm; sign = !sign }
 
+(* The triangular solves run once per moment of every net (the AWE
+   inner loop), so after the single dimension check the substitution
+   loops use unchecked accesses: [x]/[y] have length [n] (checked),
+   [f.lu] is [n x n] by construction, and every index is bounded by
+   [n]. *)
+
 let solve f b =
   let n = dim f in
   if Vec.dim b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let lu = f.lu in
   let x = Array.init n (fun i -> b.(f.perm.(i))) in
   (* forward substitution, L has unit diagonal *)
   for i = 1 to n - 1 do
-    let acc = ref x.(i) in
+    let row = Array.unsafe_get lu i in
+    let acc = ref (Array.unsafe_get x i) in
     for j = 0 to i - 1 do
-      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+      acc := !acc -. (Array.unsafe_get row j *. Array.unsafe_get x j)
     done;
-    x.(i) <- !acc
+    Array.unsafe_set x i !acc
   done;
   (* back substitution *)
   for i = n - 1 downto 0 do
-    let acc = ref x.(i) in
+    let row = Array.unsafe_get lu i in
+    let acc = ref (Array.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+      acc := !acc -. (Array.unsafe_get row j *. Array.unsafe_get x j)
     done;
-    x.(i) <- !acc /. f.lu.(i).(i)
+    Array.unsafe_set x i (!acc /. Array.unsafe_get row i)
   done;
   x
 
@@ -72,20 +81,23 @@ let solve_transpose f b =
   let n = dim f in
   if Vec.dim b <> n then invalid_arg "Lu.solve_transpose: dimension mismatch";
   (* A^T = U^T L^T P, so solve U^T y = b, L^T z = y, then x = P^T z *)
+  let lu = f.lu in
   let y = Array.copy b in
   for i = 0 to n - 1 do
-    let acc = ref y.(i) in
+    let acc = ref (Array.unsafe_get y i) in
     for j = 0 to i - 1 do
-      acc := !acc -. (f.lu.(j).(i) *. y.(j))
+      acc :=
+        !acc -. (Array.unsafe_get (Array.unsafe_get lu j) i *. Array.unsafe_get y j)
     done;
-    y.(i) <- !acc /. f.lu.(i).(i)
+    Array.unsafe_set y i (!acc /. Array.unsafe_get (Array.unsafe_get lu i) i)
   done;
   for i = n - 1 downto 0 do
-    let acc = ref y.(i) in
+    let acc = ref (Array.unsafe_get y i) in
     for j = i + 1 to n - 1 do
-      acc := !acc -. (f.lu.(j).(i) *. y.(j))
+      acc :=
+        !acc -. (Array.unsafe_get (Array.unsafe_get lu j) i *. Array.unsafe_get y j)
     done;
-    y.(i) <- !acc
+    Array.unsafe_set y i !acc
   done;
   let x = Vec.create n in
   for i = 0 to n - 1 do

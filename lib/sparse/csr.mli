@@ -31,6 +31,21 @@ val row_iter : t -> int -> (int -> float -> unit) -> unit
 (** [row_iter m i f] applies [f j v] to every stored entry of row [i],
     in ascending column order. *)
 
+val pattern : t -> int array * int array
+(** [(row_ptr, col_idx)] of the stored pattern: entry positions of row
+    [i] are [row_ptr.(i) .. row_ptr.(i+1) - 1], with ascending column
+    indices in [col_idx].  The arrays are the matrix's own backing
+    store — callers must treat them as read-only. *)
+
+val values : t -> float array
+(** The stored entry values, indexed by the entry positions of
+    {!pattern}.  The matrix's own backing store — read-only. *)
+
+val same_pattern : t -> t -> bool
+(** Whether two matrices have identical dimensions and stored nonzero
+    patterns (positions compare equal entry-for-entry; values are
+    ignored). *)
+
 val transpose : t -> t
 
 val permute : t -> rows:int array -> cols:int array -> t

@@ -76,6 +76,259 @@ let min_degree_order a =
   done;
   order
 
+(* ------------------------------------------------------------------ *)
+(* Symbolic analysis: everything about the factorization that depends
+   on the nonzero pattern alone — the fill-reducing ordering, a static
+   pivot assignment, the per-column elimination (reach) sets, and a
+   scatter map from the matrix's stored entries into pivot positions.
+   Matrices sharing a pattern share one symbolic analysis; [refactor]
+   replays only the numeric phase. *)
+
+type symbolic = {
+  sn : int;
+  sord : int array;  (* fill-reducing symmetric permutation *)
+  srow_of_pos : int array;  (* pivot position -> permuted row *)
+  (* the analyzed pattern, in original numbering, for validation *)
+  srow_ptr : int array;
+  scol_idx : int array;
+  snnz : int;
+  (* permuted column j: destination pivot positions and source entry
+     indices (into [Csr.values]) of the matrix entries it scatters *)
+  sscat_pos : int array array;
+  sscat_idx : int array array;
+  (* pivotal update positions of column j, in topological order (an
+     update's source column precedes every column it fills) *)
+  stopo : int array array;
+  (* L rows of column j (positions > j), ascending *)
+  slpat : int array array;
+}
+
+let symbolic_dim s = s.sn
+
+let symbolic_nnz s =
+  Array.fold_left (fun acc l -> acc + Array.length l) 0 s.slpat
+  + Array.fold_left (fun acc t -> acc + Array.length t) 0 s.stopo
+  + s.sn
+
+(* Static pivot assignment: a perfect matching between pivot positions
+   (columns of the permuted matrix) and permuted rows, placing every
+   pivot on a stored entry.  Diagonal entries are claimed first — for
+   the diagonally dominant node block of an MNA matrix the diagonal is
+   also the numerically dominant choice — and Kuhn augmenting paths
+   place the rest (the zero-diagonal branch rows of voltage-defined
+   elements).  Failure to match a column is a structural-rank
+   certificate: no value assignment makes the matrix nonsingular. *)
+let static_pivots ~n ~col_rows ~ord =
+  let row_match = Array.make n (-1) in
+  (* column -> matched row *)
+  let col_match = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    if col_match.(j) < 0 && row_match.(j) < 0 then
+      if Array.exists (fun r -> r = j) col_rows.(j) then begin
+        col_match.(j) <- j;
+        row_match.(j) <- j
+      end
+  done;
+  let stamp = Array.make n (-1) in
+  let rec augment epoch j =
+    let rows = col_rows.(j) in
+    let nr = Array.length rows in
+    let rec try_row t =
+      if t >= nr then false
+      else begin
+        let r = rows.(t) in
+        if stamp.(r) <> epoch then begin
+          stamp.(r) <- epoch;
+          if row_match.(r) < 0 || augment epoch row_match.(r) then begin
+            row_match.(r) <- j;
+            col_match.(j) <- r;
+            true
+          end
+          else try_row (t + 1)
+        end
+        else try_row (t + 1)
+      end
+    in
+    try_row 0
+  in
+  for j = 0 to n - 1 do
+    if col_match.(j) < 0 && not (augment j j) then
+      (* structurally singular; report in original numbering *)
+      raise (Singular ord.(j))
+  done;
+  (row_match, col_match)
+
+let symbolic ?order a =
+  let n = Csr.rows a in
+  if Csr.cols a <> n then invalid_arg "Slu.symbolic: matrix not square";
+  let ord =
+    match order with
+    | None -> min_degree_order a
+    | Some o ->
+      if Array.length o <> n then
+        invalid_arg "Slu.symbolic: order is not a permutation of the columns";
+      o
+  in
+  let inv_ord = Array.make n 0 in
+  Array.iteri (fun pos v -> inv_ord.(v) <- pos) ord;
+  let row_ptr, col_idx = Csr.pattern a in
+  let nnz = row_ptr.(n) in
+  (* permuted CSC with original entry indices: entry k of original row
+     [i], column [c] lands in permuted column [inv_ord.(c)] at
+     permuted row [inv_ord.(i)] *)
+  let col_count = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let pj = inv_ord.(col_idx.(k)) in
+      col_count.(pj) <- col_count.(pj) + 1
+    done
+  done;
+  let col_rows = Array.init n (fun j -> Array.make col_count.(j) 0) in
+  let col_entry = Array.init n (fun j -> Array.make col_count.(j) 0) in
+  let cursor = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let pi = inv_ord.(i) in
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+      let pj = inv_ord.(col_idx.(k)) in
+      let t = cursor.(pj) in
+      col_rows.(pj).(t) <- pi;
+      col_entry.(pj).(t) <- k;
+      cursor.(pj) <- t + 1
+    done
+  done;
+  let row_match, col_match = static_pivots ~n ~col_rows ~ord in
+  let pos_of_row = row_match and row_of_pos = col_match in
+  (* scatter map in pivot positions *)
+  let sscat_pos =
+    Array.map (fun rows -> Array.map (fun r -> pos_of_row.(r)) rows) col_rows
+  in
+  (* per-column reach sets under the static pivot order *)
+  let slpat = Array.make n [||] in
+  let stopo = Array.make n [||] in
+  let seen = Array.make n (-1) in
+  let touched = Array.make n 0 in
+  let is_touched = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    let ntouched = ref 0 in
+    let touch p =
+      if is_touched.(p) <> j then begin
+        is_touched.(p) <- j;
+        touched.(!ntouched) <- p;
+        incr ntouched
+      end
+    in
+    let topo = ref [] in
+    let rec dfs k =
+      if seen.(k) <> j then begin
+        seen.(k) <- j;
+        Array.iter
+          (fun r ->
+            touch r;
+            if r < j then dfs r)
+          slpat.(k);
+        topo := k :: !topo
+      end
+    in
+    Array.iter
+      (fun p ->
+        touch p;
+        if p < j then dfs p)
+      sscat_pos.(j);
+    (* position [j] is always reached: the static pivot sits on a
+       stored entry of column [j] by construction *)
+    let ls = ref [] in
+    for t = !ntouched - 1 downto 0 do
+      let p = touched.(t) in
+      if p > j then ls := p :: !ls
+    done;
+    let lpat = Array.of_list !ls in
+    Array.sort compare lpat;
+    slpat.(j) <- lpat;
+    stopo.(j) <- Array.of_list !topo
+  done;
+  { sn = n;
+    sord = ord;
+    srow_of_pos = row_of_pos;
+    srow_ptr = row_ptr;
+    scol_idx = col_idx;
+    snnz = nnz;
+    sscat_pos;
+    sscat_idx = col_entry;
+    stopo;
+    slpat }
+
+let same_analysis a b =
+  a == b
+  || a.sn = b.sn && a.snnz = b.snnz
+     && (a.srow_ptr == b.srow_ptr
+        || Array.for_all2 (fun x y -> x = y) a.srow_ptr b.srow_ptr)
+     && (a.scol_idx == b.scol_idx
+        ||
+        let rec eq k =
+          k >= a.snnz || (a.scol_idx.(k) = b.scol_idx.(k) && eq (k + 1))
+        in
+        eq 0)
+
+let pattern_matches s a =
+  Csr.rows a = s.sn && Csr.cols a = s.sn
+  &&
+  let row_ptr, col_idx = Csr.pattern a in
+  row_ptr == s.srow_ptr && col_idx == s.scol_idx
+  || row_ptr.(s.sn) = s.snnz
+     && (let ok = ref true in
+         let i = ref 0 in
+         while !ok && !i <= s.sn do
+           if row_ptr.(!i) <> s.srow_ptr.(!i) then ok := false;
+           incr i
+         done;
+         let k = ref 0 in
+         while !ok && !k < s.snnz do
+           if col_idx.(!k) <> s.scol_idx.(!k) then ok := false;
+           incr k
+         done;
+         !ok)
+
+(* first structural difference between the symbolic's pattern and a
+   matrix's, described by the column (and row) where they diverge *)
+let describe_mismatch s a =
+  let row_ptr, col_idx = Csr.pattern a in
+  let exception Found of string in
+  try
+    if Csr.rows a <> s.sn || Csr.cols a <> s.sn then
+      raise
+        (Found
+           (Printf.sprintf "matrix is %dx%d but the symbolic analyzed %dx%d"
+              (Csr.rows a) (Csr.cols a) s.sn s.sn));
+    for i = 0 to s.sn - 1 do
+      let s0 = s.srow_ptr.(i) and s1 = s.srow_ptr.(i + 1) in
+      let m0 = row_ptr.(i) and m1 = row_ptr.(i + 1) in
+      let ls = s1 - s0 and lm = m1 - m0 in
+      for t = 0 to Stdlib.min ls lm - 1 do
+        let cs = s.scol_idx.(s0 + t) and cm = col_idx.(m0 + t) in
+        if cs <> cm then
+          raise
+            (Found
+               (Printf.sprintf
+                  "first mismatch in column %d of row %d (the symbolic \
+                   expects column %d)"
+                  cm i cs))
+      done;
+      if lm > ls then
+        raise
+          (Found
+             (Printf.sprintf "first mismatch in column %d of row %d (entry \
+                              absent from the symbolic pattern)"
+                col_idx.(m0 + ls) i))
+      else if ls > lm then
+        raise
+          (Found
+             (Printf.sprintf "first mismatch in column %d of row %d (entry \
+                              missing from the matrix)"
+                s.scol_idx.(s0 + lm) i))
+    done;
+    "patterns are identical"
+  with Found msg -> msg
+
 type t = {
   n : int;
   (* L is unit lower triangular, stored by column in pivot-position row
@@ -97,141 +350,93 @@ let nnz_factors f =
   in
   count f.l_cols + count f.u_cols + f.n
 
-let factor ?order a0 =
-  let n = Csr.rows a0 in
-  if Csr.cols a0 <> n then invalid_arg "Slu.factor: matrix not square";
-  let ord =
-    match order with
-    | None -> min_degree_order a0
-    | Some o ->
-      if Array.length o <> n then
-        invalid_arg "Slu.factor: order is not a permutation of the columns";
-      o
-  in
-  let a = Csr.permute a0 ~rows:ord ~cols:ord in
-  let acsc = Csr.transpose a in
-  (* column j of [a] = row j of [acsc] *)
-  let pos_of_row = Array.make n (-1) in
-  let row_of_pos = Array.make n (-1) in
-  (* growing factors; L columns hold ORIGINAL row indices during the
-     factorization and are remapped to positions at the end *)
+let refactor s a =
+  if not (pattern_matches s a) then
+    invalid_arg ("Slu.refactor: pattern mismatch: " ^ describe_mismatch s a);
+  let n = s.sn in
+  let vals = Csr.values a in
   let l_cols = Array.make n [||] in
   let u_cols = Array.make n [||] in
   let u_diag = Array.make n 0. in
-  (* dense accumulator and touched stack for the sparse solve *)
+  (* dense accumulator over pivot positions; cleared per column via the
+     symbolic reach sets, which cover every scattered and filled
+     position.  Inner loops use unchecked accesses: every index is a
+     pivot position in [0, n) fixed by the symbolic analysis, and the
+     dimension agreement with [a] was checked above. *)
   let x = Array.make n 0. in
-  let touched = Array.make n 0 in
-  let is_touched = Array.make n false in
-  (* symbolic-DFS visit marks, reused across columns: [seen.(k) = j]
-     means pivot position [k] was reached while processing column [j].
-     A stamp compare replaces the per-column scratch Hashtbl the DFS
-     used to allocate (and rehash) inside the factorization loop. *)
-  let seen = Array.make n (-1) in
   for j = 0 to n - 1 do
-    let ntouched = ref 0 in
-    let touch r =
-      if not is_touched.(r) then begin
-        is_touched.(r) <- true;
-        touched.(!ntouched) <- r;
-        incr ntouched
-      end
-    in
-    (* scatter A(:, j) *)
-    Csr.row_iter acsc j (fun r v ->
-        touch r;
-        x.(r) <- x.(r) +. v);
-    (* symbolic phase: DFS from the pivotal rows present in the pattern,
-       collecting a reverse-postorder = topological order of updates *)
-    let order = ref [] in
-    let rec dfs k =
-      if seen.(k) <> j then begin
-        seen.(k) <- j;
-        Array.iter
-          (fun (r, _) ->
-            touch r;
-            let k' = pos_of_row.(r) in
-            if k' >= 0 then dfs k')
-          l_cols.(k);
-        order := k :: !order
-      end
-    in
-    for t = 0 to !ntouched - 1 do
-      let k = pos_of_row.(touched.(t)) in
-      if k >= 0 then dfs k
+    let spos = s.sscat_pos.(j) and sidx = s.sscat_idx.(j) in
+    let nscat = Array.length spos in
+    for t = 0 to nscat - 1 do
+      let p = Array.unsafe_get spos t in
+      Array.unsafe_set x p
+        (Array.unsafe_get x p +. Array.unsafe_get vals (Array.unsafe_get sidx t))
     done;
-    (* numeric phase: x <- L^-1 x in topological order *)
-    List.iter
-      (fun k ->
-        let xk = x.(row_of_pos.(k)) in
-        if xk <> 0. then
-          Array.iter
-            (fun (r, m) ->
-              touch r;
-              x.(r) <- x.(r) -. (m *. xk))
-            l_cols.(k))
-      !order;
-    (* pivot: largest magnitude among not-yet-pivotal touched rows *)
-    let piv = ref (-1) in
-    let best = ref 0. in
-    for t = 0 to !ntouched - 1 do
-      let r = touched.(t) in
-      if pos_of_row.(r) < 0 then begin
-        let v = Float.abs x.(r) in
-        if v > !best then begin
-          best := v;
-          piv := r
-        end
+    (* numeric left-looking updates in topological order *)
+    let topo = s.stopo.(j) in
+    let ntopo = Array.length topo in
+    for t = 0 to ntopo - 1 do
+      let k = Array.unsafe_get topo t in
+      let xk = Array.unsafe_get x k in
+      if xk <> 0. then begin
+        let lk = Array.unsafe_get l_cols k in
+        let nl = Array.length lk in
+        for u = 0 to nl - 1 do
+          let r, m = Array.unsafe_get lk u in
+          Array.unsafe_set x r (Array.unsafe_get x r -. (m *. xk))
+        done
       end
     done;
-    (* report the failing unknown in ORIGINAL numbering: permuted
-       column [j] is original column [ord.(j)], which callers can map
-       back to a node or branch variable *)
-    if !piv < 0 || !best = 0. then raise (Singular ord.(j));
-    let pivot_row = !piv in
-    let pivot_val = x.(pivot_row) in
-    pos_of_row.(pivot_row) <- j;
-    row_of_pos.(j) <- pivot_row;
-    u_diag.(j) <- pivot_val;
-    (* gather U(:, j) (pivotal rows, position < j) and L(:, j) *)
-    let us = ref [] and ls = ref [] in
-    for t = 0 to !ntouched - 1 do
-      let r = touched.(t) in
-      let v = x.(r) in
-      if v <> 0. then begin
-        let k = pos_of_row.(r) in
-        if k >= 0 && k < j then us := (k, v) :: !us
-        else if r <> pivot_row then ls := (r, v /. pivot_val) :: !ls
-      end;
-      (* reset accumulator *)
-      x.(r) <- 0.;
-      is_touched.(r) <- false
-    done;
-    u_cols.(j) <- Array.of_list !us;
-    l_cols.(j) <- Array.of_list !ls
+    let pivot = x.(j) in
+    (* the pivot is structurally present but its value can still cancel
+       to zero; report in original numbering like [factor] *)
+    if pivot = 0. then raise (Singular s.sord.(j));
+    u_diag.(j) <- pivot;
+    u_cols.(j) <- Array.map (fun k -> (k, x.(k))) s.stopo.(j);
+    l_cols.(j) <- Array.map (fun r -> (r, x.(r) /. pivot)) s.slpat.(j);
+    (* reset the accumulator over exactly the touched positions *)
+    x.(j) <- 0.;
+    Array.iter (fun k -> x.(k) <- 0.) s.stopo.(j);
+    Array.iter (fun r -> x.(r) <- 0.) s.slpat.(j)
   done;
-  (* remap L's original row indices to pivot positions *)
-  let l_cols =
-    Array.map (Array.map (fun (r, m) -> (pos_of_row.(r), m))) l_cols
-  in
-  { n; l_cols; u_cols; u_diag; row_of_pos; ord }
+  { n; l_cols; u_cols; u_diag; row_of_pos = s.srow_of_pos; ord = s.sord }
+
+let factor ?order a = refactor (symbolic ?order a) a
 
 let solve f b =
   let n = f.n in
   if Array.length b <> n then invalid_arg "Slu.solve: dimension mismatch";
   (* y = P (b permuted by the fill-reducing ordering) *)
   let y = Array.init n (fun k -> b.(f.ord.(f.row_of_pos.(k)))) in
-  (* forward: L y' = y, unit diagonal, column-oriented *)
+  (* forward: L y' = y, unit diagonal, column-oriented.  Stored row
+     indices are pivot positions in [0, n) by construction and [y] has
+     length [n] (checked above), so the inner loops skip bounds
+     checks. *)
+  let l_cols = f.l_cols in
   for k = 0 to n - 1 do
-    let yk = y.(k) in
-    if yk <> 0. then
-      Array.iter (fun (i, m) -> y.(i) <- y.(i) -. (m *. yk)) f.l_cols.(k)
+    let yk = Array.unsafe_get y k in
+    if yk <> 0. then begin
+      let lk = Array.unsafe_get l_cols k in
+      let nl = Array.length lk in
+      for t = 0 to nl - 1 do
+        let i, m = Array.unsafe_get lk t in
+        Array.unsafe_set y i (Array.unsafe_get y i -. (m *. yk))
+      done
+    end
   done;
   (* backward: U x = y', column-oriented *)
+  let u_cols = f.u_cols and u_diag = f.u_diag in
   for k = n - 1 downto 0 do
-    y.(k) <- y.(k) /. f.u_diag.(k);
-    let xk = y.(k) in
-    if xk <> 0. then
-      Array.iter (fun (i, u) -> y.(i) <- y.(i) -. (u *. xk)) f.u_cols.(k)
+    let yk = Array.unsafe_get y k /. Array.unsafe_get u_diag k in
+    Array.unsafe_set y k yk;
+    if yk <> 0. then begin
+      let uk = Array.unsafe_get u_cols k in
+      let nu = Array.length uk in
+      for t = 0 to nu - 1 do
+        let i, u = Array.unsafe_get uk t in
+        Array.unsafe_set y i (Array.unsafe_get y i -. (u *. yk))
+      done
+    end
   done;
   (* undo the column side of the symmetric permutation *)
   let x = Array.make n 0. in

@@ -176,6 +176,77 @@ let net_circuit (d : design) ~net ~driver_res ~slew =
     (sinks_of d net);
   (Circuit.Netlist.freeze b, List.rev !sink_nodes)
 
+(* ------------------------------------------------------------------ *)
+(* Structure-sharing cache.  Timing designs stamp the same few
+   interconnect templates thousands of times; the cache lets the
+   analysis done for one instance serve every relabeled copy.
+
+   Exact tier: the whole per-net result — the fitted engine and each
+   sink's (delay, slew) keyed by sink node id.  The key folds in
+   everything the numbers depend on beyond the circuit: delay model,
+   threshold, vdd, input slew, sparse flag, and the ordered sink node
+   ids (a zero-cap sink adds no element, so the sink set is not
+   derivable from the circuit alone).  The guard signature makes a hit
+   sound and bit-exact: equal signatures mean the instance stamps an
+   MNA system identical entry for entry, so the cached numbers are the
+   ones recomputation would produce.  A merely isomorphic instance
+   (relabeled nodes — a permuted matrix with different rounding)
+   shares the hash but fails the guard and misses.
+
+   Pattern tier: the symbolic sparse analysis keyed on the
+   topology-only hash.  A hit skips ordering/pivoting/fill analysis;
+   the numeric refactorization still runs, so the factors are
+   bit-identical to an uncached run. *)
+
+type cache_payload = {
+  cp_engine : Awe.engine;
+      (* factors, moment sequences and fitted models of the first
+         instance.  Kept so the whole reduced model survives with the
+         entry; hits are served from [cp_sinks] and never mutate it
+         (it is shared across domains). *)
+  cp_sinks : (Circuit.Element.node * (float * float)) list;
+      (* sink node id -> (delay, slew); complete for any instance that
+         passes the guard, because the signature fixes the node ids *)
+  cp_stats : Awe.Stats.snapshot;
+      (* the work counters of the computation that built this entry;
+         replayed on every exact hit so cached and uncached analyses
+         report identical solve counts (see {!Awe.Stats.replay}) *)
+}
+
+type cache = cache_payload Awe.Cache.t
+
+let create_cache () : cache = Awe.Cache.create ()
+
+(* what a task asks the coordinator to publish once its wave is done *)
+type publication = {
+  pub_exact : (string * string * cache_payload) option;
+      (* exact hash, guard signature, payload *)
+  pub_symbolic : (string * Sparse.Slu.symbolic) option;
+      (* pattern hash, freshly computed analysis *)
+}
+
+let cache_keys (d : design) ~model ~options ~slew ~circuit ~sink_nodes =
+  let tag =
+    match model with
+    | Elmore_model -> "E"
+    | Awe_model q -> "Q" ^ string_of_int q
+    | Awe_auto -> "A"
+  in
+  let ctx =
+    Printf.sprintf "%s:%b:%Lx:%Lx:%Lx:%s" tag options.Awe.sparse
+      (Int64.bits_of_float slew)
+      (Int64.bits_of_float d.threshold)
+      (Int64.bits_of_float d.vdd)
+      (String.concat ","
+         (List.map (fun (_, n) -> string_of_int n) sink_nodes))
+  in
+  let exact =
+    Digest.to_hex
+      (Digest.string (ctx ^ "|" ^ Circuit.Canon.exact_hash circuit))
+  in
+  let signature = ctx ^ "|" ^ Circuit.Canon.exact_signature circuit in
+  (exact, signature, Circuit.Canon.pattern_hash circuit)
+
 (* threshold delay and output slew of every sink of one net, from ONE
    MNA build, one factorization, and one shared moment-vector sequence
    (paper, Section 3.2 / eq. 56).  The AWE models analyze the net with
@@ -183,88 +254,173 @@ let net_circuit (d : design) ~net ~driver_res ~slew =
    the net driven by an ideal step and adds half the input transition
    (paper Section 4.3 / Cirit's correction), so the step variant of
    the stage circuit is only built when that model asks for it.
-   Returns [(sink_inst, delay, slew)] per sink. *)
-let net_sink_timings (d : design) ~model ~options ~net ~driver_res ~slew =
+   Returns [(sink_inst, delay, slew)] per sink, plus the engine. *)
+let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
+    ~circuit ~sink_nodes =
   let threshold_v = d.threshold *. d.vdd in
+  try
+    Awe.Stats.record_mna_build ();
+    let sys = Circuit.Mna.build circuit in
+    let engine = Awe.Engine.create ~options ?symbolic sys in
+    let timings =
+      match model with
+      | Elmore_model ->
+        let elmore = Awe.Batch.elmore_all ~engine sys in
+        (* single-exponential threshold crossing plus half the input
+           transition, and the single-exponential 10-90 slew *)
+        let frac = d.threshold in
+        List.map
+          (fun (inst, node) ->
+            let td = List.assoc node elmore in
+            (inst, (-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.))
+          sink_nodes
+      | Awe_model _ | Awe_auto ->
+        let fixed_order =
+          match model with
+          | Awe_model q ->
+            Awe.Batch.approximate_all ~engine sys
+              ~nodes:(List.map snd sink_nodes)
+              ~q
+          | Awe_auto | Elmore_model -> []
+        in
+        List.map
+          (fun (inst, node) ->
+            let a =
+              match
+                List.find_opt (fun r -> r.Awe.Batch.node = node) fixed_order
+              with
+              | Some { Awe.Batch.outcome = Awe.Batch.Approximation a; _ } -> a
+              | Some { Awe.Batch.outcome = Awe.Batch.Failed _; _ } | None ->
+                (* adaptive model, or a sink whose fixed-order fit is
+                   degenerate/unstable: escalate on the same engine — the
+                   shared moments are extended, never recomputed *)
+                fst (Awe.Engine.auto engine ~node)
+            in
+            (* search horizon: generous multiple of the first-order time
+               scale, extended by the input transition itself *)
+            let tau = Float.max (Awe.Engine.elmore engine ~node) 1e-15 in
+            let t_max = (50. *. tau) +. (2. *. slew) in
+            let delay =
+              match Awe.delay a ~threshold:threshold_v ~t_max with
+              | Some t -> t
+              | None -> malformed "net never crosses the threshold"
+            in
+            let t10 =
+              Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd)
+                ~t_max
+            in
+            let t90 =
+              Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd)
+                ~t_max
+            in
+            let slew =
+              match (t10, t90) with
+              | Some a, Some b when b > a -> b -. a
+              | _ -> tau *. log 9.
+            in
+            (inst, delay, slew))
+          sink_nodes
+    in
+    (timings, engine)
+  with
+  (* funnel sparse-layer singularities into the STA's own error
+     vocabulary: the stage circuit's node names are net-local, so the
+     message already points at the offending pin *)
+  | Circuit.Mna.Singular_dc msg -> malformed "net %s: %s" net msg
+  | Invalid_argument msg -> malformed "net %s: %s" net msg
+
+(* Time one net, consulting the frozen cache view when there is one.
+   Cache counters are recorded here, inside the caller's per-task
+   stats window, so they merge as deterministically as every other
+   counter. *)
+let net_sink_timings (d : design) ~model ~options ~view ~net ~driver_res ~slew
+    =
   (* the Elmore model analyzes the ideal-step drive; the AWE models the
      actual (possibly ramped) excitation *)
   let wire_slew =
     match model with Elmore_model -> 0. | Awe_model _ | Awe_auto -> slew
   in
   let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
-  if sink_nodes = [] then []
-  else begin
-    try
-      Awe.Stats.record_mna_build ();
-      let sys = Circuit.Mna.build circuit in
-      let engine = Awe.Engine.create ~options sys in
-      match model with
-    | Elmore_model ->
-      let elmore = Awe.Batch.elmore_all ~engine sys in
-      (* single-exponential threshold crossing plus half the input
-         transition, and the single-exponential 10-90 slew *)
-      let frac = d.threshold in
-      List.map
-        (fun (inst, node) ->
-          let td = List.assoc node elmore in
-          (inst, (-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.))
-        sink_nodes
-    | Awe_model _ | Awe_auto ->
-      let fixed_order =
-        match model with
-        | Awe_model q ->
-          Awe.Batch.approximate_all ~engine sys
-            ~nodes:(List.map snd sink_nodes)
-            ~q
-        | Awe_auto | Elmore_model -> []
+  if sink_nodes = [] then ([], None)
+  else
+    match view with
+    | None ->
+      let timings, _engine =
+        compute_sink_timings d ~model ~options ~symbolic:None ~net ~slew
+          ~circuit ~sink_nodes
       in
-      List.map
-        (fun (inst, node) ->
-          let a =
-            match
-              List.find_opt (fun r -> r.Awe.Batch.node = node) fixed_order
-            with
-            | Some { Awe.Batch.outcome = Awe.Batch.Approximation a; _ } -> a
-            | Some { Awe.Batch.outcome = Awe.Batch.Failed _; _ } | None ->
-              (* adaptive model, or a sink whose fixed-order fit is
-                 degenerate/unstable: escalate on the same engine — the
-                 shared moments are extended, never recomputed *)
-              fst (Awe.Engine.auto engine ~node)
-          in
-          (* search horizon: generous multiple of the first-order time
-             scale, extended by the input transition itself *)
-          let tau = Float.max (Awe.Engine.elmore engine ~node) 1e-15 in
-          let t_max = (50. *. tau) +. (2. *. slew) in
-          let delay =
-            match Awe.delay a ~threshold:threshold_v ~t_max with
-            | Some t -> t
-            | None -> malformed "net never crosses the threshold"
-          in
-          let t10 =
-            Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd)
-              ~t_max
-          in
-          let t90 =
-            Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd)
-              ~t_max
-          in
-          let slew =
-            match (t10, t90) with
-            | Some a, Some b when b > a -> b -. a
-            | _ -> tau *. log 9.
-          in
-          (inst, delay, slew))
-        sink_nodes
-    with
-    (* funnel sparse-layer singularities into the STA's own error
-       vocabulary: the stage circuit's node names are net-local, so the
-       message already points at the offending pin *)
-    | Circuit.Mna.Singular_dc msg -> malformed "net %s: %s" net msg
-    | Invalid_argument msg -> malformed "net %s: %s" net msg
-  end
+      (timings, None)
+    | Some v -> (
+      let exact_hash, signature, pattern =
+        cache_keys d ~model ~options ~slew ~circuit ~sink_nodes
+      in
+      match Awe.Cache.find_exact v ~hash:exact_hash ~signature with
+      | Some payload ->
+        Awe.Stats.record_cache_exact_hit ();
+        (* the hit stands for the original computation: replay its
+           work counters so the report's solve counts are identical
+           to an uncached run *)
+        Awe.Stats.replay payload.cp_stats;
+        let timings =
+          List.map
+            (fun (inst, node) ->
+              match List.assoc_opt node payload.cp_sinks with
+              | Some (dly, slw) -> (inst, dly, slw)
+              | None ->
+                (* unreachable: equal signatures fix the sink node set.
+                   Kept total by re-deriving a single-pole answer from
+                   the cached engine's (already computed) moments. *)
+                let tau =
+                  Float.max (Awe.Engine.elmore payload.cp_engine ~node) 1e-15
+                in
+                ( inst,
+                  (-.tau *. log (1. -. d.threshold)) +. (0.5 *. slew),
+                  tau *. log 9. ))
+            sink_nodes
+        in
+        (timings, None)
+      | None ->
+        let candidate =
+          if options.Awe.sparse then
+            match Awe.Cache.find_symbolic v ~hash:pattern with
+            | s :: _ -> Some s
+            | [] -> None
+          else None
+        in
+        let before = Awe.Stats.snapshot () in
+        let timings, engine =
+          compute_sink_timings d ~model ~options ~symbolic:candidate ~net
+            ~slew ~circuit ~sink_nodes
+        in
+        let work = Awe.Stats.diff (Awe.Stats.snapshot ()) before in
+        let used = Awe.Engine.symbolic engine in
+        let reused =
+          match (used, candidate) with
+          | Some u, Some s -> u == s
+          | _ -> false
+        in
+        if reused then Awe.Stats.record_cache_pattern_hit ()
+        else Awe.Stats.record_cache_miss ();
+        let pub_symbolic =
+          match used with
+          | Some u when not reused -> Some (pattern, u)
+          | _ -> None
+        in
+        let payload =
+          { cp_engine = engine;
+            cp_sinks =
+              List.map2
+                (fun (_, node) (_, dly, slw) -> (node, (dly, slw)))
+                sink_nodes timings;
+            cp_stats = work }
+        in
+        ( timings,
+          Some
+            { pub_exact = Some (exact_hash, signature, payload);
+              pub_symbolic } ))
 
 let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
-    (d : design) =
+    ?cache (d : design) =
   let options = { Awe.default_options with Awe.sparse } in
   (* topological order over nets *)
   let gates = List.rev d.gates in
@@ -361,6 +517,12 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
         in
         if ready <> [] then begin
           progress := true;
+          (* Freeze the cache view once per wave: every task of the
+             wave — on any domain, in any order — sees exactly the
+             entries published by earlier waves, so lookups, counters
+             and numeric results are independent of scheduling and of
+             [jobs]. *)
+          let view = Option.map Awe.Cache.view cache in
           let prep =
             Array.of_list
               (List.map
@@ -388,9 +550,10 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
               (fun (net, _, slew, driver_res) ->
                 Awe.Stats.scoped (fun () ->
                     match
-                      net_sink_timings d ~model ~options ~net ~driver_res ~slew
+                      net_sink_timings d ~model ~options ~view ~net
+                        ~driver_res ~slew
                     with
-                    | timings -> Ok timings
+                    | result -> Ok result
                     | exception Malformed msg -> Error msg))
               prep
           in
@@ -401,7 +564,22 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
               merged_stats := Awe.Stats.merge !merged_stats window;
               let net, driver_arrival, _, _ = prep.(i) in
               match outcome with
-              | Ok timings -> record_net net driver_arrival timings
+              | Ok (timings, pub) ->
+                (* publish after the wave, sequentially, in sorted net
+                   order, first-wins — the cache contents after each
+                   wave are a pure function of the input *)
+                (match (cache, pub) with
+                | Some c, Some p ->
+                  (match p.pub_exact with
+                  | Some (hash, signature, payload) ->
+                    ignore (Awe.Cache.publish_exact c ~hash ~signature payload)
+                  | None -> ());
+                  (match p.pub_symbolic with
+                  | Some (hash, sym) ->
+                    ignore (Awe.Cache.publish_symbolic c ~hash sym)
+                  | None -> ())
+                | _ -> ());
+                record_net net driver_arrival timings
               | Error msg ->
                 (* a failed net reports its diagnostic; siblings keep
                    their (already computed) results either way *)
@@ -446,6 +624,14 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
       | Some (_, _, path) -> List.rev path
       | None -> [ net ])
   in
+  (* the cache's heap footprint, measured once by the coordinator so
+     merged stats report the final size, not a sum of samples *)
+  (match cache with
+  | Some c ->
+    merged_stats :=
+      Awe.Stats.merge !merged_stats
+        { Awe.Stats.zero with Awe.Stats.cache_bytes = Awe.Cache.bytes c }
+  | None -> ());
   let nets =
     List.filter_map (Hashtbl.find_opt timed) (List.sort compare all_nets)
   in

@@ -123,8 +123,23 @@ type report = {
           factorization per net, however many sinks it has *)
 }
 
+type cache
+(** A structure-sharing cache across nets (and across [analyze]
+    calls).  Two tiers: an {e exact} tier keyed on the value-exact
+    canonical hash of the stage circuit (plus model, threshold, vdd,
+    input slew and sink set), which serves a whole net's timings from
+    the first identical instance; and a {e pattern} tier keyed on the
+    topology-only hash, which reuses the symbolic sparse factorization
+    across structurally identical nets ([sparse] runs only).  Guarded
+    so hits are bit-identical to recomputation: the exact tier
+    compares full construction-order signatures, the pattern tier
+    re-checks the matrix pattern before reuse. *)
+
+val create_cache : unit -> cache
+
 val analyze :
   ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
+  ?cache:cache ->
   design -> report
 (** Topological timing propagation.  Raises [Not_a_dag] on cycles and
     [Malformed] on dangling references (undriven nets, unknown sinks).
@@ -147,7 +162,20 @@ val analyze :
     [Malformed] for the first (lowest-sorted) failing net, matching a
     sequential sweep; non-strict records the diagnostic in [failures],
     keeps timing the sibling nets, and lists everything downstream of
-    a failed net as "not timed". *)
+    a failed net as "not timed".
+
+    [cache] (default none) threads a structure-sharing cache through
+    the analysis.  Tasks of one topological wave read a view frozen at
+    wave start; new entries are published sequentially between waves
+    in sorted net order, first-wins — so the report, and every
+    hit/miss counter in [stats], is bit-identical for every [jobs]
+    value, and identical to an uncached run except for the
+    cache-counter fields themselves (exact hits replay the solve
+    counters of the computation that populated the entry, so the work
+    counters match an uncached run; only the phase CPU timers shrink
+    with the work actually skipped).  Passing the same cache to a
+    second [analyze] of the same design serves every net from the
+    exact tier. *)
 
 val net_circuit :
   design -> net:string -> driver_res:float -> slew:float ->

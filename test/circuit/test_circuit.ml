@@ -732,6 +732,101 @@ let prop_mna_dc_matches_divider =
       Float.abs (Mna.voltage sys op.Dc.x last -. 3.3) < 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Canonical hashing: the structure cache's keys must be invariant
+   under node relabeling (internal node ids are an artifact of
+   insertion order) and the exact tier must see every value bit. *)
+
+(* a random RC-tree net spec: node k = 1..n hangs off a random earlier
+   node through a resistor, with a grounded capacitor at k *)
+let canon_net_spec st ~n =
+  Array.init n (fun k ->
+      ( Random.State.int st (k + 1),
+        50. +. Random.State.float st 450.,
+        1e-15 +. Random.State.float st 40e-15 ))
+
+(* materialize a spec; [node_order] pre-registers node names so the
+   internal numbering permutes without changing the circuit, [perturb]
+   nudges one resistor by 1 ulp-scale relative step *)
+let canon_build spec ~node_order ~perturb =
+  let b = Netlist.create () in
+  List.iter (fun s -> ignore (Netlist.node b s)) node_order;
+  Netlist.add_v b "vdrv" "in" "0" (Element.Step { v0 = 0.; v1 = 5. });
+  Netlist.add_r b "rdrv" "in" "w0" 500.;
+  Array.iteri
+    (fun i (parent, r, c) ->
+      let k = i + 1 in
+      let r = if perturb = Some k then r *. (1. +. 1e-12) else r in
+      Netlist.add_r b
+        (Printf.sprintf "r%d" k)
+        (Printf.sprintf "w%d" parent)
+        (Printf.sprintf "w%d" k)
+        r;
+      Netlist.add_c b (Printf.sprintf "c%d" k) (Printf.sprintf "w%d" k) "0" c)
+    spec;
+  Netlist.freeze b
+
+let canon_shuffled_names st n =
+  let names =
+    Array.of_list ("in" :: List.init (n + 1) (Printf.sprintf "w%d"))
+  in
+  for i = Array.length names - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = names.(i) in
+    names.(i) <- names.(j);
+    names.(j) <- t
+  done;
+  Array.to_list names
+
+let prop_canon_relabel_invariant =
+  QCheck2.Test.make ~name:"canonical hashes survive node relabeling"
+    ~count:80
+    QCheck2.Gen.(pair (int_range 2 14) (int_range 0 100000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| 0xCA90; seed |] in
+      let spec = canon_net_spec st ~n in
+      let a = canon_build spec ~node_order:[] ~perturb:None in
+      let b =
+        canon_build spec
+          ~node_order:(canon_shuffled_names st n)
+          ~perturb:None
+      in
+      Canon.pattern_hash a = Canon.pattern_hash b
+      && Canon.exact_hash a = Canon.exact_hash b)
+
+let prop_canon_value_sensitive =
+  QCheck2.Test.make
+    ~name:"exact hash sees a 1e-12 value nudge; pattern hash does not"
+    ~count:80
+    QCheck2.Gen.(pair (int_range 2 14) (int_range 0 100000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| 0xCA91; seed |] in
+      let spec = canon_net_spec st ~n in
+      let k = 1 + Random.State.int st n in
+      let a = canon_build spec ~node_order:[] ~perturb:None in
+      let b = canon_build spec ~node_order:[] ~perturb:(Some k) in
+      Canon.pattern_hash a = Canon.pattern_hash b
+      && Canon.exact_hash a <> Canon.exact_hash b
+      && Canon.exact_signature a <> Canon.exact_signature b)
+
+let test_canon_signature_guards_relabeling () =
+  (* isomorphic-but-relabeled instances share the canonical hash; the
+     construction-order signature tells them apart, which is exactly
+     what keeps exact-tier hits bit-identical (a permuted matrix
+     rounds differently) *)
+  let st = Random.State.make [| 0xCA92 |] in
+  let spec = canon_net_spec st ~n:6 in
+  let a = canon_build spec ~node_order:[] ~perturb:None in
+  let order = [ "w3"; "in"; "w6"; "w0"; "w1"; "w5"; "w2"; "w4" ] in
+  let b = canon_build spec ~node_order:order ~perturb:None in
+  Alcotest.(check bool) "hashes agree" true
+    (Canon.exact_hash a = Canon.exact_hash b);
+  Alcotest.(check bool) "signatures differ (node ids permuted)" true
+    (Canon.exact_signature a <> Canon.exact_signature b);
+  Alcotest.(check bool) "signature is deterministic" true
+    (Canon.exact_signature a
+    = Canon.exact_signature (canon_build spec ~node_order:[] ~perturb:None))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -824,4 +919,9 @@ let () =
           Alcotest.test_case "random tree" `Quick
             test_samples_random_tree_is_tree;
           Alcotest.test_case "random mesh" `Quick
-            test_samples_random_mesh_has_loops ] ) ]
+            test_samples_random_mesh_has_loops ] );
+      ( "canon",
+        [ Alcotest.test_case "signature guards relabeled instances" `Quick
+            test_canon_signature_guards_relabeling ]
+        @ qsuite [ prop_canon_relabel_invariant; prop_canon_value_sensitive ]
+      ) ]

@@ -1197,6 +1197,10 @@ let snap ?(phases = []) f m fi r e b =
     fit_retries = r;
     order_escalations = e;
     mna_builds = b;
+    cache_exact_hits = 0;
+    cache_pattern_hits = 0;
+    cache_misses = 0;
+    cache_bytes = 0;
     phase_seconds = phases }
 
 let stat_ints (s : Awe.Stats.snapshot) =
@@ -1206,7 +1210,11 @@ let stat_ints (s : Awe.Stats.snapshot) =
       s.fits,
       s.fit_retries,
       s.order_escalations,
-      s.mna_builds )
+      s.mna_builds,
+      s.cache_exact_hits,
+      s.cache_pattern_hits,
+      s.cache_misses,
+      s.cache_bytes )
 
 let test_stats_merge_algebra () =
   let phases (s : Awe.Stats.snapshot) =

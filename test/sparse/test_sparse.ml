@@ -119,6 +119,67 @@ let test_slu_structurally_singular () =
   | _ -> Alcotest.fail "expected Singular"
   | exception Slu.Singular _ -> ())
 
+(* symbolic/numeric split: the cache's correctness contract is that
+   routing a matrix through a shared pattern analysis changes nothing
+   — factors, and therefore solves, are bit-identical *)
+
+let test_slu_refactor_matches_factor () =
+  for n = 3 to 8 do
+    let a = Csr.of_dense (random_sparse_dd n 0.4) in
+    let s = Slu.symbolic a in
+    let b = Array.init n (fun i -> float_of_int (i + 1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "n=%d bit-identical solves" n)
+      true
+      (Slu.solve (Slu.factor a) b = Slu.solve (Slu.refactor s a) b)
+  done
+
+let test_slu_symbolic_reuse_across_values () =
+  (* many value sets, one pattern: refactor through one shared
+     analysis vs a fresh factorization per matrix *)
+  let d = random_sparse_dd 9 0.35 in
+  let a = Csr.of_dense d in
+  let s = Slu.symbolic a in
+  Alcotest.(check bool) "same pattern -> interchangeable analyses" true
+    (Slu.same_analysis s (Slu.symbolic a));
+  let n = Linalg.Matrix.rows d in
+  let b = Array.init n (fun i -> 1. /. float_of_int (i + 2)) in
+  List.iter
+    (fun scale ->
+      let d' = Array.map (Array.map (fun v -> v *. scale)) d in
+      let a' = Csr.of_dense d' in
+      Alcotest.(check bool) "scaled matrix keeps the pattern" true
+        (Slu.pattern_matches s a');
+      Alcotest.(check bool)
+        (Printf.sprintf "scale %g bit-identical" scale)
+        true
+        (Slu.solve (Slu.refactor s a') b = Slu.solve (Slu.factor a') b))
+    [ 2.; 0.5; 1e3 ]
+
+let test_slu_refactor_rejects_mismatch () =
+  let a = Csr.of_dense (Linalg.Matrix.of_rows [ [ 4.; 1. ]; [ 2.; 5. ] ]) in
+  let s = Slu.symbolic a in
+  let b = Csr.of_dense (Linalg.Matrix.of_rows [ [ 4.; 0. ]; [ 2.; 5. ] ]) in
+  Alcotest.(check bool) "pattern_matches detects the difference" false
+    (Slu.pattern_matches s b);
+  Alcotest.(check bool) "analyses of different patterns differ" false
+    (Slu.same_analysis s (Slu.symbolic b));
+  match Slu.refactor s b with
+  | _ -> Alcotest.fail "mismatched refactor accepted"
+  | exception Invalid_argument msg ->
+    (* the diagnostic must name the first mismatching column *)
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "message locates the mismatch (%s)" msg)
+      true
+      (contains msg "column 1" && contains msg "row 0")
+
 let test_slu_fill_reported () =
   let d = random_sparse_dd 20 0.15 in
   let f = Slu.factor (Csr.of_dense d) in
@@ -444,7 +505,7 @@ let test_min_degree_vs_naive () =
 let test_factor_order_validation () =
   let a = path_matrix 4 in
   Alcotest.check_raises "wrong length"
-    (Invalid_argument "Slu.factor: order is not a permutation of the columns")
+    (Invalid_argument "Slu.symbolic: order is not a permutation of the columns")
     (fun () -> ignore (Slu.factor ~order:[| 0; 1 |] a))
 
 let test_factor_explicit_order_solves () =
@@ -497,6 +558,12 @@ let () =
           Alcotest.test_case "singular" `Quick test_slu_singular;
           Alcotest.test_case "structurally singular" `Quick
             test_slu_structurally_singular;
+          Alcotest.test_case "refactor = factor" `Quick
+            test_slu_refactor_matches_factor;
+          Alcotest.test_case "symbolic reuse across values" `Quick
+            test_slu_symbolic_reuse_across_values;
+          Alcotest.test_case "refactor rejects mismatched pattern" `Quick
+            test_slu_refactor_rejects_mismatch;
           Alcotest.test_case "fill metric" `Quick test_slu_fill_reported;
           Alcotest.test_case "min-degree vs naive fill" `Quick
             test_min_degree_vs_naive;

@@ -546,6 +546,67 @@ let test_non_strict_isolates () =
   let r1 = Sta.analyze ~jobs:1 ~strict:false d in
   check_reports_equal "broken siblings" r1 r
 
+(* ------------------------------------------------------------------ *)
+(* Structure-sharing cache: caching is an execution detail.  Reports
+   and the engine work counters must be bit-identical with the cache
+   on (cold and warm) and off, for every jobs value; the cache's own
+   hit/miss counters must be jobs-independent too. *)
+
+let cache_counters (s : Awe.Stats.snapshot) =
+  Awe.Stats.(s.cache_exact_hits, s.cache_pattern_hits, s.cache_misses)
+
+let check_cache_identity name d ~sparse =
+  List.iter
+    (fun jobs ->
+      let run ?cache () =
+        Sta.analyze ~model:Sta.Awe_auto ~sparse ~jobs ?cache d
+      in
+      let off = run () in
+      let cache = Sta.create_cache () in
+      let cold = run ~cache () in
+      let warm = run ~cache () in
+      let tag s = Printf.sprintf "%s %s jobs=%d" name s jobs in
+      check_reports_equal (tag "cold") off cold;
+      check_reports_equal (tag "warm") off warm;
+      Alcotest.(check bool)
+        (tag "warm serves every net from the exact tier")
+        true
+        (warm.Sta.stats.Awe.Stats.cache_misses = 0
+        && warm.Sta.stats.Awe.Stats.cache_exact_hits > 0))
+    [ 1; test_jobs ]
+
+let test_cache_identity_adder () =
+  let d = adder_deck () in
+  check_cache_identity "adder dense" d ~sparse:false;
+  check_cache_identity "adder sparse" d ~sparse:true
+
+let test_cache_identity_random () =
+  for seed = 0 to 5 do
+    let st = Random.State.make [| 0xCAC; seed |] in
+    let d = random_design st ~nets:10 in
+    check_cache_identity
+      (Printf.sprintf "random seed %d" seed)
+      d
+      ~sparse:(seed mod 2 = 1)
+  done
+
+let test_cache_jobs_deterministic () =
+  let d = adder_deck () in
+  let run jobs =
+    let cache = Sta.create_cache () in
+    let cold = Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ~cache d in
+    let warm = Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ~cache d in
+    (cold, warm)
+  in
+  let c1, w1 = run 1 in
+  let cn, wn = run test_jobs in
+  check_reports_equal "cached cold" c1 cn;
+  check_reports_equal "cached warm" w1 wn;
+  Alcotest.(check bool) "cold cache counters jobs-independent" true
+    (cache_counters c1.Sta.stats = cache_counters cn.Sta.stats);
+  Alcotest.(check bool) "warm cache counters jobs-independent" true
+    (cache_counters w1.Sta.stats = cache_counters wn.Sta.stats)
+
 let () =
   Alcotest.run "sta"
     [ ( "timing",
@@ -586,4 +647,11 @@ let () =
           Alcotest.test_case "strict aborts on a broken net" `Quick
             test_strict_raises;
           Alcotest.test_case "non-strict isolates the broken net" `Quick
-            test_non_strict_isolates ] ) ]
+            test_non_strict_isolates ] );
+      ( "cache",
+        [ Alcotest.test_case "cache-on/off identity (adder deck)" `Quick
+            test_cache_identity_adder;
+          Alcotest.test_case "cache-on/off identity (random designs)" `Quick
+            test_cache_identity_random;
+          Alcotest.test_case "cached runs jobs-deterministic" `Quick
+            test_cache_jobs_deterministic ] ) ]
