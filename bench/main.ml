@@ -864,7 +864,9 @@ let sta_cache_bench ?(smoke = false) () =
   in
   let d = parallel_design ~chains ~depth ~rungs in
   let nets = List.length (Sta.net_names d) in
-  note "design: %d chains x %d stages = %d nets" chains depth nets;
+  let cores = Parallel.default_jobs () in
+  note "design: %d chains x %d stages = %d nets; %d recommended domains"
+    chains depth nets cores;
   let analyze ?cache jobs =
     Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ?cache d
   in
@@ -872,11 +874,14 @@ let sta_cache_bench ?(smoke = false) () =
   let per_jobs =
     List.map
       (fun jobs ->
-        (* cold: every run sees an empty cache (first analysis of the
-           design; within-run template hits still fire) *)
+        (* cold: every rep — the warm-up included — rebuilds the cache
+           from scratch inside the timed closure, so no rep inherits
+           entries from an earlier one (first analysis of the design;
+           within-run template hits still fire) *)
         let cold_t, cold_r =
           timed_runs ~reps (fun () ->
-              analyze ~cache:(Sta.create_cache ()) jobs)
+              let cache = Sta.create_cache () in
+              analyze ~cache jobs)
         in
         (* warm: one shared cache populated by a prior analysis — the
            steady state of incremental re-timing *)
@@ -945,12 +950,12 @@ let sta_cache_bench ?(smoke = false) () =
   let json_path = "BENCH_sta_cache.json" in
   let oc = open_out json_path in
   Printf.fprintf oc
-    "{ \"scenario\": \"sta_cache\", \"smoke\": %b,\n\
+    "{ \"scenario\": \"sta_cache\", \"smoke\": %b, \"cores\": %d,\n\
     \  \"chains\": %d, \"depth\": %d, \"rungs\": %d, \"nets\": %d, \"reps\": \
      %d,\n\
     \  \"jobs\": {\n%s\n  },\n\
     \  \"cross_jobs_identical\": %b }\n"
-    smoke chains depth rungs nets reps
+    smoke cores chains depth rungs nets reps
     (String.concat ",\n"
        (List.map
           (fun (jobs, cold_t, warm_t, cold_r, warm_r, hit_rate, rid, cid) ->
@@ -996,6 +1001,158 @@ let sta_cache_bench ?(smoke = false) () =
         (String.concat "/"
            (List.map (fun row -> string_of_int (warm_hits row)) rows))
   end
+
+(* The cold-cache scaling scenario behind ROADMAP item 4: (1) the
+   regression gate — cold cache at jobs=4 must stay within 10% of
+   jobs=1 on the 272-net chain (the configuration that used to run
+   3x slower); (2) a jobs sweep over the Synth 10k-net-class
+   generators, with the full determinism identity checks and — only
+   when the machine actually has more than one core — a speedup gate
+   on the cache-hostile buffered mesh, where parallel solves are the
+   sole lever. *)
+let sta_scale ?(smoke = false) () =
+  section
+    (if smoke then "STA scale — smoke (cold-overhead gate + identities)"
+     else "STA scale — cold-cache jobs sweep on 10k-net-class designs");
+  let cores = Parallel.default_jobs () in
+  note "%d recommended domains" cores;
+  let cold_analyze d jobs =
+    (* truly cold: fresh cache built inside the timed closure *)
+    let cache = Sta.create_cache () in
+    Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ~cache d
+  in
+  let ok = ref true in
+  let check what b =
+    if not b then begin
+      note "IDENTITY VIOLATION: %s" what;
+      ok := false
+    end
+  in
+  (* -- part 1: the chain-design regression gate ------------------- *)
+  let chains, depth, rungs, reps =
+    if smoke then (4, 4, 4, 5) else (16, 16, 8, 5)
+  in
+  let chain_d = parallel_design ~chains ~depth ~rungs in
+  let chain_nets = List.length (Sta.net_names chain_d) in
+  let t1, r1 = timed_runs ~reps (fun () -> cold_analyze chain_d 1) in
+  let t4, r4 = timed_runs ~reps (fun () -> cold_analyze chain_d 4) in
+  note
+    "chain %d nets: cold jobs=1 %8.2f ms, cold jobs=4 %8.2f ms (ratio %.2fx)"
+    chain_nets (1e3 *. t1.t_med) (1e3 *. t4.t_med) (t4.t_med /. t1.t_med);
+  check "chain cold reports jobs=1 vs jobs=4"
+    (sta_reports_identical r1 r4 && sta_stats_identical r1 r4
+    && sta_cache_counters_identical r1 r4);
+  (* the regression this scenario exists to keep dead: cold jobs=4
+     within 10% of cold jobs=1 (5 ms absolute slack against sub-ms
+     noise on small smoke designs) *)
+  let chain_gate_ok = t4.t_med <= (1.1 *. t1.t_med) +. 5e-3 in
+  if not chain_gate_ok then
+    note "GATE FAIL: cold jobs=4 %.2f ms vs jobs=1 %.2f ms (>10%% slower)"
+      (1e3 *. t4.t_med) (1e3 *. t1.t_med);
+  (* -- part 2: jobs sweep over the Synth generators --------------- *)
+  let designs =
+    if smoke then
+      [ ("grid", Sta.Synth.grid ~rows:16 ~cols:16 ());
+        ("clock_tree", Sta.Synth.clock_tree ~levels:5 ~fanout:4 ());
+        ("buffered_mesh", Sta.Synth.buffered_mesh ~rows:16 ~cols:16 ()) ]
+    else
+      [ ("grid", Sta.Synth.grid ~rows:100 ~cols:100 ());
+        ("clock_tree", Sta.Synth.clock_tree ~levels:7 ~fanout:4 ());
+        ("buffered_mesh", Sta.Synth.buffered_mesh ~rows:50 ~cols:50 ()) ]
+  in
+  let sweep_reps = if smoke then 3 else 5 in
+  let jobs_sweep = [ 1; 4; 8 ] in
+  let per_design =
+    List.map
+      (fun (name, d) ->
+        let nets = Sta.Synth.net_count d in
+        let results =
+          List.map
+            (fun j ->
+              (j, timed_runs ~reps:sweep_reps (fun () -> cold_analyze d j)))
+            jobs_sweep
+        in
+        let t1 = (fst (List.assoc 1 results)).t_med in
+        let r1 = snd (List.assoc 1 results) in
+        List.iter
+          (fun (j, (t, r)) ->
+            note "%-14s %6d nets  jobs=%d  cold median %8.2f ms  speedup %.2fx"
+              name nets j (1e3 *. t.t_med) (t1 /. t.t_med);
+            if j <> 1 then
+              check
+                (Printf.sprintf "%s cold jobs=1 vs jobs=%d" name j)
+                (sta_reports_identical r1 r
+                && sta_stats_identical r1 r
+                && sta_cache_counters_identical r1 r))
+          results;
+        (name, nets, results))
+      designs
+  in
+  (* speedup gate: only meaningful with real cores.  The buffered mesh
+     is the cache-hostile design — few repeated templates, so parallel
+     solves are the only lever and any scheduling win must show up
+     here.  2 ms slack so borderline two-core machines don't flake. *)
+  let speedup_gate_ok =
+    if cores <= 1 then begin
+      note "speedup gate skipped: %d core(s) available" cores;
+      true
+    end
+    else begin
+      let _, _, results =
+        List.find (fun (n, _, _) -> n = "buffered_mesh") per_design
+      in
+      let t1 = (fst (List.assoc 1 results)).t_med in
+      let t4 = (fst (List.assoc 4 results)).t_med in
+      let pass = t4 <= t1 +. 2e-3 in
+      if not pass then
+        note "GATE FAIL: buffered_mesh cold jobs=4 %.2f ms vs jobs=1 %.2f ms"
+          (1e3 *. t4) (1e3 *. t1);
+      pass
+    end
+  in
+  claim ~paper:"domain decomposition pays only at useful granularity"
+    "cold jobs=4/jobs=1 ratio %.2f on %d-net chain, identities clean %b"
+    (t4.t_med /. t1.t_med) chain_nets !ok;
+  let json_path = "BENCH_sta_scale.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"sta_scale\", \"smoke\": %b, \"cores\": %d,\n\
+    \  \"chain\": { \"nets\": %d, \"reps\": %d,\n\
+    \    \"cold_ms_jobs1\": [%.3f, %.3f, %.3f],\n\
+    \    \"cold_ms_jobs4\": [%.3f, %.3f, %.3f],\n\
+    \    \"ratio_jobs4_vs_jobs1\": %.3f, \"gate_ok\": %b },\n\
+    \  \"designs\": {\n%s\n  },\n\
+    \  \"identities_ok\": %b, \"speedup_gate_ok\": %b }\n"
+    smoke cores chain_nets reps (1e3 *. t1.t_min) (1e3 *. t1.t_med)
+    (1e3 *. t1.t_max) (1e3 *. t4.t_min) (1e3 *. t4.t_med) (1e3 *. t4.t_max)
+    (t4.t_med /. t1.t_med) chain_gate_ok
+    (String.concat ",\n"
+       (List.map
+          (fun (name, nets, results) ->
+            let t1 = (fst (List.assoc 1 results)).t_med in
+            Printf.sprintf
+              "    \"%s\": { \"nets\": %d, \"cold_ms_per_jobs\": { %s },\n\
+              \      \"speedup_vs_jobs1\": { %s } }"
+              name nets
+              (String.concat ", "
+                 (List.map
+                    (fun (j, (t, _)) ->
+                      Printf.sprintf "\"%d\": %.3f" j (1e3 *. t.t_med))
+                    results))
+              (String.concat ", "
+                 (List.map
+                    (fun (j, (t, _)) ->
+                      Printf.sprintf "\"%d\": %.2f" j (t1 /. t.t_med))
+                    results)))
+          per_design))
+    !ok speedup_gate_ok;
+  close_out oc;
+  note "wrote %s" json_path;
+  if not (!ok && chain_gate_ok && speedup_gate_ok) then begin
+    note "STA SCALE FAIL — failing";
+    exit 1
+  end
+  else note "sta_scale ok"
 
 let verify_bench () =
   section "Verification harness — differential oracle throughput";
@@ -1063,13 +1220,14 @@ let experiments =
     ("fig27", fig27); ("eq56", eq56); ("scaling", scaling);
     ("ablation", ablation); ("shifted", shifted); ("sta", sta_bench);
     ("sta_batch", sta_batch); ("sta_parallel", fun () -> sta_parallel ());
-    ("sta_cache", fun () -> sta_cache_bench ()); ("verify", verify_bench) ]
+    ("sta_cache", fun () -> sta_cache_bench ());
+    ("sta_scale", fun () -> sta_scale ()); ("verify", verify_bench) ]
 
 let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
     sta_batch; (fun () -> sta_parallel ()); (fun () -> sta_cache_bench ());
-    verify_bench ]
+    (fun () -> sta_scale ()); verify_bench ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1079,7 +1237,8 @@ let () =
   | [] when smoke ->
     (* --smoke alone runs the CI gates *)
     sta_parallel ~smoke ();
-    sta_cache_bench ~smoke ()
+    sta_cache_bench ~smoke ();
+    sta_scale ~smoke ()
   | [] ->
     Format.printf
       "AWEsim reproduction harness — every table and figure of the paper@.";
@@ -1090,6 +1249,7 @@ let () =
         match (name, List.assoc_opt name experiments) with
         | "sta_parallel", _ -> sta_parallel ~smoke ()
         | "sta_cache", _ -> sta_cache_bench ~smoke ()
+        | "sta_scale", _ -> sta_scale ~smoke ()
         | _, Some f -> f ()
         | _, None ->
           Format.printf "unknown experiment %S; available:@." name;

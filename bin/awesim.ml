@@ -145,8 +145,15 @@ let jobs_arg =
           "Worker domains for the parallel fan-out (results are identical \
            for any value).  0 = one per recommended core.")
 
-(* 0 (the CLI default) means "ask the runtime" *)
-let resolve_jobs j = if j <= 0 then Parallel.default_jobs () else j
+(* the tree-wide --jobs convention, identical for analyze/timing/verify:
+   0 (the CLI default) means "ask the runtime", negatives are rejected
+   up front rather than raising from inside the pool *)
+let resolve_jobs j =
+  if j < 0 then begin
+    Printf.eprintf "--jobs must be >= 0 (got %d); 0 = one per recommended core\n" j;
+    exit 2
+  end;
+  if j = 0 then Parallel.default_jobs () else j
 
 let pp_pole ppf (p : Linalg.Cx.t) =
   if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%.5e" p.Linalg.Cx.re

@@ -270,3 +270,39 @@ let random_rc_mesh ?(seed = 43) ~n ~extra () =
   done;
   let leaf = Netlist.node b (node_name n) in
   (Netlist.freeze b, leaf)
+
+let rc_grid ?(seed = 47) ?wave ~rows ~cols () =
+  if rows < 2 || cols < 2 then
+    invalid_arg "Samples.rc_grid: need rows >= 2 and cols >= 2";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  let wave =
+    match wave with
+    | Some w -> w
+    | None -> Element.Step { v0 = 0.; v1 = 1. }
+  in
+  Netlist.add_v b "vin" "in" "0" wave;
+  let node_name r c = Printf.sprintf "g%d_%d" r c in
+  Netlist.add_r b "rdrv" "in" (node_name 0 0) 25.;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        Netlist.add_r b
+          (Printf.sprintf "rh%d_%d" r c)
+          (node_name r c)
+          (node_name r (c + 1))
+          (50. +. Random.State.float st 150.);
+      if r + 1 < rows then
+        Netlist.add_r b
+          (Printf.sprintf "rv%d_%d" r c)
+          (node_name r c)
+          (node_name (r + 1) c)
+          (50. +. Random.State.float st 150.);
+      Netlist.add_c b
+        (Printf.sprintf "cg%d_%d" r c)
+        (node_name r c) "0"
+        (5e-15 +. Random.State.float st 45e-15)
+    done
+  done;
+  let far = Netlist.node b (node_name (rows - 1) (cols - 1)) in
+  (Netlist.freeze b, far)

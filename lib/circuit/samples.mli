@@ -111,3 +111,19 @@ val random_rc_mesh :
   ?seed:int -> n:int -> extra:int -> unit -> Netlist.circuit * Element.node
 (** A random RC tree with [extra] additional resistors closing loops —
     an RC mesh in the sense of Section 2.2. *)
+
+val rc_grid :
+  ?seed:int ->
+  ?wave:Element.waveform ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  Netlist.circuit * Element.node
+(** A [rows] x [cols] power/clock-style RC grid: every node carries a
+    grounded capacitor (5-50 fF) and connects to its right and lower
+    neighbors through 50-200 Ohm resistors; a 25 Ohm driver feeds one
+    corner.  Heavily looped (the Section 2.2 mesh case, at scale) —
+    the building block for the 10k-100k-element scaling studies.
+    Returns the circuit and the far-corner observation node.  Values
+    come from the seeded stream, so a given [seed] always builds the
+    identical circuit. *)

@@ -11,6 +11,8 @@ type 'a t = {
   mutable exact : 'a exact_entry list Smap.t; (* exact hash -> entries *)
   mutable symbolics : Sparse.Slu.symbolic list Smap.t;
       (* pattern hash -> analyses *)
+  mutable bytes_memo : int option;
+      (* lazily computed footprint, invalidated by publication *)
 }
 
 type 'a view = {
@@ -18,7 +20,7 @@ type 'a view = {
   v_symbolics : Sparse.Slu.symbolic list Smap.t;
 }
 
-let create () = { exact = Smap.empty; symbolics = Smap.empty }
+let create () = { exact = Smap.empty; symbolics = Smap.empty; bytes_memo = None }
 
 let view t = { v_exact = t.exact; v_symbolics = t.symbolics }
 
@@ -41,6 +43,7 @@ let publish_exact t ~hash ~signature payload =
     t.exact <-
       Smap.add hash ({ e_sig = signature; e_payload = payload } :: entries)
         t.exact;
+    t.bytes_memo <- None;
     true
   end
 
@@ -49,9 +52,103 @@ let publish_symbolic t ~hash s =
   if List.exists (fun s' -> Sparse.Slu.same_analysis s' s) entries then false
   else begin
     t.symbolics <- Smap.add hash (s :: entries) t.symbolics;
+    t.bytes_memo <- None;
     true
   end
 
+(* The reachability sweep is linear in the cache size; memoizing it
+   turns repeated stats-time queries (one per [analyze]) into a single
+   sweep per publication epoch instead of one per call. *)
 let bytes t =
-  Obj.reachable_words (Obj.repr (t.exact, t.symbolics))
-  * (Sys.word_size / 8)
+  match t.bytes_memo with
+  | Some b -> b
+  | None ->
+    let b =
+      Obj.reachable_words (Obj.repr (t.exact, t.symbolics))
+      * (Sys.word_size / 8)
+    in
+    t.bytes_memo <- Some b;
+    b
+
+let exact_entries t =
+  Smap.fold (fun _ entries n -> n + List.length entries) t.exact 0
+
+let symbolic_entries t =
+  Smap.fold (fun _ entries n -> n + List.length entries) t.symbolics 0
+
+let exact_keys t =
+  Smap.fold
+    (fun hash entries acc ->
+      List.fold_left (fun acc e -> (hash, e.e_sig) :: acc) acc entries)
+    t.exact []
+  |> List.sort compare
+
+let symbolic_keys t =
+  Smap.fold
+    (fun hash entries acc ->
+      List.rev_append (List.map (fun _ -> hash) entries) acc)
+    t.symbolics []
+  |> List.sort compare
+
+(* Shards: per-task private overlays.  A shard records its own
+   publications in insertion order (the log) and indexes them for
+   intra-task lookup.  Lookups are local-only — the caller decides how
+   the frozen shared view composes with the shard, because the
+   determinism contract distinguishes the two tiers. *)
+module Shard = struct
+  type 'a publication =
+    | P_exact of { hash : string; signature : string; payload : 'a }
+    | P_symbolic of { hash : string; s : Sparse.Slu.symbolic }
+
+  type 'a t = {
+    s_exact : (string, 'a exact_entry list) Hashtbl.t;
+    s_symbolics : (string, Sparse.Slu.symbolic list) Hashtbl.t;
+    mutable log : 'a publication list; (* newest first *)
+  }
+
+  let create () =
+    { s_exact = Hashtbl.create 16;
+      s_symbolics = Hashtbl.create 16;
+      log = [] }
+
+  let find_exact t ~hash ~signature =
+    match Hashtbl.find_opt t.s_exact hash with
+    | None -> None
+    | Some entries ->
+      List.find_map
+        (fun e ->
+          if String.equal e.e_sig signature then Some e.e_payload else None)
+        entries
+
+  let find_symbolic t ~hash =
+    Option.value ~default:[] (Hashtbl.find_opt t.s_symbolics hash)
+
+  let publish_exact t ~hash ~signature payload =
+    let entries = Option.value ~default:[] (Hashtbl.find_opt t.s_exact hash) in
+    if not (List.exists (fun e -> String.equal e.e_sig signature) entries)
+    then begin
+      Hashtbl.replace t.s_exact hash
+        ({ e_sig = signature; e_payload = payload } :: entries);
+      t.log <- P_exact { hash; signature; payload } :: t.log
+    end
+
+  let publish_symbolic t ~hash s =
+    let entries =
+      Option.value ~default:[] (Hashtbl.find_opt t.s_symbolics hash)
+    in
+    if not (List.exists (fun s' -> Sparse.Slu.same_analysis s' s) entries)
+    then begin
+      Hashtbl.replace t.s_symbolics hash (s :: entries);
+      t.log <- P_symbolic { hash; s } :: t.log
+    end
+
+  let publications t = List.rev t.log
+end
+
+let absorb t shard =
+  List.iter
+    (function
+      | Shard.P_exact { hash; signature; payload } ->
+        ignore (publish_exact t ~hash ~signature payload)
+      | Shard.P_symbolic { hash; s } -> ignore (publish_symbolic t ~hash s))
+    (Shard.publications shard)

@@ -1,4 +1,4 @@
-(** The structure-sharing cache (two tiers, frozen views).
+(** The structure-sharing cache (two tiers, frozen views, shards).
 
     Timing designs are template-heavy: the same few interconnect
     shapes are stamped out thousands of times.  The cache lets an
@@ -25,9 +25,19 @@
     order (first publication wins, duplicates are dropped), so the
     cache contents after each wave are a pure function of the input.
 
+    {b Shards.}  A {!Shard.t} is a task-private overlay: a worker
+    publishes into its own shard during a wave (no locks, no
+    contention) and the coordinator folds the shards back with
+    {!absorb} at the wave boundary, replaying each shard's
+    publications in insertion order under the same first-wins rule.
+    When shards are absorbed in a deterministic order that matches the
+    sequential sweep (e.g. contiguous sorted ranges, in range order),
+    the resulting cache contents are identical to sequential
+    publication — see THEORY.md, "Sharded publication".
+
     The cache itself is not thread-safe: publish from one domain.
-    Views are immutable and safe to share with any number of
-    domains. *)
+    Views are immutable and safe to share with any number of domains;
+    a shard must be used by one domain at a time. *)
 
 type 'a t
 (** A cache whose exact tier carries payloads of type ['a]. *)
@@ -69,5 +79,56 @@ val publish_symbolic : 'a t -> hash:string -> Sparse.Slu.symbolic -> bool
 
 val bytes : 'a t -> int
 (** Approximate heap footprint of everything the cache retains, in
-    bytes (transitively reachable words).  Linear in the cache size —
-    call once per analysis, not per lookup. *)
+    bytes (transitively reachable words).  Computed lazily: the
+    reachability sweep runs at most once per publication epoch —
+    repeated calls between publications return a memoized value, and
+    any publication invalidates it.  Structure shared across entries
+    is counted once (the sweep walks the object graph), so this is a
+    retention figure, not a sum of per-entry sizes. *)
+
+val exact_entries : 'a t -> int
+(** Number of exact-tier entries currently stored. *)
+
+val symbolic_entries : 'a t -> int
+(** Number of pattern-tier analyses currently stored. *)
+
+val exact_keys : 'a t -> (string * string) list
+(** All (hash, signature) pairs in the exact tier, sorted — a
+    payload-free fingerprint of the tier's contents, for equality
+    checks in tests. *)
+
+val symbolic_keys : 'a t -> string list
+(** Pattern hashes of the symbolic tier, one per stored analysis,
+    sorted. *)
+
+(** Task-private publication overlays (see the header notes). *)
+module Shard : sig
+  type 'a t
+  (** A private shard: local lookup index plus an ordered publication
+      log.  Lookups see only what this shard published — composing
+      with the frozen shared view is the caller's job. *)
+
+  val create : unit -> 'a t
+
+  val find_exact : 'a t -> hash:string -> signature:string -> 'a option
+  (** Exact lookup among this shard's own publications (same signature
+      guard as the shared tier). *)
+
+  val find_symbolic : 'a t -> hash:string -> Sparse.Slu.symbolic list
+  (** Pattern lookup among this shard's own publications.  Probe
+      candidates with {!Sparse.Slu.pattern_matches} before use. *)
+
+  val publish_exact : 'a t -> hash:string -> signature:string -> 'a -> unit
+  (** Record a publication in the shard (first-wins within the
+      shard). *)
+
+  val publish_symbolic : 'a t -> hash:string -> Sparse.Slu.symbolic -> unit
+  (** Record a symbolic publication in the shard (deduplicated within
+      the shard by {!Sparse.Slu.same_analysis}). *)
+end
+
+val absorb : 'a t -> 'a Shard.t -> unit
+(** Replay a shard's publications into the cache, in the shard's
+    insertion order, under the cache's first-wins rules.  Absorbing
+    shards in task order reproduces exactly the contents a sequential
+    sweep would have published. *)

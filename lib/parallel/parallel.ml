@@ -66,8 +66,15 @@ let force_domains () =
   | _ -> false
 
 let create ?jobs () =
+  (* uniform [jobs] convention across the tree: negative is a caller
+     bug, 0 means "the recommended count for this machine" *)
   let requested =
-    match jobs with None -> default_jobs () | Some j -> Stdlib.max 1 j
+    match jobs with
+    | None | Some 0 -> default_jobs ()
+    | Some j when j < 0 ->
+      invalid_arg
+        (Printf.sprintf "Parallel.create: jobs must be >= 0 (got %d)" j)
+    | Some j -> j
   in
   (* on a single-core machine extra domains only add spawn cost and
      scheduler churn; fall back to sequential (results are identical
@@ -106,7 +113,9 @@ let with_pool ?jobs f =
 
 (* run [task 0 .. task (n-1)], all of them, across the pool *)
 let execute t n task =
-  if Array.length t.workers = 0 then
+  if t.closed then
+    invalid_arg "Parallel.map: pool is shut down"
+  else if Array.length t.workers = 0 then
     for i = 0 to n - 1 do
       task i
     done
@@ -136,6 +145,7 @@ let execute t n task =
 
 let mapi ?(label = fun i -> string_of_int i) t f xs =
   let n = Array.length xs in
+  if t.closed then invalid_arg "Parallel.map: pool is shut down";
   if n = 0 then [||]
   else begin
     let results = Array.make n None in

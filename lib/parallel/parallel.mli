@@ -38,8 +38,10 @@ val default_jobs : unit -> int
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains (the calling
     domain participates in every [map], so total parallelism is
-    [jobs]).  [jobs] defaults to {!default_jobs}; values [<= 1] create
-    a worker-free pool whose [map] runs sequentially in the caller.
+    [jobs]).  [jobs] follows the tree-wide convention: omitted or [0]
+    means {!default_jobs}, [1] creates a worker-free pool whose [map]
+    runs sequentially in the caller, and negative values raise
+    [Invalid_argument] — the same validation every [--jobs] flag gets.
     When {!default_jobs} is 1 (a single-core machine) any requested
     [jobs] also falls back to the worker-free pool — extra domains
     could only add overhead, and by the determinism contract the
@@ -52,8 +54,9 @@ val jobs : t -> int
 (** The parallelism the pool was created with (always [>= 1]). *)
 
 val shutdown : t -> unit
-(** Join all worker domains.  Idempotent.  Calling [map] on a
-    shut-down pool falls back to sequential execution. *)
+(** Join all worker domains.  Idempotent.  A shut-down pool is dead:
+    calling [map] on it raises [Invalid_argument] — silently running
+    sequentially would mask a lifecycle bug in the caller. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create] / run / [shutdown], exception-safe. *)

@@ -211,19 +211,22 @@ type cache_payload = {
       (* the work counters of the computation that built this entry;
          replayed on every exact hit so cached and uncached analyses
          report identical solve counts (see {!Awe.Stats.replay}) *)
+  cp_pattern_hit : bool;
+      (* whether the computation that built this entry reused a
+         symbolic from the frozen view.  A shard-level exact hit
+         stands for recomputing against the same frozen view, which
+         would have reached the same verdict (same circuit, same view,
+         deterministic pattern probe) — so the hit replays this
+         verdict into the pattern-hit/miss counters, keeping them
+         bit-identical to a run without shard dedup. *)
 }
 
 type cache = cache_payload Awe.Cache.t
 
 let create_cache () : cache = Awe.Cache.create ()
 
-(* what a task asks the coordinator to publish once its wave is done *)
-type publication = {
-  pub_exact : (string * string * cache_payload) option;
-      (* exact hash, guard signature, payload *)
-  pub_symbolic : (string * Sparse.Slu.symbolic) option;
-      (* pattern hash, freshly computed analysis *)
-}
+let cache_fingerprint (c : cache) =
+  (Awe.Cache.exact_keys c, Awe.Cache.symbolic_keys c)
 
 let cache_keys (d : design) ~model ~options ~slew ~circuit ~sink_nodes =
   let tag =
@@ -329,19 +332,23 @@ let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
   | Circuit.Mna.Singular_dc msg -> malformed "net %s: %s" net msg
   | Invalid_argument msg -> malformed "net %s: %s" net msg
 
-(* Time one net, consulting the frozen cache view when there is one.
-   Cache counters are recorded here, inside the caller's per-task
-   stats window, so they merge as deterministically as every other
-   counter. *)
-let net_sink_timings (d : design) ~model ~options ~view ~net ~driver_res ~slew
-    =
+(* Time one net, consulting the frozen cache view when there is one
+   and the task's private shard after it.  Cache counters are recorded
+   here, inside the caller's per-task stats window, so they merge as
+   deterministically as every other counter — and they are recorded
+   from the {e frozen-view} verdict alone: whether a chunk-mate's
+   shard entry happened to short-circuit the work is an execution
+   detail that must not (and does not) show up in any counter, or the
+   counters would vary with the chunking and therefore with [jobs]. *)
+let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
+    ~driver_res ~slew =
   (* the Elmore model analyzes the ideal-step drive; the AWE models the
      actual (possibly ramped) excitation *)
   let wire_slew =
     match model with Elmore_model -> 0. | Awe_model _ | Awe_auto -> slew
   in
   let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
-  if sink_nodes = [] then ([], None)
+  if sink_nodes = [] then []
   else
     match view with
     | None ->
@@ -349,10 +356,30 @@ let net_sink_timings (d : design) ~model ~options ~view ~net ~driver_res ~slew
         compute_sink_timings d ~model ~options ~symbolic:None ~net ~slew
           ~circuit ~sink_nodes
       in
-      (timings, None)
+      timings
     | Some v -> (
       let exact_hash, signature, pattern =
         cache_keys d ~model ~options ~slew ~circuit ~sink_nodes
+      in
+      (* serve a whole net from a payload (view or shard tier): equal
+         signatures fix the sink node ids, so the cached per-node
+         numbers are the ones recomputation would produce *)
+      let serve payload =
+        List.map
+          (fun (inst, node) ->
+            match List.assoc_opt node payload.cp_sinks with
+            | Some (dly, slw) -> (inst, dly, slw)
+            | None ->
+              (* unreachable: equal signatures fix the sink node set.
+                 Kept total by re-deriving a single-pole answer from
+                 the cached engine's (already computed) moments. *)
+              let tau =
+                Float.max (Awe.Engine.elmore payload.cp_engine ~node) 1e-15
+              in
+              ( inst,
+                (-.tau *. log (1. -. d.threshold)) +. (0.5 *. slew),
+                tau *. log 9. ))
+          sink_nodes
       in
       match Awe.Cache.find_exact v ~hash:exact_hash ~signature with
       | Some payload ->
@@ -361,63 +388,87 @@ let net_sink_timings (d : design) ~model ~options ~view ~net ~driver_res ~slew
            work counters so the report's solve counts are identical
            to an uncached run *)
         Awe.Stats.replay payload.cp_stats;
-        let timings =
-          List.map
-            (fun (inst, node) ->
-              match List.assoc_opt node payload.cp_sinks with
-              | Some (dly, slw) -> (inst, dly, slw)
-              | None ->
-                (* unreachable: equal signatures fix the sink node set.
-                   Kept total by re-deriving a single-pole answer from
-                   the cached engine's (already computed) moments. *)
-                let tau =
-                  Float.max (Awe.Engine.elmore payload.cp_engine ~node) 1e-15
-                in
-                ( inst,
-                  (-.tau *. log (1. -. d.threshold)) +. (0.5 *. slew),
-                  tau *. log 9. ))
-            sink_nodes
+        serve payload
+      | None -> (
+        let shard_exact =
+          match shard with
+          | None -> None
+          | Some sh -> Awe.Cache.Shard.find_exact sh ~hash:exact_hash ~signature
         in
-        (timings, None)
-      | None ->
-        let candidate =
-          if options.Awe.sparse then
-            match Awe.Cache.find_symbolic v ~hash:pattern with
-            | s :: _ -> Some s
-            | [] -> None
-          else None
-        in
-        let before = Awe.Stats.snapshot () in
-        let timings, engine =
-          compute_sink_timings d ~model ~options ~symbolic:candidate ~net
-            ~slew ~circuit ~sink_nodes
-        in
-        let work = Awe.Stats.diff (Awe.Stats.snapshot ()) before in
-        let used = Awe.Engine.symbolic engine in
-        let reused =
-          match (used, candidate) with
-          | Some u, Some s -> u == s
-          | _ -> false
-        in
-        if reused then Awe.Stats.record_cache_pattern_hit ()
-        else Awe.Stats.record_cache_miss ();
-        let pub_symbolic =
-          match used with
-          | Some u when not reused -> Some (pattern, u)
-          | _ -> None
-        in
-        let payload =
-          { cp_engine = engine;
-            cp_sinks =
-              List.map2
-                (fun (_, node) (_, dly, slw) -> (node, (dly, slw)))
-                sink_nodes timings;
-            cp_stats = work }
-        in
-        ( timings,
-          Some
-            { pub_exact = Some (exact_hash, signature, payload);
-              pub_symbolic } ))
+        match shard_exact with
+        | Some payload ->
+          (* A chunk-mate computed this exact stage earlier in the
+             wave.  Recomputing against the same frozen view would
+             have reached the same verdict and the same work counts
+             (same circuit, same view, deterministic pattern probe),
+             so replay both: the counters cannot tell the dedup
+             happened. *)
+          if payload.cp_pattern_hit then Awe.Stats.record_cache_pattern_hit ()
+          else Awe.Stats.record_cache_miss ();
+          Awe.Stats.replay payload.cp_stats;
+          serve payload
+        | None ->
+          let view_candidate =
+            if options.Awe.sparse then
+              match Awe.Cache.find_symbolic v ~hash:pattern with
+              | s :: _ -> Some s
+              | [] -> None
+            else None
+          in
+          (* a chunk-mate's symbolic is only consulted when the view
+             offers nothing, so the view-verdict (and the counters) are
+             untouched; reusing it instead of analyzing afresh is
+             counter-neutral because [Moments.make] records one
+             factorization either way and the numeric refactorization
+             produces bit-identical factors *)
+          let shard_candidate =
+            match (view_candidate, shard) with
+            | None, Some sh when options.Awe.sparse -> (
+              match Awe.Cache.Shard.find_symbolic sh ~hash:pattern with
+              | s :: _ -> Some s
+              | [] -> None)
+            | _ -> None
+          in
+          let candidate =
+            match view_candidate with
+            | Some _ -> view_candidate
+            | None -> shard_candidate
+          in
+          let before = Awe.Stats.snapshot () in
+          let timings, engine =
+            compute_sink_timings d ~model ~options ~symbolic:candidate ~net
+              ~slew ~circuit ~sink_nodes
+          in
+          let work = Awe.Stats.diff (Awe.Stats.snapshot ()) before in
+          let used = Awe.Engine.symbolic engine in
+          let reused_from_view =
+            match (used, view_candidate) with
+            | Some u, Some s -> u == s
+            | _ -> false
+          in
+          if reused_from_view then Awe.Stats.record_cache_pattern_hit ()
+          else Awe.Stats.record_cache_miss ();
+          let payload =
+            { cp_engine = engine;
+              cp_sinks =
+                List.map2
+                  (fun (_, node) (_, dly, slw) -> (node, (dly, slw)))
+                  sink_nodes timings;
+              cp_stats = work;
+              cp_pattern_hit = reused_from_view }
+          in
+          (match shard with
+          | None -> ()
+          | Some sh ->
+            Awe.Cache.Shard.publish_exact sh ~hash:exact_hash ~signature
+              payload;
+            (match used with
+            | Some u when not reused_from_view ->
+              (* freshly analyzed (or taken from the shard — the
+                 shard's own dedup drops that republication) *)
+              Awe.Cache.Shard.publish_symbolic sh ~hash:pattern u
+            | _ -> ()));
+          timings))
 
 let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
     ?cache (d : design) =
@@ -503,9 +554,12 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
      a wave are ready simultaneously — their driver arrivals and slews
      were frozen by earlier waves — so the expensive per-net solve
      (MNA build, factorization, moment fits) is a pure function of the
-     wave-start state and fans out across the pool.  Results are
-     recorded sequentially in sorted net order, so reports and merged
-     counters are bit-identical to a sequential run for any [jobs]. *)
+     wave-start state and fans out across the pool.  The wave's sorted
+     net list is split into contiguous chunks, one task per chunk (not
+     per net), so dispatch, DLS window and cache-shard overhead
+     amortize over many solves.  Results are recorded sequentially in
+     sorted net order, so reports and merged counters are
+     bit-identical to a sequential run for any [jobs]. *)
   let all_nets = Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] in
   let remaining = ref (List.sort compare all_nets) in
   Parallel.with_pool ~jobs (fun pool ->
@@ -541,51 +595,83 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                    (net, driver_arrival, slew, driver_res))
                  ready)
           in
-          let results =
-            Parallel.map
-              ~label:(fun i ->
-                let net, _, _, _ = prep.(i) in
+          (* contiguous chunks of the sorted wave, one per pool slot:
+             chunk ci covers [bounds.(ci), bounds.(ci + 1)).  Tasks
+             process their range in ascending (sorted) order, so each
+             shard's publication log is a contiguous slice of the
+             sequential publication order. *)
+          let n = Array.length prep in
+          let nchunks =
+            let j = Parallel.jobs pool in
+            if j <= 1 then 1 else Stdlib.min n j
+          in
+          let bounds = Array.init (nchunks + 1) (fun i -> i * n / nchunks) in
+          (* per-chunk failure label, updated as the chunk advances so
+             an unexpected exception is attributed to the exact net it
+             escaped from (each task writes only its own slot; the
+             funnel reads after the map's final hand-off) *)
+          let labels =
+            Array.init nchunks (fun ci ->
+                let net, _, _, _ = prep.(bounds.(ci)) in
                 "net " ^ net)
+          in
+          let chunk_results =
+            Parallel.mapi
+              ~label:(fun ci -> labels.(ci))
               pool
-              (fun (net, _, slew, driver_res) ->
+              (fun ci () ->
+                let lo = bounds.(ci) and hi = bounds.(ci + 1) in
+                (* private shard: wave-local publications accumulate
+                   here, lock-free, and intra-chunk duplicates of one
+                   template are served instead of recomputed *)
+                let shard =
+                  Option.map (fun _ -> Awe.Cache.Shard.create ()) view
+                in
                 Awe.Stats.scoped (fun () ->
-                    match
-                      net_sink_timings d ~model ~options ~view ~net
-                        ~driver_res ~slew
-                    with
-                    | result -> Ok result
-                    | exception Malformed msg -> Error msg))
-              prep
+                    let outcomes = Array.make (hi - lo) (Error "") in
+                    for k = 0 to hi - lo - 1 do
+                      let net, _, slew, driver_res = prep.(lo + k) in
+                      labels.(ci) <- "net " ^ net;
+                      outcomes.(k) <-
+                        (match
+                           net_sink_timings d ~model ~options ~view ~shard
+                             ~net ~driver_res ~slew
+                         with
+                        | timings -> Ok timings
+                        | exception Malformed msg -> Error msg)
+                    done;
+                    (outcomes, shard)))
+              (Array.make nchunks ())
           in
           Array.iteri
-            (fun i (outcome, window) ->
-              (* counter merge in input order: integer sums commute, so
-                 the total is schedule-independent *)
+            (fun ci ((outcomes, shard), window) ->
+              (* counter merge in chunk order: integer sums commute, so
+                 the total is independent of the chunking and of the
+                 schedule *)
               merged_stats := Awe.Stats.merge !merged_stats window;
-              let net, driver_arrival, _, _ = prep.(i) in
-              match outcome with
-              | Ok (timings, pub) ->
-                (* publish after the wave, sequentially, in sorted net
-                   order, first-wins — the cache contents after each
-                   wave are a pure function of the input *)
-                (match (cache, pub) with
-                | Some c, Some p ->
-                  (match p.pub_exact with
-                  | Some (hash, signature, payload) ->
-                    ignore (Awe.Cache.publish_exact c ~hash ~signature payload)
-                  | None -> ());
-                  (match p.pub_symbolic with
-                  | Some (hash, sym) ->
-                    ignore (Awe.Cache.publish_symbolic c ~hash sym)
-                  | None -> ())
-                | _ -> ());
-                record_net net driver_arrival timings
-              | Error msg ->
-                (* a failed net reports its diagnostic; siblings keep
-                   their (already computed) results either way *)
-                if strict then raise (Malformed msg)
-                else failures := { failed_net = net; reason = msg } :: !failures)
-            results;
+              (* absorb shards in chunk order: chunks are contiguous
+                 sorted ranges and each log is in intra-chunk sorted
+                 order, so the replayed publication sequence is exactly
+                 the sorted net order a sequential sweep publishes in —
+                 first-wins then yields identical cache contents *)
+              (match (cache, shard) with
+              | Some c, Some sh -> Awe.Cache.absorb c sh
+              | _ -> ());
+              Array.iteri
+                (fun k outcome ->
+                  let net, driver_arrival, _, _ = prep.(bounds.(ci) + k) in
+                  match outcome with
+                  | Ok timings -> record_net net driver_arrival timings
+                  | Error msg ->
+                    (* a failed net reports its diagnostic; siblings
+                       keep their (already computed) results either
+                       way *)
+                    if strict then raise (Malformed msg)
+                    else
+                      failures :=
+                        { failed_net = net; reason = msg } :: !failures)
+                outcomes)
+            chunk_results;
           remaining := blocked
         end
       done);
@@ -794,4 +880,218 @@ module Design_file = struct
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
 
+end
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic designs at scale.  The paper's figures and the test decks
+   are tens of nets; making parallel analysis pay (or regress) only
+   shows up on designs big enough that per-wave fan-out dominates the
+   fixed costs.  These generators stamp the regular structures real
+   designs are made of — datapath grids, clock trees, irregular
+   meshes — at 10k-100k nets, with wide topological waves. *)
+module Synth = struct
+  let net_count (d : design) = Hashtbl.length d.nets
+
+  (* values in the chain-design regime: ~100 Ohm gates, fF-scale wire
+     and pin caps, ps-scale intrinsics — AWE's comfortable range *)
+  let grid_cells =
+    [| cell ~name:"sg_nand" ~drive_res:150. ~input_cap:7e-15
+         ~intrinsic:25e-12;
+       cell ~name:"sg_nor" ~drive_res:200. ~input_cap:9e-15
+         ~intrinsic:35e-12 |]
+
+  let grid ~rows ~cols () =
+    if rows < 1 || cols < 1 then
+      invalid_arg "Sta.Synth.grid: need rows >= 1 and cols >= 1";
+    let d = create () in
+    let gate_name r c = Printf.sprintf "g%d_%d" r c in
+    let net_name r c = Printf.sprintf "w%d_%d" r c in
+    let pi_north c = Printf.sprintf "pn%d" c in
+    let pi_west r = Printf.sprintf "pw%d" r in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let north = if r = 0 then pi_north c else net_name (r - 1) c in
+        let west = if c = 0 then pi_west r else net_name r (c - 1) in
+        add_gate d ~inst:(gate_name r c)
+          ~cell:grid_cells.((r + c) mod 2)
+          ~inputs:[ north; west ]
+          ~output:(net_name r c)
+      done
+    done;
+    (* each output net runs a short trunk, then arms to its south and
+       east sinks.  Values repeat along anti-diagonals ((r + c) mod 4),
+       i.e. within topological waves — the template regularity real
+       datapaths have, which the structure cache exists to exploit. *)
+    let wire r c sinks =
+      let v = float_of_int ((r + c) mod 4) in
+      let trunk = { seg_from = "drv"; seg_to = "t"; res = 80. +. (10. *. v); cap = 4e-15 } in
+      trunk
+      :: List.map
+           (fun s ->
+             { seg_from = "t"; seg_to = s; res = 120. +. (15. *. v); cap = 3e-15 })
+           sinks
+    in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let sinks =
+          (if r + 1 < rows then [ gate_name (r + 1) c ] else [])
+          @ if c + 1 < cols then [ gate_name r (c + 1) ] else []
+        in
+        add_net d ~name:(net_name r c) ~segments:(wire r c sinks)
+      done
+    done;
+    for c = 0 to cols - 1 do
+      add_net d ~name:(pi_north c)
+        ~segments:
+          [ { seg_from = "drv"; seg_to = gate_name 0 c; res = 100.; cap = 5e-15 } ];
+      add_primary_input d ~net:(pi_north c) ();
+      add_primary_output d ~net:(net_name (rows - 1) c)
+    done;
+    for r = 0 to rows - 1 do
+      add_net d ~name:(pi_west r)
+        ~segments:
+          [ { seg_from = "drv"; seg_to = gate_name r 0; res = 100.; cap = 5e-15 } ];
+      add_primary_input d ~net:(pi_west r) ();
+      if r < rows - 1 then add_primary_output d ~net:(net_name r (cols - 1))
+    done;
+    d
+
+  let clock_tree ~levels ~fanout () =
+    if levels < 1 then invalid_arg "Sta.Synth.clock_tree: need levels >= 1";
+    if fanout < 2 then invalid_arg "Sta.Synth.clock_tree: need fanout >= 2";
+    let d = create () in
+    (* drive strength tapers toward the leaves, wire width with it:
+       one cell and one wire template per level, so every net of a
+       topological wave is the identical stage circuit *)
+    let buf_cell =
+      Array.init levels (fun lvl ->
+          cell
+            ~name:(Printf.sprintf "ct_buf%d" lvl)
+            ~drive_res:(80. +. (25. *. float_of_int lvl))
+            ~input_cap:5e-15 ~intrinsic:15e-12)
+    in
+    let rec build lvl inst in_net =
+      let out_net = "n_" ^ inst in
+      add_gate d ~inst ~cell:buf_cell.(lvl) ~inputs:[ in_net ] ~output:out_net;
+      if lvl = levels - 1 then begin
+        (* leaf buffer: a stub load net, marked as a primary output *)
+        add_net d ~name:out_net
+          ~segments:
+            [ { seg_from = "drv"; seg_to = "t"; res = 60.; cap = 8e-15 } ];
+        add_primary_output d ~net:out_net
+      end
+      else begin
+        let children =
+          List.init fanout (fun k -> Printf.sprintf "%s_%d" inst k)
+        in
+        let lv = float_of_int lvl in
+        let segments =
+          { seg_from = "drv"; seg_to = "t"; res = 40. +. (8. *. lv); cap = 6e-15 }
+          :: List.concat
+               (List.mapi
+                  (fun k child ->
+                    (* two arm templates per level (H-tree near/far
+                       arms), identical across the wave's nets *)
+                    let arm = Printf.sprintf "a%d" k in
+                    let stretch = if k mod 2 = 0 then 1. else 1.4 in
+                    [ { seg_from = "t";
+                        seg_to = arm;
+                        res = (70. +. (10. *. lv)) *. stretch;
+                        cap = 4e-15 };
+                      { seg_from = arm; seg_to = child; res = 50.; cap = 3e-15 } ])
+                  children)
+        in
+        add_net d ~name:out_net ~segments;
+        List.iter (fun child -> build (lvl + 1) child out_net) children
+      end
+    in
+    add_net d ~name:"clk"
+      ~segments:[ { seg_from = "drv"; seg_to = "b"; res = 30.; cap = 10e-15 } ];
+    add_primary_input d ~net:"clk" ();
+    build 0 "b" "clk";
+    d
+
+  let buffered_mesh ?(seed = 91) ~rows ~cols () =
+    if rows < 2 || cols < 2 then
+      invalid_arg "Sta.Synth.buffered_mesh: need rows >= 2 and cols >= 2";
+    let st = Random.State.make [| seed |] in
+    let d = create () in
+    let gate_name r c = Printf.sprintf "m%d_%d" r c in
+    let net_name r c = Printf.sprintf "x%d_%d" r c in
+    let pi_north c = Printf.sprintf "qn%d" c in
+    let pi_west r = Printf.sprintf "qw%d" r in
+    (* irregular counterpart of [grid]: seeded per-net wire values (few
+       repeated templates — the cache-hostile case) and random extra
+       diagonal listeners.  All flags are drawn up front, row-major,
+       so the stream — and therefore the design — is a pure function
+       of [seed]. *)
+    let diag = Array.init rows (fun _ -> Array.init cols (fun _ -> false)) in
+    for r = 1 to rows - 1 do
+      for c = 1 to cols - 1 do
+        diag.(r).(c) <- Random.State.float st 1. < 0.3
+      done
+    done;
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let north = if r = 0 then pi_north c else net_name (r - 1) c in
+        let west = if c = 0 then pi_west r else net_name r (c - 1) in
+        let inputs =
+          (north :: west
+           :: (if diag.(r).(c) then [ net_name (r - 1) (c - 1) ] else []))
+        in
+        add_gate d ~inst:(gate_name r c)
+          ~cell:grid_cells.(((r * 3) + c) mod 2)
+          ~inputs ~output:(net_name r c)
+      done
+    done;
+    let wire sinks =
+      let trunk =
+        { seg_from = "drv";
+          seg_to = "t";
+          res = 60. +. Random.State.float st 120.;
+          cap = 2e-15 +. Random.State.float st 6e-15 }
+      in
+      trunk
+      :: List.map
+           (fun s ->
+             { seg_from = "t";
+               seg_to = s;
+               res = 90. +. Random.State.float st 140.;
+               cap = 2e-15 +. Random.State.float st 5e-15 })
+           sinks
+    in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        let sinks =
+          (if r + 1 < rows then [ gate_name (r + 1) c ] else [])
+          @ (if c + 1 < cols then [ gate_name r (c + 1) ] else [])
+          @
+          if r + 1 < rows && c + 1 < cols && diag.(r + 1).(c + 1) then
+            [ gate_name (r + 1) (c + 1) ]
+          else []
+        in
+        add_net d ~name:(net_name r c) ~segments:(wire sinks)
+      done
+    done;
+    for c = 0 to cols - 1 do
+      add_net d ~name:(pi_north c)
+        ~segments:
+          [ { seg_from = "drv";
+              seg_to = gate_name 0 c;
+              res = 80. +. Random.State.float st 60.;
+              cap = 4e-15 } ];
+      add_primary_input d ~net:(pi_north c) ();
+      add_primary_output d ~net:(net_name (rows - 1) c)
+    done;
+    for r = 0 to rows - 1 do
+      add_net d ~name:(pi_west r)
+        ~segments:
+          [ { seg_from = "drv";
+              seg_to = gate_name r 0;
+              res = 80. +. Random.State.float st 60.;
+              cap = 4e-15 } ];
+      add_primary_input d ~net:(pi_west r) ();
+      if r < rows - 1 then add_primary_output d ~net:(net_name r (cols - 1))
+    done;
+    d
 end

@@ -137,6 +137,14 @@ type cache
 
 val create_cache : unit -> cache
 
+val cache_fingerprint : cache -> (string * string) list * string list
+(** A payload-free fingerprint of the cache contents: the sorted
+    (hash, signature) pairs of the exact tier and the sorted pattern
+    hashes of the symbolic tier.  Two caches populated by equivalent
+    publication sequences compare equal — used by tests to assert that
+    shard-merged contents match sequential publication for every
+    [jobs] value. *)
+
 val analyze :
   ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
   ?cache:cache ->
@@ -152,11 +160,15 @@ val analyze :
     per-net factorization through the sparse LU — worthwhile on large
     nets.
 
-    [jobs] (default 1) fans the per-net solves of each topological
-    wave across a {!Parallel} pool.  Nets of one wave are independent
-    — their driver arrivals and slews were fixed by earlier waves — and
+    [jobs] (default 1) fans the solves of each topological wave across
+    a {!Parallel} pool, in contiguous chunks of the wave's sorted net
+    list (one task per pool slot, not per net, so dispatch overhead
+    amortizes over many solves).  Nets of one wave are independent —
+    their driver arrivals and slews were fixed by earlier waves — and
     results are recorded in sorted net order, so the report (and its
-    merged [stats]) is bit-identical for every [jobs] value.
+    merged [stats]) is bit-identical for every [jobs] value.  [jobs]
+    follows the tree-wide convention: [0] means the machine's
+    recommended domain count, negative raises [Invalid_argument].
 
     [strict] (default [true]) governs per-net failures: strict raises
     [Malformed] for the first (lowest-sorted) failing net, matching a
@@ -166,16 +178,22 @@ val analyze :
 
     [cache] (default none) threads a structure-sharing cache through
     the analysis.  Tasks of one topological wave read a view frozen at
-    wave start; new entries are published sequentially between waves
-    in sorted net order, first-wins — so the report, and every
-    hit/miss counter in [stats], is bit-identical for every [jobs]
-    value, and identical to an uncached run except for the
-    cache-counter fields themselves (exact hits replay the solve
+    wave start and publish into a private per-chunk shard (no
+    contention inside a wave; a template stamped several times within
+    one chunk is computed once and served from the shard); the
+    coordinator absorbs the shards at the wave boundary in chunk
+    order, which replays publications in exactly sorted net order,
+    first-wins — so the report, every hit/miss counter in [stats], and
+    the final cache contents are bit-identical for every [jobs] value
+    (hit/miss verdicts come from the frozen view alone; shard hits
+    replay the verdict and solve counters of the computation that
+    populated the entry), and identical to an uncached run except for
+    the cache-counter fields themselves (exact hits replay the solve
     counters of the computation that populated the entry, so the work
     counters match an uncached run; only the phase CPU timers shrink
-    with the work actually skipped).  Passing the same cache to a
-    second [analyze] of the same design serves every net from the
-    exact tier. *)
+    with the work actually skipped).  See THEORY.md, "Sharded
+    publication".  Passing the same cache to a second [analyze] of the
+    same design serves every net from the exact tier. *)
 
 val net_circuit :
   design -> net:string -> driver_res:float -> slew:float ->
@@ -214,4 +232,44 @@ module Design_file : sig
 
   val parse_file : string -> design
 
+end
+
+(** Synthetic designs at scale, for benchmarks and parallel tests. *)
+module Synth : sig
+  (** Generators for 10k-100k-net synthetic designs with wide
+      topological waves — the workloads on which wave-parallel
+      analysis (and the structure cache) must actually pay.  Every
+      generator is deterministic: the same parameters (and [seed],
+      where one exists) always build the identical design, so reports
+      are comparable across runs and across [jobs] values. *)
+
+  val grid : rows:int -> cols:int -> unit -> design
+  (** A [rows] x [cols] datapath-style grid: one 2-input gate per
+      position, listening to its north and west neighbors (boundary
+      positions listen to primary-input nets), driving a short RC
+      trunk with arms to its south and east sinks.  Wire values repeat
+      along anti-diagonals — i.e. within topological waves — so the
+      design has the template regularity the structure cache exploits.
+      Nets: [rows * cols + rows + cols] (10,200 at 100 x 100); wave
+      width up to [min rows cols]. *)
+
+  val clock_tree : levels:int -> fanout:int -> unit -> design
+  (** An H-tree-style clock distribution: a root buffer fans out to
+      [fanout] child buffers per level, [levels] levels deep, with
+      drive strength and wire width tapering toward the leaves.  One
+      cell and one wire template per level, so every net of a
+      topological wave is the identical stage circuit — the
+      best case for exact-tier sharing.  Nets:
+      [(fanout^levels - 1) / (fanout - 1) + 1] (21,846 at
+      [levels:8 ~fanout:4]); wave width grows geometrically to
+      [fanout^(levels-1)]. *)
+
+  val buffered_mesh : ?seed:int -> rows:int -> cols:int -> unit -> design
+  (** The irregular counterpart of {!grid}: seeded random wire values
+      (few repeated templates — the cache-hostile case) and random
+      extra diagonal edges, so gates have two or three inputs and
+      waves are ragged.  Deterministic per [seed]. *)
+
+  val net_count : design -> int
+  (** Number of nets with a declared wire model. *)
 end

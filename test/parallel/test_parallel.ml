@@ -104,9 +104,25 @@ let test_sequential_fallback () =
     (Array.init 8 (fun i -> 2 * i)) got;
   Parallel.shutdown pool;
   Parallel.shutdown pool (* idempotent *);
-  (* a shut-down pool still maps, sequentially *)
-  let got = Parallel.map pool (fun x -> x + 1) [| 1; 2 |] in
-  check (Alcotest.array Alcotest.int) "after shutdown" [| 2; 3 |] got
+  (* a shut-down pool is dead: mapping on it is a lifecycle bug, not a
+     silent sequential run *)
+  (match Parallel.map pool (fun x -> x + 1) [| 1; 2 |] with
+  | _ -> Alcotest.fail "map on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ());
+  (* even an empty map is rejected — uniformity over array size *)
+  match Parallel.map pool Fun.id ([||] : int array) with
+  | _ -> Alcotest.fail "empty map on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_jobs_validation () =
+  (* 0 = the machine's recommended count, negatives are caller bugs *)
+  Parallel.with_pool ~jobs:0 (fun pool ->
+      check Alcotest.int "jobs=0 means recommended"
+        (Parallel.default_jobs ())
+        (Parallel.jobs pool));
+  match Parallel.create ~jobs:(-3) () with
+  | _ -> Alcotest.fail "negative jobs must raise"
+  | exception Invalid_argument _ -> ()
 
 let test_jobs_accessor () =
   Parallel.with_pool ~jobs:4 (fun pool ->
@@ -128,4 +144,5 @@ let () =
             test_empty_and_singleton;
           Alcotest.test_case "sequential fallback" `Quick
             test_sequential_fallback;
+          Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
           Alcotest.test_case "jobs accessor" `Quick test_jobs_accessor ] ) ]

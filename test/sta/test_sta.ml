@@ -607,6 +607,79 @@ let test_cache_jobs_deterministic () =
   Alcotest.(check bool) "warm cache counters jobs-independent" true
     (cache_counters w1.Sta.stats = cache_counters wn.Sta.stats)
 
+(* ------------------------------------------------------------------ *)
+(* Synthetic designs at scale (Sta.Synth): the generators behind the
+   sta_scale bench.  Small instances here — the shapes (wide waves,
+   repeated templates, ragged meshes) are what matters, and the
+   determinism contract must hold on them at every jobs value. *)
+
+let synth_designs () =
+  [ ("grid", Sta.Synth.grid ~rows:6 ~cols:6 (), false);
+    ("clock_tree", Sta.Synth.clock_tree ~levels:4 ~fanout:3 (), true);
+    ("buffered_mesh", Sta.Synth.buffered_mesh ~seed:7 ~rows:5 ~cols:5 (), true)
+  ]
+
+let test_jobs_deterministic_synth () =
+  List.iter
+    (fun (name, d, sparse) ->
+      let run_cached jobs =
+        let cache = Sta.create_cache () in
+        Sta.analyze ~model:Sta.Awe_auto ~sparse ~jobs ~cache d
+      in
+      let r1 = run_cached 1 in
+      List.iter
+        (fun jobs ->
+          let rn = run_cached jobs in
+          check_reports_equal (Printf.sprintf "%s cached jobs=%d" name jobs) r1
+            rn;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s cache counters jobs-independent (jobs=%d)"
+               name jobs)
+            true
+            (cache_counters r1.Sta.stats = cache_counters rn.Sta.stats))
+        [ test_jobs; 8 ];
+      let u1 = Sta.analyze ~sparse ~jobs:1 d in
+      let un = Sta.analyze ~sparse ~jobs:8 d in
+      check_reports_equal (name ^ " uncached") u1 un)
+    (synth_designs ())
+
+let test_shard_merge_property () =
+  (* the tentpole property: absorbing per-chunk shards in chunk order
+     yields exactly the contents sequential publication produces, for
+     any chunking (i.e. any jobs value) *)
+  List.iter
+    (fun (name, d, sparse) ->
+      let contents jobs =
+        let cache = Sta.create_cache () in
+        ignore (Sta.analyze ~model:Sta.Awe_auto ~sparse ~jobs ~cache d);
+        Sta.cache_fingerprint cache
+      in
+      let seq = contents 1 in
+      Alcotest.(check bool) (name ^ ": sequential cache is non-empty") true
+        (fst seq <> []);
+      List.iter
+        (fun jobs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: shard-merged contents = sequential (jobs=%d)"
+               name jobs)
+            true
+            (contents jobs = seq))
+        [ test_jobs; 8 ])
+    (synth_designs ())
+
+let test_synth_shapes () =
+  let grid = Sta.Synth.grid ~rows:6 ~cols:6 () in
+  Alcotest.(check int) "grid nets = rows*cols + rows + cols" 48
+    (Sta.Synth.net_count grid);
+  let ct = Sta.Synth.clock_tree ~levels:3 ~fanout:2 () in
+  (* (2^3 - 1) buffers, one net each, plus the clk root net *)
+  Alcotest.(check int) "clock tree nets" 8 (Sta.Synth.net_count ct);
+  let mesh seed = Sta.Synth.buffered_mesh ~seed ~rows:5 ~cols:5 () in
+  let r a = Sta.analyze ~jobs:1 (mesh a) in
+  check_reports_equal "same seed, same design" (r 7) (r 7);
+  Alcotest.(check bool) "different seed, different wires" true
+    ((r 7).Sta.critical_arrival <> (r 8).Sta.critical_arrival)
+
 let () =
   Alcotest.run "sta"
     [ ( "timing",
@@ -654,4 +727,10 @@ let () =
           Alcotest.test_case "cache-on/off identity (random designs)" `Quick
             test_cache_identity_random;
           Alcotest.test_case "cached runs jobs-deterministic" `Quick
-            test_cache_jobs_deterministic ] ) ]
+            test_cache_jobs_deterministic ] );
+      ( "synth",
+        [ Alcotest.test_case "generator shapes" `Quick test_synth_shapes;
+          Alcotest.test_case "jobs-deterministic (synthetic designs)" `Quick
+            test_jobs_deterministic_synth;
+          Alcotest.test_case "sharded merge = sequential publication" `Quick
+            test_shard_merge_property ] ) ]
