@@ -378,7 +378,118 @@ let cmd_moments deck_path node_opt count =
     Format.printf "generalized Elmore delay -mu_1/mu_0 = %.6g s@."
       (-.(mu.(1) /. mu.(0)))
 
-let cmd_timing design_path model sparse stats jobs strict use_cache =
+(* minimal JSON emission for the timing command: numbers print
+   round-trippable (%.17g), non-finite values become null (a design
+   with no constraints has infinite slack) *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let json_pin = function
+  | None -> "null"
+  | Some inst -> json_string inst
+
+let slack_json (s : Sta.pin_slack) =
+  Printf.sprintf
+    "{\"net\":%s,\"pin\":%s,\"transition\":%s,\"arrival\":%s,\"required\":%s,\
+     \"slack\":%s}"
+    (json_string s.Sta.sp_net) (json_pin s.Sta.sp_pin)
+    (json_string (Sta.transition_string s.Sta.sp_transition))
+    (json_float s.Sta.sp_arrival)
+    (json_float s.Sta.sp_required)
+    (json_float s.Sta.sp_slack)
+
+let path_json (p : Sta.path) =
+  let stage (st : Sta.path_stage) =
+    Printf.sprintf
+      "{\"net\":%s,\"pin\":%s,\"gate_delay\":%s,\"net_delay\":%s,\"arrival\":%s}"
+      (json_string st.Sta.st_net) (json_pin st.Sta.st_pin)
+      (json_float st.Sta.st_gate_delay)
+      (json_float st.Sta.st_net_delay)
+      (json_float st.Sta.st_arrival)
+  in
+  Printf.sprintf
+    "{\"endpoint\":%s,\"pin\":%s,\"transition\":%s,\"input_arrival\":%s,\
+     \"arrival\":%s,\"required\":%s,\"slack\":%s,\"stages\":[%s]}"
+    (json_string p.Sta.path_endpoint)
+    (json_pin p.Sta.path_pin)
+    (json_string (Sta.transition_string p.Sta.path_transition))
+    (json_float p.Sta.path_input_arrival)
+    (json_float p.Sta.path_arrival)
+    (json_float p.Sta.path_required)
+    (json_float p.Sta.path_slack)
+    (String.concat "," (List.map stage p.Sta.path_stages))
+
+let report_json (r : Sta.report) paths =
+  Printf.sprintf
+    "{\"critical_arrival\":%s,\"critical_path\":[%s],\"worst_slack\":%s,\
+     \"slacks\":[%s],\"paths\":[%s],\"failures\":[%s]}"
+    (json_float r.Sta.critical_arrival)
+    (String.concat "," (List.map json_string r.Sta.critical_path))
+    (json_float r.Sta.worst_slack)
+    (String.concat "," (List.map slack_json r.Sta.slacks))
+    (String.concat "," (List.map path_json paths))
+    (String.concat ","
+       (List.map
+          (fun f ->
+            Printf.sprintf "{\"net\":%s,\"reason\":%s}"
+              (json_string f.Sta.failed_net)
+              (json_string f.Sta.reason))
+          r.Sta.failures))
+
+let corners_json (cr : Sta.corners_report) paths =
+  Printf.sprintf
+    "{\"corners\":[%s],\"worst_corner\":%s,\"worst_slack\":%s,\
+     \"critical_arrival\":%s,\"paths\":[%s]}"
+    (String.concat ","
+       (List.map
+          (fun (s : Sta.corner_summary) ->
+            Printf.sprintf
+              "{\"name\":%s,\"critical_arrival\":%s,\"worst_slack\":%s}"
+              (json_string s.Sta.cs_name)
+              (json_float s.Sta.cs_critical_arrival)
+              (json_float s.Sta.cs_worst_slack))
+          cr.Sta.summary))
+    (json_string cr.Sta.worst_corner)
+    (json_float cr.Sta.worst_slack_overall)
+    (json_float cr.Sta.critical_arrival_overall)
+    (String.concat "," (List.map path_json paths))
+
+let pp_slack_table ppf (r : Sta.report) =
+  Format.fprintf ppf "@[<v>slack (worst first):";
+  List.iter
+    (fun (s : Sta.pin_slack) ->
+      Format.fprintf ppf
+        "@,  %-10s %-8s %-4s arrival %.4g ns  required %.4g ns  slack %.4g \
+         ns"
+        s.Sta.sp_net
+        (match s.Sta.sp_pin with None -> "(driver)" | Some i -> i)
+        (Sta.transition_string s.Sta.sp_transition)
+        (s.Sta.sp_arrival *. 1e9)
+        (s.Sta.sp_required *. 1e9)
+        (s.Sta.sp_slack *. 1e9))
+    r.Sta.slacks;
+  Format.fprintf ppf "@,worst slack: %.4g ns%s@]" (r.Sta.worst_slack *. 1e9)
+    (if r.Sta.worst_slack < 0. then "  (VIOLATED)" else "")
+
+let cmd_timing design_path model sparse stats jobs strict use_cache slack_only
+    top_k corners_path json =
   let design = read_design design_path in
   lint_gate design_path (Lint.check_design design);
   let model =
@@ -392,22 +503,97 @@ let cmd_timing design_path model sparse stats jobs strict use_cache =
         Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
         exit 2)
   in
-  let cache = if use_cache then Some (Sta.create_cache ()) else None in
-  match
-    Sta.analyze ~model ~sparse ~jobs:(resolve_jobs jobs) ~strict ?cache design
-  with
-  | report ->
-    Format.printf "%a@." (Sta.pp_report ~verbose:stats) report;
-    (* tolerant mode still fails the run — it just times what it can
-       and reports every diagnostic first *)
-    if report.Sta.failures <> [] then exit 1
-  | exception Sta.Not_a_dag nets ->
-    Printf.eprintf "combinational cycle through: %s\n"
-      (String.concat ", " nets);
-    exit 1
-  | exception Sta.Malformed msg ->
-    Printf.eprintf "malformed design: %s\n" msg;
-    exit 1
+  if top_k < 0 then begin
+    Printf.eprintf "--top-k must be non-negative\n";
+    exit 2
+  end;
+  let jobs = resolve_jobs jobs in
+  let timing_failure = function
+    | Sta.Not_a_dag nets ->
+      Printf.eprintf "combinational cycle through: %s\n"
+        (String.concat ", " nets);
+      exit 1
+    | Sta.Malformed msg ->
+      Printf.eprintf "malformed design: %s\n" msg;
+      exit 1
+    | e -> raise e
+  in
+  match corners_path with
+  | None -> (
+    let cache = if use_cache then Some (Sta.create_cache ()) else None in
+    match Sta.analyze ~model ~sparse ~jobs ~strict ?cache design with
+    | report ->
+      let paths =
+        if top_k > 0 then Sta.critical_paths design report ~k:top_k else []
+      in
+      if json then print_endline (report_json report paths)
+      else begin
+        if slack_only then Format.printf "%a@." pp_slack_table report
+        else Format.printf "%a@." (Sta.pp_report ~verbose:stats) report;
+        if paths <> [] then Format.printf "%a@." Sta.pp_paths paths
+      end;
+      (* tolerant mode still fails the run — it just times what it can
+         and reports every diagnostic first; a violated constraint
+         fails it too (signoff semantics) *)
+      if report.Sta.failures <> [] then exit 1;
+      if report.Sta.worst_slack < 0. then exit 1
+    | exception e -> timing_failure e)
+  | Some path -> (
+    let corners =
+      match Circuit.Corner.parse_file path with
+      | corners -> corners
+      | exception Circuit.Corner.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    match
+      Sta.analyze_corners ~model ~sparse ~jobs ~strict ~cache:use_cache
+        design corners
+    with
+    | cr ->
+      (* top-K paths are reported at the worst corner: the one whose
+         violations (if any) bind the signoff *)
+      let worst_run =
+        List.find
+          (fun (r : Sta.corner_run) ->
+            r.Sta.run_corner.Circuit.Corner.name = cr.Sta.worst_corner)
+          cr.Sta.runs
+      in
+      let paths =
+        if top_k > 0 then
+          Sta.critical_paths
+            (Sta.corner_design design worst_run.Sta.run_corner)
+            worst_run.Sta.run_report ~k:top_k
+        else []
+      in
+      if json then print_endline (corners_json cr paths)
+      else begin
+        Format.printf "%a@." Sta.pp_corners cr;
+        if slack_only then
+          List.iter
+            (fun (r : Sta.corner_run) ->
+              Format.printf "corner %s:@.%a@."
+                r.Sta.run_corner.Circuit.Corner.name pp_slack_table
+                r.Sta.run_report)
+            cr.Sta.runs;
+        if paths <> [] then
+          Format.printf "critical paths at corner %s:@.%a@."
+            cr.Sta.worst_corner Sta.pp_paths paths;
+        if stats then
+          List.iter
+            (fun (r : Sta.corner_run) ->
+              Format.printf "corner %s counters:@.%a@."
+                r.Sta.run_corner.Circuit.Corner.name Awe.Stats.pp
+                r.Sta.run_report.Sta.stats)
+            cr.Sta.runs
+      end;
+      if List.exists (fun (r : Sta.corner_run) -> r.Sta.run_report.Sta.failures <> []) cr.Sta.runs
+      then exit 1;
+      if cr.Sta.worst_slack_overall < 0. then exit 1
+    | exception e -> timing_failure e)
 
 let cmd_verify seed count prop_count fuzz_count rel_l2 repro_dir quiet jobs =
   let config =
@@ -540,11 +726,48 @@ let timing_t =
               info [ "no-cache" ]
                 ~doc:"Disable the structure-sharing cache." ) ])
   in
+  let slack =
+    Arg.(
+      value & flag
+      & info [ "slack" ]
+          ~doc:
+            "Print only the slack table (per-pin required/arrival/slack at \
+             the binding transition, worst first) instead of the full \
+             per-net report.  Slack comes from the design's constraint and \
+             clock cards.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 0
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Also print the K worst critical paths, stage by stage (with \
+             --corners: at the worst corner).")
+  in
+  let corners =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corners" ] ~docv:"SPEC"
+          ~doc:
+            "Analyze at every corner of a JSON corner spec (named derate \
+             sets for wire R/C and cell drive/cap/intrinsic).  Corners \
+             share one pattern-tier cache store; each keeps a private \
+             exact tier.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as JSON on stdout (non-finite values become \
+             null).")
+  in
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(
       const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg $ jobs_arg
-      $ strict $ use_cache)
+      $ strict $ use_cache $ slack $ top_k $ corners $ json)
 
 let lint_t =
   let paths =

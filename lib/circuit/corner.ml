@@ -1,0 +1,243 @@
+type t = {
+  name : string;
+  wire_res : float;
+  wire_cap : float;
+  cell_drive : float;
+  cell_cap : float;
+  cell_intrinsic : float;
+}
+
+let check_scale ~what v =
+  if not (Float.is_finite v && v > 0.) then
+    invalid_arg
+      (Printf.sprintf "Circuit.Corner: %s scale must be positive (got %g)"
+         what v)
+
+let make ~name ?(wire_res = 1.) ?(wire_cap = 1.) ?(cell_drive = 1.)
+    ?(cell_cap = 1.) ?(cell_intrinsic = 1.) () =
+  if name = "" then invalid_arg "Circuit.Corner: corner name must be non-empty";
+  check_scale ~what:"wire_res" wire_res;
+  check_scale ~what:"wire_cap" wire_cap;
+  check_scale ~what:"cell_drive" cell_drive;
+  check_scale ~what:"cell_cap" cell_cap;
+  check_scale ~what:"cell_intrinsic" cell_intrinsic;
+  { name; wire_res; wire_cap; cell_drive; cell_cap; cell_intrinsic }
+
+let nominal = make ~name:"nominal" ()
+
+exception Parse_error of int * string
+
+(* ------------------------------------------------------------------ *)
+(* A recursive-descent parser for the JSON subset the spec needs:
+   objects, arrays, strings (escapes limited to quote, backslash,
+   slash, newline, tab), and numbers.  Line numbers are tracked for
+   error reporting. *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+
+type cursor = { text : string; mutable pos : int; mutable line : int }
+
+let fail cur fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (cur.line, s))) fmt
+
+let peek cur =
+  if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' -> cur.line <- cur.line + 1
+  | _ -> ());
+  cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  skip_ws cur;
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | Some c' -> fail cur "expected %C, got %C" c c'
+  | None -> fail cur "expected %C, got end of input" c
+
+let parse_str cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some c -> fail cur "unsupported escape \\%C in string" c
+      | None -> fail cur "unterminated string");
+      advance cur;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_num cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> is_num_char c | None -> false) do
+    advance cur
+  done;
+  let tok = String.sub cur.text start (cur.pos - start) in
+  match float_of_string_opt tok with
+  | Some v -> v
+  | None -> fail cur "cannot parse number %S" tok
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      J_obj []
+    end
+    else begin
+      let rec members acc =
+        let k = (skip_ws cur; parse_str cur) in
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev ((k, v) :: acc)
+        | _ -> fail cur "expected ',' or '}' in object"
+      in
+      J_obj (members [])
+    end
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      J_arr []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          elements (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']' in array"
+      in
+      J_arr (elements [])
+    end
+  | Some '"' -> J_str (parse_str cur)
+  | Some ('0' .. '9' | '-' | '+' | '.') -> J_num (parse_num cur)
+  | Some c -> fail cur "unexpected character %C" c
+  | None -> fail cur "unexpected end of input"
+
+let corner_of_obj cur fields =
+  let name = ref None in
+  let scales =
+    [ ("wire_res", ref 1.);
+      ("wire_cap", ref 1.);
+      ("cell_drive", ref 1.);
+      ("cell_cap", ref 1.);
+      ("cell_intrinsic", ref 1.) ]
+  in
+  List.iter
+    (fun (k, v) ->
+      match (k, v) with
+      | "name", J_str s ->
+        if !name <> None then fail cur "duplicate \"name\" field";
+        name := Some s
+      | "name", _ -> fail cur "\"name\" must be a string"
+      | k, J_num x -> (
+        match List.assoc_opt k scales with
+        | Some r -> r := x
+        | None -> fail cur "unknown corner field %S" k)
+      | k, _ -> fail cur "corner field %S must be a number" k)
+    fields;
+  let name =
+    match !name with
+    | Some s -> s
+    | None -> fail cur "corner object needs a \"name\" field"
+  in
+  let s k = !(List.assoc k scales) in
+  match
+    make ~name ~wire_res:(s "wire_res") ~wire_cap:(s "wire_cap")
+      ~cell_drive:(s "cell_drive") ~cell_cap:(s "cell_cap")
+      ~cell_intrinsic:(s "cell_intrinsic") ()
+  with
+  | c -> c
+  | exception Invalid_argument msg -> fail cur "%s" msg
+
+let parse_string text =
+  let cur = { text; pos = 0; line = 1 } in
+  let root = parse_value cur in
+  skip_ws cur;
+  if peek cur <> None then fail cur "trailing content after corner spec";
+  let arr =
+    match root with
+    | J_arr items -> items
+    | J_obj fields -> (
+      match List.assoc_opt "corners" fields with
+      | Some (J_arr items) -> items
+      | Some _ -> fail cur "\"corners\" must be an array"
+      | None -> fail cur "top-level object needs a \"corners\" array")
+    | J_str _ | J_num _ ->
+      fail cur "corner spec must be an object or an array"
+  in
+  let corners =
+    List.map
+      (function
+        | J_obj fields -> corner_of_obj cur fields
+        | _ -> fail cur "each corner must be an object")
+      arr
+  in
+  if corners = [] then fail cur "corner spec lists no corners";
+  let names = List.map (fun c -> c.name) corners in
+  let dup =
+    List.find_opt
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+  in
+  (match dup with
+  | Some n -> fail cur "duplicate corner name %S" n
+  | None -> ());
+  corners
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

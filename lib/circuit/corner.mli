@@ -1,0 +1,60 @@
+(** Process/operating corners for multi-corner timing analysis.
+
+    A corner is a named set of multiplicative derates applied to a
+    design's element values — wire resistance and capacitance, cell
+    drive resistance, pin capacitance and intrinsic delay.  Corners
+    never change topology: a derated design stamps matrices with the
+    same sparsity pattern as the nominal one, which is exactly why
+    corner analyses can share the pattern tier of the structure cache
+    (one symbolic factorization per topology across all corners).
+
+    The spec file is a small JSON subset:
+
+    {v
+    { "corners": [
+        { "name": "typ" },
+        { "name": "slow", "wire_res": 1.25, "wire_cap": 1.15,
+          "cell_drive": 1.30, "cell_cap": 1.10, "cell_intrinsic": 1.20 },
+        { "name": "fast", "wire_res": 0.85, "wire_cap": 0.90,
+          "cell_drive": 0.75, "cell_cap": 0.95, "cell_intrinsic": 0.85 }
+    ] }
+    v}
+
+    A bare top-level array of corner objects is also accepted.  Omitted
+    scale fields default to 1.0; every scale must be positive and
+    finite; names must be non-empty and unique. *)
+
+type t = {
+  name : string;
+  wire_res : float;  (** wire segment resistance multiplier *)
+  wire_cap : float;  (** wire segment capacitance multiplier *)
+  cell_drive : float;  (** cell drive-resistance multiplier *)
+  cell_cap : float;  (** cell input-pin capacitance multiplier *)
+  cell_intrinsic : float;  (** cell intrinsic-delay multiplier *)
+}
+
+val make :
+  name:string ->
+  ?wire_res:float ->
+  ?wire_cap:float ->
+  ?cell_drive:float ->
+  ?cell_cap:float ->
+  ?cell_intrinsic:float ->
+  unit ->
+  t
+(** All scales default to 1.0.  Raises [Invalid_argument] on an empty
+    name or a non-positive / non-finite scale. *)
+
+val nominal : t
+(** The identity corner, named ["nominal"]: every scale 1.0. *)
+
+exception Parse_error of int * string
+(** [(line, message)] — same shape as the deck parsers, so front ends
+    report spec-file problems uniformly. *)
+
+val parse_string : string -> t list
+(** Parse a corner spec.  Raises {!Parse_error} on malformed JSON, an
+    unknown field, a bad scale value, a duplicate or empty name, or an
+    empty corner list. *)
+
+val parse_file : string -> t list

@@ -7,12 +7,26 @@ module Smap = Map.Make (String)
 
 type 'a exact_entry = { e_sig : string; e_payload : 'a }
 
+(* The pattern tier lives in its own store so several caches can share
+   one: corner analyses change element values, never topology, so the
+   symbolic factorizations are corner-invariant — N per-corner caches
+   pointing at one [patterns] store pay for each topology's symbolic
+   analysis exactly once across all corners.  The epoch counts
+   publications, so caches sharing the store can tell their memoized
+   footprint is stale without seeing each other. *)
+type patterns = {
+  mutable p_symbolics : Sparse.Slu.symbolic list Smap.t;
+      (* pattern hash -> analyses *)
+  mutable p_epoch : int;
+}
+
 type 'a t = {
   mutable exact : 'a exact_entry list Smap.t; (* exact hash -> entries *)
-  mutable symbolics : Sparse.Slu.symbolic list Smap.t;
-      (* pattern hash -> analyses *)
-  mutable bytes_memo : int option;
-      (* lazily computed footprint, invalidated by publication *)
+  pats : patterns; (* possibly shared with other caches *)
+  mutable bytes_memo : (int * int) option;
+      (* (pattern epoch, footprint): lazily computed, invalidated by
+         exact publication (dropped) or pattern publication through
+         any sharer (epoch mismatch) *)
 }
 
 type 'a view = {
@@ -20,9 +34,17 @@ type 'a view = {
   v_symbolics : Sparse.Slu.symbolic list Smap.t;
 }
 
-let create () = { exact = Smap.empty; symbolics = Smap.empty; bytes_memo = None }
+let create_patterns () = { p_symbolics = Smap.empty; p_epoch = 0 }
 
-let view t = { v_exact = t.exact; v_symbolics = t.symbolics }
+let create ?patterns () =
+  let pats =
+    match patterns with Some p -> p | None -> create_patterns ()
+  in
+  { exact = Smap.empty; pats; bytes_memo = None }
+
+let patterns t = t.pats
+
+let view t = { v_exact = t.exact; v_symbolics = t.pats.p_symbolics }
 
 let find_exact v ~hash ~signature =
   match Smap.find_opt hash v.v_exact with
@@ -48,33 +70,37 @@ let publish_exact t ~hash ~signature payload =
   end
 
 let publish_symbolic t ~hash s =
-  let entries = Option.value ~default:[] (Smap.find_opt hash t.symbolics) in
+  let p = t.pats in
+  let entries = Option.value ~default:[] (Smap.find_opt hash p.p_symbolics) in
   if List.exists (fun s' -> Sparse.Slu.same_analysis s' s) entries then false
   else begin
-    t.symbolics <- Smap.add hash (s :: entries) t.symbolics;
+    p.p_symbolics <- Smap.add hash (s :: entries) p.p_symbolics;
+    p.p_epoch <- p.p_epoch + 1;
     t.bytes_memo <- None;
     true
   end
 
 (* The reachability sweep is linear in the cache size; memoizing it
    turns repeated stats-time queries (one per [analyze]) into a single
-   sweep per publication epoch instead of one per call. *)
+   sweep per publication epoch instead of one per call.  The memo
+   carries the pattern epoch so a publication through a cache sharing
+   the same pattern store invalidates it too. *)
 let bytes t =
   match t.bytes_memo with
-  | Some b -> b
-  | None ->
+  | Some (epoch, b) when epoch = t.pats.p_epoch -> b
+  | _ ->
     let b =
-      Obj.reachable_words (Obj.repr (t.exact, t.symbolics))
+      Obj.reachable_words (Obj.repr (t.exact, t.pats.p_symbolics))
       * (Sys.word_size / 8)
     in
-    t.bytes_memo <- Some b;
+    t.bytes_memo <- Some (t.pats.p_epoch, b);
     b
 
 let exact_entries t =
   Smap.fold (fun _ entries n -> n + List.length entries) t.exact 0
 
 let symbolic_entries t =
-  Smap.fold (fun _ entries n -> n + List.length entries) t.symbolics 0
+  Smap.fold (fun _ entries n -> n + List.length entries) t.pats.p_symbolics 0
 
 let exact_keys t =
   Smap.fold
@@ -87,7 +113,7 @@ let symbolic_keys t =
   Smap.fold
     (fun hash entries acc ->
       List.rev_append (List.map (fun _ -> hash) entries) acc)
-    t.symbolics []
+    t.pats.p_symbolics []
   |> List.sort compare
 
 (* Shards: per-task private overlays.  A shard records its own

@@ -42,7 +42,27 @@
 type 'a t
 (** A cache whose exact tier carries payloads of type ['a]. *)
 
-val create : unit -> 'a t
+type patterns
+(** A pattern-tier store, shareable between caches.  Corner analyses
+    perturb element values but never topology, so the symbolic sparse
+    factorizations the pattern tier holds are corner-invariant: give
+    each corner its own cache (the exact tier is value-keyed and must
+    stay per-corner) but one shared [patterns] store, and every
+    topology pays for its symbolic analysis exactly once across all
+    corners.  Like the cache itself, a [patterns] store must be
+    published into from one domain at a time; views taken from any
+    sharing cache snapshot it safely. *)
+
+val create_patterns : unit -> patterns
+
+val create : ?patterns:patterns -> unit -> 'a t
+(** [patterns] (default: a fresh private store) is the pattern-tier
+    store this cache publishes symbolics into and reads them from —
+    pass the same store to several caches to share symbolic analyses
+    across them. *)
+
+val patterns : 'a t -> patterns
+(** The pattern-tier store this cache reads and publishes. *)
 
 type 'a view
 (** An immutable snapshot of a cache's contents. *)

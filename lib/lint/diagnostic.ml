@@ -19,6 +19,7 @@ type code =
   | Sink_unattached
   | Sink_unreachable
   | Design_cycle
+  | Constraint_target
 
 (* The stable registry: id strings are part of the tool's output
    contract (tests, CI gates, downstream JSON consumers key on them) —
@@ -79,6 +80,11 @@ let registry =
       "AWE-E105",
       Error,
       "the gate/net graph has a combinational cycle" );
+    ( Constraint_target,
+      "AWE-E106",
+      Error,
+      "a timing constraint names a net that is unknown or undriven: the \
+       required time can never bind an arrival" );
     ( Shorted_element,
       "AWE-W001",
       Warning,

@@ -32,6 +32,8 @@ type code =
   | Sink_unattached
   | Sink_unreachable
   | Design_cycle
+  | Constraint_target
+      (** a timing constraint names an unknown or undriven net *)
 
 val id : code -> string
 (** Stable registry id, e.g. ["AWE-E007"]. *)

@@ -472,6 +472,31 @@ let check_design (d : Sta.design) =
             end)
           gates)
     nets;
+  (* timing constraints must name nets an arrival can actually reach:
+     a constraint on an unknown or undriven net is dead — back-
+     propagation starts from it, but no forward arrival ever meets it *)
+  List.iter
+    (fun (n, _t) ->
+      if not (have_net n) then
+        emit
+          (D.make ~nodes:[ n ]
+             ~hint:"constrain an existing net, or add a net card for it"
+             D.Constraint_target
+             (Printf.sprintf
+                "timing constraint names net %s, which has no wire model"
+                n))
+      else if driver_of n = None && not (is_pi n) then
+        emit
+          (D.make ~nodes:[ n ]
+             ~hint:
+               "drive the constrained net from a gate output or declare \
+                it a primary input"
+             D.Constraint_target
+             (Printf.sprintf
+                "timing constraint names net %s, which is undriven: no \
+                 arrival can ever meet (or miss) the required time"
+                n)))
+    (Sta.constraints d);
   (* combinational cycles: propagate readiness the way Sta.analyze
      propagates arrival times; nets already blamed above (undriven or
      unknown) are seeded as ready so each defect is reported once *)

@@ -38,6 +38,10 @@ type design = {
   nets : (string, segment list) Hashtbl.t;
   pis : (string, pi) Hashtbl.t;
   mutable pos : string list;
+  required : (string, float) Hashtbl.t;
+      (* net -> required arrival time (a timing constraint endpoint) *)
+  mutable clock : float option;
+      (* default required time for unconstrained primary outputs *)
 }
 
 exception Not_a_dag of string list
@@ -56,7 +60,9 @@ let create ?(vdd = 5.) ?(threshold = 0.5) () =
     gates = [];
     nets = Hashtbl.create 16;
     pis = Hashtbl.create 4;
-    pos = [] }
+    pos = [];
+    required = Hashtbl.create 4;
+    clock = None }
 
 let add_gate (d : design) ~inst ~cell ~inputs ~output =
   if List.exists (fun g -> g.inst = inst) d.gates then
@@ -79,27 +85,85 @@ let add_primary_output (d : design) ~net =
   if List.mem net d.pos then malformed "duplicate primary output %s" net;
   d.pos <- net :: d.pos
 
+let add_constraint (d : design) ~net ~required =
+  if Hashtbl.mem d.required net then
+    malformed "duplicate constraint on net %s" net;
+  if not (Float.is_finite required && required >= 0.) then
+    malformed "constraint on net %s: required time must be non-negative" net;
+  Hashtbl.replace d.required net required
+
+let set_clock (d : design) ~period =
+  (match d.clock with
+  | Some _ -> malformed "duplicate clock card"
+  | None -> ());
+  if not (Float.is_finite period && period > 0.) then
+    malformed "clock period must be positive";
+  d.clock <- Some period
+
+let clock_period (d : design) = d.clock
+
+let constraints (d : design) =
+  Hashtbl.fold (fun net t acc -> (net, t) :: acc) d.required []
+  |> List.sort compare
+
+type transition = Rise | Fall
+
+let transition_string = function Rise -> "rise" | Fall -> "fall"
+
 type sink_timing = {
   sink_inst : string;
   net_delay : float;
+  net_delay_fall : float;
   sink_slew : float;
   arrival : float;
+  arrival_fall : float;
 }
 
 type net_timing = {
   net_name : string;
   driver_arrival : float;
+  driver_arrival_fall : float;
   sinks : sink_timing list;
 }
 
 type net_failure = { failed_net : string; reason : string }
 
+type pin_slack = {
+  sp_net : string;
+  sp_pin : string option;
+  sp_transition : transition;
+  sp_arrival : float;
+  sp_required : float;
+  sp_slack : float;
+}
+
 type report = {
   nets : net_timing list;
   critical_arrival : float;
   critical_path : string list;
+  slacks : pin_slack list;
+  worst_slack : float;
   failures : net_failure list;
   stats : Awe.Stats.snapshot;
+}
+
+type path_stage = {
+  st_net : string;
+  st_pin : string option;
+  st_gate_delay : float;
+  st_net_delay : float;
+  st_arrival : float;
+}
+
+type path = {
+  path_endpoint : string;
+  path_pin : string option;
+  path_transition : transition;
+  path_input_arrival : float;
+  path_arrival : float;
+  path_required : float;
+  path_slack : float;
+  path_stages : path_stage list;
 }
 
 (* read-only structural views, for the lint layer *)
@@ -204,9 +268,10 @@ type cache_payload = {
          instance.  Kept so the whole reduced model survives with the
          entry; hits are served from [cp_sinks] and never mutate it
          (it is shared across domains). *)
-  cp_sinks : (Circuit.Element.node * (float * float)) list;
-      (* sink node id -> (delay, slew); complete for any instance that
-         passes the guard, because the signature fixes the node ids *)
+  cp_sinks : (Circuit.Element.node * (float * float * float)) list;
+      (* sink node id -> (rise delay, fall delay, slew); complete for
+         any instance that passes the guard, because the signature
+         fixes the node ids *)
   cp_stats : Awe.Stats.snapshot;
       (* the work counters of the computation that built this entry;
          replayed on every exact hit so cached and uncached analyses
@@ -223,7 +288,7 @@ type cache_payload = {
 
 type cache = cache_payload Awe.Cache.t
 
-let create_cache () : cache = Awe.Cache.create ()
+let create_cache ?patterns () : cache = Awe.Cache.create ?patterns ()
 
 let cache_fingerprint (c : cache) =
   (Awe.Cache.exact_keys c, Awe.Cache.symbolic_keys c)
@@ -257,10 +322,21 @@ let cache_keys (d : design) ~model ~options ~slew ~circuit ~sink_nodes =
    the net driven by an ideal step and adds half the input transition
    (paper Section 4.3 / Cirit's correction), so the step variant of
    the stage circuit is only built when that model asks for it.
-   Returns [(sink_inst, delay, slew)] per sink, plus the engine. *)
+
+   Each sink gets a rise/fall transition pair from the same response
+   model: the stage circuit is linear, so the falling waveform is the
+   rising one reflected about vdd/2 — the fall delay is the rising
+   response's crossing of the complementary level (1 - threshold)*vdd.
+   At threshold 0.5 the pair coincides; away from it the min/max
+   delays are distinct.  (The 10-90 slew is reflection-invariant, so
+   one slew serves both transitions.)
+
+   Returns [(sink_inst, rise_delay, fall_delay, slew)] per sink, plus
+   the engine. *)
 let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
     ~circuit ~sink_nodes =
   let threshold_v = d.threshold *. d.vdd in
+  let fall_v = (1. -. d.threshold) *. d.vdd in
   try
     Awe.Stats.record_mna_build ();
     let sys = Circuit.Mna.build circuit in
@@ -270,12 +346,17 @@ let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
       | Elmore_model ->
         let elmore = Awe.Batch.elmore_all ~engine sys in
         (* single-exponential threshold crossing plus half the input
-           transition, and the single-exponential 10-90 slew *)
+           transition, and the single-exponential 10-90 slew.  The
+           falling exponential vdd*exp(-t/tau) crosses threshold*vdd
+           at -tau*ln(threshold). *)
         let frac = d.threshold in
         List.map
           (fun (inst, node) ->
             let td = List.assoc node elmore in
-            (inst, (-.td *. log (1. -. frac)) +. (0.5 *. slew), td *. log 9.))
+            ( inst,
+              (-.td *. log (1. -. frac)) +. (0.5 *. slew),
+              (-.td *. log frac) +. (0.5 *. slew),
+              td *. log 9. ))
           sink_nodes
       | Awe_model _ | Awe_auto ->
         let fixed_order =
@@ -308,6 +389,14 @@ let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
               | Some t -> t
               | None -> malformed "net never crosses the threshold"
             in
+            (* the complementary crossing of the same response; a
+               non-monotone fit can miss it within the horizon — fall
+               back to the rise value to stay total *)
+            let delay_fall =
+              match Awe.delay a ~threshold:fall_v ~t_max with
+              | Some t -> t
+              | None -> delay
+            in
             let t10 =
               Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd)
                 ~t_max
@@ -321,7 +410,7 @@ let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
               | Some a, Some b when b > a -> b -. a
               | _ -> tau *. log 9.
             in
-            (inst, delay, slew))
+            (inst, delay, delay_fall, slew))
           sink_nodes
     in
     (timings, engine)
@@ -368,7 +457,7 @@ let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
         List.map
           (fun (inst, node) ->
             match List.assoc_opt node payload.cp_sinks with
-            | Some (dly, slw) -> (inst, dly, slw)
+            | Some (dly, dlf, slw) -> (inst, dly, dlf, slw)
             | None ->
               (* unreachable: equal signatures fix the sink node set.
                  Kept total by re-deriving a single-pole answer from
@@ -378,6 +467,7 @@ let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
               in
               ( inst,
                 (-.tau *. log (1. -. d.threshold)) +. (0.5 *. slew),
+                (-.tau *. log d.threshold) +. (0.5 *. slew),
                 tau *. log 9. ))
           sink_nodes
       in
@@ -452,7 +542,7 @@ let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
             { cp_engine = engine;
               cp_sinks =
                 List.map2
-                  (fun (_, node) (_, dly, slw) -> (node, (dly, slw)))
+                  (fun (_, node) (_, dly, dlf, slw) -> (node, (dly, dlf, slw)))
                   sink_nodes timings;
               cp_stats = work;
               cp_pattern_hit = reused_from_view }
@@ -484,13 +574,18 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
         (g.output :: g.inputs))
     gates;
   (* net is ready when its driver's inputs are all timed; PIs are roots *)
-  let arrival_at_net : (string, float * float * string list) Hashtbl.t =
-    (* net -> driver-pin arrival, slew, path (nets, source first) *)
+  let arrival_at_net :
+      (string, float * float * float * string list) Hashtbl.t =
+    (* net -> driver-pin rise arrival, fall arrival, slew, path (nets,
+       source first).  Fall arrivals ride along the rise-worst path:
+       input selection is by rise arrival, so both transitions
+       telescope along the same net sequence (see the backward pass). *)
     Hashtbl.create 16
   in
   Hashtbl.iter
     (fun net pi ->
-      Hashtbl.replace arrival_at_net net (pi.pi_arrival, pi.pi_slew, [ net ]))
+      Hashtbl.replace arrival_at_net net
+        (pi.pi_arrival, pi.pi_arrival, pi.pi_slew, [ net ]))
     d.pis;
   let timed : (string, net_timing) Hashtbl.t = Hashtbl.create 16 in
   let sink_results : (string * string, sink_timing) Hashtbl.t =
@@ -501,21 +596,24 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
   (* bookkeeping half of timing one net: publish sink timings and
      propagate arrivals through the sink gates.  Runs sequentially, in
      sorted net order, on the calling domain. *)
-  let record_net net driver_arrival timings =
+  let record_net net driver_arrival driver_arrival_fall timings =
     let sinks =
       List.map
-        (fun (inst, delay, sink_slew) ->
+        (fun (inst, delay, delay_fall, sink_slew) ->
           let st =
             { sink_inst = inst;
               net_delay = delay;
+              net_delay_fall = delay_fall;
               sink_slew;
-              arrival = driver_arrival +. delay }
+              arrival = driver_arrival +. delay;
+              arrival_fall = driver_arrival_fall +. delay_fall }
           in
           Hashtbl.replace sink_results (net, inst) st;
           st)
         timings
     in
-    Hashtbl.replace timed net { net_name = net; driver_arrival; sinks };
+    Hashtbl.replace timed net
+      { net_name = net; driver_arrival; driver_arrival_fall; sinks };
     (* propagate through sink gates *)
     List.iter
       (fun g ->
@@ -538,13 +636,14 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                 (neg_infinity, net) g.inputs
             in
             let worst_sink = Hashtbl.find sink_results (worst_net, g.inst) in
-            let _, _, worst_path =
+            let _, _, _, worst_path =
               match Hashtbl.find_opt arrival_at_net worst_net with
               | Some v -> v
-              | None -> (0., 0., [])
+              | None -> (0., 0., 0., [])
             in
             Hashtbl.replace arrival_at_net g.output
               ( worst +. g.cell.intrinsic,
+                worst_sink.arrival_fall +. g.cell.intrinsic,
                 worst_sink.sink_slew,
                 (g.output :: worst_path) )
           end)
@@ -562,6 +661,10 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
      bit-identical to a sequential run for any [jobs]. *)
   let all_nets = Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] in
   let remaining = ref (List.sort compare all_nets) in
+  (* wave retirement order, newest wave first: the backward
+     required-time pass walks it as-is, so every net is visited after
+     all nets downstream of it (they retired in later waves) *)
+  let retired = ref [] in
   Parallel.with_pool ~jobs (fun pool ->
       let progress = ref true in
       while !remaining <> [] && !progress do
@@ -581,7 +684,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
             Array.of_list
               (List.map
                  (fun net ->
-                   let driver_arrival, slew, _path =
+                   let driver_arrival, driver_fall, slew, _path =
                      Hashtbl.find arrival_at_net net
                    in
                    let driver_res =
@@ -592,7 +695,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                          (* ideal primary input *)
                        else malformed "net %s is undriven" net
                    in
-                   (net, driver_arrival, slew, driver_res))
+                   (net, driver_arrival, driver_fall, slew, driver_res))
                  ready)
           in
           (* contiguous chunks of the sorted wave, one per pool slot:
@@ -612,7 +715,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
              funnel reads after the map's final hand-off) *)
           let labels =
             Array.init nchunks (fun ci ->
-                let net, _, _, _ = prep.(bounds.(ci)) in
+                let net, _, _, _, _ = prep.(bounds.(ci)) in
                 "net " ^ net)
           in
           let chunk_results =
@@ -630,7 +733,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                 Awe.Stats.scoped (fun () ->
                     let outcomes = Array.make (hi - lo) (Error "") in
                     for k = 0 to hi - lo - 1 do
-                      let net, _, slew, driver_res = prep.(lo + k) in
+                      let net, _, _, slew, driver_res = prep.(lo + k) in
                       labels.(ci) <- "net " ^ net;
                       outcomes.(k) <-
                         (match
@@ -659,9 +762,11 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
               | _ -> ());
               Array.iteri
                 (fun k outcome ->
-                  let net, driver_arrival, _, _ = prep.(bounds.(ci) + k) in
+                  let net, driver_arrival, driver_fall, _, _ =
+                    prep.(bounds.(ci) + k)
+                  in
                   match outcome with
-                  | Ok timings -> record_net net driver_arrival timings
+                  | Ok timings -> record_net net driver_arrival driver_fall timings
                   | Error msg ->
                     (* a failed net reports its diagnostic; siblings
                        keep their (already computed) results either
@@ -672,6 +777,7 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                         { failed_net = net; reason = msg } :: !failures)
                 outcomes)
             chunk_results;
+          retired := ready :: !retired;
           remaining := blocked
         end
       done);
@@ -707,8 +813,136 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
     | None -> []
     | Some net -> (
       match Hashtbl.find_opt arrival_at_net net with
-      | Some (_, _, path) -> List.rev path
+      | Some (_, _, _, path) -> List.rev path
       | None -> [ net ])
+  in
+  (* ---- required-time back-propagation ----------------------------
+     Endpoints are the explicitly constrained nets, plus (when a clock
+     card set a default period) every unconstrained primary output.
+     The requirement applies at a net's sink pins — the points its
+     arrivals are measured at — or at the driver pin when the net is a
+     sinkless leaf (a primary-output stub).  Requirements then flow
+     backward per transition: through a sink gate, the gate's output
+     requirement less its intrinsic; across a net, the sink-pin
+     requirement less that sink's (per-transition) wire delay, min'ed
+     over sinks.  Walking nets in reverse wave-retirement order
+     guarantees each net's downstream requirements are final when it
+     is visited — the min-plus dual of the forward max-plus pass. *)
+  let endpoint_req : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (net, t) -> Hashtbl.replace endpoint_req net t) (constraints d);
+  (match d.clock with
+  | None -> ()
+  | Some period ->
+    List.iter
+      (fun net ->
+        if not (Hashtbl.mem endpoint_req net) then
+          Hashtbl.replace endpoint_req net period)
+      (primary_output_nets d));
+  let gate_by_inst : (string, gate) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace gate_by_inst g.inst g) gates;
+  let driver_gate : (string, gate) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace driver_gate g.output g) gates;
+  let min2 (a, b) (c, e) = (Float.min a c, Float.min b e) in
+  let inf2 = (infinity, infinity) in
+  (* (rise, fall) required times at driver pins and sink pins *)
+  let req_driver : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let req_sink : (string * string, float * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let backward net =
+    match Hashtbl.find_opt timed net with
+    | None -> () (* failed / untimed: no requirements to propagate *)
+    | Some nt ->
+      let ep2 =
+        match Hashtbl.find_opt endpoint_req net with
+        | Some t -> (t, t)
+        | None -> inf2
+      in
+      let sink_reqs =
+        List.map
+          (fun st ->
+            let through =
+              match Hashtbl.find_opt gate_by_inst st.sink_inst with
+              | None -> inf2
+              | Some g -> (
+                match Hashtbl.find_opt req_driver g.output with
+                | None -> inf2
+                | Some (rr, rf) ->
+                  (rr -. g.cell.intrinsic, rf -. g.cell.intrinsic))
+            in
+            let rq = min2 ep2 through in
+            Hashtbl.replace req_sink (net, st.sink_inst) rq;
+            (st, rq))
+          nt.sinks
+      in
+      let dr =
+        match sink_reqs with
+        | [] -> ep2 (* sinkless leaf: the constraint binds the driver pin *)
+        | _ ->
+          List.fold_left
+            (fun acc (st, (rr, rf)) ->
+              min2 acc (rr -. st.net_delay, rf -. st.net_delay_fall))
+            inf2 sink_reqs
+      in
+      Hashtbl.replace req_driver net dr
+  in
+  List.iter (List.iter backward) !retired;
+  (* per-pin slacks at the binding transition, worst first *)
+  let slack_entries = ref [] in
+  let () =
+    let entries = slack_entries in
+    List.iter
+      (fun net ->
+        match Hashtbl.find_opt timed net with
+        | None -> ()
+        | Some nt ->
+          let emit ~pin ~transition ~arrival ~required =
+            entries :=
+              { sp_net = net;
+                sp_pin = pin;
+                sp_transition = transition;
+                sp_arrival = arrival;
+                sp_required = required;
+                sp_slack = required -. arrival }
+              :: !entries
+          in
+          let binding ~pin ~ar ~af (rr, rf) =
+            (* the binding transition is the one with less slack; ties
+               go to rise.  Skip unconstrained pins (both infinite). *)
+            let sr = rr -. ar and sf = rf -. af in
+            if Float.is_finite sf && sf < sr then
+              emit ~pin ~transition:Fall ~arrival:af ~required:rf
+            else if Float.is_finite sr then
+              emit ~pin ~transition:Rise ~arrival:ar ~required:rr
+          in
+          (match nt.sinks with
+          | [] -> (
+            match Hashtbl.find_opt req_driver net with
+            | Some rq ->
+              binding ~pin:None ~ar:nt.driver_arrival
+                ~af:nt.driver_arrival_fall rq
+            | None -> ())
+          | sinks ->
+            List.iter
+              (fun st ->
+                match Hashtbl.find_opt req_sink (net, st.sink_inst) with
+                | Some rq ->
+                  binding ~pin:(Some st.sink_inst) ~ar:st.arrival
+                    ~af:st.arrival_fall rq
+                | None -> ())
+              sinks))
+      (List.sort compare all_nets)
+  in
+  let slacks =
+    List.sort
+      (fun a b ->
+        compare
+          (a.sp_slack, a.sp_net, a.sp_pin)
+          (b.sp_slack, b.sp_net, b.sp_pin))
+      !slack_entries
+  in
+  let worst_slack =
+    match slacks with [] -> infinity | s :: _ -> s.sp_slack
   in
   (* the cache's heap footprint, measured once by the coordinator so
      merged stats report the final size, not a sum of samples *)
@@ -724,8 +958,282 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
   { nets;
     critical_arrival;
     critical_path;
+    slacks;
+    worst_slack;
     failures = List.rev !failures;
     stats = !merged_stats }
+
+(* ------------------------------------------------------------------ *)
+(* Top-K critical paths.  A pure function of (design, report): the
+   report already holds every per-pin arrival, so path extraction is a
+   backward trace, not a re-analysis.  Candidates are the endpoint
+   pins (the pins a constraint or the clock period binds directly),
+   each at its binding transition; the K worst are peeled in
+   (slack, net, pin) order — distinct endpoints, deterministic ties —
+   and each is traced source-ward by replaying the forward pass's
+   worst-input selection (strict >, first wins), so the reported
+   stages are exactly the nets whose arrivals produced the endpoint's
+   arrival. *)
+let critical_paths (d : design) (r : report) ~k =
+  if k < 0 then invalid_arg "Sta.critical_paths: k must be non-negative";
+  let gates = List.rev d.gates in
+  let gate_by_inst : (string, gate) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace gate_by_inst g.inst g) gates;
+  let driver_gate : (string, gate) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace driver_gate g.output g) gates;
+  let timed : (string, net_timing) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun nt -> Hashtbl.replace timed nt.net_name nt) r.nets;
+  let sink_results : (string * string, sink_timing) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun nt ->
+      List.iter
+        (fun st -> Hashtbl.replace sink_results (nt.net_name, st.sink_inst) st)
+        nt.sinks)
+    r.nets;
+  let endpoint_req : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (net, t) -> Hashtbl.replace endpoint_req net t) (constraints d);
+  (match d.clock with
+  | None -> ()
+  | Some period ->
+    List.iter
+      (fun net ->
+        if not (Hashtbl.mem endpoint_req net) then
+          Hashtbl.replace endpoint_req net period)
+      (primary_output_nets d));
+  let endpoints =
+    Hashtbl.fold (fun net t acc -> (net, t) :: acc) endpoint_req []
+    |> List.sort compare
+  in
+  let candidates =
+    List.concat_map
+      (fun (net, t) ->
+        match Hashtbl.find_opt timed net with
+        | None -> [] (* untimed endpoint (failed upstream): no path *)
+        | Some nt ->
+          let pins =
+            match nt.sinks with
+            | [] -> [ (None, nt.driver_arrival, nt.driver_arrival_fall) ]
+            | sinks ->
+              List.map
+                (fun st -> (Some st.sink_inst, st.arrival, st.arrival_fall))
+                sinks
+          in
+          List.map
+            (fun (pin, ar, af) ->
+              let sr = t -. ar and sf = t -. af in
+              let tr, arr, sl =
+                if sf < sr then (Fall, af, sf) else (Rise, ar, sr)
+              in
+              (net, pin, tr, arr, t, sl))
+            pins)
+      endpoints
+  in
+  let candidates =
+    List.sort
+      (fun (n1, p1, _, _, _, s1) (n2, p2, _, _, _, s2) ->
+        compare (s1, n1, p1) (s2, n2, p2))
+      candidates
+  in
+  let rec take n l =
+    match (n, l) with
+    | 0, _ | _, [] -> []
+    | n, x :: tl -> x :: take (n - 1) tl
+  in
+  let arrival_of tr (st : sink_timing) =
+    match tr with Rise -> st.arrival | Fall -> st.arrival_fall
+  in
+  let delay_of tr (st : sink_timing) =
+    match tr with Rise -> st.net_delay | Fall -> st.net_delay_fall
+  in
+  let trace endpoint_net pin tr =
+    (* walk from the endpoint to a primary input, building stages
+       newest-first; [up] receives the pin the path arrives at *)
+    let rec up net pin_opt acc =
+      let net_delay, arrival =
+        match pin_opt with
+        | Some inst ->
+          let st = Hashtbl.find sink_results (net, inst) in
+          (delay_of tr st, arrival_of tr st)
+        | None ->
+          let nt = Hashtbl.find timed net in
+          ( 0.,
+            match tr with
+            | Rise -> nt.driver_arrival
+            | Fall -> nt.driver_arrival_fall )
+      in
+      match Hashtbl.find_opt driver_gate net with
+      | None ->
+        (* a primary input sources the path; its arrival card is the
+           path's input arrival (same for both transitions) *)
+        let input_arrival =
+          match Hashtbl.find_opt timed net with
+          | Some nt -> (
+            match tr with
+            | Rise -> nt.driver_arrival
+            | Fall -> nt.driver_arrival_fall)
+          | None -> 0.
+        in
+        let stage =
+          { st_net = net;
+            st_pin = pin_opt;
+            st_gate_delay = 0.;
+            st_net_delay = net_delay;
+            st_arrival = arrival }
+        in
+        (input_arrival, stage :: acc)
+      | Some g ->
+        let stage =
+          { st_net = net;
+            st_pin = pin_opt;
+            st_gate_delay = g.cell.intrinsic;
+            st_net_delay = net_delay;
+            st_arrival = arrival }
+        in
+        (* replay the forward fold: worst input by RISE arrival,
+           strict >, first wins — fall arrivals rode the same path *)
+        let worst_net, _ =
+          List.fold_left
+            (fun (accn, acca) inp ->
+              match Hashtbl.find_opt sink_results (inp, g.inst) with
+              | None -> (accn, acca)
+              | Some s ->
+                if s.arrival > acca then (inp, s.arrival) else (accn, acca))
+            (net, neg_infinity) g.inputs
+        in
+        up worst_net (Some g.inst) (stage :: acc)
+    in
+    up endpoint_net pin []
+  in
+  List.map
+    (fun (net, pin, tr, arr, req, slack) ->
+      let input_arrival, stages = trace net pin tr in
+      { path_endpoint = net;
+        path_pin = pin;
+        path_transition = tr;
+        path_input_arrival = input_arrival;
+        path_arrival = arr;
+        path_required = req;
+        path_slack = slack;
+        path_stages = stages })
+    (take k candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-corner analysis.  A corner derates element values but never
+   topology, so the N per-corner analyses share one pattern-tier store
+   (each corner keeps a private exact tier — exact keys are
+   value-sensitive).  Corners run sequentially, each with the full
+   wave-parallel fan-out of [analyze]: the result is bit-identical to
+   N independent [analyze] calls over [corner_design]s sharing a
+   patterns store, which is the determinism contract the differential
+   tests pin down. *)
+let corner_design (d : design) (c : Circuit.Corner.t) =
+  let d' = create ~vdd:d.vdd ~threshold:d.threshold () in
+  List.iter
+    (fun g ->
+      let cl = g.cell in
+      add_gate d' ~inst:g.inst
+        ~cell:
+          (cell ~name:cl.cell_name
+             ~drive_res:(cl.drive_res *. c.Circuit.Corner.cell_drive)
+             ~input_cap:(cl.input_cap *. c.Circuit.Corner.cell_cap)
+             ~intrinsic:(cl.intrinsic *. c.Circuit.Corner.cell_intrinsic))
+        ~inputs:g.inputs ~output:g.output)
+    (List.rev d.gates);
+  Hashtbl.iter
+    (fun name segs ->
+      add_net d' ~name
+        ~segments:
+          (List.map
+             (fun s ->
+               { s with
+                 res = s.res *. c.Circuit.Corner.wire_res;
+                 cap = s.cap *. c.Circuit.Corner.wire_cap })
+             segs))
+    d.nets;
+  Hashtbl.iter
+    (fun net pi ->
+      add_primary_input d' ~net ~arrival:pi.pi_arrival ~slew:pi.pi_slew ())
+    d.pis;
+  List.iter (fun net -> add_primary_output d' ~net) (List.rev d.pos);
+  Hashtbl.iter (fun net t -> Hashtbl.replace d'.required net t) d.required;
+  d'.clock <- d.clock;
+  d'
+
+type corner_run = {
+  run_corner : Circuit.Corner.t;
+  run_report : report;
+  run_cache : cache option;
+      (* this corner's private cache (shared pattern tier), exposed so
+         differential tests can fingerprint it *)
+}
+
+type corner_summary = {
+  cs_name : string;
+  cs_critical_arrival : float;
+  cs_worst_slack : float;
+}
+
+type corners_report = {
+  runs : corner_run list; (* spec order *)
+  summary : corner_summary list; (* spec order *)
+  worst_corner : string; (* minimum worst slack; ties to spec order *)
+  worst_slack_overall : float;
+  critical_arrival_overall : float;
+}
+
+let analyze_corners ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1)
+    ?(strict = true) ?(cache = true) (d : design) corners =
+  if corners = [] then
+    invalid_arg "Sta.analyze_corners: need at least one corner";
+  let names = List.map (fun c -> c.Circuit.Corner.name) corners in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) names) > 1 then
+        invalid_arg
+          (Printf.sprintf "Sta.analyze_corners: duplicate corner name %S" n))
+    names;
+  let patterns = Awe.Cache.create_patterns () in
+  let runs =
+    List.map
+      (fun c ->
+        let dc = corner_design d c in
+        let corner_cache =
+          if cache then Some (create_cache ~patterns ()) else None
+        in
+        let r = analyze ~model ~sparse ~jobs ~strict ?cache:corner_cache dc in
+        { run_corner = c; run_report = r; run_cache = corner_cache })
+      corners
+  in
+  let summary =
+    List.map
+      (fun run ->
+        { cs_name = run.run_corner.Circuit.Corner.name;
+          cs_critical_arrival = run.run_report.critical_arrival;
+          cs_worst_slack = run.run_report.worst_slack })
+      runs
+  in
+  let worst_corner, worst_slack_overall =
+    List.fold_left
+      (fun (wn, ws) s ->
+        if s.cs_worst_slack < ws then (s.cs_name, s.cs_worst_slack)
+        else (wn, ws))
+      ((List.hd summary).cs_name, (List.hd summary).cs_worst_slack)
+      (List.tl summary)
+  in
+  let critical_arrival_overall =
+    List.fold_left
+      (fun acc s -> Float.max acc s.cs_critical_arrival)
+      neg_infinity summary
+  in
+  { runs;
+    summary;
+    worst_corner;
+    worst_slack_overall;
+    critical_arrival_overall }
+
+let pin_string = function None -> "(driver)" | Some inst -> inst
 
 let pp_report ?(verbose = false) ppf r =
   Format.fprintf ppf "@[<v>";
@@ -735,9 +1243,10 @@ let pp_report ?(verbose = false) ppf r =
         (nt.driver_arrival *. 1e9);
       List.iter
         (fun s ->
-          Format.fprintf ppf "  -> %-8s delay %.4g ns  slew %.4g ns  arrival %.4g ns@,"
-            s.sink_inst (s.net_delay *. 1e9) (s.sink_slew *. 1e9)
-            (s.arrival *. 1e9))
+          Format.fprintf ppf
+            "  -> %-8s delay %.4g/%.4g ns  slew %.4g ns  arrival %.4g ns@,"
+            s.sink_inst (s.net_delay *. 1e9) (s.net_delay_fall *. 1e9)
+            (s.sink_slew *. 1e9) (s.arrival *. 1e9))
         nt.sinks)
     r.nets;
   List.iter
@@ -750,9 +1259,65 @@ let pp_report ?(verbose = false) ppf r =
        ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
        Format.pp_print_string)
     r.critical_path;
+  if r.slacks <> [] then begin
+    Format.fprintf ppf "@,slack (worst first):";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf
+          "@,  %-10s %-8s %-4s arrival %.4g ns  required %.4g ns  slack \
+           %.4g ns"
+          s.sp_net (pin_string s.sp_pin)
+          (transition_string s.sp_transition)
+          (s.sp_arrival *. 1e9) (s.sp_required *. 1e9) (s.sp_slack *. 1e9))
+      r.slacks;
+    Format.fprintf ppf "@,worst slack: %.4g ns%s" (r.worst_slack *. 1e9)
+      (if r.worst_slack < 0. then "  (VIOLATED)" else "")
+  end;
   if verbose then
     Format.fprintf ppf "@,engine counters (%d nets):@,%a"
       (List.length r.nets) Awe.Stats.pp r.stats;
+  Format.fprintf ppf "@]"
+
+let pp_paths ppf paths =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf
+        "path %d: %s %s %s  arrival %.4g ns  required %.4g ns  slack %.4g \
+         ns%s@,"
+        (i + 1) p.path_endpoint (pin_string p.path_pin)
+        (transition_string p.path_transition)
+        (p.path_arrival *. 1e9) (p.path_required *. 1e9)
+        (p.path_slack *. 1e9)
+        (if p.path_slack < 0. then "  (VIOLATED)" else "");
+      Format.fprintf ppf "  input arrival %.4g ns" (p.path_input_arrival *. 1e9);
+      List.iter
+        (fun st ->
+          Format.fprintf ppf
+            "@,  %-10s %-8s gate %.4g ns  net %.4g ns  arrival %.4g ns"
+            st.st_net (pin_string st.st_pin) (st.st_gate_delay *. 1e9)
+            (st.st_net_delay *. 1e9) (st.st_arrival *. 1e9))
+        p.path_stages)
+    paths;
+  Format.fprintf ppf "@]"
+
+let pp_corners ppf cr =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "corner %-10s critical arrival %.4g ns  worst slack %.4g ns%s@,"
+        s.cs_name
+        (s.cs_critical_arrival *. 1e9)
+        (s.cs_worst_slack *. 1e9)
+        (if s.cs_worst_slack < 0. then "  (VIOLATED)" else ""))
+    cr.summary;
+  Format.fprintf ppf
+    "across corners: critical arrival %.4g ns, worst slack %.4g ns at %s"
+    (cr.critical_arrival_overall *. 1e9)
+    (cr.worst_slack_overall *. 1e9)
+    cr.worst_corner;
   Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
@@ -856,6 +1421,11 @@ module Design_file = struct
           in
           if segments = [] then fail ln "net %s has no segments" name;
           add_net d ~name ~segments
+        | [ "constraint"; net; t ] ->
+          add_constraint d ~net ~required:(value_exn ln t)
+        | [ "clock"; p ] -> set_clock d ~period:(value_exn ln p)
+        | "constraint" :: _ -> fail ln "constraint expects <net> <time>"
+        | "clock" :: _ -> fail ln "clock expects one period value"
         | "input" :: net :: params ->
           let arrival = ref 0. and slew = ref 0. in
           List.iter

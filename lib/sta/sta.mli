@@ -60,6 +60,27 @@ val add_primary_input : design -> net:string -> ?arrival:float -> ?slew:float ->
 val add_primary_output : design -> net:string -> unit
 (** Raises [Malformed] on a duplicate declaration for the same net. *)
 
+val add_constraint : design -> net:string -> required:float -> unit
+(** Require the signal on [net] to settle by [required] seconds: the
+    net becomes a timing endpoint, and {!analyze} back-propagates the
+    requirement into per-pin slacks.  The requirement binds at the
+    net's sink pins (where arrivals are measured), or at the driver
+    pin when the net has no sinks (a primary-output stub).  Raises
+    [Malformed] on a duplicate constraint for the same net or a
+    negative/non-finite time. *)
+
+val set_clock : design -> period:float -> unit
+(** Give every {e unconstrained} primary output a default required
+    time of one clock period — the usual single-cycle constraint.
+    Explicit {!add_constraint} cards win over the clock default.
+    Raises [Malformed] when a clock was already set or the period is
+    not positive. *)
+
+val clock_period : design -> float option
+
+val constraints : design -> (string * float) list
+(** All explicit constraints, sorted by net name. *)
+
 (** {2 Structural views}
 
     Read-only projections of a design's connectivity, for static
@@ -92,16 +113,31 @@ exception Not_a_dag of string list
 
 exception Malformed of string
 
+type transition = Rise | Fall
+(** Which signal edge a delay or slack refers to.  The stage circuits
+    are linear, so a falling waveform is the rising one reflected
+    about [vdd/2]: the fall delay is the rising response's crossing of
+    the complementary level [(1 - threshold) * vdd].  At threshold 0.5
+    the pair coincides; away from it min/max delays are distinct. *)
+
+val transition_string : transition -> string
+(** ["rise"] or ["fall"]. *)
+
 type sink_timing = {
   sink_inst : string;
-  net_delay : float;  (** threshold-crossing delay through the net *)
-  sink_slew : float;  (** 10-90 rise time at the sink pin *)
-  arrival : float;  (** absolute arrival at the sink input *)
+  net_delay : float;  (** rise threshold-crossing delay through the net *)
+  net_delay_fall : float;  (** fall delay: the complementary crossing *)
+  sink_slew : float;
+      (** 10-90 transition time at the sink pin (reflection-invariant:
+          one value serves both edges) *)
+  arrival : float;  (** absolute rise arrival at the sink input *)
+  arrival_fall : float;  (** absolute fall arrival at the sink input *)
 }
 
 type net_timing = {
   net_name : string;
-  driver_arrival : float;  (** arrival at the driver pin *)
+  driver_arrival : float;  (** rise arrival at the driver pin *)
+  driver_arrival_fall : float;  (** fall arrival at the driver pin *)
   sinks : sink_timing list;
 }
 
@@ -111,16 +147,63 @@ type net_failure = {
 }
 (** A net that could not be timed (non-strict mode only). *)
 
+type pin_slack = {
+  sp_net : string;
+  sp_pin : string option;  (** sink instance; [None] = the driver pin *)
+  sp_transition : transition;
+      (** the {e binding} transition — the edge with less slack (ties
+          go to rise) *)
+  sp_arrival : float;
+  sp_required : float;
+  sp_slack : float;  (** [sp_required - sp_arrival]; negative = violated *)
+}
+
 type report = {
   nets : net_timing list;
   critical_arrival : float;  (** latest arrival at any primary output *)
   critical_path : string list;  (** nets on the latest path, source first *)
+  slacks : pin_slack list;
+      (** every pin a finite required time reaches (endpoint pins and
+          everything upstream of them), at its binding transition,
+          sorted worst slack first (ties by net then pin); empty when
+          the design has no constraints and no clock *)
+  worst_slack : float;
+      (** minimum over [slacks]; [infinity] when unconstrained *)
   failures : net_failure list;
       (** nets skipped in non-strict mode, with their diagnostics;
           always empty when [strict] (the default) *)
   stats : Awe.Stats.snapshot;
       (** engine counters for this analysis: one MNA build and one
           factorization per net, however many sinks it has *)
+}
+
+type path_stage = {
+  st_net : string;  (** the net this stage traverses *)
+  st_pin : string option;
+      (** arrival pin on [st_net]: a sink instance, or [None] for the
+          driver pin (sinkless endpoint stub) *)
+  st_gate_delay : float;
+      (** intrinsic delay of the gate driving [st_net] (0 at a
+          primary-input stage) *)
+  st_net_delay : float;
+      (** wire delay from the net's driver pin to [st_pin], at the
+          path's transition (0 when [st_pin] is [None]) *)
+  st_arrival : float;  (** absolute arrival at [st_pin] *)
+}
+
+type path = {
+  path_endpoint : string;  (** endpoint net *)
+  path_pin : string option;  (** endpoint pin ([None] = driver pin) *)
+  path_transition : transition;  (** the endpoint pin's binding edge *)
+  path_input_arrival : float;
+      (** arrival card of the primary input sourcing the path *)
+  path_arrival : float;
+  path_required : float;
+  path_slack : float;
+  path_stages : path_stage list;
+      (** source first; [path_input_arrival] plus the sum of every
+          stage's gate and net delay reproduces [path_arrival] (up to
+          floating-point re-association) *)
 }
 
 type cache
@@ -135,7 +218,12 @@ type cache
     compares full construction-order signatures, the pattern tier
     re-checks the matrix pattern before reuse. *)
 
-val create_cache : unit -> cache
+val create_cache : ?patterns:Awe.Cache.patterns -> unit -> cache
+(** [patterns] (default: a fresh private store) is the pattern-tier
+    store the cache shares — pass one store to several caches to share
+    symbolic factorizations across them (see {!analyze_corners}: the
+    exact tier is value-keyed and must stay per-corner, but topology
+    is corner-invariant). *)
 
 val cache_fingerprint : cache -> (string * string) list * string list
 (** A payload-free fingerprint of the cache contents: the sorted
@@ -193,7 +281,17 @@ val analyze :
     counters match an uncached run; only the phase CPU timers shrink
     with the work actually skipped).  See THEORY.md, "Sharded
     publication".  Passing the same cache to a second [analyze] of the
-    same design serves every net from the exact tier. *)
+    same design serves every net from the exact tier.
+
+    When the design carries constraints (or a clock), the forward pass
+    is followed by a sequential backward pass on the coordinator:
+    required times flow from the endpoints toward the inputs in
+    reverse wave-retirement order — through a sink gate, the output
+    requirement less the intrinsic; across a net, the sink requirement
+    less that sink's per-transition wire delay, min'ed over sinks —
+    filling [slacks] and [worst_slack].  The min-plus dual of the
+    max-plus arrival pass, so the worst pin slack equals the worst
+    endpoint slack up to floating-point re-association. *)
 
 val net_circuit :
   design -> net:string -> driver_res:float -> slew:float ->
@@ -202,9 +300,81 @@ val net_circuit :
     testing): Thevenin driver, wire segments, sink load capacitances.
     Returns the circuit and the sink-name to node mapping. *)
 
+val critical_paths : design -> report -> k:int -> path list
+(** The [k] worst slack paths, worst first — a pure function of an
+    existing report (no re-analysis).  One candidate per endpoint pin,
+    at its binding transition; candidates are peeled in
+    (slack, net, pin) order, so the result is sorted, its endpoints
+    are distinct, and ties break deterministically.  Each path is
+    traced endpoint-to-source by replaying the arrival pass's
+    worst-input selection, so its stages are exactly the nets whose
+    arrivals produced the endpoint arrival.  Returns fewer than [k]
+    paths when the design has fewer (timed) endpoint pins; the empty
+    list when it is unconstrained.  Raises [Invalid_argument] on
+    negative [k]. *)
+
+(** {2 Multi-corner analysis} *)
+
+val corner_design : design -> Circuit.Corner.t -> design
+(** The design with every element value derated by the corner's
+    multipliers: wire segment res/cap, cell drive resistance, pin
+    capacitance and intrinsic delay.  Topology, primary inputs
+    (arrival and slew cards), outputs, constraints and clock carry
+    over unchanged. *)
+
+type corner_run = {
+  run_corner : Circuit.Corner.t;
+  run_report : report;
+  run_cache : cache option;
+      (** this corner's private cache (pattern tier shared across the
+          run's corners), for fingerprinting in differential tests;
+          [None] when caching was disabled *)
+}
+
+type corner_summary = {
+  cs_name : string;
+  cs_critical_arrival : float;
+  cs_worst_slack : float;
+}
+
+type corners_report = {
+  runs : corner_run list;  (** in spec order *)
+  summary : corner_summary list;  (** in spec order *)
+  worst_corner : string;
+      (** name of the corner with the minimum worst slack (ties go to
+          spec order) *)
+  worst_slack_overall : float;
+  critical_arrival_overall : float;  (** max across corners *)
+}
+
+val analyze_corners :
+  ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
+  ?cache:bool ->
+  design -> Circuit.Corner.t list -> corners_report
+(** One full {!analyze} per corner over {!corner_design}, sequentially
+    in spec order (each corner's waves still fan out across the
+    [jobs] pool).  With [cache] (default [true]), every corner gets a
+    private exact tier but all corners share one pattern-tier store:
+    corners derate values, never topology, so each distinct topology
+    pays for its symbolic sparse analysis once across all corners
+    ([sparse] runs) — corner 2..N pattern-hit every template corner 1
+    analyzed.  Reports, stats and cache contents are bit-identical to
+    N independent [analyze] calls over [corner_design]s threading
+    caches that share a patterns store ({!create_cache}).  Raises
+    [Invalid_argument] on an empty corner list or duplicate corner
+    names. *)
+
 val pp_report : ?verbose:bool -> Format.formatter -> report -> unit
 (** [verbose] (default [false]) appends the {!Awe.Stats} engine
-    counters of the analysis. *)
+    counters of the analysis.  Prints per-sink rise/fall delays, the
+    critical path, and — when the design is constrained — the slack
+    table, worst first. *)
+
+val pp_paths : Format.formatter -> path list -> unit
+(** Stage-by-stage rendering of {!critical_paths} output. *)
+
+val pp_corners : Format.formatter -> corners_report -> unit
+(** Per-corner summary lines plus the merged cross-corner verdict. *)
 
 (** Text format for timing designs; see the format notes inside. *)
 module Design_file : sig
@@ -221,6 +391,8 @@ module Design_file : sig
       net <name> <from> <to> <r> <c> [; <from> <to> <r> <c>] ...
       input <net> [arrival=<t>] [slew=<t>]
       output <net>
+      constraint <net> <time>          required arrival at an endpoint
+      clock <period>                   default requirement for outputs
       v}
 
       A net's sinks attach at wire nodes named after the sink gate

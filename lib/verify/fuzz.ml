@@ -144,7 +144,10 @@ let g_sta_card =
       "net y drv u1 1k 100f ; u1 w2 2k 50f"; "net y drv u1 nan 100f";
       "net y drv u1 1k"; "net y ;"; "net"; "input a"; "input a arrival=1n";
       "input a arrival=nan"; "input a slew=-1"; "input a bogus=1"; "input";
-      "output y"; "output"; "* comment" ]
+      "output y"; "output"; "constraint y 1n"; "constraint y nan";
+      "constraint y -1n"; "constraint y"; "constraint"; "constraint y 1n 2n";
+      "constraint nosuch 1n"; "clock 1n"; "clock 0"; "clock -1n";
+      "clock nan"; "clock"; "clock 1n 1n"; "* comment" ]
 
 let base_sta_deck =
   "* two-stage chain\n\
@@ -158,7 +161,9 @@ let base_sta_deck =
    net net_mid drv w1 200 50f ; w1 u2 150 40f\n\
    net net_out drv end 300 60f\n\
    input net_in\n\
-   output net_out\n"
+   output net_out\n\
+   constraint net_out 2n\n\
+   clock 5n\n"
 
 let sta_gen =
   let g_soup =

@@ -59,7 +59,9 @@ let sta_cases =
     ("lint/undriven.sta", [ "AWE-E102" ]);
     ("lint/sink_unattached.sta", [ "AWE-E103" ]);
     ("lint/sink_unreachable.sta", [ "AWE-E104" ]);
-    ("lint/cycle.sta", [ "AWE-E105" ]) ]
+    ("lint/cycle.sta", [ "AWE-E105" ]);
+    (* the orphan net also trips E102; E106 blames the constraint *)
+    ("lint/constraint_target.sta", [ "AWE-E106"; "AWE-E102" ]) ]
 
 let test_crafted_sp () =
   List.iter
@@ -86,6 +88,39 @@ let test_crafted_sta () =
         true
         (Lint.gate ~strict:false diags = Ok () |> not))
     sta_cases
+
+(* constraint targets that CAN bind an arrival must not trip E106: a
+   gate-driven net, and a primary input (externally driven).  The
+   crafted deck's two dead constraints are the only E106s it emits. *)
+let test_constraint_lint_negative () =
+  let base =
+    "cell inv 100 1f 10p\ngate g1 inv out in\nnet in drv g1 100 1f\n\
+     net out drv x 100 1f\ninput in\noutput out\n"
+  in
+  let e106 src =
+    List.filter
+      (fun d -> d.D.code = D.Constraint_target)
+      (Lint.check_design (Sta.Design_file.parse_string src))
+  in
+  Alcotest.(check int) "constraint on a driven net is clean" 0
+    (List.length (e106 (base ^ "constraint out 1n\n")));
+  Alcotest.(check int) "constraint on a primary input is clean" 0
+    (List.length (e106 (base ^ "constraint in 1n\n")));
+  Alcotest.(check int) "clock alone never trips E106" 0
+    (List.length (e106 (base ^ "clock 2n\n")));
+  let diags = lint_sta "lint/constraint_target.sta" in
+  Alcotest.(check int) "one E106 per dead constraint" 2
+    (List.length (List.filter (fun d -> d.D.code = D.Constraint_target) diags));
+  (* each diagnostic names its net *)
+  List.iter
+    (fun net ->
+      Alcotest.(check bool)
+        (Printf.sprintf "E106 names %s" net)
+        true
+        (List.exists
+           (fun d -> d.D.code = D.Constraint_target && d.D.nodes = [ net ])
+           diags))
+    [ "ghost"; "orphan" ]
 
 (* --- the structural-rank check predicts Slu.factor ----------------- *)
 
@@ -266,7 +301,9 @@ let () =
   Alcotest.run "lint"
     [ ( "crafted decks",
         [ Alcotest.test_case "sp codes and gates" `Quick test_crafted_sp;
-          Alcotest.test_case "sta codes and gates" `Quick test_crafted_sta ] );
+          Alcotest.test_case "sta codes and gates" `Quick test_crafted_sta;
+          Alcotest.test_case "constraint targets (E106 negatives)" `Quick
+            test_constraint_lint_negative ] );
       ( "singularity prediction",
         [ Alcotest.test_case "structural rank predicts Slu" `Quick
             test_structural_rank_predicts;

@@ -422,6 +422,10 @@ let check_reports_equal name (r1 : Sta.report) (rn : Sta.report) =
     r1.Sta.critical_path rn.Sta.critical_path;
   Alcotest.(check bool) (name ^ ": failures identical") true
     (r1.Sta.failures = rn.Sta.failures);
+  Alcotest.(check bool) (name ^ ": slacks bit-identical") true
+    (r1.Sta.slacks = rn.Sta.slacks);
+  Alcotest.(check bool) (name ^ ": worst slack bit-identical") true
+    (r1.Sta.worst_slack = rn.Sta.worst_slack);
   (* the integer engine counters; phase_seconds is wall-clock
      measurement and legitimately varies *)
   Alcotest.(check bool) (name ^ ": merged stats identical") true
@@ -680,6 +684,598 @@ let test_synth_shapes () =
   Alcotest.(check bool) "different seed, different wires" true
     ((r 7).Sta.critical_arrival <> (r 8).Sta.critical_arrival)
 
+(* ------------------------------------------------------------------ *)
+(* Slack, required times and top-K critical paths.  The backward
+   required-time pass is the min-plus dual of the forward max-plus
+   arrival pass; the properties below are metamorphic consequences of
+   that duality, checked at jobs 1 and [test_jobs] on the handcrafted
+   fixtures, the synthetic generators and random DAGs. *)
+
+let slack_at (r : Sta.report) ~net ~pin =
+  List.find_opt
+    (fun s -> s.Sta.sp_net = net && s.Sta.sp_pin = pin)
+    r.Sta.slacks
+
+(* leaf nets: timed nets no gate consumes.  Their single slack entry
+   sits on the driver pin and binds solely to the endpoint
+   requirement, which makes Δ-tightening on them exact. *)
+let leaf_nets d (r : Sta.report) =
+  let consumed = Hashtbl.create 16 in
+  List.iter
+    (fun gv ->
+      List.iter (fun n -> Hashtbl.replace consumed n ()) gv.Sta.gv_inputs)
+    (Sta.gate_views d);
+  List.filter_map
+    (fun nt ->
+      let n = nt.Sta.net_name in
+      if Hashtbl.mem consumed n then None else Some n)
+    r.Sta.nets
+
+(* a clock makes every primary output an endpoint; decks that carry
+   their own clock card (the adder) keep it *)
+let ensure_clock d =
+  if Sta.clock_period d = None then Sta.set_clock d ~period:2e-9
+
+(* every slack-bearing design used by the property wall: a name, a
+   thunk that rebuilds the identical design from scratch (designs are
+   mutable, so metamorphic pairs need two fresh copies), and the
+   sparse flag the fixture usually runs with *)
+let slack_fixtures () =
+  [ ("chain", (fun () -> chain ()), false);
+    ("adder", (fun () -> adder_deck ()), false);
+    ("grid", (fun () -> Sta.Synth.grid ~rows:4 ~cols:4 ()), false);
+    ( "clock_tree",
+      (fun () -> Sta.Synth.clock_tree ~levels:3 ~fanout:3 ()),
+      true );
+    ( "buffered_mesh",
+      (fun () -> Sta.Synth.buffered_mesh ~seed:11 ~rows:4 ~cols:4 ()),
+      true );
+    ( "random",
+      (fun () ->
+        let d =
+          random_design (Random.State.make [| 0x51AC; 3 |]) ~nets:10
+        in
+        Sta.add_primary_output d ~net:"n9";
+        d),
+      false ) ]
+
+let test_slack_consistency () =
+  (* invariants of a single report: slacks sorted worst-first,
+     worst_slack = head = min, every slack = required - arrival *)
+  List.iter
+    (fun (name, build, sparse) ->
+      List.iter
+        (fun jobs ->
+          let d = build () in
+          ensure_clock d;
+          let r = Sta.analyze ~sparse ~jobs d in
+          let tag s = Printf.sprintf "%s jobs=%d: %s" name jobs s in
+          Alcotest.(check bool) (tag "has slack entries") true
+            (r.Sta.slacks <> []);
+          let rec sorted = function
+            | a :: (b :: _ as rest) ->
+              a.Sta.sp_slack <= b.Sta.sp_slack && sorted rest
+            | _ -> true
+          in
+          Alcotest.(check bool) (tag "sorted worst-first") true
+            (sorted r.Sta.slacks);
+          let min_slack =
+            List.fold_left
+              (fun acc s -> Float.min acc s.Sta.sp_slack)
+              infinity r.Sta.slacks
+          in
+          Alcotest.(check bool) (tag "worst = min over entries") true
+            (r.Sta.worst_slack = min_slack);
+          List.iter
+            (fun s ->
+              Alcotest.(check bool) (tag "slack = required - arrival") true
+                (s.Sta.sp_slack = s.Sta.sp_required -. s.Sta.sp_arrival))
+            r.Sta.slacks)
+        [ 1; test_jobs ])
+    (slack_fixtures ())
+
+let test_slack_tightening_metamorphic () =
+  (* Δ-tightening an endpoint constraint on a leaf net decreases that
+     endpoint's slack by exactly Δ and never increases any other
+     pin's slack (requirements propagate through min and minus, both
+     monotone — so monotonicity holds bitwise, not just to
+     tolerance) *)
+  let delta = 0.125e-9 in
+  List.iter
+    (fun (name, build, sparse) ->
+      let probe = build () in
+      (* decks that already carry constraint cards (the adder) can't
+         be re-constrained; the golden test covers them instead *)
+      if Sta.constraints probe <> [] then ()
+      else begin
+      let r0 = Sta.analyze ~sparse ~jobs:1 probe in
+      let target =
+        match leaf_nets probe r0 with
+        | n :: _ -> n
+        | [] -> Alcotest.failf "%s: no leaf net to constrain" name
+      in
+      let arr =
+        (List.find (fun nt -> nt.Sta.net_name = target) r0.Sta.nets)
+          .Sta.driver_arrival
+      in
+      let r_base = arr +. 0.4e-9 in
+      List.iter
+        (fun jobs ->
+          let da = build () and db = build () in
+          ensure_clock da;
+          ensure_clock db;
+          Sta.add_constraint da ~net:target ~required:r_base;
+          Sta.add_constraint db ~net:target ~required:(r_base -. delta);
+          let ra = Sta.analyze ~sparse ~jobs da in
+          let rb = Sta.analyze ~sparse ~jobs db in
+          let tag s = Printf.sprintf "%s jobs=%d: %s" name jobs s in
+          (let sa =
+             match slack_at ra ~net:target ~pin:None with
+             | Some s -> s
+             | None -> Alcotest.failf "%s: no entry for %s" name target
+           and sb =
+             match slack_at rb ~net:target ~pin:None with
+             | Some s -> s
+             | None -> Alcotest.failf "%s: no entry for %s" name target
+           in
+           Alcotest.(check bool)
+             (tag
+                (Printf.sprintf
+                   "target slack drops by exactly delta (%.17g vs %.17g)"
+                   (sa.Sta.sp_slack -. sb.Sta.sp_slack)
+                   delta))
+             true
+             (Float.abs (sa.Sta.sp_slack -. sb.Sta.sp_slack -. delta)
+             <= 1e-12 *. Float.abs sa.Sta.sp_slack
+                +. epsilon_float *. Float.abs sa.Sta.sp_slack));
+          Alcotest.(check int) (tag "same pin population")
+            (List.length ra.Sta.slacks)
+            (List.length rb.Sta.slacks);
+          List.iter
+            (fun sa ->
+              match slack_at rb ~net:sa.Sta.sp_net ~pin:sa.Sta.sp_pin with
+              | None ->
+                Alcotest.failf "%s: pin vanished under tightening" name
+              | Some sb ->
+                Alcotest.(check bool)
+                  (tag "no pin's slack increases (bitwise)") true
+                  (sb.Sta.sp_slack <= sa.Sta.sp_slack))
+            ra.Sta.slacks;
+          Alcotest.(check bool) (tag "worst slack monotone") true
+            (rb.Sta.worst_slack <= ra.Sta.worst_slack))
+        [ 1; test_jobs ]
+      end)
+    (slack_fixtures ())
+
+let test_top_k_paths_properties () =
+  (* top-K extraction: sorted by slack, distinct endpoint pins, the
+     worst path's slack equals the report's worst slack, and k only
+     truncates — it never reorders *)
+  List.iter
+    (fun (name, build, sparse) ->
+      let d = build () in
+      ensure_clock d;
+      let r = Sta.analyze ~sparse ~jobs:test_jobs d in
+      let all = Sta.critical_paths d r ~k:max_int in
+      let tag s = Printf.sprintf "%s: %s" name s in
+      Alcotest.(check bool) (tag "at least one path") true (all <> []);
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          a.Sta.path_slack <= b.Sta.path_slack && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (tag "paths sorted worst-first") true
+        (sorted all);
+      let endpoints =
+        List.map (fun p -> (p.Sta.path_endpoint, p.Sta.path_pin)) all
+      in
+      Alcotest.(check bool) (tag "endpoint pins distinct") true
+        (List.length endpoints
+        = List.length (List.sort_uniq compare endpoints));
+      (* the worst path's slack is the report's worst slack — to
+         rounding: the worst pin entry may sit on an *internal* pin of
+         the same path, where the forward (+) and backward (-) passes
+         round differently by an ulp *)
+      let w = (List.hd all).Sta.path_slack in
+      Alcotest.(check bool)
+        (tag
+           (Printf.sprintf "worst path slack = report worst slack (%.17g/%.17g)"
+              w r.Sta.worst_slack))
+        true
+        (Float.abs (w -. r.Sta.worst_slack)
+        <= 1e-9 *. Float.max 1e-12 (Float.abs w));
+      (* each path's slack is its own endpoint arithmetic, and never
+         better than that pin's report entry (which additionally binds
+         requirements arriving through downstream logic) *)
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) (tag "path slack = required - arrival") true
+            (p.Sta.path_slack = p.Sta.path_required -. p.Sta.path_arrival);
+          match slack_at r ~net:p.Sta.path_endpoint ~pin:p.Sta.path_pin with
+          | None -> Alcotest.failf "%s: path endpoint has no slack entry" name
+          | Some s ->
+            Alcotest.(check bool) (tag "pin entry <= path slack") true
+              (s.Sta.sp_slack
+              <= p.Sta.path_slack
+                 +. 1e-9 *. Float.max 1e-12 (Float.abs p.Sta.path_slack)))
+        all;
+      List.iteri
+        (fun k _ ->
+          let prefix = Sta.critical_paths d r ~k in
+          Alcotest.(check bool)
+            (tag (Printf.sprintf "k=%d is a prefix of the full list" k))
+            true
+            (prefix
+            = List.filteri (fun i _ -> i < k) all))
+        all;
+      match Sta.critical_paths d r ~k:(-1) with
+      | _ -> Alcotest.fail (tag "negative k accepted")
+      | exception Invalid_argument _ -> ())
+    (slack_fixtures ())
+
+let test_path_trace_oracle () =
+  (* re-summing a traced path's per-stage contributions must
+     reproduce the endpoint arrival: the trace replays the forward
+     fold, so the telescoped sum closes to rounding *)
+  List.iter
+    (fun (name, build, sparse) ->
+      let d = build () in
+      ensure_clock d;
+      let r = Sta.analyze ~sparse ~jobs:test_jobs d in
+      List.iter
+        (fun p ->
+          let total =
+            List.fold_left
+              (fun acc st -> acc +. st.Sta.st_gate_delay +. st.Sta.st_net_delay)
+              p.Sta.path_input_arrival p.Sta.path_stages
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf
+               "%s %s/%s: stage delays re-sum to the arrival (%.17g vs %.17g)"
+               name p.Sta.path_endpoint
+               (match p.Sta.path_pin with Some i -> i | None -> "(driver)")
+               total p.Sta.path_arrival)
+            true
+            (Float.abs (total -. p.Sta.path_arrival)
+            <= 1e-9 *. Float.max 1e-12 (Float.abs p.Sta.path_arrival));
+          (* the last stage is the endpoint itself *)
+          match List.rev p.Sta.path_stages with
+          | [] -> Alcotest.failf "%s: empty path" name
+          | last :: _ ->
+            Alcotest.(check string) (name ^ ": trace ends at the endpoint")
+              p.Sta.path_endpoint last.Sta.st_net;
+            Alcotest.(check bool) (name ^ ": last stage carries the arrival")
+              true
+              (last.Sta.st_arrival = p.Sta.path_arrival))
+        (Sta.critical_paths d r ~k:5))
+    (slack_fixtures ())
+
+let test_adder_golden_path () =
+  (* hand-checked golden on decks/adder_stage.sta: the deck pins
+     [constraint sink 1.4n] and [clock 1.5n]; the worst path ends on
+     the [sink] stub's driver pin and walks the five-net chain with
+     the cells' intrinsic delays (inv 40p, nand2 60p, buf 90p) as the
+     per-stage gate contributions *)
+  let d = adder_deck () in
+  let r = Sta.analyze ~jobs:test_jobs d in
+  let p =
+    match Sta.critical_paths d r ~k:1 with
+    | [ p ] -> p
+    | _ -> Alcotest.fail "expected exactly one worst path"
+  in
+  Alcotest.(check string) "endpoint is the constrained stub" "sink"
+    p.Sta.path_endpoint;
+  Alcotest.(check bool) "endpoint pin is the driver" true
+    (p.Sta.path_pin = None);
+  Alcotest.(check (float 1e-15)) "required = the deck's constraint card" 1.4e-9
+    p.Sta.path_required;
+  (* the path is the critical chain extended by the stub *)
+  Alcotest.(check (list string)) "stage nets extend the critical path"
+    (r.Sta.critical_path @ [ "sink" ])
+    (List.map (fun st -> st.Sta.st_net) p.Sta.path_stages);
+  (* gate contributions, stage by stage: PI first (no gate), then
+     inv, nand2, buf, inv intrinsics straight from the cell cards *)
+  Alcotest.(check (list (float 1e-15))) "per-stage intrinsics"
+    [ 0.; 40e-12; 60e-12; 90e-12; 40e-12 ]
+    (List.map (fun st -> st.Sta.st_gate_delay) p.Sta.path_stages);
+  (* endpoint arrival is the stub's driver arrival from the report *)
+  let sink_nt = List.find (fun nt -> nt.Sta.net_name = "sink") r.Sta.nets in
+  Alcotest.(check bool) "arrival = stub driver arrival" true
+    (p.Sta.path_arrival = sink_nt.Sta.driver_arrival);
+  Alcotest.(check bool) "slack = required - arrival" true
+    (p.Sta.path_slack = p.Sta.path_required -. p.Sta.path_arrival);
+  (* the deck meets its constraints at nominal values *)
+  Alcotest.(check bool) "deck meets timing" true (r.Sta.worst_slack > 0.);
+  (* every non-PI stage's wire delay is the report's sink delay for
+     that (net, pin) at the path's transition *)
+  List.iter
+    (fun st ->
+      match st.Sta.st_pin with
+      | None -> ()
+      | Some inst ->
+        let nt =
+          List.find (fun nt -> nt.Sta.net_name = st.Sta.st_net) r.Sta.nets
+        in
+        let s = List.find (fun s -> s.Sta.sink_inst = inst) nt.Sta.sinks in
+        let expect =
+          match p.Sta.path_transition with
+          | Sta.Rise -> s.Sta.net_delay
+          | Sta.Fall -> s.Sta.net_delay_fall
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s wire delay matches the report" st.Sta.st_net
+             inst)
+          true
+          (st.Sta.st_net_delay = expect))
+    p.Sta.path_stages
+
+let test_rise_fall_symmetric_at_half () =
+  (* at threshold 0.5 the linear-symmetry fall model coincides with
+     the rise model, so both transitions carry identical numbers *)
+  let d = adder_deck () in
+  let r = Sta.analyze ~jobs:1 d in
+  List.iter
+    (fun nt ->
+      Alcotest.(check bool)
+        (nt.Sta.net_name ^ ": driver arrivals coincide at 0.5") true
+        (nt.Sta.driver_arrival = nt.Sta.driver_arrival_fall);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: sink delays coincide at 0.5"
+               nt.Sta.net_name s.Sta.sink_inst)
+            true
+            (s.Sta.net_delay = s.Sta.net_delay_fall
+            && s.Sta.arrival = s.Sta.arrival_fall))
+        nt.Sta.sinks)
+    r.Sta.nets;
+  (* away from 0.5 the two transitions split, and the binding one is
+     the slower (lesser-slack) of the pair *)
+  let d4 = Sta.create ~vdd:5. ~threshold:0.35 () in
+  Sta.add_gate d4 ~inst:"u1" ~cell:inv ~inputs:[ "a" ] ~output:"y";
+  Sta.add_net d4 ~name:"a"
+    ~segments:[ seg ~from_:"drv" ~to_:"u1" ~r:100. ~c:30e-15 ];
+  Sta.add_net d4 ~name:"y"
+    ~segments:[ seg ~from_:"drv" ~to_:"end" ~r:150. ~c:40e-15 ];
+  Sta.add_primary_input d4 ~net:"a" ();
+  Sta.add_constraint d4 ~net:"y" ~required:2e-9;
+  let r4 = Sta.analyze ~jobs:1 d4 in
+  let y = List.find (fun nt -> nt.Sta.net_name = "y") r4.Sta.nets in
+  Alcotest.(check bool) "transitions split off 0.5" true
+    (y.Sta.driver_arrival <> y.Sta.driver_arrival_fall);
+  let s = Option.get (slack_at r4 ~net:"y" ~pin:None) in
+  let slower =
+    Float.max y.Sta.driver_arrival y.Sta.driver_arrival_fall
+  in
+  Alcotest.(check bool) "slack binds at the slower transition" true
+    (s.Sta.sp_arrival = slower);
+  Alcotest.(check bool) "binding transition labeled" true
+    (s.Sta.sp_transition
+    = (if y.Sta.driver_arrival_fall > y.Sta.driver_arrival then Sta.Fall
+       else Sta.Rise))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-corner analysis: [analyze_corners] must be bit-identical —
+   reports, counters and cache contents — to N sequential [analyze]
+   calls over [corner_design]s whose caches share one patterns store,
+   at every jobs value.  Corners derate values, never topology. *)
+
+let test_corners () =
+  [ Circuit.Corner.nominal;
+    Circuit.Corner.make ~name:"slow" ~wire_res:1.25 ~wire_cap:1.15
+      ~cell_drive:1.3 ~cell_cap:1.1 ~cell_intrinsic:1.2 ();
+    Circuit.Corner.make ~name:"fast" ~wire_res:0.85 ~wire_cap:0.9
+      ~cell_drive:0.75 ~cell_cap:0.95 ~cell_intrinsic:0.85 () ]
+
+let test_corners_match_sequential () =
+  let corners = test_corners () in
+  List.iter
+    (fun (name, build, sparse) ->
+      let d = build () in
+      ensure_clock d;
+      List.iter
+        (fun jobs ->
+          let cr = Sta.analyze_corners ~sparse ~jobs d corners in
+          (* the reference: N independent analyze calls whose private
+             caches share one pattern store, in spec order *)
+          let patterns = Awe.Cache.create_patterns () in
+          let refs =
+            List.map
+              (fun c ->
+                let cache = Sta.create_cache ~patterns () in
+                let r =
+                  Sta.analyze ~sparse ~jobs ~cache (Sta.corner_design d c)
+                in
+                (c, r, cache))
+              corners
+          in
+          let tag s = Printf.sprintf "%s jobs=%d: %s" name jobs s in
+          Alcotest.(check int) (tag "one run per corner")
+            (List.length corners)
+            (List.length cr.Sta.runs);
+          List.iter2
+            (fun run (c, r_ref, cache_ref) ->
+              Alcotest.(check string) (tag "spec order preserved")
+                c.Circuit.Corner.name run.Sta.run_corner.Circuit.Corner.name;
+              check_reports_equal
+                (tag ("corner " ^ c.Circuit.Corner.name))
+                r_ref run.Sta.run_report;
+              Alcotest.(check bool) (tag "cache counters identical") true
+                (cache_counters run.Sta.run_report.Sta.stats
+                = cache_counters r_ref.Sta.stats);
+              match run.Sta.run_cache with
+              | None -> Alcotest.fail (tag "corner run lost its cache")
+              | Some cache ->
+                Alcotest.(check bool)
+                  (tag "cache fingerprint identical (incl. pattern tier)")
+                  true
+                  (Sta.cache_fingerprint cache
+                  = Sta.cache_fingerprint cache_ref))
+            cr.Sta.runs refs;
+          (* summary lines agree with the per-corner reports *)
+          List.iter2
+            (fun cs run ->
+              Alcotest.(check string) (tag "summary order") cs.Sta.cs_name
+                run.Sta.run_corner.Circuit.Corner.name;
+              Alcotest.(check bool) (tag "summary mirrors the report") true
+                (cs.Sta.cs_worst_slack = run.Sta.run_report.Sta.worst_slack
+                && cs.Sta.cs_critical_arrival
+                   = run.Sta.run_report.Sta.critical_arrival))
+            cr.Sta.summary cr.Sta.runs;
+          let worst =
+            List.fold_left
+              (fun acc run ->
+                Float.min acc run.Sta.run_report.Sta.worst_slack)
+              infinity cr.Sta.runs
+          and latest =
+            List.fold_left
+              (fun acc run ->
+                Float.max acc run.Sta.run_report.Sta.critical_arrival)
+              neg_infinity cr.Sta.runs
+          in
+          Alcotest.(check bool) (tag "worst slack overall = min") true
+            (cr.Sta.worst_slack_overall = worst);
+          Alcotest.(check bool) (tag "critical arrival overall = max") true
+            (cr.Sta.critical_arrival_overall = latest);
+          Alcotest.(check bool) (tag "worst corner names the min") true
+            (List.exists
+               (fun run ->
+                 run.Sta.run_corner.Circuit.Corner.name = cr.Sta.worst_corner
+                 && run.Sta.run_report.Sta.worst_slack = worst)
+               cr.Sta.runs))
+        [ 1; test_jobs; 8 ])
+    [ ("adder", (fun () -> adder_deck ()), true);
+      ("grid", (fun () -> Sta.Synth.grid ~rows:4 ~cols:4 ()), true) ]
+
+let test_corners_share_patterns () =
+  (* the point of the shared tier: later corners pattern-hit the
+     symbolic work corner 1 paid for, so they do strictly fewer
+     symbolic factorizations than a corner analyzed with a private
+     patterns store *)
+  let d = Sta.Synth.grid ~rows:4 ~cols:4 () in
+  ensure_clock d;
+  let corners = test_corners () in
+  let cr = Sta.analyze_corners ~sparse:true ~jobs:1 d corners in
+  (match cr.Sta.runs with
+  | first :: rest ->
+    let hits r = r.Sta.run_report.Sta.stats.Awe.Stats.cache_pattern_hits in
+    List.iter
+      (fun run ->
+        Alcotest.(check bool)
+          (run.Sta.run_corner.Circuit.Corner.name
+          ^ ": later corner pattern-hits every net")
+          true
+          (hits run >= hits first))
+      rest
+  | [] -> Alcotest.fail "no runs");
+  (* derates are value-only: per-corner delays differ (critical nets
+     may legitimately re-rank — wire and cell derates scale
+     unevenly, and the grid has near-symmetric path races) *)
+  (match cr.Sta.runs with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "different delays across corners" true
+      (a.Sta.run_report.Sta.critical_arrival
+      <> b.Sta.run_report.Sta.critical_arrival)
+  | _ -> Alcotest.fail "expected >= 2 runs");
+  (* validation *)
+  (match Sta.analyze_corners d [] with
+  | _ -> Alcotest.fail "empty corner list accepted"
+  | exception Invalid_argument _ -> ());
+  match
+    Sta.analyze_corners d [ Circuit.Corner.nominal; Circuit.Corner.nominal ]
+  with
+  | _ -> Alcotest.fail "duplicate corner names accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_corner_design_derates () =
+  (* slow corner: every derate > 1 pushes arrivals out; fast pulls
+     them in; nominal is the identity *)
+  let d = adder_deck () in
+  let base = Sta.analyze ~jobs:1 d in
+  let at c = Sta.analyze ~jobs:1 (Sta.corner_design d c) in
+  let nominal = at Circuit.Corner.nominal in
+  check_reports_equal "nominal corner is the identity" base nominal;
+  match test_corners () with
+  | [ _; slow; fast ] ->
+    Alcotest.(check bool) "slow corner is slower" true
+      ((at slow).Sta.critical_arrival > base.Sta.critical_arrival);
+    Alcotest.(check bool) "fast corner is faster" true
+      ((at fast).Sta.critical_arrival < base.Sta.critical_arrival)
+  | _ -> Alcotest.fail "fixture shape"
+
+let test_corner_spec_parser () =
+  let spec =
+    {|{ "corners": [
+        { "name": "typ" },
+        { "name": "slow", "wire_res": 1.25, "cell_intrinsic": 1.2 }
+    ] }|}
+  in
+  (match Circuit.Corner.parse_string spec with
+  | [ typ; slow ] ->
+    Alcotest.(check string) "first name" "typ" typ.Circuit.Corner.name;
+    Alcotest.(check (float 0.)) "omitted scale defaults to 1" 1.
+      typ.Circuit.Corner.cell_drive;
+    Alcotest.(check (float 0.)) "wire_res read" 1.25
+      slow.Circuit.Corner.wire_res;
+    Alcotest.(check (float 0.)) "cell_intrinsic read" 1.2
+      slow.Circuit.Corner.cell_intrinsic;
+    Alcotest.(check (float 0.)) "omitted wire_cap defaults to 1" 1.
+      slow.Circuit.Corner.wire_cap
+  | _ -> Alcotest.fail "expected two corners");
+  (* a bare top-level array is also accepted *)
+  (match Circuit.Corner.parse_string {|[ { "name": "only" } ]|} with
+  | [ c ] -> Alcotest.(check string) "bare array" "only" c.Circuit.Corner.name
+  | _ -> Alcotest.fail "bare array rejected");
+  let rejects label s =
+    match Circuit.Corner.parse_string s with
+    | _ -> Alcotest.fail (label ^ " accepted")
+    | exception Circuit.Corner.Parse_error _ -> ()
+  in
+  rejects "unknown field" {|[ { "name": "a", "wire_ohms": 2 } ]|};
+  rejects "duplicate name" {|[ { "name": "a" }, { "name": "a" } ]|};
+  rejects "empty name" {|[ { "name": "" } ]|};
+  rejects "empty list" {|{ "corners": [] }|};
+  rejects "non-positive scale" {|[ { "name": "a", "wire_res": 0 } ]|};
+  rejects "non-finite scale" {|[ { "name": "a", "wire_cap": 1e999 } ]|};
+  rejects "missing name" {|[ { "wire_res": 1.1 } ]|};
+  rejects "trailing garbage" {|[ { "name": "a" } ] x|};
+  rejects "not json at all" "corner: fast";
+  match Circuit.Corner.make ~name:"bad" ~cell_drive:(-1.) () with
+  | _ -> Alcotest.fail "negative scale accepted by make"
+  | exception Invalid_argument _ -> ()
+
+let test_constraint_cards () =
+  (* constraint/clock cards round-trip through the design file and
+     feed the same API the programmatic path uses *)
+  let d =
+    Sta.Design_file.parse_string
+      (design_text ^ "constraint net_out 2n\nclock 3n\n")
+  in
+  Alcotest.(check (list (pair string (float 1e-15)))) "constraint card parsed"
+    [ ("net_out", 2e-9) ]
+    (Sta.constraints d);
+  (match Sta.clock_period d with
+  | Some p -> Alcotest.(check (float 1e-15)) "clock card parsed" 3e-9 p
+  | None -> Alcotest.fail "clock card dropped");
+  let rejects label s =
+    match Sta.Design_file.parse_string (design_text ^ s) with
+    | _ -> Alcotest.fail (label ^ " accepted")
+    | exception Sta.Design_file.Parse_error _ -> ()
+    | exception Sta.Malformed _ -> ()
+  in
+  rejects "negative required" "constraint net_out -1n\n";
+  rejects "short constraint" "constraint net_out\n";
+  rejects "long constraint" "constraint net_out 1n 2n\n";
+  rejects "duplicate constraint"
+    "constraint net_out 1n\nconstraint net_out 2n\n";
+  rejects "non-positive clock" "clock 0\n";
+  rejects "short clock" "clock\n";
+  rejects "duplicate clock" "clock 1n\nclock 2n\n";
+  (* without any constraint or clock, analysis reports no slacks *)
+  let r = Sta.analyze ~jobs:1 (Sta.Design_file.parse_string design_text) in
+  Alcotest.(check bool) "unconstrained design has no slack entries" true
+    (r.Sta.slacks = [] && r.Sta.worst_slack = infinity)
+
 let () =
   Alcotest.run "sta"
     [ ( "timing",
@@ -733,4 +1329,25 @@ let () =
           Alcotest.test_case "jobs-deterministic (synthetic designs)" `Quick
             test_jobs_deterministic_synth;
           Alcotest.test_case "sharded merge = sequential publication" `Quick
-            test_shard_merge_property ] ) ]
+            test_shard_merge_property ] );
+      ( "slack",
+        [ Alcotest.test_case "report invariants" `Quick test_slack_consistency;
+          Alcotest.test_case "delta-tightening metamorphic" `Quick
+            test_slack_tightening_metamorphic;
+          Alcotest.test_case "top-K path properties" `Quick
+            test_top_k_paths_properties;
+          Alcotest.test_case "path-trace re-sum oracle" `Quick
+            test_path_trace_oracle;
+          Alcotest.test_case "adder golden path" `Quick test_adder_golden_path;
+          Alcotest.test_case "rise/fall symmetry" `Quick
+            test_rise_fall_symmetric_at_half;
+          Alcotest.test_case "constraint and clock cards" `Quick
+            test_constraint_cards ] );
+      ( "corners",
+        [ Alcotest.test_case "bit-identical to sequential analyses" `Quick
+            test_corners_match_sequential;
+          Alcotest.test_case "pattern tier shared across corners" `Quick
+            test_corners_share_patterns;
+          Alcotest.test_case "corner derates move arrivals" `Quick
+            test_corner_design_derates;
+          Alcotest.test_case "spec parser" `Quick test_corner_spec_parser ] ) ]
