@@ -1311,6 +1311,62 @@ let sta_corners ?(smoke = false) () =
   end
   else note "sta_corners ok"
 
+(* Lint 2.0 at scale: the whole pass stack (core checks + W2xx health
+   + W13x coverage) over Synth grids, gated on the dataflow engine's
+   work counter staying near-linear in net count.  The gate is
+   counter-based — transfer applications plus the passes' explicit
+   linear-scan ticks — so it holds on loaded or single-core runners;
+   wall time rides along for information only. *)
+let lint_scale ?(smoke = false) () =
+  section
+    (if smoke then "Lint scale — smoke (near-linearity gate)"
+     else "Lint scale — dataflow work vs design size");
+  let r1, c1, r2, c2 = if smoke then (20, 20, 40, 40) else (50, 50, 100, 100) in
+  let cores = Parallel.default_jobs () in
+  let run rows cols =
+    let d = Sta.Synth.grid ~rows ~cols () in
+    let nets = List.length (Sta.net_names d) in
+    Lint.Dataflow.reset_work ();
+    let t0 = Unix.gettimeofday () in
+    let diags = Lint.check_design d in
+    let t = Unix.gettimeofday () -. t0 in
+    (nets, Lint.Dataflow.work (), List.length diags, t)
+  in
+  ignore (run 4 4) (* warm-up *);
+  let nets_s, work_s, diags_s, t_s = run r1 c1 in
+  let nets_b, work_b, diags_b, t_b = run r2 c2 in
+  note "grid %dx%d: %6d nets  %9d work  %4d diagnostics  %8.2f ms" r1 c1
+    nets_s work_s diags_s (1e3 *. t_s);
+  note "grid %dx%d: %6d nets  %9d work  %4d diagnostics  %8.2f ms" r2 c2
+    nets_b work_b diags_b (1e3 *. t_b);
+  let per_s = float_of_int work_s /. float_of_int nets_s in
+  let per_b = float_of_int work_b /. float_of_int nets_b in
+  let ratio = per_b /. per_s in
+  claim ~paper:"static analysis must stay cheap next to the solves it guards"
+    "work/net: %.1f (small) -> %.1f (big), growth %.3fx (gate: <= 1.5)"
+    per_s per_b ratio;
+  let ok = ratio <= 1.5 in
+  let json_path = "BENCH_lint_scale.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"lint_scale\", \"smoke\": %b, \"cores\": %d,\n\
+    \  \"grid_small\": [%d, %d], \"grid_big\": [%d, %d],\n\
+    \  \"nets_small\": %d, \"nets_big\": %d,\n\
+    \  \"work_small\": %d, \"work_big\": %d,\n\
+    \  \"diags_small\": %d, \"diags_big\": %d,\n\
+    \  \"ms_small\": %.3f, \"ms_big\": %.3f,\n\
+    \  \"work_per_net_small\": %.3f, \"work_per_net_big\": %.3f,\n\
+    \  \"work_per_net_growth\": %.4f, \"linearity_gate_ok\": %b }\n"
+    smoke cores r1 c1 r2 c2 nets_s nets_b work_s work_b diags_s diags_b
+    (1e3 *. t_s) (1e3 *. t_b) per_s per_b ratio ok;
+  close_out oc;
+  note "wrote %s" json_path;
+  if not ok then begin
+    note "LINT SCALE FAIL — work per net grew %.3fx" ratio;
+    exit 1
+  end
+  else note "lint_scale ok"
+
 let verify_bench () =
   section "Verification harness — differential oracle throughput";
   let seed = 42 and cases = 24 in
@@ -1379,13 +1435,15 @@ let experiments =
     ("sta_batch", sta_batch); ("sta_parallel", fun () -> sta_parallel ());
     ("sta_cache", fun () -> sta_cache_bench ());
     ("sta_scale", fun () -> sta_scale ());
-    ("sta_corners", fun () -> sta_corners ()); ("verify", verify_bench) ]
+    ("sta_corners", fun () -> sta_corners ());
+    ("lint_scale", fun () -> lint_scale ()); ("verify", verify_bench) ]
 
 let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
     sta_batch; (fun () -> sta_parallel ()); (fun () -> sta_cache_bench ());
-    (fun () -> sta_scale ()); (fun () -> sta_corners ()); verify_bench ]
+    (fun () -> sta_scale ()); (fun () -> sta_corners ());
+    (fun () -> lint_scale ()); verify_bench ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1397,7 +1455,8 @@ let () =
     sta_parallel ~smoke ();
     sta_cache_bench ~smoke ();
     sta_scale ~smoke ();
-    sta_corners ~smoke ()
+    sta_corners ~smoke ();
+    lint_scale ~smoke ()
   | [] ->
     Format.printf
       "AWEsim reproduction harness — every table and figure of the paper@.";
@@ -1410,6 +1469,7 @@ let () =
         | "sta_cache", _ -> sta_cache_bench ~smoke ()
         | "sta_scale", _ -> sta_scale ~smoke ()
         | "sta_corners", _ -> sta_corners ~smoke ()
+        | "lint_scale", _ -> lint_scale ~smoke ()
         | _, Some f -> f ()
         | _, None ->
           Format.printf "unknown experiment %S; available:@." name;

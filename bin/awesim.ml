@@ -28,7 +28,9 @@ let read_design path =
    predicts) will fail: print the offending diagnostics and stop
    before any factorization *)
 let lint_gate path diags =
-  match Lint.gate ~strict:false diags with
+  (* normalize first: duplicates collapse per finding identity, not
+     per traversal, and the report order is the documented one *)
+  match Lint.gate ~strict:false (Lint.normalize diags) with
   | Ok () -> ()
   | Error offending ->
     Format.eprintf "%s: lint found blocking problems:@.%a@." path
@@ -181,19 +183,46 @@ let lint_file path =
       Printf.eprintf "%s\n" msg;
       exit 2
 
-let cmd_lint paths strict json quiet =
-  let failed = ref false in
+let cmd_lint paths strict json quiet sarif baseline write_baseline =
+  if json && sarif then begin
+    Printf.eprintf "--json and --sarif are mutually exclusive\n";
+    exit 2
+  end;
+  let base =
+    match baseline with
+    | None -> Lint.Baseline.empty
+    | Some path -> (
+      match Lint.Baseline.load path with
+      | b -> b
+      | exception Sys_error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2)
+  in
+  let results =
+    List.map (fun path -> (path, Lint.normalize (lint_file path))) paths
+  in
+  (* the baseline accepts the full current finding set; the filtered
+     view below is what gets reported and gated *)
+  (match write_baseline with
+  | Some path -> Lint.Baseline.save path results
+  | None -> ());
   let results =
     List.map
-      (fun path ->
-        let diags = lint_file path in
-        (match Lint.gate ~strict diags with
-        | Ok () -> ()
-        | Error _ -> failed := true);
-        (path, diags))
-      paths
+      (fun (path, diags) ->
+        (path, Lint.Baseline.filter base ~file:path diags))
+      results
   in
-  if json then begin
+  let failed = ref false in
+  List.iter
+    (fun (_path, diags) ->
+      match Lint.gate ~strict diags with
+      | Ok () -> ()
+      | Error _ -> failed := true)
+    results;
+  if sarif then begin
+    print_endline (Lint.Sarif.report results)
+  end
+  else if json then begin
     let objects =
       List.map
         (fun (path, diags) ->
@@ -792,12 +821,40 @@ let lint_t =
       value & flag
       & info [ "quiet" ] ~doc:"Only print blocking diagnostics.")
   in
+  let sarif =
+    Arg.(
+      value & flag
+      & info [ "sarif" ]
+          ~doc:
+            "Emit a SARIF 2.1.0 log on stdout (mutually exclusive \
+             with $(b,--json)).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Suppress findings whose fingerprints appear in this \
+             baseline file; only new findings are reported and gated.")
+  in
+  let write_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Write the fingerprints of the current findings to FILE \
+             (accepting them for future $(b,--baseline) runs).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically predict singular solves and degenerate AWE models \
           from the parsed deck, before any factorization")
-    Term.(const cmd_lint $ paths $ strict $ json $ quiet)
+    Term.(
+      const cmd_lint $ paths $ strict $ json $ quiet $ sarif $ baseline
+      $ write_baseline)
 
 let verify_t =
   let seed =

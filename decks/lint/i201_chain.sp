@@ -1,0 +1,12 @@
+* AWE-I201: interior nodes n2 and n3 carry exactly two resistors and
+* grounded capacitance each — the run collapses into one
+* moment-preserving equivalent node (the Circuit.Reduce work-list)
+v1 1 0 dc 1
+r1 1 2 1k
+c2 2 0 1p
+r2 2 3 1k
+c3 3 0 1p
+r3 3 4 1k
+c4 4 0 1p
+.awe v(4)
+.end

@@ -1,0 +1,9 @@
+* AWE-I202: two single-resistor RC legs (n2, n3) hang off hub n1 and
+* merge into one equivalent leg
+v1 1 0 dc 1
+r1 1 2 1k
+c2 2 0 1p
+r2 1 3 1k
+c3 3 0 1p
+.awe v(2)
+.end

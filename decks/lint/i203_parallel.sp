@@ -1,0 +1,8 @@
+* AWE-I203: r1 and r2 share both endpoints and combine by the
+* parallel rule into one equivalent element
+v1 1 0 dc 1
+r1 1 2 2k
+r2 1 2 2k
+c1 2 0 1p
+.awe v(2)
+.end

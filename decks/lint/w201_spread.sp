@@ -1,0 +1,10 @@
+* AWE-W201: structural Elmore bounds already show the time-constant
+* spread (1e-15 s at n2 vs 1e2 s at n3, 17 decades) without assembling
+* or factoring MNA; W003 confirms the same verdict post-assembly
+v1 1 0 dc 1
+r1 1 2 1
+c2 2 0 1f
+r3 2 3 1meg
+c3 3 0 100u
+.awe v(3)
+.end

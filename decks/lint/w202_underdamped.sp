@@ -1,0 +1,10 @@
+* AWE-W202: the 10n/1p tank behind r1 sees only 2 ohm of series
+* damping on its min-plus path from the source — Q ~ sqrt(L/C)/R = 50,
+* so the dominant poles hug the imaginary axis and low-order AWE fits
+* risk unstable pole estimates
+v1 1 0 dc 1
+r1 1 2 2
+l1 2 3 10n
+c1 3 0 1p
+.awe v(3)
+.end

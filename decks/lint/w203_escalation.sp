@@ -1,0 +1,21 @@
+* AWE-W203: structural taus occupy 7 distinct decades (caps step x10
+* down a uniform 1k ladder), so the adaptive fit must escalate order
+* to resolve every cluster — yet the total spread stays ~2e6, far
+* below the W003/W201 conditioning limit: escalation without spread
+v1 1 0 dc 1
+r1 1 2 1k
+c2 2 0 1p
+r2 2 3 1k
+c3 3 0 10p
+r3 3 4 1k
+c4 4 0 100p
+r4 4 5 1k
+c5 5 0 1n
+r5 5 6 1k
+c6 6 0 10n
+r6 6 7 1k
+c7 7 0 100n
+r7 7 8 1k
+c8 8 0 1u
+.awe v(8)
+.end

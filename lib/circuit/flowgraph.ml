@@ -1,0 +1,134 @@
+(* Graph views of a frozen netlist for fixpoint analyses.
+
+   The lint layer's dataflow passes need the circuit as plain graphs
+   and per-node incidence sums, not as MNA matrices: conductive edges
+   for DC-connectivity, resistor edges with their values for min-plus
+   damping paths, and the structural diagonal sums sum(1/R) / sum(C)
+   that bound the node time constants without assembling (or
+   factoring) anything.  Everything here is a linear scan over the
+   element array; self-loops are excluded from the sums because their
+   MNA stamps cancel. *)
+
+type node_profile = {
+  np_resistors : int;  (* resistor terminal incidences, self-loops excluded *)
+  np_grounded_caps : int;  (* caps whose other terminal is ground *)
+  np_floating_caps : int;  (* caps to another non-ground node *)
+  np_others : int;  (* L / source / controlled-source terminal incidences *)
+}
+
+let conductive_pairs (c : Netlist.circuit) =
+  Array.to_list c.Netlist.elements
+  |> List.filter_map Topology.conductive_edge
+
+let resistor_edges (c : Netlist.circuit) =
+  Array.to_list c.Netlist.elements
+  |> List.filter_map (function
+       | Element.Resistor { np; nn; r; _ } when np <> nn -> Some (np, nn, r)
+       | _ -> None)
+
+let low_impedance_pairs (c : Netlist.circuit) =
+  (* the conductive edges that add no series resistance: ideal sources
+     and inductors (zero DC impedance), plus the controlled-source
+     branches Topology treats as conductive *)
+  Array.to_list c.Netlist.elements
+  |> List.filter_map (function
+       | Element.Resistor _ -> None
+       | e -> (
+         match Topology.conductive_edge e with
+         | Some (np, nn) when np <> nn -> Some (np, nn)
+         | _ -> None))
+
+let node_conductance (c : Netlist.circuit) =
+  let g = Array.make c.Netlist.node_count 0. in
+  Array.iter
+    (function
+      | Element.Resistor { np; nn; r; _ } when np <> nn ->
+        g.(np) <- g.(np) +. (1. /. r);
+        g.(nn) <- g.(nn) +. (1. /. r)
+      | _ -> ())
+    c.Netlist.elements;
+  g
+
+let node_capacitance (c : Netlist.circuit) =
+  let cap = Array.make c.Netlist.node_count 0. in
+  Array.iter
+    (function
+      | Element.Capacitor { np; nn; c = cv; _ } when np <> nn ->
+        cap.(np) <- cap.(np) +. cv;
+        cap.(nn) <- cap.(nn) +. cv
+      | _ -> ())
+    c.Netlist.elements;
+  cap
+
+let profiles (c : Netlist.circuit) =
+  let p =
+    Array.make c.Netlist.node_count
+      { np_resistors = 0;
+        np_grounded_caps = 0;
+        np_floating_caps = 0;
+        np_others = 0 }
+  in
+  let ground = Element.ground in
+  let res n = p.(n) <- { (p.(n)) with np_resistors = p.(n).np_resistors + 1 }
+  and gcap n =
+    p.(n) <- { (p.(n)) with np_grounded_caps = p.(n).np_grounded_caps + 1 }
+  and fcap n =
+    p.(n) <- { (p.(n)) with np_floating_caps = p.(n).np_floating_caps + 1 }
+  and other n = p.(n) <- { (p.(n)) with np_others = p.(n).np_others + 1 } in
+  Array.iter
+    (function
+      | Element.Resistor { np; nn; _ } when np <> nn ->
+        res np;
+        res nn
+      | Element.Resistor _ -> ()
+      | Element.Capacitor { np; nn; _ } when np <> nn ->
+        if nn = ground then gcap np
+        else if np = ground then gcap nn
+        else begin
+          fcap np;
+          fcap nn
+        end
+      | Element.Capacitor _ -> ()
+      | Element.Inductor { np; nn; _ }
+      | Element.Vsource { np; nn; _ }
+      | Element.Isource { np; nn; _ }
+      | Element.Vcvs { np; nn; _ }
+      | Element.Vccs { np; nn; _ }
+      | Element.Ccvs { np; nn; _ }
+      | Element.Cccs { np; nn; _ } ->
+        other np;
+        other nn
+      | Element.Mutual _ -> ())
+    c.Netlist.elements;
+  p
+
+let resistor_neighbors (c : Netlist.circuit) =
+  let adj = Array.make c.Netlist.node_count [] in
+  Array.iter
+    (function
+      | Element.Resistor { np; nn; _ } when np <> nn ->
+        adj.(np) <- nn :: adj.(np);
+        adj.(nn) <- np :: adj.(nn)
+      | _ -> ())
+    c.Netlist.elements;
+  Array.map List.rev adj
+
+let source_nodes (c : Netlist.circuit) =
+  (* terminals held at (or referenced to) a driven potential: ideal V
+     sources are the zero-impedance drive points of a deck *)
+  let seen = Hashtbl.create 8 in
+  let acc = ref [ Element.ground ] in
+  Hashtbl.replace seen Element.ground ();
+  Array.iter
+    (function
+      | Element.Vsource { np; nn; _ } ->
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem seen n) then begin
+              Hashtbl.replace seen n ();
+              acc := n :: !acc
+            end)
+          [ np; nn ]
+      | _ -> ())
+    c.Netlist.elements;
+  List.rev !acc

@@ -1,0 +1,49 @@
+(** Graph views of a frozen netlist for fixpoint analyses.
+
+    The lint layer's dataflow passes consume the circuit as plain
+    edge lists and per-node incidence sums rather than as assembled
+    MNA matrices: this is what lets the numerical-health checks bound
+    eq. 47 conditioning {e without factoring anything}.  All views are
+    one linear scan over the element array.  Self-loop terminals are
+    excluded from sums and edge lists because their MNA stamps cancel
+    (they are separately diagnosed by the shorted-element checks). *)
+
+type node_profile = {
+  np_resistors : int;
+      (** resistor terminal incidences (self-loops excluded) *)
+  np_grounded_caps : int;  (** capacitors whose other terminal is ground *)
+  np_floating_caps : int;  (** capacitors to another non-ground node *)
+  np_others : int;
+      (** inductor / source / controlled-source terminal incidences *)
+}
+
+val conductive_pairs : Netlist.circuit -> (int * int) list
+(** Endpoints of every DC-conductive element ({!Topology.conductive_edge}),
+    in element order. *)
+
+val resistor_edges : Netlist.circuit -> (int * int * float) list
+(** [(np, nn, ohms)] per non-self-loop resistor, in element order. *)
+
+val low_impedance_pairs : Netlist.circuit -> (int * int) list
+(** Conductive edges contributing no series resistance: V sources,
+    inductors and the controlled branches — the zero-weight edges of
+    the damping-path metric. *)
+
+val node_conductance : Netlist.circuit -> float array
+(** Per node, the structural G diagonal: sum of [1/R] over incident
+    resistors. *)
+
+val node_capacitance : Netlist.circuit -> float array
+(** Per node, the structural C diagonal: sum of incident capacitance. *)
+
+val profiles : Netlist.circuit -> node_profile array
+(** Per-node incidence summary, the raw material of the reducibility
+    advisories. *)
+
+val resistor_neighbors : Netlist.circuit -> int list array
+(** Per node, the other endpoint of each incident resistor (one entry
+    per resistor, so parallels repeat), in element order. *)
+
+val source_nodes : Netlist.circuit -> int list
+(** Ground plus every ideal-V-source terminal: the zero-impedance
+    reference points damping paths start from. *)

@@ -27,6 +27,11 @@ type properties = {
 val floating_groups : Netlist.circuit -> Element.node list list
 (** The DC-floating node groups alone (cheaper than [analyze]). *)
 
+val conductive_edge : Element.t -> (Element.node * Element.node) option
+(** The element's terminal pair when it conducts at DC (resistors,
+    inductors, V sources, VCVS/CCVS output branches), [None]
+    otherwise. *)
+
 val conductive_graph : Netlist.circuit -> Sparse.Graph.t
 (** Graph over circuit nodes whose edges are the elements that conduct
     at DC: resistors, inductors, voltage sources and the output branches

@@ -1,0 +1,58 @@
+(* Baseline files: suppress previously-accepted findings so CI can
+   gate on new diagnostics only.
+
+   A baseline is a line-oriented set of fingerprints, one per
+   accepted finding.  The fingerprint deliberately excludes the line
+   number and message text — both churn under unrelated edits — and
+   keys on what identifies a finding across revisions: the file, the
+   registry code, the offending element and the involved nodes.
+   Plain text (sorted, unique, '#' comments) so baselines diff
+   cleanly under review. *)
+
+module D = Diagnostic
+
+let header = "# awesim lint baseline v1"
+
+let fingerprint ~file (d : D.t) =
+  String.concat "|"
+    [ D.id d.code;
+      file;
+      Option.value d.element ~default:"-";
+      String.concat "," d.nodes ]
+
+type t = (string, unit) Hashtbl.t
+
+let empty : t = Hashtbl.create 1
+
+let mem (t : t) fp = Hashtbl.mem t fp
+
+let load path : t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let t = Hashtbl.create 64 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then Hashtbl.replace t line ()
+         done
+       with End_of_file -> ());
+      t)
+
+let save path results =
+  let fps =
+    List.concat_map
+      (fun (file, ds) -> List.map (fingerprint ~file) ds)
+      results
+    |> List.sort_uniq compare
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (header ^ "\n");
+      List.iter (fun fp -> output_string oc (fp ^ "\n")) fps)
+
+let filter (t : t) ~file ds =
+  List.filter (fun d -> not (mem t (fingerprint ~file d))) ds

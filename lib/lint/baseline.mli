@@ -1,0 +1,25 @@
+(** Baseline suppression files: gate CI on {e new} findings only.
+
+    A baseline is a plain-text set of finding fingerprints (sorted,
+    unique, ['#'] comments allowed, one header line).  Fingerprints
+    key on (code, file, element, nodes) and deliberately exclude line
+    numbers and message text, so unrelated edits to a deck don't
+    resurrect accepted findings. *)
+
+val fingerprint : file:string -> Diagnostic.t -> string
+
+type t
+
+val empty : t
+
+val load : string -> t
+(** Read a baseline file.  Raises [Sys_error] when unreadable. *)
+
+val save : string -> (string * Diagnostic.t list) list -> unit
+(** Write the fingerprints of every [(file, diagnostics)] pair,
+    sorted and deduplicated. *)
+
+val mem : t -> string -> bool
+
+val filter : t -> file:string -> Diagnostic.t list -> Diagnostic.t list
+(** The diagnostics {e not} suppressed by the baseline. *)

@@ -1,0 +1,162 @@
+(* A small generic dataflow engine: monotone transfer functions over a
+   finite graph, solved to the least fixpoint with a deterministic
+   worklist.  The lint passes run it over two very different graphs —
+   the element graph of a parsed deck and the net-level timing DAG of a
+   .sta design — which is why the graph is just adjacency arrays and
+   the lattice is a functor argument.
+
+   Determinism contract: nodes are seeded in index order and the
+   worklist is FIFO, so for a fixed graph and transfer the sequence of
+   applications (and hence [work ()]) is reproducible.  The fixpoint
+   itself is order-independent as long as the transfer is monotone. *)
+
+type graph = {
+  nodes : int;
+  succs : int array array;
+  preds : int array array;
+}
+
+type direction = Forward | Backward
+
+let of_edges ~nodes edges =
+  let sdeg = Array.make nodes 0 and pdeg = Array.make nodes 0 in
+  List.iter
+    (fun (a, b) ->
+      sdeg.(a) <- sdeg.(a) + 1;
+      pdeg.(b) <- pdeg.(b) + 1)
+    edges;
+  let succs = Array.init nodes (fun i -> Array.make sdeg.(i) 0)
+  and preds = Array.init nodes (fun i -> Array.make pdeg.(i) 0) in
+  let si = Array.make nodes 0 and pi = Array.make nodes 0 in
+  List.iter
+    (fun (a, b) ->
+      succs.(a).(si.(a)) <- b;
+      si.(a) <- si.(a) + 1;
+      preds.(b).(pi.(b)) <- a;
+      pi.(b) <- pi.(b) + 1)
+    edges;
+  { nodes; succs; preds }
+
+let undirected ~nodes edges =
+  let deg = Array.make nodes 0 in
+  List.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      if a <> b then deg.(b) <- deg.(b) + 1)
+    edges;
+  let adj = Array.init nodes (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make nodes 0 in
+  List.iter
+    (fun (a, b) ->
+      adj.(a).(fill.(a)) <- b;
+      fill.(a) <- fill.(a) + 1;
+      if a <> b then begin
+        adj.(b).(fill.(b)) <- a;
+        fill.(b) <- fill.(b) + 1
+      end)
+    edges;
+  { nodes; succs = adj; preds = adj }
+
+(* --- work accounting ----------------------------------------------- *)
+
+(* One counter for the whole lint layer: fixpoint transfer applications
+   plus the explicit [tick]s the passes charge for their linear scans.
+   Counter-based (not wall-clock), so the near-linearity gate in
+   [bench lint_scale] is stable on loaded single-core runners. *)
+
+let work_counter = ref 0
+
+let reset_work () = work_counter := 0
+
+let work () = !work_counter
+
+let tick ?(n = 1) () = work_counter := !work_counter + n
+
+(* --- the engine ---------------------------------------------------- *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+
+  val join : t -> t -> t
+
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) = struct
+  let fixpoint ?(direction = Forward) g ~init ~transfer =
+    let n = g.nodes in
+    let value = Array.init n init in
+    (* when [i]'s value changes, who must be revisited *)
+    let deps =
+      match direction with Forward -> g.succs | Backward -> g.preds
+    in
+    let on_queue = Array.make n true in
+    let q = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i q
+    done;
+    let get j = value.(j) in
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      on_queue.(i) <- false;
+      incr work_counter;
+      let v' = transfer i ~get in
+      if not (L.equal v' value.(i)) then begin
+        value.(i) <- v';
+        Array.iter
+          (fun j ->
+            if not on_queue.(j) then begin
+              on_queue.(j) <- true;
+              Queue.add j q
+            end)
+          deps.(i)
+      end
+    done;
+    value
+
+  let solve ?(direction = Forward) g ~init ~edge =
+    (* join-over-incoming-edges form: forward passes read predecessors,
+       backward passes read successors *)
+    let incoming =
+      match direction with Forward -> g.preds | Backward -> g.succs
+    in
+    fixpoint ~direction g ~init
+      ~transfer:(fun i ~get ->
+        Array.fold_left
+          (fun acc j -> L.join acc (edge ~from:j ~into:i (get j)))
+          (init i) incoming.(i))
+end
+
+(* --- stock lattices ------------------------------------------------ *)
+
+module Bool_or = struct
+  type t = bool
+
+  let bottom = false
+
+  let join = ( || )
+
+  let equal = Bool.equal
+end
+
+module Min_int = struct
+  type t = int
+
+  let bottom = max_int
+
+  let join = Int.min
+
+  let equal = Int.equal
+end
+
+module Min_float = struct
+  type t = float
+
+  let bottom = infinity
+
+  let join = Float.min
+
+  let equal (a : float) b = a = b
+end

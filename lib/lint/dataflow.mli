@@ -1,0 +1,96 @@
+(** A generic forward/backward dataflow fixpoint engine.
+
+    The lint layer's graph analyses — floating-group discovery, sink
+    reachability, combinational-cycle readiness, constraint coverage,
+    and the structural numerical-health estimates — are all least
+    fixpoints of monotone transfer functions over small finite graphs.
+    This module is the shared substrate: a graph is plain adjacency
+    arrays, a lattice is a [bottom]/[join]/[equal] triple, and
+    {!Make.fixpoint} runs a deterministic FIFO worklist to the least
+    fixpoint.
+
+    Monotonicity of the transfer function is the caller's obligation;
+    with it, termination is guaranteed for finite-height lattices and
+    the result is iteration-order independent. *)
+
+type graph = {
+  nodes : int;
+  succs : int array array;
+  preds : int array array;
+}
+
+type direction = Forward | Backward
+
+val of_edges : nodes:int -> (int * int) list -> graph
+(** Directed graph from an edge list (parallel edges preserved,
+    insertion order kept within each adjacency row). *)
+
+val undirected : nodes:int -> (int * int) list -> graph
+(** Symmetric graph: every edge appears in both adjacency directions
+    ([succs == preds]); self-loops appear once. *)
+
+(** {1 Work accounting}
+
+    A process-wide counter of fixpoint transfer applications plus any
+    explicit {!tick}s the passes charge for their linear scans.  The
+    [bench lint_scale] near-linearity gate is counter-based so it
+    stays meaningful on loaded or single-core runners. *)
+
+val reset_work : unit -> unit
+
+val work : unit -> int
+
+val tick : ?n:int -> unit -> unit
+
+(** {1 The engine} *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Least element; {!Make.solve} uses it implicitly via [init]. *)
+
+  val join : t -> t -> t
+
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) : sig
+  val fixpoint :
+    ?direction:direction ->
+    graph ->
+    init:(int -> L.t) ->
+    transfer:(int -> get:(int -> L.t) -> L.t) ->
+    L.t array
+  (** Least fixpoint of [transfer] (which must be monotone in every
+      [get] it reads and satisfy [transfer i >= init i]).  [direction]
+      names the dependence orientation: [Forward] means a node's value
+      depends on its predecessors (so its successors are re-queued
+      when it changes); [Backward] the reverse.  The general [get]
+      form exists for transfers that are not plain joins — e.g. the
+      all-inputs-ready AND of the cycle check. *)
+
+  val solve :
+    ?direction:direction ->
+    graph ->
+    init:(int -> L.t) ->
+    edge:(from:int -> into:int -> L.t -> L.t) ->
+    L.t array
+  (** The common join-over-incoming-edges special case:
+      [v(i) = join (init i) (join over incoming edges e of
+      edge ~from ~into:(i) v(from))].  [Forward] reads predecessor
+      edges, [Backward] successor edges.  [edge] must be monotone
+      (e.g. identity for reachability, [fun v -> v +. w] for
+      min-plus shortest paths with {!Min_float}). *)
+end
+
+(** {1 Stock lattices} *)
+
+module Bool_or : LATTICE with type t = bool
+(** Reachability: [false < true], join = or. *)
+
+module Min_int : LATTICE with type t = int
+(** Minimum label propagation: bottom = [max_int]. *)
+
+module Min_float : LATTICE with type t = float
+(** Min-plus paths: bottom = [infinity]. *)

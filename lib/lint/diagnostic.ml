@@ -20,6 +20,18 @@ type code =
   | Sink_unreachable
   | Design_cycle
   | Constraint_target
+  (* constraint coverage (W13x, backward dataflow over the timing DAG) *)
+  | Unconstrained_endpoint
+  | Dominated_constraint
+  | Constraint_unreachable
+  (* numerical health (W2xx, structural estimates — no factorization) *)
+  | Structural_spread
+  | Underdamped_net
+  | Order_hotspot
+  (* reducibility advisories (I2xx, the Circuit.Reduce work-list) *)
+  | Series_chain
+  | Star_reduce
+  | Parallel_merge
 
 (* The stable registry: id strings are part of the tool's output
    contract (tests, CI gates, downstream JSON consumers key on them) —
@@ -103,7 +115,57 @@ let registry =
       "AWE-I001",
       Info,
       "a DC-floating node group (capacitor cutset) resolved by charge \
-       conservation; its response has a pole at s = 0" ) ]
+       conservation; its response has a pole at s = 0" );
+    ( Unconstrained_endpoint,
+      "AWE-W131",
+      Warning,
+      "a primary output has no required time (no constraint card and no \
+       design clock): its cone reports no slack" );
+    ( Dominated_constraint,
+      "AWE-W132",
+      Warning,
+      "a constraint is dominated by a tighter (or equal) requirement \
+       strictly downstream: with non-negative stage delays it can never \
+       be the binding endpoint" );
+    ( Constraint_unreachable,
+      "AWE-W133",
+      Warning,
+      "nets from which no timing endpoint is reachable: their slacks go \
+       unreported (a constraint-coverage hole)" );
+    ( Structural_spread,
+      "AWE-W201",
+      Warning,
+      "structural Elmore-bound node time constants (sum C / sum 1/R per \
+       node) spread over so many decades that eq. 47 scaling cannot \
+       condition the moment matrix — predicted without factoring" );
+    ( Underdamped_net,
+      "AWE-W202",
+      Warning,
+      "an LC tank sees almost no series resistance on its damping path: \
+       pole quality factor is high and low-order AWE fits risk unstable \
+       (right-half-plane) pole estimates" );
+    ( Order_hotspot,
+      "AWE-W203",
+      Warning,
+      "structural time constants cluster in many distinct decades: the \
+       adaptive order estimator will escalate q toward one order per \
+       cluster (an order-escalation hotspot)" );
+    ( Series_chain,
+      "AWE-I201",
+      Info,
+      "a series RC chain whose interior nodes are collapsible into a \
+       moment-preserving 2-port equivalent (model-order-reduction \
+       candidate)" );
+    ( Star_reduce,
+      "AWE-I202",
+      Info,
+      "several single-resistor RC legs hang off one hub node and can \
+       merge into one equivalent leg (model-order-reduction candidate)" );
+    ( Parallel_merge,
+      "AWE-I203",
+      Info,
+      "parallel same-kind two-terminal elements between one node pair \
+       collapse into a single equivalent element" ) ]
 
 let id code =
   let rec go = function

@@ -34,6 +34,24 @@ type code =
   | Design_cycle
   | Constraint_target
       (** a timing constraint names an unknown or undriven net *)
+  | Unconstrained_endpoint
+      (** a primary output with no required time and no design clock *)
+  | Dominated_constraint
+      (** a constraint dominated by a tighter downstream requirement *)
+  | Constraint_unreachable
+      (** nets from which no timing endpoint is reachable *)
+  | Structural_spread
+      (** eq. 47 conditioning risk predicted from structural Elmore
+          bounds, without factoring *)
+  | Underdamped_net
+      (** an LC tank with a near-zero-resistance damping path:
+          pole-instability risk for low-order fits *)
+  | Order_hotspot
+      (** time constants in many distinct decades: predicted order
+          escalation of the adaptive fit *)
+  | Series_chain  (** collapsible series RC chain (reduction candidate) *)
+  | Star_reduce  (** mergeable single-resistor RC legs on one hub *)
+  | Parallel_merge  (** parallel same-kind elements between one pair *)
 
 val id : code -> string
 (** Stable registry id, e.g. ["AWE-E007"]. *)
@@ -76,6 +94,9 @@ val severity_string : severity -> string
 val pp : Format.formatter -> t -> unit
 
 val pp_list : Format.formatter -> t list -> unit
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared with the SARIF writer. *)
 
 val to_json : t -> string
 

@@ -1,0 +1,37 @@
+(** AWE-W2xx numerical-health passes: structural predictions of where
+    the moment pipeline's numerics will hurt, made {e without}
+    assembling or factoring anything.
+
+    - [AWE-W201] ({!Diagnostic.Structural_spread}): the structural
+      version of the post-assembly eq. 47 conditioning warning — node
+      time constants bounded as (sum C)/(sum 1/R) per node (circuit
+      decks) or as Elmore path bounds per net (.sta designs).
+    - [AWE-W202] ({!Diagnostic.Underdamped_net}): LC tanks whose
+      min-plus damping path from the nearest zero-impedance reference
+      carries almost no series resistance (Q beyond {!q_limit}) —
+      pole-instability risk for low-order fits.
+    - [AWE-W203] ({!Diagnostic.Order_hotspot}): structural taus
+      clustering in {!escalation_limit}+ distinct decades — predicted
+      order escalation of the adaptive fit.
+
+    Both entry points run on the {!Dataflow} engine (reachability and
+    min-plus lattices) and charge the shared work counter. *)
+
+val q_limit : float
+(** Quality-factor threshold for [AWE-W202]; shipped ringing decks sit
+    near Q ~ 2, so only near-undamped tanks trip it. *)
+
+val escalation_limit : int
+(** Distinct decades of structural tau before [AWE-W203] predicts
+    order escalation. *)
+
+val check_circuit :
+  Circuit.Netlist.circuit -> spread_limit:float -> Diagnostic.t list
+(** W201/W202/W203 over a parsed deck.  [spread_limit] is
+    [Lint.spread_limit], shared with the post-assembly W003 check so
+    the two warnings agree on every deck. *)
+
+val check_design : Sta.design -> spread_limit:float -> Diagnostic.t list
+(** Per-net W201/W203 over a timing design, using Elmore path bounds
+    (driver resistance + min-plus wire resistance, times local
+    capacitance including sink pin caps). *)

@@ -20,24 +20,70 @@
 
     The union of both tiers is what the lint gate relies on: a deck
     with no lint errors must not raise [Sparse.Slu.Singular] or
-    [Circuit.Mna.Singular_dc] when analyzed. *)
+    [Circuit.Mna.Singular_dc] when analyzed.
+
+    Lint 2.0 layers three advisory pass families on the shared
+    {!Dataflow} fixpoint engine: {!Health} (AWE-W2xx numerical-health
+    predictions from structural Elmore bounds), {!Reduce_advice}
+    (AWE-I2xx network-reduction candidates) and {!Coverage}
+    (AWE-W13x timing-constraint coverage). *)
 
 module Diagnostic = Diagnostic
 (** Re-exported so clients of the library's main module can write
     [Lint.Diagnostic.pp_list]. *)
 
+module Dataflow = Dataflow
+(** The shared forward/backward fixpoint engine the graph-walking
+    checks run on (plus its work counter, which [bench lint_scale]
+    gates on). *)
+
+module Health = Health
+
+module Reduce_advice = Reduce_advice
+
+module Coverage = Coverage
+
+module Sarif = Sarif
+
+module Baseline = Baseline
+
+val check_circuit_core : Circuit.Netlist.circuit -> Diagnostic.t list
+(** The pre-Lint-2.0 circuit check set, in deterministic order:
+    element values, self-loops, DC-floating groups (with the paper's
+    Section 3.1 charge-conservation classification), inductor and
+    V-source loops, dangling nodes, structural rank of the augmented
+    MNA pattern, and the eq. 47 time-constant-spread heuristic.
+    Diagnostic-identical to the original traversal implementations (a
+    qcheck differential property in test/lint pins this).  Never
+    raises on a frozen circuit. *)
+
 val check_circuit : Circuit.Netlist.circuit -> Diagnostic.t list
-(** All circuit-level checks, in deterministic order: element values,
-    self-loops, DC-floating groups (with the paper's Section 3.1
-    charge-conservation classification), inductor and V-source loops,
-    dangling nodes, structural rank of the augmented MNA pattern, and
-    the eq. 47 time-constant-spread heuristic.  Never raises on a
-    frozen circuit. *)
+(** {!check_circuit_core} followed by the {!Health} (AWE-W2xx) and
+    {!Reduce_advice} (AWE-I2xx) advisory passes. *)
+
+val check_design_core : Sta.design -> Diagnostic.t list
+(** The pre-Lint-2.0 design check set for [.sta] timing designs:
+    unknown nets, undriven nets, sinks with no attachment segment,
+    sinks not connected to the driver pin, dead constraint targets,
+    and combinational cycles. *)
 
 val check_design : Sta.design -> Diagnostic.t list
-(** All design-level checks for [.sta] timing designs: unknown nets,
-    undriven nets, sinks with no attachment segment, sinks not
-    connected to the driver pin, and combinational cycles. *)
+(** {!check_design_core} followed by the {!Health} per-net Elmore
+    passes (AWE-W2xx) and the {!Coverage} constraint-coverage pass
+    (AWE-W13x). *)
+
+val dedup : Diagnostic.t list -> Diagnostic.t list
+(** Collapse duplicates per finding identity
+    (code, element, nodes, message), keeping the first occurrence. *)
+
+val sort_diagnostics : Diagnostic.t list -> Diagnostic.t list
+(** Stable sort by (line, code id, element, nodes) — the order the
+    CLI's text and [--json] output promise. *)
+
+val normalize : Diagnostic.t list -> Diagnostic.t list
+(** [sort_diagnostics (dedup ds)]: what the CLI and the
+    analyze/timing lint gates print.  The raw [check_*] results stay
+    in traversal order for the differential identity tests. *)
 
 val diagnostic_of_parse_error : line:int -> string -> Diagnostic.t option
 (** Classify a [Circuit.Parser.Parse_error] message: element-value

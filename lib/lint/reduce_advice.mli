@@ -1,0 +1,17 @@
+(** AWE-I2xx reducibility advisories — the static work-list for the
+    planned [Circuit.Reduce] model-order-reduction pass (ROADMAP
+    item 3).
+
+    - [AWE-I201] ({!Diagnostic.Series_chain}): maximal series RC
+      chain runs (interior nodes with exactly two resistor terminals
+      and only grounded capacitance), with estimated node savings.
+    - [AWE-I202] ({!Diagnostic.Star_reduce}): two or more
+      single-resistor RC legs on one hub node, mergeable into one
+      equivalent leg.
+    - [AWE-I203] ({!Diagnostic.Parallel_merge}): parallel same-kind
+      two-terminal elements between one node pair.
+
+    All findings are Info severity: they advise, nothing is
+    rewritten. *)
+
+val check_circuit : Circuit.Netlist.circuit -> Diagnostic.t list

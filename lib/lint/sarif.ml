@@ -1,0 +1,102 @@
+(* SARIF 2.1.0 output: one run, the full registry as the tool's rule
+   table, one result per diagnostic.  Hand-rolled JSON on top of
+   Diagnostic.json_escape-style quoting (the toolchain has no JSON
+   dependency), emitting exactly the subset the schema requires:
+   version + runs[].tool.driver{name,rules} + results[] with ruleId,
+   level, message.text and a physical location.  Each result carries
+   the Baseline fingerprint under partialFingerprints, so SARIF
+   consumers and the --baseline flow agree on finding identity. *)
+
+module D = Diagnostic
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let tool_name = "awesim-lint"
+
+let tool_version = "2.0.0"
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let q s = "\"" ^ D.json_escape s ^ "\""
+
+let rules_json () =
+  D.all_codes
+  |> List.map (fun code ->
+         Printf.sprintf
+           "{\"id\": %s, \"shortDescription\": {\"text\": %s}, \
+            \"defaultConfiguration\": {\"level\": %s}}"
+           (q (D.id code))
+           (q (D.doc code))
+           (q (level_of (D.default_severity code))))
+  |> String.concat ", "
+
+let rule_index =
+  (* registry order is stable, so indices are part of the contract *)
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i code -> Hashtbl.replace tbl code i) D.all_codes;
+  fun code -> Hashtbl.find tbl code
+
+let result_json ~file (d : D.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"ruleId\": %s, \"ruleIndex\": %d, \"level\": %s, \
+        \"message\": {\"text\": %s}"
+       (q (D.id d.code))
+       (rule_index d.code)
+       (q (level_of d.severity))
+       (q d.message));
+  let region =
+    match d.line with
+    | Some ln when ln >= 1 ->
+      Printf.sprintf ", \"region\": {\"startLine\": %d}" ln
+    | _ -> ""
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+        {\"uri\": %s}%s}}]"
+       (q file) region);
+  Buffer.add_string buf
+    (Printf.sprintf ", \"partialFingerprints\": {\"awesimLint/v1\": %s}"
+       (q (Baseline.fingerprint ~file d)));
+  (* element/nodes ride in the property bag for downstream tooling *)
+  let props = Buffer.create 64 in
+  (match d.element with
+  | Some e -> Buffer.add_string props (Printf.sprintf "\"element\": %s" (q e))
+  | None -> ());
+  if d.nodes <> [] then begin
+    if Buffer.length props > 0 then Buffer.add_string props ", ";
+    Buffer.add_string props
+      (Printf.sprintf "\"nodes\": [%s]"
+         (String.concat ", " (List.map q d.nodes)))
+  end;
+  if Buffer.length props > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf ", \"properties\": {%s}" (Buffer.contents props));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let report results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"$schema\": %s, \"version\": \"2.1.0\", \"runs\": [{\"tool\": \
+        {\"driver\": {\"name\": %s, \"version\": %s, \"rules\": [%s]}}, \
+        \"results\": ["
+       (q schema_uri) (q tool_name) (q tool_version) (rules_json ()));
+  let first = ref true in
+  List.iter
+    (fun (file, ds) ->
+      List.iter
+        (fun d ->
+          if not !first then Buffer.add_string buf ", ";
+          first := false;
+          Buffer.add_string buf (result_json ~file d))
+        ds)
+    results;
+  Buffer.add_string buf "]}]}";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** SARIF 2.1.0 output for lint findings.
+
+    One run per report: the tool driver carries the full diagnostic
+    registry as its rule table (stable registry order, so
+    [ruleIndex] is a contract), and each diagnostic becomes a
+    [result] with [ruleId], [level], [message.text], a physical
+    location (file URI + [startLine] when known) and the
+    {!Baseline.fingerprint} under [partialFingerprints]. *)
+
+val schema_uri : string
+
+val tool_name : string
+
+val report : (string * Diagnostic.t list) list -> string
+(** The complete SARIF log for [(file, diagnostics)] pairs, as a
+    compact JSON string. *)

@@ -40,8 +40,12 @@ type design = {
   mutable pos : string list;
   required : (string, float) Hashtbl.t;
       (* net -> required arrival time (a timing constraint endpoint) *)
+  required_lines : (string, int) Hashtbl.t;
+      (* net -> source line of the constraint card, when parsed *)
   mutable clock : float option;
       (* default required time for unconstrained primary outputs *)
+  mutable clock_ln : int option;
+      (* source line of the clock card, when parsed *)
 }
 
 exception Not_a_dag of string list
@@ -62,7 +66,9 @@ let create ?(vdd = 5.) ?(threshold = 0.5) () =
     pis = Hashtbl.create 4;
     pos = [];
     required = Hashtbl.create 4;
-    clock = None }
+    required_lines = Hashtbl.create 4;
+    clock = None;
+    clock_ln = None }
 
 let add_gate (d : design) ~inst ~cell ~inputs ~output =
   if List.exists (fun g -> g.inst = inst) d.gates then
@@ -85,22 +91,30 @@ let add_primary_output (d : design) ~net =
   if List.mem net d.pos then malformed "duplicate primary output %s" net;
   d.pos <- net :: d.pos
 
-let add_constraint (d : design) ~net ~required =
+let add_constraint ?line (d : design) ~net ~required =
   if Hashtbl.mem d.required net then
     malformed "duplicate constraint on net %s" net;
   if not (Float.is_finite required && required >= 0.) then
     malformed "constraint on net %s: required time must be non-negative" net;
-  Hashtbl.replace d.required net required
+  Hashtbl.replace d.required net required;
+  match line with
+  | Some ln -> Hashtbl.replace d.required_lines net ln
+  | None -> ()
 
-let set_clock (d : design) ~period =
+let set_clock ?line (d : design) ~period =
   (match d.clock with
   | Some _ -> malformed "duplicate clock card"
   | None -> ());
   if not (Float.is_finite period && period > 0.) then
     malformed "clock period must be positive";
-  d.clock <- Some period
+  d.clock <- Some period;
+  d.clock_ln <- line
 
 let clock_period (d : design) = d.clock
+
+let constraint_line (d : design) net = Hashtbl.find_opt d.required_lines net
+
+let clock_line (d : design) = d.clock_ln
 
 let constraints (d : design) =
   Hashtbl.fold (fun net t acc -> (net, t) :: acc) d.required []
@@ -193,10 +207,74 @@ let primary_input_nets (d : design) =
 
 let primary_output_nets (d : design) = List.rev d.pos
 
+let gate_cells (d : design) =
+  List.rev_map (fun g -> (g.inst, g.cell)) d.gates
+
 (* the sinks of a net are the gates listing it among their inputs *)
 let sinks_of (d : design) net = List.filter (fun g -> List.mem net g.inputs) d.gates
 
 let driver_of (d : design) net = List.find_opt (fun g -> g.output = net) d.gates
+
+(* --- the net-level timing DAG, exported for fixpoint passes -------- *)
+
+(* Sta.analyze orders its Kahn waves over exactly this graph: one
+   vertex per referenced net name (declared nets, PI/PO/constraint
+   targets, and every gate pin), one edge from each input net of a
+   gate to its output net.  The lint layer's backward passes
+   (constraint coverage, dominated constraints) and the cycle check
+   run over it; building it is one pass over the gates, so it is safe
+   to rebuild per analysis. *)
+module Dag = struct
+  type t = {
+    nets : string array;  (* sorted, unique *)
+    index_tbl : (string, int) Hashtbl.t;
+    succs : int array array;
+    preds : int array array;
+  }
+
+  let of_design (d : design) =
+    let names = Hashtbl.create 64 in
+    let add n = if not (Hashtbl.mem names n) then Hashtbl.replace names n () in
+    Hashtbl.iter (fun n _ -> add n) d.nets;
+    Hashtbl.iter (fun n _ -> add n) d.pis;
+    List.iter add d.pos;
+    Hashtbl.iter (fun n _ -> add n) d.required;
+    List.iter
+      (fun g ->
+        add g.output;
+        List.iter add g.inputs)
+      d.gates;
+    let nets =
+      Hashtbl.fold (fun k () acc -> k :: acc) names []
+      |> List.sort compare |> Array.of_list
+    in
+    let index_tbl = Hashtbl.create (Array.length nets) in
+    Array.iteri (fun i n -> Hashtbl.replace index_tbl n i) nets;
+    let n = Array.length nets in
+    let succ_lists = Array.make n [] and pred_lists = Array.make n [] in
+    List.iter
+      (fun g ->
+        let oi = Hashtbl.find index_tbl g.output in
+        (* one edge per distinct input net, even when a gate lists a
+           net on several pins *)
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun inp ->
+            if not (Hashtbl.mem seen inp) then begin
+              Hashtbl.replace seen inp ();
+              let ii = Hashtbl.find index_tbl inp in
+              succ_lists.(ii) <- oi :: succ_lists.(ii);
+              pred_lists.(oi) <- ii :: pred_lists.(oi)
+            end)
+          g.inputs)
+      (List.rev d.gates);
+    { nets;
+      index_tbl;
+      succs = Array.map (fun l -> Array.of_list (List.rev l)) succ_lists;
+      preds = Array.map (fun l -> Array.of_list (List.rev l)) pred_lists }
+
+  let index t net = Hashtbl.find_opt t.index_tbl net
+end
 
 let net_circuit (d : design) ~net ~driver_res ~slew =
   let segments =
@@ -1158,7 +1236,11 @@ let corner_design (d : design) (c : Circuit.Corner.t) =
     d.pis;
   List.iter (fun net -> add_primary_output d' ~net) (List.rev d.pos);
   Hashtbl.iter (fun net t -> Hashtbl.replace d'.required net t) d.required;
+  Hashtbl.iter
+    (fun net ln -> Hashtbl.replace d'.required_lines net ln)
+    d.required_lines;
   d'.clock <- d.clock;
+  d'.clock_ln <- d.clock_ln;
   d'
 
 type corner_run = {
@@ -1422,8 +1504,8 @@ module Design_file = struct
           if segments = [] then fail ln "net %s has no segments" name;
           add_net d ~name ~segments
         | [ "constraint"; net; t ] ->
-          add_constraint d ~net ~required:(value_exn ln t)
-        | [ "clock"; p ] -> set_clock d ~period:(value_exn ln p)
+          add_constraint ~line:ln d ~net ~required:(value_exn ln t)
+        | [ "clock"; p ] -> set_clock ~line:ln d ~period:(value_exn ln p)
         | "constraint" :: _ -> fail ln "constraint expects <net> <time>"
         | "clock" :: _ -> fail ln "clock expects one period value"
         | "input" :: net :: params ->

@@ -60,19 +60,21 @@ val add_primary_input : design -> net:string -> ?arrival:float -> ?slew:float ->
 val add_primary_output : design -> net:string -> unit
 (** Raises [Malformed] on a duplicate declaration for the same net. *)
 
-val add_constraint : design -> net:string -> required:float -> unit
+val add_constraint : ?line:int -> design -> net:string -> required:float -> unit
 (** Require the signal on [net] to settle by [required] seconds: the
     net becomes a timing endpoint, and {!analyze} back-propagates the
     requirement into per-pin slacks.  The requirement binds at the
     net's sink pins (where arrivals are measured), or at the driver
-    pin when the net has no sinks (a primary-output stub).  Raises
+    pin when the net has no sinks (a primary-output stub).  [line]
+    records the source line of the card for diagnostics.  Raises
     [Malformed] on a duplicate constraint for the same net or a
     negative/non-finite time. *)
 
-val set_clock : design -> period:float -> unit
+val set_clock : ?line:int -> design -> period:float -> unit
 (** Give every {e unconstrained} primary output a default required
     time of one clock period — the usual single-cycle constraint.
     Explicit {!add_constraint} cards win over the clock default.
+    [line] records the source line of the card for diagnostics.
     Raises [Malformed] when a clock was already set or the period is
     not positive. *)
 
@@ -80,6 +82,14 @@ val clock_period : design -> float option
 
 val constraints : design -> (string * float) list
 (** All explicit constraints, sorted by net name. *)
+
+val constraint_line : design -> string -> int option
+(** Source line of the [constraint] card naming the net, when the
+    design came from a parsed file (or the card was added with
+    [~line]). *)
+
+val clock_line : design -> int option
+(** Source line of the [clock] card, when recorded. *)
 
 (** {2 Structural views}
 
@@ -107,6 +117,33 @@ val primary_input_nets : design -> string list
 
 val primary_output_nets : design -> string list
 (** Declared primary outputs, in declaration order. *)
+
+val gate_cells : design -> (string * cell) list
+(** [(instance, cell)] per gate, in declaration order — the bulk
+    accessor static analyses use to build their own lookup tables
+    without going quadratic. *)
+
+(** The net-level timing DAG {!analyze} orders its Kahn waves over:
+    one vertex per referenced net name (declared nets, PI/PO and
+    constraint targets, every gate pin), sorted; one edge from each
+    distinct input net of a gate to its output net.  Exported so
+    fixpoint passes (lint's cycle check and the backward
+    constraint-coverage family) can run over the same graph the
+    engine schedules on.  Cyclic designs still build a [t] — the
+    edges simply close a cycle — so static analyses can diagnose
+    them before {!analyze} raises [Not_a_dag]. *)
+module Dag : sig
+  type t = private {
+    nets : string array;  (** sorted, unique *)
+    index_tbl : (string, int) Hashtbl.t;
+    succs : int array array;
+    preds : int array array;
+  }
+
+  val of_design : design -> t
+
+  val index : t -> string -> int option
+end
 
 exception Not_a_dag of string list
 (** Combinational cycle through the named instances. *)

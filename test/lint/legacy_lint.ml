@@ -1,36 +1,10 @@
-(* Static circuit lint: predict singular solves and degenerate AWE
-   models from the parsed deck alone, before any factorization runs.
+(* The pre-Lint-2.0 check implementations, copied verbatim from the
+   original lib/lint/lint.ml (git history): the qcheck differential
+   property pins Lint.check_circuit_core / Lint.check_design_core to
+   byte-identical output against these on random circuits and
+   designs.  Do not "improve" this file — its value is being frozen. *)
 
-   The checks are layered the way the failures are layered:
-
-   - per-element value and short checks (pure local inspection);
-   - topological checks on the conductive graph (floating groups,
-     inductor loops, V-source loops, dangling nodes) — these catch the
-     numerically-singular-but-structurally-full-rank cases such as a
-     loop of voltage sources, where the MNA rows are distinct patterns
-     that happen to be linearly dependent for every value choice;
-   - a structural-rank check (maximum bipartite matching) on the very
-     augmented-G pattern [Mna.dc_factor] factors — this catches every
-     case where LU must fail regardless of values;
-   - a conditioning heuristic on the node time-constant spread, the
-     quantity the paper's eq. 47 frequency scaling is meant to tame.
-
-   The graph-walking checks (floating groups, sink reachability, the
-   cycle check) run on the shared Dataflow fixpoint engine; the
-   [*_core] entry points are the pre-Lint-2.0 check set, kept
-   diagnostic-identical to the original implementations (a qcheck
-   differential property in test/lint pins the byte identity), while
-   [check_circuit]/[check_design] append the W2xx / I2xx / W13x pass
-   families layered on the same engine. *)
-
-module Diagnostic = Diagnostic
-module Dataflow = Dataflow
-module Health = Health
-module Reduce_advice = Reduce_advice
-module Coverage = Coverage
-module Sarif = Sarif
-module Baseline = Baseline
-module D = Diagnostic
+module D = Lint.Diagnostic
 
 let spread_limit = 1e10
 (* decades of node time-constant spread tolerated before warning; at
@@ -128,37 +102,8 @@ let check_shorts ~emit ~line (c : Circuit.Netlist.circuit) =
       | _ -> ())
     c.Circuit.Netlist.elements
 
-(* DC-floating groups on the dataflow engine: ground reachability over
-   the undirected conductive graph, then min-node-id label propagation
-   to split the unreached nodes into components.  Emits byte-identical
-   groups to [Circuit.Topology.floating_groups] (members ascending,
-   groups sorted), which the differential property relies on. *)
-let floating_groups (c : Circuit.Netlist.circuit) =
-  let nodes = c.Circuit.Netlist.node_count in
-  let g =
-    Dataflow.undirected ~nodes (Circuit.Flowgraph.conductive_pairs c)
-  in
-  let module B = Dataflow.Make (Dataflow.Bool_or) in
-  let reached =
-    B.solve g
-      ~init:(fun n -> n = Circuit.Element.ground)
-      ~edge:(fun ~from:_ ~into:_ v -> v)
-  in
-  let module M = Dataflow.Make (Dataflow.Min_int) in
-  let label =
-    M.solve g ~init:(fun n -> n) ~edge:(fun ~from:_ ~into:_ v -> v)
-  in
-  let groups = Hashtbl.create 4 in
-  for n = nodes - 1 downto 0 do
-    if not reached.(n) then
-      Hashtbl.replace groups label.(n)
-        (n :: Option.value (Hashtbl.find_opt groups label.(n)) ~default:[])
-  done;
-  Hashtbl.fold (fun _ members acc -> members :: acc) groups []
-  |> List.sort compare
-
 let check_floating ~emit ~line (c : Circuit.Netlist.circuit) =
-  let groups = floating_groups c in
+  let groups = Circuit.Topology.floating_groups c in
   List.iter
     (fun members ->
       let in_group = Hashtbl.create 8 in
@@ -383,11 +328,10 @@ let check_mna ~emit (c : Circuit.Netlist.circuit) =
               tmin (nname c nmin) tmax (nname c nmax)))
     | _ -> ())
 
-let check_circuit_core (c : Circuit.Netlist.circuit) =
+let check_circuit (c : Circuit.Netlist.circuit) =
   let acc = ref [] in
   let emit d = acc := d :: !acc in
   let line idx = Circuit.Netlist.element_line c idx in
-  Dataflow.tick ~n:(Array.length c.Circuit.Netlist.elements) ();
   check_values ~emit ~line c;
   check_shorts ~emit ~line c;
   check_floating ~emit ~line c;
@@ -396,15 +340,10 @@ let check_circuit_core (c : Circuit.Netlist.circuit) =
   check_mna ~emit c;
   List.rev !acc
 
-let check_circuit (c : Circuit.Netlist.circuit) =
-  check_circuit_core c
-  @ Health.check_circuit c ~spread_limit
-  @ Reduce_advice.check_circuit c
-
 (* ------------------------------------------------------------------ *)
 (* design-level checks (.sta)                                          *)
 
-let check_design_core (d : Sta.design) =
+let check_design (d : Sta.design) =
   let acc = ref [] in
   let emit x = acc := x :: !acc in
   let gates = Sta.gate_views d in
@@ -412,42 +351,7 @@ let check_design_core (d : Sta.design) =
   let pis = Sta.primary_input_nets d in
   let pos = Sta.primary_output_nets d in
   let have_net n = Sta.net_segments d n <> None in
-  let pi_set = Hashtbl.create 16 in
-  List.iter (fun n -> Hashtbl.replace pi_set n ()) pis;
-  let is_pi n = Hashtbl.mem pi_set n in
-  (* all gates driving a net, in declaration order — the Hashtbl
-     replaces the old per-net List scans so the pass stays linear on
-     10k-net designs (the bench lint_scale gate) *)
-  let drivers = Hashtbl.create 64 in
-  List.iter
-    (fun g ->
-      Dataflow.tick ();
-      Hashtbl.replace drivers g.Sta.gv_output
-        (g
-        :: Option.value
-             (Hashtbl.find_opt drivers g.Sta.gv_output)
-             ~default:[]))
-    (List.rev gates);
-  let has_driver n = Hashtbl.mem drivers n in
-  let drivers_of n =
-    Option.value (Hashtbl.find_opt drivers n) ~default:[]
-  in
-  (* the sinks of each net, in declaration order, one entry per gate *)
-  let sinks = Hashtbl.create 64 in
-  List.iter
-    (fun g ->
-      let seen = Hashtbl.create 4 in
-      List.iter
-        (fun n ->
-          Dataflow.tick ();
-          if not (Hashtbl.mem seen n) then begin
-            Hashtbl.replace seen n ();
-            Hashtbl.replace sinks n
-              (g :: Option.value (Hashtbl.find_opt sinks n) ~default:[])
-          end)
-        g.Sta.gv_inputs)
-    (List.rev gates);
-  let sinks_of n = Option.value (Hashtbl.find_opt sinks n) ~default:[] in
+  let is_pi n = List.mem n pis in
   (* every referenced net needs a wire model *)
   List.iter
     (fun g ->
@@ -481,10 +385,12 @@ let check_design_core (d : Sta.design) =
                 "primary output taps net %s, which has no wire model" n)))
     pos;
   (* every net needs exactly one source of a signal *)
+  let driver_of n =
+    List.find_opt (fun g -> g.Sta.gv_output = n) gates
+  in
   List.iter
     (fun n ->
-      Dataflow.tick ();
-      if (not (has_driver n)) && not (is_pi n) then
+      if driver_of n = None && not (is_pi n) then
         emit
           (D.make ~nodes:[ n ]
              ~hint:
@@ -496,10 +402,7 @@ let check_design_core (d : Sta.design) =
                  no arrival time can ever reach it"
                 n)))
     nets;
-  (* sink attachment and reachability through the wire segments: a
-     forward reachability pass from the drv pin over each net's
-     (undirected) segment graph *)
-  let module B = Dataflow.Make (Dataflow.Bool_or) in
+  (* sink attachment and reachability through the wire segments *)
   List.iter
     (fun n ->
       match Sta.net_segments d n with
@@ -515,45 +418,47 @@ let check_design_core (d : Sta.design) =
             i
         in
         let drv = intern "drv" in
-        let edges =
-          List.map
-            (fun s -> (intern s.Sta.seg_from, intern s.Sta.seg_to))
-            segs
-        in
-        let g = Dataflow.undirected ~nodes:(Hashtbl.length ids) edges in
-        let reached =
-          B.solve g
-            ~init:(fun i -> i = drv)
-            ~edge:(fun ~from:_ ~into:_ v -> v)
-        in
+        List.iter
+          (fun s ->
+            ignore (intern s.Sta.seg_from);
+            ignore (intern s.Sta.seg_to))
+          segs;
+        let uf = Uf.create (Hashtbl.length ids) in
+        List.iter
+          (fun s ->
+            ignore
+              (Uf.union uf (intern s.Sta.seg_from) (intern s.Sta.seg_to)))
+          segs;
         List.iter
           (fun g ->
-            match Hashtbl.find_opt ids g.Sta.gv_inst with
-            | None ->
-              emit
-                (D.make ~element:g.Sta.gv_inst ~nodes:[ n ]
-                   ~hint:
-                     (Printf.sprintf
-                        "add a segment of net %s ending at node %s"
-                        n g.Sta.gv_inst)
-                   D.Sink_unattached
-                   (Printf.sprintf
-                      "no wire segment of net %s ends at sink %s: \
-                       the sink pin has no attachment node"
-                      n g.Sta.gv_inst))
-            | Some pin ->
-              if not reached.(pin) then
+            if List.mem n g.Sta.gv_inputs then begin
+              match Hashtbl.find_opt ids g.Sta.gv_inst with
+              | None ->
                 emit
                   (D.make ~element:g.Sta.gv_inst ~nodes:[ n ]
                      ~hint:
-                       "connect the sink's wire island to the drv \
-                        pin"
-                     D.Sink_unreachable
+                       (Printf.sprintf
+                          "add a segment of net %s ending at node %s"
+                          n g.Sta.gv_inst)
+                     D.Sink_unattached
                      (Printf.sprintf
-                        "sink %s of net %s is not connected to the \
-                         driver pin through the net's wire segments"
-                        g.Sta.gv_inst n)))
-          (sinks_of n))
+                        "no wire segment of net %s ends at sink %s: \
+                         the sink pin has no attachment node"
+                        n g.Sta.gv_inst))
+              | Some pin ->
+                if Uf.find uf pin <> Uf.find uf drv then
+                  emit
+                    (D.make ~element:g.Sta.gv_inst ~nodes:[ n ]
+                       ~hint:
+                         "connect the sink's wire island to the drv \
+                          pin"
+                       D.Sink_unreachable
+                       (Printf.sprintf
+                          "sink %s of net %s is not connected to the \
+                           driver pin through the net's wire segments"
+                          g.Sta.gv_inst n))
+            end)
+          gates)
     nets;
   (* timing constraints must name nets an arrival can actually reach:
      a constraint on an unknown or undriven net is dead — back-
@@ -563,16 +468,14 @@ let check_design_core (d : Sta.design) =
       if not (have_net n) then
         emit
           (D.make ~nodes:[ n ]
-             ?line:(Sta.constraint_line d n)
              ~hint:"constrain an existing net, or add a net card for it"
              D.Constraint_target
              (Printf.sprintf
                 "timing constraint names net %s, which has no wire model"
                 n))
-      else if (not (has_driver n)) && not (is_pi n) then
+      else if driver_of n = None && not (is_pi n) then
         emit
           (D.make ~nodes:[ n ]
-             ?line:(Sta.constraint_line d n)
              ~hint:
                "drive the constrained net from a gate output or declare \
                 it a primary input"
@@ -583,41 +486,33 @@ let check_design_core (d : Sta.design) =
                 n)))
     (Sta.constraints d);
   (* combinational cycles: propagate readiness the way Sta.analyze
-     propagates arrival times, as a forward fixpoint on the net-level
-     DAG (whose construction tolerates cycles); nets already blamed
-     above (undriven or unknown) are seeded as ready so each defect is
-     reported once.  The transfer is not a plain join — a gate readies
-     its output only when ALL its inputs are ready — hence [fixpoint]
-     with an explicit [get] rather than [solve] *)
-  let dag = Sta.Dag.of_design d in
-  (* total on this design: the Dag universe covers every net a gate,
-     PI/PO card or constraint mentions *)
-  let idx n =
-    match Sta.Dag.index dag n with Some i -> i | None -> assert false
-  in
-  let seed =
-    Array.map
-      (fun n -> is_pi n || (not (have_net n)) || not (has_driver n))
-      dag.Sta.Dag.nets
-  in
-  let module R = Dataflow.Make (Dataflow.Bool_or) in
-  let ready =
-    R.fixpoint ~direction:Dataflow.Forward
-      { Dataflow.nodes = Array.length dag.Sta.Dag.nets;
-        succs = dag.Sta.Dag.succs;
-        preds = dag.Sta.Dag.preds
-      }
-      ~init:(fun i -> seed.(i))
-      ~transfer:(fun i ~get ->
-        seed.(i)
-        || List.exists
-             (fun gv ->
-               List.for_all
-                 (fun inp -> get (idx inp))
-                 gv.Sta.gv_inputs)
-             (drivers_of dag.Sta.Dag.nets.(i)))
-  in
-  let stuck = List.filter (fun n -> not ready.(idx n)) nets in
+     propagates arrival times; nets already blamed above (undriven or
+     unknown) are seeded as ready so each defect is reported once *)
+  let ready = Hashtbl.create 16 in
+  let mark n = Hashtbl.replace ready n () in
+  List.iter mark pis;
+  List.iter (fun n -> if driver_of n = None then mark n) nets;
+  List.iter
+    (fun g ->
+      List.iter
+        (fun n -> if not (have_net n) then mark n)
+        g.Sta.gv_inputs)
+    gates;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun g ->
+        if
+          (not (Hashtbl.mem ready g.Sta.gv_output))
+          && List.for_all (Hashtbl.mem ready) g.Sta.gv_inputs
+        then begin
+          mark g.Sta.gv_output;
+          changed := true
+        end)
+      gates
+  done;
+  let stuck = List.filter (fun n -> not (Hashtbl.mem ready n)) nets in
   if stuck <> [] then
     emit
       (D.make ~nodes:stuck
@@ -628,75 +523,3 @@ let check_design_core (d : Sta.design) =
              cycle: no topological order can time them"
             (String.concat ", " stuck)));
   List.rev !acc
-
-let check_design (d : Sta.design) =
-  check_design_core d
-  @ Health.check_design d ~spread_limit
-  @ Coverage.check_design d
-
-(* ------------------------------------------------------------------ *)
-(* output normalization: the check passes report in traversal order
-   (which the differential identity test pins); the CLI and the
-   analyze/timing gates run [normalize] on top — duplicates collapsed
-   per finding identity rather than per traversal, then a stable sort
-   so [--json] output is deterministic across pass composition *)
-
-let dedup ds =
-  let seen = Hashtbl.create 32 in
-  List.filter
-    (fun (d : D.t) ->
-      let key = (d.code, d.element, d.nodes, d.message) in
-      if Hashtbl.mem seen key then false
-      else begin
-        Hashtbl.replace seen key ();
-        true
-      end)
-    ds
-
-let sort_diagnostics ds =
-  List.stable_sort
-    (fun (a : D.t) (b : D.t) ->
-      compare
-        ( Option.value a.line ~default:0,
-          D.id a.code,
-          Option.value a.element ~default:"",
-          a.nodes )
-        ( Option.value b.line ~default:0,
-          D.id b.code,
-          Option.value b.element ~default:"",
-          b.nodes ))
-    ds
-
-let normalize ds = sort_diagnostics (dedup ds)
-
-(* ------------------------------------------------------------------ *)
-
-(* [Circuit.Parser] validates element values while the deck is being
-   read (mirroring [Netlist.freeze]), so a zero-ohm resistor never
-   reaches [check_circuit] — it dies as a [Parse_error].  The lint
-   front end routes such value complaints here so they are reported
-   under their registry code instead of as a hard parse failure. *)
-let diagnostic_of_parse_error ~line msg =
-  let contains needle =
-    let nl = String.length needle and ml = String.length msg in
-    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
-    go 0
-  in
-  if
-    contains "must be positive" || contains "positive value"
-    || contains "non-finite" || contains "0 < k < 1"
-  then
-    Some
-      (D.make ~line:(max line 1)
-         ~hint:"give the element a positive, finite value"
-         D.Nonpositive_value msg)
-  else None
-
-let errors ds = List.filter D.is_error ds
-
-let gate ~strict ds =
-  match
-    List.filter (fun d -> D.effective_severity ~strict d = D.Error) ds
-  with
-  | [] -> Ok ()
-  | offending -> Error offending

@@ -52,16 +52,28 @@ let sp_cases =
     ("lint/vsrc_loop.sp", [ "AWE-E006"; "AWE-E007" ], true, true);
     ("lint/shorted_r.sp", [ "AWE-W001" ], false, true);
     ("lint/dangling.sp", [ "AWE-W002" ], false, true);
-    ("lint/scale_spread.sp", [ "AWE-W003" ], false, true) ]
+    ("lint/scale_spread.sp", [ "AWE-W003" ], false, true);
+    (* the structural estimate and the post-assembly verdict agree *)
+    ("lint/w201_spread.sp", [ "AWE-W201"; "AWE-W003" ], false, true);
+    ("lint/w202_underdamped.sp", [ "AWE-W202" ], false, true);
+    (* 7 decades of taus but only ~6 decades of spread: escalation
+       without a conditioning complaint *)
+    ("lint/w203_escalation.sp", [ "AWE-W203"; "AWE-I201" ], false, true);
+    ("lint/i201_chain.sp", [ "AWE-I201" ], false, false);
+    ("lint/i202_star.sp", [ "AWE-I202" ], false, false);
+    ("lint/i203_parallel.sp", [ "AWE-I203" ], false, false) ]
 
 let sta_cases =
-  [ ("lint/unknown_net.sta", [ "AWE-E101" ]);
-    ("lint/undriven.sta", [ "AWE-E102" ]);
-    ("lint/sink_unattached.sta", [ "AWE-E103" ]);
-    ("lint/sink_unreachable.sta", [ "AWE-E104" ]);
-    ("lint/cycle.sta", [ "AWE-E105" ]);
+  [ ("lint/unknown_net.sta", [ "AWE-E101" ], true, true);
+    ("lint/undriven.sta", [ "AWE-E102" ], true, true);
+    ("lint/sink_unattached.sta", [ "AWE-E103" ], true, true);
+    ("lint/sink_unreachable.sta", [ "AWE-E104" ], true, true);
+    ("lint/cycle.sta", [ "AWE-E105" ], true, true);
     (* the orphan net also trips E102; E106 blames the constraint *)
-    ("lint/constraint_target.sta", [ "AWE-E106"; "AWE-E102" ]) ]
+    ("lint/constraint_target.sta", [ "AWE-E106"; "AWE-E102" ], true, true);
+    ("lint/w131_unconstrained.sta", [ "AWE-W131" ], false, true);
+    ("lint/w132_dominated.sta", [ "AWE-W132" ], false, true);
+    ("lint/w133_uncovered.sta", [ "AWE-W133" ], false, true) ]
 
 let test_crafted_sp () =
   List.iter
@@ -80,13 +92,17 @@ let test_crafted_sp () =
 
 let test_crafted_sta () =
   List.iter
-    (fun (name, codes) ->
+    (fun (name, codes, fails, fails_strict) ->
       let diags = lint_sta name in
       check_codes name diags codes;
       Alcotest.(check bool)
         (name ^ " gate")
-        true
-        (Lint.gate ~strict:false diags = Ok () |> not))
+        fails
+        (Lint.gate ~strict:false diags = Ok () |> not);
+      Alcotest.(check bool)
+        (name ^ " gate --strict")
+        fails_strict
+        (Lint.gate ~strict:true diags = Ok () |> not))
     sta_cases
 
 (* constraint targets that CAN bind an arrival must not trip E106: a
@@ -267,6 +283,528 @@ let test_registry () =
     "strict leaves info alone" true
     (D.effective_severity ~strict:true (D.make D.Float_group "x") = D.Info)
 
+(* --- the structural health estimate agrees with the assembled one -- *)
+
+let all_sp_decks = good_sp @ List.map (fun (n, _, _, _) -> n) sp_cases
+
+(* W201 predicts eq. 47 conditioning trouble from structural Elmore
+   bounds alone; W003 measures it on the assembled MNA diagonals.  On
+   the whole deck corpus the two verdicts must coincide — the bound is
+   loose in absolute value but tight in decades *)
+let test_w201_agrees_w003 () =
+  List.iter
+    (fun name ->
+      match Circuit.Parser.parse_file (deck_path name) with
+      | exception Circuit.Parser.Parse_error _ -> ()
+      | deck ->
+        let codes = ids (Lint.check_circuit deck.Circuit.Parser.circuit) in
+        Alcotest.(check bool)
+          (name ^ ": W201 iff W003")
+          (List.mem "AWE-W003" codes)
+          (List.mem "AWE-W201" codes))
+    all_sp_decks
+
+(* --- differential: refactored checks == legacy implementations ----- *)
+
+let circuit_identical c =
+  D.list_to_json (Lint.check_circuit_core c)
+  = D.list_to_json (Legacy_lint.check_circuit c)
+
+let design_identical d =
+  D.list_to_json (Lint.check_design_core d)
+  = D.list_to_json (Legacy_lint.check_design d)
+
+(* parsed designs now carry constraint-card lines on E106 (the one
+   intentional divergence from legacy); mask lines before comparing *)
+let design_identical_mod_lines d =
+  let strip ds = List.map (fun x -> { x with D.line = None }) ds in
+  D.list_to_json (strip (Lint.check_design_core d))
+  = D.list_to_json (strip (Legacy_lint.check_design d))
+
+let qcheck_differential_circuit =
+  QCheck2.Test.make
+    ~name:"circuit checks byte-identical to legacy (random circuits)"
+    ~count:150 ~print:string_of_int
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      circuit_identical (Verify.Cases.random_case ~seed).Verify.Cases.circuit)
+
+(* small randomly-defective designs, built programmatically (so no
+   source lines exist and the comparison is byte-exact): random gate
+   wiring that freely produces cycles, dropped net cards, duplicate
+   and island segments, ghost constraints — every E10x path *)
+let random_defective_design seed =
+  let st = Random.State.make [| 0x5741; seed |] in
+  let d = Sta.create () in
+  let inv =
+    Sta.cell ~name:"inv" ~drive_res:100. ~input_cap:1e-15 ~intrinsic:1e-11
+  in
+  let n_gates = 2 + Random.State.int st 6 in
+  let n_nets = n_gates + 2 in
+  let net i = Printf.sprintf "n%d" i in
+  let rand_net () = net (Random.State.int st n_nets) in
+  let pin () = Printf.sprintf "g%d" (Random.State.int st n_gates) in
+  for i = 0 to n_gates - 1 do
+    let ins = List.init (1 + Random.State.int st 2) (fun _ -> rand_net ()) in
+    Sta.add_gate d
+      ~inst:(Printf.sprintf "g%d" i)
+      ~cell:inv ~inputs:ins ~output:(net i)
+  done;
+  for i = 0 to n_nets - 1 do
+    if Random.State.int st 6 > 0 then begin
+      let seg seg_from seg_to res cap = { Sta.seg_from; seg_to; res; cap } in
+      let segs = ref [ seg "drv" (pin ()) 100. 1e-14 ] in
+      if Random.State.bool st then
+        segs := seg "drv" (pin ()) 150. 2e-14 :: !segs;
+      if Random.State.int st 4 = 0 then
+        segs := seg "islA" "islB" 50. 5e-15 :: !segs;
+      Sta.add_net d ~name:(net i) ~segments:(List.rev !segs)
+    end
+  done;
+  if Random.State.bool st then Sta.add_primary_input d ~net:(net n_gates) ();
+  if Random.State.bool st then
+    Sta.add_primary_input d ~net:(net (n_gates + 1)) ();
+  if Random.State.bool st then Sta.add_primary_output d ~net:(net 0);
+  if Random.State.int st 3 = 0 then
+    Sta.add_constraint d ~net:"ghost" ~required:1e-9;
+  if Random.State.int st 3 = 0 then
+    Sta.add_constraint d ~net:(rand_net ()) ~required:2e-9;
+  if Random.State.int st 3 = 0 then Sta.set_clock d ~period:5e-9;
+  d
+
+let qcheck_differential_design =
+  QCheck2.Test.make
+    ~name:"design checks byte-identical to legacy (random designs)"
+    ~count:300 ~print:string_of_int
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      match random_defective_design seed with
+      | exception Sta.Malformed _ -> true (* builder refused: no claim *)
+      | d -> design_identical d)
+
+let test_differential_fixed () =
+  (* the deck corpus, deterministically *)
+  List.iter
+    (fun name ->
+      match Circuit.Parser.parse_file (deck_path name) with
+      | exception Circuit.Parser.Parse_error _ -> ()
+      | deck ->
+        Alcotest.(check bool)
+          (name ^ " identical to legacy")
+          true
+          (circuit_identical deck.Circuit.Parser.circuit))
+    all_sp_decks;
+  List.iter
+    (fun (name, _, _, _) ->
+      Alcotest.(check bool)
+        (name ^ " identical to legacy (mod E106 lines)")
+        true
+        (design_identical_mod_lines
+           (Sta.Design_file.parse_file (deck_path name))))
+    sta_cases;
+  (* synthetic designs at a less toy-like scale *)
+  List.iter
+    (fun (label, d) ->
+      Alcotest.(check bool) (label ^ " identical to legacy") true
+        (design_identical d))
+    [ ("synth grid 6x6", Sta.Synth.grid ~rows:6 ~cols:6 ());
+      ("synth clock_tree", Sta.Synth.clock_tree ~levels:3 ~fanout:3 ());
+      ( "synth buffered_mesh",
+        Sta.Synth.buffered_mesh ~seed:7 ~rows:5 ~cols:5 () ) ]
+
+(* --- the dataflow engine ------------------------------------------- *)
+
+let test_dataflow () =
+  let module Df = Lint.Dataflow in
+  let module B = Df.Make (Df.Bool_or) in
+  (* a diamond with a back edge: 0 -> 1 <-> 2, 1 -> 3 *)
+  let g = Df.of_edges ~nodes:4 [ (0, 1); (1, 2); (2, 1); (1, 3) ] in
+  let fwd =
+    B.solve g ~init:(fun i -> i = 0) ~edge:(fun ~from:_ ~into:_ v -> v)
+  in
+  Alcotest.(check (list bool))
+    "forward reachability from 0"
+    [ true; true; true; true ]
+    (Array.to_list fwd);
+  let bwd =
+    B.solve ~direction:Df.Backward g
+      ~init:(fun i -> i = 3)
+      ~edge:(fun ~from:_ ~into:_ v -> v)
+  in
+  Alcotest.(check (list bool))
+    "backward reachability to 3"
+    [ true; true; true; true ]
+    (Array.to_list bwd);
+  let isolated =
+    B.solve g ~init:(fun i -> i = 3) ~edge:(fun ~from:_ ~into:_ v -> v)
+  in
+  Alcotest.(check (list bool))
+    "nothing reachable from the sink"
+    [ false; false; false; true ]
+    (Array.to_list isolated);
+  (* min-plus shortest paths on an undirected triangle *)
+  let module M = Df.Make (Df.Min_float) in
+  let gu = Df.undirected ~nodes:3 [ (0, 1); (1, 2) ] in
+  let dist =
+    M.solve gu
+      ~init:(fun i -> if i = 0 then 0. else infinity)
+      ~edge:(fun ~from:_ ~into:_ v -> v +. 1.)
+  in
+  Alcotest.(check (float 1e-12)) "two hops" 2. dist.(2);
+  (* the general fixpoint: all-preds-ready AND, seeded at 0 — the
+     cycle 1 <-> 2 must stay unready *)
+  let and_ready =
+    B.fixpoint ~direction:Df.Forward g
+      ~init:(fun i -> i = 0)
+      ~transfer:(fun i ~get ->
+        i = 0
+        || Array.length g.Df.preds.(i) > 0
+           && Array.for_all get g.Df.preds.(i))
+  in
+  Alcotest.(check (list bool))
+    "conjunctive readiness stalls on the cycle"
+    [ true; false; false; false ]
+    (Array.to_list and_ready);
+  Df.reset_work ();
+  ignore (B.solve g ~init:(fun _ -> false) ~edge:(fun ~from:_ ~into:_ v -> v));
+  Alcotest.(check bool) "transfers are counted" true (Df.work () > 0)
+
+(* --- output normalization: stable sort + identity dedup ------------ *)
+
+let test_normalize () =
+  let a = D.make ~line:5 D.Nonpositive_value "x" in
+  let b = D.make ~line:2 D.Undriven_net "y" in
+  let c = D.make ~line:2 D.Unknown_net "z" in
+  Alcotest.(check int) "dedup collapses identical findings" 1
+    (List.length (Lint.dedup [ a; a; a ]));
+  Alcotest.(check int) "dedup keeps distinct messages" 2
+    (List.length
+       (Lint.dedup [ D.make D.Structural_rank "m1"; D.make D.Structural_rank "m2" ]));
+  Alcotest.(check (list string))
+    "sorted by (line, code)"
+    [ "AWE-E101"; "AWE-E102"; "AWE-E001" ]
+    (ids (Lint.normalize [ a; c; b; a ]));
+  (* normalization is idempotent *)
+  let once = Lint.normalize [ a; c; b; a ] in
+  Alcotest.(check bool) "idempotent" true (Lint.normalize once = once)
+
+(* --- SARIF output -------------------------------------------------- *)
+
+(* a minimal JSON reader: enough to structurally validate the report
+   against the SARIF 2.1.0 required-property set (the toolchain has
+   no JSON dependency, and well-formedness is half the point) *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if peek () = c then incr pos
+      else raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let lit w v =
+      let l = String.length w in
+      if !pos + l <= n && String.sub s !pos l = w then begin
+        pos := !pos + l;
+        v
+      end
+      else raise (Bad "literal")
+    in
+    let num () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> raise (Bad "number")
+    in
+    let str () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Bad "eof in string");
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match s.[!pos] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            Buffer.add_string b (String.sub s (!pos - 1) 6);
+            pos := !pos + 4
+          | c -> Buffer.add_char b c);
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' -> obj ()
+      | '[' -> arr ()
+      | '"' -> Str (str ())
+      | 't' -> lit "true" (Bool true)
+      | 'f' -> lit "false" (Bool false)
+      | 'n' -> lit "null" Null
+      | _ -> num ()
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        Arr []
+      end
+      else
+        let rec items acc =
+          let v = value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            incr pos;
+            items (v :: acc)
+          end
+          else begin
+            expect ']';
+            Arr (List.rev (v :: acc))
+          end
+        in
+        items []
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws ();
+          let k = str () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          if peek () = ',' then begin
+            incr pos;
+            fields ((k, v) :: acc)
+          end
+          else begin
+            expect '}';
+            Obj (List.rev ((k, v) :: acc))
+          end
+        in
+        fields []
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let field k = function Obj fs -> List.assoc_opt k fs | _ -> None
+
+  let field_exn name k j =
+    match field k j with
+    | Some v -> v
+    | None -> Alcotest.failf "SARIF: missing %s.%s" name k
+
+  let str_exn name = function
+    | Str s -> s
+    | _ -> Alcotest.failf "SARIF: %s is not a string" name
+
+  let arr_exn name = function
+    | Arr l -> l
+    | _ -> Alcotest.failf "SARIF: %s is not an array" name
+end
+
+let test_sarif () =
+  let files =
+    [ "lint/scale_spread.sp"; "lint/w132_dominated.sta"; "fig22.sp" ]
+  in
+  let results =
+    List.map
+      (fun name ->
+        let diags =
+          if Filename.check_suffix name ".sta" then lint_sta name
+          else lint_sp name
+        in
+        (deck_path name, Lint.normalize diags))
+      files
+  in
+  let total = List.fold_left (fun k (_, ds) -> k + List.length ds) 0 results in
+  Alcotest.(check bool) "fixture produces results" true (total > 0);
+  let log = Json.parse (Lint.Sarif.report results) in
+  Alcotest.(check string)
+    "$schema" Lint.Sarif.schema_uri
+    (Json.str_exn "$schema" (Json.field_exn "log" "$schema" log));
+  Alcotest.(check string)
+    "version" "2.1.0"
+    (Json.str_exn "version" (Json.field_exn "log" "version" log));
+  let run =
+    match Json.arr_exn "runs" (Json.field_exn "log" "runs" log) with
+    | [ r ] -> r
+    | rs -> Alcotest.failf "expected 1 run, got %d" (List.length rs)
+  in
+  let driver =
+    Json.field_exn "tool" "driver" (Json.field_exn "run" "tool" run)
+  in
+  Alcotest.(check string)
+    "tool name" Lint.Sarif.tool_name
+    (Json.str_exn "name" (Json.field_exn "driver" "name" driver));
+  let rules = Json.arr_exn "rules" (Json.field_exn "driver" "rules" driver) in
+  Alcotest.(check int)
+    "one rule per registry code"
+    (List.length D.all_codes)
+    (List.length rules);
+  let rule_ids =
+    List.map
+      (fun r -> Json.str_exn "rule.id" (Json.field_exn "rule" "id" r))
+      rules
+  in
+  Alcotest.(check (list string))
+    "rule table is the registry, in order"
+    (List.map D.id D.all_codes)
+    rule_ids;
+  let sarif_results =
+    Json.arr_exn "results" (Json.field_exn "run" "results" run)
+  in
+  Alcotest.(check int) "one result per diagnostic" total
+    (List.length sarif_results);
+  List.iter
+    (fun r ->
+      let rule_id =
+        Json.str_exn "ruleId" (Json.field_exn "result" "ruleId" r)
+      in
+      (* ruleIndex points back into the rule table *)
+      (match Json.field_exn "result" "ruleIndex" r with
+      | Json.Num i ->
+        Alcotest.(check string)
+          "ruleIndex resolves to ruleId" rule_id
+          (List.nth rule_ids (int_of_float i))
+      | _ -> Alcotest.fail "ruleIndex is not a number");
+      (match
+         Json.str_exn "level" (Json.field_exn "result" "level" r)
+       with
+      | "error" | "warning" | "note" -> ()
+      | l -> Alcotest.failf "bad level %s" l);
+      let msg =
+        Json.str_exn "text"
+          (Json.field_exn "message" "text"
+             (Json.field_exn "result" "message" r))
+      in
+      Alcotest.(check bool) "message nonempty" true (String.length msg > 0);
+      let loc =
+        match
+          Json.arr_exn "locations" (Json.field_exn "result" "locations" r)
+        with
+        | [ l ] -> l
+        | _ -> Alcotest.fail "expected exactly one location"
+      in
+      let phys = Json.field_exn "location" "physicalLocation" loc in
+      let uri =
+        Json.str_exn "uri"
+          (Json.field_exn "artifactLocation" "uri"
+             (Json.field_exn "physicalLocation" "artifactLocation" phys))
+      in
+      Alcotest.(check bool) "uri is one of the inputs" true
+        (List.exists (fun (f, _) -> f = uri) results);
+      match
+        Json.field "awesimLint/v1"
+          (Json.field_exn "result" "partialFingerprints" r)
+      with
+      | Some (Json.Str fp) ->
+        Alcotest.(check bool) "fingerprint mentions the rule" true
+          (String.length fp > String.length rule_id
+          && String.sub fp 0 (String.length rule_id) = rule_id)
+      | _ -> Alcotest.fail "missing partialFingerprints.awesimLint/v1")
+    sarif_results
+
+(* --- baseline files ------------------------------------------------ *)
+
+let test_baseline () =
+  let file = deck_path "lint/w201_spread.sp" in
+  let ds = Lint.normalize (lint_sp "lint/w201_spread.sp") in
+  Alcotest.(check bool) "fixture produces findings" true (ds <> []);
+  let tmp = Filename.temp_file "awesim_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Lint.Baseline.save tmp [ (file, ds) ];
+      let b = Lint.Baseline.load tmp in
+      Alcotest.(check int) "roundtrip suppresses everything" 0
+        (List.length (Lint.Baseline.filter b ~file ds));
+      Alcotest.(check int)
+        "same findings in another file are not suppressed"
+        (List.length ds)
+        (List.length (Lint.Baseline.filter b ~file:"other.sp" ds));
+      Alcotest.(check int)
+        "the empty baseline suppresses nothing"
+        (List.length ds)
+        (List.length (Lint.Baseline.filter Lint.Baseline.empty ~file ds));
+      (* fingerprints ignore lines/messages: a moved finding stays
+         suppressed *)
+      let moved = List.map (fun d -> { d with D.line = Some 999 }) ds in
+      Alcotest.(check int) "line changes don't resurrect findings" 0
+        (List.length (Lint.Baseline.filter b ~file moved)))
+
+(* --- source-line attribution of constraint diagnostics ------------- *)
+
+let test_constraint_lines () =
+  let find code diags = List.filter (fun d -> d.D.code = code) diags in
+  (* constraint_target.sta: `constraint ghost` on line 11, `constraint
+     orphan` on line 12 — E106 must blame the cards themselves *)
+  let diags = lint_sta "lint/constraint_target.sta" in
+  let lines =
+    find D.Constraint_target diags
+    |> List.map (fun d -> (d.D.nodes, d.D.line))
+    |> List.sort compare
+  in
+  Alcotest.(check bool)
+    "E106 carries the constraint cards' lines" true
+    (lines = [ ([ "ghost" ], Some 11); ([ "orphan" ], Some 12) ]);
+  (match find D.Dominated_constraint (lint_sta "lint/w132_dominated.sta") with
+  | [ d ] ->
+    Alcotest.(check (option int)) "W132 blames its card" (Some 12) d.D.line
+  | _ -> Alcotest.fail "expected exactly one W132");
+  match find D.Constraint_unreachable (lint_sta "lint/w133_uncovered.sta") with
+  | [ d ] ->
+    Alcotest.(check (option int)) "W133 points at the clock card"
+      (Some 12) d.D.line
+  | _ -> Alcotest.fail "expected exactly one W133"
+
 (* --- lint-clean random circuits never hit a singular solve --------- *)
 
 let qcheck_lint_clean_factors =
@@ -314,7 +852,23 @@ let () =
             test_good_decks_clean ] );
       ( "provenance",
         [ Alcotest.test_case "line attribution" `Quick test_line_numbers;
+          Alcotest.test_case "constraint-card lines" `Quick
+            test_constraint_lines;
           Alcotest.test_case "registry" `Quick test_registry ] );
+      ( "numerical health",
+        [ Alcotest.test_case "W201 agrees with W003" `Quick
+            test_w201_agrees_w003 ] );
+      ( "dataflow engine",
+        [ Alcotest.test_case "fixpoints" `Quick test_dataflow ] );
+      ( "output",
+        [ Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "SARIF 2.1.0 structure" `Quick test_sarif;
+          Alcotest.test_case "baseline roundtrip" `Quick test_baseline ] );
+      ( "differential vs legacy",
+        Alcotest.test_case "deck corpus and synth designs" `Quick
+          test_differential_fixed
+        :: List.map QCheck_alcotest.to_alcotest
+             [ qcheck_differential_circuit; qcheck_differential_design ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_lint_clean_factors ] )
     ]
