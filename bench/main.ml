@@ -1425,6 +1425,218 @@ let verify_bench () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Model-order reduction as a pre-AWE pass (ROADMAP item 3): cold
+   analyze with the pass on vs off, the node-reduction ratio, per-net
+   accuracy classified by which transforms fired (exact merges must be
+   bit-close, moment-preserving lumps within the oracle band), and the
+   pattern-tier hit delta — the ladder's three unreduced topology
+   classes collapse to one reduced template, so the symbolic tier
+   should hit more with the pass on. *)
+let sta_reduce ?(smoke = false) () =
+  section
+    (if smoke then "STA model-order reduction — smoke (elimination + gates)"
+     else "STA model-order reduction — reduced vs unreduced cold analyze");
+  let lstages, llen, lfan, grows, gcols, reps =
+    if smoke then (6, 30, 6, 5, 5, 3) else (24, 40, 8, 10, 10, 5)
+  in
+  let designs =
+    [ ( "rc_ladder",
+        Sta.Synth.rc_ladder ~stages:lstages ~length:llen ~fanout:lfan () );
+      ("grid", Sta.Synth.grid ~rows:grows ~cols:gcols ()) ]
+  in
+  let cores = Parallel.default_jobs () in
+  let ok = ref true in
+  let check what b =
+    if not b then begin
+      note "GATE FAIL: %s" what;
+      ok := false
+    end;
+    b
+  in
+  let jobs_list = [ 1; 4 ] in
+  let rows =
+    List.map
+      (fun (name, d) ->
+        let nets = Sta.net_names d in
+        (* the stage circuits as the timer sees them: denominator of
+           the elimination ratio (ground excluded), and the per-net
+           transform classification (driver values don't change
+           topology, so nominal ones serve) *)
+        let total_nodes = ref 0 in
+        let exact_net = Hashtbl.create 64 in
+        List.iter
+          (fun net ->
+            let c, sinks =
+              Sta.net_circuit d ~net ~driver_res:100. ~slew:10e-12
+            in
+            total_nodes := !total_nodes + c.Netlist.node_count - 1;
+            let r = Reduce.reduce ~ports:(List.map snd sinks) c in
+            let rep = r.Reduce.report in
+            Hashtbl.replace exact_net net
+              (rep.Reduce.chain_lumps + rep.Reduce.star_merges = 0))
+          nets;
+        let per_jobs =
+          List.map
+            (fun jobs ->
+              let on_t, on_r =
+                timed_runs ~reps (fun () ->
+                    Sta.analyze ~model:Sta.Awe_auto ~jobs d)
+              in
+              let off_t, off_r =
+                timed_runs ~reps (fun () ->
+                    Sta.analyze ~model:Sta.Awe_auto ~reduce:false ~jobs d)
+              in
+              note
+                "%-10s jobs=%d  reduced median %8.2f ms  unreduced median \
+                 %8.2f ms  ratio %.2fx"
+                name jobs (1e3 *. on_t.t_med) (1e3 *. off_t.t_med)
+                (on_t.t_med /. off_t.t_med);
+              (jobs, on_t, off_t, on_r, off_r))
+            jobs_list
+        in
+        let _, _, _, on_r, off_r = List.hd per_jobs in
+        let s = on_r.Sta.stats in
+        let eliminated = s.Awe.Stats.reduce_nodes_eliminated in
+        let ratio =
+          if !total_nodes = 0 then 0.
+          else float_of_int eliminated /. float_of_int !total_nodes
+        in
+        note
+          "%-10s %d nets, %d stage nodes, %d eliminated (%.0f%%); %d \
+           parallel, %d series, %d chain, %d star"
+          name (List.length nets) !total_nodes eliminated (100. *. ratio)
+          s.Awe.Stats.reduce_parallel_merges s.Awe.Stats.reduce_series_merges
+          s.Awe.Stats.reduce_chain_lumps s.Awe.Stats.reduce_star_merges;
+        (* per-sink accuracy against the unreduced pipeline *)
+        let off_nets = Hashtbl.create 64 in
+        List.iter
+          (fun (nt : Sta.net_timing) ->
+            Hashtbl.replace off_nets nt.Sta.net_name nt)
+          off_r.Sta.nets;
+        let worst_exact = ref 0. and worst_lumped = ref 0. in
+        List.iter
+          (fun (nt : Sta.net_timing) ->
+            match Hashtbl.find_opt off_nets nt.Sta.net_name with
+            | None -> ignore (check (nt.Sta.net_name ^ " timed in both") false)
+            | Some base ->
+              let exact =
+                try Hashtbl.find exact_net nt.Sta.net_name
+                with Not_found -> false
+              in
+              let worst = if exact then worst_exact else worst_lumped in
+              List.iter2
+                (fun (s : Sta.sink_timing) (s0 : Sta.sink_timing) ->
+                  let rel a b =
+                    abs_float (a -. b) /. Float.max 1e-30 (abs_float b)
+                  in
+                  worst :=
+                    Float.max !worst
+                      (Float.max
+                         (rel s.Sta.arrival s0.Sta.arrival)
+                         (rel s.Sta.net_delay s0.Sta.net_delay)))
+                nt.Sta.sinks base.Sta.sinks)
+          on_r.Sta.nets;
+        note "%-10s worst rel drift: exact nets %.3g, lumped nets %.3g" name
+          !worst_exact !worst_lumped;
+        ignore
+          (check
+             (Printf.sprintf "%s: exact transforms bit-close (%.3g > 1e-12)"
+                name !worst_exact)
+             (!worst_exact <= 1e-12));
+        ignore
+          (check
+             (Printf.sprintf "%s: lumped nets within 10%% (%.3g)" name
+                !worst_lumped)
+             (!worst_lumped <= 0.1));
+        (* pattern-tier delta: cold sparse analyze on fresh caches *)
+        let pattern_hits reduce =
+          let cache = Sta.create_cache () in
+          let r =
+            Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs:1 ~reduce
+              ~cache d
+          in
+          r.Sta.stats.Awe.Stats.cache_pattern_hits
+        in
+        let ph_on = pattern_hits true and ph_off = pattern_hits false in
+        note "%-10s cold pattern hits: %d reduced vs %d unreduced" name ph_on
+          ph_off;
+        (name, per_jobs, eliminated, !total_nodes, ratio, !worst_exact,
+         !worst_lumped, ph_on, ph_off))
+      designs
+  in
+  (* the ladder is the headline: most of it must vanish, the cold
+     analyze must get materially cheaper, and the pattern tier must
+     not lose hits to reduction *)
+  let ( _, lper, _, _, lratio, _, _, lph_on, lph_off ) =
+    match rows with l :: _ -> l | [] -> assert false
+  in
+  let _, lon1, loff1, _, _ = List.hd lper in
+  ignore
+    (check
+       (Printf.sprintf "ladder eliminates >= 50%% of stage nodes (%.0f%%)"
+          (100. *. lratio))
+       (lratio >= 0.5));
+  ignore
+    (check
+       (Printf.sprintf
+          "ladder reduced cold <= 0.7x unreduced at jobs=1 (%.2fx)"
+          (lon1.t_med /. loff1.t_med))
+       (lon1.t_med <= 0.7 *. loff1.t_med));
+  ignore
+    (check
+       (Printf.sprintf "ladder pattern hits don't regress (%d vs %d)" lph_on
+          lph_off)
+       (lph_on >= lph_off));
+  claim
+    ~paper:"solve the small equivalent circuit, not the extracted one"
+    "ladder: %.0f%% of nodes eliminated, cold analyze %.2fx, pattern hits \
+     %d vs %d"
+    (100. *. lratio)
+    (lon1.t_med /. loff1.t_med)
+    lph_on lph_off;
+  let json_path = "BENCH_sta_reduce.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"sta_reduce\", \"smoke\": %b, \"cores\": %d, \"reps\": \
+     %d,\n\
+    \  \"designs\": {\n%s\n  } }\n"
+    smoke cores reps
+    (String.concat ",\n"
+       (List.map
+          (fun ( name, per_jobs, eliminated, total, ratio, we, wl, ph_on,
+                 ph_off ) ->
+            Printf.sprintf
+              "    \"%s\": { \"stage_nodes\": %d, \"nodes_eliminated\": %d, \
+               \"reduction_ratio\": %.3f,\n\
+              \      \"worst_exact_rel\": %.3g, \"worst_lumped_rel\": %.3g,\n\
+              \      \"cold_pattern_hits_reduced\": %d, \
+               \"cold_pattern_hits_unreduced\": %d,\n\
+              \      \"jobs\": {\n%s\n      } }"
+              name total eliminated ratio we wl ph_on ph_off
+              (String.concat ",\n"
+                 (List.map
+                    (fun (jobs, on_t, off_t, _, _) ->
+                      Printf.sprintf
+                        "        \"%d\": { \"reduced_ms\": [%.3f, %.3f, \
+                         %.3f], \"unreduced_ms\": [%.3f, %.3f, %.3f], \
+                         \"ratio\": %.3f }"
+                        jobs (1e3 *. on_t.t_min) (1e3 *. on_t.t_med)
+                        (1e3 *. on_t.t_max) (1e3 *. off_t.t_min)
+                        (1e3 *. off_t.t_med) (1e3 *. off_t.t_max)
+                        (on_t.t_med /. off_t.t_med))
+                    per_jobs)))
+          rows));
+  close_out oc;
+  note "wrote %s" json_path;
+  if smoke && not !ok then begin
+    note "SMOKE FAIL";
+    exit 1
+  end
+  else if not !ok then note "sta_reduce: gates failed (non-smoke, reported)"
+  else note "sta_reduce ok"
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [ ("fig7", fig7); ("fig12", fig12); ("fig14", fig14); ("fig15", fig15);
     ("table1", table1); ("fig17", fig17_18); ("fig18", fig17_18);
@@ -1436,6 +1648,7 @@ let experiments =
     ("sta_cache", fun () -> sta_cache_bench ());
     ("sta_scale", fun () -> sta_scale ());
     ("sta_corners", fun () -> sta_corners ());
+    ("sta_reduce", fun () -> sta_reduce ());
     ("lint_scale", fun () -> lint_scale ()); ("verify", verify_bench) ]
 
 let all_in_order =
@@ -1443,7 +1656,7 @@ let all_in_order =
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
     sta_batch; (fun () -> sta_parallel ()); (fun () -> sta_cache_bench ());
     (fun () -> sta_scale ()); (fun () -> sta_corners ());
-    (fun () -> lint_scale ()); verify_bench ]
+    (fun () -> sta_reduce ()); (fun () -> lint_scale ()); verify_bench ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1456,6 +1669,7 @@ let () =
     sta_cache_bench ~smoke ();
     sta_scale ~smoke ();
     sta_corners ~smoke ();
+    sta_reduce ~smoke ();
     lint_scale ~smoke ()
   | [] ->
     Format.printf
@@ -1469,6 +1683,7 @@ let () =
         | "sta_cache", _ -> sta_cache_bench ~smoke ()
         | "sta_scale", _ -> sta_scale ~smoke ()
         | "sta_corners", _ -> sta_corners ~smoke ()
+        | "sta_reduce", _ -> sta_reduce ~smoke ()
         | "lint_scale", _ -> lint_scale ~smoke ()
         | _, Some f -> f ()
         | _, None ->

@@ -139,6 +139,22 @@ let stats_arg =
           "Print the Awe.Stats engine counters (factorizations, moment \
            solves, fits, escalations).")
 
+let reduce_arg =
+  Arg.(
+    value
+    & vflag true
+        [ ( true,
+            info [ "reduce" ]
+              ~doc:
+                "Run the model-order reduction pass before stamping (the \
+                 default): parallel and unloaded series merges are exact; \
+                 chain lumping and star merging preserve the low-order \
+                 moments at every observed node.  --stats shows the \
+                 node/element elimination counters." );
+          ( false,
+            info [ "no-reduce" ]
+              ~doc:"Analyze the netlist exactly as written." ) ])
+
 let jobs_arg =
   Arg.(
     value & opt int 0
@@ -252,13 +268,41 @@ let cmd_lint paths strict json quiet sarif baseline write_baseline =
   if !failed then exit 1
 
 let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
-    threshold shift sparse stats jobs =
+    threshold shift sparse stats reduce jobs =
   let jobs = resolve_jobs jobs in
   let deck = read_deck deck_path in
+  (* lint always sees the netlist as written; reduction happens after *)
   lint_gate deck_path (Lint.check_circuit deck.Circuit.Parser.circuit);
   let name, node = resolve_node deck node_opt in
   let stats_before = Awe.Stats.snapshot () in
-  let sys = Circuit.Mna.build deck.Circuit.Parser.circuit in
+  let circuit, node =
+    if not reduce then (deck.Circuit.Parser.circuit, node)
+    else begin
+      let circuit = deck.Circuit.Parser.circuit in
+      (* preserve every .awe observation node, not just the one shown,
+         so a later --node run on the same deck sees the same answer *)
+      let ports =
+        node
+        :: List.filter_map
+             (function
+               | Circuit.Parser.Awe_node { node = n; _ } ->
+                 Circuit.Netlist.find_node circuit n
+               | Circuit.Parser.Tran _ -> None)
+             deck.Circuit.Parser.directives
+      in
+      let r = Circuit.Reduce.reduce ~ports circuit in
+      let rep = r.Circuit.Reduce.report in
+      Awe.Stats.record_reduction
+        ~nodes:rep.Circuit.Reduce.nodes_eliminated
+        ~elements:rep.Circuit.Reduce.elements_eliminated
+        ~parallels:rep.Circuit.Reduce.parallel_merges
+        ~series:rep.Circuit.Reduce.series_merges
+        ~chains:rep.Circuit.Reduce.chain_lumps
+        ~stars:rep.Circuit.Reduce.star_merges;
+      (r.Circuit.Reduce.circuit, r.Circuit.Reduce.node_map.(node))
+    end
+  in
+  let sys = Circuit.Mna.build circuit in
   Awe.Stats.record_mna_build ();
   let options =
     { Awe.default_options with Awe.expansion_shift = shift; sparse }
@@ -517,8 +561,8 @@ let pp_slack_table ppf (r : Sta.report) =
   Format.fprintf ppf "@,worst slack: %.4g ns%s@]" (r.Sta.worst_slack *. 1e9)
     (if r.Sta.worst_slack < 0. then "  (VIOLATED)" else "")
 
-let cmd_timing design_path model sparse stats jobs strict use_cache slack_only
-    top_k corners_path json =
+let cmd_timing design_path model sparse stats reduce jobs strict use_cache
+    slack_only top_k corners_path json =
   let design = read_design design_path in
   lint_gate design_path (Lint.check_design design);
   let model =
@@ -550,7 +594,7 @@ let cmd_timing design_path model sparse stats jobs strict use_cache slack_only
   match corners_path with
   | None -> (
     let cache = if use_cache then Some (Sta.create_cache ()) else None in
-    match Sta.analyze ~model ~sparse ~jobs ~strict ?cache design with
+    match Sta.analyze ~model ~sparse ~jobs ~strict ~reduce ?cache design with
     | report ->
       let paths =
         if top_k > 0 then Sta.critical_paths design report ~k:top_k else []
@@ -579,8 +623,8 @@ let cmd_timing design_path model sparse stats jobs strict use_cache slack_only
         exit 1
     in
     match
-      Sta.analyze_corners ~model ~sparse ~jobs ~strict ~cache:use_cache
-        design corners
+      Sta.analyze_corners ~model ~sparse ~jobs ~strict ~reduce
+        ~cache:use_cache design corners
     with
     | cr ->
       (* top-K paths are reported at the worst corner: the one whose
@@ -690,7 +734,7 @@ let analyze_t =
     Term.(
       const cmd_analyze $ deck_arg $ node_arg $ order_arg $ tstop_arg
       $ samples_arg $ csv_arg $ compare $ threshold $ shift $ sparse_arg
-      $ stats_arg $ jobs_arg)
+      $ stats_arg $ reduce_arg $ jobs_arg)
 
 let poles_t =
   let actual =
@@ -795,8 +839,9 @@ let timing_t =
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(
-      const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg $ jobs_arg
-      $ strict $ use_cache $ slack $ top_k $ corners $ json)
+      const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg
+      $ reduce_arg $ jobs_arg $ strict $ use_cache $ slack $ top_k $ corners
+      $ json)
 
 let lint_t =
   let paths =

@@ -1,0 +1,658 @@
+(* Model-order reduction as a netlist -> netlist rewrite.
+
+   The detector (analyze) is shared with the lint AWE-I2xx advisories
+   so the two can never drift: lint formats the plans as diagnostics,
+   this module consumes them.  The rewriter applies one transform
+   family per round — parallels, then chains/series, then stars — and
+   rebuilds the netlist through a fresh builder; every applied round
+   strictly decreases nodes + elements, so the fixpoint terminates,
+   and a round that finds nothing returns the input circuit
+   physically, which makes [reduce] idempotent by construction. *)
+
+type plan =
+  | Chain of { members : int list }
+  | Star of { hub : int; legs : int list }
+  | Parallel of { kind : string; np : int; nn : int; names : string list }
+
+type report = {
+  nodes_eliminated : int;
+  elements_eliminated : int;
+  parallel_merges : int;
+  series_merges : int;
+  chain_lumps : int;
+  star_merges : int;
+}
+
+let empty_report =
+  { nodes_eliminated = 0;
+    elements_eliminated = 0;
+    parallel_merges = 0;
+    series_merges = 0;
+    chain_lumps = 0;
+    star_merges = 0 }
+
+let add_report a b =
+  { nodes_eliminated = a.nodes_eliminated + b.nodes_eliminated;
+    elements_eliminated = a.elements_eliminated + b.elements_eliminated;
+    parallel_merges = a.parallel_merges + b.parallel_merges;
+    series_merges = a.series_merges + b.series_merges;
+    chain_lumps = a.chain_lumps + b.chain_lumps;
+    star_merges = a.star_merges + b.star_merges }
+
+type result = {
+  circuit : Netlist.circuit;
+  node_map : int array;
+  report : report;
+}
+
+(* ---------------------------------------------------------------- *)
+(* detection (shared with Lint.Reduce_advice)                        *)
+(* ---------------------------------------------------------------- *)
+
+(* a node is chain-interior / leg-leaf material only when resistors
+   and grounded caps are its whole story *)
+let rc_only (p : Flowgraph.node_profile) =
+  p.Flowgraph.np_others = 0 && p.Flowgraph.np_floating_caps = 0
+
+(* connected components of the interior-restricted resistor graph:
+   members ascending within a run, runs sorted lexicographically
+   (equivalently, by their minimum node id) *)
+let chain_runs ~interior (c : Netlist.circuit) neighbors =
+  let nodes = c.Netlist.node_count in
+  let comp = Array.make nodes (-1) in
+  let runs = ref [] in
+  for n = 0 to nodes - 1 do
+    if interior.(n) && comp.(n) < 0 then begin
+      let members = ref [] in
+      let q = Queue.create () in
+      Queue.add n q;
+      comp.(n) <- n;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        members := u :: !members;
+        List.iter
+          (fun v ->
+            if v <> u && interior.(v) && comp.(v) < 0 then begin
+              comp.(v) <- n;
+              Queue.add v q
+            end)
+          neighbors.(u)
+      done;
+      runs := List.sort compare !members :: !runs
+    end
+  done;
+  List.sort compare !runs
+
+let chain_interior (c : Netlist.circuit) profiles =
+  let interior = Array.make c.Netlist.node_count false in
+  for n = 0 to c.Netlist.node_count - 1 do
+    interior.(n) <-
+      n <> Element.ground
+      && rc_only profiles.(n)
+      && profiles.(n).Flowgraph.np_resistors = 2
+  done;
+  interior
+
+let star_leaf (c : Netlist.circuit) profiles =
+  let leaf = Array.make c.Netlist.node_count false in
+  for n = 0 to c.Netlist.node_count - 1 do
+    (* a leg tip: one resistor in, grounded cap(s) only — a tip with
+       no cap at all is a dangling node, W002's business *)
+    leaf.(n) <-
+      n <> Element.ground
+      && rc_only profiles.(n)
+      && profiles.(n).Flowgraph.np_resistors = 1
+      && profiles.(n).Flowgraph.np_grounded_caps >= 1
+  done;
+  leaf
+
+let analyze ?(tick = fun () -> ()) (c : Netlist.circuit) =
+  let nodes = c.Netlist.node_count in
+  let profiles = Flowgraph.profiles c in
+  let neighbors = Flowgraph.resistor_neighbors c in
+  (* chains: one tick per node for the interior scan *)
+  for _ = 0 to nodes - 1 do
+    tick ()
+  done;
+  let interior = chain_interior c profiles in
+  let chains =
+    List.map (fun members -> Chain { members }) (chain_runs ~interior c neighbors)
+  in
+  (* stars: one tick per node for the leaf scan *)
+  for _ = 0 to nodes - 1 do
+    tick ()
+  done;
+  let leaf = star_leaf c profiles in
+  let stars = ref [] in
+  for hub = nodes - 1 downto 0 do
+    if not leaf.(hub) then begin
+      let legs =
+        List.filter (fun m -> m <> hub && leaf.(m)) neighbors.(hub)
+        |> List.sort_uniq compare
+      in
+      if List.length legs >= 2 then stars := Star { hub; legs } :: !stars
+    end
+  done;
+  (* parallels: one tick per element *)
+  let groups = Hashtbl.create 16 in
+  let add kind np nn name =
+    if np <> nn then begin
+      let k = (kind, min np nn, max np nn) in
+      Hashtbl.replace groups k
+        (name :: Option.value (Hashtbl.find_opt groups k) ~default:[])
+    end
+  in
+  Array.iter
+    (fun e ->
+      tick ();
+      match e with
+      | Element.Resistor { name; np; nn; _ } -> add "resistor" np nn name
+      | Element.Capacitor { name; np; nn; _ } -> add "capacitor" np nn name
+      | Element.Inductor { name; np; nn; _ } -> add "inductor" np nn name
+      | _ -> ())
+    c.Netlist.elements;
+  let parallels =
+    Hashtbl.fold
+      (fun (kind, a, b) names acc -> ((kind, a, b), List.rev names) :: acc)
+      groups []
+    |> List.sort compare
+    |> List.filter_map (fun ((kind, np, nn), names) ->
+           if List.length names >= 2 then Some (Parallel { kind; np; nn; names })
+           else None)
+  in
+  chains @ !stars @ parallels
+
+let plan_savings = function
+  | Chain { members } -> max 0 (List.length members - 1)
+  | Star { legs; _ } -> List.length legs - 1
+  | Parallel { names; _ } -> List.length names - 1
+
+(* ---------------------------------------------------------------- *)
+(* safety                                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* Protected nodes can never be eliminated: ground, caller ports, and
+   every node an inductor, source, controlled source (controlling
+   terminals included — Flowgraph profiles don't count those), mutual
+   coupling, IC-carrying capacitor, or self-loop element touches. *)
+let protected_nodes ~ports (c : Netlist.circuit) =
+  let p = Array.make c.Netlist.node_count false in
+  p.(Element.ground) <- true;
+  List.iter (fun n -> if n >= 0 && n < Array.length p then p.(n) <- true) ports;
+  Array.iter
+    (fun e ->
+      match e with
+      | Element.Resistor { np; nn; _ } -> if np = nn then p.(np) <- true
+      | Element.Capacitor { np; nn; ic; _ } ->
+        if np = nn then p.(np) <- true
+        else if ic <> None then begin
+          p.(np) <- true;
+          p.(nn) <- true
+        end
+      | e -> List.iter (fun n -> p.(n) <- true) (Element.nodes e))
+    c.Netlist.elements;
+  p
+
+let lc = String.lowercase_ascii
+
+(* inductors referenced by a K card must survive merging by name *)
+let coupled_inductors (c : Netlist.circuit) =
+  Array.fold_left
+    (fun acc e ->
+      match e with
+      | Element.Mutual { l1; l2; _ } -> lc l1 :: lc l2 :: acc
+      | _ -> acc)
+    [] c.Netlist.elements
+
+(* ---------------------------------------------------------------- *)
+(* incidence helpers                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* per node, incident non-self-loop resistor element indices,
+   ascending *)
+let resistor_incidence (c : Netlist.circuit) =
+  let inc = Array.make c.Netlist.node_count [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Element.Resistor { np; nn; _ } when np <> nn ->
+        inc.(np) <- i :: inc.(np);
+        inc.(nn) <- i :: inc.(nn)
+      | _ -> ())
+    c.Netlist.elements;
+  Array.map List.rev inc
+
+(* per node, incident IC-free grounded-capacitor element indices,
+   ascending *)
+let grounded_cap_incidence (c : Netlist.circuit) =
+  let inc = Array.make c.Netlist.node_count [] in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Element.Capacitor { np; nn; ic = None; _ } when np <> nn ->
+        if nn = Element.ground then inc.(np) <- i :: inc.(np)
+        else if np = Element.ground then inc.(nn) <- i :: inc.(nn)
+      | _ -> ())
+    c.Netlist.elements;
+  Array.map List.rev inc
+
+let resistance (c : Netlist.circuit) i =
+  match c.Netlist.elements.(i) with
+  | Element.Resistor { r; _ } -> r
+  | _ -> invalid_arg "Reduce: not a resistor"
+
+let capacitance (c : Netlist.circuit) i =
+  match c.Netlist.elements.(i) with
+  | Element.Capacitor { c = v; _ } -> v
+  | _ -> invalid_arg "Reduce: not a capacitor"
+
+let other_end (c : Netlist.circuit) i n =
+  match c.Netlist.elements.(i) with
+  | Element.Resistor { np; nn; _ } -> if np = n then nn else np
+  | _ -> invalid_arg "Reduce: not a resistor"
+
+let element_name (c : Netlist.circuit) i = Element.name c.Netlist.elements.(i)
+
+(* ---------------------------------------------------------------- *)
+(* rebuilding                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let rebind map e =
+  let m n = map.(n) in
+  match e with
+  | Element.Resistor r -> Element.Resistor { r with np = m r.np; nn = m r.nn }
+  | Element.Capacitor r -> Element.Capacitor { r with np = m r.np; nn = m r.nn }
+  | Element.Inductor r -> Element.Inductor { r with np = m r.np; nn = m r.nn }
+  | Element.Vsource r -> Element.Vsource { r with np = m r.np; nn = m r.nn }
+  | Element.Isource r -> Element.Isource { r with np = m r.np; nn = m r.nn }
+  | Element.Vcvs r ->
+    Element.Vcvs
+      { r with np = m r.np; nn = m r.nn; cp = m r.cp; cn = m r.cn }
+  | Element.Vccs r ->
+    Element.Vccs
+      { r with np = m r.np; nn = m r.nn; cp = m r.cp; cn = m r.cn }
+  | Element.Ccvs r -> Element.Ccvs { r with np = m r.np; nn = m r.nn }
+  | Element.Cccs r -> Element.Cccs { r with np = m r.np; nn = m r.nn }
+  | Element.Mutual _ as e -> e
+
+(* One round's edits: elements to drop, in-place replacements
+   (parallel merges, old-id space), appended elements (old-id space),
+   nodes eliminated.  Rebuilds through a fresh builder, pre-interning
+   surviving node names in old id order so surviving ids stay in the
+   same relative order; returns the circuit and the old->new map. *)
+let rebuild (c : Netlist.circuit) ~eliminated ~drop ~replace ~appends =
+  let b = Netlist.create () in
+  let map = Array.make c.Netlist.node_count (-1) in
+  for n = 0 to c.Netlist.node_count - 1 do
+    if not eliminated.(n) then
+      map.(n) <- Netlist.node b c.Netlist.node_names.(n)
+  done;
+  Array.iteri
+    (fun i e ->
+      if not drop.(i) then begin
+        let e =
+          match Hashtbl.find_opt replace i with Some e' -> e' | None -> e
+        in
+        Netlist.add ?line:(Netlist.element_line c i) b (rebind map e)
+      end)
+    c.Netlist.elements;
+  List.iter (fun e -> Netlist.add b (rebind map e)) appends;
+  (Netlist.freeze b, map)
+
+(* ---------------------------------------------------------------- *)
+(* transform families (one per round)                                *)
+(* ---------------------------------------------------------------- *)
+
+type edits = {
+  e_drop : bool array;
+  e_replace : (int, Element.t) Hashtbl.t;
+  mutable e_appends : Element.t list;  (* reversed; old-id space *)
+  e_eliminated : bool array;
+  mutable e_report : report;
+}
+
+let fresh_edits (c : Netlist.circuit) =
+  { e_drop = Array.make (Array.length c.Netlist.elements) false;
+    e_replace = Hashtbl.create 8;
+    e_appends = [];
+    e_eliminated = Array.make c.Netlist.node_count false;
+    e_report = empty_report }
+
+let changed ed = ed.e_report <> empty_report
+
+(* parallels: merge every group's mergeable members into the first *)
+let apply_parallels c plans ed =
+  let by_name = Hashtbl.create 32 in
+  Array.iteri
+    (fun i e -> Hashtbl.replace by_name (Element.name e) i)
+    c.Netlist.elements;
+  let coupled = coupled_inductors c in
+  let mergeable e =
+    match e with
+    | Element.Resistor _ -> true
+    | Element.Capacitor { ic; _ } -> ic = None
+    | Element.Inductor { name; ic; _ } ->
+      ic = None && not (List.mem (lc name) coupled)
+    | _ -> false
+  in
+  List.iter
+    (fun plan ->
+      match plan with
+      | Parallel { names; _ } -> (
+        let idxs =
+          List.filter_map (fun n -> Hashtbl.find_opt by_name n) names
+        in
+        let ok =
+          List.filter (fun i -> mergeable c.Netlist.elements.(i)) idxs
+        in
+        match ok with
+        | keep :: (_ :: _ as rest) ->
+          let merged =
+            match c.Netlist.elements.(keep) with
+            | Element.Resistor rr ->
+              let g =
+                List.fold_left
+                  (fun acc i -> acc +. (1. /. resistance c i))
+                  0. ok
+              in
+              Element.Resistor { rr with r = 1. /. g }
+            | Element.Capacitor cc ->
+              let v =
+                List.fold_left (fun acc i -> acc +. capacitance c i) 0. ok
+              in
+              Element.Capacitor { cc with c = v }
+            | Element.Inductor ll ->
+              let inv =
+                List.fold_left
+                  (fun acc i ->
+                    match c.Netlist.elements.(i) with
+                    | Element.Inductor { l; _ } -> acc +. (1. /. l)
+                    | _ -> acc)
+                  0. ok
+              in
+              Element.Inductor { ll with l = 1. /. inv }
+            | e -> e
+          in
+          Hashtbl.replace ed.e_replace keep merged;
+          List.iter (fun i -> ed.e_drop.(i) <- true) rest;
+          ed.e_report <-
+            add_report ed.e_report
+              { empty_report with
+                parallel_merges = 1;
+                elements_eliminated = List.length rest }
+        | _ -> ())
+      | _ -> ())
+    plans
+
+(* chains: walk each eliminable sub-run from its lowest-index boundary
+   resistor, then either collapse a capacitor-free run to one resistor
+   (exact) or lump the run to a T section (first-moment preserving at
+   both ports) *)
+let apply_chains c plans ~protected ed =
+  let rinc = resistor_incidence c in
+  let gcaps = grounded_cap_incidence c in
+  (* regroup a plan's surviving members into connected sub-runs *)
+  let sub_runs members =
+    let ok = List.filter (fun n -> not protected.(n)) members in
+    let in_set = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.replace in_set n ()) ok;
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun n ->
+        if Hashtbl.mem seen n then None
+        else begin
+          let acc = ref [] in
+          let q = Queue.create () in
+          Queue.add n q;
+          Hashtbl.replace seen n ();
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            acc := u :: !acc;
+            List.iter
+              (fun i ->
+                let v = other_end c i u in
+                if Hashtbl.mem in_set v && not (Hashtbl.mem seen v) then begin
+                  Hashtbl.replace seen v ();
+                  Queue.add v q
+                end)
+              rinc.(u)
+          done;
+          Some (List.sort compare !acc)
+        end)
+      ok
+  in
+  let apply_run members =
+    let in_run = Hashtbl.create 8 in
+    List.iter (fun n -> Hashtbl.replace in_run n ()) members;
+    let mem n = Hashtbl.mem in_run n in
+    (* boundary resistors: exactly one endpoint inside the run *)
+    let boundary =
+      List.concat_map
+        (fun n ->
+          List.filter_map
+            (fun i ->
+              let o = other_end c i n in
+              if mem o then None else Some (i, n, o))
+            rinc.(n))
+        members
+      |> List.sort compare
+    in
+    match boundary with
+    | [ (ia, na, a); (ib, _, b) ] when a <> b -> (
+      (* walk from A accumulating cumulative resistance per member *)
+      let walk () =
+        let rec go acc cur prev s =
+          let acc = (cur, s) :: acc in
+          match List.filter (fun i -> i <> prev) rinc.(cur) with
+          | [ i ] ->
+            let o = other_end c i cur in
+            if mem o then go acc o i (s +. resistance c i)
+            else (List.rev acc, s +. resistance c i)
+          | _ -> raise Exit
+        in
+        go [] na ia (resistance c ia)
+      in
+      match walk () with
+      | exception Exit -> ()
+      | stations, r_tot ->
+        if List.length stations <> List.length members then ()
+        else begin
+          let k = List.length members in
+          let cap_idxs = List.concat_map (fun n -> gcaps.(n)) members in
+          let c_tot =
+            List.fold_left (fun acc i -> acc +. capacitance c i) 0. cap_idxs
+          in
+          let n_res = k + 1 in
+          (* every resistor incident to a member is consumed: internal
+             ones from both sides, boundary ones once *)
+          let res_idxs =
+            List.concat_map (fun n -> rinc.(n)) members
+            |> List.sort_uniq compare
+          in
+          if c_tot = 0. then begin
+            (* capacitor-free run: exact series merge to one resistor *)
+            List.iter (fun i -> ed.e_drop.(i) <- true) res_idxs;
+            List.iter (fun n -> ed.e_eliminated.(n) <- true) members;
+            ed.e_appends <-
+              Element.Resistor
+                { name = element_name c ia; np = a; nn = b; r = r_tot }
+              :: ed.e_appends;
+            ed.e_report <-
+              add_report ed.e_report
+                { empty_report with
+                  series_merges = 1;
+                  nodes_eliminated = k;
+                  elements_eliminated = n_res - 1 }
+          end
+          else if k >= 2 then begin
+            (* T lump: M keeps the lowest member's identity *)
+            let m = List.hd members in
+            let weighted =
+              List.fold_left
+                (fun acc (n, s) ->
+                  let cn =
+                    List.fold_left
+                      (fun a i -> a +. capacitance c i)
+                      0. gcaps.(n)
+                  in
+                  acc +. (cn *. s))
+                0. stations
+            in
+            let r_left = weighted /. c_tot in
+            let r_right = r_tot -. r_left in
+            List.iter (fun i -> ed.e_drop.(i) <- true) res_idxs;
+            List.iter (fun i -> ed.e_drop.(i) <- true) cap_idxs;
+            List.iter
+              (fun n -> if n <> m then ed.e_eliminated.(n) <- true)
+              members;
+            ed.e_appends <-
+              Element.Capacitor
+                { name = element_name c (List.hd cap_idxs);
+                  np = m;
+                  nn = Element.ground;
+                  c = c_tot;
+                  ic = None }
+              :: Element.Resistor
+                   { name = element_name c ib; np = m; nn = b; r = r_right }
+              :: Element.Resistor
+                   { name = element_name c ia; np = a; nn = m; r = r_left }
+              :: ed.e_appends;
+            ed.e_report <-
+              add_report ed.e_report
+                { empty_report with
+                  chain_lumps = 1;
+                  nodes_eliminated = k - 1;
+                  elements_eliminated =
+                    n_res + List.length cap_idxs - 3 }
+          end
+          (* k = 1 with capacitance: the T lump is the identity *)
+        end)
+    | _ -> ()
+    (* cycles (no boundary) and runs closing on one external node are
+       refused *)
+  in
+  List.iter
+    (fun plan ->
+      match plan with
+      | Chain { members } -> List.iter apply_run (sub_runs members)
+      | _ -> ())
+    plans
+
+(* stars: merge all eliminable legs of a hub into one leg that matches
+   the first two moments of their summed driving admittance *)
+let apply_stars c plans ~protected ed =
+  let rinc = resistor_incidence c in
+  let gcaps = grounded_cap_incidence c in
+  List.iter
+    (fun plan ->
+      match plan with
+      | Star { hub; legs } -> (
+        let elig = List.filter (fun l -> not protected.(l)) legs in
+        match elig with
+        | keep :: _ :: _ ->
+          let leg_data =
+            List.map
+              (fun l ->
+                let ri =
+                  match rinc.(l) with
+                  | [ i ] -> i
+                  | _ -> invalid_arg "Reduce: star leaf with /= 1 resistor"
+                in
+                let ci =
+                  List.fold_left
+                    (fun acc i -> acc +. capacitance c i)
+                    0. gcaps.(l)
+                in
+                (l, ri, ci))
+              elig
+          in
+          let c_tot =
+            List.fold_left (fun acc (_, _, ci) -> acc +. ci) 0. leg_data
+          in
+          let r_eq =
+            List.fold_left
+              (fun acc (_, ri, ci) -> acc +. (resistance c ri *. ci *. ci))
+              0. leg_data
+            /. (c_tot *. c_tot)
+          in
+          let cap_idxs = List.concat_map (fun l -> gcaps.(l)) elig in
+          let keep_r =
+            match rinc.(keep) with [ i ] -> i | _ -> assert false
+          in
+          List.iter (fun (_, ri, _) -> ed.e_drop.(ri) <- true) leg_data;
+          List.iter (fun i -> ed.e_drop.(i) <- true) cap_idxs;
+          List.iter
+            (fun l -> if l <> keep then ed.e_eliminated.(l) <- true)
+            elig;
+          ed.e_appends <-
+            Element.Capacitor
+              { name = element_name c (List.hd (List.sort compare cap_idxs));
+                np = keep;
+                nn = Element.ground;
+                c = c_tot;
+                ic = None }
+            :: Element.Resistor
+                 { name = element_name c keep_r;
+                   np = hub;
+                   nn = keep;
+                   r = r_eq }
+            :: ed.e_appends;
+          ed.e_report <-
+            add_report ed.e_report
+              { empty_report with
+                star_merges = 1;
+                nodes_eliminated = List.length elig - 1;
+                elements_eliminated =
+                  List.length leg_data + List.length cap_idxs - 2 }
+        | _ -> ())
+      | _ -> ())
+    plans
+
+(* ---------------------------------------------------------------- *)
+(* driver                                                            *)
+(* ---------------------------------------------------------------- *)
+
+(* one round: the first family with applicable work wins *)
+let round ~ports c =
+  let protected = protected_nodes ~ports c in
+  let plans = analyze c in
+  let try_family apply =
+    let ed = fresh_edits c in
+    apply ed;
+    if changed ed then
+      let circuit, map =
+        rebuild c ~eliminated:ed.e_eliminated ~drop:ed.e_drop
+          ~replace:ed.e_replace
+          ~appends:(List.rev ed.e_appends)
+      in
+      Some (circuit, map, ed.e_report)
+    else None
+  in
+  match try_family (apply_parallels c plans) with
+  | Some _ as r -> r
+  | None -> (
+    match try_family (apply_chains c plans ~protected) with
+    | Some _ as r -> r
+    | None -> try_family (apply_stars c plans ~protected))
+
+let reduce ?(ports = []) (c0 : Netlist.circuit) =
+  let total_map = Array.init c0.Netlist.node_count (fun i -> i) in
+  let rec loop c ports rep =
+    match round ~ports c with
+    | None -> (c, rep)
+    | Some (c', map, drep) ->
+      Array.iteri
+        (fun i m -> if m >= 0 then total_map.(i) <- map.(m))
+        total_map;
+      let ports' =
+        List.filter_map
+          (fun p ->
+            if p >= 0 && p < Array.length map && map.(p) >= 0 then
+              Some map.(p)
+            else None)
+          ports
+      in
+      loop c' ports' (add_report rep drep)
+  in
+  let circuit, report = loop c0 ports empty_report in
+  { circuit; node_map = total_map; report }

@@ -1,0 +1,89 @@
+(** Model-order reduction: rewrite a netlist into a provably
+    equivalent smaller one before MNA stamping.
+
+    The pass consumes exactly the structures the AWE-I2xx reducibility
+    advisories detect (the RC-chain-recognition literature — arXiv
+    2508.13159 — and the DCM signal-line model — arXiv 2401.08430 —
+    both hinge on spotting these):
+
+    - {b parallel merges} (I203): same-kind two-terminal elements
+      sharing both endpoints combine by the series/parallel rules —
+      {e exact}, the stamped matrix is value-identical.
+    - {b series-resistor merges}: a capacitor-free interior run of
+      resistors collapses to one resistor of the summed resistance —
+      {e exact}.
+    - {b series RC chain lumping} (I201): a maximal run of interior
+      nodes carrying two resistors and grounded capacitance each lumps
+      into a single T section [A --R_left-- M --R_right-- B] with the
+      run's total capacitance at [M], where
+      [R_left = (sum_i c_i S_i) / C_tot] ([S_i] = cumulative
+      resistance from [A]).  This preserves the total series
+      resistance, the total capacitance, and the first moment of the
+      charge distribution seen from {e both} ports exactly; higher
+      moments are approximated (order-limited equivalence).
+    - {b star-leg merging} (I202): [k >= 2] single-resistor RC legs on
+      one hub merge into one leg with [C = sum C_i] and
+      [R = (sum R_i C_i^2) / (sum C_i)^2], matching the first two
+      moments of the summed leg driving admittance.
+
+    Safety is by construction: a node is only eliminated when every
+    incident element is a plain resistor or an IC-free grounded
+    capacitor.  Ground, caller-supplied ports, and every node touched
+    by an inductor, source, controlled source (including controlling
+    terminals), or IC-carrying capacitor are protected; inductors
+    referenced by a mutual coupling are never merged. *)
+
+(** One reducible structure, in the same order and with the same
+    node/element sets the AWE-I2xx advisories report. *)
+type plan =
+  | Chain of { members : int list }
+      (** maximal run of chain-interior nodes, ascending ids; the
+          advisories report runs of [>= 2], the rewriter also consumes
+          singletons (a lone capacitor-free interior node is a
+          series-resistor merge) *)
+  | Star of { hub : int; legs : int list }
+      (** [>= 2] single-resistor RC legs (sorted unique leaf ids) on
+          [hub] *)
+  | Parallel of { kind : string; np : int; nn : int; names : string list }
+      (** same-[kind] two-terminal elements between one node pair
+          ([np < nn]), element names in element order *)
+
+val analyze : ?tick:(unit -> unit) -> Netlist.circuit -> plan list
+(** Detect every reducible structure: chains (runs sorted
+    lexicographically), then stars (hub ascending), then parallels
+    (sorted by [(kind, np, nn)]).  [tick] is called once per node for
+    the chain and star scans and once per element for the parallel
+    scan — the lint layer threads its dataflow work counter through
+    it.  Port-unaware: protection is the rewriter's business. *)
+
+val plan_savings : plan -> int
+(** Estimated savings of a plan as the advisories state it: nodes for
+    chains and stars ([k - 1]), elements for parallels ([k - 1]). *)
+
+type report = {
+  nodes_eliminated : int;
+  elements_eliminated : int;
+  parallel_merges : int;  (** parallel groups merged *)
+  series_merges : int;  (** capacitor-free runs collapsed to one R *)
+  chain_lumps : int;  (** RC runs lumped to a T section *)
+  star_merges : int;  (** hubs whose legs were merged *)
+}
+
+val empty_report : report
+
+type result = {
+  circuit : Netlist.circuit;
+      (** the reduced circuit; physically the input circuit when
+          nothing applied, so [reduce] is idempotent by construction *)
+  node_map : int array;
+      (** old node id -> new node id, or [-1] for eliminated nodes;
+          protected nodes (ports, sources, ground) always survive *)
+  report : report;
+}
+
+val reduce : ?ports:Element.node list -> Netlist.circuit -> result
+(** Apply the transforms to a fixpoint.  Each round applies one family
+    — parallels, then chains/series, then stars — and rebuilds the
+    netlist; rounds repeat until nothing applies (each applied round
+    strictly shrinks nodes + elements, so this terminates).  [ports]
+    are never eliminated (sinks, drivers, observation nodes). *)

@@ -306,3 +306,38 @@ let rc_grid ?(seed = 47) ?wave ~rows ~cols () =
   done;
   let far = Netlist.node b (node_name (rows - 1) (cols - 1)) in
   (Netlist.freeze b, far)
+
+let rc_ladder ?(seed = 53) ?(wave = Element.Step { v0 = 0.; v1 = 1. })
+    ~length ~fanout () =
+  if length < 1 then invalid_arg "Samples.rc_ladder: need length >= 1";
+  if fanout < 1 then invalid_arg "Samples.rc_ladder: need fanout >= 1";
+  let st = Random.State.make [| seed |] in
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" wave;
+  let trunk k = Printf.sprintf "t%d" k in
+  Netlist.add_r b "rdrv" "in" (trunk 0) 25.;
+  Netlist.add_c b "cdrv" (trunk 0) "0" (2e-15 +. Random.State.float st 2e-15);
+  for k = 1 to length do
+    Netlist.add_r b
+      (Printf.sprintf "rt%d" k)
+      (trunk (k - 1)) (trunk k)
+      (40. +. Random.State.float st 60.);
+    Netlist.add_c b
+      (Printf.sprintf "ct%d" k)
+      (trunk k) "0"
+      (2e-15 +. Random.State.float st 3e-15)
+  done;
+  let hub = trunk length in
+  for j = 1 to fanout do
+    let leg = Printf.sprintf "f%d" j in
+    Netlist.add_r b
+      (Printf.sprintf "rf%d" j)
+      hub leg
+      (80. +. Random.State.float st 40.);
+    Netlist.add_c b
+      (Printf.sprintf "cf%d" j)
+      leg "0"
+      (4e-15 +. Random.State.float st 2e-15)
+  done;
+  let out = Netlist.node b "f1" in
+  (Netlist.freeze b, out)

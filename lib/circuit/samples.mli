@@ -127,3 +127,21 @@ val rc_grid :
     Returns the circuit and the far-corner observation node.  Values
     come from the seeded stream, so a given [seed] always builds the
     identical circuit. *)
+
+val rc_ladder :
+  ?seed:int ->
+  ?wave:Element.waveform ->
+  length:int ->
+  fanout:int ->
+  unit ->
+  Netlist.circuit * Element.node
+(** A distributed-wire model in the shape [Reduce] targets: a driver
+    feeding a [length]-section series RC trunk (every interior node
+    carries exactly two resistors plus a grounded capacitor — the I201
+    chain pattern) ending in a hub with [fanout] single-resistor RC
+    stub legs (the I202 star pattern).  Values come from the seeded
+    stream.  Returns the circuit and the first leg's end node; with
+    that node as the only preserved port, reduction lumps the trunk to
+    a T-section and merges the remaining legs, eliminating most of the
+    ladder.  The standing example for reduction tests and the
+    [sta_reduce] bench. *)

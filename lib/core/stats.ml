@@ -18,6 +18,12 @@ type snapshot = {
   cache_pattern_hits : int;
   cache_misses : int;
   cache_bytes : int;
+  reduce_nodes_eliminated : int;
+  reduce_elements_eliminated : int;
+  reduce_parallel_merges : int;
+  reduce_series_merges : int;
+  reduce_chain_lumps : int;
+  reduce_star_merges : int;
   phase_seconds : (string * float) list;
 }
 
@@ -32,6 +38,12 @@ type counters = {
   mutable cache_pattern_hits_c : int;
   mutable cache_misses_c : int;
   mutable cache_bytes_c : int;
+  mutable reduce_nodes_c : int;
+  mutable reduce_elements_c : int;
+  mutable reduce_parallels_c : int;
+  mutable reduce_series_c : int;
+  mutable reduce_chains_c : int;
+  mutable reduce_stars_c : int;
   phases : (string, float) Hashtbl.t; (* phase name -> CPU seconds *)
 }
 
@@ -46,6 +58,12 @@ let fresh () =
     cache_pattern_hits_c = 0;
     cache_misses_c = 0;
     cache_bytes_c = 0;
+    reduce_nodes_c = 0;
+    reduce_elements_c = 0;
+    reduce_parallels_c = 0;
+    reduce_series_c = 0;
+    reduce_chains_c = 0;
+    reduce_stars_c = 0;
     phases = Hashtbl.create 8 }
 
 (* one counter record per domain, created on first use *)
@@ -65,6 +83,12 @@ let reset () =
   c.cache_pattern_hits_c <- 0;
   c.cache_misses_c <- 0;
   c.cache_bytes_c <- 0;
+  c.reduce_nodes_c <- 0;
+  c.reduce_elements_c <- 0;
+  c.reduce_parallels_c <- 0;
+  c.reduce_series_c <- 0;
+  c.reduce_chains_c <- 0;
+  c.reduce_stars_c <- 0;
   Hashtbl.reset c.phases
 
 let record_factorization () =
@@ -107,6 +131,15 @@ let record_cache_bytes n =
   let c = current () in
   c.cache_bytes_c <- c.cache_bytes_c + n
 
+let record_reduction ~nodes ~elements ~parallels ~series ~chains ~stars =
+  let c = current () in
+  c.reduce_nodes_c <- c.reduce_nodes_c + nodes;
+  c.reduce_elements_c <- c.reduce_elements_c + elements;
+  c.reduce_parallels_c <- c.reduce_parallels_c + parallels;
+  c.reduce_series_c <- c.reduce_series_c + series;
+  c.reduce_chains_c <- c.reduce_chains_c + chains;
+  c.reduce_stars_c <- c.reduce_stars_c + stars
+
 let replay s =
   let c = current () in
   c.factorizations_c <- c.factorizations_c + s.factorizations;
@@ -137,6 +170,12 @@ let snapshot_of c =
     cache_pattern_hits = c.cache_pattern_hits_c;
     cache_misses = c.cache_misses_c;
     cache_bytes = c.cache_bytes_c;
+    reduce_nodes_eliminated = c.reduce_nodes_c;
+    reduce_elements_eliminated = c.reduce_elements_c;
+    reduce_parallel_merges = c.reduce_parallels_c;
+    reduce_series_merges = c.reduce_series_c;
+    reduce_chain_lumps = c.reduce_chains_c;
+    reduce_star_merges = c.reduce_stars_c;
     phase_seconds =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.phases []
       |> List.sort compare }
@@ -154,6 +193,12 @@ let zero =
     cache_pattern_hits = 0;
     cache_misses = 0;
     cache_bytes = 0;
+    reduce_nodes_eliminated = 0;
+    reduce_elements_eliminated = 0;
+    reduce_parallel_merges = 0;
+    reduce_series_merges = 0;
+    reduce_chain_lumps = 0;
+    reduce_star_merges = 0;
     phase_seconds = [] }
 
 let diff a b =
@@ -174,6 +219,15 @@ let diff a b =
     cache_pattern_hits = a.cache_pattern_hits - b.cache_pattern_hits;
     cache_misses = a.cache_misses - b.cache_misses;
     cache_bytes = a.cache_bytes - b.cache_bytes;
+    reduce_nodes_eliminated =
+      a.reduce_nodes_eliminated - b.reduce_nodes_eliminated;
+    reduce_elements_eliminated =
+      a.reduce_elements_eliminated - b.reduce_elements_eliminated;
+    reduce_parallel_merges =
+      a.reduce_parallel_merges - b.reduce_parallel_merges;
+    reduce_series_merges = a.reduce_series_merges - b.reduce_series_merges;
+    reduce_chain_lumps = a.reduce_chain_lumps - b.reduce_chain_lumps;
+    reduce_star_merges = a.reduce_star_merges - b.reduce_star_merges;
     phase_seconds = sub a.phase_seconds b.phase_seconds }
 
 let merge a b =
@@ -194,6 +248,15 @@ let merge a b =
     cache_pattern_hits = a.cache_pattern_hits + b.cache_pattern_hits;
     cache_misses = a.cache_misses + b.cache_misses;
     cache_bytes = a.cache_bytes + b.cache_bytes;
+    reduce_nodes_eliminated =
+      a.reduce_nodes_eliminated + b.reduce_nodes_eliminated;
+    reduce_elements_eliminated =
+      a.reduce_elements_eliminated + b.reduce_elements_eliminated;
+    reduce_parallel_merges =
+      a.reduce_parallel_merges + b.reduce_parallel_merges;
+    reduce_series_merges = a.reduce_series_merges + b.reduce_series_merges;
+    reduce_chain_lumps = a.reduce_chain_lumps + b.reduce_chain_lumps;
+    reduce_star_merges = a.reduce_star_merges + b.reduce_star_merges;
     phase_seconds = phases }
 
 let scoped f =
@@ -217,6 +280,14 @@ let scoped f =
       outer.cache_pattern_hits_c + inner.cache_pattern_hits_c;
     outer.cache_misses_c <- outer.cache_misses_c + inner.cache_misses_c;
     outer.cache_bytes_c <- outer.cache_bytes_c + inner.cache_bytes_c;
+    outer.reduce_nodes_c <- outer.reduce_nodes_c + inner.reduce_nodes_c;
+    outer.reduce_elements_c <-
+      outer.reduce_elements_c + inner.reduce_elements_c;
+    outer.reduce_parallels_c <-
+      outer.reduce_parallels_c + inner.reduce_parallels_c;
+    outer.reduce_series_c <- outer.reduce_series_c + inner.reduce_series_c;
+    outer.reduce_chains_c <- outer.reduce_chains_c + inner.reduce_chains_c;
+    outer.reduce_stars_c <- outer.reduce_stars_c + inner.reduce_stars_c;
     Hashtbl.iter (fun k v -> add_phase outer.phases k v) inner.phases
   in
   match f () with
@@ -242,6 +313,19 @@ let pp ppf s =
     Format.fprintf ppf "@,cache pattern hits:%d" s.cache_pattern_hits;
     Format.fprintf ppf "@,cache misses:      %d" s.cache_misses;
     Format.fprintf ppf "@,cache bytes:       %d" s.cache_bytes
+  end;
+  if
+    s.reduce_nodes_eliminated + s.reduce_elements_eliminated
+    + s.reduce_parallel_merges + s.reduce_series_merges
+    + s.reduce_chain_lumps + s.reduce_star_merges
+    > 0
+  then begin
+    Format.fprintf ppf "@,reduce nodes:      %d" s.reduce_nodes_eliminated;
+    Format.fprintf ppf "@,reduce elements:   %d" s.reduce_elements_eliminated;
+    Format.fprintf ppf
+      "@,reduce transforms: %d parallel, %d series, %d chain, %d star"
+      s.reduce_parallel_merges s.reduce_series_merges s.reduce_chain_lumps
+      s.reduce_star_merges
   end;
   List.iter
     (fun (phase, secs) ->

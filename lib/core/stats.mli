@@ -39,6 +39,15 @@ type snapshot = {
   cache_bytes : int;
       (** approximate heap footprint of the structure cache, recorded
           once per analysis by the coordinator *)
+  reduce_nodes_eliminated : int;
+      (** nodes removed by the pre-AWE [Circuit.Reduce] pass *)
+  reduce_elements_eliminated : int;
+      (** elements removed by the pre-AWE [Circuit.Reduce] pass *)
+  reduce_parallel_merges : int;  (** parallel element groups merged *)
+  reduce_series_merges : int;
+      (** capacitor-free resistor runs collapsed (exact) *)
+  reduce_chain_lumps : int;  (** series RC runs lumped to a T section *)
+  reduce_star_merges : int;  (** hubs whose RC legs were merged *)
   phase_seconds : (string * float) list;  (** CPU seconds per phase *)
 }
 
@@ -84,6 +93,15 @@ val record_cache_exact_hit : unit -> unit
 val record_cache_pattern_hit : unit -> unit
 
 val record_cache_miss : unit -> unit
+
+val record_reduction :
+  nodes:int ->
+  elements:int ->
+  parallels:int -> series:int -> chains:int -> stars:int -> unit
+(** Accumulate one net's [Circuit.Reduce] report.  Reduction always
+    runs {e before} the structure-cache lookup, so these counters are
+    deliberately outside {!replay}: a cache hit still pays (and
+    counts) its own reduction. *)
 
 val replay : snapshot -> unit
 (** Re-record the engine counters of a snapshot — the six work

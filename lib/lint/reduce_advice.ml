@@ -1,5 +1,7 @@
-(* AWE-I2xx reducibility advisories: the static work-list for the
-   planned Circuit.Reduce pass (ROADMAP item 3).
+(* AWE-I2xx reducibility advisories, formatted from the shared
+   detector in Circuit.Reduce (ROADMAP item 3: the lint layer reports
+   the structures, Circuit.Reduce rewrites them — one analysis, so the
+   two can never drift).
 
    Three structure families are provably collapsible into smaller
    moment-preserving equivalents (the RC-chain-recognition literature
@@ -16,96 +18,41 @@
      both endpoints combine by the usual series/parallel rules
      (saves k-1 elements).
 
-   Everything is advisory (Info): the findings point at reductions, a
-   later PR performs them. *)
+   Everything is advisory (Info): the findings point at reductions;
+   `Sta.analyze --reduce` (default on) performs them. *)
 
 module D = Diagnostic
 
 let nname (c : Circuit.Netlist.circuit) n = c.Circuit.Netlist.node_names.(n)
 
-(* a node is chain-interior / leg-leaf material only when resistors
-   and grounded caps are its whole story *)
-let rc_only (p : Circuit.Flowgraph.node_profile) =
-  p.Circuit.Flowgraph.np_others = 0
-  && p.Circuit.Flowgraph.np_floating_caps = 0
-
-let check_chains ~emit (c : Circuit.Netlist.circuit) profiles neighbors =
-  let nodes = c.Circuit.Netlist.node_count in
-  let ground = Circuit.Element.ground in
-  let interior = Array.make nodes false in
-  for n = 0 to nodes - 1 do
-    Dataflow.tick ();
-    interior.(n) <-
-      n <> ground
-      && rc_only profiles.(n)
-      && profiles.(n).Circuit.Flowgraph.np_resistors = 2
-  done;
-  (* connected runs of interior nodes, joined by the resistors between
-     them: min-label propagation over the interior-restricted graph *)
-  let edges = ref [] in
-  for n = 0 to nodes - 1 do
-    if interior.(n) then
-      List.iter
-        (fun m -> if m > n && interior.(m) then edges := (n, m) :: !edges)
-        neighbors.(n)
-  done;
-  let g = Dataflow.undirected ~nodes !edges in
-  let module M = Dataflow.Make (Dataflow.Min_int) in
-  let label =
-    M.solve g
-      ~init:(fun n -> if interior.(n) then n else max_int)
-      ~edge:(fun ~from:_ ~into:_ v -> v)
-  in
-  let runs = Hashtbl.create 8 in
-  for n = nodes - 1 downto 0 do
-    if interior.(n) then
-      Hashtbl.replace runs label.(n)
-        (n :: Option.value (Hashtbl.find_opt runs label.(n)) ~default:[])
-  done;
-  Hashtbl.fold (fun _ members acc -> members :: acc) runs []
-  |> List.sort compare
-  |> List.iter (fun members ->
-         let k = List.length members in
-         if k >= 2 then
-           let names = List.map (nname c) members in
-           emit
-             (D.make ~nodes:names
-                ~hint:
-                  "collapse the run into a moment-preserving 2-port \
-                   equivalent before MNA stamping"
-                D.Series_chain
-                (Printf.sprintf
-                   "series RC chain: interior nodes {%s} carry only two \
-                    resistors and grounded capacitance each; the run \
-                    collapses to one equivalent node (saves %d node%s)"
-                   (String.concat ", " names)
-                   (k - 1)
-                   (if k = 2 then "" else "s"))))
-
-let check_stars ~emit (c : Circuit.Netlist.circuit) profiles neighbors =
-  let nodes = c.Circuit.Netlist.node_count in
-  let ground = Circuit.Element.ground in
-  let leaf = Array.make nodes false in
-  for n = 0 to nodes - 1 do
-    Dataflow.tick ();
-    (* a leg tip: one resistor in, grounded cap(s) only — a tip with
-       no cap at all is a dangling node, W002's business *)
-    leaf.(n) <-
-      n <> ground
-      && rc_only profiles.(n)
-      && profiles.(n).Circuit.Flowgraph.np_resistors = 1
-      && profiles.(n).Circuit.Flowgraph.np_grounded_caps >= 1
-  done;
-  for hub = 0 to nodes - 1 do
-    if not leaf.(hub) then begin
-      let leaves =
-        List.filter (fun m -> m <> hub && leaf.(m)) neighbors.(hub)
-        |> List.sort_uniq compare
-      in
-      let k = List.length leaves in
-      if k >= 2 then
-        let names = List.map (nname c) leaves in
-        emit
+let check_circuit (c : Circuit.Netlist.circuit) =
+  let plans = Circuit.Reduce.analyze ~tick:(fun () -> Dataflow.tick ()) c in
+  List.filter_map
+    (fun plan ->
+      let savings = Circuit.Reduce.plan_savings plan in
+      match plan with
+      | Circuit.Reduce.Chain { members } ->
+        let k = List.length members in
+        if k >= 2 then
+          let names = List.map (nname c) members in
+          Some
+            (D.make ~nodes:names
+               ~hint:
+                 "collapse the run into a moment-preserving 2-port \
+                  equivalent before MNA stamping"
+               D.Series_chain
+               (Printf.sprintf
+                  "series RC chain: interior nodes {%s} carry only two \
+                   resistors and grounded capacitance each; the run \
+                   collapses to one equivalent node (saves %d node%s)"
+                  (String.concat ", " names)
+                  savings
+                  (if savings = 1 then "" else "s")))
+        else None
+      | Circuit.Reduce.Star { hub; legs } ->
+        let k = List.length legs in
+        let names = List.map (nname c) legs in
+        Some
           (D.make
              ~nodes:(nname c hub :: names)
              ~hint:"merge the legs into one equivalent RC leg"
@@ -115,58 +62,19 @@ let check_stars ~emit (c : Circuit.Netlist.circuit) profiles neighbors =
                  merge into one equivalent leg (saves %d node%s)"
                 (nname c hub) k
                 (String.concat ", " names)
-                (k - 1)
-                (if k = 2 then "" else "s")))
-    end
-  done
-
-let check_parallel ~emit (c : Circuit.Netlist.circuit) =
-  let groups = Hashtbl.create 16 in
-  let add kind np nn name =
-    if np <> nn then begin
-      let k = (kind, min np nn, max np nn) in
-      Hashtbl.replace groups k
-        (name :: Option.value (Hashtbl.find_opt groups k) ~default:[])
-    end
-  in
-  Array.iter
-    (fun e ->
-      Dataflow.tick ();
-      match e with
-      | Circuit.Element.Resistor { name; np; nn; _ } ->
-        add "resistor" np nn name
-      | Circuit.Element.Capacitor { name; np; nn; _ } ->
-        add "capacitor" np nn name
-      | Circuit.Element.Inductor { name; np; nn; _ } ->
-        add "inductor" np nn name
-      | _ -> ())
-    c.Circuit.Netlist.elements;
-  Hashtbl.fold
-    (fun (kind, a, b) names acc -> ((kind, a, b), List.rev names) :: acc)
-    groups []
-  |> List.sort compare
-  |> List.iter (fun ((kind, a, b), names) ->
-         let k = List.length names in
-         if k >= 2 then
-           emit
-             (D.make
-                ~element:(List.hd names)
-                ~nodes:[ nname c a; nname c b ]
-                ~hint:"combine them into one equivalent element"
-                D.Parallel_merge
-                (Printf.sprintf
-                   "%d parallel %ss (%s) between nodes %s and %s \
-                    collapse into one equivalent element (saves %d)"
-                   k kind
-                   (String.concat ", " names)
-                   (nname c a) (nname c b) (k - 1))))
-
-let check_circuit (c : Circuit.Netlist.circuit) =
-  let acc = ref [] in
-  let emit d = acc := d :: !acc in
-  let profiles = Circuit.Flowgraph.profiles c in
-  let neighbors = Circuit.Flowgraph.resistor_neighbors c in
-  check_chains ~emit c profiles neighbors;
-  check_stars ~emit c profiles neighbors;
-  check_parallel ~emit c;
-  List.rev !acc
+                savings
+                (if savings = 1 then "" else "s")))
+      | Circuit.Reduce.Parallel { kind; np; nn; names } ->
+        Some
+          (D.make
+             ~element:(List.hd names)
+             ~nodes:[ nname c np; nname c nn ]
+             ~hint:"combine them into one equivalent element"
+             D.Parallel_merge
+             (Printf.sprintf
+                "%d parallel %ss (%s) between nodes %s and %s \
+                 collapse into one equivalent element (saves %d)"
+                (List.length names) kind
+                (String.concat ", " names)
+                (nname c np) (nname c nn) savings)))
+    plans

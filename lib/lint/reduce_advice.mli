@@ -11,7 +11,10 @@
     - [AWE-I203] ({!Diagnostic.Parallel_merge}): parallel same-kind
       two-terminal elements between one node pair.
 
-    All findings are Info severity: they advise, nothing is
-    rewritten. *)
+    The detection itself lives in {!Circuit.Reduce.analyze} — the same
+    plans this module formats are the ones [Sta.analyze --reduce]
+    rewrites, so advisory and rewriter cannot drift.  All findings are
+    Info severity; lint always reports against the {e original}
+    netlist (reduction happens later, inside the analysis). *)
 
 val check_circuit : Circuit.Netlist.circuit -> Diagnostic.t list

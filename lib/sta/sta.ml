@@ -507,7 +507,7 @@ let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
    shard entry happened to short-circuit the work is an execution
    detail that must not (and does not) show up in any counter, or the
    counters would vary with the chunking and therefore with [jobs]. *)
-let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
+let net_sink_timings (d : design) ~model ~options ~reduce ~view ~shard ~net
     ~driver_res ~slew =
   (* the Elmore model analyzes the ideal-step drive; the AWE models the
      actual (possibly ramped) excitation *)
@@ -517,6 +517,30 @@ let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
   let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
   if sink_nodes = [] then []
   else
+    (* model-order reduction before stamping (and before the cache
+       keys are derived, so isomorphic-after-reduction stages share
+       pattern-tier entries).  Sink pins are ports: never eliminated,
+       only renumbered. *)
+    let circuit, sink_nodes =
+      if not reduce then (circuit, sink_nodes)
+      else begin
+        let r =
+          Circuit.Reduce.reduce ~ports:(List.map snd sink_nodes) circuit
+        in
+        let rep = r.Circuit.Reduce.report in
+        Awe.Stats.record_reduction
+          ~nodes:rep.Circuit.Reduce.nodes_eliminated
+          ~elements:rep.Circuit.Reduce.elements_eliminated
+          ~parallels:rep.Circuit.Reduce.parallel_merges
+          ~series:rep.Circuit.Reduce.series_merges
+          ~chains:rep.Circuit.Reduce.chain_lumps
+          ~stars:rep.Circuit.Reduce.star_merges;
+        ( r.Circuit.Reduce.circuit,
+          List.map
+            (fun (inst, n) -> (inst, r.Circuit.Reduce.node_map.(n)))
+            sink_nodes )
+      end
+    in
     match view with
     | None ->
       let timings, _engine =
@@ -639,7 +663,7 @@ let net_sink_timings (d : design) ~model ~options ~view ~shard ~net
           timings))
 
 let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
-    ?cache (d : design) =
+    ?(reduce = true) ?cache (d : design) =
   let options = { Awe.default_options with Awe.sparse } in
   (* topological order over nets *)
   let gates = List.rev d.gates in
@@ -815,8 +839,8 @@ let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
                       labels.(ci) <- "net " ^ net;
                       outcomes.(k) <-
                         (match
-                           net_sink_timings d ~model ~options ~view ~shard
-                             ~net ~driver_res ~slew
+                           net_sink_timings d ~model ~options ~reduce ~view
+                             ~shard ~net ~driver_res ~slew
                          with
                         | timings -> Ok timings
                         | exception Malformed msg -> Error msg)
@@ -1266,7 +1290,7 @@ type corners_report = {
 }
 
 let analyze_corners ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1)
-    ?(strict = true) ?(cache = true) (d : design) corners =
+    ?(strict = true) ?(reduce = true) ?(cache = true) (d : design) corners =
   if corners = [] then
     invalid_arg "Sta.analyze_corners: need at least one corner";
   let names = List.map (fun c -> c.Circuit.Corner.name) corners in
@@ -1284,7 +1308,9 @@ let analyze_corners ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1)
         let corner_cache =
           if cache then Some (create_cache ~patterns ()) else None
         in
-        let r = analyze ~model ~sparse ~jobs ~strict ?cache:corner_cache dc in
+        let r =
+          analyze ~model ~sparse ~jobs ~strict ~reduce ?cache:corner_cache dc
+        in
         { run_corner = c; run_report = r; run_cache = corner_cache })
       corners
   in
@@ -1745,5 +1771,65 @@ module Synth = struct
       add_primary_input d ~net:(pi_west r) ();
       if r < rows - 1 then add_primary_output d ~net:(net_name r (cols - 1))
     done;
+    d
+
+  let ladder_cell =
+    cell ~name:"rl_buf" ~drive_res:120. ~input_cap:6e-15 ~intrinsic:20e-12
+
+  let rc_ladder ~stages ~length ~fanout () =
+    if stages < 1 then invalid_arg "Sta.Synth.rc_ladder: need stages >= 1";
+    if length < 3 then invalid_arg "Sta.Synth.rc_ladder: need length >= 3";
+    if fanout < 1 then invalid_arg "Sta.Synth.rc_ladder: need fanout >= 1";
+    let d = create () in
+    let gate_name i = Printf.sprintf "rl%d" i in
+    let net_name i = Printf.sprintf "ln%d" i in
+    (* each stage drives a long uniform RC trunk (the 2508.13159
+       long-chain regime: every trunk interior node is chain-interior
+       material) ending in a hub with [fanout - 1] capacitive side
+       stubs (star-leg material) plus the arm to the next stage's
+       input pin.  Trunk length and values vary with [stage mod 3], so
+       the unreduced design has three stage-circuit topology classes —
+       after reduction every stage lumps to the same T-section
+       template, which is exactly the canonicalization the pattern
+       tier rewards. *)
+    let ladder i sinks =
+      let cls = i mod 3 in
+      let len = length + cls in
+      let v = float_of_int cls in
+      let seg k =
+        { seg_from = (if k = 0 then "drv" else Printf.sprintf "t%d" k);
+          seg_to = Printf.sprintf "t%d" (k + 1);
+          res = 45. +. (7. *. v);
+          cap = 2.5e-15 +. (0.4e-15 *. v) }
+      in
+      let hub = Printf.sprintf "t%d" len in
+      let stubs =
+        List.init (fanout - 1) (fun j ->
+            { seg_from = hub;
+              seg_to = Printf.sprintf "s%d" j;
+              res = 90. +. (12. *. float_of_int j);
+              cap = 5e-15 +. (0.6e-15 *. float_of_int j) })
+      in
+      let arms =
+        List.map
+          (fun s -> { seg_from = hub; seg_to = s; res = 70.; cap = 3e-15 })
+          sinks
+      in
+      List.init len seg @ stubs @ arms
+    in
+    for i = 0 to stages - 1 do
+      let input = if i = 0 then "lin" else net_name (i - 1) in
+      add_gate d ~inst:(gate_name i) ~cell:ladder_cell ~inputs:[ input ]
+        ~output:(net_name i)
+    done;
+    add_net d ~name:"lin"
+      ~segments:
+        [ { seg_from = "drv"; seg_to = gate_name 0; res = 60.; cap = 4e-15 } ];
+    add_primary_input d ~net:"lin" ();
+    for i = 0 to stages - 1 do
+      let sinks = if i + 1 < stages then [ gate_name (i + 1) ] else [] in
+      add_net d ~name:(net_name i) ~segments:(ladder i sinks)
+    done;
+    add_primary_output d ~net:(net_name (stages - 1));
     d
 end

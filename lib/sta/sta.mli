@@ -272,11 +272,23 @@ val cache_fingerprint : cache -> (string * string) list * string list
 
 val analyze :
   ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
+  ?reduce:bool ->
   ?cache:cache ->
   design -> report
 (** Topological timing propagation.  Raises [Not_a_dag] on cycles and
     [Malformed] on dangling references (undriven nets, unknown sinks).
     Default model is [Awe_auto].
+
+    [reduce] (default [true]) runs {!Circuit.Reduce} on every stage
+    circuit before MNA stamping: parallel and unloaded-series merges
+    are exact (sink timings bit-identical to within 1e-12 relative);
+    RC chain lumping and star-leg merging preserve the low-order
+    moments at the driver and every sink pin (which are ports and are
+    never eliminated), so AWE delays agree within the verification
+    harness tolerance.  Reduction happens {e before} cache keying, so
+    stages that become isomorphic after reduction share pattern-tier
+    entries; the per-net reduction report accumulates into
+    [stats] ([reduce_nodes_eliminated] and friends).
 
     Each net is timed through one shared {!Awe.Engine}: one MNA build,
     one factorization, and one moment-vector sequence evaluated at
@@ -386,6 +398,7 @@ type corners_report = {
 
 val analyze_corners :
   ?model:delay_model -> ?sparse:bool -> ?jobs:int -> ?strict:bool ->
+  ?reduce:bool ->
   ?cache:bool ->
   design -> Circuit.Corner.t list -> corners_report
 (** One full {!analyze} per corner over {!corner_design}, sequentially
@@ -478,6 +491,17 @@ module Synth : sig
       (few repeated templates — the cache-hostile case) and random
       extra diagonal edges, so gates have two or three inputs and
       waves are ragged.  Deterministic per [seed]. *)
+
+  val rc_ladder : stages:int -> length:int -> fanout:int -> unit -> design
+  (** A chain of [stages] buffers, each driving a long uniform RC
+      trunk ([length + stage mod 3] segments — long-chain interconnect
+      in the style of arXiv 2508.13159) that ends in a hub carrying
+      [fanout - 1] capacitive side stubs plus the arm to the next
+      stage.  The workload where {!Circuit.Reduce} dominates: trunk
+      interiors are chain-lump material, stubs are star-leg material,
+      and the three unreduced trunk-length classes all reduce to one
+      T-section template, so reduction also raises the pattern-tier
+      hit rate.  Needs [stages >= 1], [length >= 3], [fanout >= 1]. *)
 
   val net_count : design -> int
   (** Number of nets with a declared wire model. *)

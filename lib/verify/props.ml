@@ -324,7 +324,10 @@ let sta_parity ~seed =
   Sta.add_net d ~name:"a" ~segments:(List.rev !segments);
   Sta.add_primary_input d ~net:"a" ();
   let q = 3 in
-  let report = Sta.analyze ~model:(Sta.Awe_model q) d in
+  (* reduce off: the per-sink rebuild below runs on the unreduced
+     stage circuit at 1e-6 — batching parity, not reduction accuracy
+     (reduce_equivalence owns that) *)
+  let report = Sta.analyze ~model:(Sta.Awe_model q) ~reduce:false d in
   let nt =
     List.find (fun nt -> nt.Sta.net_name = "a") report.Sta.nets
   in
@@ -442,6 +445,45 @@ let lint_soundness ~seed =
     | exception Invalid_argument msg ->
       failf "lint_soundness: lint-clean circuit rejected by Mna (%s)" msg)
 
+(* --- model-order reduction preserves the port response ------------- *)
+
+(* [Circuit.Reduce] promises that collapsing chains, stars and
+   parallels leaves the AWE response at every preserved port within
+   the oracle's transient-normalized L2 tolerance: exact transforms
+   change nothing, the lumping transforms keep the low-order moments,
+   and the ports themselves are never eliminated *)
+let reduce_equivalence ~seed =
+  let st = Random.State.make [| seed; 0x4ed |] in
+  let n = 3 + Random.State.int st 10 in
+  let sub = (seed * 11) + 5 in
+  let circuit, leaf = Circuit.Samples.random_rc_tree ~seed:sub ~n () in
+  let r = Circuit.Reduce.reduce ~ports:[ leaf ] circuit in
+  let rc = r.Circuit.Reduce.circuit in
+  if
+    rc.Circuit.Netlist.node_count > circuit.Circuit.Netlist.node_count
+    || Array.length rc.Circuit.Netlist.elements
+       > Array.length circuit.Circuit.Netlist.elements
+  then failf "reduce_equivalence: reduction grew the circuit";
+  let leaf' = r.Circuit.Reduce.node_map.(leaf) in
+  if leaf' < 0 then failf "reduce_equivalence: port was eliminated";
+  let a1, _ = Awe.auto (Circuit.Mna.build circuit) ~node:leaf in
+  let a2, _ = Awe.auto (Circuit.Mna.build rc) ~node:leaf' in
+  let t_stop = 8. *. dominant_tau a1 in
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to 32 do
+    let t = t_stop *. float_of_int i /. 32. in
+    let v1 = Awe.eval a1 t and v2 = Awe.eval a2 t in
+    num := !num +. ((v1 -. v2) *. (v1 -. v2));
+    den := !den +. (v1 *. v1)
+  done;
+  let rel = sqrt (!num /. Float.max !den 1e-30) in
+  if rel > Oracle.default_tol.Oracle.rel_l2 then
+    failf
+      "reduce_equivalence: reduced response deviates rel_l2 = %.3g \
+       (tolerance %.3g; %d nodes eliminated)"
+      rel Oracle.default_tol.Oracle.rel_l2
+      r.Circuit.Reduce.report.Circuit.Reduce.nodes_eliminated
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -452,7 +494,8 @@ let all =
     ("batch_parity", batch_parity);
     ("sta_parity", sta_parity);
     ("cauchy_dominates", cauchy_dominates);
-    ("lint_soundness", lint_soundness) ]
+    ("lint_soundness", lint_soundness);
+    ("reduce_equivalence", reduce_equivalence) ]
 
 let tests ~count =
   List.map

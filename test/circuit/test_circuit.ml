@@ -827,6 +827,279 @@ let test_canon_signature_guards_relabeling () =
     = Canon.exact_signature (canon_build spec ~node_order:[] ~perturb:None))
 
 (* ------------------------------------------------------------------ *)
+(* Circuit.Reduce: the pre-AWE model-order reduction pass *)
+
+let reduce_step = Element.Step { v0 = 0.; v1 = 1. }
+
+let reduce_node c name =
+  match Netlist.find_node c name with
+  | Some n -> n
+  | None -> Alcotest.failf "reduce tests: no node %s" name
+
+(* responses of the original and reduced circuits at a preserved port,
+   compared by discrete relative L2 over the transient (the verify
+   harness's metric); exact transforms pass [~tol:1e-12], the
+   moment-preserving lumps the oracle-style [~tol:0.1] *)
+let reduce_response_check ~tol msg c (r : Reduce.result) name =
+  let node = reduce_node c name in
+  let node' = r.Reduce.node_map.(node) in
+  Alcotest.(check bool) (msg ^ ": port survives") true (node' >= 0);
+  let a, _ = Awe.auto (Mna.build c) ~node in
+  let a', _ = Awe.auto (Mna.build r.Reduce.circuit) ~node:node' in
+  let tau =
+    match Awe.poles a with
+    | p :: _ when p.Linalg.Cx.re <> 0. -> 1. /. abs_float p.Linalg.Cx.re
+    | _ -> Alcotest.failf "%s: no finite dominant pole" msg
+  in
+  let t_stop = 8. *. tau in
+  let samples = 33 in
+  let num = ref 0. and den = ref 0. in
+  for k = 1 to samples do
+    let t = t_stop *. float_of_int k /. float_of_int samples in
+    let v = Awe.eval a t and v' = Awe.eval a' t in
+    num := !num +. ((v -. v') *. (v -. v'));
+    den := !den +. (v *. v)
+  done;
+  let rel = sqrt (!num /. !den) in
+  if rel > tol then
+    Alcotest.failf "%s: rel L2 %.3g exceeds %.3g" msg rel tol
+
+let test_reduce_plan_chain () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r0" "in" "a" 100.;
+  Netlist.add_c b "ca" "a" "0" 1e-12;
+  Netlist.add_r b "r1" "a" "m1" 150.;
+  Netlist.add_c b "c1" "m1" "0" 2e-12;
+  Netlist.add_r b "r2" "m1" "m2" 200.;
+  Netlist.add_c b "c2" "m2" "0" 3e-12;
+  Netlist.add_r b "r3" "m2" "b" 250.;
+  Netlist.add_c b "cb" "b" "0" 1e-12;
+  let c = Netlist.freeze b in
+  let members = List.map (reduce_node c) [ "a"; "m1"; "m2" ] in
+  (match Reduce.analyze c with
+  | [ Reduce.Chain { members = m } ] ->
+    Alcotest.(check (list int)) "chain members" (List.sort compare members) m
+  | plans -> Alcotest.failf "expected one chain plan, got %d" (List.length plans));
+  let plan = Reduce.Chain { members } in
+  Alcotest.(check int) "chain savings" 2 (Reduce.plan_savings plan);
+  (* with b preserved the run lumps to a T section: 2 nodes go *)
+  let r = Reduce.reduce ~ports:[ reduce_node c "b" ] c in
+  Alcotest.(check int) "nodes eliminated" 2
+    r.Reduce.report.Reduce.nodes_eliminated;
+  Alcotest.(check int) "chain lumps" 1 r.Reduce.report.Reduce.chain_lumps;
+  reduce_response_check ~tol:0.1 "chain lump response" c r "b"
+
+let test_reduce_plan_star () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "rdrv" "in" "h" 50.;
+  Netlist.add_r b "rl1" "h" "l1" 80.;
+  Netlist.add_c b "cl1" "l1" "0" 1e-12;
+  Netlist.add_r b "rl2" "h" "l2" 120.;
+  Netlist.add_c b "cl2" "l2" "0" 2e-12;
+  Netlist.add_r b "rl3" "h" "l3" 160.;
+  Netlist.add_c b "cl3" "l3" "0" 3e-12;
+  let c = Netlist.freeze b in
+  let hub = reduce_node c "h" in
+  let legs = List.sort compare (List.map (reduce_node c) [ "l1"; "l2"; "l3" ]) in
+  (match Reduce.analyze c with
+  | [ Reduce.Star { hub = h; legs = l } ] ->
+    Alcotest.(check int) "hub" hub h;
+    Alcotest.(check (list int)) "legs" legs l
+  | plans -> Alcotest.failf "expected one star plan, got %d" (List.length plans));
+  Alcotest.(check int) "star savings" 2
+    (Reduce.plan_savings (Reduce.Star { hub; legs }));
+  let r = Reduce.reduce ~ports:[ hub ] c in
+  Alcotest.(check int) "nodes eliminated" 2
+    r.Reduce.report.Reduce.nodes_eliminated;
+  Alcotest.(check int) "star merges" 1 r.Reduce.report.Reduce.star_merges;
+  (* the hub sees the merged leg through its first two admittance
+     moments; the response there tracks the original closely *)
+  reduce_response_check ~tol:0.1 "star merge response" c r "h"
+
+let test_reduce_exact_parallel () =
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "ra" "in" "x" 2e3;
+  Netlist.add_r b "rb" "in" "x" 2e3;
+  Netlist.add_r b "rc" "in" "x" 1e3;
+  Netlist.add_c b "c1" "x" "0" 1e-12;
+  Netlist.add_c b "c2" "x" "0" 3e-12;
+  let c = Netlist.freeze b in
+  let r = Reduce.reduce ~ports:[ reduce_node c "x" ] c in
+  Alcotest.(check int) "parallel groups" 2
+    r.Reduce.report.Reduce.parallel_merges;
+  Alcotest.(check int) "elements eliminated" 3
+    r.Reduce.report.Reduce.elements_eliminated;
+  Alcotest.(check int) "no nodes eliminated" 0
+    r.Reduce.report.Reduce.nodes_eliminated;
+  (* merged values land exactly: 2k || 2k || 1k = 500, 1p + 3p = 4p *)
+  Array.iter
+    (function
+      | Element.Resistor { r = ohms; _ } ->
+        check_close ~tol:1e-9 "parallel R value" 500. ohms
+      | Element.Capacitor { c = farads; _ } ->
+        check_close ~tol:1e-24 "parallel C value" 4e-12 farads
+      | _ -> ())
+    r.Reduce.circuit.Netlist.elements;
+  reduce_response_check ~tol:1e-12 "parallel merge response" c r "x"
+
+let test_reduce_exact_series () =
+  (* a capacitor-free interior run is an exact series merge: every run
+     node goes and one resistor of the summed resistance remains *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r1" "in" "s1" 100.;
+  Netlist.add_r b "r2" "s1" "s2" 200.;
+  Netlist.add_r b "r3" "s2" "out" 300.;
+  Netlist.add_c b "cout" "out" "0" 1e-12;
+  let c = Netlist.freeze b in
+  let r = Reduce.reduce ~ports:[ reduce_node c "out" ] c in
+  Alcotest.(check int) "series merges" 1 r.Reduce.report.Reduce.series_merges;
+  Alcotest.(check int) "nodes eliminated" 2
+    r.Reduce.report.Reduce.nodes_eliminated;
+  Array.iter
+    (function
+      | Element.Resistor { r = ohms; _ } ->
+        check_close ~tol:1e-9 "summed resistance" 600. ohms
+      | _ -> ())
+    r.Reduce.circuit.Netlist.elements;
+  reduce_response_check ~tol:1e-12 "series merge response" c r "out"
+
+let test_reduce_chain_preserves_elmore () =
+  (* the T lump preserves the first moment at the preserved ports, so
+     the Elmore-equivalent delay there is bit-close *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r0" "in" "a" 60.;
+  Netlist.add_c b "ca" "a" "0" 1e-12;
+  Netlist.add_r b "r1" "a" "m1" 110.;
+  Netlist.add_c b "c1" "m1" "0" 2e-12;
+  Netlist.add_r b "r2" "m1" "m2" 90.;
+  Netlist.add_c b "c2" "m2" "0" 4e-12;
+  Netlist.add_r b "r3" "m2" "m3" 70.;
+  Netlist.add_c b "c3" "m3" "0" 1e-12;
+  Netlist.add_r b "r4" "m3" "b" 130.;
+  Netlist.add_c b "cb" "b" "0" 5e-12;
+  let c = Netlist.freeze b in
+  let node = reduce_node c "b" in
+  let r = Reduce.reduce ~ports:[ node ] c in
+  Alcotest.(check bool) "reduction applied" true
+    (r.Reduce.report.Reduce.nodes_eliminated > 0);
+  let td = Awe.elmore_equivalent (Mna.build c) ~node in
+  let td' =
+    Awe.elmore_equivalent
+      (Mna.build r.Reduce.circuit)
+      ~node:r.Reduce.node_map.(node)
+  in
+  if abs_float (td -. td') > 1e-12 *. td then
+    Alcotest.failf "elmore drifted: %.17g vs %.17g" td' td
+
+let test_reduce_idempotent () =
+  let check_fixpoint msg c ports =
+    let r = Reduce.reduce ~ports c in
+    let r2 = Reduce.reduce ~ports:(List.map (fun p -> r.Reduce.node_map.(p)) ports)
+        r.Reduce.circuit
+    in
+    Alcotest.(check bool) (msg ^ ": second pass is a no-op") true
+      (r2.Reduce.report = Reduce.empty_report);
+    (* physically the same circuit, not just an equal one *)
+    Alcotest.(check bool) (msg ^ ": circuit unchanged") true
+      (r2.Reduce.circuit == r.Reduce.circuit)
+  in
+  let ladder, out = Samples.rc_ladder ~length:6 ~fanout:4 () in
+  check_fixpoint "ladder" ladder [ out ];
+  let tree, leaf = Samples.random_rc_tree ~seed:7 ~n:12 () in
+  check_fixpoint "random tree" tree [ leaf ];
+  let grid, far = Samples.rc_grid ~rows:4 ~cols:4 () in
+  check_fixpoint "grid" grid [ far ]
+
+let test_reduce_refusals () =
+  let untouched msg c ports =
+    let r = Reduce.reduce ~ports c in
+    Alcotest.(check bool) (msg ^ ": empty report") true
+      (r.Reduce.report = Reduce.empty_report);
+    Alcotest.(check bool) (msg ^ ": input returned") true
+      (r.Reduce.circuit == c)
+  in
+  (* inductor adjacency protects the whole ladder *)
+  let rlc, out = Samples.random_rlc_ladder ~seed:5 ~sections:4 () in
+  untouched "rlc ladder" rlc [ out ];
+  (* an IC-carrying capacitor pins its chain node *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r1" "in" "m1" 100.;
+  Netlist.add_c ~ic:1.5 b "c1" "m1" "0" 1e-12;
+  Netlist.add_r b "r2" "m1" "out" 100.;
+  Netlist.add_c b "cout" "out" "0" 1e-12;
+  let c = Netlist.freeze b in
+  untouched "ic cap" c [ reduce_node c "out" ];
+  (* a controlling terminal of a controlled source is load-bearing even
+     though no current flows: the node must survive *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r1" "in" "m1" 100.;
+  Netlist.add_c b "c1" "m1" "0" 1e-12;
+  Netlist.add_r b "r2" "m1" "out" 100.;
+  Netlist.add_c b "cout" "out" "0" 1e-12;
+  Netlist.add_vcvs b "e1" "amp" "0" "m1" "0" 2.;
+  Netlist.add_r b "rload" "amp" "0" 1e3;
+  let c = Netlist.freeze b in
+  untouched "vcvs controlling node" c [ reduce_node c "out" ];
+  (* mutual-coupled inductors never merge even in parallel *)
+  let b = Netlist.create () in
+  Netlist.add_v b "vin" "in" "0" reduce_step;
+  Netlist.add_r b "r1" "in" "x" 50.;
+  Netlist.add_l b "l1" "x" "0" 1e-9;
+  Netlist.add_l b "l2" "x" "0" 1e-9;
+  Netlist.add_k b "k1" "l1" "l2" 0.5;
+  Netlist.add_c b "cx" "x" "0" 1e-12;
+  let c = Netlist.freeze b in
+  untouched "coupled inductors" c [ reduce_node c "x" ]
+
+let test_reduce_ladder_sample () =
+  (* the standing bench example: with one preserved leg the trunk lumps
+     and the remaining legs merge, killing well over half the nodes *)
+  let c, out = Samples.rc_ladder ~length:10 ~fanout:4 () in
+  let r = Reduce.reduce ~ports:[ out ] c in
+  let before = c.Netlist.node_count in
+  let gone = r.Reduce.report.Reduce.nodes_eliminated in
+  Alcotest.(check bool)
+    (Printf.sprintf "eliminates >= 50%% of nodes (%d of %d)" gone before)
+    true
+    (2 * gone >= before);
+  Alcotest.(check bool) "chain lumped" true
+    (r.Reduce.report.Reduce.chain_lumps > 0);
+  Alcotest.(check bool) "star merged" true
+    (r.Reduce.report.Reduce.star_merges > 0);
+  reduce_response_check ~tol:0.1 "ladder response" c r "f1"
+
+let prop_reduce_tree_savings_match =
+  (* on any random RC tree the plans' claimed node savings equal the
+     rewriter's actual eliminations when nothing is protected *)
+  QCheck2.Test.make ~name:"plan savings = actual eliminations (ports=[])"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 3 20) (int_range 0 100000))
+    (fun (n, seed) ->
+      let c, _ = Samples.random_rc_tree ~seed ~n () in
+      let plans = Reduce.analyze c in
+      let claimed =
+        List.fold_left
+          (fun acc p ->
+            match p with
+            | Reduce.Chain { members } when List.length members < 2 -> acc
+            | Reduce.Parallel _ -> acc
+            | p -> acc + Reduce.plan_savings p)
+          0 plans
+      in
+      let r = Reduce.reduce ~ports:[] c in
+      (* first-round eliminations can exceed the advisory claim only
+         through capless series runs (none in an RC tree) or later
+         rounds cascading; require at least the claimed savings *)
+      r.Reduce.report.Reduce.nodes_eliminated >= claimed)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -924,4 +1197,20 @@ let () =
         [ Alcotest.test_case "signature guards relabeled instances" `Quick
             test_canon_signature_guards_relabeling ]
         @ qsuite [ prop_canon_relabel_invariant; prop_canon_value_sensitive ]
-      ) ]
+      );
+      ( "reduce",
+        [ Alcotest.test_case "chain plan and lump" `Quick
+            test_reduce_plan_chain;
+          Alcotest.test_case "star plan and merge" `Quick
+            test_reduce_plan_star;
+          Alcotest.test_case "parallel merge is exact" `Quick
+            test_reduce_exact_parallel;
+          Alcotest.test_case "series merge is exact" `Quick
+            test_reduce_exact_series;
+          Alcotest.test_case "chain lump preserves Elmore" `Quick
+            test_reduce_chain_preserves_elmore;
+          Alcotest.test_case "idempotent" `Quick test_reduce_idempotent;
+          Alcotest.test_case "refusal cases" `Quick test_reduce_refusals;
+          Alcotest.test_case "ladder sample reduces >= 50%" `Quick
+            test_reduce_ladder_sample ]
+        @ qsuite [ prop_reduce_tree_savings_match ] ) ]

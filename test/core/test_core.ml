@@ -1201,6 +1201,12 @@ let snap ?(phases = []) f m fi r e b =
     cache_pattern_hits = 0;
     cache_misses = 0;
     cache_bytes = 0;
+    reduce_nodes_eliminated = 0;
+    reduce_elements_eliminated = 0;
+    reduce_parallel_merges = 0;
+    reduce_series_merges = 0;
+    reduce_chain_lumps = 0;
+    reduce_star_merges = 0;
     phase_seconds = phases }
 
 let stat_ints (s : Awe.Stats.snapshot) =

@@ -805,6 +805,71 @@ let test_constraint_lines () =
       (Some 12) d.D.line
   | _ -> Alcotest.fail "expected exactly one W133"
 
+(* --- reduce advisories vs the rewriter ----------------------------- *)
+
+(* the I2xx advisories and Circuit.Reduce share one detector; on every
+   fixture the advisory's claimed node/element savings must equal what
+   the rewriter actually eliminates when nothing is protected *)
+let test_reduce_advice_savings_match () =
+  List.iter
+    (fun name ->
+      let deck = Circuit.Parser.parse_file (deck_path name) in
+      let c = deck.Circuit.Parser.circuit in
+      let plans = Circuit.Reduce.analyze c in
+      let node_savings, element_savings =
+        List.fold_left
+          (fun (nodes, elts) p ->
+            match p with
+            | Circuit.Reduce.Chain { members } when List.length members < 2 ->
+              (nodes, elts)
+            | Circuit.Reduce.Parallel _ ->
+              (nodes, elts + Circuit.Reduce.plan_savings p)
+            | p -> (nodes + Circuit.Reduce.plan_savings p, elts))
+          (0, 0) plans
+      in
+      let r = Circuit.Reduce.reduce ~ports:[] c in
+      Alcotest.(check int)
+        (name ^ ": advisory node savings = actual")
+        node_savings r.Circuit.Reduce.report.Circuit.Reduce.nodes_eliminated;
+      if element_savings > 0 then
+        Alcotest.(check int)
+          (name ^ ": advisory element savings = parallel eliminations")
+          element_savings
+          r.Circuit.Reduce.report.Circuit.Reduce.elements_eliminated)
+    [ "lint/i201_chain.sp"; "lint/i202_star.sp"; "lint/i203_parallel.sp" ]
+
+(* lint always sees the netlist as written: running the rewriter first
+   must not change a single diagnostic or SARIF byte *)
+let test_reduce_lint_purity () =
+  List.iter
+    (fun name ->
+      let path = deck_path name in
+      let deck = Circuit.Parser.parse_file path in
+      let c = deck.Circuit.Parser.circuit in
+      let before = Lint.normalize (Lint.check_circuit c) in
+      let sarif_before = Lint.Sarif.report [ (path, before) ] in
+      ignore (Circuit.Reduce.reduce ~ports:[] c);
+      let after = Lint.normalize (Lint.check_circuit c) in
+      Alcotest.(check bool)
+        (name ^ ": diagnostics unchanged by reduction")
+        true (before = after);
+      Alcotest.(check string)
+        (name ^ ": SARIF unchanged by reduction")
+        sarif_before
+        (Lint.Sarif.report [ (path, after) ]);
+      (* and the advisories are still present: the rewriter consumed a
+         copy, not the netlist lint reports on *)
+      Alcotest.(check bool)
+        (name ^ ": advisory still fires")
+        true
+        (List.exists
+           (fun d ->
+             match d.D.code with
+             | D.Series_chain | D.Star_reduce | D.Parallel_merge -> true
+             | _ -> false)
+           after))
+    [ "lint/i201_chain.sp"; "lint/i202_star.sp"; "lint/i203_parallel.sp" ]
+
 (* --- lint-clean random circuits never hit a singular solve --------- *)
 
 let qcheck_lint_clean_factors =
@@ -860,6 +925,11 @@ let () =
             test_w201_agrees_w003 ] );
       ( "dataflow engine",
         [ Alcotest.test_case "fixpoints" `Quick test_dataflow ] );
+      ( "reduce advisories",
+        [ Alcotest.test_case "savings match the rewriter" `Quick
+            test_reduce_advice_savings_match;
+          Alcotest.test_case "reduction never touches lint output" `Quick
+            test_reduce_lint_purity ] );
       ( "output",
         [ Alcotest.test_case "normalize" `Quick test_normalize;
           Alcotest.test_case "SARIF 2.1.0 structure" `Quick test_sarif;

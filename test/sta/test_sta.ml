@@ -328,7 +328,10 @@ let legacy_sink_timing ~vdd ~threshold ~slew ~circuit ~node ~q =
 let test_batch_matches_per_sink_adder () =
   let d = adder_deck () in
   let q = 3 in
-  let r = Sta.analyze ~model:(Sta.Awe_model q) d in
+  (* reduce off: the legacy pipeline below recomputes each sink on the
+     unreduced stage circuit, and this test pins batching, not the
+     reduction pass (test_reduce_* covers that) *)
+  let r = Sta.analyze ~model:(Sta.Awe_model q) ~reduce:false d in
   let find_net net = List.find (fun nt -> nt.Sta.net_name = net) r.Sta.nets in
   let sink_of net inst =
     List.find (fun s -> s.Sta.sink_inst = inst) (find_net net).Sta.sinks
@@ -610,6 +613,42 @@ let test_cache_jobs_deterministic () =
     (cache_counters c1.Sta.stats = cache_counters cn.Sta.stats);
   Alcotest.(check bool) "warm cache counters jobs-independent" true
     (cache_counters w1.Sta.stats = cache_counters wn.Sta.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Model-order reduction inside the timing loop: jobs-deterministic
+   (including the new reduce counters), actually firing on the ladder
+   generator, and agreeing with the unreduced pipeline within the
+   lumping tolerance. *)
+
+let test_reduce_jobs_deterministic () =
+  let d = Sta.Synth.rc_ladder ~stages:9 ~length:5 ~fanout:3 () in
+  let run jobs = Sta.analyze ~model:(Sta.Awe_model 3) ~jobs d in
+  let r1 = run 1 and rn = run test_jobs in
+  check_reports_equal "reduced ladder" r1 rn;
+  let red (s : Awe.Stats.snapshot) =
+    Awe.Stats.
+      ( s.reduce_nodes_eliminated,
+        s.reduce_elements_eliminated,
+        s.reduce_parallel_merges,
+        s.reduce_series_merges,
+        s.reduce_chain_lumps,
+        s.reduce_star_merges )
+  in
+  Alcotest.(check bool) "reduce counters jobs-independent" true
+    (red r1.Sta.stats = red rn.Sta.stats);
+  Alcotest.(check bool) "reduction fires on the ladder" true
+    (r1.Sta.stats.Awe.Stats.reduce_nodes_eliminated > 0);
+  (* against the unreduced pipeline: same nets, arrivals within the
+     moment-preserving lumps' tolerance *)
+  let off = Sta.analyze ~model:(Sta.Awe_model 3) ~reduce:false ~jobs:1 d in
+  Alcotest.(check int) "same net count" (List.length off.Sta.nets)
+    (List.length r1.Sta.nets);
+  Alcotest.(check int) "no reduce counters when off" 0
+    off.Sta.stats.Awe.Stats.reduce_nodes_eliminated;
+  let rel a b = abs_float (a -. b) /. Float.max 1e-30 (abs_float b) in
+  if rel r1.Sta.critical_arrival off.Sta.critical_arrival > 0.1 then
+    Alcotest.failf "critical arrival drifted: %.6g reduced vs %.6g"
+      r1.Sta.critical_arrival off.Sta.critical_arrival
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic designs at scale (Sta.Synth): the generators behind the
@@ -1324,6 +1363,9 @@ let () =
             test_cache_identity_random;
           Alcotest.test_case "cached runs jobs-deterministic" `Quick
             test_cache_jobs_deterministic ] );
+      ( "reduce",
+        [ Alcotest.test_case "jobs-deterministic, off-agreement" `Quick
+            test_reduce_jobs_deterministic ] );
       ( "synth",
         [ Alcotest.test_case "generator shapes" `Quick test_synth_shapes;
           Alcotest.test_case "jobs-deterministic (synthetic designs)" `Quick
