@@ -1154,6 +1154,193 @@ let sta_scale ?(smoke = false) () =
   end
   else note "sta_scale ok"
 
+(* Incremental ECO timing: a long-lived [Sta.Session] re-times only
+   the dirty cone of an edit — the edited net is re-solved, downstream
+   arrivals are rebuilt from the per-net memos by arithmetic alone —
+   so a steady-state single-element edit must beat a cold full
+   [analyze] of the same design by a wide margin.  The gate is the
+   headline of the ECO story: >= 5x at jobs=1 (the pool is irrelevant
+   when one net is dirty).  Identity checks pin the bit-identity
+   contract: the incremental report equals a cold analyze of the
+   edited design, field for field, at jobs 1 and 4, and the session
+   cache fingerprint equals the cold cache's. *)
+let sta_eco ?(smoke = false) () =
+  section
+    (if smoke then "STA ECO — smoke (incremental-vs-cold gate + identities)"
+     else "STA ECO — steady-state dirty-cone re-time vs cold analyze");
+  let cores = Parallel.default_jobs () in
+  let rows, cols, reps = if smoke then (24, 24, 5) else (100, 100, 5) in
+  let mk_design () =
+    let d = Sta.Synth.grid ~rows ~cols () in
+    (* a clock makes every primary output an endpoint, so the slack
+       tables the identity checks compare are non-trivial *)
+    Sta.set_clock d ~period:5e-9;
+    d
+  in
+  let nets = Sta.Synth.net_count (mk_design ()) in
+  (* Two edit sites.  The gated one sits next to an endpoint — the
+     typical ECO fix (resize a wire feeding a failing output), whose
+     dirty cone is a handful of nets.  The mid-grid one is the
+     worst-ish case: its slew cone is the whole downstream quadrant,
+     so it shows how the advantage shrinks as the cone grows —
+     measured and reported, not gated. *)
+  let endpoint_net = Printf.sprintf "w%d_%d" (rows - 2) (cols - 2) in
+  let mid_net = Printf.sprintf "w%d_%d" (rows / 2) (cols / 2) in
+  (* two resistance values per site; alternating between them keeps
+     every retime genuinely dirty (a no-op edit would flatter the
+     incremental path) *)
+  let r_a = 80. and r_b = 260. in
+  let mk_edit net v =
+    Sta.Session.Set_resistance { net; index = 0; value = v }
+  in
+  note "design: grid %dx%d (%d nets); edits: %s (endpoint), %s (mid); \
+        trunk R %g <-> %g Ohm"
+    rows cols nets endpoint_net mid_net r_a r_b;
+  note "%d recommended domains" cores;
+  let ok = ref true in
+  let check what b =
+    if not b then begin
+      note "IDENTITY VIOLATION: %s" what;
+      ok := false
+    end
+  in
+  let cold_analyze d jobs =
+    let cache = Sta.create_cache () in
+    Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs ~cache d
+  in
+  (* -- part 1: the speedup gate (jobs=1, median-of-reps) ----------- *)
+  let cold_d = mk_design () in
+  let cold_t, _ = timed_runs ~reps (fun () -> cold_analyze cold_d 1) in
+  let s =
+    Sta.Session.create ~model:Sta.Awe_auto ~sparse:true ~jobs:1 (mk_design ())
+  in
+  (* steady-state loop over one edit site: alternate the two values,
+     one retime per edit; dirty-cone size comes from the totals delta *)
+  let measure_eco label net =
+    let flip = ref false in
+    let before = Sta.Session.totals s in
+    let t, _ =
+      timed_runs ~reps (fun () ->
+          flip := not !flip;
+          (match Sta.Session.apply s (mk_edit net (if !flip then r_b else r_a))
+           with
+          | Ok () -> ()
+          | Error msg -> failwith ("sta_eco: edit rejected: " ^ msg));
+          match Sta.Session.retime s with
+          | Ok r -> r
+          | Error msg -> failwith ("sta_eco: retime failed: " ^ msg))
+    in
+    let after = Sta.Session.totals s in
+    let retimes =
+      after.Sta.Session.total_retimes - before.Sta.Session.total_retimes
+    in
+    let dirty =
+      float_of_int
+        (after.Sta.Session.total_dirty - before.Sta.Session.total_dirty)
+      /. float_of_int (max 1 retimes)
+    in
+    note
+      "eco %-9s jobs=1  median %8.2f ms  [%.2f .. %.2f]  speedup %5.1fx  \
+       (%.1f of %d nets re-solved per retime)"
+      label (1e3 *. t.t_med) (1e3 *. t.t_min) (1e3 *. t.t_max)
+      (cold_t.t_med /. t.t_med) dirty nets;
+    (t, dirty)
+  in
+  note "cold analyze  jobs=1  median %8.2f ms  [%.2f .. %.2f]"
+    (1e3 *. cold_t.t_med) (1e3 *. cold_t.t_min) (1e3 *. cold_t.t_max);
+  let eco_t, dirty_endpoint = measure_eco "endpoint" endpoint_net in
+  let mid_t, dirty_mid = measure_eco "mid-grid" mid_net in
+  let totals = Sta.Session.totals s in
+  let speedup = cold_t.t_med /. eco_t.t_med in
+  check "no full fallbacks taken" (totals.Sta.Session.total_fallbacks = 0);
+  let gate_ok = speedup >= 5. in
+  if not gate_ok then
+    note "GATE FAIL: endpoint eco retime %.2f ms vs cold %.2f ms — %.1fx < 5x"
+      (1e3 *. eco_t.t_med) (1e3 *. cold_t.t_med) speedup;
+  (* -- part 2: bit-identity at jobs 1 and 4 ----------------------- *)
+  let identical (a : Sta.report) (b : Sta.report) =
+    sta_reports_identical a b
+    && a.Sta.slacks = b.Sta.slacks
+    && a.Sta.worst_slack = b.Sta.worst_slack
+  in
+  List.iter
+    (fun j ->
+      let sj =
+        Sta.Session.create ~model:Sta.Awe_auto ~sparse:true ~jobs:j
+          (mk_design ())
+      in
+      (* the deep-cone edit, so the identity check covers a retime that
+         re-solves hundreds of nets across several waves *)
+      (match Sta.Session.apply sj (mk_edit mid_net r_b) with
+      | Ok () -> ()
+      | Error msg -> failwith ("sta_eco: edit rejected: " ^ msg));
+      let inc =
+        match Sta.Session.retime sj with
+        | Ok r -> r
+        | Error msg -> failwith ("sta_eco: retime failed: " ^ msg)
+      in
+      let cold_cache = Sta.create_cache () in
+      let cold =
+        Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs:1 ~cache:cold_cache
+          (Sta.Session.design sj)
+      in
+      check
+        (Printf.sprintf "eco jobs=%d report vs cold analyze of edited design" j)
+        (identical inc cold);
+      check
+        (Printf.sprintf "eco jobs=%d cache fingerprint vs cold cache" j)
+        (Sta.cache_fingerprint (Sta.Session.cache sj)
+        = Sta.cache_fingerprint cold_cache);
+      (* edit-then-revert restores the pristine fingerprint exactly *)
+      let undone = Sta.Session.revert_all sj in
+      (match Sta.Session.retime sj with
+      | Ok _ -> ()
+      | Error msg -> failwith ("sta_eco: revert retime failed: " ^ msg));
+      let pristine_cache = Sta.create_cache () in
+      ignore
+        (Sta.analyze ~model:Sta.Awe_auto ~sparse:true ~jobs:1
+           ~cache:pristine_cache (mk_design ()));
+      check
+        (Printf.sprintf
+           "eco jobs=%d fingerprint restored after reverting %d edit(s)" j
+           undone)
+        (Sta.cache_fingerprint (Sta.Session.cache sj)
+        = Sta.cache_fingerprint pristine_cache))
+    [ 1; 4 ];
+  claim ~paper:"ECO re-analysis touches the changed cone, not the design"
+    "endpoint retime %.2f ms vs cold %.2f ms (%.1fx) on %d nets, \
+     identities clean %b"
+    (1e3 *. eco_t.t_med) (1e3 *. cold_t.t_med) speedup nets !ok;
+  let json_path = "BENCH_sta_eco.json" in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{ \"scenario\": \"sta_eco\", \"smoke\": %b, \"cores\": %d,\n\
+    \  \"design\": { \"kind\": \"grid\", \"rows\": %d, \"cols\": %d, \
+     \"nets\": %d },\n\
+    \  \"edits\": { \"r_a\": %g, \"r_b\": %g,\n\
+    \    \"endpoint\": { \"net\": \"%s\", \"dirty_per_retime\": %.1f },\n\
+    \    \"mid\": { \"net\": \"%s\", \"dirty_per_retime\": %.1f } },\n\
+    \  \"reps\": %d,\n\
+    \  \"cold_ms\": [%.3f, %.3f, %.3f],\n\
+    \  \"eco_endpoint_ms\": [%.3f, %.3f, %.3f],\n\
+    \  \"eco_mid_ms\": [%.3f, %.3f, %.3f],\n\
+    \  \"speedup_endpoint\": %.2f, \"speedup_mid\": %.2f, \"fallbacks\": %d,\n\
+    \  \"gate_ok\": %b, \"identities_ok\": %b }\n"
+    smoke cores rows cols nets r_a r_b endpoint_net dirty_endpoint mid_net
+    dirty_mid reps (1e3 *. cold_t.t_min) (1e3 *. cold_t.t_med)
+    (1e3 *. cold_t.t_max) (1e3 *. eco_t.t_min) (1e3 *. eco_t.t_med)
+    (1e3 *. eco_t.t_max) (1e3 *. mid_t.t_min) (1e3 *. mid_t.t_med)
+    (1e3 *. mid_t.t_max) speedup
+    (cold_t.t_med /. mid_t.t_med)
+    totals.Sta.Session.total_fallbacks gate_ok !ok;
+  close_out oc;
+  note "wrote %s" json_path;
+  if not (gate_ok && !ok) then begin
+    note "STA ECO FAIL — failing";
+    exit 1
+  end
+  else note "sta_eco ok"
+
 (* Multi-corner signoff: N corners derate element values but never
    topology, so [Sta.analyze_corners] shares one pattern-tier store
    across the per-corner caches and every topology pays for its
@@ -1647,6 +1834,7 @@ let experiments =
     ("sta_batch", sta_batch); ("sta_parallel", fun () -> sta_parallel ());
     ("sta_cache", fun () -> sta_cache_bench ());
     ("sta_scale", fun () -> sta_scale ());
+    ("sta_eco", fun () -> sta_eco ());
     ("sta_corners", fun () -> sta_corners ());
     ("sta_reduce", fun () -> sta_reduce ());
     ("lint_scale", fun () -> lint_scale ()); ("verify", verify_bench) ]
@@ -1655,7 +1843,8 @@ let all_in_order =
   [ fig7; fig12; fig14; fig15; table1; fig17_18; fig19; fig20_21; fig23;
     fig24; table2_fig26; fig27; eq56; scaling; ablation; shifted; sta_bench;
     sta_batch; (fun () -> sta_parallel ()); (fun () -> sta_cache_bench ());
-    (fun () -> sta_scale ()); (fun () -> sta_corners ());
+    (fun () -> sta_scale ()); (fun () -> sta_eco ());
+    (fun () -> sta_corners ());
     (fun () -> sta_reduce ()); (fun () -> lint_scale ()); verify_bench ]
 
 let () =
@@ -1668,6 +1857,7 @@ let () =
     sta_parallel ~smoke ();
     sta_cache_bench ~smoke ();
     sta_scale ~smoke ();
+    sta_eco ~smoke ();
     sta_corners ~smoke ();
     sta_reduce ~smoke ();
     lint_scale ~smoke ()
@@ -1682,6 +1872,7 @@ let () =
         | "sta_parallel", _ -> sta_parallel ~smoke ()
         | "sta_cache", _ -> sta_cache_bench ~smoke ()
         | "sta_scale", _ -> sta_scale ~smoke ()
+        | "sta_eco", _ -> sta_eco ~smoke ()
         | "sta_corners", _ -> sta_corners ~smoke ()
         | "sta_reduce", _ -> sta_reduce ~smoke ()
         | "lint_scale", _ -> lint_scale ~smoke ()

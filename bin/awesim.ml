@@ -173,6 +173,59 @@ let resolve_jobs j =
   end;
   if j = 0 then Parallel.default_jobs () else j
 
+(* The analysis options shared by analyze/timing/serve, parsed and
+   validated in one place (invalid values exit 2 before any command
+   body runs).  [use_cache] only has a flag where a command can run
+   cacheless — the sessions behind [serve] own their cache. *)
+type common = {
+  sparse : bool;
+  stats : bool;
+  reduce : bool;
+  jobs : int;  (* resolved: >= 1 *)
+  use_cache : bool;
+}
+
+let cache_flag =
+  Arg.(
+    value
+    & vflag true
+        [ ( true,
+            info [ "cache" ]
+              ~doc:
+                "Enable the structure-sharing cache (the default): \
+                 identical nets reuse one engine, structurally identical \
+                 nets reuse one symbolic factorization.  Results are \
+                 bit-identical with or without it; --stats shows the \
+                 hit/miss counters." );
+          ( false,
+            info [ "no-cache" ]
+              ~doc:"Disable the structure-sharing cache." ) ])
+
+let common_term ?(cache = false) () =
+  let mk sparse stats reduce jobs use_cache =
+    { sparse; stats; reduce; jobs = resolve_jobs jobs; use_cache }
+  in
+  Term.(
+    const mk $ sparse_arg $ stats_arg $ reduce_arg $ jobs_arg
+    $ (if cache then cache_flag else const true))
+
+let model_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:"Net delay model: elmore, auto, or a fixed AWE order.")
+
+let resolve_model s =
+  match String.lowercase_ascii s with
+  | "elmore" -> Sta.Elmore_model
+  | "auto" -> Sta.Awe_auto
+  | s -> (
+    match int_of_string_opt s with
+    | Some q when q >= 1 -> Sta.Awe_model q
+    | _ ->
+      Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
+      exit 2)
+
 let pp_pole ppf (p : Linalg.Cx.t) =
   if p.Linalg.Cx.im = 0. then Format.fprintf ppf "%.5e" p.Linalg.Cx.re
   else Format.fprintf ppf "%.5e %+.5ej" p.Linalg.Cx.re p.Linalg.Cx.im
@@ -268,8 +321,7 @@ let cmd_lint paths strict json quiet sarif baseline write_baseline =
   if !failed then exit 1
 
 let cmd_analyze deck_path node_opt order_opt tstop_opt samples csv compare
-    threshold shift sparse stats reduce jobs =
-  let jobs = resolve_jobs jobs in
+    threshold shift { sparse; stats; reduce; jobs; use_cache = _ } =
   let deck = read_deck deck_path in
   (* lint always sees the netlist as written; reduction happens after *)
   lint_gate deck_path (Lint.check_circuit deck.Circuit.Parser.circuit);
@@ -561,26 +613,15 @@ let pp_slack_table ppf (r : Sta.report) =
   Format.fprintf ppf "@,worst slack: %.4g ns%s@]" (r.Sta.worst_slack *. 1e9)
     (if r.Sta.worst_slack < 0. then "  (VIOLATED)" else "")
 
-let cmd_timing design_path model sparse stats reduce jobs strict use_cache
-    slack_only top_k corners_path json =
+let cmd_timing design_path model { sparse; stats; reduce; jobs; use_cache }
+    strict slack_only top_k corners_path json =
   let design = read_design design_path in
   lint_gate design_path (Lint.check_design design);
-  let model =
-    match String.lowercase_ascii model with
-    | "elmore" -> Sta.Elmore_model
-    | "auto" -> Sta.Awe_auto
-    | s -> (
-      match int_of_string_opt s with
-      | Some q when q >= 1 -> Sta.Awe_model q
-      | _ ->
-        Printf.eprintf "bad --model %S (elmore | auto | <order>)\n" s;
-        exit 2)
-  in
+  let model = resolve_model model in
   if top_k < 0 then begin
     Printf.eprintf "--top-k must be non-negative\n";
     exit 2
   end;
-  let jobs = resolve_jobs jobs in
   let timing_failure = function
     | Sta.Not_a_dag nets ->
       Printf.eprintf "combinational cycle through: %s\n"
@@ -685,6 +726,73 @@ let cmd_verify seed count prop_count fuzz_count rel_l2 repro_dir quiet jobs =
   Format.printf "%a@." Verify.pp_report report;
   if not (Verify.passed report) then exit 1
 
+(* awesim serve: a long-lived ECO session daemon.  One Serve.t (and so
+   at most one loaded session) per process; the protocol itself is in
+   Sta.Serve, the CLI only owns the transport — stdin/stdout by
+   default, a Unix-domain socket with --socket (connections are served
+   one at a time and the session persists across them). *)
+let cmd_serve { sparse; stats; reduce; jobs; use_cache = _ } model socket_path
+    design_path =
+  let model = resolve_model model in
+  let gate d =
+    match Lint.gate ~strict:false (Lint.normalize (Lint.check_design d)) with
+    | Ok () -> Ok ()
+    | Error offending ->
+      Error (Format.asprintf "@[<v>%a@]" Lint.Diagnostic.pp_list offending)
+  in
+  let stats_before = Awe.Stats.snapshot () in
+  let t = Sta.Serve.create ~model ~sparse ~jobs ~reduce ~gate () in
+  (match design_path with
+  | None -> ()
+  | Some path ->
+    let r = Sta.Serve.handle t ("load " ^ path) in
+    print_endline r.Sta.Serve.body);
+  (* one request line in, one JSON line out; returns true on [quit] *)
+  let serve_channel ic oc =
+    let rec loop () =
+      match input_line ic with
+      | exception End_of_file -> false
+      | line ->
+        let r = Sta.Serve.handle t line in
+        output_string oc r.Sta.Serve.body;
+        output_char oc '\n';
+        flush oc;
+        if r.Sta.Serve.quit then true else loop ()
+    in
+    loop ()
+  in
+  (match socket_path with
+  | None -> ignore (serve_channel stdin stdout)
+  | Some path ->
+    (* reclaim a stale socket file, and only a socket file *)
+    (match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK -> Sys.remove path
+    | _ ->
+      Printf.eprintf "%s exists and is not a socket\n" path;
+      exit 2
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 1;
+    Printf.eprintf "awesim serve: listening on %s\n%!" path;
+    let rec accept_loop () =
+      let fd, _ = Unix.accept sock in
+      let quit =
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (* a dropped connection ends the connection, not the server *)
+        try serve_channel ic oc with Sys_error _ -> false
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if not quit then accept_loop ()
+    in
+    accept_loop ();
+    Unix.close sock;
+    try Sys.remove path with Sys_error _ -> ());
+  if stats then
+    Format.eprintf "engine counters:@.%a@." Awe.Stats.pp
+      (Awe.Stats.diff (Awe.Stats.snapshot ()) stats_before)
+
 let cmd_elmore deck_path =
   let deck = read_deck deck_path in
   let circuit = deck.Circuit.Parser.circuit in
@@ -733,8 +841,8 @@ let analyze_t =
     (Cmd.info "analyze" ~doc:"AWE-approximate a node's response")
     Term.(
       const cmd_analyze $ deck_arg $ node_arg $ order_arg $ tstop_arg
-      $ samples_arg $ csv_arg $ compare $ threshold $ shift $ sparse_arg
-      $ stats_arg $ reduce_arg $ jobs_arg)
+      $ samples_arg $ csv_arg $ compare $ threshold $ shift
+      $ common_term ())
 
 let poles_t =
   let actual =
@@ -768,12 +876,6 @@ let moments_t =
     Term.(const cmd_moments $ deck_arg $ node_arg $ count)
 
 let timing_t =
-  let model =
-    Arg.(
-      value & opt string "auto"
-      & info [ "model" ] ~docv:"MODEL"
-          ~doc:"Net delay model: elmore, auto, or a fixed AWE order.")
-  in
   let strict =
     Arg.(
       value & flag
@@ -782,22 +884,6 @@ let timing_t =
             "Abort on the first net that fails to time.  The default keeps \
              timing sibling nets and reports every per-net diagnostic \
              (still exiting nonzero).")
-  in
-  let use_cache =
-    Arg.(
-      value
-      & vflag true
-          [ ( true,
-              info [ "cache" ]
-                ~doc:
-                  "Enable the structure-sharing cache (the default): \
-                   identical nets reuse one engine, structurally identical \
-                   nets reuse one symbolic factorization.  Results are \
-                   bit-identical with or without it; --stats shows the \
-                   hit/miss counters." );
-            ( false,
-              info [ "no-cache" ]
-                ~doc:"Disable the structure-sharing cache." ) ])
   in
   let slack =
     Arg.(
@@ -839,9 +925,8 @@ let timing_t =
   Cmd.v
     (Cmd.info "timing" ~doc:"Static timing analysis of a design file")
     Term.(
-      const cmd_timing $ deck_arg $ model $ sparse_arg $ stats_arg
-      $ reduce_arg $ jobs_arg $ strict $ use_cache $ slack $ top_k $ corners
-      $ json)
+      const cmd_timing $ deck_arg $ model_arg $ common_term ~cache:true ()
+      $ strict $ slack $ top_k $ corners $ json)
 
 let lint_t =
   let paths =
@@ -950,12 +1035,40 @@ let verify_t =
       const cmd_verify $ seed $ count $ prop_count $ fuzz_count $ rel_l2
       $ repro_dir $ quiet $ jobs_arg)
 
+let serve_t =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of stdin/stdout.  \
+             Connections are served one at a time; the loaded session \
+             (and its warm incremental state) persists across them.")
+  in
+  let design =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"DESIGN"
+          ~doc:"Design file to load on startup (optional; the $(b,load) \
+                command loads or replaces a design at any time).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived ECO timing session: load a design once, then \
+          stream edit/timing/revert commands over a line protocol and pay \
+          only dirty-cone re-analysis per query.  One command line in, one \
+          JSON line out; see the protocol reference in the README.")
+    Term.(const cmd_serve $ common_term () $ model_arg $ socket $ design)
+
 let () =
   let doc = "asymptotic waveform evaluation for timing analysis" in
   let group =
     Cmd.group (Cmd.info "awesim" ~version:"1.0.0" ~doc)
       [ analyze_t; poles_t; sim_t; elmore_t; moments_t; timing_t; lint_t;
-        verify_t ]
+        verify_t; serve_t ]
   in
   exit
     (try Cmd.eval group with

@@ -138,24 +138,28 @@ let elem_context ~esig ~by_name ~color (c : Netlist.circuit) i =
 let distinct_count colors =
   List.length (List.sort_uniq String.compare (Array.to_list colors))
 
-let wl_hash ~with_values (c : Netlist.circuit) =
-  let n = c.node_count in
-  let elems = c.elements in
-  let by_name = name_index c in
-  let esig =
-    Array.map
-      (fun e ->
-        let b = Buffer.create 16 in
-        add_static ~with_values b e;
-        Buffer.contents b)
-      elems
-  in
-  (* per-node incidence: (element index, port role) *)
+let static_sigs ~with_values elems =
+  Array.map
+    (fun e ->
+      let b = Buffer.create 16 in
+      add_static ~with_values b e;
+      Buffer.contents b)
+    elems
+
+(* per-node incidence: (element index, port role) *)
+let incidence n elems =
   let inc = Array.make n [] in
   Array.iteri
     (fun i e ->
       Array.iteri (fun role v -> inc.(v) <- (i, role) :: inc.(v)) (ports e))
     elems;
+  inc
+
+(* One refinement run over prebuilt tables, so {!hashes} can share the
+   structural setup between the pattern and exact runs. *)
+let wl_hash_with ~by_name ~inc ~esig (c : Netlist.circuit) =
+  let n = c.node_count in
+  let elems = c.elements in
   let color =
     Array.init n (fun v -> if v = Element.ground then "g" else "n")
   in
@@ -204,18 +208,26 @@ let wl_hash ~with_values (c : Netlist.circuit) =
     (List.sort String.compare ctx);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+let wl_hash ~with_values (c : Netlist.circuit) =
+  wl_hash_with ~by_name:(name_index c)
+    ~inc:(incidence c.node_count c.elements)
+    ~esig:(static_sigs ~with_values c.elements)
+    c
+
 let pattern_hash c = wl_hash ~with_values:false c
 
 let exact_hash c = wl_hash ~with_values:true c
 
-let exact_signature (c : Netlist.circuit) =
-  let by_name = name_index c in
+(* The signature body over a prebuilt name index; [vsig] is the
+   with-values static signature of each element (shared with the exact
+   refinement run by {!hashes}). *)
+let signature_with ~by_name ~vsig (c : Netlist.circuit) =
   let b = Buffer.create 512 in
   Buffer.add_string b (string_of_int c.node_count);
   Buffer.add_char b '#';
-  Array.iter
-    (fun e ->
-      add_static ~with_values:true b e;
+  Array.iteri
+    (fun i e ->
+      Buffer.add_string b vsig.(i);
       Array.iter
         (fun v ->
           Buffer.add_string b (string_of_int v);
@@ -231,3 +243,29 @@ let exact_signature (c : Netlist.circuit) =
       Buffer.add_char b '\n')
     c.elements;
   Buffer.contents b
+
+let exact_signature (c : Netlist.circuit) =
+  signature_with ~by_name:(name_index c)
+    ~vsig:(static_sigs ~with_values:true c.elements)
+    c
+
+type hashes = {
+  pattern : string;
+  exact : string;
+  signature : string;
+}
+
+(* The ECO hot path re-canons a net on every re-solve, so the three
+   forms share one setup: the name index and node incidence are built
+   once (they do not depend on values), and the with-values static
+   signatures feed both the exact refinement and the signature
+   serialization.  Each output is string-identical to its single-form
+   function — only the redundant setup work is removed. *)
+let hashes (c : Netlist.circuit) =
+  let by_name = name_index c in
+  let inc = incidence c.node_count c.elements in
+  let psig = static_sigs ~with_values:false c.elements in
+  let vsig = static_sigs ~with_values:true c.elements in
+  { pattern = wl_hash_with ~by_name ~inc ~esig:psig c;
+    exact = wl_hash_with ~by_name ~inc ~esig:vsig c;
+    signature = signature_with ~by_name ~vsig c }

@@ -47,6 +47,20 @@ val exact_hash : Netlist.circuit -> string
     invariant under node relabeling and element renaming.  Any value
     perturbation, however small, changes the hash. *)
 
+type hashes = {
+  pattern : string;
+  exact : string;
+  signature : string;
+}
+
+val hashes : Netlist.circuit -> hashes
+(** All three canonical forms from one shared traversal: the node
+    incidence tables and element name index are built once and reused
+    by both refinement runs and the signature serialization.  Each
+    field is string-identical to the corresponding single-form
+    function; callers that need more than one form (the solve path
+    re-canons every net it touches) should use this. *)
+
 val exact_signature : Netlist.circuit -> string
 (** Bit-exact serialization of the circuit in construction order with
     names stripped: node count, then each element's kind, port node

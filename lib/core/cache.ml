@@ -80,6 +80,37 @@ let publish_symbolic t ~hash s =
     true
   end
 
+(* Removal exists for incremental sessions: an edit that changes a
+   net's exact key retires the old entry once no live net references
+   it, keeping the key set equal to what a cold run of the edited
+   design would publish.  Both removers bump the pattern epoch /
+   drop the byte memo like publication does. *)
+let remove_exact t ~hash ~signature =
+  match Smap.find_opt hash t.exact with
+  | None -> false
+  | Some entries ->
+    let kept =
+      List.filter (fun e -> not (String.equal e.e_sig signature)) entries
+    in
+    if List.length kept = List.length entries then false
+    else begin
+      t.exact <-
+        (if kept = [] then Smap.remove hash t.exact
+         else Smap.add hash kept t.exact);
+      t.bytes_memo <- None;
+      true
+    end
+
+let remove_symbolic t ~hash =
+  let p = t.pats in
+  match Smap.find_opt hash p.p_symbolics with
+  | None -> 0
+  | Some entries ->
+    p.p_symbolics <- Smap.remove hash p.p_symbolics;
+    p.p_epoch <- p.p_epoch + 1;
+    t.bytes_memo <- None;
+    List.length entries
+
 (* The reachability sweep is linear in the cache size; memoizing it
    turns repeated stats-time queries (one per [analyze]) into a single
    sweep per publication epoch instead of one per call.  The memo

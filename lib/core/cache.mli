@@ -97,6 +97,22 @@ val publish_symbolic : 'a t -> hash:string -> Sparse.Slu.symbolic -> bool
     the hash ({!Sparse.Slu.same_analysis}), so concurrent misses on
     one template publish a single copy. *)
 
+val remove_exact : 'a t -> hash:string -> signature:string -> bool
+(** Retire the exact-tier entry published under (hash, signature), if
+    present.  Returns whether an entry was removed.  Incremental
+    sessions use this to keep the exact tier equal to what a cold run
+    of the {e current} design would publish: when an edit changes a
+    net's value-exact key and no other net still maps to the old key,
+    the stale entry is removed rather than left to shadow the tier's
+    fingerprint. *)
+
+val remove_symbolic : 'a t -> hash:string -> int
+(** Retire {e all} symbolic analyses stored under a pattern hash (a
+    topology edit changed the last net with that pattern).  Returns
+    how many analyses were dropped (0 when the hash was absent).
+    Affects every cache sharing this pattern store — callers
+    refcount hashes across exactly the nets served by the store. *)
+
 val bytes : 'a t -> int
 (** Approximate heap footprint of everything the cache retains, in
     bytes (transitively reachable words).  Computed lazily: the

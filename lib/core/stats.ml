@@ -24,6 +24,10 @@ type snapshot = {
   reduce_series_merges : int;
   reduce_chain_lumps : int;
   reduce_star_merges : int;
+  eco_edits : int;
+  eco_dirty_nets : int;
+  eco_reused_nets : int;
+  eco_full_fallbacks : int;
   phase_seconds : (string * float) list;
 }
 
@@ -44,6 +48,10 @@ type counters = {
   mutable reduce_series_c : int;
   mutable reduce_chains_c : int;
   mutable reduce_stars_c : int;
+  mutable eco_edits_c : int;
+  mutable eco_dirty_c : int;
+  mutable eco_reused_c : int;
+  mutable eco_fallbacks_c : int;
   phases : (string, float) Hashtbl.t; (* phase name -> CPU seconds *)
 }
 
@@ -64,6 +72,10 @@ let fresh () =
     reduce_series_c = 0;
     reduce_chains_c = 0;
     reduce_stars_c = 0;
+    eco_edits_c = 0;
+    eco_dirty_c = 0;
+    eco_reused_c = 0;
+    eco_fallbacks_c = 0;
     phases = Hashtbl.create 8 }
 
 (* one counter record per domain, created on first use *)
@@ -89,6 +101,10 @@ let reset () =
   c.reduce_series_c <- 0;
   c.reduce_chains_c <- 0;
   c.reduce_stars_c <- 0;
+  c.eco_edits_c <- 0;
+  c.eco_dirty_c <- 0;
+  c.eco_reused_c <- 0;
+  c.eco_fallbacks_c <- 0;
   Hashtbl.reset c.phases
 
 let record_factorization () =
@@ -140,6 +156,13 @@ let record_reduction ~nodes ~elements ~parallels ~series ~chains ~stars =
   c.reduce_chains_c <- c.reduce_chains_c + chains;
   c.reduce_stars_c <- c.reduce_stars_c + stars
 
+let record_eco ~edits ~dirty_nets ~reused_nets ~full_fallbacks =
+  let c = current () in
+  c.eco_edits_c <- c.eco_edits_c + edits;
+  c.eco_dirty_c <- c.eco_dirty_c + dirty_nets;
+  c.eco_reused_c <- c.eco_reused_c + reused_nets;
+  c.eco_fallbacks_c <- c.eco_fallbacks_c + full_fallbacks
+
 let replay s =
   let c = current () in
   c.factorizations_c <- c.factorizations_c + s.factorizations;
@@ -176,6 +199,10 @@ let snapshot_of c =
     reduce_series_merges = c.reduce_series_c;
     reduce_chain_lumps = c.reduce_chains_c;
     reduce_star_merges = c.reduce_stars_c;
+    eco_edits = c.eco_edits_c;
+    eco_dirty_nets = c.eco_dirty_c;
+    eco_reused_nets = c.eco_reused_c;
+    eco_full_fallbacks = c.eco_fallbacks_c;
     phase_seconds =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.phases []
       |> List.sort compare }
@@ -199,6 +226,10 @@ let zero =
     reduce_series_merges = 0;
     reduce_chain_lumps = 0;
     reduce_star_merges = 0;
+    eco_edits = 0;
+    eco_dirty_nets = 0;
+    eco_reused_nets = 0;
+    eco_full_fallbacks = 0;
     phase_seconds = [] }
 
 let diff a b =
@@ -228,6 +259,10 @@ let diff a b =
     reduce_series_merges = a.reduce_series_merges - b.reduce_series_merges;
     reduce_chain_lumps = a.reduce_chain_lumps - b.reduce_chain_lumps;
     reduce_star_merges = a.reduce_star_merges - b.reduce_star_merges;
+    eco_edits = a.eco_edits - b.eco_edits;
+    eco_dirty_nets = a.eco_dirty_nets - b.eco_dirty_nets;
+    eco_reused_nets = a.eco_reused_nets - b.eco_reused_nets;
+    eco_full_fallbacks = a.eco_full_fallbacks - b.eco_full_fallbacks;
     phase_seconds = sub a.phase_seconds b.phase_seconds }
 
 let merge a b =
@@ -257,6 +292,10 @@ let merge a b =
     reduce_series_merges = a.reduce_series_merges + b.reduce_series_merges;
     reduce_chain_lumps = a.reduce_chain_lumps + b.reduce_chain_lumps;
     reduce_star_merges = a.reduce_star_merges + b.reduce_star_merges;
+    eco_edits = a.eco_edits + b.eco_edits;
+    eco_dirty_nets = a.eco_dirty_nets + b.eco_dirty_nets;
+    eco_reused_nets = a.eco_reused_nets + b.eco_reused_nets;
+    eco_full_fallbacks = a.eco_full_fallbacks + b.eco_full_fallbacks;
     phase_seconds = phases }
 
 let scoped f =
@@ -288,6 +327,10 @@ let scoped f =
     outer.reduce_series_c <- outer.reduce_series_c + inner.reduce_series_c;
     outer.reduce_chains_c <- outer.reduce_chains_c + inner.reduce_chains_c;
     outer.reduce_stars_c <- outer.reduce_stars_c + inner.reduce_stars_c;
+    outer.eco_edits_c <- outer.eco_edits_c + inner.eco_edits_c;
+    outer.eco_dirty_c <- outer.eco_dirty_c + inner.eco_dirty_c;
+    outer.eco_reused_c <- outer.eco_reused_c + inner.eco_reused_c;
+    outer.eco_fallbacks_c <- outer.eco_fallbacks_c + inner.eco_fallbacks_c;
     Hashtbl.iter (fun k v -> add_phase outer.phases k v) inner.phases
   in
   match f () with
@@ -326,6 +369,15 @@ let pp ppf s =
       "@,reduce transforms: %d parallel, %d series, %d chain, %d star"
       s.reduce_parallel_merges s.reduce_series_merges s.reduce_chain_lumps
       s.reduce_star_merges
+  end;
+  if
+    s.eco_edits + s.eco_dirty_nets + s.eco_reused_nets + s.eco_full_fallbacks
+    > 0
+  then begin
+    Format.fprintf ppf "@,eco edits:         %d" s.eco_edits;
+    Format.fprintf ppf "@,eco dirty nets:    %d" s.eco_dirty_nets;
+    Format.fprintf ppf "@,eco reused nets:   %d" s.eco_reused_nets;
+    Format.fprintf ppf "@,eco fallbacks:     %d" s.eco_full_fallbacks
   end;
   List.iter
     (fun (phase, secs) ->

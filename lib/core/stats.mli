@@ -48,6 +48,13 @@ type snapshot = {
       (** capacitor-free resistor runs collapsed (exact) *)
   reduce_chain_lumps : int;  (** series RC runs lumped to a T section *)
   reduce_star_merges : int;  (** hubs whose RC legs were merged *)
+  eco_edits : int;  (** edits applied to a {!Sta.Session} *)
+  eco_dirty_nets : int;
+      (** nets re-solved by an incremental re-time (the dirty cone) *)
+  eco_reused_nets : int;
+      (** nets served from the session memo without re-solving *)
+  eco_full_fallbacks : int;
+      (** incremental re-times abandoned for a full cold re-analysis *)
   phase_seconds : (string * float) list;  (** CPU seconds per phase *)
 }
 
@@ -102,6 +109,12 @@ val record_reduction :
     runs {e before} the structure-cache lookup, so these counters are
     deliberately outside {!replay}: a cache hit still pays (and
     counts) its own reduction. *)
+
+val record_eco :
+  edits:int -> dirty_nets:int -> reused_nets:int -> full_fallbacks:int -> unit
+(** Accumulate one incremental re-time's ECO tallies ([Sta.Session]).
+    Outside {!replay} for the same reason as the cache fields: these
+    describe session bookkeeping, not solver work a hit stands for. *)
 
 val replay : snapshot -> unit
 (** Re-record the engine counters of a snapshot — the six work

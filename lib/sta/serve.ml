@@ -1,0 +1,275 @@
+(* The serve line protocol (see serve.mli).  Pure string -> response:
+   the CLI owns the sockets and the read loop, tests and the fuzzer
+   drive [handle] directly. *)
+
+type t = {
+  model : Timing.delay_model;
+  sparse : bool;
+  jobs : int;
+  reduce : bool;
+  gate : Timing.design -> (unit, string) result;
+  mutable sess : Session.t option;
+}
+
+type response = { body : string; quit : bool }
+
+let create ?(model = Timing.Awe_auto) ?(sparse = false) ?(jobs = 1)
+    ?(reduce = true) ?(gate = fun _ -> Ok ()) () =
+  { model; sparse; jobs; reduce; gate; sess = None }
+
+let session t = t.sess
+
+(* --- tiny JSON emission -------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let jfloat v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if v = infinity then jstr "inf"
+  else if v = neg_infinity then jstr "-inf"
+  else jstr "nan"
+
+let jlist f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+
+let ok ?(quit = false) fields =
+  { body = obj (("ok", "true") :: fields); quit }
+
+let err fmt =
+  Printf.ksprintf
+    (fun msg -> { body = obj [ ("ok", "false"); ("error", jstr msg) ]; quit = false })
+    fmt
+
+(* --- request parsing ----------------------------------------------- *)
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* Result-style edit parsing: [Error] is the protocol diagnostic. *)
+let edit_of toks : (Session.edit, string) result =
+  let flt name s k =
+    match float_of_string_opt s with
+    | Some v -> k v
+    | None -> Error (Printf.sprintf "%s: not a number: %s" name s)
+  in
+  let int name s k =
+    match int_of_string_opt s with
+    | Some v -> k v
+    | None -> Error (Printf.sprintf "%s: not an integer: %s" name s)
+  in
+  match toks with
+  | [ "set_r"; net; index; value ] ->
+    int "index" index (fun index ->
+        flt "value" value (fun value ->
+            Ok (Session.Set_resistance { net; index; value })))
+  | [ "set_c"; net; index; value ] ->
+    int "index" index (fun index ->
+        flt "value" value (fun value ->
+            Ok (Session.Set_capacitance { net; index; value })))
+  | [ "reroute"; net; index; seg_from; seg_to ] ->
+    int "index" index (fun index ->
+        Ok (Session.Reroute { net; index; seg_from; seg_to }))
+  | [ "swap_sink"; inst; from_net; to_net ] ->
+    Ok (Session.Swap_sink { inst; from_net; to_net })
+  | [ "set_drive"; inst; value ] ->
+    flt "value" value (fun value -> Ok (Session.Set_drive { inst; value }))
+  | [ "set_pin_cap"; inst; value ] ->
+    flt "value" value (fun value -> Ok (Session.Set_pin_cap { inst; value }))
+  | [ "set_intrinsic"; inst; value ] ->
+    flt "value" value (fun value -> Ok (Session.Set_intrinsic { inst; value }))
+  | [ "set_constraint"; net; value ] ->
+    flt "value" value (fun required ->
+        Ok (Session.Set_constraint { net; required }))
+  | [ "remove_constraint"; net ] -> Ok (Session.Remove_constraint { net })
+  | [ "set_clock"; value ] ->
+    flt "period" value (fun period -> Ok (Session.Set_clock { period }))
+  | [ "remove_clock" ] -> Ok Session.Remove_clock
+  | kind :: _ -> Error (Printf.sprintf "unknown or malformed edit: %s" kind)
+  | [] -> Error "edit: missing kind"
+
+(* --- command handlers ---------------------------------------------- *)
+
+let with_session t k =
+  match t.sess with None -> err "no design loaded" | Some s -> k s
+
+let summary_fields r =
+  [ ("critical", jfloat r.Timing.critical_arrival);
+    ("critical_path", jlist jstr r.Timing.critical_path);
+    ("worst_slack", jfloat r.Timing.worst_slack) ]
+
+let do_load t path =
+  match Timing.Design_file.parse_file path with
+  | exception Timing.Design_file.Parse_error (ln, msg) ->
+    err "%s:%d: %s" path ln msg
+  | exception Sys_error msg -> err "%s" msg
+  | d -> (
+    match t.gate d with
+    | Error msg -> err "lint gate: %s" msg
+    | Ok () -> (
+      match
+        Session.create ~model:t.model ~sparse:t.sparse ~jobs:t.jobs
+          ~reduce:t.reduce d
+      with
+      | exception Timing.Malformed msg -> err "%s" msg
+      | exception Timing.Not_a_dag insts ->
+        err "combinational cycle through %s" (String.concat ", " insts)
+      | s ->
+        t.sess <- Some s;
+        let r = Session.report s in
+        ok
+          (("cmd", jstr "load")
+          :: ("design", jstr path)
+          :: ("nets", string_of_int (List.length r.Timing.nets))
+          :: summary_fields r)))
+
+let do_edit t toks =
+  with_session t (fun s ->
+      match edit_of toks with
+      | Error msg -> err "%s" msg
+      | Ok e -> (
+        match Session.apply s e with
+        | Error msg -> err "%s" msg
+        | Ok () ->
+          ok
+            [ ("cmd", jstr "edit");
+              ("pending", string_of_int (Session.pending_edits s)) ]))
+
+let slack_json (sl : Timing.pin_slack) =
+  obj
+    [ ("net", jstr sl.Timing.sp_net);
+      ( "pin",
+        match sl.Timing.sp_pin with None -> jstr "driver" | Some p -> jstr p );
+      ("transition", jstr (Timing.transition_string sl.Timing.sp_transition));
+      ("arrival", jfloat sl.Timing.sp_arrival);
+      ("required", jfloat sl.Timing.sp_required);
+      ("slack", jfloat sl.Timing.sp_slack) ]
+
+let path_json (p : Timing.path) =
+  obj
+    [ ("endpoint", jstr p.Timing.path_endpoint);
+      ( "pin",
+        match p.Timing.path_pin with None -> jstr "driver" | Some x -> jstr x );
+      ("transition", jstr (Timing.transition_string p.Timing.path_transition));
+      ("arrival", jfloat p.Timing.path_arrival);
+      ("required", jfloat p.Timing.path_required);
+      ("slack", jfloat p.Timing.path_slack);
+      ("stages", jlist (fun st -> jstr st.Timing.st_net) p.Timing.path_stages) ]
+
+let do_timing t opts =
+  (* options: --slack, --top-k K *)
+  let rec parse opts ~slack ~top_k =
+    match opts with
+    | [] -> Ok (slack, top_k)
+    | "--slack" :: rest -> parse rest ~slack:true ~top_k
+    | "--top-k" :: k :: rest -> (
+      match int_of_string_opt k with
+      | Some k when k >= 0 -> parse rest ~slack ~top_k:(Some k)
+      | _ -> Error (Printf.sprintf "--top-k: not a non-negative integer: %s" k))
+    | [ "--top-k" ] -> Error "--top-k: missing argument"
+    | o :: _ -> Error (Printf.sprintf "unknown timing option: %s" o)
+  in
+  match parse opts ~slack:false ~top_k:None with
+  | Error msg -> err "%s" msg
+  | Ok (slack, top_k) ->
+    with_session t (fun s ->
+        match Session.retime s with
+        | Error msg -> err "re-time failed (session rolled back): %s" msg
+        | Ok r ->
+          let base =
+            ("cmd", jstr "timing")
+            :: summary_fields r
+            @ [ ("dirty_nets", string_of_int r.Timing.stats.Awe.Stats.eco_dirty_nets);
+                ("reused_nets", string_of_int r.Timing.stats.Awe.Stats.eco_reused_nets)
+              ]
+          in
+          let base =
+            if slack then
+              base @ [ ("slacks", jlist slack_json r.Timing.slacks) ]
+            else base
+          in
+          let base =
+            match top_k with
+            | None -> base
+            | Some k ->
+              let paths = Timing.critical_paths (Session.design s) r ~k in
+              base @ [ ("paths", jlist path_json paths) ]
+          in
+          ok base)
+
+let do_stats t =
+  with_session t (fun s ->
+      let tot = Session.totals s in
+      let exact, pats = Timing.cache_fingerprint (Session.cache s) in
+      ok
+        [ ("cmd", jstr "stats");
+          ("eco_edits", string_of_int tot.Session.total_edits);
+          ("retimes", string_of_int tot.Session.total_retimes);
+          ("eco_dirty_nets", string_of_int tot.Session.total_dirty);
+          ("eco_reused_nets", string_of_int tot.Session.total_reused);
+          ("eco_full_fallbacks", string_of_int tot.Session.total_fallbacks);
+          ("pending", string_of_int (Session.pending_edits s));
+          ("cache_exact_entries", string_of_int (List.length exact));
+          ("cache_pattern_entries", string_of_int (List.length pats));
+          ("cache_bytes", string_of_int (Timing.cache_bytes (Session.cache s)))
+        ])
+
+let do_revert t toks =
+  with_session t (fun s ->
+      match toks with
+      | [ "all" ] ->
+        let n = Session.revert_all s in
+        ok
+          [ ("cmd", jstr "revert");
+            ("reverted", string_of_int n);
+            ("pending", string_of_int (Session.pending_edits s)) ]
+      | [] -> (
+        match Session.revert s with
+        | Error msg -> err "%s" msg
+        | Ok _ ->
+          ok
+            [ ("cmd", jstr "revert");
+              ("reverted", "1");
+              ("pending", string_of_int (Session.pending_edits s)) ])
+      | o :: _ -> err "unknown revert argument: %s" o)
+
+let handle t line =
+  (* total: whatever arrives, answer with a structured response and
+     keep the session consistent.  The catch-all is the protocol's
+     last line of defense — individual paths return typed errors. *)
+  match
+    match tokens line with
+    | [] -> err "empty command"
+    | [ "load" ] -> err "load: missing path"
+    | [ "load"; path ] -> do_load t path
+    | "load" :: _ -> err "load: expected one path"
+    | "edit" :: toks -> do_edit t toks
+    | "timing" :: opts -> do_timing t opts
+    | [ "stats" ] -> do_stats t
+    | "stats" :: _ -> err "stats takes no arguments"
+    | "revert" :: toks -> do_revert t toks
+    | [ "quit" ] -> ok ~quit:true [ ("cmd", jstr "quit") ]
+    | "quit" :: _ -> err "quit takes no arguments"
+    | cmd :: _ -> err "unknown command: %s" cmd
+  with
+  | r -> r
+  | exception e -> err "internal error: %s" (Printexc.to_string e)

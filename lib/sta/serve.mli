@@ -1,0 +1,66 @@
+(** The [awesim serve] line protocol: a pure request handler over a
+    {!Session}, one command line in, one JSON line out.  The CLI wraps
+    it in a stdin/stdout loop or a Unix-socket accept loop; keeping
+    the handler free of I/O makes it directly fuzzable (the protocol
+    robustness contract: {e any} input line yields a structured error
+    response, never an exception or a corrupted session).
+
+    {b Protocol.}  Requests are whitespace-separated tokens:
+
+    {v
+    load <path>                          parse, gate, load into a session
+    edit set_r <net> <index> <ohms>      segment resistance
+    edit set_c <net> <index> <farads>    segment capacitance
+    edit reroute <net> <index> <from> <to>
+    edit swap_sink <inst> <from-net> <to-net>
+    edit set_drive <inst> <ohms>
+    edit set_pin_cap <inst> <farads>
+    edit set_intrinsic <inst> <seconds>
+    edit set_constraint <net> <seconds>
+    edit remove_constraint <net>
+    edit set_clock <seconds>
+    edit remove_clock
+    timing [--slack] [--top-k <K>]       re-time the dirty cone, report
+    stats                                session + cache counters
+    revert [all]                         undo the last (or every) edit
+    quit
+    v}
+
+    Responses are single-line JSON objects: [{"ok":true,...}] on
+    success, [{"ok":false,"error":"..."}] on failure.  Edits are
+    applied eagerly but re-timed lazily — a burst of [edit] commands
+    pays one dirty-cone propagation at the next [timing].  Non-finite
+    floats (unconstrained slack is [infinity]) are encoded as the
+    strings ["inf"], ["-inf"], ["nan"]. *)
+
+type t
+
+type response = {
+  body : string;  (** one line of JSON, no trailing newline *)
+  quit : bool;  (** [true] after a [quit] command: close the stream *)
+}
+
+val create :
+  ?model:Timing.delay_model ->
+  ?sparse:bool ->
+  ?jobs:int ->
+  ?reduce:bool ->
+  ?gate:(Timing.design -> (unit, string) result) ->
+  unit ->
+  t
+(** A fresh server with no design loaded.  [gate] (default: accept)
+    screens a parsed design before the session is built — the CLI
+    passes the lint gate here, so a design that fails lint is rejected
+    by [load] with the lint diagnostic, exactly like batch [analyze].
+    The analysis options are fixed for the server's lifetime; every
+    [load] builds its session with them. *)
+
+val handle : t -> string -> response
+(** Process one request line.  Total: malformed, truncated, or
+    unknown commands (and failing loads, edits or re-times) produce an
+    [{"ok":false}] response and leave the loaded session at its last
+    consistent state. *)
+
+val session : t -> Session.t option
+(** The currently loaded session, for tests and the CLI's exit
+    summary. *)

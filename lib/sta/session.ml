@@ -1,0 +1,906 @@
+(* Incremental ECO timing (see session.mli).  The session keeps, per
+   net, everything [Timing.analyze] would have computed for it —
+   arrival tuple, solved sink delays, required times, slack entries —
+   plus the memo inputs the solve depended on (input slew, driver
+   resistance, the cache keys it hit or published).  A re-time then
+   re-solves exactly the nets whose solve inputs changed, re-adds
+   arrivals through the cone that actually moved (bitwise compare),
+   and re-runs the min-plus backward pass over the same frontier.
+   Everything recomputed goes through the code paths a cold [analyze]
+   runs — same wave partition, same chunk bounds, frozen views,
+   per-chunk shards absorbed in chunk order — which is what makes the
+   bit-identity contract hold for every [jobs] value. *)
+
+open Timing
+
+type edit =
+  | Set_resistance of { net : string; index : int; value : float }
+  | Set_capacitance of { net : string; index : int; value : float }
+  | Reroute of { net : string; index : int; seg_from : string; seg_to : string }
+  | Swap_sink of { inst : string; from_net : string; to_net : string }
+  | Set_inputs of { inst : string; inputs : string list }
+  | Set_drive of { inst : string; value : float }
+  | Set_pin_cap of { inst : string; value : float }
+  | Set_intrinsic of { inst : string; value : float }
+  | Set_constraint of { net : string; required : float }
+  | Remove_constraint of { net : string }
+  | Set_clock of { period : float }
+  | Remove_clock
+
+type totals = {
+  total_edits : int;
+  total_retimes : int;
+  total_dirty : int;
+  total_reused : int;
+  total_fallbacks : int;
+}
+
+type gate_info = {
+  mutable gi_cell : cell;
+  mutable gi_inputs : string list;
+  gi_output : string;
+}
+
+(* What a net's last solve depended on (beyond upstream arrivals,
+   which enter additively) and what it produced.  [m_valid = false]
+   means the net's own content changed: the timings can no longer be
+   served and the net must be re-solved. *)
+type memo = {
+  mutable m_valid : bool;
+  mutable m_slew : float;
+  mutable m_driver_res : float;
+  mutable m_timings : (string * float * float * float) list;
+  mutable m_keys : solve_keys;
+}
+
+type t = {
+  d : design;
+  model : delay_model;
+  sparse : bool;
+  reduce : bool;
+  jobs : int;
+  mutable cache : cache;
+  gate_tbl : (string, gate_info) Hashtbl.t;
+  driver_tbl : (string, string) Hashtbl.t; (* net -> driving instance *)
+  mutable waves : string list list; (* sorted within each wave *)
+  mutable schedule_valid : bool;
+  memo : (string, memo) Hashtbl.t;
+  arrival : (string, float * float * float * string list) Hashtbl.t;
+      (* net -> driver-pin rise, fall, slew, path (newest first), as
+         [analyze]'s arrival_at_net *)
+  timed : (string, net_timing) Hashtbl.t;
+  sink_results : (string * string, sink_timing) Hashtbl.t;
+      (* entries for sinks a topology edit removed linger; they are
+         unreachable (all reads go through current gate inputs or
+         current [timed] sinks) and carry no report state *)
+  req_driver : (string, float * float) Hashtbl.t;
+  req_sink : (string * string, float * float) Hashtbl.t;
+  endpoint_req : (string, float) Hashtbl.t;
+  mutable endpoints_stale : bool;
+  slack_by_net : (string, pin_slack list) Hashtbl.t;
+  (* cache-key refcounts over live nets: entries are retired at zero
+     so the cache's key set always equals what a cold cached analyze
+     of the current design would publish *)
+  exact_refs : (string * string, int) Hashtbl.t;
+  pattern_refs : (string, int) Hashtbl.t;
+  req_seed : (string, unit) Hashtbl.t;
+      (* nets whose required-time inputs changed without a re-solve
+         (intrinsic edits, endpoint diffs); consumed by the next
+         backward pass *)
+  mutable undo : (edit * edit) list; (* (applied, inverse), newest first *)
+  mutable undo_saved : (edit * edit) list; (* at last successful re-time *)
+  mutable rollback : edit list;
+      (* inverses restoring the last successfully-timed design,
+         newest first; cleared on success, replayed on fallback *)
+  mutable pending : int;
+  mutable last_report : report option;
+  mutable tot_edits : int;
+  mutable tot_retimes : int;
+  mutable tot_dirty : int;
+  mutable tot_reused : int;
+  mutable tot_fallbacks : int;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let no_keys = { sk_exact = None; sk_pattern = None }
+
+let gate_of t inst =
+  match Hashtbl.find_opt t.gate_tbl inst with
+  | Some gi -> gi
+  | None -> fail "unknown gate instance %s" inst
+
+let segments_of t net =
+  match net_segments t.d net with
+  | Some s -> s
+  | None -> fail "unknown net %s" net
+
+let sink_insts_of t net =
+  Hashtbl.fold
+    (fun inst gi acc -> if List.mem net gi.gi_inputs then inst :: acc else acc)
+    t.gate_tbl []
+
+let distinct nets = List.sort_uniq compare nets
+
+let rec replace_first lst a b =
+  match lst with
+  | [] -> []
+  | x :: rest -> if x = a then b :: rest else x :: replace_first rest a b
+
+(* --- schedule ----------------------------------------------------- *)
+
+(* Replicates [analyze]'s Kahn partition: a net is ready once all of
+   its driver gate's inputs retired in earlier waves; primary-input
+   nets are the roots.  Waves inherit the sorted order of the net
+   list, exactly like the partition over [arrival_at_net]. *)
+let compute_waves t =
+  let d = t.d in
+  let timed_mark : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let ready_p net =
+    if primary_input d net <> None then true
+    else
+      match Hashtbl.find_opt t.driver_tbl net with
+      | None -> false
+      | Some inst ->
+        let gi = Hashtbl.find t.gate_tbl inst in
+        (* a zero-input gate never fires in [analyze] (propagation is
+           sink-driven), so its output is never ready *)
+        gi.gi_inputs <> []
+        && List.for_all (fun inp -> Hashtbl.mem timed_mark inp) gi.gi_inputs
+  in
+  let remaining = ref (net_names d) in
+  let waves = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked = List.partition ready_p !remaining in
+    if ready <> [] then begin
+      progress := true;
+      List.iter (fun n -> Hashtbl.replace timed_mark n ()) ready;
+      waves := ready :: !waves;
+      remaining := blocked
+    end
+  done;
+  if !remaining <> [] then raise (Not_a_dag !remaining);
+  t.waves <- List.rev !waves;
+  t.schedule_valid <- true
+
+(* --- forward-pass helpers ----------------------------------------- *)
+
+(* Pull-based arrival: the tuple [analyze]'s record phase pushes into
+   [arrival_at_net], recomputed from the (current) sink results of the
+   driver gate's inputs.  Same worst-input selection: strict [>] over
+   rise arrivals in input order, first wins. *)
+let compute_arrival t net =
+  match primary_input t.d net with
+  | Some (arr, slew) -> (arr, arr, slew, [ net ])
+  | None ->
+    let inst = Hashtbl.find t.driver_tbl net in
+    let gi = Hashtbl.find t.gate_tbl inst in
+    let worst, worst_net =
+      List.fold_left
+        (fun (acc, accn) inp ->
+          let s = Hashtbl.find t.sink_results (inp, inst) in
+          if s.arrival > acc then (s.arrival, inp) else (acc, accn))
+        (neg_infinity, "") gi.gi_inputs
+    in
+    let worst_sink = Hashtbl.find t.sink_results (worst_net, inst) in
+    let _, _, _, worst_path =
+      match Hashtbl.find_opt t.arrival worst_net with
+      | Some v -> v
+      | None -> (0., 0., 0., [])
+    in
+    ( worst +. gi.gi_cell.intrinsic,
+      worst_sink.arrival_fall +. gi.gi_cell.intrinsic,
+      worst_sink.sink_slew,
+      net :: worst_path )
+
+let driver_res_of t net =
+  match Hashtbl.find_opt t.driver_tbl net with
+  | Some inst -> (Hashtbl.find t.gate_tbl inst).gi_cell.drive_res
+  | None -> 1e-3 (* ideal primary input, as in [analyze] *)
+
+(* --- cache-key refcounting ---------------------------------------- *)
+
+let incr_ref tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let decr_ref tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> false
+  | Some n when n <= 1 ->
+    Hashtbl.remove tbl key;
+    true
+  | Some n ->
+    Hashtbl.replace tbl key (n - 1);
+    false
+
+let claim_keys t (keys : solve_keys) =
+  (match keys.sk_exact with
+  | Some k -> incr_ref t.exact_refs k
+  | None -> ());
+  match keys.sk_pattern with
+  | Some h -> incr_ref t.pattern_refs h
+  | None -> ()
+
+(* Always called after [claim_keys] for the same net's new keys, so a
+   re-solve landing on its old key goes 1 -> 2 -> 1 and never retires
+   an entry that is still live. *)
+let retire_keys t (keys : solve_keys) =
+  (match keys.sk_exact with
+  | Some (hash, signature) ->
+    if decr_ref t.exact_refs (hash, signature) then
+      ignore (cache_remove_exact t.cache ~hash ~signature)
+  | None -> ());
+  match keys.sk_pattern with
+  | Some hash ->
+    if decr_ref t.pattern_refs hash then
+      ignore (cache_remove_pattern t.cache ~hash)
+  | None -> ()
+
+(* --- per-net record rebuild --------------------------------------- *)
+
+(* The bookkeeping half of [analyze]'s record_net: absolute arrivals
+   from the (already updated) arrival tuple plus the (possibly memoed)
+   relative delays.  Returns whether the published record changed. *)
+let rebuild_net t net timings =
+  let ar, af, _, _ = Hashtbl.find t.arrival net in
+  let sinks =
+    List.map
+      (fun (inst, delay, delay_fall, sink_slew) ->
+        { sink_inst = inst;
+          net_delay = delay;
+          net_delay_fall = delay_fall;
+          sink_slew;
+          arrival = ar +. delay;
+          arrival_fall = af +. delay_fall })
+      timings
+  in
+  let nt = { net_name = net; driver_arrival = ar; driver_arrival_fall = af; sinks } in
+  let changed =
+    match Hashtbl.find_opt t.timed net with Some old -> old <> nt | None -> true
+  in
+  if changed then begin
+    Hashtbl.replace t.timed net nt;
+    List.iter (fun st -> Hashtbl.replace t.sink_results (net, st.sink_inst) st) sinks
+  end;
+  changed
+
+(* --- endpoints ----------------------------------------------------- *)
+
+(* Rebuild the endpoint requirement table ([analyze]'s endpoint_req:
+   explicit constraints, then the clock period for unconstrained
+   primary outputs) and seed the backward pass with every net whose
+   endpoint value changed, appeared, or disappeared. *)
+let rebuild_endpoints t =
+  let d = t.d in
+  let fresh : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (net, tt) -> Hashtbl.replace fresh net tt) (constraints d);
+  (match clock_period d with
+  | None -> ()
+  | Some period ->
+    List.iter
+      (fun net ->
+        if not (Hashtbl.mem fresh net) then Hashtbl.replace fresh net period)
+      (primary_output_nets d));
+  Hashtbl.iter
+    (fun net v ->
+      match Hashtbl.find_opt t.endpoint_req net with
+      | Some v' when v' = v -> ()
+      | _ -> Hashtbl.replace t.req_seed net ())
+    fresh;
+  Hashtbl.iter
+    (fun net _ ->
+      if not (Hashtbl.mem fresh net) then Hashtbl.replace t.req_seed net ())
+    t.endpoint_req;
+  Hashtbl.reset t.endpoint_req;
+  Hashtbl.iter (fun net v -> Hashtbl.replace t.endpoint_req net v) fresh
+
+(* --- the re-time pass --------------------------------------------- *)
+
+let retime_now t =
+  let d = t.d in
+  let full = t.last_report = None in
+  if not t.schedule_valid then compute_waves t;
+  let solved : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let timing_changed : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let dirty = ref 0 and reused = ref 0 in
+  let windows = ref [] in
+  (* forward: wave by wave, classify every net by pulling its arrival
+     tuple and memo inputs, batch-solve the dirty ones through the
+     exact chunked/sharded discipline of [analyze], and rebuild the
+     records of nets whose arrivals moved from the memo. *)
+  Parallel.with_pool ~jobs:t.jobs (fun pool ->
+      List.iter
+        (fun wave ->
+          let solves = ref [] and arith = ref [] in
+          List.iter
+            (fun net ->
+              let tuple = compute_arrival t net in
+              let changed =
+                match Hashtbl.find_opt t.arrival net with
+                | Some old -> old <> tuple
+                | None -> true
+              in
+              if changed then Hashtbl.replace t.arrival net tuple;
+              let _, _, slew, _ = tuple in
+              let dres = driver_res_of t net in
+              let need =
+                match Hashtbl.find_opt t.memo net with
+                | None -> true
+                | Some m ->
+                  (not m.m_valid) || m.m_slew <> slew || m.m_driver_res <> dres
+              in
+              if need then solves := (net, slew, dres) :: !solves
+              else if changed then arith := net :: !arith
+              else incr reused (* untouched: last result stands as-is *))
+            wave;
+          let solves = Array.of_list (List.rev !solves) in
+          let n = Array.length solves in
+          if n > 0 then begin
+            (* identical chunking, view freeze, shard and window
+               discipline to [analyze]'s wave loop *)
+            let view = cache_view t.cache in
+            let nchunks =
+              let j = Parallel.jobs pool in
+              if j <= 1 then 1 else Stdlib.min n j
+            in
+            let bounds = Array.init (nchunks + 1) (fun i -> i * n / nchunks) in
+            let labels =
+              Array.init nchunks (fun ci ->
+                  let net, _, _ = solves.(bounds.(ci)) in
+                  "net " ^ net)
+            in
+            let chunk_results =
+              Parallel.mapi
+                ~label:(fun ci -> labels.(ci))
+                pool
+                (fun ci () ->
+                  let lo = bounds.(ci) and hi = bounds.(ci + 1) in
+                  let shard = cache_shard () in
+                  Awe.Stats.scoped (fun () ->
+                      let outcomes = Array.make (hi - lo) (Error "") in
+                      for k = 0 to hi - lo - 1 do
+                        let net, slew, dres = solves.(lo + k) in
+                        labels.(ci) <- "net " ^ net;
+                        outcomes.(k) <-
+                          (match
+                             solve_net d ~model:t.model ~sparse:t.sparse
+                               ~reduce:t.reduce ~view:(Some view)
+                               ~shard:(Some shard) ~net ~driver_res:dres ~slew
+                           with
+                          | r -> Ok r
+                          | exception Malformed msg -> Error msg)
+                      done;
+                      (outcomes, shard)))
+                (Array.make nchunks ())
+            in
+            Array.iteri
+              (fun ci ((outcomes, shard), window) ->
+                windows := window :: !windows;
+                cache_absorb t.cache shard;
+                Array.iteri
+                  (fun k outcome ->
+                    let net, slew, dres = solves.(bounds.(ci) + k) in
+                    match outcome with
+                    | Error msg -> raise (Malformed msg)
+                    | Ok (timings, keys) ->
+                      incr dirty;
+                      Hashtbl.replace solved net ();
+                      let m =
+                        match Hashtbl.find_opt t.memo net with
+                        | Some m -> m
+                        | None ->
+                          let m =
+                            { m_valid = false;
+                              m_slew = 0.;
+                              m_driver_res = 0.;
+                              m_timings = [];
+                              m_keys = no_keys }
+                          in
+                          Hashtbl.replace t.memo net m;
+                          m
+                      in
+                      claim_keys t keys;
+                      retire_keys t m.m_keys;
+                      m.m_valid <- true;
+                      m.m_slew <- slew;
+                      m.m_driver_res <- dres;
+                      m.m_timings <- timings;
+                      m.m_keys <- keys;
+                      if rebuild_net t net timings then
+                        Hashtbl.replace timing_changed net ())
+                  outcomes)
+              chunk_results
+          end;
+          List.iter
+            (fun net ->
+              incr reused;
+              let m = Hashtbl.find t.memo net in
+              if rebuild_net t net m.m_timings then
+                Hashtbl.replace timing_changed net ())
+            (List.rev !arith))
+        t.waves);
+  if t.endpoints_stale then begin
+    rebuild_endpoints t;
+    t.endpoints_stale <- false
+  end;
+  (* backward: [analyze]'s min-plus pass over the dirty frontier.
+     Visits are seeded by re-solved nets, intrinsic/endpoint seeds,
+     and propagate upstream only while a net's driver requirement
+     actually changed (bitwise).  The recomputed values are the same
+     deterministic function [analyze] evaluates, so skipped nets hold
+     exactly the values a full pass would rewrite. *)
+  let min2 (a, b) (c, e) = (Float.min a c, Float.min b e) in
+  let inf2 = (infinity, infinity) in
+  let changed_req : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let slack_dirty : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let visit net =
+    match Hashtbl.find_opt t.timed net with
+    | None -> ()
+    | Some nt ->
+      let ep2 =
+        match Hashtbl.find_opt t.endpoint_req net with
+        | Some tt -> (tt, tt)
+        | None -> inf2
+      in
+      let sink_reqs =
+        List.map
+          (fun st ->
+            let through =
+              match Hashtbl.find_opt t.gate_tbl st.sink_inst with
+              | None -> inf2
+              | Some gi -> (
+                match Hashtbl.find_opt t.req_driver gi.gi_output with
+                | None -> inf2
+                | Some (rr, rf) ->
+                  (rr -. gi.gi_cell.intrinsic, rf -. gi.gi_cell.intrinsic))
+            in
+            let rq = min2 ep2 through in
+            (match Hashtbl.find_opt t.req_sink (net, st.sink_inst) with
+            | Some old when old = rq -> ()
+            | _ ->
+              Hashtbl.replace t.req_sink (net, st.sink_inst) rq;
+              Hashtbl.replace slack_dirty net ());
+            (st, rq))
+          nt.sinks
+      in
+      let dr =
+        match sink_reqs with
+        | [] -> ep2
+        | _ ->
+          List.fold_left
+            (fun acc (st, (rr, rf)) ->
+              min2 acc (rr -. st.net_delay, rf -. st.net_delay_fall))
+            inf2 sink_reqs
+      in
+      (match Hashtbl.find_opt t.req_driver net with
+      | Some old when old = dr -> ()
+      | _ ->
+        Hashtbl.replace t.req_driver net dr;
+        Hashtbl.replace changed_req net ();
+        Hashtbl.replace slack_dirty net ())
+  in
+  List.iter
+    (fun wave ->
+      List.iter
+        (fun net ->
+          let need =
+            full
+            || Hashtbl.mem solved net
+            || Hashtbl.mem t.req_seed net
+            ||
+            match Hashtbl.find_opt t.timed net with
+            | None -> false
+            | Some nt ->
+              List.exists
+                (fun st ->
+                  match Hashtbl.find_opt t.gate_tbl st.sink_inst with
+                  | None -> false
+                  | Some gi -> Hashtbl.mem changed_req gi.gi_output)
+                nt.sinks
+          in
+          if need then visit net)
+        wave)
+    (List.rev t.waves);
+  Hashtbl.reset t.req_seed;
+  (* slack entries: rebuilt per dirty net with [analyze]'s exact emit
+     logic; the global sort key (slack, net, pin) is unique per pin,
+     so assembling from per-net buckets reproduces the sorted list. *)
+  let rebuild_slack net =
+    match Hashtbl.find_opt t.timed net with
+    | None -> Hashtbl.remove t.slack_by_net net
+    | Some nt ->
+      let entries = ref [] in
+      let emit ~pin ~transition ~arrival ~required =
+        entries :=
+          { sp_net = net;
+            sp_pin = pin;
+            sp_transition = transition;
+            sp_arrival = arrival;
+            sp_required = required;
+            sp_slack = required -. arrival }
+          :: !entries
+      in
+      let binding ~pin ~ar ~af (rr, rf) =
+        let sr = rr -. ar and sf = rf -. af in
+        if Float.is_finite sf && sf < sr then
+          emit ~pin ~transition:Fall ~arrival:af ~required:rf
+        else if Float.is_finite sr then
+          emit ~pin ~transition:Rise ~arrival:ar ~required:rr
+      in
+      (match nt.sinks with
+      | [] -> (
+        match Hashtbl.find_opt t.req_driver net with
+        | Some rq ->
+          binding ~pin:None ~ar:nt.driver_arrival ~af:nt.driver_arrival_fall rq
+        | None -> ())
+      | sinks ->
+        List.iter
+          (fun st ->
+            match Hashtbl.find_opt t.req_sink (net, st.sink_inst) with
+            | Some rq ->
+              binding ~pin:(Some st.sink_inst) ~ar:st.arrival
+                ~af:st.arrival_fall rq
+            | None -> ())
+          sinks);
+      if !entries = [] then Hashtbl.remove t.slack_by_net net
+      else Hashtbl.replace t.slack_by_net net !entries
+  in
+  if full then List.iter (fun w -> List.iter rebuild_slack w) t.waves
+  else begin
+    Hashtbl.iter (fun net () -> Hashtbl.replace slack_dirty net ()) timing_changed;
+    Hashtbl.iter (fun net () -> rebuild_slack net) slack_dirty
+  end;
+  let slacks =
+    Hashtbl.fold (fun _ entries acc -> List.rev_append entries acc) t.slack_by_net []
+    |> List.sort (fun a b ->
+           compare (a.sp_slack, a.sp_net, a.sp_pin) (b.sp_slack, b.sp_net, b.sp_pin))
+  in
+  let worst_slack = match slacks with [] -> infinity | s :: _ -> s.sp_slack in
+  (* critical selection: same candidate order, same strict-[>]
+     tie-break as [analyze] *)
+  let critical_arrival, critical_net =
+    List.fold_left
+      (fun (acc, accn) net ->
+        match Hashtbl.find_opt t.timed net with
+        | None -> (acc, accn)
+        | Some nt ->
+          let worst =
+            List.fold_left
+              (fun m (s : sink_timing) -> Float.max m s.arrival)
+              nt.driver_arrival nt.sinks
+          in
+          if worst > acc then (worst, Some net) else (acc, accn))
+      (neg_infinity, None) (critical_candidates d)
+  in
+  let critical_path =
+    match critical_net with
+    | None -> []
+    | Some net -> (
+      match Hashtbl.find_opt t.arrival net with
+      | Some (_, _, _, path) -> List.rev path
+      | None -> [ net ])
+  in
+  let nets = List.filter_map (Hashtbl.find_opt t.timed) (net_names d) in
+  let edits = t.pending in
+  Awe.Stats.record_eco ~edits ~dirty_nets:!dirty ~reused_nets:!reused
+    ~full_fallbacks:0;
+  t.tot_retimes <- t.tot_retimes + 1;
+  t.tot_dirty <- t.tot_dirty + !dirty;
+  t.tot_reused <- t.tot_reused + !reused;
+  let stats = List.fold_left Awe.Stats.merge Awe.Stats.zero (List.rev !windows) in
+  let stats =
+    Awe.Stats.merge stats
+      { Awe.Stats.zero with
+        Awe.Stats.cache_bytes = cache_bytes t.cache;
+        eco_edits = edits;
+        eco_dirty_nets = !dirty;
+        eco_reused_nets = !reused }
+  in
+  let report =
+    { nets; critical_arrival; critical_path; slacks; worst_slack; failures = [];
+      stats }
+  in
+  t.last_report <- Some report;
+  report
+
+(* --- edits --------------------------------------------------------- *)
+
+let invalidate t net =
+  match Hashtbl.find_opt t.memo net with
+  | Some m -> m.m_valid <- false
+  | None -> ()
+
+(* Validate-then-mutate; returns the inverse edit.  Raises [Malformed]
+   without touching anything on a rejected edit: all validation reads
+   come first, the [Timing] mutators themselves validate before
+   mutating, and the session-table updates after them cannot fail. *)
+let rec apply_edit t edit =
+  match edit with
+  | Set_resistance { net; index; value } ->
+    let segs = segments_of t net in
+    if index < 0 || index >= List.length segs then
+      fail "net %s has no segment %d" net index;
+    let old = (List.nth segs index).res in
+    let segments =
+      List.mapi (fun i s -> if i = index then { s with res = value } else s) segs
+    in
+    replace_net_segments t.d ~net ~segments;
+    invalidate t net;
+    Set_resistance { net; index; value = old }
+  | Set_capacitance { net; index; value } ->
+    let segs = segments_of t net in
+    if index < 0 || index >= List.length segs then
+      fail "net %s has no segment %d" net index;
+    let old = (List.nth segs index).cap in
+    let segments =
+      List.mapi (fun i s -> if i = index then { s with cap = value } else s) segs
+    in
+    replace_net_segments t.d ~net ~segments;
+    invalidate t net;
+    Set_capacitance { net; index; value = old }
+  | Reroute { net; index; seg_from; seg_to } ->
+    let segs = segments_of t net in
+    if index < 0 || index >= List.length segs then
+      fail "net %s has no segment %d" net index;
+    let old = List.nth segs index in
+    let segments =
+      List.mapi
+        (fun i s -> if i = index then { s with seg_from; seg_to } else s)
+        segs
+    in
+    List.iter
+      (fun inst ->
+        if not (List.exists (fun s -> s.seg_to = inst) segments) then
+          fail "reroute would detach sink %s from net %s" inst net)
+      (sink_insts_of t net);
+    replace_net_segments t.d ~net ~segments;
+    invalidate t net;
+    Reroute { net; index; seg_from = old.seg_from; seg_to = old.seg_to }
+  | Swap_sink { inst; from_net; to_net } ->
+    let gi = gate_of t inst in
+    if not (List.mem from_net gi.gi_inputs) then
+      fail "gate %s has no input pin on net %s" inst from_net;
+    let inputs = replace_first gi.gi_inputs from_net to_net in
+    apply_edit t (Set_inputs { inst; inputs })
+  | Set_inputs { inst; inputs } ->
+    let gi = gate_of t inst in
+    if inputs = [] then fail "gate %s has no inputs" inst;
+    List.iter
+      (fun net ->
+        match net_segments t.d net with
+        | None -> fail "gate %s references unknown net %s" inst net
+        | Some segs ->
+          if not (List.exists (fun s -> s.seg_to = inst) segs) then
+            fail "net %s has no segment reaching sink %s" net inst)
+      inputs;
+    let old = gi.gi_inputs in
+    set_gate_inputs t.d ~inst ~inputs;
+    gi.gi_inputs <- inputs;
+    (* nets whose sink membership changed get a new stage circuit *)
+    let removed = List.filter (fun n -> not (List.mem n inputs)) (distinct old) in
+    let added = List.filter (fun n -> not (List.mem n old)) (distinct inputs) in
+    List.iter (invalidate t) (removed @ added);
+    if removed <> [] || added <> [] then t.schedule_valid <- false;
+    Set_inputs { inst; inputs = old }
+  | Set_drive { inst; value } ->
+    let gi = gate_of t inst in
+    if not (Float.is_finite value && value > 0.) then
+      fail "gate %s: drive resistance must be positive" inst;
+    let old = gi.gi_cell.drive_res in
+    let cell = { gi.gi_cell with drive_res = value } in
+    set_gate_cell t.d ~inst ~cell;
+    gi.gi_cell <- cell;
+    invalidate t gi.gi_output;
+    Set_drive { inst; value = old }
+  | Set_pin_cap { inst; value } ->
+    let gi = gate_of t inst in
+    if not (Float.is_finite value && value >= 0.) then
+      fail "gate %s: input pin capacitance must be non-negative" inst;
+    let old = gi.gi_cell.input_cap in
+    let cell = { gi.gi_cell with input_cap = value } in
+    set_gate_cell t.d ~inst ~cell;
+    gi.gi_cell <- cell;
+    List.iter (invalidate t) (distinct gi.gi_inputs);
+    Set_pin_cap { inst; value = old }
+  | Set_intrinsic { inst; value } ->
+    let gi = gate_of t inst in
+    if not (Float.is_finite value && value >= 0.) then
+      fail "gate %s: intrinsic delay must be non-negative" inst;
+    let old = gi.gi_cell.intrinsic in
+    let cell = { gi.gi_cell with intrinsic = value } in
+    set_gate_cell t.d ~inst ~cell;
+    gi.gi_cell <- cell;
+    (* no re-solve: the intrinsic enters arrivals (pulled bitwise by
+       the forward sweep) and the backward through-requirement at the
+       gate's input nets, which must be re-visited *)
+    List.iter
+      (fun n -> Hashtbl.replace t.req_seed n ())
+      (distinct gi.gi_inputs);
+    Set_intrinsic { inst; value = old }
+  | Set_constraint { net; required } ->
+    let old = List.assoc_opt net (constraints t.d) in
+    set_required t.d ~net ~required:(Some required);
+    t.endpoints_stale <- true;
+    (match old with
+    | Some v -> Set_constraint { net; required = v }
+    | None -> Remove_constraint { net })
+  | Remove_constraint { net } -> (
+    match List.assoc_opt net (constraints t.d) with
+    | None -> fail "no constraint on net %s" net
+    | Some v ->
+      set_required t.d ~net ~required:None;
+      t.endpoints_stale <- true;
+      Set_constraint { net; required = v })
+  | Set_clock { period } ->
+    let old = clock_period t.d in
+    update_clock t.d ~period:(Some period);
+    t.endpoints_stale <- true;
+    (match old with Some p -> Set_clock { period = p } | None -> Remove_clock)
+  | Remove_clock -> (
+    match clock_period t.d with
+    | None -> fail "no clock to remove"
+    | Some p ->
+      update_clock t.d ~period:None;
+      t.endpoints_stale <- true;
+      Set_clock { period = p })
+
+(* --- session lifecycle -------------------------------------------- *)
+
+let reset_analysis t =
+  Hashtbl.reset t.memo;
+  Hashtbl.reset t.arrival;
+  Hashtbl.reset t.timed;
+  Hashtbl.reset t.sink_results;
+  Hashtbl.reset t.req_driver;
+  Hashtbl.reset t.req_sink;
+  Hashtbl.reset t.endpoint_req;
+  Hashtbl.reset t.slack_by_net;
+  Hashtbl.reset t.exact_refs;
+  Hashtbl.reset t.pattern_refs;
+  Hashtbl.reset t.req_seed;
+  t.cache <- create_cache ();
+  t.schedule_valid <- false;
+  t.endpoints_stale <- true;
+  t.last_report <- None
+
+let commit t =
+  t.pending <- 0;
+  t.rollback <- [];
+  t.undo_saved <- t.undo
+
+(* Roll the design back to the last successfully-timed state and
+   rebuild the analysis cold.  The replayed inverses restore a state
+   that timed successfully before, so the recovery re-time succeeds
+   barring a broken invariant (in which case its exception escapes). *)
+let fallback t msg =
+  t.tot_fallbacks <- t.tot_fallbacks + 1;
+  Awe.Stats.record_eco ~edits:0 ~dirty_nets:0 ~reused_nets:0 ~full_fallbacks:1;
+  List.iter (fun e -> ignore (apply_edit t e)) t.rollback;
+  t.undo <- t.undo_saved;
+  reset_analysis t;
+  ignore (retime_now t);
+  commit t;
+  Error msg
+
+let retime t =
+  if t.pending = 0 then Ok (Option.get t.last_report)
+  else
+    match retime_now t with
+    | report ->
+      commit t;
+      Ok report
+    | exception Malformed msg -> fallback t msg
+    | exception Not_a_dag insts ->
+      fallback t
+        (Printf.sprintf "combinational cycle through %s"
+           (String.concat ", " insts))
+    | exception Parallel.Task_failure { label; exn; _ } ->
+      fallback t (Printf.sprintf "%s: %s" label (Printexc.to_string exn))
+
+let apply t edit =
+  match apply_edit t edit with
+  | inverse ->
+    t.undo <- (edit, inverse) :: t.undo;
+    t.rollback <- inverse :: t.rollback;
+    t.pending <- t.pending + 1;
+    t.tot_edits <- t.tot_edits + 1;
+    Ok ()
+  | exception Malformed msg -> Error msg
+
+let revert t =
+  match t.undo with
+  | [] -> Error "nothing to revert"
+  | (edit, inverse) :: rest -> (
+    match apply_edit t inverse with
+    | _reinverse ->
+      t.undo <- rest;
+      t.rollback <- edit :: t.rollback;
+      t.pending <- t.pending + 1;
+      t.tot_edits <- t.tot_edits + 1;
+      Ok edit
+    | exception Malformed msg -> Error ("revert failed: " ^ msg))
+
+let revert_all t =
+  let rec go n = match revert t with Ok _ -> go (n + 1) | Error _ -> n in
+  go 0
+
+let create ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(reduce = true)
+    (d : design) =
+  if jobs < 0 then
+    invalid_arg "Sta.Session.create: jobs must be non-negative";
+  let details = gate_details d in
+  (* same upfront reference validation as [analyze], same order *)
+  List.iter
+    (fun (inst, _cell, inputs, output) ->
+      List.iter
+        (fun net ->
+          if net_segments d net = None then
+            fail "gate %s references unknown net %s" inst net)
+        (output :: inputs))
+    details;
+  let t =
+    { d;
+      model;
+      sparse;
+      reduce;
+      jobs;
+      cache = create_cache ();
+      gate_tbl = Hashtbl.create 256;
+      driver_tbl = Hashtbl.create 256;
+      waves = [];
+      schedule_valid = false;
+      memo = Hashtbl.create 256;
+      arrival = Hashtbl.create 256;
+      timed = Hashtbl.create 256;
+      sink_results = Hashtbl.create 256;
+      req_driver = Hashtbl.create 256;
+      req_sink = Hashtbl.create 256;
+      endpoint_req = Hashtbl.create 8;
+      endpoints_stale = true;
+      slack_by_net = Hashtbl.create 64;
+      exact_refs = Hashtbl.create 256;
+      pattern_refs = Hashtbl.create 64;
+      req_seed = Hashtbl.create 16;
+      undo = [];
+      undo_saved = [];
+      rollback = [];
+      pending = 0;
+      last_report = None;
+      tot_edits = 0;
+      tot_retimes = 0;
+      tot_dirty = 0;
+      tot_reused = 0;
+      tot_fallbacks = 0 }
+  in
+  List.iter
+    (fun (inst, cell, inputs, output) ->
+      (match Hashtbl.find_opt t.driver_tbl output with
+      | Some other -> fail "net %s is driven by both %s and %s" output other inst
+      | None -> ());
+      if primary_input d output <> None then
+        fail "net %s is both a primary input and the output of gate %s" output
+          inst;
+      Hashtbl.replace t.driver_tbl output inst;
+      Hashtbl.replace t.gate_tbl inst
+        { gi_cell = cell; gi_inputs = inputs; gi_output = output })
+    details;
+  ignore (retime_now t);
+  commit t;
+  t
+
+let design t = t.d
+
+let report t = Option.get t.last_report
+
+let pending_edits t = t.pending
+
+let cache t = t.cache
+
+let totals t =
+  { total_edits = t.tot_edits;
+    total_retimes = t.tot_retimes;
+    total_dirty = t.tot_dirty;
+    total_reused = t.tot_reused;
+    total_fallbacks = t.tot_fallbacks }

@@ -1,1835 +1,7 @@
-type cell = {
-  cell_name : string;
-  drive_res : float;
-  input_cap : float;
-  intrinsic : float;
-}
-
-let cell ~name ~drive_res ~input_cap ~intrinsic =
-  (* negated comparisons so NaN values are rejected too *)
-  if
-    not
-      (Float.is_finite drive_res && drive_res > 0.
-      && Float.is_finite input_cap && input_cap >= 0.
-      && Float.is_finite intrinsic && intrinsic >= 0.)
-  then
-    invalid_arg
-      "Sta.cell: drive_res must be positive, input_cap and intrinsic \
-       non-negative";
-  { cell_name = name; drive_res; input_cap; intrinsic }
-
-type segment = { seg_from : string; seg_to : string; res : float; cap : float }
-
-type delay_model = Elmore_model | Awe_model of int | Awe_auto
-
-type gate = {
-  inst : string;
-  cell : cell;
-  inputs : string list; (* net names *)
-  output : string; (* net name *)
-}
-
-type pi = { pi_arrival : float; pi_slew : float }
-
-type design = {
-  vdd : float;
-  threshold : float;
-  mutable gates : gate list;
-  nets : (string, segment list) Hashtbl.t;
-  pis : (string, pi) Hashtbl.t;
-  mutable pos : string list;
-  required : (string, float) Hashtbl.t;
-      (* net -> required arrival time (a timing constraint endpoint) *)
-  required_lines : (string, int) Hashtbl.t;
-      (* net -> source line of the constraint card, when parsed *)
-  mutable clock : float option;
-      (* default required time for unconstrained primary outputs *)
-  mutable clock_ln : int option;
-      (* source line of the clock card, when parsed *)
-}
-
-exception Not_a_dag of string list
-
-exception Malformed of string
-
-let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
-
-let create ?(vdd = 5.) ?(threshold = 0.5) () =
-  if not (Float.is_finite vdd && vdd > 0.) then
-    invalid_arg "Sta.create: vdd must be positive";
-  if not (threshold > 0. && threshold < 1.) then
-    invalid_arg "Sta.create: threshold must be in (0, 1)";
-  { vdd;
-    threshold;
-    gates = [];
-    nets = Hashtbl.create 16;
-    pis = Hashtbl.create 4;
-    pos = [];
-    required = Hashtbl.create 4;
-    required_lines = Hashtbl.create 4;
-    clock = None;
-    clock_ln = None }
-
-let add_gate (d : design) ~inst ~cell ~inputs ~output =
-  if List.exists (fun g -> g.inst = inst) d.gates then
-    malformed "duplicate gate instance %s" inst;
-  d.gates <- { inst; cell; inputs; output } :: d.gates
-
-let add_net (d : design) ~name ~segments =
-  if Hashtbl.mem d.nets name then malformed "duplicate net %s" name;
-  Hashtbl.replace d.nets name segments
-
-let add_primary_input (d : design) ~net ?(arrival = 0.) ?(slew = 0.) () =
-  if Hashtbl.mem d.pis net then malformed "duplicate primary input %s" net;
-  if not (Float.is_finite arrival && arrival >= 0.) then
-    malformed "primary input %s: arrival must be non-negative" net;
-  if not (Float.is_finite slew && slew >= 0.) then
-    malformed "primary input %s: slew must be non-negative" net;
-  Hashtbl.replace d.pis net { pi_arrival = arrival; pi_slew = slew }
-
-let add_primary_output (d : design) ~net =
-  if List.mem net d.pos then malformed "duplicate primary output %s" net;
-  d.pos <- net :: d.pos
-
-let add_constraint ?line (d : design) ~net ~required =
-  if Hashtbl.mem d.required net then
-    malformed "duplicate constraint on net %s" net;
-  if not (Float.is_finite required && required >= 0.) then
-    malformed "constraint on net %s: required time must be non-negative" net;
-  Hashtbl.replace d.required net required;
-  match line with
-  | Some ln -> Hashtbl.replace d.required_lines net ln
-  | None -> ()
-
-let set_clock ?line (d : design) ~period =
-  (match d.clock with
-  | Some _ -> malformed "duplicate clock card"
-  | None -> ());
-  if not (Float.is_finite period && period > 0.) then
-    malformed "clock period must be positive";
-  d.clock <- Some period;
-  d.clock_ln <- line
-
-let clock_period (d : design) = d.clock
-
-let constraint_line (d : design) net = Hashtbl.find_opt d.required_lines net
-
-let clock_line (d : design) = d.clock_ln
-
-let constraints (d : design) =
-  Hashtbl.fold (fun net t acc -> (net, t) :: acc) d.required []
-  |> List.sort compare
-
-type transition = Rise | Fall
-
-let transition_string = function Rise -> "rise" | Fall -> "fall"
-
-type sink_timing = {
-  sink_inst : string;
-  net_delay : float;
-  net_delay_fall : float;
-  sink_slew : float;
-  arrival : float;
-  arrival_fall : float;
-}
-
-type net_timing = {
-  net_name : string;
-  driver_arrival : float;
-  driver_arrival_fall : float;
-  sinks : sink_timing list;
-}
-
-type net_failure = { failed_net : string; reason : string }
-
-type pin_slack = {
-  sp_net : string;
-  sp_pin : string option;
-  sp_transition : transition;
-  sp_arrival : float;
-  sp_required : float;
-  sp_slack : float;
-}
-
-type report = {
-  nets : net_timing list;
-  critical_arrival : float;
-  critical_path : string list;
-  slacks : pin_slack list;
-  worst_slack : float;
-  failures : net_failure list;
-  stats : Awe.Stats.snapshot;
-}
-
-type path_stage = {
-  st_net : string;
-  st_pin : string option;
-  st_gate_delay : float;
-  st_net_delay : float;
-  st_arrival : float;
-}
-
-type path = {
-  path_endpoint : string;
-  path_pin : string option;
-  path_transition : transition;
-  path_input_arrival : float;
-  path_arrival : float;
-  path_required : float;
-  path_slack : float;
-  path_stages : path_stage list;
-}
-
-(* read-only structural views, for the lint layer *)
-type gate_view = {
-  gv_inst : string;
-  gv_cell : string;
-  gv_inputs : string list;
-  gv_output : string;
-}
-
-let gate_views (d : design) =
-  List.rev_map
-    (fun g ->
-      { gv_inst = g.inst;
-        gv_cell = g.cell.cell_name;
-        gv_inputs = g.inputs;
-        gv_output = g.output })
-    d.gates
-
-let net_names (d : design) =
-  Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] |> List.sort compare
-
-let net_segments (d : design) net = Hashtbl.find_opt d.nets net
-
-let primary_input_nets (d : design) =
-  Hashtbl.fold (fun k _ acc -> k :: acc) d.pis [] |> List.sort compare
-
-let primary_output_nets (d : design) = List.rev d.pos
-
-let gate_cells (d : design) =
-  List.rev_map (fun g -> (g.inst, g.cell)) d.gates
-
-(* the sinks of a net are the gates listing it among their inputs *)
-let sinks_of (d : design) net = List.filter (fun g -> List.mem net g.inputs) d.gates
-
-let driver_of (d : design) net = List.find_opt (fun g -> g.output = net) d.gates
-
-(* --- the net-level timing DAG, exported for fixpoint passes -------- *)
-
-(* Sta.analyze orders its Kahn waves over exactly this graph: one
-   vertex per referenced net name (declared nets, PI/PO/constraint
-   targets, and every gate pin), one edge from each input net of a
-   gate to its output net.  The lint layer's backward passes
-   (constraint coverage, dominated constraints) and the cycle check
-   run over it; building it is one pass over the gates, so it is safe
-   to rebuild per analysis. *)
-module Dag = struct
-  type t = {
-    nets : string array;  (* sorted, unique *)
-    index_tbl : (string, int) Hashtbl.t;
-    succs : int array array;
-    preds : int array array;
-  }
-
-  let of_design (d : design) =
-    let names = Hashtbl.create 64 in
-    let add n = if not (Hashtbl.mem names n) then Hashtbl.replace names n () in
-    Hashtbl.iter (fun n _ -> add n) d.nets;
-    Hashtbl.iter (fun n _ -> add n) d.pis;
-    List.iter add d.pos;
-    Hashtbl.iter (fun n _ -> add n) d.required;
-    List.iter
-      (fun g ->
-        add g.output;
-        List.iter add g.inputs)
-      d.gates;
-    let nets =
-      Hashtbl.fold (fun k () acc -> k :: acc) names []
-      |> List.sort compare |> Array.of_list
-    in
-    let index_tbl = Hashtbl.create (Array.length nets) in
-    Array.iteri (fun i n -> Hashtbl.replace index_tbl n i) nets;
-    let n = Array.length nets in
-    let succ_lists = Array.make n [] and pred_lists = Array.make n [] in
-    List.iter
-      (fun g ->
-        let oi = Hashtbl.find index_tbl g.output in
-        (* one edge per distinct input net, even when a gate lists a
-           net on several pins *)
-        let seen = Hashtbl.create 4 in
-        List.iter
-          (fun inp ->
-            if not (Hashtbl.mem seen inp) then begin
-              Hashtbl.replace seen inp ();
-              let ii = Hashtbl.find index_tbl inp in
-              succ_lists.(ii) <- oi :: succ_lists.(ii);
-              pred_lists.(oi) <- ii :: pred_lists.(oi)
-            end)
-          g.inputs)
-      (List.rev d.gates);
-    { nets;
-      index_tbl;
-      succs = Array.map (fun l -> Array.of_list (List.rev l)) succ_lists;
-      preds = Array.map (fun l -> Array.of_list (List.rev l)) pred_lists }
-
-  let index t net = Hashtbl.find_opt t.index_tbl net
-end
-
-let net_circuit (d : design) ~net ~driver_res ~slew =
-  let segments =
-    match Hashtbl.find_opt d.nets net with
-    | Some s -> s
-    | None -> malformed "net %s has no wire model" net
-  in
-  let b = Circuit.Netlist.create () in
-  let wave =
-    if slew <= 0. then Circuit.Element.Step { v0 = 0.; v1 = d.vdd }
-    else
-      Circuit.Element.Ramp { v0 = 0.; v1 = d.vdd; t_delay = 0.; t_rise = slew }
-  in
-  Circuit.Netlist.add_v b "vdrv" "src" "0" wave;
-  Circuit.Netlist.add_r b "rdrv" "src" "drv" driver_res;
-  List.iteri
-    (fun i seg ->
-      Circuit.Netlist.add_r b
-        (Printf.sprintf "rw%d" i)
-        seg.seg_from seg.seg_to seg.res;
-      if seg.cap > 0. then
-        Circuit.Netlist.add_c b
-          (Printf.sprintf "cw%d" i)
-          seg.seg_to "0" seg.cap)
-    segments;
-  (* sink loads *)
-  let sink_nodes = ref [] in
-  List.iteri
-    (fun i g ->
-      (* a sink attaches at the net node named after the instance *)
-      let attached =
-        List.exists (fun seg -> seg.seg_to = g.inst) segments
-      in
-      if not attached then
-        malformed "net %s has no segment reaching sink %s" net g.inst;
-      if g.cell.input_cap > 0. then
-        Circuit.Netlist.add_c b
-          (Printf.sprintf "cpin%d" i)
-          g.inst "0" g.cell.input_cap;
-      sink_nodes := (g.inst, Circuit.Netlist.node b g.inst) :: !sink_nodes)
-    (sinks_of d net);
-  (Circuit.Netlist.freeze b, List.rev !sink_nodes)
-
-(* ------------------------------------------------------------------ *)
-(* Structure-sharing cache.  Timing designs stamp the same few
-   interconnect templates thousands of times; the cache lets the
-   analysis done for one instance serve every relabeled copy.
-
-   Exact tier: the whole per-net result — the fitted engine and each
-   sink's (delay, slew) keyed by sink node id.  The key folds in
-   everything the numbers depend on beyond the circuit: delay model,
-   threshold, vdd, input slew, sparse flag, and the ordered sink node
-   ids (a zero-cap sink adds no element, so the sink set is not
-   derivable from the circuit alone).  The guard signature makes a hit
-   sound and bit-exact: equal signatures mean the instance stamps an
-   MNA system identical entry for entry, so the cached numbers are the
-   ones recomputation would produce.  A merely isomorphic instance
-   (relabeled nodes — a permuted matrix with different rounding)
-   shares the hash but fails the guard and misses.
-
-   Pattern tier: the symbolic sparse analysis keyed on the
-   topology-only hash.  A hit skips ordering/pivoting/fill analysis;
-   the numeric refactorization still runs, so the factors are
-   bit-identical to an uncached run. *)
-
-type cache_payload = {
-  cp_engine : Awe.engine;
-      (* factors, moment sequences and fitted models of the first
-         instance.  Kept so the whole reduced model survives with the
-         entry; hits are served from [cp_sinks] and never mutate it
-         (it is shared across domains). *)
-  cp_sinks : (Circuit.Element.node * (float * float * float)) list;
-      (* sink node id -> (rise delay, fall delay, slew); complete for
-         any instance that passes the guard, because the signature
-         fixes the node ids *)
-  cp_stats : Awe.Stats.snapshot;
-      (* the work counters of the computation that built this entry;
-         replayed on every exact hit so cached and uncached analyses
-         report identical solve counts (see {!Awe.Stats.replay}) *)
-  cp_pattern_hit : bool;
-      (* whether the computation that built this entry reused a
-         symbolic from the frozen view.  A shard-level exact hit
-         stands for recomputing against the same frozen view, which
-         would have reached the same verdict (same circuit, same view,
-         deterministic pattern probe) — so the hit replays this
-         verdict into the pattern-hit/miss counters, keeping them
-         bit-identical to a run without shard dedup. *)
-}
-
-type cache = cache_payload Awe.Cache.t
-
-let create_cache ?patterns () : cache = Awe.Cache.create ?patterns ()
-
-let cache_fingerprint (c : cache) =
-  (Awe.Cache.exact_keys c, Awe.Cache.symbolic_keys c)
-
-let cache_keys (d : design) ~model ~options ~slew ~circuit ~sink_nodes =
-  let tag =
-    match model with
-    | Elmore_model -> "E"
-    | Awe_model q -> "Q" ^ string_of_int q
-    | Awe_auto -> "A"
-  in
-  let ctx =
-    Printf.sprintf "%s:%b:%Lx:%Lx:%Lx:%s" tag options.Awe.sparse
-      (Int64.bits_of_float slew)
-      (Int64.bits_of_float d.threshold)
-      (Int64.bits_of_float d.vdd)
-      (String.concat ","
-         (List.map (fun (_, n) -> string_of_int n) sink_nodes))
-  in
-  let exact =
-    Digest.to_hex
-      (Digest.string (ctx ^ "|" ^ Circuit.Canon.exact_hash circuit))
-  in
-  let signature = ctx ^ "|" ^ Circuit.Canon.exact_signature circuit in
-  (exact, signature, Circuit.Canon.pattern_hash circuit)
-
-(* threshold delay and output slew of every sink of one net, from ONE
-   MNA build, one factorization, and one shared moment-vector sequence
-   (paper, Section 3.2 / eq. 56).  The AWE models analyze the net with
-   its actual (possibly ramped) excitation; the Elmore model analyzes
-   the net driven by an ideal step and adds half the input transition
-   (paper Section 4.3 / Cirit's correction), so the step variant of
-   the stage circuit is only built when that model asks for it.
-
-   Each sink gets a rise/fall transition pair from the same response
-   model: the stage circuit is linear, so the falling waveform is the
-   rising one reflected about vdd/2 — the fall delay is the rising
-   response's crossing of the complementary level (1 - threshold)*vdd.
-   At threshold 0.5 the pair coincides; away from it the min/max
-   delays are distinct.  (The 10-90 slew is reflection-invariant, so
-   one slew serves both transitions.)
-
-   Returns [(sink_inst, rise_delay, fall_delay, slew)] per sink, plus
-   the engine. *)
-let compute_sink_timings (d : design) ~model ~options ~symbolic ~net ~slew
-    ~circuit ~sink_nodes =
-  let threshold_v = d.threshold *. d.vdd in
-  let fall_v = (1. -. d.threshold) *. d.vdd in
-  try
-    Awe.Stats.record_mna_build ();
-    let sys = Circuit.Mna.build circuit in
-    let engine = Awe.Engine.create ~options ?symbolic sys in
-    let timings =
-      match model with
-      | Elmore_model ->
-        let elmore = Awe.Batch.elmore_all ~engine sys in
-        (* single-exponential threshold crossing plus half the input
-           transition, and the single-exponential 10-90 slew.  The
-           falling exponential vdd*exp(-t/tau) crosses threshold*vdd
-           at -tau*ln(threshold). *)
-        let frac = d.threshold in
-        List.map
-          (fun (inst, node) ->
-            let td = List.assoc node elmore in
-            ( inst,
-              (-.td *. log (1. -. frac)) +. (0.5 *. slew),
-              (-.td *. log frac) +. (0.5 *. slew),
-              td *. log 9. ))
-          sink_nodes
-      | Awe_model _ | Awe_auto ->
-        let fixed_order =
-          match model with
-          | Awe_model q ->
-            Awe.Batch.approximate_all ~engine sys
-              ~nodes:(List.map snd sink_nodes)
-              ~q
-          | Awe_auto | Elmore_model -> []
-        in
-        List.map
-          (fun (inst, node) ->
-            let a =
-              match
-                List.find_opt (fun r -> r.Awe.Batch.node = node) fixed_order
-              with
-              | Some { Awe.Batch.outcome = Awe.Batch.Approximation a; _ } -> a
-              | Some { Awe.Batch.outcome = Awe.Batch.Failed _; _ } | None ->
-                (* adaptive model, or a sink whose fixed-order fit is
-                   degenerate/unstable: escalate on the same engine — the
-                   shared moments are extended, never recomputed *)
-                fst (Awe.Engine.auto engine ~node)
-            in
-            (* search horizon: generous multiple of the first-order time
-               scale, extended by the input transition itself *)
-            let tau = Float.max (Awe.Engine.elmore engine ~node) 1e-15 in
-            let t_max = (50. *. tau) +. (2. *. slew) in
-            let delay =
-              match Awe.delay a ~threshold:threshold_v ~t_max with
-              | Some t -> t
-              | None -> malformed "net never crosses the threshold"
-            in
-            (* the complementary crossing of the same response; a
-               non-monotone fit can miss it within the horizon — fall
-               back to the rise value to stay total *)
-            let delay_fall =
-              match Awe.delay a ~threshold:fall_v ~t_max with
-              | Some t -> t
-              | None -> delay
-            in
-            let t10 =
-              Awe.Approx.crossing_time a.Awe.response ~threshold:(0.1 *. d.vdd)
-                ~t_max
-            in
-            let t90 =
-              Awe.Approx.crossing_time a.Awe.response ~threshold:(0.9 *. d.vdd)
-                ~t_max
-            in
-            let slew =
-              match (t10, t90) with
-              | Some a, Some b when b > a -> b -. a
-              | _ -> tau *. log 9.
-            in
-            (inst, delay, delay_fall, slew))
-          sink_nodes
-    in
-    (timings, engine)
-  with
-  (* funnel sparse-layer singularities into the STA's own error
-     vocabulary: the stage circuit's node names are net-local, so the
-     message already points at the offending pin *)
-  | Circuit.Mna.Singular_dc msg -> malformed "net %s: %s" net msg
-  | Invalid_argument msg -> malformed "net %s: %s" net msg
-
-(* Time one net, consulting the frozen cache view when there is one
-   and the task's private shard after it.  Cache counters are recorded
-   here, inside the caller's per-task stats window, so they merge as
-   deterministically as every other counter — and they are recorded
-   from the {e frozen-view} verdict alone: whether a chunk-mate's
-   shard entry happened to short-circuit the work is an execution
-   detail that must not (and does not) show up in any counter, or the
-   counters would vary with the chunking and therefore with [jobs]. *)
-let net_sink_timings (d : design) ~model ~options ~reduce ~view ~shard ~net
-    ~driver_res ~slew =
-  (* the Elmore model analyzes the ideal-step drive; the AWE models the
-     actual (possibly ramped) excitation *)
-  let wire_slew =
-    match model with Elmore_model -> 0. | Awe_model _ | Awe_auto -> slew
-  in
-  let circuit, sink_nodes = net_circuit d ~net ~driver_res ~slew:wire_slew in
-  if sink_nodes = [] then []
-  else
-    (* model-order reduction before stamping (and before the cache
-       keys are derived, so isomorphic-after-reduction stages share
-       pattern-tier entries).  Sink pins are ports: never eliminated,
-       only renumbered. *)
-    let circuit, sink_nodes =
-      if not reduce then (circuit, sink_nodes)
-      else begin
-        let r =
-          Circuit.Reduce.reduce ~ports:(List.map snd sink_nodes) circuit
-        in
-        let rep = r.Circuit.Reduce.report in
-        Awe.Stats.record_reduction
-          ~nodes:rep.Circuit.Reduce.nodes_eliminated
-          ~elements:rep.Circuit.Reduce.elements_eliminated
-          ~parallels:rep.Circuit.Reduce.parallel_merges
-          ~series:rep.Circuit.Reduce.series_merges
-          ~chains:rep.Circuit.Reduce.chain_lumps
-          ~stars:rep.Circuit.Reduce.star_merges;
-        ( r.Circuit.Reduce.circuit,
-          List.map
-            (fun (inst, n) -> (inst, r.Circuit.Reduce.node_map.(n)))
-            sink_nodes )
-      end
-    in
-    match view with
-    | None ->
-      let timings, _engine =
-        compute_sink_timings d ~model ~options ~symbolic:None ~net ~slew
-          ~circuit ~sink_nodes
-      in
-      timings
-    | Some v -> (
-      let exact_hash, signature, pattern =
-        cache_keys d ~model ~options ~slew ~circuit ~sink_nodes
-      in
-      (* serve a whole net from a payload (view or shard tier): equal
-         signatures fix the sink node ids, so the cached per-node
-         numbers are the ones recomputation would produce *)
-      let serve payload =
-        List.map
-          (fun (inst, node) ->
-            match List.assoc_opt node payload.cp_sinks with
-            | Some (dly, dlf, slw) -> (inst, dly, dlf, slw)
-            | None ->
-              (* unreachable: equal signatures fix the sink node set.
-                 Kept total by re-deriving a single-pole answer from
-                 the cached engine's (already computed) moments. *)
-              let tau =
-                Float.max (Awe.Engine.elmore payload.cp_engine ~node) 1e-15
-              in
-              ( inst,
-                (-.tau *. log (1. -. d.threshold)) +. (0.5 *. slew),
-                (-.tau *. log d.threshold) +. (0.5 *. slew),
-                tau *. log 9. ))
-          sink_nodes
-      in
-      match Awe.Cache.find_exact v ~hash:exact_hash ~signature with
-      | Some payload ->
-        Awe.Stats.record_cache_exact_hit ();
-        (* the hit stands for the original computation: replay its
-           work counters so the report's solve counts are identical
-           to an uncached run *)
-        Awe.Stats.replay payload.cp_stats;
-        serve payload
-      | None -> (
-        let shard_exact =
-          match shard with
-          | None -> None
-          | Some sh -> Awe.Cache.Shard.find_exact sh ~hash:exact_hash ~signature
-        in
-        match shard_exact with
-        | Some payload ->
-          (* A chunk-mate computed this exact stage earlier in the
-             wave.  Recomputing against the same frozen view would
-             have reached the same verdict and the same work counts
-             (same circuit, same view, deterministic pattern probe),
-             so replay both: the counters cannot tell the dedup
-             happened. *)
-          if payload.cp_pattern_hit then Awe.Stats.record_cache_pattern_hit ()
-          else Awe.Stats.record_cache_miss ();
-          Awe.Stats.replay payload.cp_stats;
-          serve payload
-        | None ->
-          let view_candidate =
-            if options.Awe.sparse then
-              match Awe.Cache.find_symbolic v ~hash:pattern with
-              | s :: _ -> Some s
-              | [] -> None
-            else None
-          in
-          (* a chunk-mate's symbolic is only consulted when the view
-             offers nothing, so the view-verdict (and the counters) are
-             untouched; reusing it instead of analyzing afresh is
-             counter-neutral because [Moments.make] records one
-             factorization either way and the numeric refactorization
-             produces bit-identical factors *)
-          let shard_candidate =
-            match (view_candidate, shard) with
-            | None, Some sh when options.Awe.sparse -> (
-              match Awe.Cache.Shard.find_symbolic sh ~hash:pattern with
-              | s :: _ -> Some s
-              | [] -> None)
-            | _ -> None
-          in
-          let candidate =
-            match view_candidate with
-            | Some _ -> view_candidate
-            | None -> shard_candidate
-          in
-          let before = Awe.Stats.snapshot () in
-          let timings, engine =
-            compute_sink_timings d ~model ~options ~symbolic:candidate ~net
-              ~slew ~circuit ~sink_nodes
-          in
-          let work = Awe.Stats.diff (Awe.Stats.snapshot ()) before in
-          let used = Awe.Engine.symbolic engine in
-          let reused_from_view =
-            match (used, view_candidate) with
-            | Some u, Some s -> u == s
-            | _ -> false
-          in
-          if reused_from_view then Awe.Stats.record_cache_pattern_hit ()
-          else Awe.Stats.record_cache_miss ();
-          let payload =
-            { cp_engine = engine;
-              cp_sinks =
-                List.map2
-                  (fun (_, node) (_, dly, dlf, slw) -> (node, (dly, dlf, slw)))
-                  sink_nodes timings;
-              cp_stats = work;
-              cp_pattern_hit = reused_from_view }
-          in
-          (match shard with
-          | None -> ()
-          | Some sh ->
-            Awe.Cache.Shard.publish_exact sh ~hash:exact_hash ~signature
-              payload;
-            (match used with
-            | Some u when not reused_from_view ->
-              (* freshly analyzed (or taken from the shard — the
-                 shard's own dedup drops that republication) *)
-              Awe.Cache.Shard.publish_symbolic sh ~hash:pattern u
-            | _ -> ()));
-          timings))
-
-let analyze ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1) ?(strict = true)
-    ?(reduce = true) ?cache (d : design) =
-  let options = { Awe.default_options with Awe.sparse } in
-  (* topological order over nets *)
-  let gates = List.rev d.gates in
-  List.iter
-    (fun g ->
-      List.iter
-        (fun net ->
-          if not (Hashtbl.mem d.nets net) then
-            malformed "gate %s references unknown net %s" g.inst net)
-        (g.output :: g.inputs))
-    gates;
-  (* net is ready when its driver's inputs are all timed; PIs are roots *)
-  let arrival_at_net :
-      (string, float * float * float * string list) Hashtbl.t =
-    (* net -> driver-pin rise arrival, fall arrival, slew, path (nets,
-       source first).  Fall arrivals ride along the rise-worst path:
-       input selection is by rise arrival, so both transitions
-       telescope along the same net sequence (see the backward pass). *)
-    Hashtbl.create 16
-  in
-  Hashtbl.iter
-    (fun net pi ->
-      Hashtbl.replace arrival_at_net net
-        (pi.pi_arrival, pi.pi_arrival, pi.pi_slew, [ net ]))
-    d.pis;
-  let timed : (string, net_timing) Hashtbl.t = Hashtbl.create 16 in
-  let sink_results : (string * string, sink_timing) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let merged_stats = ref Awe.Stats.zero in
-  let failures = ref [] in
-  (* bookkeeping half of timing one net: publish sink timings and
-     propagate arrivals through the sink gates.  Runs sequentially, in
-     sorted net order, on the calling domain. *)
-  let record_net net driver_arrival driver_arrival_fall timings =
-    let sinks =
-      List.map
-        (fun (inst, delay, delay_fall, sink_slew) ->
-          let st =
-            { sink_inst = inst;
-              net_delay = delay;
-              net_delay_fall = delay_fall;
-              sink_slew;
-              arrival = driver_arrival +. delay;
-              arrival_fall = driver_arrival_fall +. delay_fall }
-          in
-          Hashtbl.replace sink_results (net, inst) st;
-          st)
-        timings
-    in
-    Hashtbl.replace timed net
-      { net_name = net; driver_arrival; driver_arrival_fall; sinks };
-    (* propagate through sink gates *)
-    List.iter
-      (fun g ->
-        match Hashtbl.find_opt sink_results (net, g.inst) with
-        | None -> ()
-        | Some _ ->
-          (* gate output net arrival = max over timed inputs + intrinsic;
-             only update when all inputs are timed *)
-          let all_inputs_timed =
-            List.for_all
-              (fun inp -> Hashtbl.mem sink_results (inp, g.inst))
-              g.inputs
-          in
-          if all_inputs_timed then begin
-            let worst, worst_net =
-              List.fold_left
-                (fun (acc, accn) inp ->
-                  let s = Hashtbl.find sink_results (inp, g.inst) in
-                  if s.arrival > acc then (s.arrival, inp) else (acc, accn))
-                (neg_infinity, net) g.inputs
-            in
-            let worst_sink = Hashtbl.find sink_results (worst_net, g.inst) in
-            let _, _, _, worst_path =
-              match Hashtbl.find_opt arrival_at_net worst_net with
-              | Some v -> v
-              | None -> (0., 0., 0., [])
-            in
-            Hashtbl.replace arrival_at_net g.output
-              ( worst +. g.cell.intrinsic,
-                worst_sink.arrival_fall +. g.cell.intrinsic,
-                worst_sink.sink_slew,
-                (g.output :: worst_path) )
-          end)
-      (sinks_of d net)
-  in
-  (* Kahn-style scheduling over nets, one wave at a time.  All nets of
-     a wave are ready simultaneously — their driver arrivals and slews
-     were frozen by earlier waves — so the expensive per-net solve
-     (MNA build, factorization, moment fits) is a pure function of the
-     wave-start state and fans out across the pool.  The wave's sorted
-     net list is split into contiguous chunks, one task per chunk (not
-     per net), so dispatch, DLS window and cache-shard overhead
-     amortize over many solves.  Results are recorded sequentially in
-     sorted net order, so reports and merged counters are
-     bit-identical to a sequential run for any [jobs]. *)
-  let all_nets = Hashtbl.fold (fun k _ acc -> k :: acc) d.nets [] in
-  let remaining = ref (List.sort compare all_nets) in
-  (* wave retirement order, newest wave first: the backward
-     required-time pass walks it as-is, so every net is visited after
-     all nets downstream of it (they retired in later waves) *)
-  let retired = ref [] in
-  Parallel.with_pool ~jobs (fun pool ->
-      let progress = ref true in
-      while !remaining <> [] && !progress do
-        progress := false;
-        let ready, blocked =
-          List.partition (fun net -> Hashtbl.mem arrival_at_net net) !remaining
-        in
-        if ready <> [] then begin
-          progress := true;
-          (* Freeze the cache view once per wave: every task of the
-             wave — on any domain, in any order — sees exactly the
-             entries published by earlier waves, so lookups, counters
-             and numeric results are independent of scheduling and of
-             [jobs]. *)
-          let view = Option.map Awe.Cache.view cache in
-          let prep =
-            Array.of_list
-              (List.map
-                 (fun net ->
-                   let driver_arrival, driver_fall, slew, _path =
-                     Hashtbl.find arrival_at_net net
-                   in
-                   let driver_res =
-                     match driver_of d net with
-                     | Some g -> g.cell.drive_res
-                     | None ->
-                       if Hashtbl.mem d.pis net then 1e-3
-                         (* ideal primary input *)
-                       else malformed "net %s is undriven" net
-                   in
-                   (net, driver_arrival, driver_fall, slew, driver_res))
-                 ready)
-          in
-          (* contiguous chunks of the sorted wave, one per pool slot:
-             chunk ci covers [bounds.(ci), bounds.(ci + 1)).  Tasks
-             process their range in ascending (sorted) order, so each
-             shard's publication log is a contiguous slice of the
-             sequential publication order. *)
-          let n = Array.length prep in
-          let nchunks =
-            let j = Parallel.jobs pool in
-            if j <= 1 then 1 else Stdlib.min n j
-          in
-          let bounds = Array.init (nchunks + 1) (fun i -> i * n / nchunks) in
-          (* per-chunk failure label, updated as the chunk advances so
-             an unexpected exception is attributed to the exact net it
-             escaped from (each task writes only its own slot; the
-             funnel reads after the map's final hand-off) *)
-          let labels =
-            Array.init nchunks (fun ci ->
-                let net, _, _, _, _ = prep.(bounds.(ci)) in
-                "net " ^ net)
-          in
-          let chunk_results =
-            Parallel.mapi
-              ~label:(fun ci -> labels.(ci))
-              pool
-              (fun ci () ->
-                let lo = bounds.(ci) and hi = bounds.(ci + 1) in
-                (* private shard: wave-local publications accumulate
-                   here, lock-free, and intra-chunk duplicates of one
-                   template are served instead of recomputed *)
-                let shard =
-                  Option.map (fun _ -> Awe.Cache.Shard.create ()) view
-                in
-                Awe.Stats.scoped (fun () ->
-                    let outcomes = Array.make (hi - lo) (Error "") in
-                    for k = 0 to hi - lo - 1 do
-                      let net, _, _, slew, driver_res = prep.(lo + k) in
-                      labels.(ci) <- "net " ^ net;
-                      outcomes.(k) <-
-                        (match
-                           net_sink_timings d ~model ~options ~reduce ~view
-                             ~shard ~net ~driver_res ~slew
-                         with
-                        | timings -> Ok timings
-                        | exception Malformed msg -> Error msg)
-                    done;
-                    (outcomes, shard)))
-              (Array.make nchunks ())
-          in
-          Array.iteri
-            (fun ci ((outcomes, shard), window) ->
-              (* counter merge in chunk order: integer sums commute, so
-                 the total is independent of the chunking and of the
-                 schedule *)
-              merged_stats := Awe.Stats.merge !merged_stats window;
-              (* absorb shards in chunk order: chunks are contiguous
-                 sorted ranges and each log is in intra-chunk sorted
-                 order, so the replayed publication sequence is exactly
-                 the sorted net order a sequential sweep publishes in —
-                 first-wins then yields identical cache contents *)
-              (match (cache, shard) with
-              | Some c, Some sh -> Awe.Cache.absorb c sh
-              | _ -> ());
-              Array.iteri
-                (fun k outcome ->
-                  let net, driver_arrival, driver_fall, _, _ =
-                    prep.(bounds.(ci) + k)
-                  in
-                  match outcome with
-                  | Ok timings -> record_net net driver_arrival driver_fall timings
-                  | Error msg ->
-                    (* a failed net reports its diagnostic; siblings
-                       keep their (already computed) results either
-                       way *)
-                    if strict then raise (Malformed msg)
-                    else
-                      failures :=
-                        { failed_net = net; reason = msg } :: !failures)
-                outcomes)
-            chunk_results;
-          retired := ready :: !retired;
-          remaining := blocked
-        end
-      done);
-  if !remaining <> [] then begin
-    if !failures = [] then raise (Not_a_dag !remaining)
-    else
-      (* downstream of a failed net: nothing to time, but say why *)
-      List.iter
-        (fun net ->
-          failures :=
-            { failed_net = net; reason = "not timed: an upstream net failed" }
-            :: !failures)
-        !remaining
-  end;
-  (* critical arrival over primary outputs (or all sinks if none marked) *)
-  let candidate_nets = if d.pos = [] then all_nets else d.pos in
-  let critical_arrival, critical_net =
-    List.fold_left
-      (fun (acc, accn) net ->
-        match Hashtbl.find_opt timed net with
-        | None -> (acc, accn)
-        | Some nt ->
-          let worst =
-            List.fold_left
-              (fun m s -> Float.max m s.arrival)
-              nt.driver_arrival nt.sinks
-          in
-          if worst > acc then (worst, Some net) else (acc, accn))
-      (neg_infinity, None) candidate_nets
-  in
-  let critical_path =
-    match critical_net with
-    | None -> []
-    | Some net -> (
-      match Hashtbl.find_opt arrival_at_net net with
-      | Some (_, _, _, path) -> List.rev path
-      | None -> [ net ])
-  in
-  (* ---- required-time back-propagation ----------------------------
-     Endpoints are the explicitly constrained nets, plus (when a clock
-     card set a default period) every unconstrained primary output.
-     The requirement applies at a net's sink pins — the points its
-     arrivals are measured at — or at the driver pin when the net is a
-     sinkless leaf (a primary-output stub).  Requirements then flow
-     backward per transition: through a sink gate, the gate's output
-     requirement less its intrinsic; across a net, the sink-pin
-     requirement less that sink's (per-transition) wire delay, min'ed
-     over sinks.  Walking nets in reverse wave-retirement order
-     guarantees each net's downstream requirements are final when it
-     is visited — the min-plus dual of the forward max-plus pass. *)
-  let endpoint_req : (string, float) Hashtbl.t = Hashtbl.create 8 in
-  List.iter (fun (net, t) -> Hashtbl.replace endpoint_req net t) (constraints d);
-  (match d.clock with
-  | None -> ()
-  | Some period ->
-    List.iter
-      (fun net ->
-        if not (Hashtbl.mem endpoint_req net) then
-          Hashtbl.replace endpoint_req net period)
-      (primary_output_nets d));
-  let gate_by_inst : (string, gate) Hashtbl.t = Hashtbl.create 16 in
-  List.iter (fun g -> Hashtbl.replace gate_by_inst g.inst g) gates;
-  let driver_gate : (string, gate) Hashtbl.t = Hashtbl.create 16 in
-  List.iter (fun g -> Hashtbl.replace driver_gate g.output g) gates;
-  let min2 (a, b) (c, e) = (Float.min a c, Float.min b e) in
-  let inf2 = (infinity, infinity) in
-  (* (rise, fall) required times at driver pins and sink pins *)
-  let req_driver : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
-  let req_sink : (string * string, float * float) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let backward net =
-    match Hashtbl.find_opt timed net with
-    | None -> () (* failed / untimed: no requirements to propagate *)
-    | Some nt ->
-      let ep2 =
-        match Hashtbl.find_opt endpoint_req net with
-        | Some t -> (t, t)
-        | None -> inf2
-      in
-      let sink_reqs =
-        List.map
-          (fun st ->
-            let through =
-              match Hashtbl.find_opt gate_by_inst st.sink_inst with
-              | None -> inf2
-              | Some g -> (
-                match Hashtbl.find_opt req_driver g.output with
-                | None -> inf2
-                | Some (rr, rf) ->
-                  (rr -. g.cell.intrinsic, rf -. g.cell.intrinsic))
-            in
-            let rq = min2 ep2 through in
-            Hashtbl.replace req_sink (net, st.sink_inst) rq;
-            (st, rq))
-          nt.sinks
-      in
-      let dr =
-        match sink_reqs with
-        | [] -> ep2 (* sinkless leaf: the constraint binds the driver pin *)
-        | _ ->
-          List.fold_left
-            (fun acc (st, (rr, rf)) ->
-              min2 acc (rr -. st.net_delay, rf -. st.net_delay_fall))
-            inf2 sink_reqs
-      in
-      Hashtbl.replace req_driver net dr
-  in
-  List.iter (List.iter backward) !retired;
-  (* per-pin slacks at the binding transition, worst first *)
-  let slack_entries = ref [] in
-  let () =
-    let entries = slack_entries in
-    List.iter
-      (fun net ->
-        match Hashtbl.find_opt timed net with
-        | None -> ()
-        | Some nt ->
-          let emit ~pin ~transition ~arrival ~required =
-            entries :=
-              { sp_net = net;
-                sp_pin = pin;
-                sp_transition = transition;
-                sp_arrival = arrival;
-                sp_required = required;
-                sp_slack = required -. arrival }
-              :: !entries
-          in
-          let binding ~pin ~ar ~af (rr, rf) =
-            (* the binding transition is the one with less slack; ties
-               go to rise.  Skip unconstrained pins (both infinite). *)
-            let sr = rr -. ar and sf = rf -. af in
-            if Float.is_finite sf && sf < sr then
-              emit ~pin ~transition:Fall ~arrival:af ~required:rf
-            else if Float.is_finite sr then
-              emit ~pin ~transition:Rise ~arrival:ar ~required:rr
-          in
-          (match nt.sinks with
-          | [] -> (
-            match Hashtbl.find_opt req_driver net with
-            | Some rq ->
-              binding ~pin:None ~ar:nt.driver_arrival
-                ~af:nt.driver_arrival_fall rq
-            | None -> ())
-          | sinks ->
-            List.iter
-              (fun st ->
-                match Hashtbl.find_opt req_sink (net, st.sink_inst) with
-                | Some rq ->
-                  binding ~pin:(Some st.sink_inst) ~ar:st.arrival
-                    ~af:st.arrival_fall rq
-                | None -> ())
-              sinks))
-      (List.sort compare all_nets)
-  in
-  let slacks =
-    List.sort
-      (fun a b ->
-        compare
-          (a.sp_slack, a.sp_net, a.sp_pin)
-          (b.sp_slack, b.sp_net, b.sp_pin))
-      !slack_entries
-  in
-  let worst_slack =
-    match slacks with [] -> infinity | s :: _ -> s.sp_slack
-  in
-  (* the cache's heap footprint, measured once by the coordinator so
-     merged stats report the final size, not a sum of samples *)
-  (match cache with
-  | Some c ->
-    merged_stats :=
-      Awe.Stats.merge !merged_stats
-        { Awe.Stats.zero with Awe.Stats.cache_bytes = Awe.Cache.bytes c }
-  | None -> ());
-  let nets =
-    List.filter_map (Hashtbl.find_opt timed) (List.sort compare all_nets)
-  in
-  { nets;
-    critical_arrival;
-    critical_path;
-    slacks;
-    worst_slack;
-    failures = List.rev !failures;
-    stats = !merged_stats }
-
-(* ------------------------------------------------------------------ *)
-(* Top-K critical paths.  A pure function of (design, report): the
-   report already holds every per-pin arrival, so path extraction is a
-   backward trace, not a re-analysis.  Candidates are the endpoint
-   pins (the pins a constraint or the clock period binds directly),
-   each at its binding transition; the K worst are peeled in
-   (slack, net, pin) order — distinct endpoints, deterministic ties —
-   and each is traced source-ward by replaying the forward pass's
-   worst-input selection (strict >, first wins), so the reported
-   stages are exactly the nets whose arrivals produced the endpoint's
-   arrival. *)
-let critical_paths (d : design) (r : report) ~k =
-  if k < 0 then invalid_arg "Sta.critical_paths: k must be non-negative";
-  let gates = List.rev d.gates in
-  let gate_by_inst : (string, gate) Hashtbl.t = Hashtbl.create 16 in
-  List.iter (fun g -> Hashtbl.replace gate_by_inst g.inst g) gates;
-  let driver_gate : (string, gate) Hashtbl.t = Hashtbl.create 16 in
-  List.iter (fun g -> Hashtbl.replace driver_gate g.output g) gates;
-  let timed : (string, net_timing) Hashtbl.t = Hashtbl.create 16 in
-  List.iter (fun nt -> Hashtbl.replace timed nt.net_name nt) r.nets;
-  let sink_results : (string * string, sink_timing) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  List.iter
-    (fun nt ->
-      List.iter
-        (fun st -> Hashtbl.replace sink_results (nt.net_name, st.sink_inst) st)
-        nt.sinks)
-    r.nets;
-  let endpoint_req : (string, float) Hashtbl.t = Hashtbl.create 8 in
-  List.iter (fun (net, t) -> Hashtbl.replace endpoint_req net t) (constraints d);
-  (match d.clock with
-  | None -> ()
-  | Some period ->
-    List.iter
-      (fun net ->
-        if not (Hashtbl.mem endpoint_req net) then
-          Hashtbl.replace endpoint_req net period)
-      (primary_output_nets d));
-  let endpoints =
-    Hashtbl.fold (fun net t acc -> (net, t) :: acc) endpoint_req []
-    |> List.sort compare
-  in
-  let candidates =
-    List.concat_map
-      (fun (net, t) ->
-        match Hashtbl.find_opt timed net with
-        | None -> [] (* untimed endpoint (failed upstream): no path *)
-        | Some nt ->
-          let pins =
-            match nt.sinks with
-            | [] -> [ (None, nt.driver_arrival, nt.driver_arrival_fall) ]
-            | sinks ->
-              List.map
-                (fun st -> (Some st.sink_inst, st.arrival, st.arrival_fall))
-                sinks
-          in
-          List.map
-            (fun (pin, ar, af) ->
-              let sr = t -. ar and sf = t -. af in
-              let tr, arr, sl =
-                if sf < sr then (Fall, af, sf) else (Rise, ar, sr)
-              in
-              (net, pin, tr, arr, t, sl))
-            pins)
-      endpoints
-  in
-  let candidates =
-    List.sort
-      (fun (n1, p1, _, _, _, s1) (n2, p2, _, _, _, s2) ->
-        compare (s1, n1, p1) (s2, n2, p2))
-      candidates
-  in
-  let rec take n l =
-    match (n, l) with
-    | 0, _ | _, [] -> []
-    | n, x :: tl -> x :: take (n - 1) tl
-  in
-  let arrival_of tr (st : sink_timing) =
-    match tr with Rise -> st.arrival | Fall -> st.arrival_fall
-  in
-  let delay_of tr (st : sink_timing) =
-    match tr with Rise -> st.net_delay | Fall -> st.net_delay_fall
-  in
-  let trace endpoint_net pin tr =
-    (* walk from the endpoint to a primary input, building stages
-       newest-first; [up] receives the pin the path arrives at *)
-    let rec up net pin_opt acc =
-      let net_delay, arrival =
-        match pin_opt with
-        | Some inst ->
-          let st = Hashtbl.find sink_results (net, inst) in
-          (delay_of tr st, arrival_of tr st)
-        | None ->
-          let nt = Hashtbl.find timed net in
-          ( 0.,
-            match tr with
-            | Rise -> nt.driver_arrival
-            | Fall -> nt.driver_arrival_fall )
-      in
-      match Hashtbl.find_opt driver_gate net with
-      | None ->
-        (* a primary input sources the path; its arrival card is the
-           path's input arrival (same for both transitions) *)
-        let input_arrival =
-          match Hashtbl.find_opt timed net with
-          | Some nt -> (
-            match tr with
-            | Rise -> nt.driver_arrival
-            | Fall -> nt.driver_arrival_fall)
-          | None -> 0.
-        in
-        let stage =
-          { st_net = net;
-            st_pin = pin_opt;
-            st_gate_delay = 0.;
-            st_net_delay = net_delay;
-            st_arrival = arrival }
-        in
-        (input_arrival, stage :: acc)
-      | Some g ->
-        let stage =
-          { st_net = net;
-            st_pin = pin_opt;
-            st_gate_delay = g.cell.intrinsic;
-            st_net_delay = net_delay;
-            st_arrival = arrival }
-        in
-        (* replay the forward fold: worst input by RISE arrival,
-           strict >, first wins — fall arrivals rode the same path *)
-        let worst_net, _ =
-          List.fold_left
-            (fun (accn, acca) inp ->
-              match Hashtbl.find_opt sink_results (inp, g.inst) with
-              | None -> (accn, acca)
-              | Some s ->
-                if s.arrival > acca then (inp, s.arrival) else (accn, acca))
-            (net, neg_infinity) g.inputs
-        in
-        up worst_net (Some g.inst) (stage :: acc)
-    in
-    up endpoint_net pin []
-  in
-  List.map
-    (fun (net, pin, tr, arr, req, slack) ->
-      let input_arrival, stages = trace net pin tr in
-      { path_endpoint = net;
-        path_pin = pin;
-        path_transition = tr;
-        path_input_arrival = input_arrival;
-        path_arrival = arr;
-        path_required = req;
-        path_slack = slack;
-        path_stages = stages })
-    (take k candidates)
-
-(* ------------------------------------------------------------------ *)
-(* Multi-corner analysis.  A corner derates element values but never
-   topology, so the N per-corner analyses share one pattern-tier store
-   (each corner keeps a private exact tier — exact keys are
-   value-sensitive).  Corners run sequentially, each with the full
-   wave-parallel fan-out of [analyze]: the result is bit-identical to
-   N independent [analyze] calls over [corner_design]s sharing a
-   patterns store, which is the determinism contract the differential
-   tests pin down. *)
-let corner_design (d : design) (c : Circuit.Corner.t) =
-  let d' = create ~vdd:d.vdd ~threshold:d.threshold () in
-  List.iter
-    (fun g ->
-      let cl = g.cell in
-      add_gate d' ~inst:g.inst
-        ~cell:
-          (cell ~name:cl.cell_name
-             ~drive_res:(cl.drive_res *. c.Circuit.Corner.cell_drive)
-             ~input_cap:(cl.input_cap *. c.Circuit.Corner.cell_cap)
-             ~intrinsic:(cl.intrinsic *. c.Circuit.Corner.cell_intrinsic))
-        ~inputs:g.inputs ~output:g.output)
-    (List.rev d.gates);
-  Hashtbl.iter
-    (fun name segs ->
-      add_net d' ~name
-        ~segments:
-          (List.map
-             (fun s ->
-               { s with
-                 res = s.res *. c.Circuit.Corner.wire_res;
-                 cap = s.cap *. c.Circuit.Corner.wire_cap })
-             segs))
-    d.nets;
-  Hashtbl.iter
-    (fun net pi ->
-      add_primary_input d' ~net ~arrival:pi.pi_arrival ~slew:pi.pi_slew ())
-    d.pis;
-  List.iter (fun net -> add_primary_output d' ~net) (List.rev d.pos);
-  Hashtbl.iter (fun net t -> Hashtbl.replace d'.required net t) d.required;
-  Hashtbl.iter
-    (fun net ln -> Hashtbl.replace d'.required_lines net ln)
-    d.required_lines;
-  d'.clock <- d.clock;
-  d'.clock_ln <- d.clock_ln;
-  d'
-
-type corner_run = {
-  run_corner : Circuit.Corner.t;
-  run_report : report;
-  run_cache : cache option;
-      (* this corner's private cache (shared pattern tier), exposed so
-         differential tests can fingerprint it *)
-}
-
-type corner_summary = {
-  cs_name : string;
-  cs_critical_arrival : float;
-  cs_worst_slack : float;
-}
-
-type corners_report = {
-  runs : corner_run list; (* spec order *)
-  summary : corner_summary list; (* spec order *)
-  worst_corner : string; (* minimum worst slack; ties to spec order *)
-  worst_slack_overall : float;
-  critical_arrival_overall : float;
-}
-
-let analyze_corners ?(model = Awe_auto) ?(sparse = false) ?(jobs = 1)
-    ?(strict = true) ?(reduce = true) ?(cache = true) (d : design) corners =
-  if corners = [] then
-    invalid_arg "Sta.analyze_corners: need at least one corner";
-  let names = List.map (fun c -> c.Circuit.Corner.name) corners in
-  List.iter
-    (fun n ->
-      if List.length (List.filter (String.equal n) names) > 1 then
-        invalid_arg
-          (Printf.sprintf "Sta.analyze_corners: duplicate corner name %S" n))
-    names;
-  let patterns = Awe.Cache.create_patterns () in
-  let runs =
-    List.map
-      (fun c ->
-        let dc = corner_design d c in
-        let corner_cache =
-          if cache then Some (create_cache ~patterns ()) else None
-        in
-        let r =
-          analyze ~model ~sparse ~jobs ~strict ~reduce ?cache:corner_cache dc
-        in
-        { run_corner = c; run_report = r; run_cache = corner_cache })
-      corners
-  in
-  let summary =
-    List.map
-      (fun run ->
-        { cs_name = run.run_corner.Circuit.Corner.name;
-          cs_critical_arrival = run.run_report.critical_arrival;
-          cs_worst_slack = run.run_report.worst_slack })
-      runs
-  in
-  let worst_corner, worst_slack_overall =
-    List.fold_left
-      (fun (wn, ws) s ->
-        if s.cs_worst_slack < ws then (s.cs_name, s.cs_worst_slack)
-        else (wn, ws))
-      ((List.hd summary).cs_name, (List.hd summary).cs_worst_slack)
-      (List.tl summary)
-  in
-  let critical_arrival_overall =
-    List.fold_left
-      (fun acc s -> Float.max acc s.cs_critical_arrival)
-      neg_infinity summary
-  in
-  { runs;
-    summary;
-    worst_corner;
-    worst_slack_overall;
-    critical_arrival_overall }
-
-let pin_string = function None -> "(driver)" | Some inst -> inst
-
-let pp_report ?(verbose = false) ppf r =
-  Format.fprintf ppf "@[<v>";
-  List.iter
-    (fun nt ->
-      Format.fprintf ppf "net %-10s driver@@%.4g ns@," nt.net_name
-        (nt.driver_arrival *. 1e9);
-      List.iter
-        (fun s ->
-          Format.fprintf ppf
-            "  -> %-8s delay %.4g/%.4g ns  slew %.4g ns  arrival %.4g ns@,"
-            s.sink_inst (s.net_delay *. 1e9) (s.net_delay_fall *. 1e9)
-            (s.sink_slew *. 1e9) (s.arrival *. 1e9))
-        nt.sinks)
-    r.nets;
-  List.iter
-    (fun f ->
-      Format.fprintf ppf "net %-10s FAILED: %s@," f.failed_net f.reason)
-    r.failures;
-  Format.fprintf ppf "critical arrival: %.4g ns via %a"
-    (r.critical_arrival *. 1e9)
-    (Format.pp_print_list
-       ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
-       Format.pp_print_string)
-    r.critical_path;
-  if r.slacks <> [] then begin
-    Format.fprintf ppf "@,slack (worst first):";
-    List.iter
-      (fun s ->
-        Format.fprintf ppf
-          "@,  %-10s %-8s %-4s arrival %.4g ns  required %.4g ns  slack \
-           %.4g ns"
-          s.sp_net (pin_string s.sp_pin)
-          (transition_string s.sp_transition)
-          (s.sp_arrival *. 1e9) (s.sp_required *. 1e9) (s.sp_slack *. 1e9))
-      r.slacks;
-    Format.fprintf ppf "@,worst slack: %.4g ns%s" (r.worst_slack *. 1e9)
-      (if r.worst_slack < 0. then "  (VIOLATED)" else "")
-  end;
-  if verbose then
-    Format.fprintf ppf "@,engine counters (%d nets):@,%a"
-      (List.length r.nets) Awe.Stats.pp r.stats;
-  Format.fprintf ppf "@]"
-
-let pp_paths ppf paths =
-  Format.fprintf ppf "@[<v>";
-  List.iteri
-    (fun i p ->
-      if i > 0 then Format.fprintf ppf "@,";
-      Format.fprintf ppf
-        "path %d: %s %s %s  arrival %.4g ns  required %.4g ns  slack %.4g \
-         ns%s@,"
-        (i + 1) p.path_endpoint (pin_string p.path_pin)
-        (transition_string p.path_transition)
-        (p.path_arrival *. 1e9) (p.path_required *. 1e9)
-        (p.path_slack *. 1e9)
-        (if p.path_slack < 0. then "  (VIOLATED)" else "");
-      Format.fprintf ppf "  input arrival %.4g ns" (p.path_input_arrival *. 1e9);
-      List.iter
-        (fun st ->
-          Format.fprintf ppf
-            "@,  %-10s %-8s gate %.4g ns  net %.4g ns  arrival %.4g ns"
-            st.st_net (pin_string st.st_pin) (st.st_gate_delay *. 1e9)
-            (st.st_net_delay *. 1e9) (st.st_arrival *. 1e9))
-        p.path_stages)
-    paths;
-  Format.fprintf ppf "@]"
-
-let pp_corners ppf cr =
-  Format.fprintf ppf "@[<v>";
-  List.iter
-    (fun s ->
-      Format.fprintf ppf
-        "corner %-10s critical arrival %.4g ns  worst slack %.4g ns%s@,"
-        s.cs_name
-        (s.cs_critical_arrival *. 1e9)
-        (s.cs_worst_slack *. 1e9)
-        (if s.cs_worst_slack < 0. then "  (VIOLATED)" else ""))
-    cr.summary;
-  Format.fprintf ppf
-    "across corners: critical arrival %.4g ns, worst slack %.4g ns at %s"
-    (cr.critical_arrival_overall *. 1e9)
-    (cr.worst_slack_overall *. 1e9)
-    cr.worst_corner;
-  Format.fprintf ppf "@]"
-
-(* ------------------------------------------------------------------ *)
-module Design_file = struct
-  exception Parse_error of int * string
-
-  let fail line fmt = Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
-
-  let value_exn line tok =
-    match Circuit.Parser.parse_value tok with
-    | Some v -> v
-    | None -> fail line "cannot parse value %S" tok
-
-  let tokens_of line =
-    String.split_on_char ' ' line
-    |> List.concat_map (String.split_on_char '\t')
-    |> List.filter (fun s -> s <> "")
-
-  let parse_string text =
-    let lines =
-      String.split_on_char '\n' text
-      |> List.mapi (fun i l -> (i + 1, String.trim l))
-      |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '*')
-    in
-    (* first pass: header values, validated where they appear so a bad
-       vdd/threshold reports its own line instead of [create] raising
-       after the pass *)
-    let vdd = ref 5. and threshold = ref 0.5 in
-    List.iter
-      (fun (ln, l) ->
-        match tokens_of l with
-        | [ "vdd"; v ] ->
-          let x = value_exn ln v in
-          if not (Float.is_finite x && x > 0.) then
-            fail ln "vdd must be positive";
-          vdd := x
-        | [ "threshold"; v ] ->
-          let x = value_exn ln v in
-          if not (x > 0. && x < 1.) then fail ln "threshold must be in (0, 1)";
-          threshold := x
-        | "vdd" :: _ -> fail ln "vdd expects one value"
-        | "threshold" :: _ -> fail ln "threshold expects one value"
-        | _ -> ())
-      lines;
-    let d = create ~vdd:!vdd ~threshold:!threshold () in
-    let cells = Hashtbl.create 8 in
-    let key_value ln tok =
-      match String.split_on_char '=' tok with
-      | [ k; v ] -> (String.lowercase_ascii k, value_exn ln v)
-      | _ -> fail ln "expected key=value, got %S" tok
-    in
-    List.iter
-      (fun (ln, l) ->
-        (* card handlers validate as they build; report their
-           complaints (duplicate declarations, bad values) with the
-           offending line *)
-        try
-          match tokens_of l with
-          | "vdd" :: _ | "threshold" :: _ -> ()
-          | [ "cell"; name; dr; cap; intr ] ->
-          if Hashtbl.mem cells name then fail ln "duplicate cell %s" name;
-          Hashtbl.replace cells name
-            (cell ~name ~drive_res:(value_exn ln dr)
-               ~input_cap:(value_exn ln cap)
-               ~intrinsic:(value_exn ln intr))
-        | "gate" :: inst :: cell_name :: output :: inputs ->
-          let cell =
-            match Hashtbl.find_opt cells cell_name with
-            | Some c -> c
-            | None -> fail ln "unknown cell %s" cell_name
-          in
-          if inputs = [] then fail ln "gate %s has no inputs" inst;
-          add_gate d ~inst ~cell ~inputs ~output
-        | "net" :: name :: rest ->
-          (* segments separated by ";" tokens, each: from to r c *)
-          let groups =
-            List.fold_left
-              (fun acc tok ->
-                if tok = ";" then [] :: acc
-                else
-                  match acc with
-                  | g :: acc' -> (tok :: g) :: acc'
-                  | [] -> [ [ tok ] ])
-              [ [] ] rest
-            |> List.rev_map List.rev
-            |> List.filter (fun g -> g <> [])
-          in
-          let segments =
-            List.map
-              (fun g ->
-                match g with
-                | [ from_; to_; r; c ] ->
-                  let res = value_exn ln r and cap = value_exn ln c in
-                  if not (Float.is_finite res && res > 0.) then
-                    fail ln "segment resistance must be positive";
-                  if not (Float.is_finite cap && cap >= 0.) then
-                    fail ln "segment capacitance must be non-negative";
-                  { seg_from = from_; seg_to = to_; res; cap }
-                | _ -> fail ln "net segment needs <from> <to> <r> <c>")
-              groups
-          in
-          if segments = [] then fail ln "net %s has no segments" name;
-          add_net d ~name ~segments
-        | [ "constraint"; net; t ] ->
-          add_constraint ~line:ln d ~net ~required:(value_exn ln t)
-        | [ "clock"; p ] -> set_clock ~line:ln d ~period:(value_exn ln p)
-        | "constraint" :: _ -> fail ln "constraint expects <net> <time>"
-        | "clock" :: _ -> fail ln "clock expects one period value"
-        | "input" :: net :: params ->
-          let arrival = ref 0. and slew = ref 0. in
-          List.iter
-            (fun p ->
-              match key_value ln p with
-              | "arrival", v -> arrival := v
-              | "slew", v -> slew := v
-              | k, _ -> fail ln "unknown input parameter %S" k)
-            params;
-          add_primary_input d ~net ~arrival:!arrival ~slew:!slew ()
-        | [ "output"; net ] -> add_primary_output d ~net
-        | card :: _ -> fail ln "unknown card %S" card
-        | [] -> ()
-        with
-        | Malformed msg | Invalid_argument msg -> fail ln "%s" msg)
-      lines;
-    d
-
-  let parse_file path =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
-
-end
-
-(* ------------------------------------------------------------------ *)
-(* Synthetic designs at scale.  The paper's figures and the test decks
-   are tens of nets; making parallel analysis pay (or regress) only
-   shows up on designs big enough that per-wave fan-out dominates the
-   fixed costs.  These generators stamp the regular structures real
-   designs are made of — datapath grids, clock trees, irregular
-   meshes — at 10k-100k nets, with wide topological waves. *)
-module Synth = struct
-  let net_count (d : design) = Hashtbl.length d.nets
-
-  (* values in the chain-design regime: ~100 Ohm gates, fF-scale wire
-     and pin caps, ps-scale intrinsics — AWE's comfortable range *)
-  let grid_cells =
-    [| cell ~name:"sg_nand" ~drive_res:150. ~input_cap:7e-15
-         ~intrinsic:25e-12;
-       cell ~name:"sg_nor" ~drive_res:200. ~input_cap:9e-15
-         ~intrinsic:35e-12 |]
-
-  let grid ~rows ~cols () =
-    if rows < 1 || cols < 1 then
-      invalid_arg "Sta.Synth.grid: need rows >= 1 and cols >= 1";
-    let d = create () in
-    let gate_name r c = Printf.sprintf "g%d_%d" r c in
-    let net_name r c = Printf.sprintf "w%d_%d" r c in
-    let pi_north c = Printf.sprintf "pn%d" c in
-    let pi_west r = Printf.sprintf "pw%d" r in
-    for r = 0 to rows - 1 do
-      for c = 0 to cols - 1 do
-        let north = if r = 0 then pi_north c else net_name (r - 1) c in
-        let west = if c = 0 then pi_west r else net_name r (c - 1) in
-        add_gate d ~inst:(gate_name r c)
-          ~cell:grid_cells.((r + c) mod 2)
-          ~inputs:[ north; west ]
-          ~output:(net_name r c)
-      done
-    done;
-    (* each output net runs a short trunk, then arms to its south and
-       east sinks.  Values repeat along anti-diagonals ((r + c) mod 4),
-       i.e. within topological waves — the template regularity real
-       datapaths have, which the structure cache exists to exploit. *)
-    let wire r c sinks =
-      let v = float_of_int ((r + c) mod 4) in
-      let trunk = { seg_from = "drv"; seg_to = "t"; res = 80. +. (10. *. v); cap = 4e-15 } in
-      trunk
-      :: List.map
-           (fun s ->
-             { seg_from = "t"; seg_to = s; res = 120. +. (15. *. v); cap = 3e-15 })
-           sinks
-    in
-    for r = 0 to rows - 1 do
-      for c = 0 to cols - 1 do
-        let sinks =
-          (if r + 1 < rows then [ gate_name (r + 1) c ] else [])
-          @ if c + 1 < cols then [ gate_name r (c + 1) ] else []
-        in
-        add_net d ~name:(net_name r c) ~segments:(wire r c sinks)
-      done
-    done;
-    for c = 0 to cols - 1 do
-      add_net d ~name:(pi_north c)
-        ~segments:
-          [ { seg_from = "drv"; seg_to = gate_name 0 c; res = 100.; cap = 5e-15 } ];
-      add_primary_input d ~net:(pi_north c) ();
-      add_primary_output d ~net:(net_name (rows - 1) c)
-    done;
-    for r = 0 to rows - 1 do
-      add_net d ~name:(pi_west r)
-        ~segments:
-          [ { seg_from = "drv"; seg_to = gate_name r 0; res = 100.; cap = 5e-15 } ];
-      add_primary_input d ~net:(pi_west r) ();
-      if r < rows - 1 then add_primary_output d ~net:(net_name r (cols - 1))
-    done;
-    d
-
-  let clock_tree ~levels ~fanout () =
-    if levels < 1 then invalid_arg "Sta.Synth.clock_tree: need levels >= 1";
-    if fanout < 2 then invalid_arg "Sta.Synth.clock_tree: need fanout >= 2";
-    let d = create () in
-    (* drive strength tapers toward the leaves, wire width with it:
-       one cell and one wire template per level, so every net of a
-       topological wave is the identical stage circuit *)
-    let buf_cell =
-      Array.init levels (fun lvl ->
-          cell
-            ~name:(Printf.sprintf "ct_buf%d" lvl)
-            ~drive_res:(80. +. (25. *. float_of_int lvl))
-            ~input_cap:5e-15 ~intrinsic:15e-12)
-    in
-    let rec build lvl inst in_net =
-      let out_net = "n_" ^ inst in
-      add_gate d ~inst ~cell:buf_cell.(lvl) ~inputs:[ in_net ] ~output:out_net;
-      if lvl = levels - 1 then begin
-        (* leaf buffer: a stub load net, marked as a primary output *)
-        add_net d ~name:out_net
-          ~segments:
-            [ { seg_from = "drv"; seg_to = "t"; res = 60.; cap = 8e-15 } ];
-        add_primary_output d ~net:out_net
-      end
-      else begin
-        let children =
-          List.init fanout (fun k -> Printf.sprintf "%s_%d" inst k)
-        in
-        let lv = float_of_int lvl in
-        let segments =
-          { seg_from = "drv"; seg_to = "t"; res = 40. +. (8. *. lv); cap = 6e-15 }
-          :: List.concat
-               (List.mapi
-                  (fun k child ->
-                    (* two arm templates per level (H-tree near/far
-                       arms), identical across the wave's nets *)
-                    let arm = Printf.sprintf "a%d" k in
-                    let stretch = if k mod 2 = 0 then 1. else 1.4 in
-                    [ { seg_from = "t";
-                        seg_to = arm;
-                        res = (70. +. (10. *. lv)) *. stretch;
-                        cap = 4e-15 };
-                      { seg_from = arm; seg_to = child; res = 50.; cap = 3e-15 } ])
-                  children)
-        in
-        add_net d ~name:out_net ~segments;
-        List.iter (fun child -> build (lvl + 1) child out_net) children
-      end
-    in
-    add_net d ~name:"clk"
-      ~segments:[ { seg_from = "drv"; seg_to = "b"; res = 30.; cap = 10e-15 } ];
-    add_primary_input d ~net:"clk" ();
-    build 0 "b" "clk";
-    d
-
-  let buffered_mesh ?(seed = 91) ~rows ~cols () =
-    if rows < 2 || cols < 2 then
-      invalid_arg "Sta.Synth.buffered_mesh: need rows >= 2 and cols >= 2";
-    let st = Random.State.make [| seed |] in
-    let d = create () in
-    let gate_name r c = Printf.sprintf "m%d_%d" r c in
-    let net_name r c = Printf.sprintf "x%d_%d" r c in
-    let pi_north c = Printf.sprintf "qn%d" c in
-    let pi_west r = Printf.sprintf "qw%d" r in
-    (* irregular counterpart of [grid]: seeded per-net wire values (few
-       repeated templates — the cache-hostile case) and random extra
-       diagonal listeners.  All flags are drawn up front, row-major,
-       so the stream — and therefore the design — is a pure function
-       of [seed]. *)
-    let diag = Array.init rows (fun _ -> Array.init cols (fun _ -> false)) in
-    for r = 1 to rows - 1 do
-      for c = 1 to cols - 1 do
-        diag.(r).(c) <- Random.State.float st 1. < 0.3
-      done
-    done;
-    for r = 0 to rows - 1 do
-      for c = 0 to cols - 1 do
-        let north = if r = 0 then pi_north c else net_name (r - 1) c in
-        let west = if c = 0 then pi_west r else net_name r (c - 1) in
-        let inputs =
-          (north :: west
-           :: (if diag.(r).(c) then [ net_name (r - 1) (c - 1) ] else []))
-        in
-        add_gate d ~inst:(gate_name r c)
-          ~cell:grid_cells.(((r * 3) + c) mod 2)
-          ~inputs ~output:(net_name r c)
-      done
-    done;
-    let wire sinks =
-      let trunk =
-        { seg_from = "drv";
-          seg_to = "t";
-          res = 60. +. Random.State.float st 120.;
-          cap = 2e-15 +. Random.State.float st 6e-15 }
-      in
-      trunk
-      :: List.map
-           (fun s ->
-             { seg_from = "t";
-               seg_to = s;
-               res = 90. +. Random.State.float st 140.;
-               cap = 2e-15 +. Random.State.float st 5e-15 })
-           sinks
-    in
-    for r = 0 to rows - 1 do
-      for c = 0 to cols - 1 do
-        let sinks =
-          (if r + 1 < rows then [ gate_name (r + 1) c ] else [])
-          @ (if c + 1 < cols then [ gate_name r (c + 1) ] else [])
-          @
-          if r + 1 < rows && c + 1 < cols && diag.(r + 1).(c + 1) then
-            [ gate_name (r + 1) (c + 1) ]
-          else []
-        in
-        add_net d ~name:(net_name r c) ~segments:(wire sinks)
-      done
-    done;
-    for c = 0 to cols - 1 do
-      add_net d ~name:(pi_north c)
-        ~segments:
-          [ { seg_from = "drv";
-              seg_to = gate_name 0 c;
-              res = 80. +. Random.State.float st 60.;
-              cap = 4e-15 } ];
-      add_primary_input d ~net:(pi_north c) ();
-      add_primary_output d ~net:(net_name (rows - 1) c)
-    done;
-    for r = 0 to rows - 1 do
-      add_net d ~name:(pi_west r)
-        ~segments:
-          [ { seg_from = "drv";
-              seg_to = gate_name r 0;
-              res = 80. +. Random.State.float st 60.;
-              cap = 4e-15 } ];
-      add_primary_input d ~net:(pi_west r) ();
-      if r < rows - 1 then add_primary_output d ~net:(net_name r (cols - 1))
-    done;
-    d
-
-  let ladder_cell =
-    cell ~name:"rl_buf" ~drive_res:120. ~input_cap:6e-15 ~intrinsic:20e-12
-
-  let rc_ladder ~stages ~length ~fanout () =
-    if stages < 1 then invalid_arg "Sta.Synth.rc_ladder: need stages >= 1";
-    if length < 3 then invalid_arg "Sta.Synth.rc_ladder: need length >= 3";
-    if fanout < 1 then invalid_arg "Sta.Synth.rc_ladder: need fanout >= 1";
-    let d = create () in
-    let gate_name i = Printf.sprintf "rl%d" i in
-    let net_name i = Printf.sprintf "ln%d" i in
-    (* each stage drives a long uniform RC trunk (the 2508.13159
-       long-chain regime: every trunk interior node is chain-interior
-       material) ending in a hub with [fanout - 1] capacitive side
-       stubs (star-leg material) plus the arm to the next stage's
-       input pin.  Trunk length and values vary with [stage mod 3], so
-       the unreduced design has three stage-circuit topology classes —
-       after reduction every stage lumps to the same T-section
-       template, which is exactly the canonicalization the pattern
-       tier rewards. *)
-    let ladder i sinks =
-      let cls = i mod 3 in
-      let len = length + cls in
-      let v = float_of_int cls in
-      let seg k =
-        { seg_from = (if k = 0 then "drv" else Printf.sprintf "t%d" k);
-          seg_to = Printf.sprintf "t%d" (k + 1);
-          res = 45. +. (7. *. v);
-          cap = 2.5e-15 +. (0.4e-15 *. v) }
-      in
-      let hub = Printf.sprintf "t%d" len in
-      let stubs =
-        List.init (fanout - 1) (fun j ->
-            { seg_from = hub;
-              seg_to = Printf.sprintf "s%d" j;
-              res = 90. +. (12. *. float_of_int j);
-              cap = 5e-15 +. (0.6e-15 *. float_of_int j) })
-      in
-      let arms =
-        List.map
-          (fun s -> { seg_from = hub; seg_to = s; res = 70.; cap = 3e-15 })
-          sinks
-      in
-      List.init len seg @ stubs @ arms
-    in
-    for i = 0 to stages - 1 do
-      let input = if i = 0 then "lin" else net_name (i - 1) in
-      add_gate d ~inst:(gate_name i) ~cell:ladder_cell ~inputs:[ input ]
-        ~output:(net_name i)
-    done;
-    add_net d ~name:"lin"
-      ~segments:
-        [ { seg_from = "drv"; seg_to = gate_name 0; res = 60.; cap = 4e-15 } ];
-    add_primary_input d ~net:"lin" ();
-    for i = 0 to stages - 1 do
-      let sinks = if i + 1 < stages then [ gate_name (i + 1) ] else [] in
-      add_net d ~name:(net_name i) ~segments:(ladder i sinks)
-    done;
-    add_primary_output d ~net:(net_name (stages - 1));
-    d
-end
+(* Library root: the timing engine lives in [Timing] (sibling modules
+   cannot depend on a library's main module, and [Session] needs the
+   engine), re-exported here so the public face stays [Sta.*]. *)
+
+include Timing
+module Session = Session
+module Serve = Serve

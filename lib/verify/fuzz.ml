@@ -182,6 +182,92 @@ let sta_gen =
     frequency
       [ (3, g_lines); (2, g_mutated base_sta_deck); (1, g_garbage_line) ])
 
+(* --- the serve line protocol --------------------------------------- *)
+
+(* [Sta.Serve.handle] is documented total: whatever the request line,
+   it answers a structured [{"ok":...}] JSON response, never raises,
+   and never corrupts the loaded session (a later valid command still
+   works).  Scripts are command sequences against one server, so
+   malformed lines interleave with genuine load/edit/timing traffic
+   and hit every state the protocol can reach. *)
+
+(* a real design file to load mid-script (lazily written to a temp
+   file): without it, the fuzzer would only ever see the empty-session
+   states *)
+let serve_deck_path =
+  lazy
+    (let path = Filename.temp_file "awesim_fuzz" ".sta" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     let oc = open_out path in
+     output_string oc base_sta_deck;
+     close_out oc;
+     path)
+
+let serve_escapes script =
+  let t = Sta.Serve.create ~reduce:false () in
+  let bad =
+    List.find_map
+      (fun line ->
+        match Sta.Serve.handle t line with
+        | r ->
+          let body = r.Sta.Serve.body in
+          let pfx = {|{"ok":|} in
+          if
+            String.length body >= String.length pfx
+            && String.sub body 0 (String.length pfx) = pfx
+          then None
+          else Some (Failure (Printf.sprintf "non-JSON response: %s" body))
+        | exception e -> Some e)
+      script
+  in
+  match bad with
+  | Some _ -> bad
+  | None -> (
+    (* the session survives the script: a plain status query answers *)
+    match Sta.Serve.handle t "stats" with
+    | _ -> None
+    | exception e -> Some e)
+
+let g_serve_line =
+  let g_known =
+    Gen.oneofl
+      [ "load"; "load /nonexistent/x.sta"; "load a b c";
+        "edit set_r net_mid 0 500"; "edit set_r net_mid 99 500";
+        "edit set_r nosuch 0 500"; "edit set_r net_mid 0 nan";
+        "edit set_r net_mid 0 -5"; "edit set_r net_mid 0";
+        "edit set_c net_out 0 4e-14"; "edit set_c net_out zero 4e-14";
+        "edit reroute net_mid 1 w1 u2"; "edit reroute net_mid 0 drv w9";
+        "edit reroute net_mid 1 w1"; "edit swap_sink u2 net_mid net_in";
+        "edit swap_sink u2"; "edit set_drive u1 300"; "edit set_drive u1 0";
+        "edit set_drive u1 inf"; "edit set_pin_cap u2 1e-14";
+        "edit set_intrinsic u1 1e-11"; "edit set_intrinsic u1 -1";
+        "edit set_constraint net_out 1e-9"; "edit set_constraint net_out";
+        "edit remove_constraint net_out"; "edit remove_constraint";
+        "edit set_clock 2e-9"; "edit set_clock 0"; "edit remove_clock";
+        "edit remove_clock now"; "edit"; "edit teleport u1";
+        "timing"; "timing --slack"; "timing --top-k 2"; "timing --top-k -2";
+        "timing --top-k"; "timing --top-k 2 --slack"; "timing --bogus";
+        "stats"; "stats verbose"; "revert"; "revert all"; "revert some";
+        "quit"; "quit now"; ""; " "; "\t \t" ]
+  in
+  let g_load_real =
+    Gen.pure ("load " ^ Lazy.force serve_deck_path)
+  in
+  let g_soup =
+    let g_tok =
+      Gen.oneofl
+        [ "edit"; "timing"; "load"; "revert"; "set_r"; "set_clock";
+          "net_mid"; "u1"; "0"; "-1"; "nan"; "1e999"; "--slack"; "--top-k";
+          "all"; "\"quoted\""; "{"; "}" ]
+    in
+    Gen.(map (String.concat " ") (list_size (1 -- 6) g_tok))
+  in
+  Gen.(
+    frequency
+      [ (6, g_known); (2, g_load_real); (2, g_soup); (1, g_garbage_line) ])
+
+let serve_gen = Gen.(list_size (0 -- 20) g_serve_line)
+
 (* --- qcheck tests -------------------------------------------------- *)
 
 let escape_message = function
@@ -203,6 +289,12 @@ let sta_test ~count =
     ~print:(fun s -> s)
     sta_gen
     (fun src -> escape_message (sta_escapes src))
+
+let serve_test ~count =
+  Test.make ~name:"fuzz serve protocol: always a JSON response" ~count
+    ~print:(String.concat "\n")
+    serve_gen
+    (fun script -> escape_message (serve_escapes script))
 
 (* --- driver entry -------------------------------------------------- *)
 
@@ -230,15 +322,22 @@ let run_test ~rand ~parser ~escapes test =
   | exception Test.Test_error (_, arg, e, _) ->
     [ { parser; input = arg; exn_text = Printexc.to_string e } ]
 
+(* counterexamples are printed scripts: one command line per line *)
+let serve_escapes_text s = serve_escapes (String.split_on_char '\n' s)
+
 let run_parser ~parser ~seed ~count =
-  (* a fresh generator per parser keeps the two sweeps independent of
-     each other's draw counts (and lets them run concurrently) *)
+  (* a fresh generator per parser keeps the sweeps independent of each
+     other's draw counts (and lets them run concurrently) *)
   let rand = Random.State.make [| seed; Hashtbl.hash parser |] in
   match parser with
   | ".sp" -> run_test ~rand ~parser ~escapes:sp_escapes (sp_test ~count)
   | ".sta" -> run_test ~rand ~parser ~escapes:sta_escapes (sta_test ~count)
-  | _ -> invalid_arg "Fuzz.run_parser: parser must be \".sp\" or \".sta\""
+  | "serve" ->
+    run_test ~rand ~parser ~escapes:serve_escapes_text (serve_test ~count)
+  | _ ->
+    invalid_arg "Fuzz.run_parser: parser must be \".sp\", \".sta\" or \"serve\""
 
 let run ~seed ~count =
   run_parser ~parser:".sp" ~seed ~count
   @ run_parser ~parser:".sta" ~seed ~count
+  @ run_parser ~parser:"serve" ~seed ~count

@@ -13,27 +13,42 @@ val sp_escapes : string -> exn option
 val sta_escapes : string -> exn option
 (** Same contract for the [.sta] design-file parser. *)
 
+val serve_escapes : string list -> exn option
+(** The [awesim serve] protocol robustness contract: feed the script's
+    lines to a fresh {!Sta.Serve.t}; every line — malformed, truncated,
+    or interleaved with genuine load/edit/timing traffic — must yield
+    a structured [{"ok":...}] JSON response, no exception may escape,
+    and the session must stay answerable afterwards.  [None] when the
+    contract held; [Some e] with the escaping (or synthesized)
+    exception otherwise. *)
+
 val sp_gen : string QCheck2.Gen.t
 
 val sta_gen : string QCheck2.Gen.t
+
+val serve_gen : string list QCheck2.Gen.t
+(** Scripts mixing known commands (valid and broken), a genuine [load]
+    of a real on-disk design, token soup over the protocol vocabulary,
+    and raw garbage. *)
 
 val sp_test : count:int -> QCheck2.Test.t
 
 val sta_test : count:int -> QCheck2.Test.t
 
+val serve_test : count:int -> QCheck2.Test.t
+
 type failure = {
-  parser : string;  (** ".sp" or ".sta" *)
+  parser : string;  (** ".sp", ".sta" or "serve" *)
   input : string;  (** the shrunk escaping input *)
   exn_text : string;  (** the escaping exception *)
 }
 
 val run_parser : parser:string -> seed:int -> count:int -> failure list
-(** Run one parser's fuzzer ([".sp"] or [".sta"]) for [count] inputs
-    with a deterministic generator derived from [seed] and the parser
-    name — so the two sweeps are independent and may run
-    concurrently. *)
+(** Run one fuzzer ([".sp"], [".sta"] or ["serve"]) for [count] inputs
+    with a deterministic generator derived from [seed] and the fuzzer
+    name — so the sweeps are independent and may run concurrently. *)
 
 val run : seed:int -> count:int -> failure list
-(** Run both fuzzers for [count] inputs each with a deterministic
+(** Run all three fuzzers for [count] inputs each with a deterministic
     generator seeded by [seed]; returns the shrunk failures (empty
-    when the parse-or-clean-error invariant held throughout). *)
+    when every invariant held throughout). *)

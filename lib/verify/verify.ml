@@ -68,7 +68,12 @@ let write_repros ~dir failures =
     | exception Sys_error _ -> Sys.mkdir dir 0o755);
     List.mapi
       (fun i (f : Fuzz.failure) ->
-        let ext = if f.Fuzz.parser = ".sta" then "sta" else "sp" in
+        let ext =
+          match f.Fuzz.parser with
+          | ".sta" -> "sta"
+          | "serve" -> "serve.txt"  (* a protocol script, not a deck *)
+          | _ -> "sp"
+        in
         let path = Filename.concat dir (Printf.sprintf "repro_%d.%s" i ext) in
         let oc = open_out path in
         Printf.fprintf oc "* escaping exception: %s\n%s\n" f.Fuzz.exn_text
@@ -148,19 +153,20 @@ let run ?(progress = fun _ -> ()) config =
     (fun (name, _) ->
       progress (Printf.sprintf "prop %s: %d seeds" name config.prop_count))
     Props.all;
-  (* layer 3: parser fuzzing — the two parsers' sweeps use independent
-     generators, so they are two tasks *)
+  (* layer 3: fuzzing — the two parsers and the serve protocol use
+     independent generators, so they are three tasks *)
+  let fuzzers = [| ".sp"; ".sta"; "serve" |] in
   let fuzz_failures =
     Parallel.map
-      ~label:(fun k -> if k = 0 then "fuzz .sp" else "fuzz .sta")
+      ~label:(fun k -> "fuzz " ^ fuzzers.(k))
       pool
       (fun parser ->
         Fuzz.run_parser ~parser ~seed:config.seed ~count:config.fuzz_count)
-      [| ".sp"; ".sta" |]
+      fuzzers
     |> Array.to_list |> List.concat
   in
   progress
-    (Printf.sprintf "fuzz: %d inputs per parser, %d escapes"
+    (Printf.sprintf "fuzz: %d inputs per fuzzer, %d escapes"
        config.fuzz_count
        (List.length fuzz_failures));
   let repro_files =
@@ -177,7 +183,7 @@ let run ?(progress = fun _ -> ()) config =
     worst_case;
     prop_run = !prop_run;
     prop_failures = List.rev !prop_failures;
-    fuzz_run = 2 * config.fuzz_count;
+    fuzz_run = 3 * config.fuzz_count;
     fuzz_failures;
     repro_files }
 

@@ -1,5 +1,5 @@
 (** Differential verification harness: random-circuit oracles,
-    metamorphic properties, and parser fuzzing.
+    metamorphic properties, and parser/protocol fuzzing.
 
     Three layers, all deterministic in one seed:
 
@@ -23,7 +23,7 @@ type config = {
   seed : int;
   count : int;  (** oracle cases *)
   prop_count : int;  (** seeds per metamorphic property *)
-  fuzz_count : int;  (** fuzz inputs per parser *)
+  fuzz_count : int;  (** fuzz inputs per fuzzer (parsers, serve protocol) *)
   tol : Oracle.tol;
   repro_dir : string option;  (** where to write shrunk fuzz decks *)
   jobs : int;  (** parallel fan-out across cases/props/fuzzers *)
@@ -31,7 +31,7 @@ type config = {
 
 val default_config : config
 (** seed 42, 200 oracle cases, 60 seeds per property, 1000 fuzz
-    inputs per parser, {!Oracle.default_tol}, no repro directory,
+    inputs per fuzzer, {!Oracle.default_tol}, no repro directory,
     jobs 1. *)
 
 type prop_failure = {
@@ -62,7 +62,7 @@ val run : ?progress:(string -> unit) -> config -> report
     decks.
 
     [config.jobs] > 1 fans the individual oracle cases, property
-    runs, and the two parser fuzzers across a {!Parallel} pool.  Each
+    runs, and the three fuzzers across a {!Parallel} pool.  Each
     task derives its RNG from its own seed and results fold in index
     order, so the report is bit-identical for any job count. *)
 

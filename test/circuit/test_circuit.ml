@@ -826,6 +826,22 @@ let test_canon_signature_guards_relabeling () =
     (Canon.exact_signature a
     = Canon.exact_signature (canon_build spec ~node_order:[] ~perturb:None))
 
+let prop_canon_combined_matches_single =
+  QCheck2.Test.make
+    ~name:"Canon.hashes equals the three single-form functions"
+    ~count:80
+    QCheck2.Gen.(pair (int_range 2 14) (int_range 0 100000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| 0xCA93; seed |] in
+      let spec = canon_net_spec st ~n in
+      let c =
+        canon_build spec ~node_order:(canon_shuffled_names st n) ~perturb:None
+      in
+      let h = Canon.hashes c in
+      h.Canon.pattern = Canon.pattern_hash c
+      && h.Canon.exact = Canon.exact_hash c
+      && h.Canon.signature = Canon.exact_signature c)
+
 (* ------------------------------------------------------------------ *)
 (* Circuit.Reduce: the pre-AWE model-order reduction pass *)
 
@@ -1196,7 +1212,9 @@ let () =
       ( "canon",
         [ Alcotest.test_case "signature guards relabeled instances" `Quick
             test_canon_signature_guards_relabeling ]
-        @ qsuite [ prop_canon_relabel_invariant; prop_canon_value_sensitive ]
+        @ qsuite
+            [ prop_canon_relabel_invariant; prop_canon_value_sensitive;
+              prop_canon_combined_matches_single ]
       );
       ( "reduce",
         [ Alcotest.test_case "chain plan and lump" `Quick

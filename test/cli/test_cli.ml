@@ -1,0 +1,108 @@
+(* CLI contract tests: the shared option record used by
+   analyze/timing/serve validates its flags in one place, and invalid
+   values exit 2 (usage error) before any command body runs.  Run
+   against the real binary so the contract covers cmdliner wiring, not
+   just the helpers. *)
+
+(* `dune runtest` runs in the test's build directory; `dune exec` runs
+   from the workspace root *)
+let locate candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "fixture not found: %s" (List.hd candidates)
+
+let exe () =
+  locate [ "../../bin/awesim.exe"; "_build/default/bin/awesim.exe" ]
+
+let deck () = locate [ "../../decks/fig16.sp"; "decks/fig16.sp" ]
+let design () = locate [ "../../decks/adder_stage.sta"; "decks/adder_stage.sta" ]
+
+(* run the binary, feeding [stdin_text]; returns (exit code, stdout) *)
+let run ?(stdin_text = "") args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (exe () :: args))
+    ^ " 2>/dev/null"
+  in
+  let out, inp = Unix.open_process cmd in
+  (* a command that exits during validation closes the pipe first *)
+  (try
+     output_string inp stdin_text;
+     close_out inp
+   with Sys_error _ -> ());
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf out 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process (out, inp) in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n -> 128 + n
+    | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+let check_exit name expected args =
+  let code, _ = run args in
+  Alcotest.(check int) name expected code
+
+let test_bad_jobs () =
+  (* every command sharing the option record rejects a negative --jobs
+     identically, before reading anything *)
+  check_exit "timing --jobs=-1" 2 [ "timing"; "--jobs=-1"; design () ];
+  check_exit "analyze --jobs -1" 2 [ "analyze"; "--jobs=-1"; deck () ];
+  check_exit "serve --jobs -1" 2 [ "serve"; "--jobs=-1" ]
+
+let test_bad_model () =
+  check_exit "timing --model bogus" 2 [ "timing"; "--model"; "bogus"; design () ];
+  check_exit "timing --model 0" 2 [ "timing"; "--model"; "0"; design () ];
+  check_exit "serve --model bogus" 2 [ "serve"; "--model"; "bogus" ]
+
+let test_bad_top_k () =
+  check_exit "timing --top-k -3" 2 [ "timing"; "--top-k=-3"; design () ]
+
+let test_cache_flag_scope () =
+  (* --no-cache belongs to commands that can run cacheless; commands
+     whose sessions own their cache reject it as an unknown flag *)
+  check_exit "timing --no-cache" 0 [ "timing"; "--no-cache"; design () ];
+  check_exit "serve --no-cache" 124 [ "serve"; "--no-cache" ]
+
+let test_serve_stdio () =
+  let code, out =
+    run
+      ~stdin_text:"edit set_r out 0 500\ntiming\nrevert all\nquit\n"
+      [ "serve"; design () ]
+  in
+  Alcotest.(check int) "serve exits cleanly" 0 code;
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one response per request (plus the preload)" 5
+    (List.length lines);
+  List.iteri
+    (fun i l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line %d is an ok JSON response (%s)" i l)
+        true
+        (String.length l > 10 && String.sub l 0 10 = {|{"ok":true|}))
+    lines
+
+let test_serve_eof () =
+  (* closing stdin without quit is a clean shutdown, not a hang *)
+  let code, _ = run ~stdin_text:"timing\n" [ "serve"; design () ] in
+  Alcotest.(check int) "EOF ends the server" 0 code
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Alcotest.run "cli"
+    [ ( "exit-2 contract",
+        [ Alcotest.test_case "negative --jobs" `Quick test_bad_jobs;
+          Alcotest.test_case "bad --model" `Quick test_bad_model;
+          Alcotest.test_case "negative --top-k" `Quick test_bad_top_k;
+          Alcotest.test_case "--cache flag scope" `Quick test_cache_flag_scope
+        ] );
+      ( "serve transport",
+        [ Alcotest.test_case "stdio round-trip" `Quick test_serve_stdio;
+          Alcotest.test_case "EOF shutdown" `Quick test_serve_eof ] ) ]

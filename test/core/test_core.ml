@@ -1207,6 +1207,10 @@ let snap ?(phases = []) f m fi r e b =
     reduce_series_merges = 0;
     reduce_chain_lumps = 0;
     reduce_star_merges = 0;
+    eco_edits = 0;
+    eco_dirty_nets = 0;
+    eco_reused_nets = 0;
+    eco_full_fallbacks = 0;
     phase_seconds = phases }
 
 let stat_ints (s : Awe.Stats.snapshot) =

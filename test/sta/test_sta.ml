@@ -1315,6 +1315,357 @@ let test_constraint_cards () =
   Alcotest.(check bool) "unconstrained design has no slack entries" true
     (r.Sta.slacks = [] && r.Sta.worst_slack = infinity)
 
+(* ----- Session: incremental ECO re-timing -------------------------
+
+   The contract under test: after any accepted edit sequence, the
+   session's dirty-cone re-time is bit-identical — every report field
+   except [stats], whose engine counters legitimately shrink (that is
+   the point) — to a cold [Sta.analyze] of the edited design with a
+   fresh cache, at every [jobs] value; and the session cache converges
+   to the same fingerprint the cold run builds (key refcounting). *)
+
+let check_reports_match name (inc : Sta.report) (cold : Sta.report) =
+  Alcotest.(check bool) (name ^ ": nets bit-identical") true
+    (inc.Sta.nets = cold.Sta.nets);
+  Alcotest.(check bool) (name ^ ": critical arrival bit-identical") true
+    (inc.Sta.critical_arrival = cold.Sta.critical_arrival);
+  Alcotest.(check (list string)) (name ^ ": critical path")
+    cold.Sta.critical_path inc.Sta.critical_path;
+  Alcotest.(check bool) (name ^ ": slacks bit-identical") true
+    (inc.Sta.slacks = cold.Sta.slacks);
+  Alcotest.(check bool) (name ^ ": worst slack bit-identical") true
+    (inc.Sta.worst_slack = cold.Sta.worst_slack);
+  Alcotest.(check bool) (name ^ ": no failures") true
+    (inc.Sta.failures = [] && cold.Sta.failures = [])
+
+let check_session_cold ?(sparse = false) name s =
+  let d = Sta.Session.design s in
+  let cache = Sta.create_cache () in
+  let cold =
+    Sta.analyze ~model:Sta.Awe_auto ~sparse ~reduce:false ~jobs:1 ~cache d
+  in
+  (match Sta.Session.retime s with
+  | Ok r -> check_reports_match name r cold
+  | Error msg -> Alcotest.failf "%s: retime failed: %s" name msg);
+  Alcotest.(check bool) (name ^ ": cache fingerprints equal") true
+    (Sta.cache_fingerprint (Sta.Session.cache s) = Sta.cache_fingerprint cache)
+
+let ap s e =
+  match Sta.Session.apply s e with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "apply failed: %s" msg
+
+let constrained_chain () =
+  let d = chain () in
+  Sta.add_constraint d ~net:"net_out" ~required:2e-9;
+  Sta.set_clock d ~period:3e-9;
+  d
+
+let test_session_initial () =
+  let s = Sta.Session.create ~reduce:false (constrained_chain ()) in
+  check_session_cold "initial analysis" s;
+  Alcotest.(check int) "nothing pending" 0 (Sta.Session.pending_edits s)
+
+let test_session_value_edits () =
+  let s = Sta.Session.create ~reduce:false (constrained_chain ()) in
+  let step name e =
+    ap s e;
+    check_session_cold name s
+  in
+  step "set_r" (Sta.Session.Set_resistance { net = "net_mid"; index = 0; value = 350. });
+  step "set_c" (Sta.Session.Set_capacitance { net = "net_out"; index = 0; value = 80e-15 });
+  step "set_drive" (Sta.Session.Set_drive { inst = "u1"; value = 420. });
+  step "set_pin_cap" (Sta.Session.Set_pin_cap { inst = "u2"; value = 55e-15 });
+  step "set_intrinsic" (Sta.Session.Set_intrinsic { inst = "u3"; value = 95e-12 });
+  step "set_constraint" (Sta.Session.Set_constraint { net = "net_out"; required = 1.5e-9 });
+  step "set_clock" (Sta.Session.Set_clock { period = 2.5e-9 });
+  step "remove_clock" Sta.Session.Remove_clock;
+  step "remove_constraint" (Sta.Session.Remove_constraint { net = "net_out" });
+  (* a burst of edits pays one propagation at the next retime *)
+  ap s (Sta.Session.Set_resistance { net = "net_in"; index = 0; value = 120. });
+  ap s (Sta.Session.Set_clock { period = 2e-9 });
+  Alcotest.(check int) "two pending" 2 (Sta.Session.pending_edits s);
+  check_session_cold "batched edits" s
+
+let test_session_dirty_cone () =
+  (* a single deep edit must not re-solve the whole design *)
+  let s = Sta.Session.create ~reduce:false (constrained_chain ()) in
+  ap s (Sta.Session.Set_resistance { net = "net_out"; index = 0; value = 400. });
+  (match Sta.Session.retime s with
+  | Error m -> Alcotest.failf "retime: %s" m
+  | Ok r ->
+    let dirty = r.Sta.stats.Awe.Stats.eco_dirty_nets
+    and reused = r.Sta.stats.Awe.Stats.eco_reused_nets in
+    Alcotest.(check int) "every net classified once" 4 (dirty + reused);
+    Alcotest.(check bool)
+      (Printf.sprintf "cone is partial (dirty %d)" dirty)
+      true
+      (dirty >= 1 && dirty <= 2));
+  let tot = Sta.Session.totals s in
+  Alcotest.(check int) "edits counted" 1 tot.Sta.Session.total_edits;
+  Alcotest.(check int) "no fallbacks" 0 tot.Sta.Session.total_fallbacks
+
+let test_session_revert () =
+  let s = Sta.Session.create ~reduce:false (constrained_chain ()) in
+  let r0 = Sta.Session.report s in
+  let fp0 = Sta.cache_fingerprint (Sta.Session.cache s) in
+  ap s (Sta.Session.Set_resistance { net = "net_mid"; index = 1; value = 900. });
+  ap s (Sta.Session.Set_drive { inst = "u2"; value = 333. });
+  ap s (Sta.Session.Set_clock { period = 9e-9 });
+  (match Sta.Session.retime s with
+  | Ok r ->
+    Alcotest.(check bool) "edited report differs" true (r.Sta.nets <> r0.Sta.nets)
+  | Error m -> Alcotest.failf "retime: %s" m);
+  Alcotest.(check int) "three reverts" 3 (Sta.Session.revert_all s);
+  (match Sta.Session.retime s with
+  | Ok r -> check_reports_match "revert restores the report" r r0
+  | Error m -> Alcotest.failf "retime after revert: %s" m);
+  Alcotest.(check bool) "revert restores the cache fingerprint" true
+    (Sta.cache_fingerprint (Sta.Session.cache s) = fp0)
+
+(* two parallel routes into u3; only one is a logical input, so a
+   sink swap is a pure connectivity edit on prebuilt wires *)
+let swap_fixture () =
+  let d = Sta.create () in
+  Sta.add_gate d ~inst:"u1" ~cell:buf ~inputs:[ "a" ] ~output:"y1";
+  Sta.add_gate d ~inst:"u2" ~cell:inv ~inputs:[ "a" ] ~output:"y2";
+  Sta.add_gate d ~inst:"u3" ~cell:inv ~inputs:[ "y1" ] ~output:"z";
+  Sta.add_net d ~name:"a"
+    ~segments:
+      [ seg ~from_:"drv" ~to_:"u1" ~r:100. ~c:25e-15;
+        seg ~from_:"drv" ~to_:"u2" ~r:140. ~c:30e-15 ];
+  Sta.add_net d ~name:"y1"
+    ~segments:
+      [ seg ~from_:"drv" ~to_:"w1" ~r:200. ~c:40e-15;
+        seg ~from_:"w1" ~to_:"u3" ~r:150. ~c:35e-15;
+        seg ~from_:"w1" ~to_:"stub" ~r:50. ~c:8e-15 ];
+  Sta.add_net d ~name:"y2" ~segments:[ seg ~from_:"drv" ~to_:"u3" ~r:320. ~c:60e-15 ];
+  Sta.add_net d ~name:"z" ~segments:[ seg ~from_:"drv" ~to_:"end" ~r:10. ~c:1e-15 ];
+  Sta.add_primary_input d ~net:"a" ~slew:120e-12 ();
+  Sta.add_primary_output d ~net:"z";
+  Sta.set_clock d ~period:2e-9;
+  d
+
+let test_session_topology_edits () =
+  let s = Sta.Session.create ~reduce:false (swap_fixture ()) in
+  check_session_cold "pre-swap" s;
+  ap s (Sta.Session.Swap_sink { inst = "u3"; from_net = "y1"; to_net = "y2" });
+  check_session_cold "swap_sink" s;
+  (* the swap's undo image is a Set_inputs edit *)
+  (match Sta.Session.revert s with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "revert swap: %s" m);
+  check_session_cold "swap reverted" s;
+  ap s (Sta.Session.Set_inputs { inst = "u3"; inputs = [ "y1"; "y2" ] });
+  check_session_cold "set_inputs widens the cone" s;
+  (* rehang y1's stub off the driver root instead of w1 *)
+  ap s (Sta.Session.Reroute { net = "y1"; index = 2; seg_from = "drv"; seg_to = "stub" });
+  check_session_cold "reroute" s
+
+let test_session_apply_validation () =
+  let s = Sta.Session.create ~reduce:false (chain ()) in
+  let r0 = Sta.Session.report s in
+  let rejects label e =
+    match Sta.Session.apply s e with
+    | Ok () -> Alcotest.failf "%s accepted" label
+    | Error _ -> ()
+  in
+  rejects "unknown net" (Sta.Session.Set_resistance { net = "nope"; index = 0; value = 1. });
+  rejects "index out of range" (Sta.Session.Set_resistance { net = "net_in"; index = 5; value = 1. });
+  rejects "non-positive resistance" (Sta.Session.Set_resistance { net = "net_in"; index = 0; value = 0. });
+  rejects "negative capacitance" (Sta.Session.Set_capacitance { net = "net_in"; index = 0; value = -1e-15 });
+  rejects "non-finite value" (Sta.Session.Set_resistance { net = "net_in"; index = 0; value = nan });
+  rejects "unknown inst" (Sta.Session.Set_drive { inst = "nope"; value = 100. });
+  rejects "non-positive drive" (Sta.Session.Set_drive { inst = "u1"; value = 0. });
+  rejects "negative required" (Sta.Session.Set_constraint { net = "net_out"; required = -1. });
+  rejects "absent constraint" (Sta.Session.Remove_constraint { net = "net_out" });
+  rejects "absent clock" Sta.Session.Remove_clock;
+  rejects "detached swap target"
+    (Sta.Session.Swap_sink { inst = "u2"; from_net = "net_mid"; to_net = "net_in" });
+  rejects "not an input"
+    (Sta.Session.Swap_sink { inst = "u2"; from_net = "net_out"; to_net = "net_mid" });
+  rejects "empty inputs" (Sta.Session.Set_inputs { inst = "u2"; inputs = [] });
+  Alcotest.(check int) "rejected edits leave nothing pending" 0
+    (Sta.Session.pending_edits s);
+  match Sta.Session.retime s with
+  | Ok r -> check_reports_match "rejected edits mutate nothing" r r0
+  | Error m -> Alcotest.failf "retime: %s" m
+
+(* random edit stream over the shared random layered DAGs *)
+let random_edit st d =
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let nets = Sta.net_names d in
+  let seg_edit mk =
+    let net = pick nets in
+    let segs = Option.get (Sta.net_segments d net) in
+    mk net (Random.State.int st (List.length segs))
+  in
+  let gate () =
+    let inst, _, _, _ = pick (Sta.gate_details d) in
+    inst
+  in
+  match Random.State.int st 8 with
+  | 0 | 1 ->
+    seg_edit (fun net index ->
+        Sta.Session.Set_resistance
+          { net; index; value = 20. +. Random.State.float st 800. })
+  | 2 | 3 ->
+    seg_edit (fun net index ->
+        Sta.Session.Set_capacitance
+          { net; index; value = Random.State.float st 80e-15 })
+  | 4 -> Sta.Session.Set_drive { inst = gate (); value = 100. +. Random.State.float st 900. }
+  | 5 -> Sta.Session.Set_pin_cap { inst = gate (); value = Random.State.float st 60e-15 }
+  | 6 -> Sta.Session.Set_intrinsic { inst = gate (); value = Random.State.float st 120e-12 }
+  | _ ->
+    if Random.State.bool st then
+      Sta.Session.Set_clock { period = 1e-9 +. Random.State.float st 4e-9 }
+    else
+      Sta.Session.Set_constraint
+        { net = pick nets; required = Random.State.float st 3e-9 }
+
+let test_session_metamorphic () =
+  List.iter
+    (fun jobs ->
+      for seed = 0 to 3 do
+        let st = Random.State.make [| 0xEC0; seed |] in
+        let d = random_design st ~nets:12 in
+        (* give the fabric endpoints so constraint edits bite *)
+        let consumed =
+          List.concat_map (fun (_, _, ins, _) -> ins) (Sta.gate_details d)
+        in
+        List.iter
+          (fun n -> if not (List.mem n consumed) then Sta.add_primary_output d ~net:n)
+          (Sta.net_names d);
+        let sparse = seed mod 2 = 1 in
+        let s = Sta.Session.create ~sparse ~reduce:false ~jobs d in
+        let tag round =
+          Printf.sprintf "jobs %d seed %d round %d" jobs seed round
+        in
+        for round = 0 to 5 do
+          for _ = 0 to Random.State.int st 2 do
+            ap s (random_edit st d)
+          done;
+          (* interleave user-level undo with fresh edits *)
+          if round = 3 then
+            match Sta.Session.revert s with
+            | Ok _ | Error _ -> ()
+          else ();
+          check_session_cold ~sparse (tag round) s
+        done;
+        let tot = Sta.Session.totals s in
+        Alcotest.(check int) (tag 9 ^ ": no fallbacks") 0
+          tot.Sta.Session.total_fallbacks
+      done)
+    [ 1; 4; 8 ]
+
+let test_session_revert_all_metamorphic () =
+  for seed = 0 to 3 do
+    let st = Random.State.make [| 0x0EC0; seed |] in
+    let d = random_design st ~nets:10 in
+    let s = Sta.Session.create ~reduce:false ~jobs:test_jobs d in
+    let r0 = Sta.Session.report s in
+    let fp0 = Sta.cache_fingerprint (Sta.Session.cache s) in
+    for _ = 0 to 7 do
+      ap s (random_edit st d)
+    done;
+    (match Sta.Session.retime s with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "seed %d: retime: %s" seed m);
+    ignore (Sta.Session.revert_all s);
+    (match Sta.Session.retime s with
+    | Ok r -> check_reports_match (Printf.sprintf "seed %d restored" seed) r r0
+    | Error m -> Alcotest.failf "seed %d: retime after revert: %s" seed m);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: fingerprint restored" seed)
+      true
+      (Sta.cache_fingerprint (Sta.Session.cache s) = fp0)
+  done
+
+(* ----- Serve: the line protocol over a session --------------------- *)
+
+let deck_path () =
+  match
+    List.find_opt Sys.file_exists
+      [ "../../decks/adder_stage.sta"; "decks/adder_stage.sta" ]
+  with
+  | Some p -> p
+  | None -> Alcotest.failf "decks/adder_stage.sta not found"
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let expect_ok t name line =
+  let r = Sta.Serve.handle t line in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: ok response (%s)" name r.Sta.Serve.body)
+    true
+    (starts_with {|{"ok":true|} r.Sta.Serve.body);
+  r
+
+let expect_err t name line =
+  let r = Sta.Serve.handle t line in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: error response (%s)" name r.Sta.Serve.body)
+    true
+    (starts_with {|{"ok":false,"error":|} r.Sta.Serve.body);
+  Alcotest.(check bool) (name ^ ": does not quit") false r.Sta.Serve.quit;
+  r
+
+let test_serve_protocol () =
+  let t = Sta.Serve.create ~reduce:false () in
+  ignore (expect_err t "timing before load" "timing");
+  ignore (expect_err t "edit before load" "edit set_clock 1n");
+  ignore (expect_err t "bare load" "load");
+  ignore (expect_err t "missing file" "load /nonexistent/x.sta");
+  let r = expect_ok t "load" ("load " ^ deck_path ()) in
+  Alcotest.(check bool) "load reports nets" true
+    (contains {|"nets":7|} r.Sta.Serve.body);
+  Alcotest.(check bool) "session live" true (Sta.Serve.session t <> None);
+  ignore (expect_err t "bad float" "edit set_r out 0 abc");
+  ignore (expect_err t "bad index" "edit set_r out nine 100");
+  ignore (expect_err t "unknown net" "edit set_r nonesuch 0 100");
+  ignore (expect_err t "unknown edit kind" "edit teleport out");
+  ignore (expect_err t "truncated edit" "edit set_r out");
+  ignore (expect_ok t "value edit" "edit set_r out 0 450");
+  ignore (expect_ok t "second edit" "edit set_c n3 0 40e-15");
+  let r = expect_ok t "timing" "timing" in
+  Alcotest.(check bool) "timing reports the dirty cone" true
+    (contains {|"dirty_nets":|} r.Sta.Serve.body);
+  let r = expect_ok t "timing with options" "timing --slack --top-k 3" in
+  Alcotest.(check bool) "slack table present" true
+    (contains {|"slacks":[|} r.Sta.Serve.body);
+  Alcotest.(check bool) "paths present" true
+    (contains {|"paths":[|} r.Sta.Serve.body);
+  ignore (expect_err t "bad top-k" "timing --top-k many");
+  ignore (expect_err t "unknown option" "timing --fast");
+  let r = expect_ok t "stats" "stats" in
+  Alcotest.(check bool) "stats counts edits" true
+    (contains {|"eco_edits":2|} r.Sta.Serve.body);
+  ignore (expect_ok t "revert" "revert");
+  ignore (expect_ok t "revert all" "revert all");
+  ignore (expect_err t "revert empty" "revert");
+  ignore (expect_err t "unknown command" "frobnicate 1 2");
+  ignore (expect_err t "empty line" "");
+  ignore (expect_err t "blank line" " \t ");
+  let r = expect_ok t "quit" "quit" in
+  Alcotest.(check bool) "quit closes" true r.Sta.Serve.quit
+
+let test_serve_matches_session () =
+  (* the protocol surface drives the same session the API does *)
+  let t = Sta.Serve.create ~reduce:false () in
+  ignore (expect_ok t "load" ("load " ^ deck_path ()));
+  ignore (expect_ok t "edit" "edit set_drive u4 240");
+  ignore (expect_ok t "timing" "timing");
+  match Sta.Serve.session t with
+  | None -> Alcotest.fail "no session after load"
+  | Some s -> check_session_cold "serve-driven session" s
+
 let () =
   Alcotest.run "sta"
     [ ( "timing",
@@ -1392,4 +1743,24 @@ let () =
             test_corners_share_patterns;
           Alcotest.test_case "corner derates move arrivals" `Quick
             test_corner_design_derates;
-          Alcotest.test_case "spec parser" `Quick test_corner_spec_parser ] ) ]
+          Alcotest.test_case "spec parser" `Quick test_corner_spec_parser ] );
+      ( "session",
+        [ Alcotest.test_case "initial analysis matches cold" `Quick
+            test_session_initial;
+          Alcotest.test_case "value edits, every kind" `Quick
+            test_session_value_edits;
+          Alcotest.test_case "dirty cone is partial" `Quick
+            test_session_dirty_cone;
+          Alcotest.test_case "revert restores report and cache" `Quick
+            test_session_revert;
+          Alcotest.test_case "topology edits" `Quick test_session_topology_edits;
+          Alcotest.test_case "rejected edits mutate nothing" `Quick
+            test_session_apply_validation;
+          Alcotest.test_case "metamorphic edit streams" `Slow
+            test_session_metamorphic;
+          Alcotest.test_case "edit/revert-all fingerprint identity" `Quick
+            test_session_revert_all_metamorphic ] );
+      ( "serve",
+        [ Alcotest.test_case "protocol round-trip" `Quick test_serve_protocol;
+          Alcotest.test_case "protocol drives the same session" `Quick
+            test_serve_matches_session ] ) ]

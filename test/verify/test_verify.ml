@@ -119,7 +119,7 @@ let test_run_small_sweep () =
   Alcotest.(check int) "prop runs"
     (3 * List.length Verify.Props.all)
     r.Verify.prop_run;
-  Alcotest.(check int) "fuzz inputs" 200 r.Verify.fuzz_run;
+  Alcotest.(check int) "fuzz inputs" 300 r.Verify.fuzz_run;
   if not (Verify.passed r) then
     Alcotest.failf "%s" (Format.asprintf "%a" Verify.pp_report r)
 
